@@ -1,0 +1,139 @@
+"""Ablation benchmarks: what each architectural layer costs.
+
+The layered design (Figure 26) routes every mutation through the event
+layer, where the rules and index layers listen.  These benchmarks isolate
+each layer's price by measuring the same operation with the layer absent
+and present:
+
+* attribute updates with 0 vs. the full ICBN rule set installed;
+* object creation with 0 / 1 / 3 indexes declared;
+* attribute updates with growing numbers of passive event subscribers;
+* reads across cache capacities (the storage-layer ablation).
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.events import EventKind
+from repro.core.schema import Schema
+from repro.engine.indexes import IndexManager
+from repro.storage.store import ObjectStore
+from repro.taxonomy import TaxonomyDatabase
+from repro.taxonomy.icbn_rules import install_icbn_rules
+
+
+def _epithets():
+    """Endless distinct, ICBN-clean genus epithets (letters only)."""
+    for i in itertools.count():
+        suffix = ""
+        n = i
+        while True:
+            suffix += chr(97 + n % 26)
+            n //= 26
+            if not n:
+                break
+        yield "Genus" + suffix
+
+
+# ---------------------------------------------------------------------------
+# rules layer
+# ---------------------------------------------------------------------------
+
+def test_update_without_rules(benchmark):
+    taxdb = TaxonomyDatabase()
+    nt = taxdb.publish_name("Apium", "Genus")
+    epithets = _epithets()
+
+    def run():
+        nt.set("epithet", next(epithets))
+
+    benchmark(run)
+
+
+def test_update_with_icbn_rules(benchmark):
+    taxdb = TaxonomyDatabase()
+    install_icbn_rules(taxdb)
+    nt = taxdb.publish_name("Apium", "Genus")
+    epithets = _epithets()
+
+    def run():
+        nt.set("epithet", next(epithets))
+
+    benchmark(run)
+
+
+# ---------------------------------------------------------------------------
+# index layer
+# ---------------------------------------------------------------------------
+
+def _people_schema() -> Schema:
+    from repro.core.attributes import Attribute
+    from repro.core import types as T
+
+    schema = Schema()
+    schema.define_class(
+        "Person",
+        [
+            Attribute("name", T.STRING),
+            Attribute("age", T.INTEGER),
+            Attribute("city", T.STRING),
+        ],
+    )
+    return schema
+
+
+@pytest.mark.parametrize("index_count", [0, 1, 3])
+def test_create_with_indexes(benchmark, index_count):
+    schema = _people_schema()
+    manager = IndexManager(schema)
+    for attr in ("name", "age", "city")[:index_count]:
+        kind = "btree" if attr == "age" else "hash"
+        manager.create_index("Person", attr, kind)
+    counter = itertools.count()
+
+    def run():
+        i = next(counter)
+        schema.create("Person", name=f"p{i}", age=i % 90, city=f"c{i % 10}")
+
+    benchmark(run)
+
+
+# ---------------------------------------------------------------------------
+# event layer
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("subscribers", [0, 4, 16])
+def test_update_with_subscribers(benchmark, subscribers):
+    schema = _people_schema()
+    sink = []
+    for _ in range(subscribers):
+        schema.events.subscribe(
+            lambda e: None, kinds={EventKind.AFTER_UPDATE}
+        )
+    person = schema.create("Person", name="x", age=0)
+    counter = itertools.count()
+
+    def run():
+        person.set("age", next(counter) % 90)
+
+    benchmark(run)
+    assert sink == []
+
+
+# ---------------------------------------------------------------------------
+# storage cache
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("cache_size", [0, 64, 4096])
+def test_read_with_cache_size(benchmark, tmp_path, cache_size):
+    with ObjectStore(
+        tmp_path / f"cache{cache_size}.plog", cache_size=cache_size
+    ) as store:
+        oids = [store.insert({"i": i, "pad": "x" * 64}) for i in range(512)]
+        cycle = itertools.cycle(oids)
+
+        def run():
+            return store.read(next(cycle))
+
+        assert benchmark(run)["pad"]

@@ -1,0 +1,49 @@
+"""Figure 44 — T5: constant increase in cost.
+
+Relationship-instance creation (``relate()``) versus a raw storage write
+of an equivalent record, across database sizes.  The thesis reports the
+relationship features adding a *constant* factor (Figure 44); the sweep
+regenerates the series and asserts the overhead ratio does not grow with
+database size beyond noise.
+
+The per-op benchmark times a single relate() call on a mid-size database;
+the sweep table lands in benchmarks/results/fig44_t5.txt.
+"""
+
+from repro.bench import format_series, ratio_growth, sweep_t5
+from repro.core.attributes import Attribute
+from repro.core.schema import Schema
+from repro.core import types as T
+
+from conftest import write_result
+
+SIZES = [100, 400, 1600]
+
+
+def test_fig44_t5_sweep_and_per_op(benchmark):
+    rows = sweep_t5(SIZES, ops_per_point=150)
+    table = format_series(
+        "Figure 44 — T5 relationship creation vs raw write (constant "
+        "increase in cost)",
+        rows,
+    )
+    print("\n" + table)
+    write_result("fig44_t5.txt", table)
+    # Shape: the Prometheus/raw ratio stays in the same band — the
+    # overhead per operation does not grow with database size.
+    growth = ratio_growth(rows)
+    assert growth < 2.5, f"T5 overhead grew {growth:.2f}x across sizes"
+    assert all(row.ratio < 25 for row in rows)
+
+    # Per-op timing on a mid-size in-memory database.
+    schema = Schema()
+    schema.define_class("Node", [Attribute("v", T.INTEGER)])
+    schema.define_relationship("Link", "Node", "Node")
+    nodes = [schema.create("Node", v=i) for i in range(400)]
+    counter = iter(range(10**9))
+
+    def relate_once():
+        i = next(counter)
+        schema.relate("Link", nodes[i % 400], nodes[(i * 13 + 1) % 400])
+
+    benchmark(relate_once)

@@ -1,0 +1,63 @@
+"""Figure 45 — S1: non-constant increase in cost.
+
+Classified placement (``Classification.place``) versus a bare
+``relate()``, as the classification grows.  Membership persistence
+snapshots the classification's edge list, so per-placement cost grows
+with classification size — the thesis's first non-constant feature cost
+(Figure 45).
+
+Sweep series: benchmarks/results/fig45_s1.txt.
+"""
+
+from repro.bench import format_series, sweep_s1
+from repro.classification import ClassificationManager
+from repro.core.attributes import Attribute
+from repro.core.schema import Schema
+from repro.core.semantics import RelationshipSemantics, RelKind
+from repro.core import types as T
+
+from conftest import write_result
+
+SIZES = [100, 400, 1600]
+
+
+def test_fig45_s1_sweep_and_per_op(benchmark):
+    rows = sweep_s1(SIZES, ops_per_point=40)
+    table = format_series(
+        "Figure 45 — S1 classified placement vs bare relate "
+        "(non-constant increase in cost)",
+        rows,
+    )
+    print("\n" + table)
+    write_result("fig45_s1.txt", table)
+    # Shape: the per-op Prometheus cost grows with classification size
+    # while the raw cost stays flat — the overhead ratio at the largest
+    # size clearly exceeds the smallest.
+    assert rows[-1].prometheus_ns > rows[0].prometheus_ns * 2, (
+        "S1 cost did not grow with classification size: "
+        + table
+    )
+
+    # Per-op benchmark at a fixed, large classification size.
+    schema = Schema()
+    schema.define_class("Node", [Attribute("v", T.INTEGER)])
+    schema.define_relationship(
+        "Owns",
+        "Node",
+        "Node",
+        semantics=RelationshipSemantics(
+            kind=RelKind.AGGREGATION, shareable=True
+        ),
+    )
+    manager = ClassificationManager(schema)
+    classification = manager.create("grown")
+    root = schema.create("Node", v=0)
+    pool = [schema.create("Node", v=i) for i in range(1, 2000)]
+    for node in pool[:800]:
+        classification.place("Owns", root, node)
+    tail = iter(pool[800:])
+
+    def place_once():
+        classification.place("Owns", root, next(tail))
+
+    benchmark.pedantic(place_once, rounds=100, iterations=1)

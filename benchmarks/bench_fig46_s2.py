@@ -1,0 +1,66 @@
+"""Figure 46 — S2: non-constant increase in cost (comparison).
+
+Specimen-based classification comparison (synonym discovery) between two
+classifications of *g* groups each is O(g² · leaves); the raw layer's
+equivalent — a flat leaf-set intersection — is linear.  The second
+non-constant feature cost of the evaluation (Figure 46).
+
+Sweep series: benchmarks/results/fig46_s2.txt.
+"""
+
+from repro.bench import format_series, sweep_s2
+from repro.classification import ClassificationManager, compare_classifications
+from repro.core.attributes import Attribute
+from repro.core.schema import Schema
+from repro.core.semantics import RelationshipSemantics, RelKind
+from repro.core import types as T
+
+from conftest import write_result
+
+GROUP_COUNTS = [4, 8, 16, 32]
+
+
+def test_fig46_s2_sweep_and_per_op(benchmark):
+    rows = sweep_s2(GROUP_COUNTS, leaves_per_group=4)
+    table = format_series(
+        "Figure 46 — S2 classification comparison vs flat intersection "
+        "(non-constant increase in cost)",
+        rows,
+    )
+    print("\n" + table)
+    write_result("fig46_s2.txt", table)
+    # Shape: comparison cost grows super-linearly in the group count
+    # (g² pairs), so quadrupling the groups should far more than
+    # quadruple... at minimum the cost must grow markedly.
+    assert rows[-1].prometheus_ns > rows[0].prometheus_ns * 4, table
+    # The raw layer's intersection stays orders of magnitude cheaper.
+    assert all(row.ratio > 10 for row in rows)
+
+    # Per-op benchmark at a fixed size.
+    schema = Schema()
+    schema.define_class("Node", [Attribute("v", T.INTEGER)])
+    schema.define_relationship(
+        "Owns",
+        "Node",
+        "Node",
+        semantics=RelationshipSemantics(
+            kind=RelKind.AGGREGATION, shareable=True
+        ),
+    )
+    manager = ClassificationManager(schema)
+    leaves = [schema.create("Node", v=i) for i in range(64)]
+    classifications = []
+    for variant in range(2):
+        classification = manager.create(f"v{variant}")
+        for g in range(16):
+            parent = schema.create("Node", v=1000 + g)
+            for offset in range(4):
+                leaf = leaves[(g * 4 + offset + variant) % len(leaves)]
+                classification.place("Owns", parent, leaf)
+        classifications.append(classification)
+
+    def compare_once():
+        return compare_classifications(*classifications)
+
+    report = benchmark(compare_once)
+    assert report.synonym_pairs

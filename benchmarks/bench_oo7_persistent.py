@@ -1,0 +1,89 @@
+"""E6 (persistent variant): OO7 traversals over the storage engine.
+
+The in-memory traversal benchmarks isolate the model layers; this module
+adds the database dimension — the same OO7 module persisted to the log
+store, reloaded, and traversed (hot), plus commit and reload costs.
+"""
+
+import pytest
+
+from repro.bench import OO7Config, build_oo7, define_oo7_schema, traverse_t1
+from repro.core.schema import Schema
+from repro.storage.store import ObjectStore
+
+
+@pytest.fixture(scope="module")
+def persistent_path(tmp_path_factory):
+    """Build, commit and close an OO7 database once."""
+    path = tmp_path_factory.mktemp("oo7") / "oo7.plog"
+    store = ObjectStore(path)
+    schema = Schema(store)
+    define_oo7_schema(schema)
+    build_oo7(schema, OO7Config.tiny())
+    schema.commit()
+    store.close()
+    return path
+
+
+def _reload(path):
+    store = ObjectStore(path)
+    schema = Schema(store)
+    define_oo7_schema(schema)
+    schema.load_all()
+    return store, schema
+
+
+def _handles_over(schema):
+    """Rebuild lightweight handles from a reloaded schema."""
+    from repro.bench.oo7 import MODULE, OO7Config, OO7Handles
+
+    module = schema.extent(MODULE)[0]
+    handles = OO7Handles(
+        schema=schema,
+        config=OO7Config.tiny(),
+        module=module,
+        root_assembly=module,
+    )
+    handles.composite_parts = schema.extent("CompositePart")
+    handles.atomic_parts = schema.extent("AtomicPart")
+    handles.base_assemblies = schema.extent("BaseAssembly")
+    return handles
+
+
+def test_commit_full_oo7_database(benchmark, tmp_path):
+    counter = [0]
+
+    def build_and_commit():
+        counter[0] += 1
+        path = tmp_path / f"commit{counter[0]}.plog"
+        store = ObjectStore(path)
+        schema = Schema(store)
+        define_oo7_schema(schema)
+        build_oo7(schema, OO7Config.tiny())
+        schema.commit()
+        size = store.file_size
+        store.close()
+        return size
+
+    size = benchmark.pedantic(build_and_commit, rounds=5)
+    assert size > 0
+
+
+def test_reload_full_oo7_database(benchmark, persistent_path):
+    def reload():
+        store, schema = _reload(persistent_path)
+        count = len(schema.extent("AtomicPart"))
+        store.close()
+        return count
+
+    count = benchmark(reload)
+    assert count == OO7Config.tiny().num_atomic_per_comp * OO7Config.tiny().num_comp_per_module
+
+
+def test_t1_traversal_after_reload(benchmark, persistent_path):
+    store, schema = _reload(persistent_path)
+    handles = _handles_over(schema)
+
+    visits = benchmark(traverse_t1, handles)
+    assert visits > 0
+    store.close()

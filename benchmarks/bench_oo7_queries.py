@@ -1,0 +1,97 @@
+"""E7 — §7.2.1.2.2 queries: exact-match, range and scan over OO7 data.
+
+Regenerates the query measurements, each both as a direct API operation
+and through POOL (with and without index support), quantifying the query
+layer's cost over raw extent iteration.
+"""
+
+import pytest
+
+from repro.bench import (
+    OO7Config,
+    build_oo7,
+    define_oo7_schema,
+    query_exact,
+    query_range,
+    query_scan,
+)
+from repro.engine import PrometheusDB
+
+
+@pytest.fixture(scope="module")
+def db_with_oo7():
+    db = PrometheusDB()
+    define_oo7_schema(db.schema)
+    handles = build_oo7(db.schema, OO7Config.tiny())
+    return db, handles
+
+
+@pytest.fixture(scope="module")
+def indexed_db_with_oo7():
+    db = PrometheusDB()
+    define_oo7_schema(db.schema)
+    handles = build_oo7(db.schema, OO7Config.tiny())
+    db.indexes.create_index("AtomicPart", "ident", kind="hash")
+    db.indexes.create_index("AtomicPart", "build_date", kind="btree")
+    return db, handles
+
+
+def test_q1_exact_match_direct(benchmark, oo7_tiny):
+    idents = [a.get("ident") for a in oo7_tiny.atomic_parts[:5]]
+    found = benchmark(query_exact, oo7_tiny, idents)
+    assert found == 5
+
+
+def test_q1_exact_match_pool_scan(benchmark, db_with_oo7):
+    db, handles = db_with_oo7
+    ident = handles.atomic_parts[3].get("ident")
+
+    def run():
+        return db.query(
+            "select a from a in AtomicPart where a.ident = $i",
+            params={"i": ident},
+        )
+
+    assert len(benchmark(run)) == 1
+
+
+def test_q1_exact_match_pool_indexed(benchmark, indexed_db_with_oo7):
+    db, handles = indexed_db_with_oo7
+    ident = handles.atomic_parts[3].get("ident")
+    text = f"select a from a in AtomicPart where a.ident = {ident}"
+    plan = db.explain(text)
+    assert plan.index_used == "AtomicPart.ident"
+
+    def run():
+        return db.query(text)
+
+    assert len(benchmark(run)) == 1
+
+
+def test_q2_range_direct(benchmark, oo7_tiny):
+    found = benchmark(query_range, oo7_tiny, 2000, 6000)
+    assert found >= 0
+
+
+def test_q2_range_btree(benchmark, indexed_db_with_oo7):
+    db, handles = indexed_db_with_oo7
+
+    def run():
+        return db.indexes.range("AtomicPart", "build_date", 2000, 6000)
+
+    result = benchmark(run)
+    assert len(result) == query_range(handles, 2000, 6000)
+
+
+def test_q7_scan_direct(benchmark, oo7_tiny):
+    count = benchmark(query_scan, oo7_tiny)
+    assert count == len(oo7_tiny.atomic_parts)
+
+
+def test_q7_scan_pool(benchmark, db_with_oo7):
+    db, handles = db_with_oo7
+
+    def run():
+        return db.query("select count(a) from a in AtomicPart")[0]
+
+    assert benchmark(run) == len(handles.atomic_parts)

@@ -1,0 +1,33 @@
+"""E6 — §7.2.1.2.1 raw performance: OO7-inspired traversals.
+
+Regenerates the traversal measurements of the evaluation chapter: full
+traversal (T1), update traversals (T2a/T2b) and the sparse traversal
+(T6), all through the Prometheus relationship machinery.
+"""
+
+from repro.bench import traverse_t1, traverse_t2, traverse_t6
+
+
+def test_t1_full_traversal(benchmark, oo7_small):
+    visits = benchmark(traverse_t1, oo7_small)
+    assert visits > 0
+
+
+def test_t1_full_traversal_tiny(benchmark, oo7_tiny):
+    visits = benchmark(traverse_t1, oo7_tiny)
+    assert visits > 0
+
+
+def test_t2a_update_one_per_composite(benchmark, oo7_small):
+    updates = benchmark(traverse_t2, oo7_small, "a")
+    assert updates == len(oo7_small.composite_parts)
+
+
+def test_t2b_update_every_atomic(benchmark, oo7_small):
+    updates = benchmark(traverse_t2, oo7_small, "b")
+    assert updates == len(oo7_small.atomic_parts)
+
+
+def test_t6_sparse_traversal(benchmark, oo7_small):
+    visits = benchmark(traverse_t6, oo7_small)
+    assert 0 < visits <= traverse_t1(oo7_small)

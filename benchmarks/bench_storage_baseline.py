@@ -1,0 +1,84 @@
+"""The raw-storage baseline (§7.2.1): the layer Prometheus is compared to.
+
+Per-operation costs of the bare object store — writes inside a
+transaction, committed puts, cached and uncached reads — establishing the
+denominators of the Figure 44–46 ratios.
+"""
+
+import itertools
+
+import pytest
+
+from repro.storage.store import ObjectStore
+
+RECORD = {"epithet": "graveolens", "rank": "Species", "year": 1753}
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = ObjectStore(tmp_path / "bench.plog")
+    yield s
+    s.close()
+
+
+def test_txn_write(benchmark, store):
+    txn = store.begin()
+
+    def run():
+        txn.write(store.new_oid(), RECORD)
+
+    benchmark(run)
+    txn.commit()
+
+
+def test_autocommit_put(benchmark, store):
+    def run():
+        store.put(store.new_oid(), RECORD)
+
+    benchmark(run)
+
+
+def test_read_cached(benchmark, store):
+    oid = store.insert(RECORD)
+    store.read(oid)  # warm
+
+    def run():
+        return store.read(oid)
+
+    assert benchmark(run) == RECORD
+
+
+def test_read_uncached(benchmark, tmp_path):
+    with ObjectStore(tmp_path / "cold.plog", cache_size=0) as cold:
+        oids = [cold.insert({**RECORD, "i": i}) for i in range(500)]
+        cycle = itertools.cycle(oids)
+
+        def run():
+            return cold.read(next(cycle))
+
+        assert benchmark(run)["rank"] == "Species"
+
+
+def test_commit_of_batch(benchmark, store):
+    def run():
+        with store.begin() as txn:
+            for _ in range(50):
+                txn.write(store.new_oid(), RECORD)
+
+    benchmark(run)
+
+
+def test_compaction(benchmark, tmp_path):
+    def setup():
+        path = tmp_path / f"compact-{id(object())}.plog"
+        s = ObjectStore(path)
+        oid = s.new_oid()
+        for i in range(200):
+            s.put(oid, {**RECORD, "v": i})
+        return (s,), {}
+
+    def run(s):
+        s.compact()
+        s.close()
+
+    benchmark.pedantic(run, setup=setup, rounds=10)

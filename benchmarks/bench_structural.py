@@ -1,0 +1,61 @@
+"""E8 — §7.2.1.2.3 structural modifications: insert/delete composites.
+
+Regenerates the structural-modification measurements: inserting a
+composite part with its private atomic-part graph (full semantics
+enforcement: exclusivity, cardinality, lifetime dependency wiring) and
+deleting one (lifetime-dependent cascade).
+"""
+
+import itertools
+
+from repro.bench import (
+    OO7Config,
+    build_oo7,
+    define_oo7_schema,
+    delete_composite,
+    insert_composite,
+)
+from repro.core.schema import Schema
+
+
+def fresh_handles():
+    schema = Schema()
+    define_oo7_schema(schema)
+    return build_oo7(schema, OO7Config.tiny())
+
+
+def test_insert_composite_part(benchmark, oo7_tiny):
+    counter = itertools.count(100_000_000, 1000)
+
+    def run():
+        return insert_composite(oo7_tiny, next(counter))
+
+    composite = benchmark(run)
+    assert not composite.deleted
+
+
+def test_delete_composite_part(benchmark):
+    handles = fresh_handles()
+    counter = itertools.count(200_000_000, 1000)
+
+    def setup():
+        composite = insert_composite(handles, next(counter))
+        return (handles, composite), {}
+
+    def run(h, composite):
+        return delete_composite(h, composite)
+
+    removed = benchmark.pedantic(run, setup=setup, rounds=30)
+    assert removed == 1 + handles.config.num_atomic_per_comp + 1
+
+
+def test_insert_and_delete_cycle(benchmark):
+    handles = fresh_handles()
+    counter = itertools.count(300_000_000, 1000)
+
+    def cycle():
+        composite = insert_composite(handles, next(counter))
+        delete_composite(handles, composite)
+
+    benchmark(cycle)
+    assert len(handles.composite_parts) == handles.config.num_comp_per_module

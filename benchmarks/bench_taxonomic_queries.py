@@ -1,0 +1,127 @@
+"""E3 — §7.1.3.1 typical taxonomic queries over a generated flora.
+
+The taxonomic evaluation's query workload: taxa at a rank, recursive
+circumscription extraction, type-specimen collection, name derivation and
+synonym comparison — the operations a working taxonomist performs during
+a revision.
+"""
+
+import pytest
+
+from repro.classification import copy_classification
+from repro.query import execute
+from repro.taxonomy import (
+    FloraParameters,
+    NameDeriver,
+    compare_taxonomic,
+    generate_flora,
+)
+
+
+@pytest.fixture(scope="module")
+def flora():
+    return generate_flora(
+        FloraParameters(
+            families=2,
+            genera_per_family=4,
+            species_per_genus=5,
+            specimens_per_species=3,
+            seed=7,
+        )
+    )
+
+
+def test_taxa_at_rank_pool(benchmark, flora):
+    taxdb = flora.taxdb
+
+    def run():
+        return execute(
+            taxdb.schema,
+            'select t from t in CircumscriptionTaxon where t.rank = "Genus"',
+        )
+
+    result = benchmark(run)
+    assert len(result) == len(flora.genus_taxa)
+
+
+def test_circumscription_recursion_pool(benchmark, flora):
+    """All specimens below a family, via scoped transitive closure."""
+    taxdb = flora.taxdb
+    family = flora.family_taxa[0]
+    name = flora.classification.name
+
+    def run():
+        return execute(
+            taxdb.schema,
+            "select x from t in CircumscriptionTaxon, "
+            f'x in (Specimen) t->Includes["{name}"]* where t.oid = $oid',
+            classifications=taxdb.classifications,
+            params={"oid": family.oid},
+        )
+
+    result = benchmark(run)
+    assert len(result) == len(taxdb.specimens_under(flora.classification, family))
+
+
+def test_circumscription_recursion_api(benchmark, flora):
+    """The same recursion through the library API (the query layer's
+    baseline)."""
+    taxdb = flora.taxdb
+    family = flora.family_taxa[0]
+
+    def run():
+        return taxdb.specimens_under(flora.classification, family)
+
+    result = benchmark(run)
+    assert result
+
+
+def test_type_specimen_extraction(benchmark, flora):
+    taxdb = flora.taxdb
+    family = flora.family_taxa[0]
+
+    def run():
+        return taxdb.type_specimens_under(flora.classification, family)
+
+    result = benchmark(run)
+    assert result
+
+
+def test_name_derivation_full_classification(benchmark, flora):
+    """E2's derivation algorithm, timed over the whole flora."""
+    taxdb = flora.taxdb
+
+    def run():
+        deriver = NameDeriver(taxdb, author="Bench", year=2026)
+        return deriver.derive(flora.classification)
+
+    results = benchmark(run)
+    assert all(r.succeeded for r in results)
+
+
+def test_synonym_comparison(benchmark, flora):
+    """Specimen-based comparison of the flora against a copy of itself."""
+    taxdb = flora.taxdb
+    if "copy" not in taxdb.classifications:
+        copy_classification(taxdb.classifications, flora.classification, "copy")
+    copy = taxdb.classifications.get("copy")
+
+    def run():
+        return compare_taxonomic(taxdb, flora.classification, copy)
+
+    report = benchmark(run)
+    assert len(report.full_synonyms()) >= len(flora.species_taxa)
+
+
+def test_name_search_pool(benchmark, flora):
+    taxdb = flora.taxdb
+    target = taxdb.names()[0].get("epithet")
+
+    def run():
+        return execute(
+            taxdb.schema,
+            "select n from n in NomenclaturalTaxon where n.epithet = $e",
+            params={"e": target},
+        )
+
+    assert benchmark(run)

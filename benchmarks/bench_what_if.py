@@ -1,0 +1,86 @@
+"""E5 — §7.1.4 what-if scenarios: classification copy and re-derivation.
+
+Times the revision workflow: copying a whole classification (graph as an
+entity, requirement 1), restructuring it, and re-deriving names.
+"""
+
+import itertools
+
+import pytest
+
+from repro.classification import copy_classification, move_subtree
+from repro.taxonomy import (
+    FloraParameters,
+    NameDeriver,
+    generate_flora,
+)
+
+
+@pytest.fixture(scope="module")
+def flora():
+    f = generate_flora(
+        FloraParameters(
+            families=2,
+            genera_per_family=3,
+            species_per_genus=4,
+            specimens_per_species=2,
+            seed=11,
+        )
+    )
+    NameDeriver(f.taxdb, author="Orig", year=2000).derive(f.classification)
+    return f
+
+
+def test_copy_classification(benchmark, flora):
+    taxdb = flora.taxdb
+    counter = itertools.count()
+
+    def run():
+        name = f"what-if-{next(counter)}"
+        copy = copy_classification(
+            taxdb.classifications, flora.classification, name
+        )
+        edges = len(copy)
+        # Drop the copy so classification bookkeeping does not accumulate
+        # across rounds (that growth is Figure 45's subject, not this
+        # benchmark's).
+        taxdb.classifications.drop(name, delete_edges=True)
+        return edges
+
+    edges = benchmark(run)
+    assert edges == len(flora.classification)
+
+
+def test_move_subtree(benchmark, flora):
+    """Move a species back and forth between two genera of one family."""
+    taxdb = flora.taxdb
+    working = copy_classification(
+        taxdb.classifications, flora.classification, "move-bench"
+    )
+    genus_a, genus_b = flora.genus_taxa[0], flora.genus_taxa[1]
+    species = working.children(genus_a)[0]
+    targets = itertools.cycle([genus_b, genus_a])
+
+    def run():
+        move_subtree(working, species, next(targets), "Includes")
+
+    benchmark.pedantic(run, rounds=60, iterations=1)
+
+
+def test_rederive_after_restructure(benchmark, flora):
+    """The expensive half of a what-if: re-deriving every name."""
+    taxdb = flora.taxdb
+    working = copy_classification(
+        taxdb.classifications, flora.classification, "rederive-bench"
+    )
+    genus_a, genus_b = flora.genus_taxa[0], flora.genus_taxa[1]
+    species = working.children(genus_a)[0]
+    move_subtree(working, species, genus_b, "Includes")
+    counter = itertools.count(3000)
+
+    def run():
+        deriver = NameDeriver(taxdb, author="WhatIf", year=next(counter))
+        return deriver.derive(working)
+
+    results = benchmark(run)
+    assert all(r.succeeded for r in results)

@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures and result-file helpers.
+
+Every benchmark regenerates one artefact of the thesis's evaluation
+chapter (see EXPERIMENTS.md for the index).  Figure-style benchmarks
+additionally write their data series into ``benchmarks/results/`` so the
+regenerated "figures" survive the pytest run as inspectable text files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import OO7Config, build_oo7, define_oo7_schema
+from repro.core.schema import Schema
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a regenerated figure/table series under benchmarks/results."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="module")
+def oo7_tiny():
+    """A tiny OO7 module (fast enough for per-op benchmarking)."""
+    schema = Schema()
+    define_oo7_schema(schema)
+    return build_oo7(schema, OO7Config.tiny())
+
+
+@pytest.fixture(scope="module")
+def oo7_small():
+    """The OO7 small-ish configuration used for traversal benchmarks."""
+    schema = Schema()
+    define_oo7_schema(schema)
+    return build_oo7(schema, OO7Config.small())

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""The ICBN as database constraints (§7.1.3.2, Figures 35–40).
+
+Installs the rule set and walks through accepted and rejected operations:
+object rules (name endings, capitalisation), deferred rules (typification
+checked at commit with automatic transaction abortion), relationship
+rules (rank windows on placements), interactive rules, and PCL-authored
+constraints.
+
+Run:  python examples/icbn_rules.py
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConstraintViolation
+from repro.rules import format_translation, translate_pcl
+from repro.taxonomy import HOLOTYPE, TaxonomyDatabase
+from repro.taxonomy.icbn_rules import install_icbn_rules
+
+
+def attempt(label: str, operation) -> None:
+    try:
+        operation()
+        print(f"  ACCEPTED  {label}")
+    except ConstraintViolation as exc:
+        print(f"  REJECTED  {label}\n            -> {exc}")
+
+
+def main() -> None:
+    taxdb = TaxonomyDatabase()
+    engine = install_icbn_rules(taxdb)
+    print("Installed rules:")
+    for rule in engine.rules():
+        print(f"  - {rule.describe()}")
+
+    print("\nObject rules (Figures 35–36):")
+    attempt(
+        "publish 'Apiaceae' at rank Familia",
+        lambda: taxdb.publish_name("Apiaceae", "Familia"),
+    )
+    attempt(
+        "publish 'Apiales' at rank Familia (wrong ending)",
+        lambda: taxdb.publish_name("Apiales", "Familia", validate=False),
+    )
+    attempt(
+        "publish 'Palmae' at rank Familia (conserved exception)",
+        lambda: taxdb.publish_name("Palmae", "Familia", validate=False),
+    )
+    attempt(
+        "publish 'apium' at rank Genus (lowercase)",
+        lambda: taxdb.publish_name("apium", "Genus", validate=False),
+    )
+
+    print("\nRelationship rules (Figures 38–40):")
+    classification = taxdb.new_classification("demo")
+    family = taxdb.new_taxon("Familia", working_name="F")
+    genus = taxdb.new_taxon("Genus", working_name="G")
+    species = taxdb.new_taxon("Species", working_name="s")
+    attempt(
+        "place a Species directly under a Familia",
+        lambda: taxdb.place(classification, family, species),
+    )
+    attempt(
+        "place the Genus under the Familia",
+        lambda: taxdb.place(classification, family, genus),
+    )
+    attempt(
+        "place the Species under the Genus",
+        lambda: taxdb.place(classification, genus, species),
+    )
+
+    print("\nDeferred rule (Figure 37) — typification checked at commit:")
+    apium = taxdb.publish_name("Apium", "Genus", author="L.", year=1753)
+    taxdb.commit()
+    for warning in engine.warnings:
+        print(f"  WARNING   {warning.rule_name}: {warning.message}")
+    engine.clear_warnings()
+    taxdb.typify(apium, taxdb.new_specimen(collector="L."), HOLOTYPE)
+    taxdb.commit()
+    print("  after typification: commit passes with "
+          f"{len(engine.warnings)} warnings")
+
+    print("\nInteractive rule — the taxonomist decides (§5.2):")
+    from repro.rules import OnViolation
+
+    rule = engine.get("icbn_family_name")
+    rule.on_violation = OnViolation.INTERACTIVE
+    engine.set_interactive_handler(
+        lambda r, ctx: (
+            print(f"  PROMPT    accept violation of {r.name!r}? -> yes"),
+            True,
+        )[1]
+    )
+    attempt(
+        "publish 'Umbellales' at Familia with interactive override",
+        lambda: taxdb.publish_name("Umbellales", "Familia", validate=False),
+    )
+    rule.on_violation = OnViolation.ABORT
+
+    print("\nPCL-authored constraint (§5.2.3):")
+    rules = translate_pcl(
+        """
+        context Specimen
+            inv collectedSomewhere immediate
+                when self.collector <> null and self.collector <> "" :
+                self.herbarium <> null and self.herbarium <> ""
+        """,
+        taxdb.schema,
+        engine,
+    )
+    print(format_translation(rules[0]))
+    attempt(
+        "create a specimen with collector but no herbarium",
+        lambda: taxdb.new_specimen(collector="Anonymous"),
+    )
+    attempt(
+        "create a specimen with collector and herbarium",
+        lambda: taxdb.new_specimen(collector="Anonymous", herbarium="E"),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Quickstart: the Prometheus extended object-oriented database.
+
+Builds a small database from scratch, demonstrating the features of
+chapter 4: first-class relationships with semantics, roles through
+attribute inheritance, POOL queries, constraints, transactions and
+persistence.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core.attributes import Attribute
+from repro.core.semantics import (
+    Cardinality,
+    RelationshipSemantics,
+    RelKind,
+    format_table3,
+)
+from repro.core import types as T
+from repro.engine import PrometheusDB
+from repro.errors import ConstraintViolation, ExclusivityError
+from repro.rules import translate_pcl
+
+
+def declare_schema(db: PrometheusDB) -> None:
+    """A little library-catalogue domain (the thesis's intro example)."""
+    db.schema.define_class(
+        "Book",
+        [
+            Attribute("title", T.STRING, required=True),
+            Attribute("year", T.INTEGER),
+        ],
+        doc="A catalogued book",
+    )
+    db.schema.define_class(
+        "Shelf",
+        [Attribute("label", T.STRING, required=True)],
+    )
+    # An exclusive, lifetime-dependent aggregation: a book lives on one
+    # shelf and is discarded with it.
+    db.schema.define_relationship(
+        "Holds",
+        "Shelf",
+        "Book",
+        semantics=RelationshipSemantics(
+            kind=RelKind.AGGREGATION,
+            exclusive=True,
+            lifetime_dependent=True,
+        ),
+        doc="physical placement",
+    )
+    # An association carrying its own data, inherited by the destination
+    # as a role attribute (§4.4.5).
+    db.schema.define_relationship(
+        "Features",
+        "Shelf",
+        "Book",
+        semantics=RelationshipSemantics(
+            kind=RelKind.ASSOCIATION,
+            cardinality=Cardinality(max_out=3),
+            inherited_attributes=("featured_since",),
+        ),
+        attributes=[Attribute("featured_since", T.INTEGER)],
+        doc="display recommendation",
+    )
+
+
+def main() -> None:
+    path = Path(tempfile.mkdtemp()) / "quickstart.plog"
+    print(f"database file: {path}\n")
+
+    with PrometheusDB(path) as db:
+        declare_schema(db)
+        db.load()
+
+        # --- objects and relationships --------------------------------
+        fiction = db.schema.create("Shelf", label="Fiction")
+        crime = db.schema.create("Shelf", label="Crime")
+        book = db.schema.create("Book", title="The Name of the Rose", year=1980)
+        db.schema.relate("Holds", fiction, book)
+        print("placed the book on", fiction.get("label"))
+
+        # Exclusivity: one physical place only.
+        try:
+            db.schema.relate("Holds", crime, book)
+        except ExclusivityError as exc:
+            print("exclusive aggregation enforced:", exc)
+
+        # Role acquisition: the relationship's attribute becomes visible
+        # on the book itself.
+        db.schema.relate("Features", fiction, book, featured_since=2020)
+        print("role attribute acquired: featured_since =",
+              book.get("featured_since"))
+
+        # --- constraints (PCL, §5.2.3) ---------------------------------
+        translate_pcl(
+            """
+            context Book
+                inv plausibleYear immediate when self.year <> null :
+                    self.year > 1400 and self.year < 2100
+            """,
+            db.schema,
+            db.rules,
+        )
+        try:
+            db.schema.create("Book", title="Clay tablet", year=-2000)
+        except ConstraintViolation as exc:
+            print("constraint enforced:", exc)
+
+        # --- POOL queries (§5.1) ----------------------------------------
+        db.indexes.create_index("Book", "title")
+        for i in range(5):
+            db.schema.create("Book", title=f"Filler {i}", year=1990 + i)
+        titles = db.query(
+            "select b.title from b in Book where b.year >= $y "
+            "order by b.title",
+            params={"y": 1990},
+        )
+        print("books from the 90s on:", titles)
+        plan = db.explain(
+            'select b from b in Book where b.title = "Filler 3"'
+        )
+        print("index used by exact-match query:", plan.index_used)
+
+        # Relationship instances are queryable objects too.
+        held = db.query(
+            "select r.destination.title from r in Holds "
+            'where r.origin.label = "Fiction"'
+        )
+        print("held by Fiction:", held)
+
+        db.commit()
+
+    # --- persistence: reopen and check ---------------------------------
+    with PrometheusDB(path) as db2:
+        declare_schema(db2)
+        loaded = db2.load()
+        count = db2.query("select count(b) from b in Book")[0]
+        print(f"\nreopened: {loaded} objects loaded, {count} books persisted")
+
+    # --- Table 3: allowed combinations of behaviours --------------------
+    print("\nTable 3 — allowed combinations of relationship behaviours:")
+    print(format_table3())
+
+
+if __name__ == "__main__":
+    main()

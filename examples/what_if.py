@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""What-if scenarios (§7.1.4): experiment on a copy of a classification.
+
+A reviser wonders: what happens to the names if the *repens/nodiflorum*
+group is split in two?  Prometheus answers without touching the published
+classification:
+
+1. copy the classification (new edges, same nodes);
+2. restructure the copy (split the species group);
+3. re-derive names on the copy;
+4. compare the published and hypothetical classifications;
+5. the trace log records the whole experiment.
+
+Run:  python examples/what_if.py
+"""
+
+from __future__ import annotations
+
+from repro.classification import copy_classification, compare_classifications
+from repro.taxonomy import NameDeriver, build_apium_scenario
+
+
+def main() -> None:
+    scenario = build_apium_scenario()
+    taxdb = scenario.taxdb
+    published = scenario.classification
+
+    # Derive the published names first (Figure 3).
+    NameDeriver(taxdb, author="Raguenaud", year=2000).derive(published)
+    print("Published classification:")
+    for ct in taxdb.iter_taxa_top_down(published):
+        print("  " * (published.depth(ct) + 1) + taxdb.display_name(ct))
+
+    # ------------------------------------------------------------------
+    # 1. Copy for experimentation.
+    experiment = copy_classification(
+        taxdb.classifications,
+        published,
+        "what-if split",
+        author="Raguenaud",
+        description="split Taxon 2 by specimen",
+    )
+    print(f"\ncopied into {experiment.name!r}: "
+          f"{len(experiment)} edges, sharing all nodes")
+
+    # 2. Restructure the copy: pull nodiflorum's specimen out of Taxon 2
+    #    into a sibling species group.
+    taxon2 = scenario.taxon2
+    new_species = taxdb.new_taxon("Species", working_name="Taxon 3")
+    for edge in list(experiment.edges()):
+        if (
+            edge.origin_oid == taxon2.oid
+            and edge.destination_oid == scenario.specimen_nodiflorum.oid
+        ):
+            experiment.remove_edge(edge)
+            taxdb.schema.unrelate(edge)
+    taxdb.place(
+        experiment, scenario.taxon1, new_species,
+        motivation="what if the group is split?", actor="Raguenaud",
+    )
+    taxdb.place(experiment, new_species, scenario.specimen_nodiflorum)
+    print("split Taxon 2: moved the nodiflorum specimen into a new group")
+
+    # 3. Re-derive names on the experimental copy.
+    print("\nDerived names in the hypothetical classification:")
+    results = NameDeriver(taxdb, author="Raguenaud", year=2001).derive(
+        experiment
+    )
+    for result in results:
+        ct = taxdb.schema.get_object(result.ct_oid)
+        print(
+            f"  {taxdb.working_name_of(ct):10s} -> {result.full_name:45s}"
+            f" [{result.action}]"
+        )
+
+    # 4. Compare published vs hypothetical.
+    report = compare_classifications(
+        published,
+        experiment,
+        is_leaf=taxdb.is_specimen,
+        is_group=taxdb.is_ct,
+    )
+    print("\nOverlap between published and what-if classifications:")
+    for pair in report.synonym_pairs:
+        a = taxdb.schema.get_object(pair.taxon_a)
+        b = taxdb.schema.get_object(pair.taxon_b)
+        print(
+            f"  {taxdb.display_name(a):45s} ~ "
+            f"{taxdb.display_name(b):45s} [{pair.kind.value}]"
+        )
+
+    # 5. The experiment is fully traced.
+    print("\nTrace entries for the experiment:")
+    for entry in taxdb.trace.for_classification("what-if split"):
+        line = f"  #{entry.sequence} {entry.operation}"
+        if entry.reason:
+            line += f" — {entry.reason}"
+        print(line)
+
+    # The published classification is untouched.
+    print("\nPublished classification after the experiment (unchanged):")
+    for ct in taxdb.iter_taxa_top_down(published):
+        print("  " * (published.depth(ct) + 1) + taxdb.display_name(ct))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` in offline environments
+that lack the `wheel` package required by PEP 660 editable installs."""
+
+from setuptools import setup
+
+setup()

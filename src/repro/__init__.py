@@ -1,0 +1,47 @@
+"""Prometheus: an extended object-oriented database for multiple
+overlapping classifications, reproduced from Raguenaud's thesis
+*Managing complex taxonomic data in an object-oriented database*.
+
+Package layout
+--------------
+* :mod:`repro.storage` — log-structured transactional object store
+  (the "underlying storage system" baseline of the evaluation).
+* :mod:`repro.core` — ODMG object model extended with first-class
+  relationships, semantics, instance synonyms (chapter 4).
+* :mod:`repro.classification` — classifications as edge sets, contexts,
+  traceability, graph operations and comparison (chapters 2 & 4.6).
+* :mod:`repro.taxonomy` — the Prometheus taxonomic model: ranks,
+  specimens, nomenclatural and circumscription taxa, typification and
+  ICBN name derivation (chapter 2 / Pullan et al. 2000).
+* :mod:`repro.query` — POOL, the Prometheus object-oriented query
+  language (chapter 5.1).
+* :mod:`repro.rules` — the ECA rules/constraints engine and PCL
+  (chapter 5.2).
+* :mod:`repro.engine` — the layered database facade: events, object
+  layer, views, indexes, query layer, rules layer, HTTP server
+  (chapter 6).
+* :mod:`repro.bench` — OO7-inspired benchmark substrate (chapter 7.2).
+"""
+
+from .core.attributes import Attribute, Method
+from .core.classes import PClass
+from .core.relationships import RelationshipClass, RelationshipInstance
+from .core.schema import Schema
+from .core.semantics import Cardinality, RelationshipSemantics, RelKind
+from .storage.store import ObjectStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "Cardinality",
+    "Method",
+    "ObjectStore",
+    "PClass",
+    "RelKind",
+    "RelationshipClass",
+    "RelationshipInstance",
+    "RelationshipSemantics",
+    "Schema",
+    "__version__",
+]

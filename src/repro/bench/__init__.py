@@ -1,0 +1,51 @@
+"""Benchmark substrate for the performance evaluation (thesis §7.2).
+
+* :mod:`repro.bench.oo7` — the OO7-inspired schema and database builder.
+* :mod:`repro.bench.workload` — traversals, queries and structural
+  modifications over it.
+* :mod:`repro.bench.harness` — timing, sweeps and the Figure 44–46
+  series generators.
+"""
+
+from .harness import (
+    SweepRow,
+    format_series,
+    measure,
+    ratio_growth,
+    sweep_s1,
+    sweep_s2,
+    sweep_t5,
+)
+from .oo7 import OO7Config, OO7Handles, build_oo7, define_oo7_schema
+from .workload import (
+    delete_composite,
+    insert_composite,
+    query_exact,
+    query_range,
+    query_scan,
+    traverse_t1,
+    traverse_t2,
+    traverse_t6,
+)
+
+__all__ = [
+    "OO7Config",
+    "OO7Handles",
+    "SweepRow",
+    "build_oo7",
+    "define_oo7_schema",
+    "delete_composite",
+    "format_series",
+    "insert_composite",
+    "measure",
+    "query_exact",
+    "query_range",
+    "query_scan",
+    "ratio_growth",
+    "sweep_s1",
+    "sweep_s2",
+    "sweep_t5",
+    "traverse_t1",
+    "traverse_t2",
+    "traverse_t6",
+]

@@ -1,0 +1,302 @@
+"""Measurement harness for the thesis's performance evaluation (§7.2).
+
+The evaluation compares the Prometheus layer against its underlying
+storage system and classifies each feature's overhead as **constant**
+(Figure 44, test T5) or **non-constant** (Figures 45–46, tests S1 and
+S2) as the database grows.  The harness provides:
+
+* :func:`measure` — monotonic per-operation timing;
+* sweep builders for the three figures, each returning
+  :class:`SweepRow` series (size, raw ns/op, prometheus ns/op, ratio);
+* :func:`format_series` — the aligned text table printed by the
+  benchmark scripts (the reproduction of the figures as data series).
+
+The thesis's chapter-7 test labels are reconstructed as follows (the
+source text enumerates the figures but the per-test prose is not part of
+the available excerpt; EXPERIMENTS.md records this):
+
+* **T5** — relationship-instance creation: Prometheus ``relate()``
+  versus a bare storage write of an equivalent record.  The semantic
+  checks are index-backed, so the overhead is a constant factor at any
+  database size (Figure 44).
+* **S1** — classification placement: ``Classification.place`` versus a
+  bare ``relate()``.  Classification membership is persisted as a
+  snapshot, so per-placement cost grows with classification size
+  (Figure 45).
+* **S2** — classification comparison: circumscription-overlap synonym
+  detection between two classifications of *g* groups each is
+  O(g²·leaves), versus the O(g·leaves) flat leaf-set intersection the
+  raw layer could offer (Figure 46).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..classification import compare_classifications
+from ..core.attributes import Attribute
+from ..core.schema import Schema
+from ..core.semantics import RelationshipSemantics, RelKind
+from ..core import types as T
+from ..storage.store import ObjectStore
+
+
+def measure(
+    operation: Callable[[], Any],
+    number: int = 100,
+    repeat: int = 3,
+    setup: Callable[[], None] | None = None,
+) -> float:
+    """Best-of-``repeat`` mean time per call, in nanoseconds."""
+    best = float("inf")
+    for _ in range(repeat):
+        if setup is not None:
+            setup()
+        start = time.perf_counter_ns()
+        for _ in range(number):
+            operation()
+        elapsed = time.perf_counter_ns() - start
+        best = min(best, elapsed / number)
+    return best
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One point of a cost-vs-size series."""
+
+    size: int
+    raw_ns: float
+    prometheus_ns: float
+
+    @property
+    def ratio(self) -> float:
+        return self.prometheus_ns / self.raw_ns if self.raw_ns else float("inf")
+
+
+def format_series(title: str, rows: list[SweepRow]) -> str:
+    """Aligned text rendering of one figure's data series."""
+    lines = [
+        title,
+        f"{'size':>10} {'raw ns/op':>14} {'prometheus ns/op':>18} {'ratio':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.size:>10} {row.raw_ns:>14.0f} {row.prometheus_ns:>18.0f} "
+            f"{row.ratio:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def ratio_growth(rows: list[SweepRow]) -> float:
+    """Last/first overhead ratio — ~1 means constant cost increase."""
+    if len(rows) < 2 or rows[0].ratio == 0:
+        return 1.0
+    return rows[-1].ratio / rows[0].ratio
+
+
+# ---------------------------------------------------------------------------
+# common scaffolding
+# ---------------------------------------------------------------------------
+
+def _temp_store() -> tuple[ObjectStore, str]:
+    fd, path = tempfile.mkstemp(suffix=".plog")
+    os.close(fd)
+    os.remove(path)
+    return ObjectStore(path, cache_size=8192), path
+
+
+def _node_schema(store: ObjectStore | None) -> Schema:
+    """A minimal node + link schema used by the sweeps."""
+    schema = Schema(store, name="bench")
+    schema.define_class(
+        "Node",
+        [Attribute("label", T.STRING), Attribute("value", T.INTEGER)],
+    )
+    schema.define_relationship(
+        "Link",
+        "Node",
+        "Node",
+        semantics=RelationshipSemantics(kind=RelKind.ASSOCIATION),
+        attributes=[Attribute("weight", T.INTEGER)],
+    )
+    schema.define_relationship(
+        "Owns",
+        "Node",
+        "Node",
+        semantics=RelationshipSemantics(
+            kind=RelKind.AGGREGATION, shareable=True
+        ),
+    )
+    return schema
+
+
+# ---------------------------------------------------------------------------
+# Figure 44 — T5: constant increase in cost
+# ---------------------------------------------------------------------------
+
+def sweep_t5(sizes: list[int], ops_per_point: int = 200) -> list[SweepRow]:
+    """Relationship creation vs raw record write, across DB sizes.
+
+    Both sides time a full *batch-plus-commit*: ``ops_per_point`` edge
+    creations followed by one commit, reported per operation.  The raw
+    side writes equivalent records straight to the store; the Prometheus
+    side goes through ``relate()`` with all semantic checks, indexing and
+    events, then persists at commit.
+    """
+    rows: list[SweepRow] = []
+    for size in sizes:
+        # Raw baseline.
+        store, path = _temp_store()
+        try:
+            with store.begin() as txn:
+                for index in range(size):
+                    txn.write(
+                        store.new_oid(), {"label": f"n{index}", "value": index}
+                    )
+            counter = iter(range(10**9))
+
+            def raw_batch() -> None:
+                with store.begin() as txn:
+                    for _ in range(ops_per_point):
+                        txn.write(
+                            store.new_oid(),
+                            {
+                                "o": next(counter) % size + 1,
+                                "d": 1,
+                                "weight": 1,
+                            },
+                        )
+
+            raw_ns = measure(raw_batch, number=1, repeat=3) / ops_per_point
+        finally:
+            store.close()
+            os.remove(path)
+
+        # Prometheus: full relate() through the model layers.
+        store, path = _temp_store()
+        try:
+            schema = _node_schema(store)
+            nodes = [
+                schema.create("Node", label=f"n{i}", value=i)
+                for i in range(size)
+            ]
+            schema.commit()
+            pair = iter(range(10**9))
+
+            def prometheus_batch() -> None:
+                for _ in range(ops_per_point):
+                    index = next(pair)
+                    schema.relate(
+                        "Link",
+                        nodes[index % size],
+                        nodes[(index * 7 + 1) % size],
+                        weight=1,
+                    )
+                schema.commit()
+
+            prom_ns = (
+                measure(prometheus_batch, number=1, repeat=3) / ops_per_point
+            )
+        finally:
+            store.close()
+            os.remove(path)
+        rows.append(SweepRow(size=size, raw_ns=raw_ns, prometheus_ns=prom_ns))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 45 — S1: non-constant increase in cost (classification placement)
+# ---------------------------------------------------------------------------
+
+def sweep_s1(sizes: list[int], ops_per_point: int = 50) -> list[SweepRow]:
+    """Classified placement vs bare relate, as the classification grows."""
+    from ..classification import ClassificationManager
+
+    rows: list[SweepRow] = []
+    for size in sizes:
+        schema = _node_schema(None)
+        nodes = [
+            schema.create("Node", label=f"n{i}", value=i)
+            for i in range(size + ops_per_point * 4 + 2)
+        ]
+        root = nodes[0]
+
+        def raw_op_factory() -> Callable[[], None]:
+            counter = iter(range(1, 10**9))
+
+            def op() -> None:
+                schema.relate("Owns", root, nodes[next(counter)])
+
+            return op
+
+        raw_ns = measure(raw_op_factory(), number=ops_per_point, repeat=3)
+
+        manager = ClassificationManager(schema)
+        classification = manager.create(f"c{size}")
+        # Pre-grow the classification to `size` placements.
+        offset = ops_per_point * 3 + 1
+        for index in range(size):
+            classification.place("Owns", root, nodes[offset + index])
+
+        counter2 = iter(range(1, 10**9))
+        tail = offset + size
+
+        def prometheus_op() -> None:
+            classification.place("Owns", root, nodes[tail + next(counter2) % (ops_per_point)])
+
+        # Each op adds a unique child; restrict count to available nodes.
+        prom_ns = measure(prometheus_op, number=ops_per_point, repeat=1)
+        rows.append(SweepRow(size=size, raw_ns=raw_ns, prometheus_ns=prom_ns))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 46 — S2: non-constant increase in cost (classification comparison)
+# ---------------------------------------------------------------------------
+
+def sweep_s2(
+    group_counts: list[int], leaves_per_group: int = 4
+) -> list[SweepRow]:
+    """Synonym discovery vs flat leaf-set intersection, as groups grow."""
+    rows: list[SweepRow] = []
+    for groups in group_counts:
+        schema = _node_schema(None)
+        from ..classification import ClassificationManager
+
+        manager = ClassificationManager(schema)
+        leaves = [
+            schema.create("Node", label=f"leaf{i}", value=i)
+            for i in range(groups * leaves_per_group)
+        ]
+        classifications = []
+        for variant in range(2):
+            classification = manager.create(f"v{variant}-{groups}")
+            for g in range(groups):
+                parent = schema.create("Node", label=f"g{variant}.{g}", value=g)
+                start = (g * leaves_per_group + variant) % len(leaves)
+                for offset in range(leaves_per_group):
+                    leaf = leaves[(start + offset) % len(leaves)]
+                    classification.place("Owns", parent, leaf)
+            classifications.append(classification)
+        a, b = classifications
+
+        leaf_sets = (
+            {l.oid for l in a.leaves()},
+            {l.oid for l in b.leaves()},
+        )
+
+        def raw_op() -> None:
+            _ = leaf_sets[0] & leaf_sets[1]
+
+        raw_ns = measure(raw_op, number=50, repeat=3)
+
+        def prometheus_op() -> None:
+            compare_classifications(a, b)
+
+        prom_ns = measure(prometheus_op, number=3, repeat=2)
+        rows.append(SweepRow(size=groups, raw_ns=raw_ns, prometheus_ns=prom_ns))
+    return rows

@@ -1,0 +1,305 @@
+"""The OO7-inspired benchmark database (thesis §7.2.1.1, Figures 41–43).
+
+The thesis evaluates Prometheus with a benchmark *inspired by* OO7
+[Carey '93]: the classic module → assembly hierarchy → composite parts →
+atomic-part graphs schema, rebuilt with Prometheus relationship classes
+so that every OO7 reference exercises the relationship machinery whose
+cost is being measured.
+
+Scale parameters follow OO7's *small* configuration, scaled down by
+default (``tiny``) so tests run quickly; benchmarks use ``small`` or
+explicit sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.attributes import Attribute
+from ..core.instances import PObject
+from ..core.schema import Schema
+from ..core.semantics import Cardinality, RelationshipSemantics, RelKind
+from ..core import types as T
+
+# -- class names ------------------------------------------------------------
+
+DESIGN_OBJ = "DesignObj"
+ATOMIC_PART = "AtomicPart"
+COMPOSITE_PART = "CompositePart"
+DOCUMENT = "Document"
+ASSEMBLY = "Assembly"
+BASE_ASSEMBLY = "BaseAssembly"
+COMPLEX_ASSEMBLY = "ComplexAssembly"
+MODULE = "Module"
+
+CONNECTS = "Connects"
+COMPONENT_PRIVATE = "ComponentPrivate"
+ROOT_PART = "RootPart"
+DOCUMENTATION = "Documentation"
+SUB_ASSEMBLY = "SubAssembly"
+COMPONENT_SHARED = "ComponentShared"
+MODULE_ROOT = "ModuleRoot"
+
+
+@dataclass(frozen=True)
+class OO7Config:
+    """Benchmark scale parameters (names follow the OO7 paper)."""
+
+    num_atomic_per_comp: int = 20
+    num_conn_per_atomic: int = 3
+    num_comp_per_module: int = 50
+    num_assm_levels: int = 4
+    num_assm_per_assm: int = 3
+    num_comp_per_assm: int = 3
+    doc_words: int = 20
+    seed: int = 7
+
+    @classmethod
+    def tiny(cls) -> "OO7Config":
+        return cls(
+            num_atomic_per_comp=5,
+            num_conn_per_atomic=2,
+            num_comp_per_module=8,
+            num_assm_levels=3,
+            num_assm_per_assm=2,
+            num_comp_per_assm=2,
+            doc_words=5,
+        )
+
+    @classmethod
+    def small(cls) -> "OO7Config":
+        return cls()
+
+
+@dataclass
+class OO7Handles:
+    """Handles into a built OO7 database."""
+
+    schema: Schema
+    config: OO7Config
+    module: PObject
+    root_assembly: PObject
+    base_assemblies: list[PObject] = field(default_factory=list)
+    complex_assemblies: list[PObject] = field(default_factory=list)
+    composite_parts: list[PObject] = field(default_factory=list)
+    atomic_parts: list[PObject] = field(default_factory=list)
+    documents: list[PObject] = field(default_factory=list)
+
+    @property
+    def totals(self) -> dict[str, int]:
+        return {
+            "base_assemblies": len(self.base_assemblies),
+            "complex_assemblies": len(self.complex_assemblies),
+            "composite_parts": len(self.composite_parts),
+            "atomic_parts": len(self.atomic_parts),
+            "documents": len(self.documents),
+        }
+
+
+def define_oo7_schema(schema: Schema) -> None:
+    """Register the OO7 classes and relationship classes (Figure 43)."""
+    schema.define_class(
+        DESIGN_OBJ,
+        [
+            Attribute("ident", T.INTEGER, required=True),
+            Attribute("kind", T.STRING),
+            Attribute("build_date", T.INTEGER),
+        ],
+        abstract=True,
+        doc="Common OO7 design-object state",
+    )
+    schema.define_class(
+        ATOMIC_PART,
+        [
+            Attribute("x", T.INTEGER),
+            Attribute("y", T.INTEGER),
+            Attribute("doc_id", T.INTEGER),
+        ],
+        superclasses=(DESIGN_OBJ,),
+    )
+    schema.define_class(COMPOSITE_PART, superclasses=(DESIGN_OBJ,))
+    schema.define_class(
+        DOCUMENT,
+        [
+            Attribute("title", T.STRING),
+            Attribute("text", T.STRING),
+        ],
+        superclasses=(DESIGN_OBJ,),
+    )
+    schema.define_class(ASSEMBLY, superclasses=(DESIGN_OBJ,), abstract=True)
+    schema.define_class(BASE_ASSEMBLY, superclasses=(ASSEMBLY,))
+    schema.define_class(COMPLEX_ASSEMBLY, superclasses=(ASSEMBLY,))
+    schema.define_class(
+        MODULE,
+        [Attribute("manual", T.STRING)],
+        superclasses=(DESIGN_OBJ,),
+    )
+
+    schema.define_relationship(
+        CONNECTS,
+        ATOMIC_PART,
+        ATOMIC_PART,
+        semantics=RelationshipSemantics(kind=RelKind.ASSOCIATION),
+        attributes=[
+            Attribute("conn_type", T.STRING),
+            Attribute("length", T.INTEGER),
+        ],
+        doc="Atomic-part graph edges (weighted: type + length)",
+    )
+    schema.define_relationship(
+        COMPONENT_PRIVATE,
+        COMPOSITE_PART,
+        ATOMIC_PART,
+        semantics=RelationshipSemantics(
+            kind=RelKind.AGGREGATION,
+            exclusive=True,
+            lifetime_dependent=True,
+        ),
+        doc="A composite part privately owns its atomic parts",
+    )
+    schema.define_relationship(
+        ROOT_PART,
+        COMPOSITE_PART,
+        ATOMIC_PART,
+        semantics=RelationshipSemantics(
+            kind=RelKind.ASSOCIATION,
+            cardinality=Cardinality(max_out=1),
+        ),
+        doc="Distinguished entry point into the atomic-part graph",
+    )
+    schema.define_relationship(
+        DOCUMENTATION,
+        COMPOSITE_PART,
+        DOCUMENT,
+        semantics=RelationshipSemantics(
+            kind=RelKind.AGGREGATION,
+            exclusive=True,
+            lifetime_dependent=True,
+            cardinality=Cardinality(max_out=1),
+        ),
+    )
+    schema.define_relationship(
+        SUB_ASSEMBLY,
+        COMPLEX_ASSEMBLY,
+        ASSEMBLY,
+        semantics=RelationshipSemantics(
+            kind=RelKind.AGGREGATION, exclusive=True
+        ),
+        doc="Assembly hierarchy edges",
+    )
+    schema.define_relationship(
+        COMPONENT_SHARED,
+        BASE_ASSEMBLY,
+        COMPOSITE_PART,
+        semantics=RelationshipSemantics(
+            kind=RelKind.ASSOCIATION, shareable=True
+        ),
+        doc="Base assemblies share composite parts (OO7 'shared')",
+    )
+    schema.define_relationship(
+        MODULE_ROOT,
+        MODULE,
+        COMPLEX_ASSEMBLY,
+        semantics=RelationshipSemantics(
+            kind=RelKind.AGGREGATION,
+            exclusive=True,
+            cardinality=Cardinality(max_out=1),
+        ),
+    )
+
+
+_WORDS = (
+    "design", "assembly", "part", "module", "widget", "fastener",
+    "torque", "flange", "bracket", "rivet", "gasket", "manifold",
+)
+
+
+def build_oo7(schema: Schema, config: OO7Config | None = None) -> OO7Handles:
+    """Construct one OO7 module per ``config`` (deterministic by seed)."""
+    config = config or OO7Config.tiny()
+    rng = random.Random(config.seed)
+    ident = iter(range(1, 10_000_000))
+
+    module = schema.create(
+        MODULE, ident=next(ident), kind="module", manual="Manual text"
+    )
+    handles = OO7Handles(
+        schema=schema,
+        config=config,
+        module=module,
+        root_assembly=module,  # replaced below
+    )
+
+    # Composite parts with their private atomic-part graphs.
+    for _ in range(config.num_comp_per_module):
+        composite = schema.create(
+            COMPOSITE_PART,
+            ident=next(ident),
+            kind="composite",
+            build_date=rng.randint(1000, 9999),
+        )
+        handles.composite_parts.append(composite)
+        document = schema.create(
+            DOCUMENT,
+            ident=next(ident),
+            title=f"doc for {composite.get('ident')}",
+            text=" ".join(rng.choice(_WORDS) for _ in range(config.doc_words)),
+        )
+        handles.documents.append(document)
+        schema.relate(DOCUMENTATION, composite, document)
+        atoms: list[PObject] = []
+        for _ in range(config.num_atomic_per_comp):
+            atom = schema.create(
+                ATOMIC_PART,
+                ident=next(ident),
+                kind="atomic",
+                build_date=rng.randint(1000, 9999),
+                x=rng.randint(0, 9999),
+                y=rng.randint(0, 9999),
+                doc_id=document.get("ident"),
+            )
+            atoms.append(atom)
+            handles.atomic_parts.append(atom)
+            schema.relate(COMPONENT_PRIVATE, composite, atom)
+        schema.relate(ROOT_PART, composite, atoms[0])
+        # Each atomic part connects to num_conn_per_atomic others; the
+        # ring-plus-random pattern of OO7 keeps the graph connected.
+        count = len(atoms)
+        for index, atom in enumerate(atoms):
+            targets = {(index + 1) % count}
+            while len(targets) < min(config.num_conn_per_atomic, count - 1):
+                targets.add(rng.randrange(count))
+            targets.discard(index)
+            for target in sorted(targets):
+                schema.relate(
+                    CONNECTS,
+                    atom,
+                    atoms[target],
+                    conn_type=rng.choice(("rigid", "flex")),
+                    length=rng.randint(1, 1000),
+                )
+
+    # Assembly hierarchy: a complete tree of complex assemblies with base
+    # assemblies at the leaves, each referencing composite parts.
+    def build_assembly(level: int) -> PObject:
+        if level < config.num_assm_levels:
+            assembly = schema.create(
+                COMPLEX_ASSEMBLY, ident=next(ident), kind="complex"
+            )
+            handles.complex_assemblies.append(assembly)
+            for _ in range(config.num_assm_per_assm):
+                child = build_assembly(level + 1)
+                schema.relate(SUB_ASSEMBLY, assembly, child)
+            return assembly
+        base = schema.create(BASE_ASSEMBLY, ident=next(ident), kind="base")
+        handles.base_assemblies.append(base)
+        for _ in range(config.num_comp_per_assm):
+            composite = rng.choice(handles.composite_parts)
+            schema.relate(COMPONENT_SHARED, base, composite)
+        return base
+
+    root = build_assembly(1)
+    handles.root_assembly = root
+    schema.relate(MODULE_ROOT, module, root)
+    return handles

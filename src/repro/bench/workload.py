@@ -1,0 +1,211 @@
+"""OO7-inspired benchmark operations (thesis §7.2.1.2).
+
+Three families, mirroring the evaluation's structure:
+
+* **raw performance** (§7.2.1.2.1) — traversals over the design
+  hierarchy and atomic-part graphs, hot and cold, read-only and
+  updating;
+* **queries** (§7.2.1.2.2) — exact-match, range and scan queries,
+  expressible both through POOL and as direct API calls;
+* **structural modifications** (§7.2.1.2.3) — inserting and deleting
+  composite parts (with their private graphs) under full semantics
+  enforcement.
+
+Each operation returns a small result (visit count, match count) so
+benchmarks can assert correctness while timing.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.instances import PObject
+from ..core.schema import Schema
+from .oo7 import (
+    ATOMIC_PART,
+    COMPONENT_PRIVATE,
+    COMPONENT_SHARED,
+    CONNECTS,
+    DOCUMENT,
+    DOCUMENTATION,
+    MODULE_ROOT,
+    OO7Handles,
+    ROOT_PART,
+    SUB_ASSEMBLY,
+)
+
+# ---------------------------------------------------------------------------
+# traversals (T1, T2, T6 analogues)
+# ---------------------------------------------------------------------------
+
+def traverse_t1(handles: OO7Handles) -> int:
+    """OO7 T1: full traversal.
+
+    Walk the assembly hierarchy from the module root; at each base
+    assembly visit its composite parts; for each composite part perform a
+    depth-first search of the atomic-part graph.  Returns the number of
+    atomic-part visits.
+    """
+    schema = handles.schema
+    visits = 0
+    for root in handles.module.related(MODULE_ROOT):
+        stack = [root]
+        while stack:
+            assembly = stack.pop()
+            children = assembly.related(SUB_ASSEMBLY)
+            if children:
+                stack.extend(children)
+                continue
+            for composite in assembly.related(COMPONENT_SHARED):
+                visits += _dfs_atomic(schema, composite)
+    return visits
+
+
+def _dfs_atomic(schema: Schema, composite: PObject) -> int:
+    roots = composite.related(ROOT_PART)
+    if not roots:
+        return 0
+    visits = 0
+    seen: set[int] = set()
+    stack = [roots[0]]
+    while stack:
+        atom = stack.pop()
+        if atom.oid in seen:
+            continue
+        seen.add(atom.oid)
+        visits += 1
+        stack.extend(atom.related(CONNECTS))
+    return visits
+
+
+def traverse_t2(handles: OO7Handles, variant: str = "a") -> int:
+    """OO7 T2: traversal with updates.
+
+    Variant ``a`` updates one atomic part per composite part, ``b``
+    updates every atomic part once, ``c`` updates every atomic part four
+    times.  Returns the number of updates performed.
+    """
+    repeat = {"a": 1, "b": 1, "c": 4}[variant]
+    updates = 0
+    for composite in handles.composite_parts:
+        atoms = composite.related(COMPONENT_PRIVATE)
+        targets = atoms[:1] if variant == "a" else atoms
+        for atom in targets:
+            for _ in range(repeat):
+                x, y = atom.get("x"), atom.get("y")
+                atom.set("x", y)
+                atom.set("y", x)
+                updates += 1
+    return updates
+
+
+def traverse_t6(handles: OO7Handles) -> int:
+    """OO7 T6: sparse traversal — visit only the root atomic part of each
+    composite part reachable from the assembly hierarchy."""
+    visits = 0
+    stack = list(handles.module.related(MODULE_ROOT))
+    while stack:
+        assembly = stack.pop()
+        children = assembly.related(SUB_ASSEMBLY)
+        if children:
+            stack.extend(children)
+            continue
+        for composite in assembly.related(COMPONENT_SHARED):
+            visits += len(composite.related(ROOT_PART))
+    return visits
+
+
+# ---------------------------------------------------------------------------
+# queries (Q1, Q2/Q3, Q7 analogues)
+# ---------------------------------------------------------------------------
+
+def query_exact(handles: OO7Handles, idents: list[int]) -> int:
+    """OO7 Q1: exact-match lookups of atomic parts by ident."""
+    wanted = set(idents)
+    return sum(
+        1
+        for atom in handles.schema.extent(ATOMIC_PART)
+        if atom.get("ident") in wanted
+    )
+
+
+def query_range(handles: OO7Handles, low: int, high: int) -> int:
+    """OO7 Q2/Q3: range query over atomic-part build dates."""
+    return sum(
+        1
+        for atom in handles.schema.extent(ATOMIC_PART)
+        if low <= (atom.get("build_date") or 0) <= high
+    )
+
+
+def query_scan(handles: OO7Handles) -> int:
+    """OO7 Q7: full scan of atomic parts."""
+    return sum(1 for _ in handles.schema.extent(ATOMIC_PART))
+
+
+def pool_query_exact(db: "object", ident: int) -> int:
+    """Q1 through POOL (with index fast path when one is declared)."""
+    result = db.query(  # type: ignore[attr-defined]
+        "select a from a in AtomicPart where a.ident = $i", params={"i": ident}
+    )
+    return len(result)
+
+
+# ---------------------------------------------------------------------------
+# structural modifications (§7.2.1.2.3)
+# ---------------------------------------------------------------------------
+
+def insert_composite(
+    handles: OO7Handles, ident_base: int, rng: random.Random | None = None
+) -> PObject:
+    """Insert one composite part with its private atomic-part graph and
+    attach it to a random base assembly — the OO7 insert."""
+    rng = rng or random.Random(ident_base)
+    schema = handles.schema
+    config = handles.config
+    composite = schema.create(
+        "CompositePart", ident=ident_base, kind="composite",
+        build_date=rng.randint(1000, 9999),
+    )
+    document = schema.create(
+        DOCUMENT, ident=ident_base + 1, title="new doc", text="insert"
+    )
+    schema.relate(DOCUMENTATION, composite, document)
+    atoms = []
+    for offset in range(config.num_atomic_per_comp):
+        atom = schema.create(
+            ATOMIC_PART,
+            ident=ident_base + 2 + offset,
+            x=rng.randint(0, 9999),
+            y=rng.randint(0, 9999),
+            build_date=rng.randint(1000, 9999),
+        )
+        atoms.append(atom)
+        schema.relate(COMPONENT_PRIVATE, composite, atom)
+    schema.relate(ROOT_PART, composite, atoms[0])
+    for index, atom in enumerate(atoms[:-1]):
+        schema.relate(CONNECTS, atom, atoms[index + 1], length=1)
+    if handles.base_assemblies:
+        base = rng.choice(handles.base_assemblies)
+        schema.relate(COMPONENT_SHARED, base, composite)
+    handles.composite_parts.append(composite)
+    handles.atomic_parts.extend(atoms)
+    handles.documents.append(document)
+    return composite
+
+
+def delete_composite(handles: OO7Handles, composite: PObject) -> int:
+    """Delete a composite part; lifetime dependency cascades to its
+    private atomic parts and document — the OO7 delete.  Returns the
+    number of objects removed."""
+    schema = handles.schema
+    doomed = 1
+    doomed += len(composite.related(COMPONENT_PRIVATE))
+    doomed += len(composite.related(DOCUMENTATION))
+    schema.delete(composite, cascade=True)
+    handles.composite_parts = [
+        c for c in handles.composite_parts if not c.deleted
+    ]
+    handles.atomic_parts = [a for a in handles.atomic_parts if not a.deleted]
+    handles.documents = [d for d in handles.documents if not d.deleted]
+    return doomed

@@ -1,0 +1,48 @@
+"""Multiple overlapping classifications over a Prometheus schema.
+
+* :class:`Classification` / :class:`ClassificationManager` — named DAGs of
+  relationship instances, with persistent membership (§4.6.1).
+* :class:`Context` — classify/query in context (§4.6.2).
+* graph operations — extraction, whole-classification copy, subtree moves
+  (requirement 1).
+* comparison — circumscription overlap and synonym discovery (§2.1.3).
+* :class:`TraceLog` — traceability of classification acts (requirement 4).
+"""
+
+from .classification import Classification, ClassificationManager
+from .comparison import (
+    ComparisonReport,
+    OverlapKind,
+    SynonymPair,
+    circumscription,
+    classify_overlap,
+    compare_classifications,
+)
+from .context import Context
+from .graph import (
+    GraphView,
+    common_subgraph,
+    copy_classification,
+    extract_graph,
+    move_subtree,
+)
+from .tracing import TraceEntry, TraceLog
+
+__all__ = [
+    "Classification",
+    "ClassificationManager",
+    "ComparisonReport",
+    "Context",
+    "GraphView",
+    "OverlapKind",
+    "SynonymPair",
+    "TraceEntry",
+    "TraceLog",
+    "circumscription",
+    "classify_overlap",
+    "common_subgraph",
+    "compare_classifications",
+    "copy_classification",
+    "extract_graph",
+    "move_subtree",
+]

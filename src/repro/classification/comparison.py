@@ -1,0 +1,208 @@
+"""Comparing classifications and discovering synonyms (thesis §2.1.3).
+
+Two taxa from different classifications are *synonyms* when their
+circumscriptions — the sets of leaf objects (specimens) reachable below
+them — overlap.  The overlap is **full** when the sets are equal,
+**pro parte** when it is partial.  Synonyms sharing the same taxonomic
+type are **homotypic**, otherwise **heterotypic**.
+
+This module is deliberately generic: it works on any classification of
+any objects, taking the "leaf semantics" as parameters.  The taxonomy
+substrate instantiates it with specimens and type designations
+(:mod:`repro.taxonomy.synonymy`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.instances import PObject
+from .classification import Classification
+
+
+class OverlapKind(enum.Enum):
+    """Degree of circumscription overlap between two groups."""
+
+    NONE = "none"
+    PARTIAL = "pro parte"
+    FULL = "full"
+    CONTAINS = "contains"      # a's circumscription strictly includes b's
+    CONTAINED = "contained"    # a's circumscription strictly inside b's
+
+
+@dataclass(frozen=True)
+class SynonymPair:
+    """One discovered synonym relation between two group nodes."""
+
+    taxon_a: int
+    taxon_b: int
+    kind: OverlapKind
+    shared: frozenset[int]
+    only_a: frozenset[int]
+    only_b: frozenset[int]
+    homotypic: bool | None = None
+
+    @property
+    def jaccard(self) -> float:
+        union = len(self.shared) + len(self.only_a) + len(self.only_b)
+        return len(self.shared) / union if union else 0.0
+
+
+def circumscription(
+    classification: Classification,
+    node: PObject | int,
+    is_leaf: Callable[[PObject], bool] | None = None,
+    canonical: Callable[[int], int] | None = None,
+) -> frozenset[int]:
+    """The set of leaf OIDs reachable at any depth below ``node``.
+
+    Args:
+        classification: context in which to recurse.
+        node: the group whose circumscription is wanted.
+        is_leaf: predicate selecting circumscription members; by default,
+            nodes with no children in this classification.
+        canonical: optional OID canonicaliser; pass the synonym registry's
+            ``canonical`` so instance synonyms (§4.5) count as one
+            specimen.
+    """
+    schema = classification.schema
+    oid = node.oid if isinstance(node, PObject) else node
+    start = schema.get_object(oid) if schema.has_object(oid) else None
+    leaves: set[int] = set()
+
+    def leafp(obj: PObject) -> bool:
+        if is_leaf is not None:
+            return is_leaf(obj)
+        return not classification.children(obj)
+
+    if start is not None and leafp(start):
+        leaves.add(canonical(oid) if canonical else oid)
+    for descendant in classification.descendants(oid):
+        if leafp(descendant):
+            found = descendant.oid
+            leaves.add(canonical(found) if canonical else found)
+    return frozenset(leaves)
+
+
+def classify_overlap(
+    set_a: frozenset[int], set_b: frozenset[int]
+) -> OverlapKind:
+    """Categorise the overlap between two circumscriptions."""
+    if not set_a or not set_b:
+        return OverlapKind.NONE
+    shared = set_a & set_b
+    if not shared:
+        return OverlapKind.NONE
+    if set_a == set_b:
+        return OverlapKind.FULL
+    if shared == set_b:
+        return OverlapKind.CONTAINS
+    if shared == set_a:
+        return OverlapKind.CONTAINED
+    return OverlapKind.PARTIAL
+
+
+@dataclass
+class ComparisonReport:
+    """Result of comparing two classifications."""
+
+    classification_a: str
+    classification_b: str
+    shared_leaf_oids: frozenset[int]
+    synonym_pairs: list[SynonymPair]
+
+    def full_synonyms(self) -> list[SynonymPair]:
+        return [p for p in self.synonym_pairs if p.kind is OverlapKind.FULL]
+
+    def pro_parte_synonyms(self) -> list[SynonymPair]:
+        return [
+            p
+            for p in self.synonym_pairs
+            if p.kind
+            in (OverlapKind.PARTIAL, OverlapKind.CONTAINS, OverlapKind.CONTAINED)
+        ]
+
+    def misplacement_suspects(self, threshold: int = 1) -> list[SynonymPair]:
+        """Pairs overlapping by <= ``threshold`` specimens — the thesis
+        notes a single-specimen overlap "may indicate a misplaced
+        specimen or confusion in the groups" (§2.3)."""
+        return [
+            p
+            for p in self.synonym_pairs
+            if p.kind is OverlapKind.PARTIAL and len(p.shared) <= threshold
+        ]
+
+
+def compare_classifications(
+    a: Classification,
+    b: Classification,
+    is_leaf: Callable[[PObject], bool] | None = None,
+    is_group: Callable[[PObject], bool] | None = None,
+    type_of: Callable[[PObject], int | None] | None = None,
+    canonical: Callable[[int], int] | None = None,
+) -> ComparisonReport:
+    """Discover synonym pairs between the groups of two classifications.
+
+    Every non-leaf node of ``a`` is compared, by circumscription, with
+    every non-leaf node of ``b``.  ``is_group`` can narrow which nodes
+    count as groups (e.g. only Circumscription Taxa).  ``type_of`` maps a
+    group to the OID of its taxonomic type so pairs can be flagged
+    homotypic/heterotypic.
+    """
+    schema = a.schema
+
+    def groups(c: Classification) -> list[PObject]:
+        out = []
+        for node in c.nodes():
+            if is_leaf is not None and is_leaf(node):
+                continue
+            if is_leaf is None and not c.children(node):
+                continue
+            if is_group is not None and not is_group(node):
+                continue
+            out.append(node)
+        return out
+
+    circ_a = {
+        n.oid: circumscription(a, n, is_leaf=is_leaf, canonical=canonical)
+        for n in groups(a)
+    }
+    circ_b = {
+        n.oid: circumscription(b, n, is_leaf=is_leaf, canonical=canonical)
+        for n in groups(b)
+    }
+    pairs: list[SynonymPair] = []
+    for oid_a, set_a in sorted(circ_a.items()):
+        for oid_b, set_b in sorted(circ_b.items()):
+            kind = classify_overlap(set_a, set_b)
+            if kind is OverlapKind.NONE:
+                continue
+            homotypic: bool | None = None
+            if type_of is not None:
+                ta = type_of(schema.get_object(oid_a))
+                tb = type_of(schema.get_object(oid_b))
+                if ta is not None and tb is not None:
+                    if canonical is not None:
+                        ta, tb = canonical(ta), canonical(tb)
+                    homotypic = ta == tb
+            pairs.append(
+                SynonymPair(
+                    taxon_a=oid_a,
+                    taxon_b=oid_b,
+                    kind=kind,
+                    shared=set_a & set_b,
+                    only_a=set_a - set_b,
+                    only_b=set_b - set_a,
+                    homotypic=homotypic,
+                )
+            )
+    all_a = frozenset().union(*circ_a.values()) if circ_a else frozenset()
+    all_b = frozenset().union(*circ_b.values()) if circ_b else frozenset()
+    return ComparisonReport(
+        classification_a=a.name,
+        classification_b=b.name,
+        shared_leaf_oids=all_a & all_b,
+        synonym_pairs=pairs,
+    )

@@ -1,0 +1,115 @@
+"""Classifying and querying *in context* (thesis §4.6.2, §7.1.3.3).
+
+A :class:`Context` scopes operations to one or more classifications.  The
+same object can answer "what are your children?" differently depending on
+the classification through which it is viewed — the essence of multiple
+overlapping classifications.  Contexts compose: a multi-classification
+context answers set-union questions ("in which contexts is X placed under
+Y?", "who ever classified X?").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.instances import PObject
+from ..errors import ClassificationError
+from .classification import Classification, ClassificationManager
+
+
+class Context:
+    """A query scope over one or several classifications."""
+
+    def __init__(self, classifications: Iterable[Classification]) -> None:
+        self._classifications = list(classifications)
+        if not self._classifications:
+            raise ClassificationError("a context needs at least one classification")
+
+    @classmethod
+    def of(
+        cls, manager: ClassificationManager, *names: str
+    ) -> "Context":
+        return cls([manager.get(name) for name in names])
+
+    @property
+    def classifications(self) -> list[Classification]:
+        return list(self._classifications)
+
+    @property
+    def names(self) -> list[str]:
+        return [c.name for c in self._classifications]
+
+    def __len__(self) -> int:
+        return len(self._classifications)
+
+    # -- navigation, per-context --------------------------------------------
+
+    def children(self, node: PObject) -> dict[str, list[PObject]]:
+        """Children of ``node`` keyed by classification name."""
+        return {
+            c.name: c.children(node)
+            for c in self._classifications
+            if node.oid in c.node_oids()
+        }
+
+    def parents(self, node: PObject) -> dict[str, list[PObject]]:
+        return {
+            c.name: c.parents(node)
+            for c in self._classifications
+            if node.oid in c.node_oids()
+        }
+
+    # -- membership questions -------------------------------------------------
+
+    def appears_in(self, node: PObject) -> list[str]:
+        """Names of context classifications that classify ``node``."""
+        return [
+            c.name for c in self._classifications if node.oid in c.node_oids()
+        ]
+
+    def placements_of(self, node: PObject) -> dict[str, list[PObject]]:
+        """Where ``node`` sits (its parents) in every context member.
+
+        This answers the motivating taxonomic question: "under which
+        groups has this specimen/taxon been placed, according to whom?"
+        """
+        return {
+            name: parents
+            for name, parents in self.parents(node).items()
+            if parents
+        }
+
+    def is_placed_under(self, child: PObject, parent: PObject) -> list[str]:
+        """Classifications in which ``child`` is (transitively) below
+        ``parent``."""
+        result = []
+        for c in self._classifications:
+            if child.oid in c.node_oids() and any(
+                anc.oid == parent.oid for anc in c.ancestors(child)
+            ):
+                result.append(c.name)
+        return result
+
+    def agreement(self, child: PObject) -> bool:
+        """True when every context member that classifies ``child`` gives
+        it the same direct parents."""
+        placements = [
+            frozenset(p.oid for p in parents)
+            for parents in self.parents(child).values()
+        ]
+        return len(set(placements)) <= 1
+
+    def disagreements(self) -> list[int]:
+        """OIDs classified differently across the context's members."""
+        common: set[int] | None = None
+        for c in self._classifications:
+            oids = c.node_oids()
+            common = oids if common is None else (common & oids)
+        if not common:
+            return []
+        out = []
+        for oid in sorted(common):
+            node = self._classifications[0].schema.get_object(oid)
+            if not self.agreement(node):
+                out.append(oid)
+        return out

@@ -1,0 +1,256 @@
+"""Graph operations over classifications: extraction, copy, views.
+
+The thesis's requirement 1 asks that classifications can be "seen as an
+entity and manipulated as a whole" — copied to start a revision, extracted
+as sub-graphs, exported for analysis.  :class:`GraphView` is the detached
+value object those operations produce; it can also be converted to a
+:mod:`networkx` digraph for external analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..core.instances import PObject
+from ..core.relationships import RelationshipInstance
+from ..errors import ClassificationError
+from .classification import Classification, ClassificationManager
+
+if TYPE_CHECKING:  # pragma: no cover
+    import networkx
+
+
+@dataclass
+class GraphView:
+    """A detached snapshot of (part of) a classification graph.
+
+    ``nodes`` maps OIDs to attribute snapshots; ``edges`` is a list of
+    (parent_oid, child_oid, relationship_class, attribute snapshot).
+    """
+
+    name: str
+    nodes: dict[int, dict[str, Any]] = field(default_factory=dict)
+    edges: list[tuple[int, int, str, dict[str, Any]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def children_of(self, oid: int) -> list[int]:
+        return sorted(c for p, c, _, _ in self.edges if p == oid)
+
+    def parents_of(self, oid: int) -> list[int]:
+        return sorted(p for p, c, _, _ in self.edges if c == oid)
+
+    def roots(self) -> list[int]:
+        with_parent = {c for _, c, _, _ in self.edges}
+        return sorted(set(self.nodes) - with_parent)
+
+    def leaves(self) -> list[int]:
+        with_children = {p for p, _, _, _ in self.edges}
+        return sorted(set(self.nodes) - with_children)
+
+    def to_networkx(self) -> "networkx.DiGraph":
+        """Export as a networkx directed graph (lazy import)."""
+        import networkx
+
+        graph = networkx.DiGraph(name=self.name)
+        for oid, attrs in self.nodes.items():
+            graph.add_node(oid, **{k: v for k, v in attrs.items()})
+        for parent, child, relname, attrs in self.edges:
+            graph.add_edge(parent, child, relationship=relname, **attrs)
+        return graph
+
+    def is_acyclic(self) -> bool:
+        adjacency: dict[int, list[int]] = {}
+        for parent, child, _, _ in self.edges:
+            adjacency.setdefault(parent, []).append(child)
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: dict[int, int] = {}
+
+        def visit(node: int) -> bool:
+            colour[node] = GREY
+            for nxt in adjacency.get(node, ()):
+                state = colour.get(nxt, WHITE)
+                if state == GREY:
+                    return False
+                if state == WHITE and not visit(nxt):
+                    return False
+            colour[node] = BLACK
+            return True
+
+        return all(
+            visit(node)
+            for node in list(self.nodes)
+            if colour.get(node, WHITE) == WHITE
+        )
+
+
+def _snapshot(obj: PObject) -> dict[str, Any]:
+    return {"class": obj.pclass.name, **obj.to_dict()}
+
+
+def extract_graph(
+    classification: Classification,
+    start: PObject | int | None = None,
+    max_depth: int | None = None,
+) -> GraphView:
+    """Extract a classification (or the subtree under ``start``) as a view.
+
+    This is POOL's ``extract graph`` primitive (§5.1.1.3) in library form:
+    the result is a detached, parameterisable graph value.
+    """
+    schema = classification.schema
+    view = GraphView(name=classification.name)
+    if start is None:
+        for edge in classification.edges():
+            _add_edge_to_view(view, edge, schema)
+        return view
+    start_oid = start.oid if isinstance(start, PObject) else start
+    if schema.has_object(start_oid):
+        view.nodes[start_oid] = _snapshot(schema.get_object(start_oid))
+    frontier = [(start_oid, 0)]
+    seen = {start_oid}
+    edges_by_parent: dict[int, list[RelationshipInstance]] = {}
+    for edge in classification.edges():
+        edges_by_parent.setdefault(edge.origin_oid, []).append(edge)
+    while frontier:
+        oid, depth = frontier.pop()
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for edge in edges_by_parent.get(oid, ()):
+            _add_edge_to_view(view, edge, schema)
+            child = edge.destination_oid
+            if child not in seen:
+                seen.add(child)
+                frontier.append((child, depth + 1))
+    return view
+
+
+def _add_edge_to_view(view: GraphView, edge: RelationshipInstance, schema: Any) -> None:
+    for endpoint in (edge.origin_oid, edge.destination_oid):
+        if endpoint not in view.nodes and schema.has_object(endpoint):
+            view.nodes[endpoint] = _snapshot(schema.get_object(endpoint))
+    view.edges.append(
+        (edge.origin_oid, edge.destination_oid, edge.pclass.name, edge.to_dict())
+    )
+
+
+def copy_classification(
+    manager: ClassificationManager,
+    source: Classification | str,
+    new_name: str,
+    copy_nodes: bool = False,
+    node_copier: Callable[[PObject], PObject] | None = None,
+    author: str = "",
+    description: str = "",
+) -> Classification:
+    """Clone a classification for a revision / what-if scenario (§7.1.4).
+
+    Two modes:
+
+    * ``copy_nodes=False`` (default): the new classification gets *new
+      edges* between the *same node objects* — the classifications then
+      overlap completely, and the copy can be restructured freely without
+      touching the original's edges.
+    * ``copy_nodes=True``: interior nodes are duplicated too (leaves are
+      always shared — specimens are the objective fixed points, §2.1.3).
+      ``node_copier`` may override how a node is duplicated.
+    """
+    if isinstance(source, str):
+        source = manager.get(source)
+    schema = manager.schema
+    target = manager.create(
+        new_name,
+        author=author or source.author,
+        description=description or f"copy of {source.name}",
+    )
+    mapping: dict[int, PObject] = {}
+    if copy_nodes:
+        leaf_oids = {obj.oid for obj in source.leaves()}
+        for node in source.nodes():
+            if node.oid in leaf_oids:
+                mapping[node.oid] = node
+            elif node_copier is not None:
+                mapping[node.oid] = node_copier(node)
+            else:
+                mapping[node.oid] = schema.create(
+                    node.pclass.name, **node.to_dict()
+                )
+    try:
+        for edge in source.edges():
+            parent = (
+                mapping.get(edge.origin_oid)
+                or schema.get_object(edge.origin_oid)
+            )
+            child = (
+                mapping.get(edge.destination_oid)
+                or schema.get_object(edge.destination_oid)
+            )
+            target.place(edge.pclass.name, parent, child, **edge.to_dict())
+    except Exception:
+        manager.drop(new_name, delete_edges=True)
+        raise
+    return target
+
+
+def move_subtree(
+    classification: Classification,
+    node: PObject,
+    new_parent: PObject,
+    relationship: str,
+    **attrs: Any,
+) -> RelationshipInstance:
+    """Re-place ``node`` (with its whole subtree) under ``new_parent``.
+
+    The existing parent edges of ``node`` within this classification are
+    removed from the classification (and deleted when no other
+    classification uses them); a fresh placement edge is created.  This is
+    the core operation of a taxonomic revision.
+    """
+    if node.oid == new_parent.oid:
+        raise ClassificationError("cannot place a node under itself")
+    if any(a.oid == node.oid for a in classification.ancestors(new_parent)):
+        raise ClassificationError(
+            "new parent lies inside the subtree being moved"
+        )
+    schema = classification.schema
+    manager = _manager_of(classification)
+    for edge in list(classification.edges()):
+        if edge.destination_oid == node.oid:
+            classification.remove_edge(edge)
+            if manager is None or manager.classifications_of_edge(edge) == []:
+                schema.unrelate(edge)
+    return classification.place(relationship, new_parent, node, **attrs)
+
+
+def _manager_of(classification: Classification) -> ClassificationManager | None:
+    manager = getattr(classification, "_manager", None)
+    return manager if isinstance(manager, ClassificationManager) else None
+
+
+def common_subgraph(
+    a: Classification, b: Classification
+) -> GraphView:
+    """Edges structurally present in both classifications.
+
+    Two edges are considered the same when they connect the same parent
+    and child OIDs through the same relationship class — even if they are
+    distinct edge instances (copied classifications).
+    """
+    def key(edge: RelationshipInstance) -> tuple[int, int, str]:
+        return (edge.origin_oid, edge.destination_oid, edge.pclass.name)
+
+    keys_b = {key(e) for e in b.edges()}
+    view = GraphView(name=f"{a.name} ∩ {b.name}")
+    for edge in a.edges():
+        if key(edge) in keys_b:
+            _add_edge_to_view(view, edge, a.schema)
+    return view

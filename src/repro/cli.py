@@ -1,0 +1,281 @@
+"""Command-line shell for Prometheus databases.
+
+Usage::
+
+    python -m repro --db flora.plog --taxonomy           # interactive POOL
+    python -m repro --db flora.plog -e "select count(s) from s in Specimen"
+    python -m repro --db flora.plog --taxonomy --serve 8080
+
+The shell speaks POOL plus a few dot-commands:
+
+========================  =======================================
+``.help``                 list commands
+``.schema``               class inventory
+``.class <Name>``         one class's attributes and relationships
+``.classifications``      classification names and sizes
+``.rules``                installed rules
+``.indexes``              declared indexes
+``.commit`` / ``.abort``  transaction control
+``.integrity``            run the deferred integrity checks
+``.quit``                 leave
+========================  =======================================
+
+The ``--taxonomy`` flag registers the Prometheus taxonomic schema so an
+existing taxonomic database file can be opened directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO
+
+from .classification import GraphView
+from .core.instances import PObject
+from .core.metamodel import describe_class
+from .core.relationships import RelationshipInstance
+from .engine import PrometheusDB
+from .errors import PrometheusError
+
+
+def format_value(value: object) -> str:
+    """Render one query-result value for terminal output."""
+    if isinstance(value, RelationshipInstance):
+        return (
+            f"<{value.pclass.name} #{value.oid} "
+            f"{value.origin_oid}->{value.destination_oid}>"
+        )
+    if isinstance(value, PObject):
+        head = ", ".join(
+            f"{k}={v!r}"
+            for k, v in list(value.attributes())[:4]
+            if v is not None
+        )
+        return f"<{value.pclass.name} #{value.oid} {head}>"
+    if isinstance(value, GraphView):
+        return (
+            f"<graph {value.name!r}: {value.node_count} nodes, "
+            f"{value.edge_count} edges>"
+        )
+    if isinstance(value, dict):
+        return "{" + ", ".join(
+            f"{k}: {format_value(v)}" for k, v in value.items()
+        ) + "}"
+    return repr(value)
+
+
+def format_result(result: object) -> str:
+    if isinstance(result, list):
+        if not result:
+            return "(empty)"
+        lines = [format_value(item) for item in result]
+        lines.append(f"({len(result)} row{'s' if len(result) != 1 else ''})")
+        return "\n".join(lines)
+    return format_value(result)
+
+
+class Shell:
+    """Executes shell lines against one database."""
+
+    def __init__(self, db: PrometheusDB, out: IO[str] = sys.stdout) -> None:
+        self.db = db
+        self.out = out
+        self.running = True
+
+    def emit(self, text: str) -> None:
+        print(text, file=self.out)
+
+    def execute(self, line: str) -> None:
+        """Run one line: a dot-command or a POOL query."""
+        line = line.strip()
+        if not line or line.startswith("--"):
+            return
+        if line.startswith("."):
+            self._command(line)
+            return
+        try:
+            result = self.db.query(line)
+        except PrometheusError as exc:
+            self.emit(f"error: {exc}")
+            return
+        self.emit(format_result(result))
+
+    # -- dot-commands ---------------------------------------------------
+
+    def _command(self, line: str) -> None:
+        parts = line.split()
+        name, args = parts[0], parts[1:]
+        handler = getattr(self, f"_cmd_{name[1:]}", None)
+        if handler is None:
+            self.emit(f"unknown command {name!r} (try .help)")
+            return
+        handler(args)
+
+    def _cmd_help(self, args: list[str]) -> None:
+        self.emit(
+            "commands: .help .schema .class <Name> .classifications "
+            ".rules .indexes .commit .abort .integrity .quit\n"
+            "anything else is evaluated as a POOL query"
+        )
+
+    def _cmd_schema(self, args: list[str]) -> None:
+        for pclass in sorted(self.db.schema.classes(), key=lambda c: c.name):
+            kind = "relationship" if pclass.is_relationship_class else "class"
+            count = self.db.schema.count(pclass.name, polymorphic=False)
+            flags = " (abstract)" if pclass.abstract else ""
+            self.emit(f"{kind:13s} {pclass.name}{flags}: {count} instances")
+
+    def _cmd_class(self, args: list[str]) -> None:
+        if not args:
+            self.emit("usage: .class <Name>")
+            return
+        try:
+            info = describe_class(self.db.schema.get_class(args[0]))
+        except PrometheusError as exc:
+            self.emit(f"error: {exc}")
+            return
+        self.emit(f"class {info['name']} ({', '.join(info['superclasses'])})")
+        for attr, detail in info["attributes"].items():
+            required = " required" if detail["required"] else ""
+            self.emit(f"  {attr}: {detail['type']}{required}")
+        if "relationship" in info:
+            rel = info["relationship"]
+            self.emit(
+                f"  {rel['origin']} -> {rel['destination']} "
+                f"[{rel['kind']}]"
+            )
+
+    def _cmd_classifications(self, args: list[str]) -> None:
+        manager = self.db.classifications
+        if not len(manager):
+            self.emit("(none)")
+            return
+        for classification in manager:
+            self.emit(
+                f"{classification.name}: {len(classification)} edges, "
+                f"author={classification.author or '?'}"
+            )
+
+    def _cmd_rules(self, args: list[str]) -> None:
+        rules = self.db.rules.rules()
+        if not rules:
+            self.emit("(none)")
+        for rule in rules:
+            self.emit(rule.describe())
+
+    def _cmd_indexes(self, args: list[str]) -> None:
+        indexes = self.db.indexes.indexes()
+        if not indexes:
+            self.emit("(none)")
+        for index in indexes:
+            self.emit(f"{index.name}: {len(index)} entries, {index.probes} probes")
+
+    def _cmd_commit(self, args: list[str]) -> None:
+        try:
+            self.db.commit()
+            self.emit("committed")
+        except PrometheusError as exc:
+            self.emit(f"error: {exc}")
+
+    def _cmd_abort(self, args: list[str]) -> None:
+        self.db.abort()
+        self.emit("aborted")
+
+    def _cmd_integrity(self, args: list[str]) -> None:
+        problems = self.db.check_integrity()
+        if not problems:
+            self.emit("ok")
+        for problem in problems:
+            self.emit(problem)
+
+    def _cmd_quit(self, args: list[str]) -> None:
+        self.running = False
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Prometheus database shell (POOL queries + dot-commands)",
+    )
+    parser.add_argument(
+        "--db", metavar="PATH", default=None,
+        help="database log file (omit for an in-memory session)",
+    )
+    parser.add_argument(
+        "--taxonomy", action="store_true",
+        help="register the Prometheus taxonomic schema before loading",
+    )
+    parser.add_argument(
+        "--schema", metavar="ODL_FILE", default=None,
+        help="register classes from a Prometheus ODL file before loading",
+    )
+    parser.add_argument(
+        "--execute", "-e", metavar="QUERY", action="append", default=[],
+        help="run one line and exit (repeatable)",
+    )
+    parser.add_argument(
+        "--serve", metavar="PORT", type=int, default=None,
+        help="start the HTTP access layer instead of a shell",
+    )
+    return parser
+
+
+def open_database(args: argparse.Namespace) -> PrometheusDB:
+    db = PrometheusDB(args.db)
+    if args.taxonomy:
+        from .taxonomy import define_taxonomy_schema
+
+        define_taxonomy_schema(db.schema)
+    if args.schema:
+        from .core.odl import define_schema
+
+        with open(args.schema, encoding="utf-8") as handle:
+            define_schema(db.schema, handle.read())
+    db.load()
+    return db
+
+
+def main(argv: list[str] | None = None, out: IO[str] = sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        db = open_database(args)
+    except PrometheusError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    shell = Shell(db, out=out)
+    try:
+        if args.serve is not None:
+            from .engine import PrometheusServer
+
+            server = PrometheusServer(db, port=args.serve)
+            server.start()
+            print(f"serving on {server.url} (Ctrl-C to stop)", file=out)
+            try:
+                import time
+
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.stop()
+            return 0
+        if args.execute:
+            for line in args.execute:
+                shell.execute(line)
+            return 0
+        print("Prometheus shell — .help for commands, .quit to leave", file=out)
+        while shell.running:
+            try:
+                line = input("pool> ")
+            except (EOFError, KeyboardInterrupt):
+                print("", file=out)
+                break
+            shell.execute(line)
+        return 0
+    finally:
+        db.close()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+"""Prometheus core object model: ODMG classes extended with relationships.
+
+This package implements chapter 4 of the thesis — the ODMG-based object
+model (§4.2), first-class relationships with explicit semantics (§4.3–4.4),
+instance synonyms (§4.5) and the schema/meta-model (Figure 14).
+"""
+
+from .attributes import Attribute
+from .classes import PClass
+from .collections import PBag, PDict, PList, PSet
+from .identity import NULL_OID, OidAllocator, OidRef
+from .instances import PObject
+from .odl import OdlError, define_schema as define_schema_odl, parse_odl
+from .relationships import RelationshipClass, RelationshipInstance, RelKind
+from .semantics import Behaviour, RelationshipSemantics
+from .schema import Schema
+from .synonyms import SynonymRegistry
+from .templates import (
+    RelationshipTemplate,
+    TEMPLATES,
+    get_template,
+    relationship_from_template,
+)
+from .types import (
+    AnyType,
+    BooleanType,
+    BytesType,
+    CollectionTypeSpec,
+    DateType,
+    DateTimeType,
+    FloatType,
+    IntegerType,
+    RefType,
+    StringType,
+    TypeSpec,
+)
+
+__all__ = [
+    "Attribute",
+    "AnyType",
+    "Behaviour",
+    "BooleanType",
+    "BytesType",
+    "CollectionTypeSpec",
+    "DateTimeType",
+    "DateType",
+    "FloatType",
+    "IntegerType",
+    "NULL_OID",
+    "OdlError",
+    "OidAllocator",
+    "OidRef",
+    "PBag",
+    "PClass",
+    "PDict",
+    "PList",
+    "PObject",
+    "PSet",
+    "RefType",
+    "RelKind",
+    "RelationshipClass",
+    "RelationshipInstance",
+    "RelationshipSemantics",
+    "RelationshipTemplate",
+    "Schema",
+    "StringType",
+    "SynonymRegistry",
+    "TypeSpec",
+    "TEMPLATES",
+    "define_schema_odl",
+    "get_template",
+    "parse_odl",
+    "relationship_from_template",
+]

@@ -1,0 +1,110 @@
+"""Attribute and method metadata for Prometheus classes.
+
+In the thesis's formalisation (§4.2) a class is a named set of attribute
+pairs ``(type, name)``, method signatures, constraints and superclasses.
+:class:`Attribute` and :class:`Method` are the metaobjects for the first
+two.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import SchemaError
+from .types import TypeSpec
+
+_IDENT_OK = staticmethod  # placeholder to keep module import cheap
+
+
+def _check_identifier(name: str, what: str) -> None:
+    if not name or not name.replace("_", "a").isalnum() or name[0].isdigit():
+        raise SchemaError(f"invalid {what} name: {name!r}")
+
+
+class Attribute:
+    """A typed attribute declaration.
+
+    Args:
+        name: identifier of the attribute.
+        type_spec: the :class:`TypeSpec` values must conform to.
+        default: value a new instance starts with (validated eagerly).
+        required: when True, ``None`` is rejected on instance creation
+            and assignment.
+        doc: human documentation shown by schema introspection.
+    """
+
+    __slots__ = ("name", "type_spec", "default", "required", "doc")
+
+    def __init__(
+        self,
+        name: str,
+        type_spec: TypeSpec,
+        default: Any = None,
+        required: bool = False,
+        doc: str = "",
+    ) -> None:
+        _check_identifier(name, "attribute")
+        if not isinstance(type_spec, TypeSpec):
+            raise SchemaError(
+                f"attribute {name!r}: type_spec must be a TypeSpec, got "
+                f"{type(type_spec).__name__}"
+            )
+        type_spec.validate(default)
+        if required and default is None:
+            # Permitted: the instance constructor must then supply a value.
+            pass
+        self.name = name
+        self.type_spec = type_spec
+        self.default = default
+        self.required = required
+        self.doc = doc
+
+    def validate(self, value: Any) -> None:
+        """Check a candidate value against type and requiredness."""
+        if value is None and self.required:
+            from ..errors import TypeCheckError
+
+            raise TypeCheckError(f"attribute {self.name!r} is required")
+        self.type_spec.validate(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        req = " required" if self.required else ""
+        return f"<Attribute {self.name}: {self.type_spec.name}{req}>"
+
+
+class Method:
+    """A method declaration: a callable plus a documented signature.
+
+    The callable receives the instance (a
+    :class:`~repro.core.instances.PObject`) as its first argument, mirroring
+    Python methods.  Return/argument types are documentation-level here;
+    POOL's type checker consults :attr:`returns` when methods appear in
+    queries (§5.1.2.3).
+    """
+
+    __slots__ = ("name", "func", "returns", "params", "doc")
+
+    def __init__(
+        self,
+        name: str,
+        func: Callable[..., Any],
+        returns: TypeSpec | None = None,
+        params: tuple[tuple[str, TypeSpec], ...] = (),
+        doc: str = "",
+    ) -> None:
+        _check_identifier(name, "method")
+        if not callable(func):
+            raise SchemaError(f"method {name!r}: func must be callable")
+        self.name = name
+        self.func = func
+        self.returns = returns
+        self.params = tuple(params)
+        self.doc = doc or (func.__doc__ or "")
+
+    def __call__(self, instance: Any, *args: Any, **kwargs: Any) -> Any:
+        return self.func(instance, *args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        sig = ", ".join(f"{n}: {t.name}" for n, t in self.params)
+        ret = self.returns.name if self.returns else "any"
+        return f"<Method {self.name}({sig}) -> {ret}>"

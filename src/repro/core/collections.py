@@ -1,0 +1,121 @@
+"""ODMG collection types: Set, Bag, List and Dictionary.
+
+The thesis's model supports ODMG collections as attribute values (§4.4.6).
+These wrappers behave like the corresponding Python built-ins but carry a
+``kind`` tag, know how to serialize themselves through an element
+:class:`~repro.core.types.TypeSpec`, and can hold object references.
+
+``PSet`` uses value semantics over hashable elements; object references
+are held as OIDs through :class:`~repro.core.identity.OidRef` so sets of
+objects hash by identity, matching ODMG semantics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .types import TypeSpec
+
+
+class PCollection:
+    """Mixin shared by the four collection kinds."""
+
+    kind: str = ""
+
+    def element_values(self) -> Iterator[Any]:
+        """Iterate the element values (for dicts: the values)."""
+        raise NotImplementedError
+
+    def to_storable(self, element: "TypeSpec") -> dict[str, Any]:
+        raise NotImplementedError
+
+    def cardinality(self) -> int:
+        """ODMG name for the element count."""
+        return len(self)  # type: ignore[arg-type]
+
+
+class PSet(set, PCollection):
+    """An unordered collection without duplicates."""
+
+    kind = "set"
+
+    def element_values(self) -> Iterator[Any]:
+        return iter(self)
+
+    def to_storable(self, element: "TypeSpec") -> dict[str, Any]:
+        return {"_c": "set", "items": [element.to_storable(v) for v in self]}
+
+    def union_with(self, other: Iterable[Any]) -> "PSet":
+        return PSet(set(self) | set(other))
+
+    def intersect_with(self, other: Iterable[Any]) -> "PSet":
+        return PSet(set(self) & set(other))
+
+    def difference_with(self, other: Iterable[Any]) -> "PSet":
+        return PSet(set(self) - set(other))
+
+
+class PBag(list, PCollection):
+    """An unordered collection allowing duplicates.
+
+    Implemented over a list; equality ignores order but respects
+    multiplicity.
+    """
+
+    kind = "bag"
+
+    def element_values(self) -> Iterator[Any]:
+        return iter(self)
+
+    def to_storable(self, element: "TypeSpec") -> dict[str, Any]:
+        return {"_c": "bag", "items": [element.to_storable(v) for v in self]}
+
+    def occurrences(self, value: Any) -> int:
+        return sum(1 for item in self if item == value)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PBag):
+            if len(self) != len(other):
+                return False
+            remaining = list(other)
+            for item in self:
+                try:
+                    remaining.remove(item)
+                except ValueError:
+                    return False
+            return True
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return NotImplemented if result is NotImplemented else not result
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+class PList(list, PCollection):
+    """An ordered collection allowing duplicates."""
+
+    kind = "list"
+
+    def element_values(self) -> Iterator[Any]:
+        return iter(self)
+
+    def to_storable(self, element: "TypeSpec") -> dict[str, Any]:
+        return {"_c": "list", "items": [element.to_storable(v) for v in self]}
+
+
+class PDict(dict, PCollection):
+    """A dictionary keyed by strings (ODMG Dictionary)."""
+
+    kind = "dict"
+
+    def element_values(self) -> Iterator[Any]:
+        return iter(self.values())
+
+    def to_storable(self, element: "TypeSpec") -> dict[str, Any]:
+        return {
+            "_c": "dict",
+            "items": [[k, element.to_storable(v)] for k, v in self.items()],
+        }

@@ -1,0 +1,123 @@
+"""The event layer (thesis §6.1.1).
+
+Every state change in the database — object creation, attribute update,
+deletion, relationship creation/removal, transaction boundaries — is
+announced on an :class:`EventBus`.  The rules layer, the index layer and
+the views layer are all subscribers; none of them is wired directly into
+the object layer, which keeps the architecture layered as in Figure 26.
+
+Events come in *before* and *after* flavours.  ``before_*`` subscribers
+may veto the change by raising; ``after_*`` subscribers observe the
+already-applied change.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .instances import PObject
+
+
+class EventKind(enum.Enum):
+    """Primitive event kinds raised by the object layer."""
+
+    BEFORE_CREATE = "before_create"
+    AFTER_CREATE = "after_create"
+    BEFORE_UPDATE = "before_update"
+    AFTER_UPDATE = "after_update"
+    BEFORE_DELETE = "before_delete"
+    AFTER_DELETE = "after_delete"
+    BEFORE_RELATE = "before_relate"
+    AFTER_RELATE = "after_relate"
+    BEFORE_UNRELATE = "before_unrelate"
+    AFTER_UNRELATE = "after_unrelate"
+    BEFORE_COMMIT = "before_commit"
+    AFTER_COMMIT = "after_commit"
+    AFTER_ABORT = "after_abort"
+    METHOD_CALL = "method_call"
+
+
+@dataclass(slots=True)
+class Event:
+    """One event instance.
+
+    Attributes:
+        kind: the primitive event kind.
+        target: the object concerned (None for transaction events).
+        class_name: name of the target's class (relationship class name
+            for relate/unrelate events).
+        attribute: attribute name for update events.
+        old_value / new_value: attribute transition for update events.
+        origin / destination: endpoint objects for relate/unrelate events.
+        payload: free-form extras (method name and args, etc.).
+    """
+
+    kind: EventKind
+    target: "PObject | None" = None
+    class_name: str = ""
+    attribute: str = ""
+    old_value: Any = None
+    new_value: Any = None
+    origin: "PObject | None" = None
+    destination: "PObject | None" = None
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+Subscriber = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe dispatcher for :class:`Event`.
+
+    Subscribers register for a set of kinds (or all kinds).  Dispatch is
+    in registration order; an exception from a ``before_*`` subscriber
+    propagates to the caller and thereby vetoes the change.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: list[tuple[frozenset[EventKind] | None, Subscriber]] = []
+        self._muted = 0
+        self.published = 0
+
+    def subscribe(
+        self,
+        handler: Subscriber,
+        kinds: frozenset[EventKind] | set[EventKind] | None = None,
+    ) -> Callable[[], None]:
+        """Register ``handler``; returns an unsubscribe callable."""
+        entry = (frozenset(kinds) if kinds is not None else None, handler)
+        self._subscribers.append(entry)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(entry)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def publish(self, event: Event) -> None:
+        """Dispatch ``event`` to all matching subscribers, in order."""
+        if self._muted:
+            return
+        self.published += 1
+        for kinds, handler in list(self._subscribers):
+            if kinds is None or event.kind in kinds:
+                handler(event)
+
+    class _Muted:
+        def __init__(self, bus: "EventBus") -> None:
+            self._bus = bus
+
+        def __enter__(self) -> None:
+            self._bus._muted += 1
+
+        def __exit__(self, *exc: object) -> None:
+            self._bus._muted -= 1
+
+    def muted(self) -> "EventBus._Muted":
+        """Context manager suppressing publication (bulk loads, recovery)."""
+        return EventBus._Muted(self)

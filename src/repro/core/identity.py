@@ -1,0 +1,88 @@
+"""Object identity: OIDs and OID allocation.
+
+Every persistent entity in Prometheus — plain objects, relationship
+instances, classifications — is identified by an *object identifier* (OID),
+a positive integer that never changes and is never reused within one
+database.  OID ``0`` is reserved as the null reference.
+
+The thesis (§4.8.1, "the reference problem") argues that references should
+be replaced by relationships; internally, however, the storage layer still
+needs a stable handle per object, which is what the OID provides.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+
+NULL_OID = 0
+
+
+@dataclass(frozen=True, slots=True)
+class OidRef:
+    """A typed wrapper marking an integer as an object reference.
+
+    Used by the serialization layer to distinguish "the integer 7" from
+    "a reference to the object whose OID is 7" inside stored records.
+    """
+
+    oid: int
+
+    def __post_init__(self) -> None:
+        if self.oid < 0:
+            raise ValueError(f"OID must be non-negative, got {self.oid}")
+
+    def __bool__(self) -> bool:
+        return self.oid != NULL_OID
+
+    def __int__(self) -> int:
+        return self.oid
+
+
+class OidAllocator:
+    """Thread-safe monotonic OID source.
+
+    The allocator starts at ``first`` (default 1) and hands out consecutive
+    integers.  The storage layer persists the high-water mark so that a
+    reopened database continues after the last allocated OID.
+    """
+
+    def __init__(self, first: int = 1) -> None:
+        if first < 1:
+            raise ValueError("first OID must be >= 1")
+        self._counter = itertools.count(first)
+        self._last = first - 1
+        self._lock = threading.Lock()
+
+    def allocate(self) -> int:
+        """Return the next unused OID."""
+        with self._lock:
+            self._last = next(self._counter)
+            return self._last
+
+    def allocate_many(self, n: int) -> range:
+        """Reserve ``n`` consecutive OIDs and return them as a range."""
+        if n < 0:
+            raise ValueError("cannot allocate a negative number of OIDs")
+        with self._lock:
+            start = self._last + 1
+            self._last = start + n - 1
+            self._counter = itertools.count(self._last + 1)
+            return range(start, start + n)
+
+    @property
+    def last_allocated(self) -> int:
+        """Highest OID handed out so far (0 if none)."""
+        return self._last
+
+    def fast_forward(self, oid: int) -> None:
+        """Ensure future allocations are strictly greater than ``oid``.
+
+        Called during database recovery with the highest OID found in the
+        log, so new objects never collide with recovered ones.
+        """
+        with self._lock:
+            if oid > self._last:
+                self._last = oid
+                self._counter = itertools.count(oid + 1)

@@ -1,0 +1,112 @@
+"""Meta-model introspection (thesis Figure 14 / Figure 28).
+
+Prometheus exposes its own schema as data: classes, attributes, methods,
+relationship classes and their semantics can all be inspected, serialized
+and compared.  The query layer uses this for type checking; the HTTP
+server exposes it to clients; the test suite uses it to assert schema
+shape.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .classes import PClass
+from .relationships import RelationshipClass
+from .schema import Schema
+from .types import CollectionTypeSpec, RefType
+
+
+def describe_type(spec: Any) -> dict[str, Any]:
+    """Describe a :class:`TypeSpec` as a plain dict."""
+    if isinstance(spec, RefType):
+        return {"kind": "ref", "target": spec.class_name}
+    if isinstance(spec, CollectionTypeSpec):
+        return {
+            "kind": "collection",
+            "collection": spec.kind,
+            "element": describe_type(spec.element),
+        }
+    return {"kind": "atomic", "name": spec.name}
+
+
+def describe_class(pclass: PClass) -> dict[str, Any]:
+    """Describe one class metaobject as a plain dict."""
+    info: dict[str, Any] = {
+        "name": pclass.name,
+        "abstract": pclass.abstract,
+        "doc": pclass.doc,
+        "superclasses": [s.name for s in pclass.superclasses],
+        "attributes": {
+            name: {
+                "type": describe_type(attr.type_spec),
+                "required": attr.required,
+                "doc": attr.doc,
+            }
+            for name, attr in pclass.all_attributes().items()
+        },
+        "methods": sorted(pclass.all_methods()),
+        "constraints": [rule.name for rule in pclass.constraints],
+    }
+    if isinstance(pclass, RelationshipClass):
+        sem = pclass.semantics
+        info["relationship"] = {
+            "origin": pclass.origin_class_name,
+            "destination": pclass.destination_class_name,
+            "kind": sem.kind.value,
+            "exclusive": sem.exclusive,
+            "shareable": sem.shareable,
+            "lifetime_dependent": sem.lifetime_dependent,
+            "constant": sem.constant,
+            "directed": sem.directed,
+            "inherited_attributes": list(sem.inherited_attributes),
+            "cardinality": {
+                "min_out": sem.cardinality.min_out,
+                "max_out": sem.cardinality.max_out,
+                "min_in": sem.cardinality.min_in,
+                "max_in": sem.cardinality.max_in,
+            },
+        }
+    return info
+
+
+def describe_schema(schema: Schema) -> dict[str, Any]:
+    """Snapshot the whole schema (classes + instance counts)."""
+    return {
+        "name": schema.name,
+        "classes": {
+            pclass.name: describe_class(pclass) for pclass in schema.classes()
+        },
+        "counts": {
+            pclass.name: schema.count(pclass.name, polymorphic=False)
+            for pclass in schema.classes()
+        },
+    }
+
+
+def diff_schemas(a: Schema, b: Schema) -> list[str]:
+    """Human-readable structural differences between two schemas."""
+    da, db = describe_schema(a)["classes"], describe_schema(b)["classes"]
+    problems: list[str] = []
+    for name in sorted(set(da) | set(db)):
+        if name not in da:
+            problems.append(f"class {name!r} only in {b.name}")
+        elif name not in db:
+            problems.append(f"class {name!r} only in {a.name}")
+        else:
+            ca, cb = da[name], db[name]
+            if ca["superclasses"] != cb["superclasses"]:
+                problems.append(f"class {name!r}: different superclasses")
+            attrs_a, attrs_b = set(ca["attributes"]), set(cb["attributes"])
+            for missing in sorted(attrs_a - attrs_b):
+                problems.append(f"class {name!r}: attribute {missing!r} only in {a.name}")
+            for missing in sorted(attrs_b - attrs_a):
+                problems.append(f"class {name!r}: attribute {missing!r} only in {b.name}")
+            for common in sorted(attrs_a & attrs_b):
+                if ca["attributes"][common]["type"] != cb["attributes"][common]["type"]:
+                    problems.append(
+                        f"class {name!r}: attribute {common!r} has different types"
+                    )
+            if ca.get("relationship") != cb.get("relationship"):
+                problems.append(f"class {name!r}: different relationship semantics")
+    return problems

@@ -1,0 +1,326 @@
+"""Prometheus ODL: textual schema definition (ODMG's ODL role, §4.2).
+
+The thesis's model is ODMG-based, and ODMG schemas are declared in ODL.
+This module provides the Prometheus dialect, covering the extended
+model's features — relationship classes with their full semantics::
+
+    abstract class TaxonomicObject {};
+
+    class Specimen extends TaxonomicObject {
+        attribute string collector;
+        attribute date collected;
+        attribute set<string> duplicates;
+    };
+
+    class Name {
+        attribute string epithet required;
+        attribute integer year default 1753;
+    };
+
+    relationship HasType (Name -> Specimen) {
+        kind association;
+        attribute string type_kind required;
+        inherit type_kind;
+        participant designator Name;
+    };
+
+    relationship Includes (Name -> Specimen) {
+        kind aggregation;
+        shareable;
+        cardinality max_out 100;
+    };
+
+Declarations are processed in order (superclasses before subclasses,
+matching the thesis's "schema is code" stance); ``define_schema`` applies
+a whole document to a :class:`~repro.core.schema.Schema`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from ..errors import SchemaError
+from . import types as T
+from .attributes import Attribute
+from .classes import PClass
+from .relationships import RelationshipClass
+from .schema import Schema
+from .semantics import Cardinality, RelationshipSemantics, RelKind
+
+
+class OdlError(SchemaError):
+    """ODL text could not be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*|\#[^\n]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>->|[{}();,<>=])
+    """,
+    re.VERBOSE,
+)
+
+_ATOMIC_TYPES = {
+    "string": T.STRING,
+    "integer": T.INTEGER,
+    "int": T.INTEGER,
+    "float": T.FLOAT,
+    "double": T.FLOAT,
+    "boolean": T.BOOLEAN,
+    "bool": T.BOOLEAN,
+    "bytes": T.BYTES,
+    "date": T.DATE,
+    "datetime": T.DATETIME,
+    "any": T.ANY,
+}
+
+_COLLECTIONS = {"set": T.set_of, "bag": T.bag_of, "list": T.list_of,
+                "dict": T.dict_of}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise OdlError(f"ODL: unexpected character {text[pos]!r} at {pos}")
+        pos = match.end()
+        kind = match.lastgroup or ""
+        if kind == "ws":
+            continue
+        tokens.append((kind, match.group()))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _OdlParser:
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._pos = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _peek(self) -> tuple[str, str]:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> tuple[str, str]:
+        token = self._tokens[self._pos]
+        if token[0] != "eof":
+            self._pos += 1
+        return token
+
+    def _expect(self, value: str) -> None:
+        kind, text = self._peek()
+        if text != value:
+            raise OdlError(f"ODL: expected {value!r}, got {text!r}")
+        self._advance()
+
+    def _ident(self, what: str) -> str:
+        kind, text = self._peek()
+        if kind != "ident":
+            raise OdlError(f"ODL: expected {what}, got {text!r}")
+        self._advance()
+        return text
+
+    def _match(self, value: str) -> bool:
+        if self._peek()[1] == value:
+            self._advance()
+            return True
+        return False
+
+    # -- declarations ------------------------------------------------------------
+
+    def parse(self) -> list[PClass]:
+        declarations: list[PClass] = []
+        while self._peek()[0] != "eof":
+            kind, text = self._peek()
+            if text == "abstract" or text == "class":
+                declarations.append(self._class_decl())
+            elif text == "relationship":
+                declarations.append(self._relationship_decl())
+            else:
+                raise OdlError(
+                    f"ODL: expected 'class' or 'relationship', got {text!r}"
+                )
+        return declarations
+
+    def _class_decl(self) -> PClass:
+        abstract = self._match("abstract")
+        self._expect("class")
+        name = self._ident("class name")
+        supers: list[str] = []
+        if self._match("extends"):
+            supers.append(self._ident("superclass"))
+            while self._match(","):
+                supers.append(self._ident("superclass"))
+        self._expect("{")
+        attributes: list[Attribute] = []
+        while not self._match("}"):
+            attributes.append(self._attribute_decl())
+        self._expect(";")
+        return PClass(
+            name,
+            attributes=attributes,
+            superclasses=tuple(supers),
+            abstract=abstract,
+        )
+
+    def _attribute_decl(self) -> Attribute:
+        self._expect("attribute")
+        type_spec = self._type()
+        attr_name = self._ident("attribute name")
+        required = False
+        default: Any = None
+        while not self._match(";"):
+            kind, text = self._peek()
+            if text == "required":
+                self._advance()
+                required = True
+            elif text == "default":
+                self._advance()
+                default = self._literal()
+            else:
+                raise OdlError(
+                    f"ODL: unexpected token {text!r} in attribute declaration"
+                )
+        return Attribute(attr_name, type_spec, default=default,
+                         required=required)
+
+    def _type(self) -> T.TypeSpec:
+        name = self._ident("type")
+        if name in _ATOMIC_TYPES:
+            return _ATOMIC_TYPES[name]
+        if name in _COLLECTIONS:
+            self._expect("<")
+            element = self._type()
+            self._expect(">")
+            return _COLLECTIONS[name](element)
+        if name == "ref":
+            self._expect("<")
+            target = self._ident("class name")
+            self._expect(">")
+            return T.ref(target)
+        raise OdlError(f"ODL: unknown type {name!r}")
+
+    def _literal(self) -> Any:
+        kind, text = self._advance()
+        if kind == "string":
+            return text[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+        if kind == "number":
+            return float(text) if "." in text else int(text)
+        if text == "true":
+            return True
+        if text == "false":
+            return False
+        if text == "null":
+            return None
+        raise OdlError(f"ODL: expected literal, got {text!r}")
+
+    def _relationship_decl(self) -> RelationshipClass:
+        self._expect("relationship")
+        name = self._ident("relationship name")
+        self._expect("(")
+        origin = self._ident("origin class")
+        self._expect("->")
+        destination = self._ident("destination class")
+        self._expect(")")
+        supers: list[str] = []
+        if self._match("extends"):
+            supers.append(self._ident("superclass"))
+            while self._match(","):
+                supers.append(self._ident("superclass"))
+        self._expect("{")
+        attributes: list[Attribute] = []
+        participants: dict[str, str] = {}
+        inherited: list[str] = []
+        flags: dict[str, Any] = {
+            "kind": RelKind.ASSOCIATION,
+            "exclusive": False,
+            "shareable": False,
+            "lifetime_dependent": False,
+            "constant": False,
+            "exclusivity_group": "",
+        }
+        cardinality: dict[str, int] = {}
+        while not self._match("}"):
+            kind, text = self._peek()
+            if text == "attribute":
+                attributes.append(self._attribute_decl())
+                continue
+            self._advance()
+            if text == "kind":
+                value = self._ident("'aggregation' or 'association'")
+                try:
+                    flags["kind"] = RelKind(value)
+                except ValueError:
+                    raise OdlError(f"ODL: unknown relationship kind {value!r}")
+            elif text in ("exclusive", "shareable", "lifetime_dependent",
+                          "constant"):
+                flags[text] = True
+            elif text == "exclusivity_group":
+                kind2, group = self._advance()
+                if kind2 != "string":
+                    raise OdlError("ODL: exclusivity_group needs a string")
+                flags["exclusivity_group"] = group[1:-1]
+            elif text == "cardinality":
+                bound = self._ident("cardinality bound")
+                if bound not in ("min_out", "max_out", "min_in", "max_in"):
+                    raise OdlError(f"ODL: unknown cardinality bound {bound!r}")
+                kind2, value = self._advance()
+                if kind2 != "number":
+                    raise OdlError("ODL: cardinality bound needs a number")
+                cardinality[bound] = int(value)
+            elif text == "inherit":
+                inherited.append(self._ident("attribute name"))
+            elif text == "participant":
+                role = self._ident("participant role")
+                participants[role] = self._ident("participant class")
+            else:
+                raise OdlError(
+                    f"ODL: unexpected token {text!r} in relationship body"
+                )
+            self._expect(";")
+        self._expect(";")
+        for inherited_name in inherited:
+            if inherited_name not in {a.name for a in attributes}:
+                raise OdlError(
+                    f"ODL: {name}: inherit names unknown attribute "
+                    f"{inherited_name!r}"
+                )
+        semantics = RelationshipSemantics(
+            kind=flags["kind"],
+            exclusive=flags["exclusive"],
+            shareable=flags["shareable"],
+            lifetime_dependent=flags["lifetime_dependent"],
+            constant=flags["constant"],
+            inherited_attributes=tuple(inherited),
+            cardinality=Cardinality(**cardinality),
+            exclusivity_group=flags["exclusivity_group"],
+        )
+        return RelationshipClass(
+            name,
+            origin,
+            destination,
+            semantics=semantics,
+            attributes=attributes,
+            superclasses=tuple(supers),
+            participants=participants,
+        )
+
+
+def parse_odl(text: str) -> list[PClass]:
+    """Parse ODL text into unregistered class metaobjects, in order."""
+    return _OdlParser(text).parse()
+
+
+def define_schema(schema: Schema, text: str) -> list[PClass]:
+    """Parse ODL and register every declaration on ``schema``."""
+    declarations = parse_odl(text)
+    for declaration in declarations:
+        schema.register_class(declaration)
+    return declarations

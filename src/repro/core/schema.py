@@ -1,0 +1,650 @@
+"""The schema: class registry, object table, extents and transactions.
+
+A :class:`Schema` is the live database session.  It owns:
+
+* the **class registry** — Prometheus classes and relationship classes,
+  rooted at the implicit ``Object`` class (ODMG's inheritance root, §4.2);
+* the **object table** — every live :class:`~repro.core.instances.PObject`
+  handle, keyed by OID, loaded eagerly from the persistent store on open;
+* **extents** — per-class instance sets, queried polymorphically;
+* the **relationship registry** — edge indexes and semantics enforcement;
+* the **event bus** — every mutation is announced for rules/views/indexes;
+* the **undo journal** — in-memory rollback for :meth:`abort`, independent
+  of whether a persistent store is attached;
+* the **synonym registry** (§4.5).
+
+Persistence model: schema *definitions* live in application code (the
+ODMG ODL role); the store holds *instances* only.  ``commit()`` writes all
+dirty objects and tombstones in one storage transaction; ``abort()``
+rolls back in-memory state via the journal.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from ..errors import (
+    InstanceDeletedError,
+    SchemaError,
+    UnknownOidError,
+)
+from ..storage.store import ObjectStore
+from .attributes import Attribute
+from .classes import PClass
+from .events import Event, EventBus, EventKind
+from .identity import OidAllocator
+from .instances import PObject
+from .relationships import (
+    DESTINATION_KEY,
+    ORIGIN_KEY,
+    PARTICIPANTS_KEY,
+    RelationshipClass,
+    RelationshipInstance,
+    RelationshipRegistry,
+)
+from .synonyms import SynonymRegistry
+from .types import RefType
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+_META_CLASS = "__meta__"
+
+
+class _Journal:
+    """Undo log for in-memory rollback between commits."""
+
+    def __init__(self) -> None:
+        self._entries: list[Callable[[], None]] = []
+
+    def record(self, undo: Callable[[], None]) -> None:
+        self._entries.append(undo)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def rollback(self) -> None:
+        for undo in reversed(self._entries):
+            undo()
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class Schema:
+    """A live Prometheus database session.
+
+    Args:
+        store: persistent backing store, or None for a purely in-memory
+            database (examples, tests, raw-model benchmarks).
+        name: label used in diagnostics.
+    """
+
+    def __init__(self, store: ObjectStore | None = None, name: str = "db") -> None:
+        self.name = name
+        self.store = store
+        self.events = EventBus()
+        self.synonyms = SynonymRegistry()
+        #: Free-form storable payloads persisted with the schema metadata
+        #: record; higher layers (classifications, views) keep their
+        #: registries here.
+        self.meta_extras: dict[str, Any] = {}
+        self.relationships = RelationshipRegistry(self)
+        self._classes: dict[str, PClass] = {}
+        self._objects: dict[int, PObject] = {}
+        self._extents: dict[str, set[int]] = {}
+        self._dirty: dict[int, PObject] = {}
+        self._pending_deletes: dict[int, PObject] = {}
+        self._journal = _Journal()
+        self._allocator = OidAllocator()
+        self._meta_oid: int | None = None
+        root = PClass("Object", abstract=True, doc="ODMG inheritance root")
+        self._register_root(root)
+        if store is not None:
+            self._allocator = None  # type: ignore[assignment]  # store allocates
+
+    # ------------------------------------------------------------------
+    # class registry
+    # ------------------------------------------------------------------
+
+    def _register_root(self, root: PClass) -> None:
+        root._bind(self, ())
+        self._classes[root.name] = root
+        self._extents[root.name] = set()
+
+    def register_class(self, pclass: PClass) -> PClass:
+        """Register a class (or relationship class) with the schema.
+
+        Superclass names must already be registered.  Returns the class
+        for chaining.
+        """
+        if pclass.name in self._classes:
+            raise SchemaError(f"class {pclass.name!r} already registered")
+        super_names = pclass.superclass_names or ("Object",)
+        supers: list[PClass] = []
+        for super_name in super_names:
+            try:
+                sup = self._classes[super_name]
+            except KeyError:
+                raise SchemaError(
+                    f"class {pclass.name!r}: unknown superclass "
+                    f"{super_name!r}"
+                ) from None
+            supers.append(sup)
+        if isinstance(pclass, RelationshipClass):
+            for sup in supers:
+                if sup.name != "Object" and not isinstance(
+                    sup, RelationshipClass
+                ):
+                    raise SchemaError(
+                        f"relationship class {pclass.name!r} cannot inherit "
+                        f"from plain class {sup.name!r}"
+                    )
+        else:
+            for sup in supers:
+                if isinstance(sup, RelationshipClass):
+                    raise SchemaError(
+                        f"plain class {pclass.name!r} cannot inherit from "
+                        f"relationship class {sup.name!r}"
+                    )
+        pclass._bind(self, tuple(supers))
+        self._classes[pclass.name] = pclass
+        self._extents[pclass.name] = set()
+        return pclass
+
+    def define_class(
+        self,
+        name: str,
+        attributes: list[Attribute] | tuple[Attribute, ...] = (),
+        **kwargs: Any,
+    ) -> PClass:
+        """Convenience: build and register a :class:`PClass` in one call."""
+        return self.register_class(PClass(name, attributes=attributes, **kwargs))
+
+    def define_relationship(
+        self,
+        name: str,
+        origin: str,
+        destination: str,
+        **kwargs: Any,
+    ) -> RelationshipClass:
+        """Convenience: build and register a :class:`RelationshipClass`."""
+        return self.register_class(  # type: ignore[return-value]
+            RelationshipClass(name, origin, destination, **kwargs)
+        )
+
+    def get_class(self, name: str) -> PClass:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise SchemaError(f"unknown class {name!r}") from None
+
+    def has_class(self, name: str) -> bool:
+        return name in self._classes
+
+    def classes(self) -> Iterator[PClass]:
+        return iter(self._classes.values())
+
+    def relationship_classes(self) -> Iterator[RelationshipClass]:
+        for klass in self._classes.values():
+            if isinstance(klass, RelationshipClass):
+                yield klass
+
+    # ------------------------------------------------------------------
+    # OIDs
+    # ------------------------------------------------------------------
+
+    def _new_oid(self) -> int:
+        if self.store is not None:
+            return self.store.new_oid()
+        return self._allocator.allocate()
+
+    # ------------------------------------------------------------------
+    # object lifecycle
+    # ------------------------------------------------------------------
+
+    def create(self, class_name: str, **attrs: Any) -> PObject:
+        """Create a new instance of ``class_name`` with initial attributes."""
+        pclass = self.get_class(class_name)
+        if pclass.abstract:
+            raise SchemaError(f"class {class_name!r} is abstract")
+        if isinstance(pclass, RelationshipClass):
+            raise SchemaError(
+                f"use relate() to create instances of relationship class "
+                f"{class_name!r}"
+            )
+        oid = self._new_oid()
+        obj = PObject(oid, pclass, self, pclass.defaults())
+        self.events.publish(
+            Event(
+                kind=EventKind.BEFORE_CREATE,
+                target=obj,
+                class_name=class_name,
+                payload={"attrs": attrs},
+            )
+        )
+        self._install(obj)
+        try:
+            for name, value in attrs.items():
+                obj.set(name, value)
+            # Required attributes without defaults must now hold a value.
+            for name, attr in pclass.all_attributes().items():
+                if attr.required and obj.get(name) is None:
+                    raise SchemaError(
+                        f"{class_name}.{name} is required but was not given"
+                    )
+            self.events.publish(
+                Event(
+                    kind=EventKind.AFTER_CREATE,
+                    target=obj,
+                    class_name=class_name,
+                )
+            )
+        except Exception:
+            self._uninstall(obj)
+            raise
+        self._journal.record(lambda: self._uninstall(obj))
+        return obj
+
+    def _install(self, obj: PObject) -> None:
+        self._objects[obj.oid] = obj
+        self._extents[obj.pclass.name].add(obj.oid)
+        self._dirty[obj.oid] = obj
+        obj._dirty = True
+
+    def _uninstall(self, obj: PObject) -> None:
+        self._objects.pop(obj.oid, None)
+        self._extents[obj.pclass.name].discard(obj.oid)
+        self._dirty.pop(obj.oid, None)
+        obj._mark_deleted()
+
+    def get_object(self, oid: int) -> PObject:
+        """Return the live handle for ``oid``."""
+        try:
+            obj = self._objects[oid]
+        except KeyError:
+            raise UnknownOidError(oid) from None
+        if obj.deleted:
+            raise InstanceDeletedError(f"object {oid} is deleted")
+        return obj
+
+    def has_object(self, oid: int) -> bool:
+        obj = self._objects.get(oid)
+        return obj is not None and not obj.deleted
+
+    def delete(self, obj: PObject, cascade: bool = True) -> None:
+        """Delete an object, honouring lifetime dependency (§4.4.4).
+
+        All relationship instances touching the object are removed.  For
+        each outgoing edge of a *lifetime-dependent* aggregation class,
+        the destination part is deleted too (recursively) — unless
+        ``cascade`` is False, in which case a dependent part blocks the
+        deletion with an error.
+        """
+        if obj.deleted:
+            return
+        if isinstance(obj, RelationshipInstance):
+            self.unrelate(obj)
+            return
+        self.events.publish(
+            Event(
+                kind=EventKind.BEFORE_DELETE,
+                target=obj,
+                class_name=obj.pclass.name,
+            )
+        )
+        dependents: list[PObject] = []
+        for rel in self.relationships.outgoing(obj.oid):
+            if rel.relationship_class.semantics.lifetime_dependent:
+                if not cascade:
+                    raise SchemaError(
+                        f"object {obj.oid} has lifetime-dependent parts; "
+                        "delete with cascade=True"
+                    )
+                dependents.append(rel.destination_object())
+        for rel in self.relationships.touching(obj.oid):
+            self.unrelate(rel, _force=True)
+        self._remove_object(obj)
+        for part in dependents:
+            # A shared part could have been reached twice; skip dead ones.
+            if not part.deleted:
+                self.delete(part, cascade=True)
+        self.events.publish(
+            Event(
+                kind=EventKind.AFTER_DELETE,
+                target=obj,
+                class_name=obj.pclass.name,
+            )
+        )
+
+    def _remove_object(self, obj: PObject) -> None:
+        self._extents[obj.pclass.name].discard(obj.oid)
+        self._dirty.pop(obj.oid, None)
+        was_persisted = self.store is not None and obj.oid in self.store
+        if was_persisted:
+            self._pending_deletes[obj.oid] = obj
+        self._objects.pop(obj.oid, None)
+        obj._mark_deleted()
+        self.synonyms.forget(obj.oid)
+
+        def undo() -> None:
+            obj._deleted = False
+            self._objects[obj.oid] = obj
+            self._extents[obj.pclass.name].add(obj.oid)
+            self._dirty[obj.oid] = obj
+            self._pending_deletes.pop(obj.oid, None)
+
+        self._journal.record(undo)
+
+    # ------------------------------------------------------------------
+    # relationships
+    # ------------------------------------------------------------------
+
+    def relate(
+        self,
+        relationship: str,
+        origin: PObject,
+        destination: PObject,
+        participants: dict[str, PObject] | None = None,
+        **attrs: Any,
+    ) -> RelationshipInstance:
+        """Create a relationship instance origin → destination.
+
+        ``participants`` fills the named extra endpoints of an n-ary
+        relationship class (Figure 10's dotted arrows).
+        """
+        relclass = self.get_class(relationship)
+        if not isinstance(relclass, RelationshipClass):
+            raise SchemaError(f"{relationship!r} is not a relationship class")
+        if relclass.abstract:
+            raise SchemaError(f"relationship class {relationship!r} is abstract")
+        origin._require_live()
+        destination._require_live()
+        for obj in (participants or {}).values():
+            obj._require_live()
+        self.relationships.check_creation(
+            relclass, origin, destination, participants
+        )
+        self.events.publish(
+            Event(
+                kind=EventKind.BEFORE_RELATE,
+                class_name=relationship,
+                origin=origin,
+                destination=destination,
+                payload={"attrs": attrs},
+            )
+        )
+        oid = self._new_oid()
+        rel = RelationshipInstance(
+            oid,
+            relclass,
+            self,
+            relclass.defaults(),
+            origin_oid=origin.oid,
+            destination_oid=destination.oid,
+            participant_oids={
+                role: obj.oid for role, obj in (participants or {}).items()
+            },
+        )
+        self._objects[oid] = rel
+        self._extents[relclass.name].add(oid)
+        self._dirty[oid] = rel
+        rel._dirty = True
+        self.relationships.index(rel)
+        try:
+            # Constant relationship classes still allow initial attributes.
+            for name, value in attrs.items():
+                PObject.set(rel, name, value)
+            self.events.publish(
+                Event(
+                    kind=EventKind.AFTER_RELATE,
+                    target=rel,
+                    class_name=relationship,
+                    origin=origin,
+                    destination=destination,
+                )
+            )
+        except Exception:
+            self.relationships.unindex(rel)
+            self._uninstall(rel)
+            raise
+
+        def undo() -> None:
+            self.relationships.unindex(rel)
+            self._uninstall(rel)
+
+        self._journal.record(undo)
+        return rel
+
+    def unrelate(self, rel: RelationshipInstance, _force: bool = False) -> None:
+        """Remove a relationship instance (checks constancy unless forced).
+
+        ``_force`` is used internally when deleting an endpoint object:
+        an object deletion removes even constant edges, since a dangling
+        edge would be worse.
+        """
+        if rel.deleted:
+            return
+        if not _force:
+            self.relationships.check_removal(rel)
+        self.events.publish(
+            Event(
+                kind=EventKind.BEFORE_UNRELATE,
+                target=rel,
+                class_name=rel.pclass.name,
+                origin=self._objects.get(rel.origin_oid),
+                destination=self._objects.get(rel.destination_oid),
+            )
+        )
+        self.relationships.unindex(rel)
+        self._extents[rel.pclass.name].discard(rel.oid)
+        self._dirty.pop(rel.oid, None)
+        if self.store is not None and rel.oid in self.store:
+            self._pending_deletes[rel.oid] = rel
+        self._objects.pop(rel.oid, None)
+        rel._mark_deleted()
+
+        def undo() -> None:
+            rel._deleted = False
+            self._objects[rel.oid] = rel
+            self._extents[rel.pclass.name].add(rel.oid)
+            self._dirty[rel.oid] = rel
+            self._pending_deletes.pop(rel.oid, None)
+            self.relationships.index(rel)
+
+        self._journal.record(undo)
+        self.events.publish(
+            Event(
+                kind=EventKind.AFTER_UNRELATE,
+                target=rel,
+                class_name=rel.pclass.name,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # extents
+    # ------------------------------------------------------------------
+
+    def extent(self, class_name: str, polymorphic: bool = True) -> list[PObject]:
+        """Instances of ``class_name`` (and subclasses unless disabled)."""
+        pclass = self.get_class(class_name)
+        oids: set[int] = set()
+        if polymorphic:
+            for klass in pclass.descendants():
+                oids |= self._extents.get(klass.name, set())
+        else:
+            oids |= self._extents.get(class_name, set())
+        return [self._objects[oid] for oid in sorted(oids) if oid in self._objects]
+
+    def count(self, class_name: str, polymorphic: bool = True) -> int:
+        pclass = self.get_class(class_name)
+        if polymorphic:
+            return sum(
+                len(self._extents.get(k.name, ())) for k in pclass.descendants()
+            )
+        return len(self._extents.get(class_name, ()))
+
+    def all_objects(self) -> Iterator[PObject]:
+        for oid in sorted(self._objects):
+            yield self._objects[oid]
+
+    # ------------------------------------------------------------------
+    # dirtiness / transactions
+    # ------------------------------------------------------------------
+
+    def _note_dirty(self, obj: PObject) -> None:
+        self._dirty[obj.oid] = obj
+
+    def _journal_update(self, obj: PObject, attr: str, old: Any) -> None:
+        def undo() -> None:
+            if not obj.deleted:
+                obj._values[attr] = old
+
+        self._journal.record(undo)
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    def commit(self) -> None:
+        """Persist all pending changes; clears the undo journal."""
+        self.events.publish(Event(kind=EventKind.BEFORE_COMMIT))
+        if self.store is not None and (
+            self._dirty or self._pending_deletes or self._meta_dirty()
+        ):
+            with self.store.begin() as txn:
+                for obj in self._dirty.values():
+                    txn.write(obj.oid, self._to_record(obj))
+                for oid in self._pending_deletes:
+                    if oid in self.store:
+                        txn.delete(oid)
+                self._write_meta(txn)
+        for obj in self._dirty.values():
+            obj._mark_clean()
+        self._dirty.clear()
+        self._pending_deletes.clear()
+        self._journal.clear()
+        self.events.publish(Event(kind=EventKind.AFTER_COMMIT))
+
+    def abort(self) -> None:
+        """Discard all pending changes, restoring in-memory state."""
+        self._journal.rollback()
+        for obj in list(self._dirty.values()):
+            obj._mark_clean()
+        self._dirty.clear()
+        self._pending_deletes.clear()
+        self.events.publish(Event(kind=EventKind.AFTER_ABORT))
+
+    # ------------------------------------------------------------------
+    # persistence mapping
+    # ------------------------------------------------------------------
+
+    def _to_record(self, obj: PObject) -> dict[str, Any]:
+        values: dict[str, Any] = {}
+        for name, attr in obj.pclass.all_attributes().items():
+            raw = obj._values.get(name)
+            values[name] = attr.type_spec.to_storable(raw)
+        record: dict[str, Any] = {"class": obj.pclass.name, "values": values}
+        if isinstance(obj, RelationshipInstance):
+            record[ORIGIN_KEY] = obj.origin_oid
+            record[DESTINATION_KEY] = obj.destination_oid
+            if obj.participant_oids:
+                record[PARTICIPANTS_KEY] = dict(obj.participant_oids)
+        return record
+
+    def _from_record(self, oid: int, record: dict[str, Any]) -> PObject:
+        pclass = self.get_class(record["class"])
+        values: dict[str, Any] = {}
+        for name, attr in pclass.all_attributes().items():
+            raw = record["values"].get(name)
+            if isinstance(attr.type_spec, RefType):
+                values[name] = raw  # keep OidRef; resolve via get_ref
+            else:
+                values[name] = attr.type_spec.from_storable(raw, self)
+        if isinstance(pclass, RelationshipClass):
+            stored_participants = record.get(PARTICIPANTS_KEY) or {}
+            return RelationshipInstance(
+                oid,
+                pclass,
+                self,
+                values,
+                origin_oid=int(record[ORIGIN_KEY]),
+                destination_oid=int(record[DESTINATION_KEY]),
+                participant_oids={
+                    str(role): int(p_oid)
+                    for role, p_oid in stored_participants.items()
+                },
+            )
+        return PObject(oid, pclass, self, values)
+
+    def _meta_dirty(self) -> bool:
+        return (
+            bool(self.synonyms.sets())
+            or bool(self.meta_extras)
+            or self._meta_oid is not None
+        )
+
+    def _write_meta(self, txn: Any) -> None:
+        data = self.synonyms.to_storable()
+        if not data and not self.meta_extras and self._meta_oid is None:
+            return
+        if self._meta_oid is None:
+            self._meta_oid = self.store.new_oid()  # type: ignore[union-attr]
+        txn.write(
+            self._meta_oid,
+            {
+                "class": _META_CLASS,
+                "synonyms": data,
+                "extras": dict(self.meta_extras),
+            },
+        )
+
+    def load_all(self) -> int:
+        """Load every stored object into the session (call after classes
+        are registered).  Returns the number of objects loaded."""
+        if self.store is None:
+            return 0
+        loaded = 0
+        relationship_instances: list[RelationshipInstance] = []
+        with self.events.muted():
+            for oid, record in self.store.items():
+                if record.get("class") == _META_CLASS:
+                    self._meta_oid = oid
+                    self.synonyms.load_storable(record.get("synonyms", []))
+                    extras = record.get("extras", {})
+                    if isinstance(extras, dict):
+                        self.meta_extras.update(extras)
+                    continue
+                obj = self._from_record(oid, record)
+                self._objects[oid] = obj
+                self._extents[obj.pclass.name].add(oid)
+                if isinstance(obj, RelationshipInstance):
+                    relationship_instances.append(obj)
+                loaded += 1
+            for rel in relationship_instances:
+                self.relationships.index(rel)
+        return loaded
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+
+    def check_integrity(self) -> list[str]:
+        """Deferred integrity check: cardinality minima, dangling edges."""
+        problems = self.relationships.minimum_cardinality_violations()
+        for klass in self.relationship_classes():
+            for rel in self.relationships.instances_of(klass.name, polymorphic=False):
+                for endpoint in (rel.origin_oid, rel.destination_oid):
+                    if not self.has_object(endpoint):
+                        problems.append(
+                            f"{klass.name} instance {rel.oid}: dangling "
+                            f"endpoint {endpoint}"
+                        )
+        return problems
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<Schema {self.name}: {len(self._classes)} classes, "
+            f"{len(self._objects)} objects>"
+        )

@@ -1,0 +1,233 @@
+"""Built-in relationship semantics and their allowed combinations.
+
+The thesis gives relationships a set of built-in attributes (§4.4.3) and
+constraints (§4.4.4) whose combinations are restricted (Table 3, "Allowed
+combinations of behaviours").  This module declares those behaviours,
+validates declared combinations, and can enumerate the full combination
+table, which the test suite prints as the Table 3 reproduction.
+
+Behaviours
+----------
+* **kind** — ``AGGREGATION`` (whole/part, Figure 17) or ``ASSOCIATION``.
+* **exclusive** (Figure 15) — a destination object may be the destination
+  of at most one live instance of the relationship class (or of any class
+  in the same *exclusivity group*).  Only meaningful for aggregations: a
+  part belongs to at most one whole.
+* **shareable** (Figure 16) — the explicit opposite: a destination may be
+  referenced by many origins.  Mutually exclusive with ``exclusive``.
+* **lifetime_dependent** — deleting the whole deletes its parts.
+  Aggregations only, and incompatible with ``shareable`` (a shared part
+  cannot die with one of its owners).
+* **constant** — instances cannot be re-targeted or deleted once created
+  (ODMG "changeability" restricted to frozen).
+* **inherited_attributes** (§4.4.5) — names of relationship attributes
+  that destination objects acquire as role attributes, after ADAM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Iterator
+
+from ..errors import SemanticsError
+
+UNBOUNDED = -1
+
+
+class RelKind(enum.Enum):
+    """The two relationship kinds of the Prometheus model (§4.3)."""
+
+    AGGREGATION = "aggregation"
+    ASSOCIATION = "association"
+
+
+class Behaviour(enum.Enum):
+    """Named built-in behaviours, for table generation and diagnostics."""
+
+    EXCLUSIVE = "exclusive"
+    SHAREABLE = "shareable"
+    LIFETIME_DEPENDENT = "lifetime_dependent"
+    CONSTANT = "constant"
+    ATTRIBUTE_INHERITANCE = "attribute_inheritance"
+
+
+@dataclass(frozen=True)
+class Cardinality:
+    """Bounds on instances per endpoint.
+
+    ``max_out`` limits outgoing instances per origin object; ``max_in``
+    limits incoming instances per destination object.  ``UNBOUNDED`` (-1)
+    means no limit.  Minima are checked by the deferred integrity check,
+    not on every mutation (a graph under construction is legitimately
+    incomplete).
+    """
+
+    min_out: int = 0
+    max_out: int = UNBOUNDED
+    min_in: int = 0
+    max_in: int = UNBOUNDED
+
+    def __post_init__(self) -> None:
+        for low, high, label in (
+            (self.min_out, self.max_out, "out"),
+            (self.min_in, self.max_in, "in"),
+        ):
+            if low < 0:
+                raise SemanticsError(f"min_{label} must be >= 0")
+            if high != UNBOUNDED and high < low:
+                raise SemanticsError(
+                    f"max_{label} ({high}) below min_{label} ({low})"
+                )
+
+    @classmethod
+    def many_to_many(cls) -> "Cardinality":
+        return cls()
+
+    @classmethod
+    def one_to_many(cls) -> "Cardinality":
+        """Each destination has at most one origin (a tree edge)."""
+        return cls(max_in=1)
+
+    @classmethod
+    def one_to_one(cls) -> "Cardinality":
+        return cls(max_out=1, max_in=1)
+
+
+@dataclass(frozen=True)
+class RelationshipSemantics:
+    """Declared behaviour bundle for a relationship class.
+
+    Raises :class:`SemanticsError` from ``__post_init__`` if the
+    combination is not in the allowed set (Table 3).
+    """
+
+    kind: RelKind = RelKind.ASSOCIATION
+    exclusive: bool = False
+    shareable: bool = False
+    lifetime_dependent: bool = False
+    constant: bool = False
+    inherited_attributes: tuple[str, ...] = ()
+    cardinality: Cardinality = field(default_factory=Cardinality)
+    directed: bool = True
+    exclusivity_group: str = ""
+
+    def __post_init__(self) -> None:
+        problem = combination_problem(
+            self.kind,
+            exclusive=self.exclusive,
+            shareable=self.shareable,
+            lifetime_dependent=self.lifetime_dependent,
+        )
+        if problem:
+            raise SemanticsError(problem)
+        if self.exclusivity_group and not self.exclusive:
+            raise SemanticsError(
+                "exclusivity_group requires exclusive=True"
+            )
+        if self.exclusive and self.cardinality.max_in not in (UNBOUNDED, 1):
+            raise SemanticsError(
+                "exclusive relationships already imply max_in == 1; "
+                f"declared max_in={self.cardinality.max_in} conflicts"
+            )
+
+    @property
+    def effective_max_in(self) -> int:
+        """Incoming bound after applying exclusivity (exclusive ⇒ 1)."""
+        if self.exclusive:
+            return 1
+        return self.cardinality.max_in
+
+    @property
+    def is_aggregation(self) -> bool:
+        return self.kind is RelKind.AGGREGATION
+
+    def behaviours(self) -> set[Behaviour]:
+        result: set[Behaviour] = set()
+        if self.exclusive:
+            result.add(Behaviour.EXCLUSIVE)
+        if self.shareable:
+            result.add(Behaviour.SHAREABLE)
+        if self.lifetime_dependent:
+            result.add(Behaviour.LIFETIME_DEPENDENT)
+        if self.constant:
+            result.add(Behaviour.CONSTANT)
+        if self.inherited_attributes:
+            result.add(Behaviour.ATTRIBUTE_INHERITANCE)
+        return result
+
+
+def combination_problem(
+    kind: RelKind,
+    exclusive: bool,
+    shareable: bool,
+    lifetime_dependent: bool,
+) -> str | None:
+    """Return the reason a behaviour combination is disallowed, or None.
+
+    This function *is* Table 3: every rule of the allowed-combination
+    matrix lives here, and :func:`allowed_combinations` renders it.
+    """
+    if exclusive and shareable:
+        return "exclusive and shareable are contradictory"
+    if exclusive and kind is not RelKind.AGGREGATION:
+        return "exclusivity applies to aggregations only (a part has one whole)"
+    if lifetime_dependent and kind is not RelKind.AGGREGATION:
+        return "lifetime dependency applies to aggregations only"
+    if lifetime_dependent and shareable:
+        return "a shareable part cannot be lifetime-dependent on one whole"
+    return None
+
+
+@dataclass(frozen=True)
+class CombinationRow:
+    """One row of the reproduced Table 3."""
+
+    kind: RelKind
+    exclusive: bool
+    shareable: bool
+    lifetime_dependent: bool
+    constant: bool
+    allowed: bool
+    reason: str
+
+
+def allowed_combinations() -> Iterator[CombinationRow]:
+    """Enumerate every behaviour combination with its verdict (Table 3)."""
+    flags = (False, True)
+    for kind, exclusive, shareable, dependent, constant in product(
+        RelKind, flags, flags, flags, flags
+    ):
+        problem = combination_problem(
+            kind,
+            exclusive=exclusive,
+            shareable=shareable,
+            lifetime_dependent=dependent,
+        )
+        yield CombinationRow(
+            kind=kind,
+            exclusive=exclusive,
+            shareable=shareable,
+            lifetime_dependent=dependent,
+            constant=constant,
+            allowed=problem is None,
+            reason=problem or "allowed",
+        )
+
+
+def format_table3() -> str:
+    """Render the combination table as aligned text (Table 3 artefact)."""
+    header = (
+        f"{'kind':<12} {'excl':<5} {'share':<5} {'dep':<5} {'const':<5} "
+        f"{'ok':<3} reason"
+    )
+    lines = [header, "-" * len(header)]
+    for row in allowed_combinations():
+        lines.append(
+            f"{row.kind.value:<12} {str(row.exclusive):<5} "
+            f"{str(row.shareable):<5} {str(row.lifetime_dependent):<5} "
+            f"{str(row.constant):<5} {('yes' if row.allowed else 'no'):<3} "
+            f"{row.reason}"
+        )
+    return "\n".join(lines)

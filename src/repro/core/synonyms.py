@@ -1,0 +1,112 @@
+"""Instance synonyms (thesis §4.5).
+
+Taxonomy sometimes needs two distinct instances to be declared *the same
+entity seen differently* — e.g. one specimen recorded independently by two
+herbaria.  Prometheus supports this with *instance synonyms*: a
+partitioning of OIDs into synonym sets.  Queries may then resolve an
+object to its whole synonym set, and graph comparison can treat synonymous
+specimens as a single fixed point.
+
+Synonymy is an equivalence relation, implemented as a union-find with
+explicit set listing (the sets are small; listing matters more than
+asymptotic merge cost).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class SynonymRegistry:
+    """Union-find over OIDs with set enumeration."""
+
+    def __init__(self) -> None:
+        self._parent: dict[int, int] = {}
+        self._members: dict[int, set[int]] = {}
+
+    def _find(self, oid: int) -> int:
+        root = oid
+        while self._parent.get(root, root) != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent.get(oid, oid) != root:
+            self._parent[oid], oid = root, self._parent[oid]
+        return root
+
+    def declare(self, a: int, b: int) -> None:
+        """Declare OIDs ``a`` and ``b`` synonymous (merging their sets)."""
+        ra, rb = self._find(a), self._find(b)
+        if ra == rb:
+            self._parent.setdefault(a, ra)
+            self._parent.setdefault(b, rb)
+            self._members.setdefault(ra, {ra}).update((a, b))
+            return
+        # Merge smaller set into larger.
+        sa = self._members.pop(ra, {ra})
+        sb = self._members.pop(rb, {rb})
+        if len(sa) < len(sb):
+            ra, rb = rb, ra
+            sa, sb = sb, sa
+        self._parent[rb] = ra
+        self._parent.setdefault(ra, ra)
+        sa |= sb
+        sa.update((a, b))
+        self._members[ra] = sa
+        for member in sb:
+            self._parent[member] = ra
+
+    def declare_all(self, oids: Iterable[int]) -> None:
+        """Declare every OID in ``oids`` pairwise synonymous."""
+        it = iter(oids)
+        try:
+            first = next(it)
+        except StopIteration:
+            return
+        for other in it:
+            self.declare(first, other)
+
+    def are_synonyms(self, a: int, b: int) -> bool:
+        if a == b:
+            return True
+        if a not in self._parent or b not in self._parent:
+            return False
+        return self._find(a) == self._find(b)
+
+    def synonyms_of(self, oid: int) -> frozenset[int]:
+        """The full synonym set of ``oid`` (always contains ``oid``)."""
+        if oid not in self._parent:
+            return frozenset((oid,))
+        return frozenset(self._members[self._find(oid)])
+
+    def canonical(self, oid: int) -> int:
+        """A stable representative of the synonym set (smallest OID)."""
+        return min(self.synonyms_of(oid))
+
+    def sets(self) -> list[frozenset[int]]:
+        """All non-trivial synonym sets."""
+        return [frozenset(s) for s in self._members.values() if len(s) > 1]
+
+    def forget(self, oid: int) -> None:
+        """Remove ``oid`` from its synonym set (object deletion)."""
+        if oid not in self._parent:
+            return
+        root = self._find(oid)
+        members = self._members.get(root, {root})
+        members.discard(oid)
+        self._parent.pop(oid, None)
+        if root == oid and members:
+            # Re-root the remaining set.
+            new_root = min(members)
+            self._members.pop(root, None)
+            for member in members:
+                self._parent[member] = new_root
+            self._members[new_root] = set(members)
+        elif not members:
+            self._members.pop(root, None)
+
+    def to_storable(self) -> list[list[int]]:
+        return [sorted(s) for s in self.sets()]
+
+    def load_storable(self, data: Iterable[Iterable[int]]) -> None:
+        for group in data:
+            self.declare_all(group)

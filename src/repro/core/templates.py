@@ -1,0 +1,162 @@
+"""Relationship templates (thesis §6.2.2, Figure 34).
+
+The prototype's usage chapter shows taxonomists building relationship
+classes from *templates* — pre-configured semantic bundles they extend
+with their own attributes rather than reasoning about Table 3 from
+scratch.  Each template is a named, documented
+:class:`~repro.core.semantics.RelationshipSemantics` recipe;
+:func:`relationship_from_template` stamps out a
+:class:`~repro.core.relationships.RelationshipClass` from one, applying
+overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterable
+
+from ..errors import SchemaError
+from .attributes import Attribute
+from .relationships import RelationshipClass
+from .semantics import Cardinality, RelationshipSemantics, RelKind
+
+
+@dataclass(frozen=True)
+class RelationshipTemplate:
+    """A named semantics recipe with documentation."""
+
+    name: str
+    semantics: RelationshipSemantics
+    doc: str
+
+    def build(
+        self,
+        class_name: str,
+        origin: str,
+        destination: str,
+        attributes: Iterable[Attribute] = (),
+        participants: dict[str, str] | None = None,
+        **overrides: Any,
+    ) -> RelationshipClass:
+        """Stamp a relationship class from this template.
+
+        ``overrides`` patch individual semantics fields (validated
+        against Table 3 as usual), e.g. ``max_in=1`` or
+        ``inherited_attributes=("role",)``.
+        """
+        semantics = self.semantics
+        cardinality_fields = {"min_out", "max_out", "min_in", "max_in"}
+        card_overrides = {
+            k: v for k, v in overrides.items() if k in cardinality_fields
+        }
+        sem_overrides = {
+            k: v for k, v in overrides.items() if k not in cardinality_fields
+        }
+        if card_overrides:
+            sem_overrides["cardinality"] = replace(
+                semantics.cardinality, **card_overrides
+            )
+        if sem_overrides:
+            semantics = replace(semantics, **sem_overrides)
+        return RelationshipClass(
+            class_name,
+            origin,
+            destination,
+            semantics=semantics,
+            attributes=attributes,
+            participants=participants,
+            doc=f"from template {self.name!r}: {self.doc}",
+        )
+
+
+#: Strict whole/part: one owner, parts die with it (UML composition).
+COMPOSITION = RelationshipTemplate(
+    name="composition",
+    semantics=RelationshipSemantics(
+        kind=RelKind.AGGREGATION, exclusive=True, lifetime_dependent=True
+    ),
+    doc="exclusive lifetime-dependent aggregation (UML composition)",
+)
+
+#: Whole/part where parts may belong to several wholes and outlive them.
+SHARED_AGGREGATION = RelationshipTemplate(
+    name="shared-aggregation",
+    semantics=RelationshipSemantics(
+        kind=RelKind.AGGREGATION, shareable=True
+    ),
+    doc="shareable aggregation: parts may appear under many wholes",
+)
+
+#: The classification edge: shareable aggregation carrying a motivation
+#: (requirement 4's traceability lives on the edge).
+CLASSIFICATION_EDGE = RelationshipTemplate(
+    name="classification-edge",
+    semantics=RelationshipSemantics(
+        kind=RelKind.AGGREGATION, shareable=True
+    ),
+    doc="placement edge for overlapping classifications "
+    "(add a 'motivation' attribute for traceability)",
+)
+
+#: Plain many-to-many association.
+ASSOCIATION = RelationshipTemplate(
+    name="association",
+    semantics=RelationshipSemantics(kind=RelKind.ASSOCIATION),
+    doc="unconstrained many-to-many association",
+)
+
+#: One-to-one association frozen at creation (e.g. issued identifiers).
+IMMUTABLE_LINK = RelationshipTemplate(
+    name="immutable-link",
+    semantics=RelationshipSemantics(
+        kind=RelKind.ASSOCIATION,
+        constant=True,
+        cardinality=Cardinality(max_out=1, max_in=1),
+    ),
+    doc="constant one-to-one link; cannot be re-targeted or removed",
+)
+
+#: Role-granting association (ADAM-style attribute inheritance): declare
+#: the role attribute(s) on the stamped class and pass
+#: ``inherited_attributes=...``.
+ROLE_GRANT = RelationshipTemplate(
+    name="role-grant",
+    semantics=RelationshipSemantics(kind=RelKind.ASSOCIATION),
+    doc="association whose attributes become roles of the endpoints "
+    "(pass inherited_attributes=(...))",
+)
+
+TEMPLATES: dict[str, RelationshipTemplate] = {
+    template.name: template
+    for template in (
+        COMPOSITION,
+        SHARED_AGGREGATION,
+        CLASSIFICATION_EDGE,
+        ASSOCIATION,
+        IMMUTABLE_LINK,
+        ROLE_GRANT,
+    )
+}
+
+
+def get_template(name: str) -> RelationshipTemplate:
+    try:
+        return TEMPLATES[name]
+    except KeyError:
+        raise SchemaError(
+            f"unknown relationship template {name!r}; available: "
+            f"{sorted(TEMPLATES)}"
+        ) from None
+
+
+def relationship_from_template(
+    template: str | RelationshipTemplate,
+    class_name: str,
+    origin: str,
+    destination: str,
+    **kwargs: Any,
+) -> RelationshipClass:
+    """Convenience: resolve the template by name and build (Figure 34)."""
+    if isinstance(template, str):
+        template = get_template(template)
+    return template.build(class_name, origin, destination, **kwargs)

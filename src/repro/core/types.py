@@ -1,0 +1,315 @@
+"""The Prometheus attribute type system.
+
+ODMG distinguishes atomic literal types, reference types and collection
+types.  A :class:`TypeSpec` validates values assigned to attributes and
+converts them to/from the storable representation used by the storage
+layer.  Object references are stored as :class:`~repro.core.identity.OidRef`
+values; in the live model they appear as :class:`~repro.core.instances.PObject`
+handles.
+
+Type checks are strict (``bool`` is *not* accepted where an integer is
+declared), matching the thesis's position that queries must be type-checkable
+in advance (§5.1.2.4).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import TYPE_CHECKING, Any, Iterable
+
+from ..errors import TypeCheckError
+from .identity import NULL_OID, OidRef
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .schema import Schema
+
+
+class TypeSpec:
+    """Base class of all attribute type specifications."""
+
+    name: str = "any"
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`TypeCheckError` unless ``value`` conforms."""
+        raise NotImplementedError
+
+    def to_storable(self, value: Any) -> Any:
+        """Convert a validated live value to its stored representation."""
+        return value
+
+    def from_storable(self, value: Any, schema: "Schema | None" = None) -> Any:
+        """Convert a stored representation back to the live value."""
+        return value
+
+    def accepts_none(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{type(self).__name__} {self.name}>"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.name == getattr(other, "name", None)
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.name))
+
+
+class _AtomicType(TypeSpec):
+    """Shared machinery for atomic literal types."""
+
+    python_types: tuple[type, ...] = ()
+    reject_bool = False
+
+    def validate(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.reject_bool and isinstance(value, bool):
+            raise TypeCheckError(
+                f"expected {self.name}, got bool {value!r}"
+            )
+        if not isinstance(value, self.python_types):
+            raise TypeCheckError(
+                f"expected {self.name}, got {type(value).__name__} {value!r}"
+            )
+
+
+class IntegerType(_AtomicType):
+    name = "integer"
+    python_types = (int,)
+    reject_bool = True
+
+
+class FloatType(_AtomicType):
+    name = "float"
+    python_types = (int, float)
+    reject_bool = True
+
+    def to_storable(self, value: Any) -> Any:
+        return float(value) if value is not None else None
+
+
+class StringType(_AtomicType):
+    name = "string"
+    python_types = (str,)
+
+
+class BooleanType(_AtomicType):
+    name = "boolean"
+    python_types = (bool,)
+
+
+class BytesType(_AtomicType):
+    name = "bytes"
+    python_types = (bytes,)
+
+
+class DateType(_AtomicType):
+    name = "date"
+    python_types = (_dt.date,)
+
+    def validate(self, value: Any) -> None:
+        if value is not None and isinstance(value, _dt.datetime):
+            raise TypeCheckError("expected date, got datetime")
+        super().validate(value)
+
+
+class DateTimeType(_AtomicType):
+    name = "datetime"
+    python_types = (_dt.datetime,)
+
+
+class AnyType(TypeSpec):
+    """Escape hatch: any storable value (used by generic extents)."""
+
+    name = "any"
+
+    def validate(self, value: Any) -> None:
+        return None
+
+
+class RefType(TypeSpec):
+    """A reference to an instance of a named class (or any subclass).
+
+    The target class is named, not held directly, so schemas can declare
+    mutually-referencing classes in any order; resolution happens against
+    the schema when instances are validated.
+    """
+
+    def __init__(self, class_name: str) -> None:
+        self.class_name = class_name
+        self.name = f"ref<{class_name}>"
+
+    def validate(self, value: Any) -> None:
+        # Structural check only; class conformance is checked with a schema
+        # via validate_against (instances.py calls that path).
+        from .instances import PObject
+
+        if value is None or isinstance(value, (OidRef, PObject)):
+            return
+        raise TypeCheckError(
+            f"expected {self.name}, got {type(value).__name__}"
+        )
+
+    def validate_against(self, value: Any, schema: "Schema") -> None:
+        from .instances import PObject
+
+        self.validate(value)
+        if isinstance(value, PObject):
+            target = schema.get_class(self.class_name)
+            if not value.pclass.is_subclass_of(target):
+                raise TypeCheckError(
+                    f"expected instance of {self.class_name}, got "
+                    f"{value.pclass.name}"
+                )
+
+    def to_storable(self, value: Any) -> Any:
+        from .instances import PObject
+
+        if value is None:
+            return OidRef(NULL_OID)
+        if isinstance(value, PObject):
+            return OidRef(value.oid)
+        return value
+
+    def from_storable(self, value: Any, schema: "Schema | None" = None) -> Any:
+        if isinstance(value, OidRef):
+            if not value:
+                return None
+            if schema is not None:
+                return schema.get_object(value.oid)
+        return value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RefType) and other.class_name == self.class_name
+
+    def __hash__(self) -> int:
+        return hash(("ref", self.class_name))
+
+
+class CollectionTypeSpec(TypeSpec):
+    """A homogeneous collection (set, bag, list or dict) of an element type."""
+
+    KINDS = ("set", "bag", "list", "dict")
+
+    def __init__(self, kind: str, element: TypeSpec) -> None:
+        if kind not in self.KINDS:
+            raise TypeCheckError(f"unknown collection kind {kind!r}")
+        self.kind = kind
+        self.element = element
+        self.name = f"{kind}<{element.name}>"
+
+    def validate(self, value: Any) -> None:
+        from .collections import PBag, PDict, PList, PSet
+
+        if value is None:
+            return
+        expected = {"set": PSet, "bag": PBag, "list": PList, "dict": PDict}[
+            self.kind
+        ]
+        plain_ok = {
+            "set": (set, frozenset),
+            "bag": (list, tuple),
+            "list": (list, tuple),
+            "dict": (dict,),
+        }[self.kind]
+        if isinstance(value, expected):
+            for item in value.element_values():
+                self.element.validate(item)
+            return
+        if isinstance(value, plain_ok):
+            items: Iterable[Any]
+            items = value.values() if isinstance(value, dict) else value
+            for item in items:
+                self.element.validate(item)
+            return
+        raise TypeCheckError(
+            f"expected {self.name}, got {type(value).__name__}"
+        )
+
+    def to_storable(self, value: Any) -> Any:
+        from .collections import PCollection
+
+        if value is None:
+            return None
+        if isinstance(value, PCollection):
+            return value.to_storable(self.element)
+        if isinstance(value, (set, frozenset)):
+            return {
+                "_c": "set",
+                "items": [self.element.to_storable(v) for v in value],
+            }
+        if isinstance(value, (list, tuple)):
+            return {
+                "_c": self.kind if self.kind in ("bag", "list") else "list",
+                "items": [self.element.to_storable(v) for v in value],
+            }
+        if isinstance(value, dict):
+            return {
+                "_c": "dict",
+                "items": [
+                    [k, self.element.to_storable(v)] for k, v in value.items()
+                ],
+            }
+        raise TypeCheckError(f"cannot store {type(value).__name__} as {self.name}")
+
+    def from_storable(self, value: Any, schema: "Schema | None" = None) -> Any:
+        from .collections import PBag, PDict, PList, PSet
+
+        if value is None:
+            return None
+        kind = value["_c"]
+        items = value["items"]
+        element = self.element
+        if kind == "set":
+            return PSet(element.from_storable(v, schema) for v in items)
+        if kind == "bag":
+            return PBag(element.from_storable(v, schema) for v in items)
+        if kind == "list":
+            return PList(element.from_storable(v, schema) for v in items)
+        if kind == "dict":
+            return PDict(
+                (k, element.from_storable(v, schema)) for k, v in items
+            )
+        raise TypeCheckError(f"unknown stored collection kind {kind!r}")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CollectionTypeSpec)
+            and other.kind == self.kind
+            and other.element == self.element
+        )
+
+    def __hash__(self) -> int:
+        return hash(("coll", self.kind, self.element))
+
+
+# Singleton instances for convenience in schema definitions.
+INTEGER = IntegerType()
+FLOAT = FloatType()
+STRING = StringType()
+BOOLEAN = BooleanType()
+BYTES = BytesType()
+DATE = DateType()
+DATETIME = DateTimeType()
+ANY = AnyType()
+
+
+def ref(class_name: str) -> RefType:
+    """Shorthand for a reference type to ``class_name``."""
+    return RefType(class_name)
+
+
+def set_of(element: TypeSpec) -> CollectionTypeSpec:
+    return CollectionTypeSpec("set", element)
+
+
+def bag_of(element: TypeSpec) -> CollectionTypeSpec:
+    return CollectionTypeSpec("bag", element)
+
+
+def list_of(element: TypeSpec) -> CollectionTypeSpec:
+    return CollectionTypeSpec("list", element)
+
+
+def dict_of(element: TypeSpec) -> CollectionTypeSpec:
+    return CollectionTypeSpec("dict", element)

@@ -1,0 +1,34 @@
+"""The layered database engine (thesis chapter 6, Figure 26).
+
+* :class:`PrometheusDB` — the assembled system.
+* :class:`IndexManager` / :class:`BTree` — the index layer.
+* :class:`ViewManager` — the views layer.
+* :class:`PrometheusServer` — the HTTP access layer.
+"""
+
+from .btree import BTree
+from .database import PrometheusDB
+from .dump import dump_json, dump_schema, load_dump
+from .federation import Federation, FederationError, NodeResult, RemoteDatabase
+from .indexes import Index, IndexKind, IndexManager
+from .server import PrometheusServer, jsonable
+from .views import View, ViewManager
+
+__all__ = [
+    "BTree",
+    "Federation",
+    "FederationError",
+    "Index",
+    "IndexKind",
+    "IndexManager",
+    "NodeResult",
+    "PrometheusDB",
+    "dump_json",
+    "dump_schema",
+    "load_dump",
+    "PrometheusServer",
+    "RemoteDatabase",
+    "View",
+    "ViewManager",
+    "jsonable",
+]

@@ -1,0 +1,297 @@
+"""An in-memory B-tree supporting duplicate keys and range scans.
+
+Backs the index layer (thesis §6.1.4): attribute indexes need both exact
+probes and ordered range scans (``year between 1753 and 1820``).  Keys
+are compared with Python ordering; each key maps to the *set* of OIDs
+carrying that value, so duplicates are natural.
+
+Classic B-tree of minimum degree ``t``: every node except the root has
+between t-1 and 2t-1 keys; splits on the way down during insertion;
+deletion uses the standard borrow/merge rebalancing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+class _Node:
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+        self.values: list[set[int]] = []
+        self.children: list[_Node] = []
+
+    @property
+    def leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """B-tree mapping comparable keys to sets of OIDs."""
+
+    def __init__(self, min_degree: int = 16) -> None:
+        if min_degree < 2:
+            raise ValueError("min_degree must be >= 2")
+        self._t = min_degree
+        self._root = _Node()
+        self._size = 0  # number of (key, oid) pairs
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def key_count(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def get(self, key: Any) -> frozenset[int]:
+        """OIDs stored under ``key`` (empty set if absent)."""
+        node = self._root
+        while True:
+            index = _bisect(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return frozenset(node.values[index])
+            if node.leaf:
+                return frozenset()
+            node = node.children[index]
+
+    def __contains__(self, key: Any) -> bool:
+        return bool(self.get(key))
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Any, oid: int) -> None:
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _Node()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+        self._insert_nonfull(self._root, key, oid)
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self._t
+        child = parent.children[index]
+        sibling = _Node()
+        parent.keys.insert(index, child.keys[t - 1])
+        parent.values.insert(index, child.values[t - 1])
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+        if not child.leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.children.insert(index + 1, sibling)
+
+    def _insert_nonfull(self, node: _Node, key: Any, oid: int) -> None:
+        while True:
+            index = _bisect(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                if oid not in node.values[index]:
+                    node.values[index].add(oid)
+                    self._size += 1
+                return
+            if node.leaf:
+                node.keys.insert(index, key)
+                node.values.insert(index, {oid})
+                self._size += 1
+                return
+            child = node.children[index]
+            if len(child.keys) == 2 * self._t - 1:
+                self._split_child(node, index)
+                if node.keys[index] == key:
+                    if oid not in node.values[index]:
+                        node.values[index].add(oid)
+                        self._size += 1
+                    return
+                if key > node.keys[index]:
+                    index += 1
+            node = node.children[index]
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+
+    def remove(self, key: Any, oid: int) -> bool:
+        """Remove one (key, oid) pair; True if it was present."""
+        entry = self.get(key)
+        if oid not in entry:
+            return False
+        remaining = set(entry)
+        remaining.discard(oid)
+        self._size -= 1
+        if remaining:
+            self._replace_value(self._root, key, remaining)
+            return True
+        self._delete_key(self._root, key)
+        root = self._root
+        if not root.keys and root.children:
+            self._root = root.children[0]
+        return True
+
+    def _replace_value(self, node: _Node, key: Any, value: set[int]) -> None:
+        while True:
+            index = _bisect(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+                return
+            node = node.children[index]
+
+    def _delete_key(self, node: _Node, key: Any) -> None:
+        t = self._t
+        index = _bisect(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            if node.leaf:
+                node.keys.pop(index)
+                node.values.pop(index)
+                return
+            left, right = node.children[index], node.children[index + 1]
+            if len(left.keys) >= t:
+                pred_key, pred_value = self._max_entry(left)
+                node.keys[index], node.values[index] = pred_key, pred_value
+                self._delete_key(left, pred_key)
+            elif len(right.keys) >= t:
+                succ_key, succ_value = self._min_entry(right)
+                node.keys[index], node.values[index] = succ_key, succ_value
+                self._delete_key(right, succ_key)
+            else:
+                self._merge(node, index)
+                self._delete_key(left, key)
+            return
+        if node.leaf:
+            return  # key absent (deletion is idempotent)
+        child = node.children[index]
+        if len(child.keys) < t:
+            index = self._grow_child(node, index)
+            child = node.children[index]
+        self._delete_key(child, key)
+
+    def _grow_child(self, node: _Node, index: int) -> int:
+        """Ensure children[index] has >= t keys before descending.
+
+        Returns the (possibly shifted) child index to descend into.
+        """
+        t = self._t
+        child = node.children[index]
+        if index > 0 and len(node.children[index - 1].keys) >= t:
+            left = node.children[index - 1]
+            child.keys.insert(0, node.keys[index - 1])
+            child.values.insert(0, node.values[index - 1])
+            node.keys[index - 1] = left.keys.pop()
+            node.values[index - 1] = left.values.pop()
+            if not left.leaf:
+                child.children.insert(0, left.children.pop())
+            return index
+        if index < len(node.keys) and len(node.children[index + 1].keys) >= t:
+            right = node.children[index + 1]
+            child.keys.append(node.keys[index])
+            child.values.append(node.values[index])
+            node.keys[index] = right.keys.pop(0)
+            node.values[index] = right.values.pop(0)
+            if not right.leaf:
+                child.children.append(right.children.pop(0))
+            return index
+        if index < len(node.keys):
+            self._merge(node, index)
+            return index
+        self._merge(node, index - 1)
+        return index - 1
+
+    def _merge(self, node: _Node, index: int) -> None:
+        """Merge children[index], keys[index], children[index+1]."""
+        left = node.children[index]
+        right = node.children[index + 1]
+        left.keys.append(node.keys.pop(index))
+        left.values.append(node.values.pop(index))
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.children.extend(right.children)
+        node.children.pop(index + 1)
+
+    def _max_entry(self, node: _Node) -> tuple[Any, set[int]]:
+        while not node.leaf:
+            node = node.children[-1]
+        return node.keys[-1], node.values[-1]
+
+    def _min_entry(self, node: _Node) -> tuple[Any, set[int]]:
+        while not node.leaf:
+            node = node.children[0]
+        return node.keys[0], node.values[0]
+
+    # ------------------------------------------------------------------
+    # iteration
+    # ------------------------------------------------------------------
+
+    def keys(self) -> Iterator[Any]:
+        yield from (key for key, _ in self.items())
+
+    def items(self) -> Iterator[tuple[Any, frozenset[int]]]:
+        yield from self._walk(self._root)
+
+    def _walk(self, node: _Node) -> Iterator[tuple[Any, frozenset[int]]]:
+        if node.leaf:
+            for key, value in zip(node.keys, node.values):
+                yield key, frozenset(value)
+            return
+        for index, key in enumerate(node.keys):
+            yield from self._walk(node.children[index])
+            yield key, frozenset(node.values[index])
+        yield from self._walk(node.children[-1])
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[tuple[Any, frozenset[int]]]:
+        """Ordered scan of keys in [low, high] (None = unbounded)."""
+        for key, oids in self.items():
+            if low is not None:
+                if key < low or (not include_low and key == low):
+                    continue
+            if high is not None:
+                if key > high or (not include_high and key == high):
+                    break
+            yield key, oids
+
+    def check_invariants(self) -> None:
+        """Assert structural B-tree invariants (used by property tests)."""
+        t = self._t
+
+        def visit(node: _Node, depth: int, is_root: bool) -> int:
+            assert len(node.keys) == len(node.values)
+            if not is_root:
+                assert len(node.keys) >= t - 1, "underfull node"
+            assert len(node.keys) <= 2 * t - 1, "overfull node"
+            assert all(
+                node.keys[i] < node.keys[i + 1]
+                for i in range(len(node.keys) - 1)
+            ), "keys not sorted"
+            if node.leaf:
+                return depth
+            assert len(node.children) == len(node.keys) + 1
+            depths = {visit(child, depth + 1, False) for child in node.children}
+            assert len(depths) == 1, "leaves at different depths"
+            return depths.pop()
+
+        visit(self._root, 0, True)
+
+
+def _bisect(keys: list[Any], key: Any) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

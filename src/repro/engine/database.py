@@ -1,0 +1,180 @@
+"""The assembled database: every layer of Figure 26 behind one facade.
+
+:class:`PrometheusDB` wires together, bottom-up:
+
+* the **object store** (optional — omit for an in-memory database),
+* the **event layer** (owned by the schema),
+* the **object layer** (schema: classes, instances, relationships),
+* the **views layer**,
+* the **index layer**,
+* the **query layer** (POOL with type checking and index fast path),
+* the **rules layer**,
+* the **classification layer** (manager + trace log),
+
+and exposes the operations applications actually call.  The HTTP server
+(§6.1.7) wraps an instance of this class.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from ..classification import ClassificationManager, TraceLog
+from ..core.metamodel import describe_schema
+from ..core.schema import Schema
+from ..errors import QueryError
+from ..query import parse
+from ..query.evaluator import Evaluator, QueryContext
+from ..query.nodes import QueryPlanInfo
+from ..query.typecheck import typecheck
+from ..rules import RuleEngine
+from ..storage.store import ObjectStore
+from .indexes import IndexManager
+from .views import ViewManager
+
+
+class PrometheusDB:
+    """The full Prometheus database system.
+
+    Args:
+        path: log file path for persistence, or None for in-memory.
+        name: diagnostic label.
+        cache_size: object-store record cache capacity.
+        sync: fsync after commits (durable but slow).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str] | None = None,
+        name: str = "prometheus",
+        cache_size: int = 4096,
+        sync: bool = False,
+    ) -> None:
+        self.store: ObjectStore | None = (
+            ObjectStore(path, cache_size=cache_size, sync=sync)
+            if path is not None
+            else None
+        )
+        self.schema = Schema(self.store, name=name)
+        self.rules = RuleEngine(self.schema)
+        self.indexes = IndexManager(self.schema)
+        self._loaded = False
+        self._classifications: ClassificationManager | None = None
+        self._views: ViewManager | None = None
+        self._trace: TraceLog | None = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def load(self) -> int:
+        """Load persisted instances (call after declaring all classes)."""
+        count = self.schema.load_all()
+        self._loaded = True
+        return count
+
+    def close(self) -> None:
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "PrometheusDB":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- lazily-built upper layers ------------------------------------------
+    # (classifications and views want the instance data present, so they
+    # are created on first use, after load()).
+
+    @property
+    def classifications(self) -> ClassificationManager:
+        if self._classifications is None:
+            self._classifications = ClassificationManager(self.schema)
+        return self._classifications
+
+    @property
+    def views(self) -> ViewManager:
+        if self._views is None:
+            self._views = ViewManager(self.schema, self.classifications)
+        return self._views
+
+    @property
+    def trace(self) -> TraceLog:
+        if self._trace is None:
+            self._trace = TraceLog(self.schema)
+        return self._trace
+
+    # -- transactions -------------------------------------------------------
+
+    def commit(self) -> None:
+        self.schema.commit()
+
+    def abort(self) -> None:
+        self.schema.abort()
+
+    # -- the query layer (§6.1.5) ----------------------------------------------
+
+    def query(
+        self,
+        text: str,
+        params: dict[str, Any] | None = None,
+        check: bool = True,
+    ) -> Any:
+        """Type-check then evaluate POOL ``text``.
+
+        Returns a list for SELECT, a GraphView for EXTRACT GRAPH.
+        """
+        ast = parse(text)
+        if check:
+            report = typecheck(self.schema, ast, self._classifications)
+            if not report.ok:
+                raise QueryError(
+                    "query does not type-check: " + "; ".join(report.errors)
+                )
+        context = QueryContext(
+            schema=self.schema,
+            classifications=self._classifications,
+            params=params or {},
+            index_probe=self.indexes.probe,
+        )
+        return Evaluator(context).run(ast)
+
+    def explain(
+        self, text: str, params: dict[str, Any] | None = None
+    ) -> QueryPlanInfo:
+        """Evaluate and return the plan info (index use, extent scans)."""
+        ast = parse(text)
+        context = QueryContext(
+            schema=self.schema,
+            classifications=self._classifications,
+            params=params or {},
+            index_probe=self.indexes.probe,
+        )
+        Evaluator(context).run(ast)
+        return context.plan
+
+    # -- introspection --------------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        info = describe_schema(self.schema)
+        info["indexes"] = [index.name for index in self.indexes.indexes()]
+        info["rules"] = [rule.name for rule in self.rules.rules()]
+        if self._classifications is not None:
+            info["classifications"] = self._classifications.names()
+        if self._views is not None:
+            info["views"] = self._views.names()
+        if self.store is not None:
+            info["storage"] = self.store.stats.snapshot() | {
+                "file_size": self.store.file_size,
+                "objects": len(self.store),
+            }
+        return info
+
+    def check_integrity(self) -> list[str]:
+        """Schema-level integrity plus all invariant rules."""
+        problems = self.schema.check_integrity()
+        problems.extend(
+            f"rule {v.rule_name}: {v.message} (oid {v.target_oid})"
+            for v in self.rules.check_all_invariants()
+        )
+        return problems

@@ -1,0 +1,200 @@
+"""Federation over localised taxonomic databases (thesis chapter 8).
+
+The thesis closes by naming, as further work, "distribution of the
+system over many localised taxonomic database systems" — the vision of
+herbarium-local Prometheus installations queried as one.  This module
+implements that layer on top of the HTTP access layer (§6.1.7):
+
+* :class:`RemoteDatabase` — a thin JSON client for one node;
+* :class:`Federation` — fans a POOL query out to every node, collects
+  per-node results, and offers the cross-herbarium conveniences the
+  thesis motivates (find a name anywhere; which nodes classify a given
+  epithet; aggregate counts).
+
+The federation is read-only: each node stays autonomous (its own rules,
+its own classifications), which is exactly the multiple-overlapping-
+classifications stance — no global merged hierarchy is ever fabricated.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import PrometheusError
+
+
+class FederationError(PrometheusError):
+    """A remote node failed or answered malformed data."""
+
+
+class RemoteDatabase:
+    """JSON client for one Prometheus HTTP node."""
+
+    def __init__(self, url: str, timeout: float = 10.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- raw HTTP ---------------------------------------------------------
+
+    def _get(self, path: str) -> Any:
+        try:
+            with urllib.request.urlopen(
+                self.url + path, timeout=self.timeout
+            ) as response:
+                return json.load(response)
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            raise FederationError(f"{self.url}{path}: {exc}") from exc
+
+    def _post(self, path: str, payload: dict[str, Any]) -> Any:
+        data = json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.url + path,
+            data=data,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.load(response)
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            raise FederationError(f"{self.url}{path}: {exc}") from exc
+
+    # -- API ------------------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        return self._get("/schema")
+
+    def classifications(self) -> list[str]:
+        return self._get("/classifications")
+
+    def classification(self, name: str) -> dict[str, Any]:
+        return self._get(
+            "/classifications/" + urllib.request.quote(name, safe="")
+        )
+
+    def extent(self, class_name: str) -> list[int]:
+        return self._get(f"/classes/{class_name}/extent")
+
+    def object(self, oid: int) -> dict[str, Any]:
+        return self._get(f"/objects/{oid}")
+
+    def query(self, text: str, params: dict[str, Any] | None = None) -> Any:
+        body = self._post("/query", {"query": text, "params": params or {}})
+        return body["result"]
+
+    def ping(self) -> bool:
+        try:
+            self._get("/schema")
+            return True
+        except FederationError:
+            return False
+
+
+@dataclass
+class NodeResult:
+    """One node's answer (or failure) to a federated query."""
+
+    node: str
+    result: Any = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.error
+
+
+@dataclass
+class Federation:
+    """A named set of remote Prometheus nodes queried together."""
+
+    nodes: dict[str, RemoteDatabase] = field(default_factory=dict)
+
+    def add_node(self, name: str, url_or_client: str | RemoteDatabase) -> None:
+        if isinstance(url_or_client, str):
+            url_or_client = RemoteDatabase(url_or_client)
+        self.nodes[name] = url_or_client
+
+    def remove_node(self, name: str) -> None:
+        self.nodes.pop(name, None)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # -- fan-out -----------------------------------------------------------
+
+    def query_all(
+        self, text: str, params: dict[str, Any] | None = None
+    ) -> list[NodeResult]:
+        """Run one POOL query on every node; failures are per-node.
+
+        A node being down yields a ``NodeResult`` with ``error`` set —
+        the federation degrades, it does not fail (autonomous locals).
+        """
+        results: list[NodeResult] = []
+        for name in sorted(self.nodes):
+            client = self.nodes[name]
+            try:
+                results.append(
+                    NodeResult(node=name, result=client.query(text, params))
+                )
+            except FederationError as exc:
+                results.append(NodeResult(node=name, error=str(exc)))
+        return results
+
+    def gather(
+        self, text: str, params: dict[str, Any] | None = None
+    ) -> list[tuple[str, Any]]:
+        """Flatten successful list results to (node, item) pairs."""
+        out: list[tuple[str, Any]] = []
+        for node_result in self.query_all(text, params):
+            if node_result.ok and isinstance(node_result.result, list):
+                out.extend((node_result.node, item) for item in node_result.result)
+        return out
+
+    # -- taxonomic conveniences --------------------------------------------------
+
+    def find_name(self, epithet: str) -> list[tuple[str, dict[str, Any]]]:
+        """Every node's published names matching ``epithet``.
+
+        The cross-herbarium question of §1.1: has this name been used
+        anywhere, by anyone?
+        """
+        return self.gather(
+            "select n from n in NomenclaturalTaxon where n.epithet = $e",
+            {"e": epithet},
+        )
+
+    def classification_inventory(self) -> dict[str, list[str]]:
+        """Classification names per node (nothing is merged)."""
+        inventory: dict[str, list[str]] = {}
+        for name in sorted(self.nodes):
+            try:
+                inventory[name] = self.nodes[name].classifications()
+            except FederationError:
+                inventory[name] = []
+        return inventory
+
+    def count_all(self, class_name: str) -> dict[str, int]:
+        """Instance counts of a class per node (plus a ``__total__``)."""
+        counts: dict[str, int] = {}
+        total = 0
+        for node_result in self.query_all(
+            f"select count(x) from x in {class_name}"
+        ):
+            value = (
+                int(node_result.result[0])
+                if node_result.ok and node_result.result
+                else 0
+            )
+            counts[node_result.node] = value
+            total += value
+        counts["__total__"] = total
+        return counts
+
+    def alive(self) -> dict[str, bool]:
+        return {name: client.ping() for name, client in sorted(self.nodes.items())}

@@ -1,0 +1,241 @@
+"""The index layer (thesis §6.1.4, §6.1.5.2).
+
+Attribute indexes are maintained *through the event layer*: the
+:class:`IndexManager` subscribes to create/update/delete events and keeps
+every declared index current — the object layer never knows indexes
+exist.  Two kinds:
+
+* **hash** — exact-match probes (``epithet = "Apium"``);
+* **btree** — exact probes plus ordered range scans (``year < 1820``).
+
+The query layer probes indexes through
+:meth:`IndexManager.probe`, which is plugged into the POOL evaluator as
+its fast path.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import TYPE_CHECKING, Any, Iterator
+
+from ..core.events import Event, EventKind
+from ..core.instances import PObject
+from ..core.schema import Schema
+from ..errors import SchemaError
+from .btree import BTree
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class IndexKind(enum.Enum):
+    HASH = "hash"
+    BTREE = "btree"
+
+
+class _HashIndex:
+    def __init__(self) -> None:
+        self._data: dict[Any, set[int]] = defaultdict(set)
+
+    def insert(self, key: Any, oid: int) -> None:
+        self._data[_hashable(key)].add(oid)
+
+    def remove(self, key: Any, oid: int) -> None:
+        bucket = self._data.get(_hashable(key))
+        if bucket is not None:
+            bucket.discard(oid)
+            if not bucket:
+                del self._data[_hashable(key)]
+
+    def get(self, key: Any) -> frozenset[int]:
+        return frozenset(self._data.get(_hashable(key), ()))
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._data.values())
+
+
+class _BTreeIndex:
+    def __init__(self) -> None:
+        self._tree = BTree()
+        self._nulls: set[int] = set()
+
+    def insert(self, key: Any, oid: int) -> None:
+        if key is None:
+            self._nulls.add(oid)
+        else:
+            self._tree.insert(key, oid)
+
+    def remove(self, key: Any, oid: int) -> None:
+        if key is None:
+            self._nulls.discard(oid)
+        else:
+            self._tree.remove(key, oid)
+
+    def get(self, key: Any) -> frozenset[int]:
+        if key is None:
+            return frozenset(self._nulls)
+        return self._tree.get(key)
+
+    def range(
+        self, low: Any, high: Any, include_low: bool, include_high: bool
+    ) -> Iterator[tuple[Any, frozenset[int]]]:
+        return self._tree.range(low, high, include_low, include_high)
+
+    def __len__(self) -> int:
+        return len(self._tree) + len(self._nulls)
+
+
+class Index:
+    """One declared index over (class, attribute)."""
+
+    def __init__(self, class_name: str, attribute: str, kind: IndexKind) -> None:
+        self.class_name = class_name
+        self.attribute = attribute
+        self.kind = kind
+        self.impl: _HashIndex | _BTreeIndex = (
+            _HashIndex() if kind is IndexKind.HASH else _BTreeIndex()
+        )
+        self.probes = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.class_name}.{self.attribute}[{self.kind.value}]"
+
+    def __len__(self) -> int:
+        return len(self.impl)
+
+
+class IndexManager:
+    """Declares, maintains and probes attribute indexes for one schema."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._indexes: dict[tuple[str, str], Index] = {}
+        self._unsubscribe = schema.events.subscribe(
+            self._on_event,
+            kinds={
+                EventKind.AFTER_CREATE,
+                EventKind.AFTER_UPDATE,
+                EventKind.BEFORE_DELETE,
+                EventKind.AFTER_RELATE,
+                EventKind.BEFORE_UNRELATE,
+            },
+        )
+
+    def detach(self) -> None:
+        self._unsubscribe()
+
+    # -- declaration ---------------------------------------------------------
+
+    def create_index(
+        self, class_name: str, attribute: str, kind: str | IndexKind = "hash"
+    ) -> Index:
+        """Declare and build an index; existing instances are indexed now."""
+        resolved = IndexKind(kind) if isinstance(kind, str) else kind
+        pclass = self.schema.get_class(class_name)
+        if not pclass.has_attribute(attribute):
+            raise SchemaError(
+                f"cannot index {class_name}.{attribute}: no such attribute"
+            )
+        key = (class_name, attribute)
+        if key in self._indexes:
+            raise SchemaError(f"index on {class_name}.{attribute} exists")
+        index = Index(class_name, attribute, resolved)
+        for obj in self.schema.extent(class_name):
+            index.impl.insert(obj.get(attribute), obj.oid)
+        self._indexes[key] = index
+        return index
+
+    def drop_index(self, class_name: str, attribute: str) -> None:
+        self._indexes.pop((class_name, attribute), None)
+
+    def indexes(self) -> list[Index]:
+        return [self._indexes[k] for k in sorted(self._indexes)]
+
+    # -- maintenance via events -------------------------------------------------
+
+    def _covering(self, event_class: str, attribute: str | None) -> list[Index]:
+        """Indexes affected by an event on ``event_class``.
+
+        An index on class C covers events on any subclass of C.
+        """
+        if not self.schema.has_class(event_class):
+            return []
+        klass = self.schema.get_class(event_class)
+        out = []
+        for index in self._indexes.values():
+            if attribute is not None and index.attribute != attribute:
+                continue
+            if not self.schema.has_class(index.class_name):
+                continue
+            if klass.is_subclass_of(self.schema.get_class(index.class_name)):
+                out.append(index)
+        return out
+
+    def _on_event(self, event: Event) -> None:
+        target = event.target
+        if target is None or not event.class_name:
+            return
+        if event.kind is EventKind.AFTER_UPDATE:
+            for index in self._covering(event.class_name, event.attribute):
+                index.impl.remove(event.old_value, target.oid)
+                index.impl.insert(event.new_value, target.oid)
+        elif event.kind in (EventKind.AFTER_CREATE, EventKind.AFTER_RELATE):
+            for index in self._covering(event.class_name, None):
+                index.impl.insert(target.get(index.attribute), target.oid)
+        elif event.kind in (EventKind.BEFORE_DELETE, EventKind.BEFORE_UNRELATE):
+            for index in self._covering(event.class_name, None):
+                index.impl.remove(target.get(index.attribute), target.oid)
+
+    # -- probing -------------------------------------------------------------------
+
+    def probe(
+        self, class_name: str, attribute: str, value: Any
+    ) -> list[PObject] | None:
+        """Exact-match lookup; None when no index covers the probe.
+
+        This is the :data:`~repro.query.evaluator.IndexProbe` fast path of
+        the POOL evaluator (§6.1.5.2).
+        """
+        index = self._indexes.get((class_name, attribute))
+        if index is None:
+            return None
+        index.probes += 1
+        return self._load(index.impl.get(value))
+
+    def range(
+        self,
+        class_name: str,
+        attribute: str,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[PObject]:
+        """Ordered range scan (B-tree indexes only)."""
+        index = self._indexes.get((class_name, attribute))
+        if index is None or not isinstance(index.impl, _BTreeIndex):
+            raise SchemaError(
+                f"no btree index on {class_name}.{attribute}"
+            )
+        index.probes += 1
+        oids: set[int] = set()
+        for _, bucket in index.impl.range(low, high, include_low, include_high):
+            oids |= bucket
+        return self._load(oids)
+
+    def _load(self, oids: frozenset[int] | set[int]) -> list[PObject]:
+        return [
+            self.schema.get_object(oid)
+            for oid in sorted(oids)
+            if self.schema.has_object(oid)
+        ]
+
+
+def _hashable(value: Any) -> Any:
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)

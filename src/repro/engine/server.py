@@ -1,0 +1,221 @@
+"""HTTP access layer (thesis §6.1.7).
+
+A small JSON API over a :class:`~repro.engine.database.PrometheusDB`,
+playing the role of the prototype's HTTP server: remote clients (the
+thesis's taxonomic front-ends) browse the schema, fetch objects, run
+POOL queries and inspect classifications without linking the database.
+
+Endpoints::
+
+    GET  /schema                      — class metaobjects
+    GET  /classes/<name>              — one class description
+    GET  /classes/<name>/extent       — instance OIDs (polymorphic)
+    GET  /objects/<oid>               — one object's state
+    GET  /classifications             — classification names
+    GET  /classifications/<name>      — nodes + edges of one classification
+    POST /query                       — {"query": "...", "params": {...}}
+
+The server is synchronous and threaded; it is an access layer, not a
+concurrency story (the store is single-writer).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import unquote, urlparse
+
+from ..classification import GraphView
+from ..core.identity import OidRef
+from ..core.instances import PObject
+from ..core.metamodel import describe_class
+from ..core.relationships import RelationshipInstance
+from ..errors import PrometheusError
+from .database import PrometheusDB
+
+
+def jsonable(value: Any) -> Any:
+    """Convert query results / object state to JSON-safe structures."""
+    if isinstance(value, PObject):
+        data: dict[str, Any] = {
+            "oid": value.oid,
+            "class": value.pclass.name,
+            "values": {k: jsonable(v) for k, v in value.attributes()},
+        }
+        if isinstance(value, RelationshipInstance):
+            data["origin"] = value.origin_oid
+            data["destination"] = value.destination_oid
+        return data
+    if isinstance(value, OidRef):
+        return {"ref": value.oid}
+    if isinstance(value, GraphView):
+        return {
+            "name": value.name,
+            "nodes": {str(k): jsonable(v) for k, v in value.nodes.items()},
+            "edges": [
+                {
+                    "from": p,
+                    "to": c,
+                    "relationship": r,
+                    "attributes": jsonable(a),
+                }
+                for p, c, r, a in value.edges
+            ],
+        }
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    db: PrometheusDB  # injected by make_server
+
+    # Silence default stderr logging.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def _send(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        try:
+            self._route_get()
+        except PrometheusError as exc:
+            self._error(400, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def _route_get(self) -> None:
+        db = self.db
+        parts = [unquote(p) for p in urlparse(self.path).path.split("/") if p]
+        if parts == ["schema"]:
+            self._send(200, jsonable(db.describe()))
+            return
+        if len(parts) >= 2 and parts[0] == "classes":
+            name = parts[1]
+            if not db.schema.has_class(name):
+                self._error(404, f"unknown class {name!r}")
+                return
+            if len(parts) == 2:
+                self._send(200, jsonable(describe_class(db.schema.get_class(name))))
+                return
+            if len(parts) == 3 and parts[2] == "extent":
+                self._send(
+                    200, [obj.oid for obj in db.schema.extent(name)]
+                )
+                return
+        if len(parts) == 2 and parts[0] == "objects":
+            try:
+                oid = int(parts[1])
+            except ValueError:
+                self._error(400, "oid must be an integer")
+                return
+            if not db.schema.has_object(oid):
+                self._error(404, f"no object {oid}")
+                return
+            self._send(200, jsonable(db.schema.get_object(oid)))
+            return
+        if parts == ["classifications"]:
+            self._send(200, db.classifications.names())
+            return
+        if len(parts) == 2 and parts[0] == "classifications":
+            name = parts[1]
+            if name not in db.classifications:
+                self._error(404, f"unknown classification {name!r}")
+                return
+            classification = db.classifications.get(name)
+            self._send(
+                200,
+                {
+                    "name": classification.name,
+                    "author": classification.author,
+                    "year": classification.year,
+                    "edges": [
+                        {
+                            "oid": e.oid,
+                            "from": e.origin_oid,
+                            "to": e.destination_oid,
+                            "relationship": e.pclass.name,
+                        }
+                        for e in classification.edges()
+                    ],
+                    "roots": [r.oid for r in classification.roots()],
+                },
+            )
+            return
+        self._error(404, f"no route for {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length) if length else b"{}"
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._error(400, "invalid JSON body")
+            return
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+        if parts == ["query"]:
+            text = payload.get("query", "")
+            params = payload.get("params", {})
+            if not isinstance(text, str) or not text.strip():
+                self._error(400, "missing 'query'")
+                return
+            try:
+                result = self.db.query(text, params=params)
+            except PrometheusError as exc:
+                self._error(400, str(exc))
+                return
+            self._send(200, {"result": jsonable(result)})
+            return
+        self._error(404, f"no route for {self.path!r}")
+
+
+class PrometheusServer:
+    """Threaded HTTP server wrapper with clean startup/shutdown."""
+
+    def __init__(self, db: PrometheusDB, host: str = "127.0.0.1", port: int = 0):
+        handler = type("BoundHandler", (_Handler,), {"db": db})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address  # type: ignore[return-value]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="prometheus-http", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "PrometheusServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

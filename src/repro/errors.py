@@ -1,0 +1,176 @@
+"""Exception hierarchy for the Prometheus database.
+
+Every error raised by the library derives from :class:`PrometheusError`, so
+applications can catch a single base class.  The hierarchy mirrors the layers
+of the system (storage, model, relationship semantics, query, rules).
+"""
+
+from __future__ import annotations
+
+
+class PrometheusError(Exception):
+    """Base class of all errors raised by the library."""
+
+
+# ---------------------------------------------------------------------------
+# Storage layer
+# ---------------------------------------------------------------------------
+
+class StorageError(PrometheusError):
+    """Base class for persistent-store failures."""
+
+
+class CorruptRecordError(StorageError):
+    """A log record failed its checksum or structural validation."""
+
+
+class UnknownOidError(StorageError, KeyError):
+    """An OID was requested that the store has never seen (or was deleted)."""
+
+    def __init__(self, oid: int) -> None:
+        super().__init__(f"unknown oid: {oid}")
+        self.oid = oid
+
+
+class TransactionError(StorageError):
+    """Illegal transaction state transition (e.g. commit after abort)."""
+
+
+class SerializationError(StorageError):
+    """A value cannot be encoded to, or decoded from, the record format."""
+
+
+# ---------------------------------------------------------------------------
+# Object model layer
+# ---------------------------------------------------------------------------
+
+class ModelError(PrometheusError):
+    """Base class for schema/metaobject errors."""
+
+
+class SchemaError(ModelError):
+    """Invalid schema definition (duplicate class, bad inheritance, ...)."""
+
+
+class TypeCheckError(ModelError):
+    """A value does not conform to the declared attribute type."""
+
+
+class AttributeUnknownError(ModelError, AttributeError):
+    """Access to an attribute that the class does not declare."""
+
+    def __init__(self, class_name: str, attr: str) -> None:
+        super().__init__(f"class {class_name!r} has no attribute {attr!r}")
+        self.class_name = class_name
+        self.attr = attr
+
+
+class InstanceDeletedError(ModelError):
+    """Operation on an object that has been deleted."""
+
+
+# ---------------------------------------------------------------------------
+# Relationship layer
+# ---------------------------------------------------------------------------
+
+class RelationshipError(ModelError):
+    """Base class for relationship definition/instantiation errors."""
+
+
+class SemanticsError(RelationshipError):
+    """Invalid combination of built-in relationship behaviours (Table 3)."""
+
+
+class CardinalityError(RelationshipError):
+    """A relationship instance would violate declared cardinalities."""
+
+
+class ExclusivityError(RelationshipError):
+    """A part would acquire two owners through an exclusive aggregation."""
+
+
+class ConstancyError(RelationshipError):
+    """Attempt to modify a relationship declared constant (unchangeable)."""
+
+
+# ---------------------------------------------------------------------------
+# Classification layer
+# ---------------------------------------------------------------------------
+
+class ClassificationError(PrometheusError):
+    """Invalid classification operation (cycle, wrong context, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Taxonomy substrate
+# ---------------------------------------------------------------------------
+
+class TaxonomyError(PrometheusError):
+    """Base class for taxonomic-model violations."""
+
+
+class RankOrderError(TaxonomyError):
+    """A placement violates the ICBN rank ordering."""
+
+
+class NomenclatureError(TaxonomyError):
+    """A name violates the ICBN formation rules (ending, capitalisation)."""
+
+
+class TypificationError(TaxonomyError):
+    """Illegal type designation (e.g. two holotypes for one name)."""
+
+
+class DerivationError(TaxonomyError):
+    """Automatic name derivation could not complete."""
+
+
+# ---------------------------------------------------------------------------
+# Query language (POOL)
+# ---------------------------------------------------------------------------
+
+class QueryError(PrometheusError):
+    """Base class for POOL errors."""
+
+
+class LexError(QueryError):
+    """Invalid character or token in the query text."""
+
+    def __init__(self, message: str, position: int, line: int = 1) -> None:
+        super().__init__(f"{message} (line {line}, pos {position})")
+        self.position = position
+        self.line = line
+
+
+class ParseError(QueryError):
+    """Query text does not conform to the POOL grammar."""
+
+
+class EvaluationError(QueryError):
+    """Runtime failure while evaluating a query."""
+
+
+# ---------------------------------------------------------------------------
+# Rules / constraints
+# ---------------------------------------------------------------------------
+
+class RuleError(PrometheusError):
+    """Base class for rule-engine errors."""
+
+
+class ConstraintViolation(RuleError):
+    """A constraint's condition evaluated false; carries the failing rule."""
+
+    def __init__(self, rule_name: str, message: str = "") -> None:
+        text = f"constraint {rule_name!r} violated"
+        if message:
+            text += f": {message}"
+        super().__init__(text)
+        self.rule_name = rule_name
+
+class RuleCascadeError(RuleError):
+    """Rule execution exceeded the cascade (recursion) limit."""
+
+
+class PCLError(RuleError):
+    """PCL text could not be parsed or translated."""

@@ -1,0 +1,72 @@
+"""POOL — the Prometheus Object-Oriented Language (thesis chapter 5.1).
+
+An OQL-derived, select-only query language extended with:
+
+* uniform treatment of objects and relationship instances;
+* relationship traversal operators ``->`` / ``<-`` with transitive
+  closures ``*`` / ``+`` / ``{m,n}`` (depth control) and per-
+  classification scoping ``->Rel["name"]``;
+* selective downcast ``(Class) expr``;
+* graph extraction ``extract graph from <expr> via Rel ...``;
+* static type checking against the schema's metaobjects.
+
+Entry points: :func:`parse`, :func:`execute`, :func:`typecheck`.
+"""
+
+from .evaluator import Evaluator, QueryContext, execute
+from .lexer import tokenize
+from .nodes import (
+    AttributeAccess,
+    Binary,
+    Binding,
+    Downcast,
+    ExistsExpr,
+    ExtractGraphQuery,
+    FunctionCall,
+    Literal,
+    MethodCall,
+    Node,
+    OrderItem,
+    Parameter,
+    ProjectionItem,
+    Query,
+    SelectQuery,
+    SetOperation,
+    Traversal,
+    Unary,
+    Variable,
+)
+from .parser import Parser, parse, parse_expression
+from .typecheck import TypeChecker, TypeReport, typecheck
+
+__all__ = [
+    "AttributeAccess",
+    "Binary",
+    "Binding",
+    "Downcast",
+    "Evaluator",
+    "ExistsExpr",
+    "ExtractGraphQuery",
+    "FunctionCall",
+    "Literal",
+    "MethodCall",
+    "Node",
+    "OrderItem",
+    "Parameter",
+    "Parser",
+    "ProjectionItem",
+    "Query",
+    "QueryContext",
+    "SelectQuery",
+    "SetOperation",
+    "Traversal",
+    "TypeChecker",
+    "TypeReport",
+    "Unary",
+    "Variable",
+    "execute",
+    "parse",
+    "parse_expression",
+    "tokenize",
+    "typecheck",
+]

@@ -1,0 +1,846 @@
+"""POOL evaluator: executes a parsed query against a schema.
+
+Semantics highlights (thesis §5.1):
+
+* **uniform treatment of relationships and objects** — relationship
+  classes are extents like any other; ``r.origin`` / ``r.destination``
+  navigate an edge's endpoints; object attributes and edge attributes
+  read identically;
+* **traversal** — ``x->Rel`` yields the destination objects of Rel edges
+  leaving ``x``; ``x<-Rel`` the origins of edges arriving at ``x``;
+  closures ``*``, ``+`` and ``{m,n}`` walk transitively with depth
+  control; ``->Rel["name"]`` restricts edges to one classification;
+* **selective downcast** — ``(Species) x`` filters a value or collection
+  to instances of a class;
+* **object conservation** (§5.1.2.2) — queries return the objects
+  themselves, never copies, so results can be fed to further operations;
+* **select-only** (§5.1.2.1) — evaluation never mutates the database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from ..classification import ClassificationManager, GraphView
+from ..core.instances import PObject
+from ..core.relationships import RelationshipInstance
+from ..core.schema import Schema
+from ..errors import AttributeUnknownError, EvaluationError
+from .functions import FUNCTIONS, call_value_method
+from .nodes import (
+    AttributeAccess,
+    Binary,
+    Downcast,
+    ExistsExpr,
+    ExtractGraphQuery,
+    FunctionCall,
+    Literal,
+    MethodCall,
+    Node,
+    Parameter,
+    QueryPlanInfo,
+    SelectQuery,
+    SetOperation,
+    Traversal,
+    Unary,
+    Variable,
+)
+from .parser import parse
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+#: Optional fast path: (class_name, attribute, value) -> objects or None.
+IndexProbe = Callable[[str, str, Any], "list[PObject] | None"]
+
+
+@dataclass
+class QueryContext:
+    """Everything a query evaluation needs besides the AST."""
+
+    schema: Schema
+    classifications: ClassificationManager | None = None
+    params: dict[str, Any] = field(default_factory=dict)
+    index_probe: IndexProbe | None = None
+    plan: QueryPlanInfo = field(default_factory=QueryPlanInfo)
+
+
+class Evaluator:
+    """Evaluates POOL ASTs within a :class:`QueryContext`."""
+
+    def __init__(self, context: QueryContext) -> None:
+        self.context = context
+
+    # ------------------------------------------------------------------
+    # public entry points
+    # ------------------------------------------------------------------
+
+    def run(self, query: "SelectQuery | ExtractGraphQuery | SetOperation") -> Any:
+        if isinstance(query, SelectQuery):
+            return self._run_select(query, {})
+        if isinstance(query, ExtractGraphQuery):
+            return self._run_extract(query, {})
+        if isinstance(query, SetOperation):
+            return self._run_setop(query, {})
+        raise EvaluationError(f"not a query: {query!r}")
+
+    def _run_setop(
+        self, query: "SetOperation", env: dict[str, Any]
+    ) -> list[Any]:
+        """OQL set operators with identity semantics on objects."""
+        def results(side: Any) -> list[Any]:
+            if isinstance(side, SetOperation):
+                return self._run_setop(side, env)
+            return self._run_select(side, env)
+
+        left = results(query.left)
+        right = results(query.right)
+        right_keys = {_result_key(item) for item in right}
+        if query.op == "union":
+            out = list(left)
+            seen = {_result_key(item) for item in left}
+            for item in right:
+                key = _result_key(item)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(item)
+            return out
+        if query.op == "intersect":
+            return _distinct(
+                [item for item in left if _result_key(item) in right_keys]
+            )
+        if query.op == "except":
+            return _distinct(
+                [item for item in left if _result_key(item) not in right_keys]
+            )
+        raise EvaluationError(f"unknown set operator {query.op!r}")
+
+    def evaluate(self, node: Node, env: dict[str, Any] | None = None) -> Any:
+        return self._eval(node, env or {})
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+
+    #: Aggregates that, projected alone over a query, fold all rows.
+    _AGGREGATES = ("count", "size", "sum", "avg", "min", "max")
+
+    def _run_select(
+        self, query: SelectQuery, outer_env: dict[str, Any]
+    ) -> list[Any]:
+        if query.group_by:
+            return self._run_grouped(query, outer_env)
+        aggregate = self._aggregate_projection(query)
+        if aggregate is not None:
+            result = self._run_aggregate(query, aggregate, outer_env)
+            return result if isinstance(result, list) else [result]
+        kept: list[tuple[tuple[_SortKey, ...], Any]] = []
+        for env in self._bind_rows(query, outer_env):
+            if query.where is not None and not _truthy(
+                self._eval(query.where, env)
+            ):
+                continue
+            # ORDER BY keys are computed against the binding environment,
+            # before projection, so they may use any bound variable.
+            keys = tuple(
+                _SortKey(self._eval(item.expression, env), item.descending)
+                for item in query.order_by
+            )
+            kept.append((keys, self._project(query, env)))
+        if query.order_by:
+            kept.sort(key=lambda pair: pair[0])
+        results = [value for _, value in kept]
+        if query.distinct:
+            results = _distinct(results)
+        if query.limit is not None:
+            results = results[: query.limit]
+        return results
+
+    def _run_grouped(
+        self, query: SelectQuery, outer_env: dict[str, Any]
+    ) -> list[Any]:
+        """GROUP BY evaluation (OQL-flavoured subset).
+
+        Rows surviving the WHERE clause are partitioned by the group-key
+        expressions.  In the projection, HAVING and ORDER BY clauses,
+        top-level aggregate calls fold over each group's rows; any other
+        expression is evaluated against a representative row (so it
+        should be functionally dependent on the group keys).
+        """
+        if not query.projection:
+            raise EvaluationError("group by requires an explicit projection")
+        groups: dict[tuple[Any, ...], list[dict[str, Any]]] = {}
+        order: list[tuple[Any, ...]] = []
+        for env in self._bind_rows(query, outer_env):
+            if query.where is not None and not _truthy(
+                self._eval(query.where, env)
+            ):
+                continue
+            key = tuple(
+                _result_key(self._eval(expr, env)) for expr in query.group_by
+            )
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(env)
+        kept: list[tuple[tuple[_SortKey, ...], Any]] = []
+        for key in order:
+            rows = groups[key]
+            if query.having is not None and not _truthy(
+                self._eval_grouped(query.having, rows)
+            ):
+                continue
+            alias_values: dict[str, Any] = {}
+            if len(query.projection) == 1 and query.projection[0].alias is None:
+                projected: Any = self._eval_grouped(
+                    query.projection[0].expression, rows
+                )
+            else:
+                projected = {}
+                for index, item in enumerate(query.projection):
+                    label = item.alias or f"col{index}"
+                    projected[label] = self._eval_grouped(item.expression, rows)
+                alias_values = projected
+            # ORDER BY may name projection aliases or group expressions.
+            sort_keys = tuple(
+                _SortKey(
+                    alias_values[item.expression.name]
+                    if isinstance(item.expression, Variable)
+                    and item.expression.name in alias_values
+                    else self._eval_grouped(item.expression, rows),
+                    item.descending,
+                )
+                for item in query.order_by
+            )
+            kept.append((sort_keys, projected))
+        if query.order_by:
+            kept.sort(key=lambda pair: pair[0])
+        results = [value for _, value in kept]
+        if query.distinct:
+            results = _distinct(results)
+        if query.limit is not None:
+            results = results[: query.limit]
+        return results
+
+    def _eval_grouped(
+        self, expr: Node, rows: list[dict[str, Any]]
+    ) -> Any:
+        """Evaluate one expression over a group of rows.
+
+        Aggregate calls anywhere in the expression fold the per-row
+        values of their argument (``having count(t) > 5``,
+        ``max(n.year) - min(n.year)``); non-aggregate subexpressions use
+        the group's first row.
+        """
+        if not rows:
+            return None
+        if (
+            isinstance(expr, FunctionCall)
+            and expr.name in self._AGGREGATES
+            and len(expr.args) == 1
+        ):
+            values = [self._eval(expr.args[0], env) for env in rows]
+            return FUNCTIONS[expr.name](values)
+        if isinstance(expr, Binary):
+            if expr.op == "and":
+                return _truthy(self._eval_grouped(expr.left, rows)) and _truthy(
+                    self._eval_grouped(expr.right, rows)
+                )
+            if expr.op == "or":
+                return _truthy(self._eval_grouped(expr.left, rows)) or _truthy(
+                    self._eval_grouped(expr.right, rows)
+                )
+            return _apply_binary(
+                expr.op,
+                self._eval_grouped(expr.left, rows),
+                self._eval_grouped(expr.right, rows),
+            )
+        if isinstance(expr, Unary):
+            value = self._eval_grouped(expr.operand, rows)
+            if expr.op == "not":
+                return not _truthy(value)
+            return None if value is None else -value
+        return self._eval(expr, rows[0])
+
+    def _aggregate_projection(self, query: SelectQuery) -> FunctionCall | None:
+        """Detect ``select count(expr) from ...``-style aggregation.
+
+        A single, unaliased projection that is a call to an aggregate
+        function folds the whole result set (OQL semantics) rather than
+        mapping per row.
+        """
+        if len(query.projection) != 1 or query.projection[0].alias is not None:
+            return None
+        expr = query.projection[0].expression
+        if isinstance(expr, FunctionCall) and expr.name in self._AGGREGATES:
+            if len(expr.args) == 1:
+                return expr
+        return None
+
+    def _run_aggregate(
+        self,
+        query: SelectQuery,
+        aggregate: FunctionCall,
+        outer_env: dict[str, Any],
+    ) -> Any:
+        """Aggregate projection semantics.
+
+        ``select count(x) ...`` / ``select min(x.year) ...`` fold all
+        rows to one value (OQL).  When the argument evaluates to a
+        *collection* per row (``count(t->Includes)``), the aggregate maps
+        per row instead — the per-node fan-out question.
+        """
+        values: list[Any] = []
+        for env in self._bind_rows(query, outer_env):
+            if query.where is not None and not _truthy(
+                self._eval(query.where, env)
+            ):
+                continue
+            values.append(self._eval(aggregate.args[0], env))
+        if query.distinct:
+            values = _distinct(values)
+        fn = FUNCTIONS[aggregate.name]
+        if values and all(isinstance(v, (list, tuple)) for v in values):
+            return [fn(v) for v in values]
+        return fn(values)
+
+    def _bind_rows(
+        self, query: SelectQuery, outer_env: dict[str, Any]
+    ) -> Iterator[dict[str, Any]]:
+        """Generate variable environments from the FROM clause.
+
+        Bindings may reference earlier binding variables, so the product
+        is built left-to-right, re-evaluating dependent sources per row.
+        """
+        def expand(
+            index: int, env: dict[str, Any]
+        ) -> Iterator[dict[str, Any]]:
+            if index == len(query.bindings):
+                yield env
+                return
+            binding = query.bindings[index]
+            source = self._eval_source(binding.source, env, query)
+            for value in source:
+                child = dict(env)
+                child[binding.variable] = value
+                yield from expand(index + 1, child)
+
+        yield from expand(0, dict(outer_env))
+
+    def _eval_source(
+        self, source: Node, env: dict[str, Any], query: SelectQuery
+    ) -> list[Any]:
+        # An extent name used as a source gets the index fast path when
+        # the WHERE clause is a simple equality on that binding.
+        if isinstance(source, Variable) and source.name not in env:
+            if self.context.schema.has_class(source.name):
+                fast = self._try_index(source.name, query)
+                if fast is not None:
+                    return fast
+                self.context.plan.extent_scans += 1
+                return list(self.context.schema.extent(source.name))
+        value = self._eval(source, env)
+        if value is None:
+            return []
+        if isinstance(value, (list, tuple, set, frozenset)):
+            return list(value)
+        return [value]
+
+    def _try_index(
+        self, class_name: str, query: SelectQuery
+    ) -> list[PObject] | None:
+        """Index fast path for the extent source (§6.1.5.2–6.1.5.3).
+
+        Any equality conjunct ``var.attr = literal`` (or with a bound
+        parameter) reachable through the top-level AND chain of the WHERE
+        clause can seed the candidate set from an index; the full WHERE
+        clause is still evaluated afterwards, so this is purely an access
+        path optimisation.
+        """
+        probe = self.context.index_probe
+        if probe is None or query.where is None:
+            return None
+        if len(query.bindings) != 1:
+            return None
+        binding = query.bindings[0]
+        if (
+            not isinstance(binding.source, Variable)
+            or binding.source.name != class_name
+        ):
+            return None
+        for attr, value in self._indexable_conjuncts(
+            query.where, binding.variable
+        ):
+            hit = probe(class_name, attr, value)
+            if hit is not None:
+                self.context.plan.index_used = f"{class_name}.{attr}"
+                return hit
+        return None
+
+    def _indexable_conjuncts(
+        self, condition: Node, variable: str
+    ) -> Iterator[tuple[str, Any]]:
+        """Yield (attribute, constant) for equality conjuncts on
+        ``variable`` in the top-level AND chain."""
+        if isinstance(condition, Binary) and condition.op == "and":
+            yield from self._indexable_conjuncts(condition.left, variable)
+            yield from self._indexable_conjuncts(condition.right, variable)
+            return
+        if not (isinstance(condition, Binary) and condition.op == "="):
+            return
+        for lhs, rhs in (
+            (condition.left, condition.right),
+            (condition.right, condition.left),
+        ):
+            if (
+                isinstance(lhs, AttributeAccess)
+                and isinstance(lhs.target, Variable)
+                and lhs.target.name == variable
+            ):
+                if isinstance(rhs, Literal):
+                    yield (lhs.name, rhs.value)
+                elif isinstance(rhs, Parameter):
+                    if rhs.name in self.context.params:
+                        yield (lhs.name, self.context.params[rhs.name])
+
+    def _project(self, query: SelectQuery, env: dict[str, Any]) -> Any:
+        if not query.projection:
+            # '*': the whole binding environment (single var → the object).
+            if len(query.bindings) == 1:
+                return env[query.bindings[0].variable]
+            return {b.variable: env[b.variable] for b in query.bindings}
+        if len(query.projection) == 1 and query.projection[0].alias is None:
+            return self._eval(query.projection[0].expression, env)
+        row: dict[str, Any] = {}
+        for index, item in enumerate(query.projection):
+            key = item.alias or f"col{index}"
+            row[key] = self._eval(item.expression, env)
+        return row
+
+    # ------------------------------------------------------------------
+    # EXTRACT GRAPH
+    # ------------------------------------------------------------------
+
+    def _run_extract(
+        self, query: ExtractGraphQuery, env: dict[str, Any]
+    ) -> GraphView:
+        start = self._eval(query.start, env)
+        starts: list[PObject] = []
+        for value in start if isinstance(start, list) else [start]:
+            if not isinstance(value, PObject):
+                raise EvaluationError(
+                    "extract graph: start must evaluate to object(s)"
+                )
+            starts.append(value)
+        view = GraphView(name=f"extract via {query.relationship}")
+        schema = self.context.schema
+        edges_allowed: set[int] | None = None
+        if query.classification is not None:
+            manager = self._manager()
+            classification = manager.get(query.classification)
+            edges_allowed = {e.oid for e in classification.edges()}
+            view.name += f" in {query.classification!r}"
+        seen_edges: set[int] = set()
+        frontier = [(obj, 0) for obj in starts]
+        seen_nodes = {obj.oid for obj in starts}
+        for obj in starts:
+            view.nodes[obj.oid] = {"class": obj.pclass.name, **obj.to_dict()}
+        while frontier:
+            obj, depth = frontier.pop()
+            if query.depth is not None and depth >= query.depth:
+                continue
+            for edge in schema.relationships.outgoing(
+                obj.oid, query.relationship
+            ):
+                if edges_allowed is not None and edge.oid not in edges_allowed:
+                    continue
+                if edge.oid in seen_edges:
+                    continue
+                seen_edges.add(edge.oid)
+                dest_oid = edge.destination_oid
+                if schema.has_object(dest_oid) and dest_oid not in view.nodes:
+                    dest = schema.get_object(dest_oid)
+                    view.nodes[dest_oid] = {
+                        "class": dest.pclass.name,
+                        **dest.to_dict(),
+                    }
+                view.edges.append(
+                    (edge.origin_oid, dest_oid, edge.pclass.name, edge.to_dict())
+                )
+                if dest_oid not in seen_nodes and schema.has_object(dest_oid):
+                    seen_nodes.add(dest_oid)
+                    frontier.append((schema.get_object(dest_oid), depth + 1))
+        return view
+
+    def _manager(self) -> ClassificationManager:
+        if self.context.classifications is None:
+            raise EvaluationError(
+                "query uses classification scope but no ClassificationManager "
+                "was provided"
+            )
+        return self.context.classifications
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def _eval(self, node: Node, env: dict[str, Any]) -> Any:
+        if isinstance(node, Literal):
+            return node.value
+        if isinstance(node, Parameter):
+            try:
+                return self.context.params[node.name]
+            except KeyError:
+                raise EvaluationError(
+                    f"missing query parameter ${node.name}"
+                ) from None
+        if isinstance(node, Variable):
+            if node.name in env:
+                return env[node.name]
+            if self.context.schema.has_class(node.name):
+                self.context.plan.extent_scans += 1
+                return list(self.context.schema.extent(node.name))
+            raise EvaluationError(f"unbound variable {node.name!r}")
+        if isinstance(node, AttributeAccess):
+            return self._attribute(self._eval(node.target, env), node.name)
+        if isinstance(node, MethodCall):
+            target = self._eval(node.target, env)
+            args = tuple(self._eval(a, env) for a in node.args)
+            return self._method(target, node.name, args)
+        if isinstance(node, FunctionCall):
+            args = tuple(self._eval(a, env) for a in node.args)
+            return self._function(node.name, args)
+        if isinstance(node, Traversal):
+            return self._traverse(node, env)
+        if isinstance(node, Downcast):
+            return self._downcast(node.class_name, self._eval(node.target, env))
+        if isinstance(node, Unary):
+            value = self._eval(node.operand, env)
+            if node.op == "not":
+                return not _truthy(value)
+            if value is None:
+                return None
+            return -value
+        if isinstance(node, Binary):
+            return self._binary(node, env)
+        if isinstance(node, SelectQuery):
+            return self._run_select(node, env)
+        if isinstance(node, ExistsExpr):
+            return len(self._run_select(node.subquery, env)) > 0
+        raise EvaluationError(f"cannot evaluate node {type(node).__name__}")
+
+    def _attribute(self, target: Any, name: str) -> Any:
+        if target is None:
+            return None
+        if isinstance(target, (list, tuple, set, frozenset)):
+            return [self._attribute(item, name) for item in target]
+        if isinstance(target, RelationshipInstance):
+            if name == "origin":
+                return target.origin_object()
+            if name == "destination":
+                return target.destination_object()
+            if name in target.relationship_class.participant_roles:
+                return target.participant(name)
+        if isinstance(target, PObject):
+            if name == "oid":
+                return target.oid
+            try:
+                return target.get(name)
+            except AttributeUnknownError:
+                # Null semantics for polymorphic navigation: a member of a
+                # mixed collection that lacks the attribute yields null
+                # (static typos are the type checker's job, §5.1.2.4).
+                return None
+        if isinstance(target, dict):
+            if name in target:
+                return target[name]
+            raise EvaluationError(f"row has no column {name!r}")
+        if isinstance(target, GraphView):
+            if name == "nodes":
+                return list(target.nodes)
+            if name == "edges":
+                return target.edges
+            if name == "name":
+                return target.name
+        raise EvaluationError(
+            f"cannot read attribute {name!r} of {type(target).__name__}"
+        )
+
+    def _method(self, target: Any, name: str, args: tuple[Any, ...]) -> Any:
+        if target is None:
+            return None
+        if isinstance(target, PObject) and target.pclass.has_method(name):
+            return target.call(name, *args)
+        return call_value_method(target, name, args)
+
+    def _function(self, name: str, args: tuple[Any, ...]) -> Any:
+        if name == "roles":
+            obj = args[0] if args else None
+            if not isinstance(obj, PObject):
+                raise EvaluationError("roles(): argument must be an object")
+            return self.context.schema.relationships.roles_of(obj)
+        if name == "synonyms_of":
+            obj = args[0] if args else None
+            if not isinstance(obj, PObject):
+                raise EvaluationError("synonyms_of(): argument must be an object")
+            schema = self.context.schema
+            return [
+                schema.get_object(oid)
+                for oid in sorted(schema.synonyms.synonyms_of(obj.oid))
+                if schema.has_object(oid)
+            ]
+        try:
+            fn = FUNCTIONS[name]
+        except KeyError:
+            raise EvaluationError(f"unknown function {name!r}") from None
+        return fn(*args)
+
+    def _traverse(self, node: Traversal, env: dict[str, Any]) -> list[PObject]:
+        value = self._eval(node.target, env)
+        starts: list[PObject] = []
+        for item in value if isinstance(value, (list, tuple)) else [value]:
+            if item is None:
+                continue
+            if not isinstance(item, PObject):
+                raise EvaluationError(
+                    f"traversal ->{node.relationship} on non-object "
+                    f"{type(item).__name__}"
+                )
+            starts.append(item)
+        schema = self.context.schema
+        if not schema.has_class(node.relationship):
+            raise EvaluationError(
+                f"unknown relationship class {node.relationship!r}"
+            )
+        allowed: set[int] | None = None
+        if node.scope is not None:
+            classification = self._manager().get(node.scope)
+            allowed = classification._edge_oids
+
+        def neighbours(obj: PObject) -> list[PObject]:
+            if node.inverse:
+                edges = schema.relationships.incoming(obj.oid, node.relationship)
+            else:
+                edges = schema.relationships.outgoing(obj.oid, node.relationship)
+            out = []
+            for edge in edges:
+                if allowed is not None and edge.oid not in allowed:
+                    continue
+                other = edge.other_end(obj.oid)
+                if schema.has_object(other):
+                    out.append(schema.get_object(other))
+            return out
+
+        result: list[PObject] = []
+        result_oids: set[int] = set()
+        max_depth = node.max_depth
+
+        def collect(obj: PObject) -> None:
+            if obj.oid not in result_oids:
+                result_oids.add(obj.oid)
+                result.append(obj)
+
+        for start in starts:
+            if node.min_depth == 0:
+                collect(start)
+            frontier = [start]
+            visited = {start.oid}
+            depth = 0
+            while frontier and (max_depth is None or depth < max_depth):
+                depth += 1
+                next_frontier: list[PObject] = []
+                for obj in frontier:
+                    for nb in neighbours(obj):
+                        if nb.oid in visited:
+                            continue
+                        visited.add(nb.oid)
+                        next_frontier.append(nb)
+                        if depth >= node.min_depth:
+                            collect(nb)
+                frontier = next_frontier
+        return result
+
+    def _downcast(self, class_name: str, value: Any) -> Any:
+        schema = self.context.schema
+        target_class = schema.get_class(class_name)
+
+        def keep(item: Any) -> bool:
+            return isinstance(item, PObject) and item.pclass.is_subclass_of(
+                target_class
+            )
+
+        if isinstance(value, (list, tuple)):
+            return [item for item in value if keep(item)]
+        return value if keep(value) else None
+
+    def _binary(self, node: Binary, env: dict[str, Any]) -> Any:
+        op = node.op
+        if op == "and":
+            left = self._eval(node.left, env)
+            if not _truthy(left):
+                return False
+            return _truthy(self._eval(node.right, env))
+        if op == "or":
+            left = self._eval(node.left, env)
+            if _truthy(left):
+                return True
+            return _truthy(self._eval(node.right, env))
+        left = self._eval(node.left, env)
+        right = self._eval(node.right, env)
+        return _apply_binary(op, left, right)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+class _SortKey:
+    """Total-order key tolerating None and mixed types, with direction."""
+
+    __slots__ = ("value", "descending")
+
+    def __init__(self, value: Any, descending: bool) -> None:
+        self.value = value
+        self.descending = descending
+
+    def _rank(self) -> tuple[int, Any]:
+        v = self.value
+        if v is None:
+            return (0, 0)
+        if isinstance(v, bool):
+            return (1, int(v))
+        if isinstance(v, (int, float)):
+            return (2, v)
+        if isinstance(v, str):
+            return (3, v)
+        if isinstance(v, PObject):
+            return (4, v.oid)
+        return (5, repr(v))
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        a, b = self._rank(), other._rank()
+        if self.descending:
+            a, b = b, a
+        if a[0] != b[0]:
+            return a[0] < b[0]
+        return a[1] < b[1]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortKey) and self._rank() == other._rank()
+
+
+def _apply_binary(op: str, left: Any, right: Any) -> Any:
+    """Value-level binary operator semantics (no short-circuit ops)."""
+    if op == "in":
+        if right is None:
+            return False
+        if isinstance(right, str):
+            return isinstance(left, str) and left in right
+        return left in list(right)
+    if op == "like":
+        return _like(left, right)
+    if op in ("=", "!="):
+        equal = _equal(left, right)
+        return equal if op == "=" else not equal
+    if left is None or right is None:
+        return None
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise EvaluationError("division by zero")
+        return left / right
+    if op == "%":
+        if right == 0:
+            raise EvaluationError("modulo by zero")
+        return left % right
+    raise EvaluationError(f"unknown operator {op!r}")
+
+
+def _truthy(value: Any) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, (list, tuple, set, frozenset, dict, str)):
+        return len(value) > 0
+    return bool(value)
+
+
+def _equal(left: Any, right: Any) -> bool:
+    if isinstance(left, PObject) and isinstance(right, PObject):
+        return left.oid == right.oid
+    return left == right
+
+
+def _like(value: Any, pattern: Any) -> bool:
+    """SQL-style LIKE: ``%`` any run, ``_`` one char."""
+    if not isinstance(value, str) or not isinstance(pattern, str):
+        return False
+    import re
+
+    regex = "^"
+    for ch in pattern:
+        if ch == "%":
+            regex += ".*"
+        elif ch == "_":
+            regex += "."
+        else:
+            regex += re.escape(ch)
+    regex += "$"
+    return re.match(regex, value) is not None
+
+
+def _result_key(value: Any) -> Any:
+    """Hashable identity key: OID for objects, value for scalars."""
+    if isinstance(value, PObject):
+        return ("obj", value.oid)
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+def _distinct(values: list[Any]) -> list[Any]:
+    out: list[Any] = []
+    seen: set[Any] = set()
+    for value in values:
+        key = _result_key(value)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(value)
+    return out
+
+
+def execute(
+    schema: Schema,
+    text: str,
+    classifications: ClassificationManager | None = None,
+    params: dict[str, Any] | None = None,
+    index_probe: IndexProbe | None = None,
+) -> Any:
+    """Parse and evaluate POOL ``text`` against ``schema``.
+
+    Returns a list of results for SELECT queries, a
+    :class:`~repro.classification.GraphView` for EXTRACT GRAPH queries.
+    """
+    context = QueryContext(
+        schema=schema,
+        classifications=classifications,
+        params=params or {},
+        index_probe=index_probe,
+    )
+    return Evaluator(context).run(parse(text))

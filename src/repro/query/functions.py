@@ -1,0 +1,214 @@
+"""Built-in POOL functions and value methods.
+
+POOL keeps OQL's select-only character (§5.1.2.1) — functions never
+mutate the database.  Two namespaces exist:
+
+* **functions** — called as ``name(args...)`` in query text;
+* **value methods** — called as ``expr.name(args...)`` on strings and
+  collections, complementing user-defined methods on Prometheus objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..core.instances import PObject
+from ..errors import EvaluationError
+
+
+def _as_list(value: Any) -> list[Any]:
+    if value is None:
+        return []
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return list(value)
+    return [value]
+
+
+def _numeric_items(value: Any, what: str) -> list[float]:
+    items = [v for v in _as_list(value) if v is not None]
+    for item in items:
+        if not isinstance(item, (int, float)) or isinstance(item, bool):
+            raise EvaluationError(f"{what}: non-numeric element {item!r}")
+    return items
+
+
+def fn_count(value: Any) -> int:
+    return len(_as_list(value))
+
+
+def fn_sum(value: Any) -> float | int:
+    return sum(_numeric_items(value, "sum"))
+
+
+def fn_avg(value: Any) -> float | None:
+    items = _numeric_items(value, "avg")
+    return sum(items) / len(items) if items else None
+
+
+def fn_min(value: Any) -> Any:
+    items = [v for v in _as_list(value) if v is not None]
+    return min(items) if items else None
+
+
+def fn_max(value: Any) -> Any:
+    items = [v for v in _as_list(value) if v is not None]
+    return max(items) if items else None
+
+
+def fn_exists(value: Any) -> bool:
+    return len(_as_list(value)) > 0
+
+
+def fn_distinct(value: Any) -> list[Any]:
+    out: list[Any] = []
+    seen: set[Any] = set()
+    for item in _as_list(value):
+        try:
+            key: Any = item
+            if key in seen:
+                continue
+            seen.add(key)
+        except TypeError:
+            key = repr(item)
+            if key in seen:
+                continue
+            seen.add(key)
+        out.append(item)
+    return out
+
+
+def fn_flatten(value: Any) -> list[Any]:
+    out: list[Any] = []
+    for item in _as_list(value):
+        if isinstance(item, (list, tuple, set, frozenset)):
+            out.extend(item)
+        else:
+            out.append(item)
+    return out
+
+
+def fn_first(value: Any) -> Any:
+    items = _as_list(value)
+    return items[0] if items else None
+
+
+def fn_last(value: Any) -> Any:
+    items = _as_list(value)
+    return items[-1] if items else None
+
+
+def fn_element(value: Any) -> Any:
+    """ODMG element(): the single member of a singleton collection."""
+    items = _as_list(value)
+    if len(items) != 1:
+        raise EvaluationError(
+            f"element(): expected exactly one element, got {len(items)}"
+        )
+    return items[0]
+
+
+def fn_abs(value: Any) -> Any:
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise EvaluationError(f"abs(): non-numeric {value!r}")
+    return abs(value)
+
+
+def fn_oid(value: Any) -> Any:
+    if value is None:
+        return None
+    if isinstance(value, PObject):
+        return value.oid
+    raise EvaluationError(f"oid(): not an object: {value!r}")
+
+
+def fn_class_of(value: Any) -> Any:
+    if value is None:
+        return None
+    if isinstance(value, PObject):
+        return value.pclass.name
+    return type(value).__name__
+
+
+def fn_nvl(value: Any, default: Any) -> Any:
+    return default if value is None else value
+
+
+FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "count": fn_count,
+    "size": fn_count,
+    "sum": fn_sum,
+    "avg": fn_avg,
+    "min": fn_min,
+    "max": fn_max,
+    "exists": fn_exists,
+    "distinct": fn_distinct,
+    "unique": fn_distinct,
+    "flatten": fn_flatten,
+    "first": fn_first,
+    "last": fn_last,
+    "element": fn_element,
+    "abs": fn_abs,
+    "oid": fn_oid,
+    "class_of": fn_class_of,
+    "nvl": fn_nvl,
+}
+
+
+# ---------------------------------------------------------------------------
+# value methods (expr.name(args))
+# ---------------------------------------------------------------------------
+
+def _method_starts_with(value: str, prefix: Any) -> bool:
+    return isinstance(value, str) and value.startswith(str(prefix))
+
+
+def _method_ends_with(value: str, suffix: Any) -> bool:
+    return isinstance(value, str) and value.endswith(str(suffix))
+
+
+def _method_contains(value: Any, item: Any) -> bool:
+    if isinstance(value, str):
+        return str(item) in value
+    return item in _as_list(value)
+
+
+STRING_METHODS: dict[str, Callable[..., Any]] = {
+    "startsWith": _method_starts_with,
+    "endsWith": _method_ends_with,
+    "contains": _method_contains,
+    "lower": lambda v: v.lower() if isinstance(v, str) else v,
+    "upper": lambda v: v.upper() if isinstance(v, str) else v,
+    "length": lambda v: len(v) if v is not None else 0,
+    "strip": lambda v: v.strip() if isinstance(v, str) else v,
+}
+
+COLLECTION_METHODS: dict[str, Callable[..., Any]] = {
+    "count": fn_count,
+    "size": fn_count,
+    "isEmpty": lambda v: len(_as_list(v)) == 0,
+    "notEmpty": lambda v: len(_as_list(v)) > 0,
+    "first": fn_first,
+    "last": fn_last,
+    "contains": _method_contains,
+    "includes": _method_contains,
+    "distinct": fn_distinct,
+    "sum": fn_sum,
+    "min": fn_min,
+    "max": fn_max,
+    "avg": fn_avg,
+}
+
+
+def call_value_method(value: Any, name: str, args: tuple[Any, ...]) -> Any:
+    """Dispatch a method call on a non-Prometheus value."""
+    if isinstance(value, str) and name in STRING_METHODS:
+        return STRING_METHODS[name](value, *args)
+    if name in COLLECTION_METHODS:
+        return COLLECTION_METHODS[name](value, *args)
+    if isinstance(value, str) and name in COLLECTION_METHODS:
+        return COLLECTION_METHODS[name](value, *args)
+    raise EvaluationError(
+        f"no method {name!r} on value of type {type(value).__name__}"
+    )

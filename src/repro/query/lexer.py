@@ -1,0 +1,151 @@
+"""Hand-written lexer for POOL query text."""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .tokens import KEYWORDS, Token, TokenType
+
+_SINGLE_CHAR = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    "*": TokenType.STAR,
+    "+": TokenType.PLUS,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "=": TokenType.EQ,
+    ":": TokenType.COLON,
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Turn POOL text into a token list ending with EOF.
+
+    Raises:
+        LexError: on any character or literal the grammar does not know.
+    """
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    length = len(text)
+    while pos < length:
+        ch = text[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch.isspace():
+            pos += 1
+            continue
+        if ch == "-" and text.startswith("--", pos):
+            # Line comment.
+            newline = text.find("\n", pos)
+            pos = length if newline == -1 else newline
+            continue
+        if ch == "-" and pos + 1 < length and text[pos + 1] == ">":
+            tokens.append(Token(TokenType.ARROW, "->", pos, line))
+            pos += 2
+            continue
+        if ch == "<":
+            if text.startswith("<-", pos):
+                tokens.append(Token(TokenType.BACKARROW, "<-", pos, line))
+                pos += 2
+            elif text.startswith("<=", pos):
+                tokens.append(Token(TokenType.LE, "<=", pos, line))
+                pos += 2
+            elif text.startswith("<>", pos):
+                tokens.append(Token(TokenType.NE, "<>", pos, line))
+                pos += 2
+            else:
+                tokens.append(Token(TokenType.LT, "<", pos, line))
+                pos += 1
+            continue
+        if ch == ">":
+            if text.startswith(">=", pos):
+                tokens.append(Token(TokenType.GE, ">=", pos, line))
+                pos += 2
+            else:
+                tokens.append(Token(TokenType.GT, ">", pos, line))
+                pos += 1
+            continue
+        if ch == "!":
+            if text.startswith("!=", pos):
+                tokens.append(Token(TokenType.NE, "!=", pos, line))
+                pos += 2
+                continue
+            raise LexError("unexpected '!'", pos, line)
+        if ch == "-":
+            tokens.append(Token(TokenType.MINUS, "-", pos, line))
+            pos += 1
+            continue
+        if ch in _SINGLE_CHAR:
+            tokens.append(Token(_SINGLE_CHAR[ch], ch, pos, line))
+            pos += 1
+            continue
+        if ch in "\"'":
+            end = pos + 1
+            buf: list[str] = []
+            while end < length and text[end] != ch:
+                if text[end] == "\\" and end + 1 < length:
+                    buf.append(text[end + 1])
+                    end += 2
+                else:
+                    buf.append(text[end])
+                    end += 1
+            if end >= length:
+                raise LexError("unterminated string literal", pos, line)
+            tokens.append(Token(TokenType.STRING, "".join(buf), pos, line))
+            pos = end + 1
+            continue
+        if ch.isdigit():
+            end = pos
+            is_float = False
+            while end < length and (
+                text[end].isdigit()
+                or (
+                    text[end] == "."
+                    and not is_float
+                    and end + 1 < length
+                    and text[end + 1].isdigit()
+                )
+            ):
+                if text[end] == ".":
+                    is_float = True
+                end += 1
+            literal = text[pos:end]
+            tokens.append(
+                Token(
+                    TokenType.FLOAT if is_float else TokenType.INT,
+                    literal,
+                    pos,
+                    line,
+                )
+            )
+            pos = end
+            continue
+        if ch == "$":
+            end = pos + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            if end == pos + 1:
+                raise LexError("bare '$' (parameter name expected)", pos, line)
+            tokens.append(Token(TokenType.PARAM, text[pos + 1 : end], pos, line))
+            pos = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = pos
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[pos:end]
+            token_type = KEYWORDS.get(word.lower(), TokenType.IDENT)
+            tokens.append(Token(token_type, word, pos, line))
+            pos = end
+            continue
+        raise LexError(f"unexpected character {ch!r}", pos, line)
+    tokens.append(Token(TokenType.EOF, "", pos, line))
+    return tokens

@@ -1,0 +1,289 @@
+"""POOL abstract syntax tree nodes.
+
+Every node can render itself back to POOL text (``unparse``), which the
+property-based tests use for parse/unparse round-trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Node:
+    """Base class of all AST nodes."""
+
+    def unparse(self) -> str:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Literal(Node):
+    value: Any  # int | float | str | bool | None
+
+    def unparse(self) -> str:
+        if self.value is None:
+            return "null"
+        if self.value is True:
+            return "true"
+        if self.value is False:
+            return "false"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Variable(Node):
+    name: str
+
+    def unparse(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Parameter(Node):
+    name: str
+
+    def unparse(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class AttributeAccess(Node):
+    target: Node
+    name: str
+
+    def unparse(self) -> str:
+        return f"{self.target.unparse()}.{self.name}"
+
+
+@dataclass(frozen=True)
+class MethodCall(Node):
+    target: Node
+    name: str
+    args: tuple[Node, ...] = ()
+
+    def unparse(self) -> str:
+        rendered = ", ".join(a.unparse() for a in self.args)
+        return f"{self.target.unparse()}.{self.name}({rendered})"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Node):
+    name: str
+    args: tuple[Node, ...] = ()
+
+    def unparse(self) -> str:
+        rendered = ", ".join(a.unparse() for a in self.args)
+        return f"{self.name}({rendered})"
+
+
+@dataclass(frozen=True)
+class Traversal(Node):
+    """A relationship hop: ``x->Rel``, ``x<-Rel``, with optional closure
+    bounds and classification scope.
+
+    ``min_depth``/``max_depth`` encode the closure: a plain hop is (1, 1);
+    ``*`` is (0, None); ``+`` is (1, None); ``{m,n}`` is (m, n).
+    """
+
+    target: Node
+    relationship: str
+    inverse: bool = False
+    min_depth: int = 1
+    max_depth: int | None = 1
+    scope: str | None = None  # classification name
+
+    def unparse(self) -> str:
+        op = "<-" if self.inverse else "->"
+        text = f"{self.target.unparse()}{op}{self.relationship}"
+        if self.scope is not None:
+            escaped = self.scope.replace('"', '\\"')
+            text += f'["{escaped}"]'
+        if (self.min_depth, self.max_depth) == (0, None):
+            text += "*"
+        elif (self.min_depth, self.max_depth) == (1, None):
+            text += "+"
+        elif (self.min_depth, self.max_depth) != (1, 1):
+            if self.max_depth is None:
+                text += f"{{{self.min_depth},}}"
+            elif self.min_depth == self.max_depth:
+                text += f"{{{self.min_depth}}}"
+            else:
+                text += f"{{{self.min_depth},{self.max_depth}}}"
+        return text
+
+
+@dataclass(frozen=True)
+class Downcast(Node):
+    """Selective downcast ``(ClassName) expr`` (§5.1.1.2): keeps only
+    instances of the class; on a collection it filters, on a single
+    object it yields the object or null."""
+
+    class_name: str
+    target: Node
+
+    def unparse(self) -> str:
+        return f"({self.class_name}) {self.target.unparse()}"
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    op: str  # "-" | "not"
+    operand: Node
+
+    def unparse(self) -> str:
+        if self.op == "not":
+            return f"not {self.operand.unparse()}"
+        return f"-{self.operand.unparse()}"
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    op: str  # arithmetic, comparison, and/or, in, like
+    left: Node
+    right: Node
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+
+@dataclass(frozen=True)
+class ExistsExpr(Node):
+    subquery: "SelectQuery"
+
+    def unparse(self) -> str:
+        return f"exists ({self.subquery.unparse()})"
+
+
+# ---------------------------------------------------------------------------
+# queries
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Binding(Node):
+    """``var in Source`` in a FROM clause; source is an extent name or a
+    sub-query or any expression yielding a collection."""
+
+    variable: str
+    source: Node
+
+    def unparse(self) -> str:
+        return f"{self.variable} in {self.source.unparse()}"
+
+
+@dataclass(frozen=True)
+class ProjectionItem(Node):
+    expression: Node
+    alias: str | None = None
+
+    def unparse(self) -> str:
+        text = self.expression.unparse()
+        if self.alias:
+            text += f" as {self.alias}"
+        return text
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    expression: Node
+    descending: bool = False
+
+    def unparse(self) -> str:
+        return self.expression.unparse() + (" desc" if self.descending else "")
+
+
+@dataclass(frozen=True)
+class SelectQuery(Node):
+    projection: tuple[ProjectionItem, ...]  # empty tuple means '*'
+    bindings: tuple[Binding, ...] = ()
+    where: Node | None = None
+    distinct: bool = False
+    group_by: tuple[Node, ...] = ()
+    having: Node | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+
+    def unparse(self) -> str:
+        parts = ["select"]
+        if self.distinct:
+            parts.append("distinct")
+        if not self.projection:
+            parts.append("*")
+        else:
+            parts.append(", ".join(p.unparse() for p in self.projection))
+        parts.append("from")
+        parts.append(", ".join(b.unparse() for b in self.bindings))
+        if self.where is not None:
+            parts.append("where")
+            parts.append(self.where.unparse())
+        if self.group_by:
+            parts.append("group by")
+            parts.append(", ".join(g.unparse() for g in self.group_by))
+        if self.having is not None:
+            parts.append("having")
+            parts.append(self.having.unparse())
+        if self.order_by:
+            parts.append("order by")
+            parts.append(", ".join(o.unparse() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"limit {self.limit}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class ExtractGraphQuery(Node):
+    """``extract graph from <expr> via Rel [depth n]
+    [in classification "name"]`` — the parameterised graph extraction of
+    §5.1.1.3.  Returns a :class:`~repro.classification.GraphView`."""
+
+    start: Node
+    relationship: str
+    depth: int | None = None
+    classification: str | None = None
+
+    def unparse(self) -> str:
+        text = (
+            f"extract graph from {self.start.unparse()} via "
+            f"{self.relationship}"
+        )
+        if self.depth is not None:
+            text += f" depth {self.depth}"
+        if self.classification is not None:
+            escaped = self.classification.replace('"', '\\"')
+            text += f' in classification "{escaped}"'
+        return text
+
+
+@dataclass(frozen=True)
+class SetOperation(Node):
+    """OQL set operator between two queries: union / intersect / except.
+
+    Operates with object-identity semantics on object results and value
+    equality on scalars; result order follows the left operand (then the
+    right, for union)."""
+
+    op: str  # "union" | "intersect" | "except"
+    left: "SelectQuery | SetOperation"
+    right: "SelectQuery | SetOperation"
+
+    def unparse(self) -> str:
+        return f"{self.left.unparse()} {self.op} {self.right.unparse()}"
+
+
+Query = SelectQuery | ExtractGraphQuery | SetOperation
+
+
+@dataclass
+class QueryPlanInfo:
+    """Optimiser annotations attached during evaluation (§6.1.5.3)."""
+
+    index_used: str | None = None
+    extent_scans: int = 0
+    notes: list[str] = field(default_factory=list)

@@ -1,0 +1,477 @@
+"""Recursive-descent parser for POOL.
+
+Grammar (simplified EBNF)::
+
+    query        := select_query | extract_query
+    select_query := SELECT [DISTINCT] projection FROM bindings
+                    [WHERE expr] [ORDER BY order_items] [LIMIT INT]
+    projection   := '*' | proj_item (',' proj_item)*
+    proj_item    := expr [AS IDENT]
+    bindings     := IDENT IN source (',' IDENT IN source)*
+    source       := expr | '(' select_query ')'
+    extract_query:= EXTRACT GRAPH FROM expr VIA IDENT [DEPTH INT]
+                    [IN CLASSIFICATION STRING]
+    expr         := or_expr
+    or_expr      := and_expr (OR and_expr)*
+    and_expr     := not_expr (AND not_expr)*
+    not_expr     := NOT not_expr | comparison
+    comparison   := additive [(=|!=|<|<=|>|>=|LIKE|IN) additive]
+    additive     := multiplicative ((+|-) multiplicative)*
+    multiplicative := unary ((*|/|%) unary)*
+    unary        := '-' unary | postfix
+    postfix      := primary (('.' IDENT ['(' args ')'])
+                            | (('->'|'<-') IDENT [scope] [closure]))*
+    scope        := '[' STRING ']'
+    closure      := '*' | '+' | '{' INT [',' [INT]] '}'
+    primary      := literal | PARAM | IDENT ['(' args ')']
+                  | '(' select_query ')' | '(' IDENT ')' postfix  (downcast)
+                  | '(' expr ')' | EXISTS '(' select_query ')'
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from .lexer import tokenize
+from .nodes import (
+    AttributeAccess,
+    Binary,
+    Binding,
+    Downcast,
+    ExistsExpr,
+    ExtractGraphQuery,
+    FunctionCall,
+    Literal,
+    MethodCall,
+    Node,
+    OrderItem,
+    Parameter,
+    ProjectionItem,
+    Query,
+    SelectQuery,
+    SetOperation,
+    Traversal,
+    Unary,
+    Variable,
+)
+from .tokens import Token, TokenType
+
+_COMPARISONS = {
+    TokenType.EQ: "=",
+    TokenType.NE: "!=",
+    TokenType.LT: "<",
+    TokenType.LE: "<=",
+    TokenType.GT: ">",
+    TokenType.GE: ">=",
+}
+
+
+class Parser:
+    """One-shot parser over a token list."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, *types: TokenType) -> bool:
+        return self._peek().type in types
+
+    def _match(self, *types: TokenType) -> Token | None:
+        if self._check(*types):
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, what: str = "") -> Token:
+        token = self._peek()
+        if token.type is not token_type:
+            label = what or token_type.value
+            raise ParseError(
+                f"expected {label}, got {token.value!r} "
+                f"(line {token.line})"
+            )
+        return self._advance()
+
+    # -- entry points --------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        if self._check(TokenType.EXTRACT):
+            query: Query = self._extract_query()
+        else:
+            query = self._set_expression()
+        self._expect(TokenType.EOF, "end of query")
+        return query
+
+    def _set_expression(self) -> "SelectQuery | SetOperation":
+        """select_query ((UNION|INTERSECT|EXCEPT) select_query)*
+
+        Left-associative, all three operators at one precedence level
+        (parenthesise to group differently — a parenthesised set
+        expression is accepted wherever a select is)."""
+        left: SelectQuery | SetOperation = self._select_or_group()
+        while True:
+            token = self._match(
+                TokenType.UNION, TokenType.INTERSECT, TokenType.EXCEPT
+            )
+            if token is None:
+                return left
+            right = self._select_or_group()
+            left = SetOperation(
+                op=token.type.value.lower(), left=left, right=right
+            )
+
+    def _select_or_group(self) -> "SelectQuery | SetOperation":
+        if self._check(TokenType.LPAREN) and self._peek(1).type in (
+            TokenType.SELECT,
+        ):
+            self._advance()
+            inner = self._set_expression()
+            self._expect(TokenType.RPAREN)
+            return inner
+        return self._select_query()
+
+    def parse_expression(self) -> Node:
+        expr = self._expression()
+        self._expect(TokenType.EOF, "end of expression")
+        return expr
+
+    # -- queries ---------------------------------------------------------------
+
+    def _select_query(self) -> SelectQuery:
+        self._expect(TokenType.SELECT)
+        distinct = self._match(TokenType.DISTINCT) is not None
+        projection: tuple[ProjectionItem, ...]
+        if self._match(TokenType.STAR):
+            projection = ()
+        else:
+            items = [self._projection_item()]
+            while self._match(TokenType.COMMA):
+                items.append(self._projection_item())
+            projection = tuple(items)
+        self._expect(TokenType.FROM)
+        bindings = [self._binding()]
+        while self._match(TokenType.COMMA):
+            bindings.append(self._binding())
+        where = None
+        if self._match(TokenType.WHERE):
+            where = self._expression()
+        group_by: tuple[Node, ...] = ()
+        having = None
+        if self._match(TokenType.GROUP):
+            self._expect(TokenType.BY)
+            groups = [self._expression()]
+            while self._match(TokenType.COMMA):
+                groups.append(self._expression())
+            group_by = tuple(groups)
+            if self._match(TokenType.HAVING):
+                having = self._expression()
+        order_by: tuple[OrderItem, ...] = ()
+        if self._match(TokenType.ORDER):
+            self._expect(TokenType.BY)
+            items_o = [self._order_item()]
+            while self._match(TokenType.COMMA):
+                items_o.append(self._order_item())
+            order_by = tuple(items_o)
+        limit = None
+        if self._match(TokenType.LIMIT):
+            limit_token = self._expect(TokenType.INT, "limit count")
+            limit = int(limit_token.value)
+        return SelectQuery(
+            projection=projection,
+            bindings=tuple(bindings),
+            where=where,
+            distinct=distinct,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def _extract_query(self) -> ExtractGraphQuery:
+        self._expect(TokenType.EXTRACT)
+        self._expect(TokenType.GRAPH)
+        self._expect(TokenType.FROM)
+        start = self._expression()
+        self._expect(TokenType.VIA)
+        rel = self._expect(TokenType.IDENT, "relationship name").value
+        depth = None
+        if self._match(TokenType.DEPTH):
+            depth = int(self._expect(TokenType.INT, "depth").value)
+        classification = None
+        if self._match(TokenType.IN):
+            self._expect(TokenType.CLASSIFICATION)
+            classification = self._expect(
+                TokenType.STRING, "classification name"
+            ).value
+        return ExtractGraphQuery(
+            start=start,
+            relationship=rel,
+            depth=depth,
+            classification=classification,
+        )
+
+    def _projection_item(self) -> ProjectionItem:
+        expr = self._expression()
+        alias = None
+        if self._match(TokenType.AS):
+            alias = self._expect(TokenType.IDENT, "alias").value
+        return ProjectionItem(expression=expr, alias=alias)
+
+    def _order_item(self) -> OrderItem:
+        expr = self._expression()
+        descending = False
+        if self._match(TokenType.DESC):
+            descending = True
+        else:
+            self._match(TokenType.ASC)
+        return OrderItem(expression=expr, descending=descending)
+
+    def _binding(self) -> Binding:
+        variable = self._expect(TokenType.IDENT, "binding variable").value
+        self._expect(TokenType.IN, "'in'")
+        if self._check(TokenType.LPAREN) and self._peek(1).type is TokenType.SELECT:
+            self._advance()
+            source: Node = self._select_query()
+            self._expect(TokenType.RPAREN)
+        else:
+            source = self._expression()
+        return Binding(variable=variable, source=source)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expression(self) -> Node:
+        return self._implies_expr()
+
+    def _implies_expr(self) -> Node:
+        """``A implies B`` desugars to ``(not A) or B`` (right-assoc)."""
+        left = self._or_expr()
+        if self._match(TokenType.IMPLIES):
+            right = self._implies_expr()
+            return Binary("or", Unary("not", left), right)
+        return left
+
+    def _or_expr(self) -> Node:
+        left = self._and_expr()
+        while self._match(TokenType.OR):
+            right = self._and_expr()
+            left = Binary("or", left, right)
+        return left
+
+    def _and_expr(self) -> Node:
+        left = self._not_expr()
+        while self._match(TokenType.AND):
+            right = self._not_expr()
+            left = Binary("and", left, right)
+        return left
+
+    def _not_expr(self) -> Node:
+        if self._match(TokenType.NOT):
+            return Unary("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Node:
+        left = self._additive()
+        token = self._peek()
+        if token.type in _COMPARISONS:
+            self._advance()
+            right = self._additive()
+            return Binary(_COMPARISONS[token.type], left, right)
+        if token.type is TokenType.LIKE:
+            self._advance()
+            right = self._additive()
+            return Binary("like", left, right)
+        if token.type is TokenType.IN:
+            self._advance()
+            right = self._additive()
+            return Binary("in", left, right)
+        if token.type is TokenType.NOT and self._peek(1).type is TokenType.IN:
+            self._advance()
+            self._advance()
+            right = self._additive()
+            return Unary("not", Binary("in", left, right))
+        return left
+
+    def _additive(self) -> Node:
+        left = self._multiplicative()
+        while True:
+            if self._match(TokenType.PLUS):
+                left = Binary("+", left, self._multiplicative())
+            elif self._match(TokenType.MINUS):
+                left = Binary("-", left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Node:
+        left = self._unary()
+        while True:
+            if self._match(TokenType.STAR):
+                left = Binary("*", left, self._unary())
+            elif self._match(TokenType.SLASH):
+                left = Binary("/", left, self._unary())
+            elif self._match(TokenType.PERCENT):
+                left = Binary("%", left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Node:
+        if self._match(TokenType.MINUS):
+            return Unary("-", self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> Node:
+        node = self._primary()
+        while True:
+            if self._match(TokenType.DOT):
+                name = self._expect(TokenType.IDENT, "attribute name").value
+                if self._match(TokenType.LPAREN):
+                    args = self._arguments()
+                    node = MethodCall(target=node, name=name, args=args)
+                else:
+                    node = AttributeAccess(target=node, name=name)
+                continue
+            arrow = self._match(TokenType.ARROW, TokenType.BACKARROW)
+            if arrow is not None:
+                rel_token = self._expect(TokenType.IDENT, "relationship name")
+                rel = rel_token.value
+                scope = None
+                end_pos = rel_token.position + len(rel)
+                if self._match(TokenType.LBRACKET):
+                    scope_token = self._expect(TokenType.STRING, "scope name")
+                    scope = scope_token.value
+                    closer = self._expect(TokenType.RBRACKET)
+                    end_pos = closer.position + 1
+                min_depth, max_depth = self._closure(end_pos)
+                node = Traversal(
+                    target=node,
+                    relationship=rel,
+                    inverse=arrow.type is TokenType.BACKARROW,
+                    min_depth=min_depth,
+                    max_depth=max_depth,
+                    scope=scope,
+                )
+                continue
+            return node
+
+    def _closure(self, attach_pos: int) -> tuple[int, int | None]:
+        """Parse an optional closure suffix.
+
+        ``*`` and ``+`` double as binary operators, so they only count as
+        closures when written immediately after the relationship name
+        (``x->Rel*`` is a closure; ``x->Rel * 2`` is multiplication).
+        """
+        nxt = self._peek()
+        if nxt.type in (TokenType.STAR, TokenType.PLUS):
+            if nxt.position != attach_pos:
+                return (1, 1)
+        if self._match(TokenType.STAR):
+            return (0, None)
+        if self._match(TokenType.PLUS):
+            return (1, None)
+        if self._match(TokenType.LBRACE):
+            low = int(self._expect(TokenType.INT, "depth bound").value)
+            high: int | None = low
+            if self._match(TokenType.COMMA):
+                if self._check(TokenType.INT):
+                    high = int(self._advance().value)
+                else:
+                    high = None
+            self._expect(TokenType.RBRACE)
+            if high is not None and high < low:
+                raise ParseError(f"closure bounds inverted: {{{low},{high}}}")
+            return (low, high)
+        return (1, 1)
+
+    def _arguments(self) -> tuple[Node, ...]:
+        if self._match(TokenType.RPAREN):
+            return ()
+        args = [self._expression()]
+        while self._match(TokenType.COMMA):
+            args.append(self._expression())
+        self._expect(TokenType.RPAREN)
+        return tuple(args)
+
+    def _primary(self) -> Node:
+        token = self._peek()
+        if token.type is TokenType.INT:
+            self._advance()
+            return Literal(int(token.value))
+        if token.type is TokenType.FLOAT:
+            self._advance()
+            return Literal(float(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.type is TokenType.TRUE:
+            self._advance()
+            return Literal(True)
+        if token.type is TokenType.FALSE:
+            self._advance()
+            return Literal(False)
+        if token.type is TokenType.NULL:
+            self._advance()
+            return Literal(None)
+        if token.type is TokenType.PARAM:
+            self._advance()
+            return Parameter(token.value)
+        if token.type is TokenType.EXISTS:
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            sub = self._select_query()
+            self._expect(TokenType.RPAREN)
+            return ExistsExpr(sub)
+        if token.type is TokenType.IDENT:
+            self._advance()
+            if self._match(TokenType.LPAREN):
+                args = self._arguments()
+                return FunctionCall(name=token.value, args=args)
+            return Variable(token.value)
+        if token.type is TokenType.LPAREN:
+            # Three cases: subquery, downcast, parenthesised expression.
+            if self._peek(1).type is TokenType.SELECT:
+                self._advance()
+                sub = self._select_query()
+                self._expect(TokenType.RPAREN)
+                return sub
+            if (
+                self._peek(1).type is TokenType.IDENT
+                and self._peek(2).type is TokenType.RPAREN
+                and self._peek(3).type
+                in (
+                    TokenType.IDENT,
+                    TokenType.PARAM,
+                    TokenType.LPAREN,
+                    TokenType.STRING,
+                )
+            ):
+                self._advance()
+                class_name = self._advance().value
+                self._advance()  # RPAREN
+                target = self._postfix()
+                return Downcast(class_name=class_name, target=target)
+            self._advance()
+            expr = self._expression()
+            self._expect(TokenType.RPAREN)
+            return expr
+        raise ParseError(
+            f"unexpected token {token.value!r} (line {token.line})"
+        )
+
+
+def parse(text: str) -> Query:
+    """Parse POOL query text into an AST."""
+    return Parser(tokenize(text)).parse_query()
+
+
+def parse_expression(text: str) -> Node:
+    """Parse a bare POOL expression (used by rules/PCL)."""
+    return Parser(tokenize(text)).parse_expression()

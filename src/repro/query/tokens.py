@@ -1,0 +1,126 @@
+"""Token definitions for POOL, the Prometheus Object-Oriented Language.
+
+POOL extends OQL's select/from/where with relationship operators
+(``->``/``<-`` hops, ``*``/``+``/``{m,n}`` closures), selective downcast
+and graph extraction (thesis §5.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    # literals & identifiers
+    INT = "INT"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    IDENT = "IDENT"
+    PARAM = "PARAM"          # $name — query parameter
+
+    # keywords
+    SELECT = "SELECT"
+    DISTINCT = "DISTINCT"
+    FROM = "FROM"
+    WHERE = "WHERE"
+    IN = "IN"
+    AND = "AND"
+    OR = "OR"
+    NOT = "NOT"
+    TRUE = "TRUE"
+    FALSE = "FALSE"
+    NULL = "NULL"
+    AS = "AS"
+    ORDER = "ORDER"
+    BY = "BY"
+    ASC = "ASC"
+    DESC = "DESC"
+    LIMIT = "LIMIT"
+    LIKE = "LIKE"
+    EXTRACT = "EXTRACT"
+    GRAPH = "GRAPH"
+    VIA = "VIA"
+    DEPTH = "DEPTH"
+    CLASSIFICATION = "CLASSIFICATION"
+    EXISTS = "EXISTS"
+    IMPLIES = "IMPLIES"
+    GROUP = "GROUP"
+    HAVING = "HAVING"
+    UNION = "UNION"
+    INTERSECT = "INTERSECT"
+    EXCEPT = "EXCEPT"
+
+    # punctuation / operators
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    DOT = "."
+    ARROW = "->"
+    BACKARROW = "<-"
+    STAR = "*"
+    PLUS = "+"
+    MINUS = "-"
+    SLASH = "/"
+    PERCENT = "%"
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    COLON = ":"
+
+    EOF = "EOF"
+
+
+KEYWORDS = {
+    "select": TokenType.SELECT,
+    "distinct": TokenType.DISTINCT,
+    "from": TokenType.FROM,
+    "where": TokenType.WHERE,
+    "in": TokenType.IN,
+    "and": TokenType.AND,
+    "or": TokenType.OR,
+    "not": TokenType.NOT,
+    "true": TokenType.TRUE,
+    "false": TokenType.FALSE,
+    "null": TokenType.NULL,
+    "nil": TokenType.NULL,
+    "as": TokenType.AS,
+    "order": TokenType.ORDER,
+    "by": TokenType.BY,
+    "asc": TokenType.ASC,
+    "desc": TokenType.DESC,
+    "limit": TokenType.LIMIT,
+    "like": TokenType.LIKE,
+    "extract": TokenType.EXTRACT,
+    "graph": TokenType.GRAPH,
+    "via": TokenType.VIA,
+    "depth": TokenType.DEPTH,
+    "classification": TokenType.CLASSIFICATION,
+    "exists": TokenType.EXISTS,
+    "implies": TokenType.IMPLIES,
+    "group": TokenType.GROUP,
+    "having": TokenType.HAVING,
+    "union": TokenType.UNION,
+    "intersect": TokenType.INTERSECT,
+    "except": TokenType.EXCEPT,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Token({self.type.name}, {self.value!r}@{self.line}:{self.position})"

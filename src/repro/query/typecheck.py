@@ -1,0 +1,284 @@
+"""Static type checking of POOL queries (thesis §5.1.2.4).
+
+The thesis argues queries must be checkable *in advance* so they can be
+optimised and rewritten.  This pass walks a parsed query against the
+schema's metaobjects and reports problems without evaluating anything:
+
+* unknown extents, relationship classes and classifications;
+* attribute accesses that no binding's class declares (role attributes
+  acquired through relationships are allowed when any relationship class
+  grants them);
+* traversals whose endpoint classes cannot match the source expression;
+* unknown functions.
+
+The checker is *permissive where static knowledge runs out* (expressions
+typed ``any`` pass), matching the thesis's pragmatic position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..classification import ClassificationManager
+from ..core.classes import PClass
+from ..core.relationships import RelationshipClass
+from ..core.schema import Schema
+from .functions import FUNCTIONS
+from .nodes import (
+    AttributeAccess,
+    Binary,
+    Binding,
+    Downcast,
+    ExistsExpr,
+    ExtractGraphQuery,
+    FunctionCall,
+    Literal,
+    MethodCall,
+    Node,
+    Parameter,
+    Query,
+    SelectQuery,
+    SetOperation,
+    Traversal,
+    Unary,
+    Variable,
+)
+
+#: Pseudo-type meaning "statically unknown".
+ANY = None
+
+
+@dataclass
+class TypeReport:
+    """Outcome of a static check: errors (fatal) and warnings."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+class TypeChecker:
+    def __init__(
+        self,
+        schema: Schema,
+        classifications: ClassificationManager | None = None,
+    ) -> None:
+        self.schema = schema
+        self.classifications = classifications
+        self.report = TypeReport()
+
+    # ------------------------------------------------------------------
+
+    def check(self, query: Query) -> TypeReport:
+        if isinstance(query, SelectQuery):
+            self._check_select(query, {})
+        elif isinstance(query, ExtractGraphQuery):
+            self._check_extract(query, {})
+        elif isinstance(query, SetOperation):
+            self.check(query.left)
+            self.check(query.right)
+        return self.report
+
+    def _check_select(
+        self, query: SelectQuery, outer: dict[str, "PClass | None"]
+    ) -> None:
+        env: dict[str, PClass | None] = dict(outer)
+        for binding in query.bindings:
+            env[binding.variable] = self._binding_class(binding, env)
+        for item in query.projection:
+            self._infer(item.expression, env)
+        if query.where is not None:
+            self._infer(query.where, env)
+        for group_expr in query.group_by:
+            self._infer(group_expr, env)
+        if query.having is not None:
+            self._infer(query.having, env)
+        for item in query.order_by:
+            self._infer(item.expression, env)
+
+    def _check_extract(
+        self, query: ExtractGraphQuery, env: dict[str, "PClass | None"]
+    ) -> None:
+        self._infer(query.start, env)
+        self._relationship(query.relationship)
+        if query.classification is not None:
+            self._classification(query.classification)
+
+    # ------------------------------------------------------------------
+
+    def _binding_class(
+        self, binding: Binding, env: dict[str, "PClass | None"]
+    ) -> "PClass | None":
+        source = binding.source
+        if isinstance(source, Variable) and source.name not in env:
+            if self.schema.has_class(source.name):
+                return self.schema.get_class(source.name)
+            self.report.errors.append(
+                f"unknown extent {source.name!r} in from-clause"
+            )
+            return ANY
+        return self._infer(source, env)
+
+    def _relationship(self, name: str) -> "RelationshipClass | None":
+        if not self.schema.has_class(name):
+            self.report.errors.append(f"unknown relationship class {name!r}")
+            return None
+        klass = self.schema.get_class(name)
+        if not isinstance(klass, RelationshipClass):
+            self.report.errors.append(
+                f"{name!r} is a plain class, not a relationship class"
+            )
+            return None
+        return klass
+
+    def _classification(self, name: str) -> None:
+        if self.classifications is None:
+            self.report.warnings.append(
+                f"classification scope {name!r} cannot be checked "
+                "(no manager provided)"
+            )
+            return
+        if name not in self.classifications:
+            self.report.errors.append(f"unknown classification {name!r}")
+
+    # ------------------------------------------------------------------
+
+    def _infer(
+        self, node: Node, env: dict[str, "PClass | None"]
+    ) -> "PClass | None":
+        """Infer the (object) class of an expression where possible.
+
+        Returns a PClass when the expression statically denotes objects
+        of that class, else ANY.
+        """
+        if isinstance(node, (Literal, Parameter)):
+            return ANY
+        if isinstance(node, Variable):
+            if node.name in env:
+                return env[node.name]
+            if self.schema.has_class(node.name):
+                return self.schema.get_class(node.name)
+            self.report.errors.append(f"unbound variable {node.name!r}")
+            return ANY
+        if isinstance(node, AttributeAccess):
+            owner = self._infer(node.target, env)
+            if owner is not None:
+                self._check_attribute(owner, node.name)
+            return ANY
+        if isinstance(node, MethodCall):
+            owner = self._infer(node.target, env)
+            for arg in node.args:
+                self._infer(arg, env)
+            if owner is not None and not owner.has_method(node.name):
+                # Value methods (string/collection) remain possible.
+                from .functions import COLLECTION_METHODS, STRING_METHODS
+
+                if (
+                    node.name not in COLLECTION_METHODS
+                    and node.name not in STRING_METHODS
+                ):
+                    self.report.warnings.append(
+                        f"class {owner.name!r} declares no method "
+                        f"{node.name!r}"
+                    )
+            return ANY
+        if isinstance(node, FunctionCall):
+            for arg in node.args:
+                self._infer(arg, env)
+            if node.name not in FUNCTIONS and node.name not in (
+                "roles",
+                "synonyms_of",
+            ):
+                self.report.errors.append(f"unknown function {node.name!r}")
+            return ANY
+        if isinstance(node, Traversal):
+            source = self._infer(node.target, env)
+            relclass = self._relationship(node.relationship)
+            if node.scope is not None:
+                self._classification(node.scope)
+            if relclass is not None and source is not None:
+                anchor_name = (
+                    relclass.destination_class_name
+                    if node.inverse
+                    else relclass.origin_class_name
+                )
+                anchor = self.schema.get_class(anchor_name)
+                if not (
+                    source.is_subclass_of(anchor)
+                    or anchor.is_subclass_of(source)
+                ):
+                    self.report.errors.append(
+                        f"traversal {'<-' if node.inverse else '->'}"
+                        f"{node.relationship}: source class {source.name!r} "
+                        f"cannot be a(n) {anchor_name!r}"
+                    )
+            if relclass is not None:
+                far_name = (
+                    relclass.origin_class_name
+                    if node.inverse
+                    else relclass.destination_class_name
+                )
+                # Closures may mix levels; only single hops are typed.
+                if (node.min_depth, node.max_depth) == (1, 1):
+                    return self.schema.get_class(far_name)
+            return ANY
+        if isinstance(node, Downcast):
+            self._infer(node.target, env)
+            if not self.schema.has_class(node.class_name):
+                self.report.errors.append(
+                    f"downcast to unknown class {node.class_name!r}"
+                )
+                return ANY
+            return self.schema.get_class(node.class_name)
+        if isinstance(node, Unary):
+            self._infer(node.operand, env)
+            return ANY
+        if isinstance(node, Binary):
+            self._infer(node.left, env)
+            self._infer(node.right, env)
+            return ANY
+        if isinstance(node, SelectQuery):
+            self._check_select(node, env)
+            return ANY
+        if isinstance(node, ExistsExpr):
+            self._check_select(node.subquery, env)
+            return ANY
+        return ANY
+
+    def _check_attribute(self, owner: PClass, name: str) -> None:
+        if owner.has_attribute(name):
+            return
+        if name == "oid":
+            return
+        if isinstance(owner, RelationshipClass) and (
+            name in ("origin", "destination")
+            or name in owner.participant_roles
+        ):
+            return
+        # Role attributes: allowed if any relationship class both declares
+        # the attribute and marks it inheritable (§4.4.5).
+        for relclass in self.schema.relationship_classes():
+            if (
+                name in relclass.semantics.inherited_attributes
+                and relclass.has_attribute(name)
+            ):
+                self.report.warnings.append(
+                    f"attribute {name!r} on {owner.name!r} resolves only "
+                    f"through role acquisition via {relclass.name!r}"
+                )
+                return
+        self.report.errors.append(
+            f"class {owner.name!r} has no attribute {name!r}"
+        )
+
+
+def typecheck(
+    schema: Schema,
+    query: Query,
+    classifications: ClassificationManager | None = None,
+) -> TypeReport:
+    """Convenience wrapper: check one parsed query."""
+    return TypeChecker(schema, classifications).check(query)

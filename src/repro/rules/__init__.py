@@ -1,0 +1,57 @@
+"""Rules and constraints (thesis chapter 5.2 and §6.1.6).
+
+ECA rules with conditions of applicability, immediate/deferred
+scheduling, automatic transaction abortion, interactive and repairing
+violation handling, and PCL — the OCL-derived constraint language
+translated into rules.
+"""
+
+from .engine import InteractiveHandler, RuleEngine, Violation
+from .events import (
+    AllOf,
+    AnyOf,
+    EventSpec,
+    On,
+    Sequence,
+    on_commit,
+    on_create,
+    on_delete,
+    on_relate,
+    on_unrelate,
+    on_update,
+)
+from .pcl import (
+    PclClause,
+    PclParser,
+    format_translation,
+    translate_clause,
+    translate_pcl,
+)
+from .rule import Mode, OnViolation, Rule, RuleContext, RuleKind
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "EventSpec",
+    "InteractiveHandler",
+    "Mode",
+    "On",
+    "OnViolation",
+    "PclClause",
+    "PclParser",
+    "Rule",
+    "RuleContext",
+    "RuleEngine",
+    "RuleKind",
+    "Sequence",
+    "Violation",
+    "format_translation",
+    "on_commit",
+    "on_create",
+    "on_delete",
+    "on_relate",
+    "on_unrelate",
+    "on_update",
+    "translate_clause",
+    "translate_pcl",
+]

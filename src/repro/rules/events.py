@@ -1,0 +1,197 @@
+"""Event specifications for rules (thesis §5.2.1.1).
+
+A rule's *event part* says which database events wake it up.  Events can
+be **primitive** (one event kind, optionally narrowed by class, attribute
+or relationship) or **composite** (any-of, all-of, or an ordered
+sequence, evaluated within one transaction — composite state resets at
+commit/abort).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.events import Event, EventKind
+
+#: Optional class-coverage predicate: covers(event_class, spec_class) is
+#: True when an event on ``event_class`` should satisfy a spec narrowed
+#: to ``spec_class`` (the engine passes a subclass-aware check, so rules
+#: on abstract classes cover their whole hierarchy).
+ClassCovers = Callable[[str, str], bool]
+
+
+class EventSpec:
+    """Base class of event specifications."""
+
+    def matches(self, event: Event, covers: ClassCovers | None = None) -> bool:
+        """Stateless test used by primitive specs; composites override
+        :meth:`feed` instead."""
+        raise NotImplementedError
+
+    def feed(self, event: Event, covers: ClassCovers | None = None) -> bool:
+        """Advance internal state with ``event``; True when the spec is
+        satisfied *by this event*."""
+        return self.matches(event, covers)
+
+    def reset(self) -> None:
+        """Forget per-transaction state (called at commit/abort)."""
+
+    def kinds(self) -> frozenset[EventKind]:
+        """The primitive kinds this spec can ever react to (for
+        subscription filtering)."""
+        raise NotImplementedError
+
+
+@dataclass
+class On(EventSpec):
+    """Primitive event: a kind, optionally narrowed.
+
+    ``class_name`` matches the event's class (including, for schema-aware
+    engines, its subclasses — narrowing is done by the engine, which
+    knows the schema); ``attribute`` narrows update events.
+    """
+
+    kind: EventKind
+    class_name: str | None = None
+    attribute: str | None = None
+
+    def matches(self, event: Event, covers: ClassCovers | None = None) -> bool:
+        if event.kind is not self.kind:
+            return False
+        if self.class_name is not None and event.class_name != self.class_name:
+            if covers is None or not covers(event.class_name, self.class_name):
+                return False
+        if self.attribute is not None and event.attribute != self.attribute:
+            return False
+        return True
+
+    def kinds(self) -> frozenset[EventKind]:
+        return frozenset((self.kind,))
+
+
+@dataclass
+class AnyOf(EventSpec):
+    """Composite: satisfied by any member event."""
+
+    members: tuple[EventSpec, ...]
+
+    def __init__(self, *members: EventSpec) -> None:
+        self.members = tuple(members)
+
+    def matches(self, event: Event, covers: ClassCovers | None = None) -> bool:
+        return any(member.matches(event, covers) for member in self.members)
+
+    def feed(self, event: Event, covers: ClassCovers | None = None) -> bool:
+        # No short-circuit: every member sees the event (stateful members
+        # must advance even when an earlier member already matched).
+        return any([member.feed(event, covers) for member in self.members])
+
+    def reset(self) -> None:
+        for member in self.members:
+            member.reset()
+
+    def kinds(self) -> frozenset[EventKind]:
+        out: frozenset[EventKind] = frozenset()
+        for member in self.members:
+            out |= member.kinds()
+        return out
+
+
+@dataclass
+class AllOf(EventSpec):
+    """Composite: satisfied once every member has occurred (any order)
+    within the current transaction."""
+
+    members: tuple[EventSpec, ...]
+    _seen: set[int] = field(default_factory=set)
+
+    def __init__(self, *members: EventSpec) -> None:
+        self.members = tuple(members)
+        self._seen = set()
+
+    def matches(self, event: Event, covers: ClassCovers | None = None) -> bool:  # pragma: no cover
+        return self.feed(event, covers)
+
+    def feed(self, event: Event, covers: ClassCovers | None = None) -> bool:
+        for index, member in enumerate(self.members):
+            if index not in self._seen and member.feed(event, covers):
+                self._seen.add(index)
+                break
+        return len(self._seen) == len(self.members)
+
+    def reset(self) -> None:
+        self._seen.clear()
+        for member in self.members:
+            member.reset()
+
+    def kinds(self) -> frozenset[EventKind]:
+        out: frozenset[EventKind] = frozenset()
+        for member in self.members:
+            out |= member.kinds()
+        return out
+
+
+@dataclass
+class Sequence(EventSpec):
+    """Composite: members must occur in order within one transaction."""
+
+    members: tuple[EventSpec, ...]
+    _position: int = 0
+
+    def __init__(self, *members: EventSpec) -> None:
+        self.members = tuple(members)
+        self._position = 0
+
+    def matches(self, event: Event, covers: ClassCovers | None = None) -> bool:  # pragma: no cover
+        return self.feed(event, covers)
+
+    def feed(self, event: Event, covers: ClassCovers | None = None) -> bool:
+        if self._position < len(self.members) and self.members[
+            self._position
+        ].feed(event, covers):
+            self._position += 1
+        return self._position == len(self.members)
+
+    def reset(self) -> None:
+        self._position = 0
+        for member in self.members:
+            member.reset()
+
+    def kinds(self) -> frozenset[EventKind]:
+        out: frozenset[EventKind] = frozenset()
+        for member in self.members:
+            out |= member.kinds()
+        return out
+
+
+# Convenience constructors -----------------------------------------------------
+
+def on_update(class_name: str | None = None, attribute: str | None = None,
+              before: bool = False) -> On:
+    kind = EventKind.BEFORE_UPDATE if before else EventKind.AFTER_UPDATE
+    return On(kind, class_name=class_name, attribute=attribute)
+
+
+def on_create(class_name: str | None = None, before: bool = False) -> On:
+    kind = EventKind.BEFORE_CREATE if before else EventKind.AFTER_CREATE
+    return On(kind, class_name=class_name)
+
+
+def on_delete(class_name: str | None = None, before: bool = False) -> On:
+    kind = EventKind.BEFORE_DELETE if before else EventKind.AFTER_DELETE
+    return On(kind, class_name=class_name)
+
+
+def on_relate(relationship: str | None = None, before: bool = False) -> On:
+    kind = EventKind.BEFORE_RELATE if before else EventKind.AFTER_RELATE
+    return On(kind, class_name=relationship)
+
+
+def on_unrelate(relationship: str | None = None, before: bool = False) -> On:
+    kind = EventKind.BEFORE_UNRELATE if before else EventKind.AFTER_UNRELATE
+    return On(kind, class_name=relationship)
+
+
+def on_commit() -> On:
+    return On(EventKind.BEFORE_COMMIT)

@@ -1,0 +1,211 @@
+"""PCL — the Prometheus Constraint Language (thesis §5.2.3).
+
+PCL is the thesis's OCL-derived constraint notation, extended with the
+features OCL lacks for database work (§5.2.3.2): a **condition of
+applicability** (``when``), **relationship-centred invariants**
+(``relinv``), and an explicit **execution mode** (``immediate`` /
+``deferred``).  PCL text is *translated* into Prometheus ECA rules
+(§5.2.3.3 / Figure 25) — the engine only ever executes rules.
+
+Syntax::
+
+    context <ClassName>
+        inv    [name] [immediate|deferred] [on <attr>] [when <expr>] : <expr>
+        pre    [name] [on <attr>] [when <expr>] : <expr>
+        post   [name] [on <attr>] [when <expr>] : <expr>
+        relinv [name] [when <expr>] : <expr>
+
+``on <attr>`` narrows pre/post/inv clauses to updates of one attribute.
+
+Expressions are POOL boolean expressions over ``self`` (and ``origin`` /
+``destination`` in ``relinv`` clauses, ``old`` / ``new`` in pre/post
+clauses), with ``implies`` available::
+
+    context NomenclaturalTaxon
+        inv familyEnding when self.rank = "Familia" :
+            self.epithet.endsWith("aceae")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.relationships import RelationshipClass
+from ..core.schema import Schema
+from ..errors import PCLError
+from ..query.lexer import tokenize
+from ..query.parser import Parser
+from ..query.tokens import TokenType
+from .engine import RuleEngine
+from .events import AnyOf, on_create, on_relate, on_update
+from .rule import Mode, OnViolation, Rule, RuleKind
+
+_CLAUSE_KINDS = {"inv", "pre", "post", "relinv"}
+_MODES = {"immediate": Mode.IMMEDIATE, "deferred": Mode.DEFERRED}
+
+
+@dataclass
+class PclClause:
+    """One parsed clause, before translation."""
+
+    context_class: str
+    kind: str
+    name: str
+    mode: Mode | None
+    when_text: str | None
+    condition_text: str
+    attribute: str | None = None
+
+
+class PclParser:
+    """Parses PCL text into clauses using the POOL lexer/expression parser."""
+
+    def __init__(self, text: str) -> None:
+        self._parser = Parser(tokenize(text))
+
+    def parse(self) -> list[PclClause]:
+        clauses: list[PclClause] = []
+        p = self._parser
+        while not p._check(TokenType.EOF):
+            word = p._expect(TokenType.IDENT, "'context'")
+            if word.value != "context":
+                raise PCLError(
+                    f"expected 'context', got {word.value!r} "
+                    f"(line {word.line})"
+                )
+            class_name = p._expect(TokenType.IDENT, "class name").value
+            block_clauses = self._clauses(class_name)
+            if not block_clauses:
+                raise PCLError(
+                    f"context {class_name!r} declares no clauses"
+                )
+            clauses.extend(block_clauses)
+        return clauses
+
+    def _clauses(self, class_name: str) -> list[PclClause]:
+        p = self._parser
+        out: list[PclClause] = []
+        counter = 0
+        while (
+            p._check(TokenType.IDENT)
+            and p._peek().value in _CLAUSE_KINDS
+        ):
+            kind = p._advance().value
+            name = ""
+            mode: Mode | None = None
+            attribute: str | None = None
+            # Optional clause name, mode and "on <attr>" in any sane order.
+            while p._check(TokenType.IDENT) and p._peek().value not in (
+                "when",
+            ):
+                word = p._peek().value
+                if word in _MODES:
+                    p._advance()
+                    mode = _MODES[word]
+                elif word == "on" and p._peek(1).type is TokenType.IDENT:
+                    p._advance()
+                    attribute = p._advance().value
+                elif not name and p._peek(1).type in (
+                    TokenType.COLON,
+                    TokenType.IDENT,
+                ) and p._peek().value not in _CLAUSE_KINDS:
+                    name = p._advance().value
+                else:
+                    break
+            when_text: str | None = None
+            if p._check(TokenType.IDENT) and p._peek().value == "when":
+                p._advance()
+                when_node = p._expression()
+                when_text = when_node.unparse()
+            p._expect(TokenType.COLON, "':'")
+            condition_node = p._expression()
+            counter += 1
+            out.append(
+                PclClause(
+                    context_class=class_name,
+                    kind=kind,
+                    name=name or f"{class_name}_{kind}_{counter}",
+                    mode=mode,
+                    when_text=when_text,
+                    condition_text=condition_node.unparse(),
+                    attribute=attribute,
+                )
+            )
+        return out
+
+
+def translate_clause(clause: PclClause, schema: Schema) -> Rule:
+    """Translate one PCL clause into a Prometheus rule (Figure 25)."""
+    if not schema.has_class(clause.context_class):
+        raise PCLError(f"unknown context class {clause.context_class!r}")
+    pclass = schema.get_class(clause.context_class)
+    is_rel = isinstance(pclass, RelationshipClass)
+    if clause.kind == "relinv" and not is_rel:
+        raise PCLError(
+            f"relinv on {clause.context_class!r}, which is not a "
+            "relationship class"
+        )
+    if clause.kind == "relinv":
+        event = on_relate(clause.context_class, before=True)
+        kind = RuleKind.RELATIONSHIP
+        default_mode = Mode.IMMEDIATE
+    elif clause.kind == "pre":
+        event = on_update(
+            clause.context_class, attribute=clause.attribute, before=True
+        )
+        kind = RuleKind.PRECONDITION
+        default_mode = Mode.IMMEDIATE
+    elif clause.kind == "post":
+        event = on_update(clause.context_class, attribute=clause.attribute)
+        kind = RuleKind.POSTCONDITION
+        default_mode = Mode.IMMEDIATE
+    else:  # inv
+        event = AnyOf(
+            on_create(clause.context_class),
+            on_update(clause.context_class, attribute=clause.attribute),
+        )
+        kind = RuleKind.INVARIANT
+        default_mode = Mode.DEFERRED
+    return Rule(
+        name=clause.name,
+        event=event,
+        condition=clause.condition_text,
+        applicability=clause.when_text,
+        kind=kind,
+        mode=clause.mode or default_mode,
+        on_violation=OnViolation.ABORT,
+        target_class=clause.context_class,
+        message=f"PCL {clause.kind} on {clause.context_class}: "
+        f"{clause.condition_text}",
+    )
+
+
+def translate_pcl(
+    text: str, schema: Schema, engine: RuleEngine | None = None
+) -> list[Rule]:
+    """Parse PCL text and translate every clause to a rule.
+
+    When ``engine`` is given the rules are registered immediately.
+    """
+    clauses = PclParser(text).parse()
+    rules = [translate_clause(clause, schema) for clause in clauses]
+    if engine is not None:
+        engine.register_all(rules)
+    return rules
+
+
+def format_translation(rule: Rule) -> str:
+    """Human-readable rendering of a translated rule (Figure 25)."""
+    lines = [
+        f"rule {rule.name}",
+        f"  on      : {sorted(k.value for k in rule.event.kinds())}",
+        f"  class   : {rule.target_class}",
+        f"  kind    : {rule.kind.value}",
+        f"  mode    : {rule.mode.value}",
+    ]
+    if isinstance(rule.applicability, str):
+        lines.append(f"  when    : {rule.applicability}")
+    if isinstance(rule.condition, str):
+        lines.append(f"  check   : {rule.condition}")
+    lines.append(f"  violate : {rule.on_violation.value}")
+    return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Rule objects: Event — Condition-of-applicability — Condition — Action.
+
+The thesis's rule anatomy (§5.2.1): a rule reacts to an *event*; a
+*condition of applicability* says whether the rule is relevant at all
+(e.g. "only for names at rank Familia"); the *condition* is the actual
+constraint; an optional *action* runs on violation (repair) or success.
+
+Conditions can be Python callables or POOL expression strings, evaluated
+with ``self`` bound to the target object (and ``origin`` /
+``destination`` for relationship rules, ``old`` / ``new`` for updates).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..core.events import Event
+from ..errors import RuleError
+from .events import EventSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.schema import Schema
+
+
+class RuleKind(enum.Enum):
+    """The rule taxonomy of §5.2.1.4."""
+
+    INVARIANT = "invariant"
+    PRECONDITION = "pre-condition"
+    POSTCONDITION = "post-condition"
+    RELATIONSHIP = "relationship-rule"
+    ACTION = "action-rule"  # deductive/automatic action, no constraint
+
+
+class Mode(enum.Enum):
+    """Execution strategy (§5.2.2.1)."""
+
+    IMMEDIATE = "immediate"
+    DEFERRED = "deferred"
+
+
+class OnViolation(enum.Enum):
+    """What happens when the condition fails (§5.2.2.2)."""
+
+    ABORT = "abort"          # raise; at commit time, abort the transaction
+    WARN = "warn"            # record a warning, allow the change
+    INTERACTIVE = "interactive"  # ask the registered handler (§5.2.3 extras)
+    REPAIR = "repair"        # run the action, then re-check once
+
+
+@dataclass
+class RuleContext:
+    """Everything a condition/action can see when a rule fires."""
+
+    schema: "Schema"
+    event: Event
+    rule: "Rule"
+
+    @property
+    def target(self) -> Any:
+        return self.event.target
+
+    @property
+    def origin(self) -> Any:
+        return self.event.origin
+
+    @property
+    def destination(self) -> Any:
+        return self.event.destination
+
+    def pool_env(self) -> dict[str, Any]:
+        """Variable bindings for POOL-expressed conditions."""
+        env: dict[str, Any] = {
+            "self": self.event.target,
+            "old": self.event.old_value,
+            "new": self.event.new_value,
+        }
+        if self.event.origin is not None:
+            env["origin"] = self.event.origin
+        if self.event.destination is not None:
+            env["destination"] = self.event.destination
+        return env
+
+
+Predicate = Callable[[RuleContext], bool]
+Action = Callable[[RuleContext], None]
+
+
+def _compile_pool(expression: str) -> Predicate:
+    """Compile a POOL boolean expression into a predicate."""
+    from ..query.evaluator import Evaluator, QueryContext
+    from ..query.parser import parse_expression
+
+    node = parse_expression(expression)
+
+    def predicate(ctx: RuleContext) -> bool:
+        evaluator = Evaluator(QueryContext(schema=ctx.schema))
+        value = evaluator.evaluate(node, ctx.pool_env())
+        return bool(value)
+
+    return predicate
+
+
+@dataclass
+class Rule:
+    """One ECA rule.
+
+    Args:
+        name: unique rule name within an engine.
+        event: the :class:`EventSpec` that triggers evaluation.
+        condition: the constraint — a predicate or POOL text; ``None``
+            means "always violated is never" (pure action rules).
+        applicability: optional gate — a predicate or POOL text; when it
+            evaluates false the rule simply does not apply (§5.2.1.2).
+        action: optional callable run per :attr:`on_violation` semantics
+            (REPAIR) or, for ACTION rules, whenever the rule fires.
+        kind / mode / on_violation: see the enums above.
+        target_class: class the rule conceptually belongs to (attached to
+            its metaobject for introspection).
+        priority: lower runs first among rules woken by the same event.
+        message: human explanation used in violation errors.
+    """
+
+    name: str
+    event: EventSpec
+    condition: Predicate | str | None = None
+    applicability: Predicate | str | None = None
+    action: Action | None = None
+    kind: RuleKind = RuleKind.INVARIANT
+    mode: Mode = Mode.IMMEDIATE
+    on_violation: OnViolation = OnViolation.ABORT
+    target_class: str | None = None
+    priority: int = 100
+    message: str = ""
+    enabled: bool = True
+    fired: int = field(default=0, compare=False)
+    violations: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise RuleError("a rule needs a name")
+        if isinstance(self.condition, str):
+            self._condition_fn: Predicate | None = _compile_pool(self.condition)
+        else:
+            self._condition_fn = self.condition
+        if isinstance(self.applicability, str):
+            self._applicability_fn: Predicate | None = _compile_pool(
+                self.applicability
+            )
+        else:
+            self._applicability_fn = self.applicability
+        if self.on_violation is OnViolation.REPAIR and self.action is None:
+            raise RuleError(
+                f"rule {self.name!r}: REPAIR needs an action"
+            )
+
+    # -- evaluation ------------------------------------------------------
+
+    def applies(self, ctx: RuleContext) -> bool:
+        if self._applicability_fn is None:
+            return True
+        return bool(self._applicability_fn(ctx))
+
+    def check(self, ctx: RuleContext) -> bool:
+        """True when the condition holds (no violation)."""
+        if self._condition_fn is None:
+            return True
+        return bool(self._condition_fn(ctx))
+
+    def run_action(self, ctx: RuleContext) -> None:
+        if self.action is not None:
+            self.action(ctx)
+
+    def describe(self) -> str:
+        parts = [f"{self.kind.value} {self.name!r}", self.mode.value]
+        if self.target_class:
+            parts.append(f"on {self.target_class}")
+        parts.append(f"violation→{self.on_violation.value}")
+        if self.message:
+            parts.append(f"({self.message})")
+        return " ".join(parts)

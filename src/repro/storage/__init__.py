@@ -1,0 +1,31 @@
+"""Persistent storage substrate for Prometheus.
+
+This package provides the log-structured, transactional object store that
+the Prometheus model layers sit on.  It plays the role that the commercial
+POET OODBMS played in the thesis: the "raw storage" baseline that the
+performance evaluation (chapter 7.2) compares the extended model against.
+
+Public API:
+
+* :class:`ObjectStore` — OID-addressed record store with transactions.
+* :class:`Transaction` — handle returned by :meth:`ObjectStore.begin`.
+* :func:`encode_record` / :func:`decode_record` — record serialization.
+* :class:`RecordLog` — the underlying append-only checksummed log.
+* :class:`LruCache` — bounded record cache.
+"""
+
+from .cache import LruCache
+from .log import LogEntry, RecordLog
+from .serialization import decode_record, encode_record
+from .store import ObjectStore, StoreStats, Transaction
+
+__all__ = [
+    "LogEntry",
+    "LruCache",
+    "ObjectStore",
+    "RecordLog",
+    "StoreStats",
+    "Transaction",
+    "decode_record",
+    "encode_record",
+]

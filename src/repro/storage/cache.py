@@ -1,0 +1,72 @@
+"""An LRU cache of decoded object records.
+
+The object store reads records back from the log far more often than it
+decodes them cold (traversals revisit hot objects), so a small in-memory
+cache of decoded dictionaries sits in front of the file.  The cache stores
+*copies are not taken*: the store hands out fresh dicts to callers and only
+caches its own private copy, so cached state can never be mutated from
+outside.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+
+class LruCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    ``capacity <= 0`` disables caching entirely (every get misses), which
+    the benchmark harness uses to measure raw log-read cost.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._capacity = capacity
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def get(self, key: Hashable) -> Any | None:
+        """Return the cached value or None, updating recency and stats."""
+        if self._capacity <= 0:
+            self.misses += 1
+            return None
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self._capacity <= 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self._capacity:
+            self._data.popitem(last=False)
+
+    def invalidate(self, key: Hashable) -> None:
+        self._data.pop(key, None)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

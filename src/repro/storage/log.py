@@ -1,0 +1,200 @@
+"""Append-only record log with checksums and crash-safe recovery.
+
+The log is the single file behind a Prometheus database.  It is a sequence
+of *entries*; each entry is::
+
+    magic(2) | kind(1) | payload_len(varint-free u32) | payload | crc32(4)
+
+``kind`` distinguishes data entries (an object state), tombstones (object
+deletion), commit markers (transaction boundary) and metadata entries.
+Readers stop at the first structurally invalid entry, which makes a torn
+final write (process killed mid-append) recoverable: everything after the
+last commit marker is ignored by the transactional layer above.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator
+
+from ..errors import CorruptRecordError, StorageError
+
+MAGIC = b"\xA5\x5A"
+HEADER = b"PROMETHEUS-LOG-v1\n"
+
+KIND_DATA = 1       # payload: serialized object record
+KIND_TOMBSTONE = 2  # payload: 8-byte big-endian OID
+KIND_COMMIT = 3     # payload: 8-byte big-endian transaction id
+KIND_META = 4       # payload: serialized metadata record
+
+_LEN_STRUCT = struct.Struct(">I")
+_CRC_STRUCT = struct.Struct(">I")
+_OID_STRUCT = struct.Struct(">Q")
+
+_ENTRY_OVERHEAD = 2 + 1 + 4 + 4  # magic + kind + len + crc
+
+
+@dataclass(frozen=True, slots=True)
+class LogEntry:
+    """One decoded log entry with its file position."""
+
+    offset: int
+    kind: int
+    payload: bytes
+
+    @property
+    def end_offset(self) -> int:
+        return self.offset + _ENTRY_OVERHEAD + len(self.payload)
+
+
+class RecordLog:
+    """Append-only entry log over a single file.
+
+    The log keeps its file handle open in ``a+b`` mode; appends always go
+    to the end, reads seek freely.  ``sync=True`` fsyncs after every flush
+    (slow, durable); the default relies on OS buffering, which is the
+    right trade-off for benchmarking a layered design rather than disks.
+    """
+
+    def __init__(self, path: str | os.PathLike[str], sync: bool = False) -> None:
+        self._path = os.fspath(path)
+        self._sync = sync
+        created = not os.path.exists(self._path) or os.path.getsize(self._path) == 0
+        self._file: BinaryIO = open(self._path, "a+b")
+        if created:
+            self._file.write(HEADER)
+            self._file.flush()
+        else:
+            self._check_header()
+        self._file.seek(0, io.SEEK_END)
+        self._end = self._file.tell()
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.flush()
+            self._file.close()
+            self._closed = True
+
+    def __enter__(self) -> "RecordLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def size(self) -> int:
+        """Current end offset (bytes) of valid data."""
+        return self._end
+
+    def _check_header(self) -> None:
+        self._file.seek(0)
+        head = self._file.read(len(HEADER))
+        if head != HEADER:
+            raise StorageError(f"{self._path}: not a Prometheus log file")
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StorageError("log is closed")
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, kind: int, payload: bytes) -> int:
+        """Append one entry; return its offset.  Not yet flushed."""
+        self._require_open()
+        entry = bytearray()
+        entry += MAGIC
+        entry.append(kind)
+        entry += _LEN_STRUCT.pack(len(payload))
+        entry += payload
+        entry += _CRC_STRUCT.pack(zlib.crc32(payload))
+        offset = self._end
+        self._file.seek(0, io.SEEK_END)
+        self._file.write(entry)
+        self._end += len(entry)
+        return offset
+
+    def append_data(self, payload: bytes) -> int:
+        return self.append(KIND_DATA, payload)
+
+    def append_tombstone(self, oid: int) -> int:
+        return self.append(KIND_TOMBSTONE, _OID_STRUCT.pack(oid))
+
+    def append_commit(self, txn_id: int) -> int:
+        offset = self.append(KIND_COMMIT, _OID_STRUCT.pack(txn_id))
+        self.flush()
+        return offset
+
+    def append_meta(self, payload: bytes) -> int:
+        return self.append(KIND_META, payload)
+
+    def flush(self) -> None:
+        self._require_open()
+        self._file.flush()
+        if self._sync:
+            os.fsync(self._file.fileno())
+
+    def truncate(self, offset: int) -> None:
+        """Discard everything after ``offset`` (recovery from a corrupt
+        tail: appends must land directly after the last valid entry, or
+        they would be unreachable to future scans)."""
+        self._require_open()
+        if offset < len(HEADER) or offset > self._end:
+            raise StorageError(f"cannot truncate to offset {offset}")
+        self._file.flush()
+        self._file.truncate(offset)
+        self._end = offset
+
+    # -- reading ------------------------------------------------------------
+
+    def read_entry(self, offset: int) -> LogEntry:
+        """Read and validate the entry starting at ``offset``."""
+        self._require_open()
+        if offset < len(HEADER) or offset >= self._end:
+            raise CorruptRecordError(f"offset {offset} outside log")
+        self._file.seek(offset)
+        head = self._file.read(7)
+        if len(head) < 7 or head[:2] != MAGIC:
+            raise CorruptRecordError(f"bad entry magic at offset {offset}")
+        kind = head[2]
+        (length,) = _LEN_STRUCT.unpack(head[3:7])
+        payload = self._file.read(length)
+        crc_raw = self._file.read(4)
+        if len(payload) != length or len(crc_raw) != 4:
+            raise CorruptRecordError(f"truncated entry at offset {offset}")
+        (crc,) = _CRC_STRUCT.unpack(crc_raw)
+        if crc != zlib.crc32(payload):
+            raise CorruptRecordError(f"checksum mismatch at offset {offset}")
+        return LogEntry(offset=offset, kind=kind, payload=payload)
+
+    def scan(self, start: int | None = None) -> Iterator[LogEntry]:
+        """Yield valid entries in order, stopping at the first corrupt one.
+
+        This is the recovery path: a torn tail ends iteration silently;
+        the caller truncates logical state at the last commit marker.
+        """
+        self._require_open()
+        offset = len(HEADER) if start is None else start
+        while offset < self._end:
+            try:
+                entry = self.read_entry(offset)
+            except CorruptRecordError:
+                return
+            yield entry
+            offset = entry.end_offset
+
+    @staticmethod
+    def decode_oid_payload(payload: bytes) -> int:
+        if len(payload) != 8:
+            raise CorruptRecordError("bad OID payload length")
+        return _OID_STRUCT.unpack(payload)[0]

@@ -1,0 +1,406 @@
+"""The persistent object store: OID-addressed records with transactions.
+
+This is the *underlying storage system* in the sense of the thesis's
+performance evaluation (§7.2): the Prometheus model layers (objects,
+relationships, classifications, rules) are built on top of it, and the
+benchmark suite measures the cost those layers add over the bare store.
+
+Design
+------
+* One append-only :class:`~repro.storage.log.RecordLog` file holds all
+  state.  An in-memory index maps each live OID to the file offset of its
+  most recent record.
+* Transactions are strictly serial (single-writer).  A transaction appends
+  its data records immediately, but the index is only updated when the
+  commit marker is durably appended; recovery replays the log and ignores
+  any entries not followed by their commit marker, so a torn tail is safe.
+* Records are plain dicts of storable values (see
+  :mod:`repro.storage.serialization`); the store knows nothing about the
+  object model above it.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import struct
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..core.identity import OidAllocator
+from ..errors import StorageError, TransactionError, UnknownOidError
+from .cache import LruCache
+from .log import (
+    KIND_COMMIT,
+    KIND_DATA,
+    KIND_META,
+    KIND_TOMBSTONE,
+    RecordLog,
+)
+from .serialization import decode_record, encode_record
+
+_TOMB_STRUCT = struct.Struct(">QQ")  # (txn_id, oid)
+
+
+@dataclass
+class StoreStats:
+    """Operation counters, reset with :meth:`ObjectStore.reset_stats`."""
+
+    reads: int = 0
+    writes: int = 0
+    deletes: int = 0
+    commits: int = 0
+    aborts: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "deletes": self.deletes,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+@dataclass
+class _PendingTxn:
+    """Index deltas accumulated by an in-flight transaction."""
+
+    txn_id: int
+    # oid -> offset for writes, None for deletes, in application order
+    updates: dict[int, int | None] = field(default_factory=dict)
+    # decoded record copies for read-your-writes
+    staged: dict[int, dict[str, Any] | None] = field(default_factory=dict)
+
+
+class Transaction:
+    """Handle for one serial transaction.
+
+    Obtained from :meth:`ObjectStore.begin`; usable as a context manager
+    (commits on clean exit, aborts on exception)::
+
+        with store.begin() as txn:
+            txn.write(oid, {"name": "Apium"})
+    """
+
+    def __init__(self, store: "ObjectStore", pending: _PendingTxn) -> None:
+        self._store = store
+        self._pending = pending
+        self._done = False
+
+    @property
+    def txn_id(self) -> int:
+        return self._pending.txn_id
+
+    @property
+    def active(self) -> bool:
+        return not self._done
+
+    def _require_active(self) -> None:
+        if self._done:
+            raise TransactionError("transaction already finished")
+
+    def write(self, oid: int, record: dict[str, Any]) -> None:
+        """Stage a full new state for ``oid`` (insert or overwrite)."""
+        self._require_active()
+        self._store._txn_write(self._pending, oid, record)
+
+    def delete(self, oid: int) -> None:
+        """Stage deletion of ``oid``."""
+        self._require_active()
+        self._store._txn_delete(self._pending, oid)
+
+    def read(self, oid: int) -> dict[str, Any]:
+        """Read ``oid`` seeing this transaction's own staged writes."""
+        self._require_active()
+        if oid in self._pending.staged:
+            staged = self._pending.staged[oid]
+            if staged is None:
+                raise UnknownOidError(oid)
+            return copy.deepcopy(staged)
+        return self._store.read(oid)
+
+    def commit(self) -> None:
+        self._require_active()
+        self._store._commit(self._pending)
+        self._done = True
+
+    def abort(self) -> None:
+        self._require_active()
+        self._store._abort(self._pending)
+        self._done = True
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if self._done:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+
+class ObjectStore:
+    """OID-addressed, log-structured, transactional record store."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        cache_size: int = 4096,
+        sync: bool = False,
+    ) -> None:
+        self._log = RecordLog(path, sync=sync)
+        self._cache = LruCache(cache_size)
+        self._index: dict[int, int] = {}  # oid -> offset of live record
+        self._allocator = OidAllocator()
+        self._txn_counter = 0
+        self._active: _PendingTxn | None = None
+        self._lock = threading.RLock()
+        self.stats = StoreStats()
+        self._recover()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._active is not None:
+                self._abort(self._active)
+            self._log.close()
+
+    def __enter__(self) -> "ObjectStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @property
+    def path(self) -> str:
+        return self._log.path
+
+    @property
+    def file_size(self) -> int:
+        return self._log.size
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._index
+
+    # -- recovery -----------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Rebuild index/allocator state by replaying the log.
+
+        The log is truncated to its valid prefix: a corrupt or torn tail
+        is physically discarded so that subsequent appends stay reachable
+        by future recoveries.
+        """
+        from .log import HEADER
+
+        pending: dict[int, dict[int, int | None]] = {}
+        max_oid = 0
+        max_txn = 0
+        valid_end = len(HEADER)
+        for entry in self._log.scan():
+            valid_end = entry.end_offset
+            if entry.kind == KIND_DATA:
+                record = decode_record(entry.payload)
+                txn_id = int(record["t"])
+                oid = int(record["o"])
+                pending.setdefault(txn_id, {})[oid] = entry.offset
+                max_oid = max(max_oid, oid)
+                max_txn = max(max_txn, txn_id)
+            elif entry.kind == KIND_TOMBSTONE:
+                txn_id, oid = _TOMB_STRUCT.unpack(entry.payload)
+                pending.setdefault(txn_id, {})[oid] = None
+                max_oid = max(max_oid, oid)
+                max_txn = max(max_txn, txn_id)
+            elif entry.kind == KIND_COMMIT:
+                txn_id = RecordLog.decode_oid_payload(entry.payload)
+                max_txn = max(max_txn, txn_id)
+                for oid, offset in pending.pop(txn_id, {}).items():
+                    if offset is None:
+                        self._index.pop(oid, None)
+                    else:
+                        self._index[oid] = offset
+            elif entry.kind == KIND_META:
+                pass  # reserved for schema snapshots / compaction markers
+        if valid_end < self._log.size:
+            self._log.truncate(valid_end)
+        self._allocator.fast_forward(max_oid)
+        self._txn_counter = max_txn
+
+    # -- OID allocation -----------------------------------------------------
+
+    def new_oid(self) -> int:
+        """Allocate a fresh OID (never reused, even across reopen)."""
+        return self._allocator.allocate()
+
+    def new_oids(self, n: int) -> range:
+        return self._allocator.allocate_many(n)
+
+    # -- transactions -------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start the (single) active transaction."""
+        with self._lock:
+            if self._active is not None:
+                raise TransactionError("a transaction is already active")
+            self._txn_counter += 1
+            self._active = _PendingTxn(txn_id=self._txn_counter)
+            return Transaction(self, self._active)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._active is not None
+
+    def _require_is_active(self, pending: _PendingTxn) -> None:
+        if self._active is not pending:
+            raise TransactionError("transaction is not the active one")
+
+    def _txn_write(
+        self, pending: _PendingTxn, oid: int, record: dict[str, Any]
+    ) -> None:
+        with self._lock:
+            self._require_is_active(pending)
+            payload = encode_record(
+                {"t": pending.txn_id, "o": oid, "f": dict(record)}
+            )
+            offset = self._log.append(KIND_DATA, payload)
+            pending.updates[oid] = offset
+            pending.staged[oid] = copy.deepcopy(record)
+            self.stats.writes += 1
+
+    def _txn_delete(self, pending: _PendingTxn, oid: int) -> None:
+        with self._lock:
+            self._require_is_active(pending)
+            visible = oid in self._index or pending.staged.get(oid) is not None
+            if oid in pending.staged and pending.staged[oid] is None:
+                visible = False
+            if not visible:
+                raise UnknownOidError(oid)
+            self._log.append(
+                KIND_TOMBSTONE, _TOMB_STRUCT.pack(pending.txn_id, oid)
+            )
+            pending.updates[oid] = None
+            pending.staged[oid] = None
+            self.stats.deletes += 1
+
+    def _commit(self, pending: _PendingTxn) -> None:
+        with self._lock:
+            self._require_is_active(pending)
+            self._log.append_commit(pending.txn_id)
+            for oid, offset in pending.updates.items():
+                if offset is None:
+                    self._index.pop(oid, None)
+                    self._cache.invalidate(oid)
+                else:
+                    self._index[oid] = offset
+                    staged = pending.staged.get(oid)
+                    if staged is not None:
+                        self._cache.put(oid, copy.deepcopy(staged))
+            self._active = None
+            self.stats.commits += 1
+
+    def _abort(self, pending: _PendingTxn) -> None:
+        with self._lock:
+            self._require_is_active(pending)
+            # Appended data entries become dead weight; compaction drops them.
+            self._active = None
+            self.stats.aborts += 1
+
+    # -- autocommit convenience ----------------------------------------------
+
+    def put(self, oid: int, record: dict[str, Any]) -> None:
+        """Write one record in its own transaction."""
+        with self.begin() as txn:
+            txn.write(oid, record)
+
+    def insert(self, record: dict[str, Any]) -> int:
+        """Allocate an OID, write the record, return the OID."""
+        oid = self.new_oid()
+        self.put(oid, record)
+        return oid
+
+    def remove(self, oid: int) -> None:
+        """Delete one record in its own transaction."""
+        with self.begin() as txn:
+            txn.delete(oid)
+
+    # -- reading --------------------------------------------------------------
+
+    def read(self, oid: int) -> dict[str, Any]:
+        """Return a fresh copy of the committed state of ``oid``."""
+        with self._lock:
+            self.stats.reads += 1
+            cached = self._cache.get(oid)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return copy.deepcopy(cached)
+            self.stats.cache_misses += 1
+            try:
+                offset = self._index[oid]
+            except KeyError:
+                raise UnknownOidError(oid) from None
+            entry = self._log.read_entry(offset)
+            record = decode_record(entry.payload)
+            fields = record["f"]
+            if not isinstance(fields, dict):
+                raise StorageError(f"record {oid} has malformed fields")
+            self._cache.put(oid, copy.deepcopy(fields))
+            return fields
+
+    def oids(self) -> Iterator[int]:
+        """Iterate live OIDs (snapshot order not guaranteed)."""
+        with self._lock:
+            return iter(list(self._index.keys()))
+
+    def items(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        for oid in self.oids():
+            try:
+                yield oid, self.read(oid)
+            except UnknownOidError:
+                continue
+
+    # -- maintenance ----------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        self.stats = StoreStats()
+        self._cache.hits = 0
+        self._cache.misses = 0
+
+    def compact(self) -> None:
+        """Rewrite the log keeping only live records.
+
+        Aborted and overwritten entries are dropped.  The store must not
+        have an active transaction.
+        """
+        with self._lock:
+            if self._active is not None:
+                raise TransactionError("cannot compact inside a transaction")
+            tmp_path = self.path + ".compact"
+            if os.path.exists(tmp_path):
+                os.remove(tmp_path)
+            new_log = RecordLog(tmp_path, sync=False)
+            new_index: dict[int, int] = {}
+            txn_id = self._txn_counter + 1
+            for oid in sorted(self._index):
+                fields = self.read(oid)
+                payload = encode_record({"t": txn_id, "o": oid, "f": fields})
+                new_index[oid] = new_log.append(KIND_DATA, payload)
+            new_log.append_commit(txn_id)
+            new_log.close()
+            self._log.close()
+            os.replace(tmp_path, self.path)
+            self._log = RecordLog(self.path, sync=False)
+            self._index = new_index
+            self._txn_counter = txn_id
+            self._cache.clear()

@@ -1,0 +1,413 @@
+"""Automatic derivation of names from classifications (thesis §2.1.2).
+
+Given a finished classification of circumscription taxa over specimens,
+derive the correct name for every CT by applying the ICBN:
+
+1. walk the classification **top-down** (names of higher taxa are needed
+   to form the combinations of lower ones);
+2. for each CT, collect **all specimens** at any depth below it
+   (recursing through whatever ranks the classification uses);
+3. extract the **type specimens** among them and walk the typification
+   hierarchy **bottom-up** (specimen → species name → genus name ...)
+   to find published names at the CT's rank;
+4. choose the **oldest validly published** candidate;
+5. for multinomial ranks, verify the **combination** with the parent
+   name has been published; if not, **publish a new combination** citing
+   the basionym author in brackets and carrying the basionym's type;
+6. if no candidate exists at all, **elect a type** from the
+   circumscription and **publish a new name**.
+
+The worked Figure 3 example (Apium/Heliosciadium) is reproduced verbatim
+in the test suite and ``examples/apium_revision.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..classification import Classification, TraceLog
+from ..core.instances import PObject
+from ..errors import DerivationError
+from . import nomenclature
+from .model import (
+    HOLOTYPE,
+    LECTOTYPE,
+    STATUS_PUBLISHED,
+    STATUS_CONSERVED,
+    TaxonomyDatabase,
+)
+from .ranks import Rank, get_rank
+
+#: Statuses that make a name available for derivation.
+_DERIVABLE_STATUSES = (STATUS_PUBLISHED, STATUS_CONSERVED)
+
+
+@dataclass
+class DerivationResult:
+    """Outcome of deriving the name of one CT."""
+
+    ct_oid: int
+    name_oid: int | None
+    action: str  # "existing" | "new-combination" | "new-name" | "failed"
+    full_name: str = ""
+    message: str = ""
+    candidates: list[int] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.action != "failed"
+
+
+def placement_anchor_rank(rank: Rank | str) -> Rank | None:
+    """The rank whose name anchors combinations at ``rank``.
+
+    Species and infrageneric ranks combine with the Genus name;
+    infraspecific ranks combine with the Species name; Genus and above
+    are uninomial.
+    """
+    resolved = get_rank(rank) if isinstance(rank, str) else rank
+    genus = get_rank("Genus")
+    species = get_rank("Species")
+    if resolved.order > species.order:
+        return species
+    if resolved.order > genus.order:
+        return genus
+    return None
+
+
+class NameDeriver:
+    """Derives calculated names for every CT of a classification.
+
+    Args:
+        taxdb: the taxonomy database.
+        author: the reviser's author abbreviation — used as the authorship
+            of any newly published combination or name.
+        year: publication year for new names.
+        publication: publication reference recorded on new names.
+    """
+
+    def __init__(
+        self,
+        taxdb: TaxonomyDatabase,
+        author: str,
+        year: int,
+        publication: str = "",
+    ) -> None:
+        self.taxdb = taxdb
+        self.author = author
+        self.year = year
+        self.publication = publication
+
+    # ------------------------------------------------------------------
+    # candidate discovery (steps 2-3)
+    # ------------------------------------------------------------------
+
+    def candidate_names(
+        self, classification: Classification, ct: PObject
+    ) -> list[PObject]:
+        """Published NTs at the CT's rank reachable from its type specimens.
+
+        Walks the typification hierarchy upward from every type specimen
+        found in the circumscription until names at the target rank are
+        reached (requirement 9's bottom-up traversal).
+        """
+        taxdb = self.taxdb
+        target_rank = get_rank(ct.get("rank"))
+        specimens = taxdb.specimens_under(classification, ct)
+        frontier: list[PObject] = []
+        seen: set[int] = set()
+        for specimen in specimens:
+            for nt in taxdb.names_typified_by(specimen):
+                if nt.oid not in seen:
+                    seen.add(nt.oid)
+                    frontier.append(nt)
+        candidates: list[PObject] = []
+        while frontier:
+            nt = frontier.pop()
+            nt_rank = get_rank(nt.get("rank"))
+            if nt_rank == target_rank:
+                if nt.get("status") in _DERIVABLE_STATUSES:
+                    candidates.append(nt)
+                continue
+            if nt_rank.is_below(target_rank):
+                # Walk up: names having this NT as their type.
+                for upper in taxdb.names_typified_by(nt):
+                    if upper.oid not in seen:
+                        seen.add(upper.oid)
+                        frontier.append(upper)
+            # Names above the target rank are dead ends for this CT.
+        candidates.sort(key=_publication_order)
+        return candidates
+
+    # ------------------------------------------------------------------
+    # per-taxon derivation (steps 4-6)
+    # ------------------------------------------------------------------
+
+    def derive_taxon(
+        self,
+        classification: Classification,
+        ct: PObject,
+        parent_name: PObject | None,
+    ) -> DerivationResult:
+        """Derive and attach the calculated name of one CT."""
+        taxdb = self.taxdb
+        rank = get_rank(ct.get("rank"))
+        candidates = self.candidate_names(classification, ct)
+        anchor = placement_anchor_rank(rank)
+        if not candidates:
+            return self._publish_new_name(
+                classification, ct, rank, parent_name, anchor
+            )
+        chosen = candidates[0]
+        if anchor is None or parent_name is None:
+            taxdb.set_calculated_name(ct, chosen)
+            return DerivationResult(
+                ct_oid=ct.oid,
+                name_oid=chosen.oid,
+                action="existing",
+                full_name=taxdb.full_name(chosen),
+                candidates=[c.oid for c in candidates],
+            )
+        # Multinomial: the combination with the parent name must exist.
+        placement = taxdb.placement_of(chosen)
+        if placement is not None and placement.oid == parent_name.oid:
+            taxdb.set_calculated_name(ct, chosen)
+            return DerivationResult(
+                ct_oid=ct.oid,
+                name_oid=chosen.oid,
+                action="existing",
+                full_name=taxdb.full_name(chosen),
+                candidates=[c.oid for c in candidates],
+            )
+        # Was the combination published independently?
+        existing = self._find_combination(
+            chosen.get("epithet"), rank, parent_name
+        )
+        if existing is not None:
+            taxdb.set_calculated_name(ct, existing)
+            return DerivationResult(
+                ct_oid=ct.oid,
+                name_oid=existing.oid,
+                action="existing",
+                full_name=taxdb.full_name(existing),
+                candidates=[c.oid for c in candidates],
+            )
+        return self._publish_combination(
+            ct, rank, chosen, parent_name, [c.oid for c in candidates]
+        )
+
+    def _find_combination(
+        self, epithet: str, rank: Rank, parent_name: PObject
+    ) -> PObject | None:
+        matches = [
+            nt
+            for nt in self.taxdb.find_names(epithet=epithet, rank=rank)
+            if (placement := self.taxdb.placement_of(nt)) is not None
+            and placement.oid == parent_name.oid
+            and nt.get("status") in _DERIVABLE_STATUSES
+        ]
+        if not matches:
+            return None
+        return min(matches, key=_publication_order)
+
+    def _publish_combination(
+        self,
+        ct: PObject,
+        rank: Rank,
+        basionym_holder: PObject,
+        parent_name: PObject,
+        candidates: list[int],
+    ) -> DerivationResult:
+        """Step 5: publish epithet under the new parent name."""
+        taxdb = self.taxdb
+        # The true basionym is the original publication, not an
+        # intermediate combination.
+        basionym = taxdb.basionym_of(basionym_holder) or basionym_holder
+        new_nt = taxdb.publish_name(
+            basionym_holder.get("epithet"),
+            rank,
+            author=self.author,
+            year=self.year,
+            publication=self.publication,
+            placement=parent_name,
+            basionym=basionym,
+            validate=False,  # the epithet was already validly published
+        )
+        # The recombination keeps the basionym's type (§2.1.2 / Figure 3).
+        governing = taxdb.primary_type(basionym_holder)
+        if governing is not None:
+            taxdb.typify(
+                new_nt,
+                governing,
+                LECTOTYPE,
+                designated_by=self.author,
+                year=self.year,
+            )
+        taxdb.set_calculated_name(ct, new_nt)
+        return DerivationResult(
+            ct_oid=ct.oid,
+            name_oid=new_nt.oid,
+            action="new-combination",
+            full_name=taxdb.full_name(new_nt),
+            message=(
+                f"combination {parent_name.get('epithet')} "
+                f"{new_nt.get('epithet')} was not yet published"
+            ),
+            candidates=candidates,
+        )
+
+    def _publish_new_name(
+        self,
+        classification: Classification,
+        ct: PObject,
+        rank: Rank,
+        parent_name: PObject | None,
+        anchor: Rank | None,
+    ) -> DerivationResult:
+        """Step 6: no candidate — elect a type and publish a new name."""
+        taxdb = self.taxdb
+        specimens = taxdb.specimens_under(classification, ct)
+        if not specimens:
+            return DerivationResult(
+                ct_oid=ct.oid,
+                name_oid=None,
+                action="failed",
+                message="empty circumscription: cannot elect a type",
+            )
+        elected = min(specimens, key=lambda s: s.oid)
+        epithet = self._epithet_for(ct, rank)
+        placement = parent_name if anchor is not None else None
+        new_nt = taxdb.publish_name(
+            epithet,
+            rank,
+            author=self.author,
+            year=self.year,
+            publication=self.publication,
+            placement=placement,
+            validate=False,
+        )
+        taxdb.typify(
+            new_nt,
+            elected,
+            HOLOTYPE,
+            designated_by=self.author,
+            year=self.year,
+        )
+        taxdb.set_calculated_name(ct, new_nt)
+        return DerivationResult(
+            ct_oid=ct.oid,
+            name_oid=new_nt.oid,
+            action="new-name",
+            full_name=taxdb.full_name(new_nt),
+            message=f"elected specimen {elected.oid} as holotype",
+        )
+
+    def _epithet_for(self, ct: PObject, rank: Rank) -> str:
+        working = self.taxdb.working_name_of(ct)
+        if working:
+            candidate = working.split()[-1]
+            if nomenclature.epithet_problems(candidate, rank) is None:
+                return candidate
+            corrected = nomenclature.correct_ending(candidate, rank)
+            if nomenclature.requires_capital(rank):
+                corrected = corrected[0].upper() + corrected[1:]
+            else:
+                corrected = corrected[0].lower() + corrected[1:]
+            if nomenclature.epithet_problems(corrected, rank) is None:
+                return corrected
+        base = f"novum{ct.oid}"
+        if nomenclature.requires_capital(rank):
+            base = base.capitalize()
+        return nomenclature.correct_ending(base, rank)
+
+    # ------------------------------------------------------------------
+    # whole-classification derivation (step 1)
+    # ------------------------------------------------------------------
+
+    def derive(self, classification: Classification) -> list[DerivationResult]:
+        """Derive names for every CT, root-first.
+
+        Returns one :class:`DerivationResult` per CT in derivation order.
+        """
+        taxdb = self.taxdb
+        results: list[DerivationResult] = []
+        for ct in taxdb.iter_taxa_top_down(classification):
+            try:
+                parent_name = self._anchor_name(classification, ct)
+                result = self.derive_taxon(classification, ct, parent_name)
+            except DerivationError as exc:
+                # An ancestor failed to receive a name; this CT cannot be
+                # named either, but derivation of siblings continues.
+                result = DerivationResult(
+                    ct_oid=ct.oid,
+                    name_oid=None,
+                    action="failed",
+                    message=str(exc),
+                )
+            results.append(result)
+            taxdb.trace.record(
+                TraceLog.DERIVE,
+                classification.name,
+                actor=self.author,
+                reason=result.message or result.action,
+                subject_oid=ct.oid,
+                object_oid=result.name_oid or 0,
+            )
+        return results
+
+    def _anchor_name(
+        self, classification: Classification, ct: PObject
+    ) -> PObject | None:
+        """Calculated name of the ancestor anchoring this CT's combination."""
+        anchor = placement_anchor_rank(ct.get("rank"))
+        if anchor is None:
+            return None
+        cursor = ct
+        while True:
+            parents = [
+                p for p in classification.parents(cursor) if self.taxdb.is_ct(p)
+            ]
+            if not parents:
+                return None
+            cursor = parents[0]
+            cursor_rank = get_rank(cursor.get("rank"))
+            if cursor_rank.order <= anchor.order:
+                name = self.taxdb.calculated_name(cursor)
+                if name is None:
+                    raise DerivationError(
+                        f"ancestor CT {cursor.oid} has no calculated name "
+                        "yet (derivation must proceed top-down)"
+                    )
+                return name
+
+
+def _publication_order(nt: PObject) -> tuple[int, int]:
+    """Oldest validly published first; OID breaks ties deterministically."""
+    year = nt.get("year")
+    return (year if isinstance(year, int) else 10**6, nt.oid)
+
+
+def check_ascriptions(
+    taxdb: TaxonomyDatabase, classification: Classification
+) -> list[tuple[int, str, str]]:
+    """Compare ascribed (historical) names with calculated ones (§7.1.2).
+
+    Returns (ct_oid, ascribed_full_name, calculated_full_name) triples
+    for every CT whose published name differs from what the ICBN derives
+    today — misapplications, misspellings, superseded combinations.
+    """
+    mismatches = []
+    for ct in taxdb.iter_taxa_top_down(classification):
+        ascribed = taxdb.ascribed_name(ct)
+        calculated = taxdb.calculated_name(ct)
+        if ascribed is None or calculated is None:
+            continue
+        if ascribed.oid != calculated.oid:
+            mismatches.append(
+                (
+                    ct.oid,
+                    taxdb.full_name(ascribed),
+                    taxdb.full_name(calculated),
+                )
+            )
+    return mismatches

@@ -1,0 +1,339 @@
+"""ICBN rules as Prometheus constraints (thesis §7.1.3.2, Figures 35–40).
+
+The taxonomic evaluation demonstrates the rule system by encoding parts
+of the International Code of Botanical Nomenclature:
+
+* **Figure 35 — family name rule**: names at rank Familia end in
+  ``-aceae`` (eight conserved exceptions).
+* **Figure 36 — genus name rule**: Genus epithets are capitalised single
+  words (hyphen allowed).
+* **Figure 37 — type existence rule**: a validly published name must
+  carry a type designation (checked deferred, at commit — typification
+  may legitimately follow publication within the transaction).
+* **Figure 38 — species rank rule**: a Species taxon is placed below a
+  taxon ranked between Genus (inclusive) and Species (exclusive).
+* **Figure 39 — series rank rule**: likewise for Series.
+* **Figure 40 — placement rule**: every CT→CT placement descends the
+  rank hierarchy (relationship-centred rule, §5.2.1.4.4).
+
+Rules 35–36 are *object rules*; 38–40 are *relationship rules* attached
+to the ``Includes`` relationship class.
+"""
+
+from __future__ import annotations
+
+from ..rules import (
+    AnyOf,
+    Mode,
+    OnViolation,
+    Rule,
+    RuleContext,
+    RuleEngine,
+    RuleKind,
+    on_create,
+    on_relate,
+    on_update,
+)
+from . import nomenclature
+from .model import (
+    CIRCUMSCRIPTION_TAXON,
+    HAS_TYPE,
+    INCLUDES,
+    NAME_PLACEMENT,
+    NOMENCLATURAL_TAXON,
+    STATUS_PUBLISHED,
+    TaxonomyDatabase,
+)
+from .ranks import get_rank
+
+
+def _is_ct(ctx: RuleContext, obj: object) -> bool:
+    from ..core.instances import PObject
+
+    return isinstance(obj, PObject) and obj.pclass.is_subclass_of(
+        ctx.schema.get_class(CIRCUMSCRIPTION_TAXON)
+    )
+
+
+# ---------------------------------------------------------------------------
+# object rules (Figures 35-37)
+# ---------------------------------------------------------------------------
+
+def family_name_rule() -> Rule:
+    """Figure 35: family names end with -aceae (with the 8 exceptions)."""
+
+    def applies(ctx: RuleContext) -> bool:
+        return ctx.target is not None and ctx.target.get("rank") == "Familia"
+
+    def check(ctx: RuleContext) -> bool:
+        epithet = ctx.target.get("epithet") or ""
+        return (
+            epithet.endswith("aceae")
+            or epithet in nomenclature.FAMILY_ENDING_EXCEPTIONS
+        )
+
+    return Rule(
+        name="icbn_family_name",
+        event=AnyOf(
+            on_create(NOMENCLATURAL_TAXON),
+            on_update(NOMENCLATURAL_TAXON, attribute="epithet"),
+            on_update(NOMENCLATURAL_TAXON, attribute="rank"),
+        ),
+        applicability=applies,
+        condition=check,
+        kind=RuleKind.INVARIANT,
+        target_class=NOMENCLATURAL_TAXON,
+        message="family names must end with -aceae (ICBN, Figure 35)",
+    )
+
+
+def genus_name_rule() -> Rule:
+    """Figure 36: Genus epithets are capitalised single words."""
+
+    def applies(ctx: RuleContext) -> bool:
+        return ctx.target is not None and ctx.target.get("rank") == "Genus"
+
+    def check(ctx: RuleContext) -> bool:
+        epithet = ctx.target.get("epithet") or ""
+        return (
+            bool(epithet)
+            and epithet[0].isupper()
+            and " " not in epithet
+            and epithet.replace("-", "").isalpha()
+        )
+
+    return Rule(
+        name="icbn_genus_name",
+        event=AnyOf(
+            on_create(NOMENCLATURAL_TAXON),
+            on_update(NOMENCLATURAL_TAXON, attribute="epithet"),
+            on_update(NOMENCLATURAL_TAXON, attribute="rank"),
+        ),
+        applicability=applies,
+        condition=check,
+        kind=RuleKind.INVARIANT,
+        target_class=NOMENCLATURAL_TAXON,
+        message="genus names are capitalised single words (ICBN, Figure 36)",
+    )
+
+
+def type_existence_rule(strict: bool = False) -> Rule:
+    """Figure 37: a published name must have a taxonomic type.
+
+    Deferred: typification may follow publication inside the same
+    transaction, so the check runs at commit.  Non-strict installs as a
+    WARN rule (historical datasets predate compulsory typification;
+    Prometheus then asks for lectotypification instead, §2.3).
+    """
+
+    def applies(ctx: RuleContext) -> bool:
+        return (
+            ctx.target is not None
+            and ctx.target.get("status") == STATUS_PUBLISHED
+        )
+
+    def check(ctx: RuleContext) -> bool:
+        return bool(ctx.target.outgoing(HAS_TYPE))
+
+    return Rule(
+        name="icbn_type_existence",
+        event=on_create(NOMENCLATURAL_TAXON),
+        applicability=applies,
+        condition=check,
+        kind=RuleKind.INVARIANT,
+        mode=Mode.DEFERRED,
+        on_violation=OnViolation.ABORT if strict else OnViolation.WARN,
+        target_class=NOMENCLATURAL_TAXON,
+        message="published names must be typified (ICBN, Figure 37)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# relationship rules (Figures 38-40)
+# ---------------------------------------------------------------------------
+
+def _rank_window_rule(
+    name: str, child_rank: str, upper: str, lower: str, figure: str
+) -> Rule:
+    """A CT at ``child_rank`` must be placed under a CT ranked in
+    [upper, lower) — the pattern shared by Figures 38 and 39."""
+
+    child = get_rank(child_rank)
+    hi = get_rank(upper)
+    lo = get_rank(lower)
+
+    def applies(ctx: RuleContext) -> bool:
+        return (
+            _is_ct(ctx, ctx.destination)
+            and ctx.destination.get("rank") == child.name
+            and _is_ct(ctx, ctx.origin)
+        )
+
+    def check(ctx: RuleContext) -> bool:
+        parent = get_rank(ctx.origin.get("rank"))
+        return hi.order <= parent.order < lo.order
+
+    return Rule(
+        name=name,
+        event=on_relate(INCLUDES, before=True),
+        applicability=applies,
+        condition=check,
+        kind=RuleKind.RELATIONSHIP,
+        target_class=INCLUDES,
+        message=(
+            f"a {child.name} taxon must be placed below a taxon ranked "
+            f"between {hi.name} (incl.) and {lo.name} (excl.) "
+            f"(ICBN, {figure})"
+        ),
+    )
+
+
+def species_rank_rule() -> Rule:
+    """Figure 38."""
+    return _rank_window_rule(
+        "icbn_species_rank", "Species", "Genus", "Species", "Figure 38"
+    )
+
+
+def series_rank_rule() -> Rule:
+    """Figure 39."""
+    return _rank_window_rule(
+        "icbn_series_rank", "Series", "Genus", "Series", "Figure 39"
+    )
+
+
+def placement_rule() -> Rule:
+    """Figure 40: CT→CT placements strictly descend the rank hierarchy."""
+
+    def applies(ctx: RuleContext) -> bool:
+        return _is_ct(ctx, ctx.origin) and _is_ct(ctx, ctx.destination)
+
+    def check(ctx: RuleContext) -> bool:
+        parent = get_rank(ctx.origin.get("rank"))
+        child = get_rank(ctx.destination.get("rank"))
+        return child.is_below(parent)
+
+    return Rule(
+        name="icbn_placement",
+        event=on_relate(INCLUDES, before=True),
+        applicability=applies,
+        condition=check,
+        kind=RuleKind.RELATIONSHIP,
+        target_class=INCLUDES,
+        message="placements must descend the rank hierarchy (Figure 40)",
+    )
+
+
+def epithet_form_rule(strict: bool = False) -> Rule:
+    """General nomenclature invariant: epithet form per rank (§2.1.2)."""
+
+    def check(ctx: RuleContext) -> bool:
+        target = ctx.target
+        rank = target.get("rank")
+        epithet = target.get("epithet")
+        if not rank or not epithet:
+            return True
+        return nomenclature.epithet_problems(epithet, rank) is None
+
+    return Rule(
+        name="icbn_epithet_form",
+        event=AnyOf(
+            on_create(NOMENCLATURAL_TAXON),
+            on_update(NOMENCLATURAL_TAXON, attribute="epithet"),
+        ),
+        condition=check,
+        kind=RuleKind.INVARIANT,
+        on_violation=OnViolation.ABORT if strict else OnViolation.WARN,
+        target_class=NOMENCLATURAL_TAXON,
+        message="epithet violates ICBN formation rules (§2.1.2)",
+    )
+
+
+def autonym_rule(taxdb: TaxonomyDatabase) -> Rule:
+    """ICBN autonyms as a deductive ACTION rule (§5.2's automatic actions).
+
+    When an infraspecific name is placed in a Species name whose epithet
+    differs, the code *automatically establishes* the autonym — the
+    infraspecific name repeating the species epithet (e.g. publishing
+    *Apium graveolens* var. *dulce* establishes *Apium graveolens* var.
+    *graveolens*).  The rule watches NamePlacement edges and publishes
+    the missing autonym; it is self-terminating because the autonym's own
+    placement has matching epithets.
+    """
+    species = get_rank("Species")
+
+    def applies(ctx: RuleContext) -> bool:
+        child, parent = ctx.origin, ctx.destination
+        if child is None or parent is None:
+            return False
+        if parent.get("rank") != species.name:
+            return False
+        child_rank = get_rank(child.get("rank"))
+        if not child_rank.is_below(species):
+            return False
+        return child.get("epithet") != parent.get("epithet")
+
+    def establish(ctx: RuleContext) -> None:
+        child, parent = ctx.origin, ctx.destination
+        rank = child.get("rank")
+        epithet = parent.get("epithet")
+        existing = [
+            nt
+            for nt in taxdb.find_names(epithet=epithet, rank=rank)
+            if (placement := taxdb.placement_of(nt)) is not None
+            and placement.oid == parent.oid
+        ]
+        if existing:
+            return
+        taxdb.publish_name(
+            epithet,
+            rank,
+            author="",  # autonyms carry no author citation (ICBN)
+            year=child.get("year"),
+            publication=child.get("publication"),
+            placement=parent,
+            validate=False,
+        )
+
+    return Rule(
+        name="icbn_autonym",
+        event=on_relate(NAME_PLACEMENT),
+        applicability=applies,
+        action=establish,
+        kind=RuleKind.ACTION,
+        target_class=NAME_PLACEMENT,
+        message="publishing an infraspecific name establishes the autonym",
+    )
+
+
+def all_icbn_rules(strict_types: bool = False) -> list[Rule]:
+    """All six ICBN rules of the evaluation chapter, plus the general
+    epithet-form rule."""
+    return [
+        family_name_rule(),
+        genus_name_rule(),
+        type_existence_rule(strict=strict_types),
+        species_rank_rule(),
+        series_rank_rule(),
+        placement_rule(),
+        epithet_form_rule(),
+    ]
+
+
+def install_icbn_rules(
+    taxdb: TaxonomyDatabase,
+    engine: RuleEngine | None = None,
+    strict_types: bool = False,
+    autonyms: bool = False,
+) -> RuleEngine:
+    """Attach the ICBN rule set to a taxonomy database's schema.
+
+    ``autonyms=True`` additionally installs the autonym-establishing
+    ACTION rule (off by default: bulk imports of historical data usually
+    carry their autonyms already).
+    """
+    engine = engine or RuleEngine(taxdb.schema)
+    engine.register_all(all_icbn_rules(strict_types=strict_types))
+    if autonyms:
+        engine.register(autonym_rule(taxdb))
+    return engine

@@ -1,0 +1,191 @@
+"""ICBN name-formation rules (thesis §2.1.2).
+
+Pure functions validating and formatting botanical names:
+
+* epithets are single-worded (Genus epithets may contain a hyphen);
+* epithets at ranks from Series down to Species (exclusive) start with a
+  capital; Species-rank and lower epithets start lowercase; ranks above
+  Series also capitalise (uninomial names);
+* rank-specific endings — Familia ``-aceae`` (with the eight conserved
+  exceptions), Subfamilia ``-oideae``, Tribus ``-eae``, Subtribus
+  ``-inea`` (the thesis's spelling);
+* authorship strings, including the bracketed basionym author of a new
+  combination: ``Heliosciadium repens (Jacq.)Raguenaud``.
+"""
+
+from __future__ import annotations
+
+from ..errors import NomenclatureError
+from .ranks import Rank, get_rank
+
+#: The eight conserved family names exempt from the -aceae ending.
+FAMILY_ENDING_EXCEPTIONS = frozenset(
+    {
+        "Palmae",
+        "Gramineae",
+        "Cruciferae",
+        "Leguminosae",
+        "Guttiferae",
+        "Umbelliferae",
+        "Labiatae",
+        "Compositae",
+    }
+)
+
+#: Compulsory endings by rank name.
+RANK_ENDINGS = {
+    "Familia": "aceae",
+    "Subfamilia": "oideae",
+    "Tribus": "eae",
+    "Subtribus": "inea",
+}
+
+
+def _rank(rank: Rank | str) -> Rank:
+    return get_rank(rank) if isinstance(rank, str) else rank
+
+
+def requires_capital(rank: Rank | str) -> bool:
+    """True when an epithet at this rank must start with a capital letter.
+
+    Per §2.1.2: ranks from Series to Species (Species excluded) must
+    capitalise; Species and below are lowercase.  Ranks above Series are
+    uninomial proper names and also capitalise.
+    """
+    resolved = _rank(rank)
+    species = get_rank("Species")
+    return resolved.order < species.order
+
+
+def is_multinomial(rank: Rank | str) -> bool:
+    """Species-rank names and below are combinations (binomial or lower)."""
+    return _rank(rank).order >= get_rank("Species").order
+
+
+def needs_placement(rank: Rank | str) -> bool:
+    """Names below Genus need a placement parent for full-name derivation.
+
+    §2.1.2: "If no nomenclatural information is needed (e.g. for names at
+    ranks above Genus which are not composed names), no placement
+    relationship is used."
+    """
+    return _rank(rank).order > get_rank("Genus").order
+
+
+def validate_epithet(epithet: str, rank: Rank | str) -> None:
+    """Validate one epithet against the ICBN formation rules.
+
+    Raises:
+        NomenclatureError: word count, capitalisation or ending violation.
+    """
+    resolved = _rank(rank)
+    if not epithet or not epithet.strip():
+        raise NomenclatureError("empty epithet")
+    if epithet != epithet.strip():
+        raise NomenclatureError(f"epithet {epithet!r} has stray whitespace")
+    if " " in epithet:
+        raise NomenclatureError(
+            f"epithet {epithet!r} must be single-worded at rank "
+            f"{resolved.name}"
+        )
+    if "-" in epithet and resolved.name != "Genus":
+        raise NomenclatureError(
+            f"hyphenated epithets are only allowed at Genus rank, got "
+            f"{epithet!r} at {resolved.name}"
+        )
+    core = epithet.replace("-", "")
+    if not core.isalpha():
+        raise NomenclatureError(
+            f"epithet {epithet!r} must contain letters only"
+        )
+    first = epithet[0]
+    if requires_capital(resolved):
+        if not first.isupper():
+            raise NomenclatureError(
+                f"epithet {epithet!r} at rank {resolved.name} must start "
+                "with a capital letter"
+            )
+    else:
+        if not first.islower():
+            raise NomenclatureError(
+                f"epithet {epithet!r} at rank {resolved.name} must start "
+                "with a lowercase letter"
+            )
+    ending = RANK_ENDINGS.get(resolved.name)
+    if ending is not None and not epithet.endswith(ending):
+        if resolved.name == "Familia" and epithet in FAMILY_ENDING_EXCEPTIONS:
+            return
+        raise NomenclatureError(
+            f"names at rank {resolved.name} must end with -{ending}, got "
+            f"{epithet!r}"
+        )
+
+
+def epithet_problems(epithet: str, rank: Rank | str) -> str | None:
+    """Like :func:`validate_epithet` but returning a message or None."""
+    try:
+        validate_epithet(epithet, rank)
+    except NomenclatureError as exc:
+        return str(exc)
+    return None
+
+
+def authorship(author: str, basionym_author: str = "") -> str:
+    """Build the authorship string of a (possibly recombined) name.
+
+    ``authorship("Lag.", "Jacq.")`` → ``"(Jacq.)Lag."`` — the author of
+    the original combination goes in brackets (§2.1.2).
+    """
+    author = author.strip()
+    basionym_author = basionym_author.strip()
+    if basionym_author and not author.startswith("("):
+        return f"({basionym_author}){author}"
+    return author
+
+
+def format_full_name(
+    epithet: str,
+    rank: Rank | str,
+    author: str = "",
+    parent_epithets: tuple[str, ...] = (),
+    basionym_author: str = "",
+) -> str:
+    """Render a complete name string.
+
+    For multinomial ranks the parent epithets are prefixed (genus for a
+    species; genus and species for a subspecies...): ``Apium graveolens
+    L.``.
+    """
+    resolved = _rank(rank)
+    parts: list[str] = []
+    if is_multinomial(resolved):
+        parts.extend(parent_epithets)
+    parts.append(epithet)
+    name = " ".join(parts)
+    cite = authorship(author, basionym_author)
+    return f"{name} {cite}".strip()
+
+
+def expected_ending(rank: Rank | str) -> str | None:
+    """The compulsory ending at this rank, if any."""
+    return RANK_ENDINGS.get(_rank(rank).name)
+
+
+def correct_ending(epithet: str, rank: Rank | str) -> str:
+    """Coerce an epithet to the compulsory ending of ``rank``.
+
+    Used by what-if tooling to propose corrections; conserved family
+    names are left untouched.
+    """
+    resolved = _rank(rank)
+    ending = RANK_ENDINGS.get(resolved.name)
+    if ending is None or epithet.endswith(ending):
+        return epithet
+    if resolved.name == "Familia" and epithet in FAMILY_ENDING_EXCEPTIONS:
+        return epithet
+    stem = epithet
+    for other in sorted(RANK_ENDINGS.values(), key=len, reverse=True):
+        if stem.endswith(other):
+            stem = stem[: -len(other)]
+            break
+    return stem + ending

@@ -1,0 +1,210 @@
+"""The ICBN rank hierarchy (thesis Figure 1, §2.1.1).
+
+Ranks are ordered, and the order constrains placements: a taxon at rank
+*r* must be placed below a taxon at a strictly higher rank.  Primary
+ranks (Regnum … Species) are compulsory in the sense that a
+classification's rank selection must respect their order; secondary and
+sub-ranks are optional refinements.  Taxonomists select a *rank range*
+to work in (e.g. Genus to Species).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import RankOrderError
+
+
+class RankCategory(enum.Enum):
+    PRIMARY = "primary"
+    SECONDARY = "secondary"
+    SUB = "sub"
+
+
+@dataclass(frozen=True, slots=True)
+class Rank:
+    """One rank: a name, a position, and an ICBN category.
+
+    ``order`` grows downward: Regnum has the smallest order, Subforma the
+    largest.  Comparisons follow ICBN position, so ``Genus < Species``
+    reads "Genus is higher in the hierarchy than Species".
+    """
+
+    name: str
+    order: int
+    category: RankCategory
+
+    def __lt__(self, other: "Rank") -> bool:
+        return self.order < other.order
+
+    def __le__(self, other: "Rank") -> bool:
+        return self.order <= other.order
+
+    def __gt__(self, other: "Rank") -> bool:
+        return self.order > other.order
+
+    def __ge__(self, other: "Rank") -> bool:
+        return self.order >= other.order
+
+    def is_above(self, other: "Rank") -> bool:
+        """True when self is a higher (more general) rank than other."""
+        return self.order < other.order
+
+    def is_below(self, other: "Rank") -> bool:
+        return self.order > other.order
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _build_sequence() -> tuple[Rank, ...]:
+    """The full ordered rank sequence of Figure 1.
+
+    Each primary/secondary rank is immediately followed by its sub-rank
+    ("sub" prefixed), representing a subdivision of that rank.
+    """
+    primary = ["Regnum", "Divisio", "Classis", "Ordo", "Familia"]
+    # After Familia come the secondary ranks Tribus (between Familia and
+    # Genus), then Genus, then Sectio and Series (between Genus and
+    # Species), then Species, then Varietas and Forma below Species.
+    spec: list[tuple[str, RankCategory]] = []
+    for name in primary:
+        spec.append((name, RankCategory.PRIMARY))
+        spec.append(("Sub" + name.lower(), RankCategory.SUB))
+    spec.append(("Tribus", RankCategory.SECONDARY))
+    spec.append(("Subtribus", RankCategory.SUB))
+    spec.append(("Genus", RankCategory.PRIMARY))
+    spec.append(("Subgenus", RankCategory.SUB))
+    spec.append(("Sectio", RankCategory.SECONDARY))
+    spec.append(("Subsectio", RankCategory.SUB))
+    spec.append(("Series", RankCategory.SECONDARY))
+    spec.append(("Subseries", RankCategory.SUB))
+    spec.append(("Species", RankCategory.PRIMARY))
+    spec.append(("Subspecies", RankCategory.SUB))
+    spec.append(("Varietas", RankCategory.SECONDARY))
+    spec.append(("Subvarietas", RankCategory.SUB))
+    spec.append(("Forma", RankCategory.SECONDARY))
+    spec.append(("Subforma", RankCategory.SUB))
+    return tuple(
+        Rank(name=name, order=(index + 1) * 10, category=category)
+        for index, (name, category) in enumerate(spec)
+    )
+
+
+#: The canonical rank sequence, highest first.
+RANK_SEQUENCE: tuple[Rank, ...] = _build_sequence()
+
+_BY_NAME: dict[str, Rank] = {rank.name.lower(): rank for rank in RANK_SEQUENCE}
+
+# Common aliases taxonomists use.
+_ALIASES = {
+    "kingdom": "regnum",
+    "phylum": "divisio",
+    "phyllum": "divisio",
+    "division": "divisio",
+    "class": "classis",
+    "order": "ordo",
+    "family": "familia",
+    "subfamily": "subfamilia",
+    "tribe": "tribus",
+    "subtribe": "subtribus",
+    "section": "sectio",
+    "subsection": "subsectio",
+    "variety": "varietas",
+    "form": "forma",
+}
+
+
+def get_rank(name: str) -> Rank:
+    """Look a rank up by name (case-insensitive, common aliases accepted)."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _BY_NAME[key]
+    except KeyError:
+        raise RankOrderError(f"unknown rank {name!r}") from None
+
+
+def is_rank(name: str) -> bool:
+    key = name.strip().lower()
+    return _ALIASES.get(key, key) in _BY_NAME
+
+
+def primary_ranks() -> list[Rank]:
+    return [r for r in RANK_SEQUENCE if r.category is RankCategory.PRIMARY]
+
+
+def ranks_between(
+    upper: Rank | str,
+    lower: Rank | str,
+    include_upper: bool = True,
+    include_lower: bool = True,
+) -> list[Rank]:
+    """Ranks from ``upper`` down to ``lower``, inclusive by default."""
+    hi = get_rank(upper) if isinstance(upper, str) else upper
+    lo = get_rank(lower) if isinstance(lower, str) else lower
+    if hi.order > lo.order:
+        raise RankOrderError(
+            f"{hi.name} is below {lo.name}; upper bound must be higher"
+        )
+    out = []
+    for rank in RANK_SEQUENCE:
+        if rank.order < hi.order or rank.order > lo.order:
+            continue
+        if rank == hi and not include_upper:
+            continue
+        if rank == lo and not include_lower:
+            continue
+        out.append(rank)
+    return out
+
+
+def validate_placement(parent_rank: Rank | str, child_rank: Rank | str) -> None:
+    """Check the ICBN ordering: a child must sit strictly below its parent.
+
+    Raises:
+        RankOrderError: when ``child_rank`` is not strictly below
+            ``parent_rank``.
+    """
+    parent = get_rank(parent_rank) if isinstance(parent_rank, str) else parent_rank
+    child = get_rank(child_rank) if isinstance(child_rank, str) else child_rank
+    if not child.is_below(parent):
+        raise RankOrderError(
+            f"rank {child.name} cannot be placed under rank {parent.name}"
+        )
+
+
+def validate_rank_selection(names: Iterable[str]) -> list[Rank]:
+    """Validate a classification's chosen rank subset.
+
+    The selection must be given highest-first and strictly descending;
+    any subset of the sequence is legal (secondary/sub-ranks optional,
+    §2.1.1).  Returns the resolved ranks.
+    """
+    ranks = [get_rank(name) for name in names]
+    for above, below in zip(ranks, ranks[1:]):
+        if not below.is_below(above):
+            raise RankOrderError(
+                f"rank selection not strictly descending: {above.name} "
+                f"then {below.name}"
+            )
+    return ranks
+
+
+def species_placement_valid(parent_rank: Rank | str) -> bool:
+    """ICBN: a Species taxon must be placed below a taxon ranked between
+    Genus (inclusive) and Species (exclusive)."""
+    parent = get_rank(parent_rank) if isinstance(parent_rank, str) else parent_rank
+    genus = get_rank("Genus")
+    species = get_rank("Species")
+    return genus.order <= parent.order < species.order
+
+
+def walk_down(start: Rank | str) -> Iterator[Rank]:
+    """Iterate ranks strictly below ``start`` in order."""
+    rank = get_rank(start) if isinstance(start, str) else start
+    for candidate in RANK_SEQUENCE:
+        if candidate.order > rank.order:
+            yield candidate

@@ -1,0 +1,362 @@
+"""Worked scenarios from the thesis, as reusable builders.
+
+* :func:`build_apium_scenario` — Figure 3: the Apium/Heliosciadium
+  derivation-of-names example, including the publication of the new
+  combination *Heliosciadium repens (Jacq.)Raguenaud*.
+* :func:`build_shapes_scenario` — Figure 4: four taxonomists produce four
+  overlapping classifications of one growing set of geometric "specimens",
+  exhibiting type precedence, reuse of names over different
+  circumscriptions, and pro-parte synonymy.
+
+Examples, tests and benchmarks all build on these so the thesis's worked
+examples are verified in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..classification import Classification
+from ..core.instances import PObject
+from .model import HOLOTYPE, LECTOTYPE, TaxonomyDatabase
+
+
+@dataclass
+class ApiumScenario:
+    """Handles into the Figure 3 data."""
+
+    taxdb: TaxonomyDatabase
+    classification: Classification
+    specimen_graveolens: PObject
+    specimen_repens: PObject
+    specimen_nodiflorum: PObject
+    nt_apium: PObject
+    nt_graveolens: PObject
+    nt_repens_basionym: PObject
+    nt_apium_repens: PObject
+    nt_heliosciadium: PObject
+    nt_nodiflorum_basionym: PObject
+    nt_heliosciadium_nodiflorum: PObject
+    taxon1: PObject
+    taxon2: PObject
+
+
+def build_apium_scenario(
+    taxdb: TaxonomyDatabase | None = None,
+) -> ApiumScenario:
+    """Construct the nomenclatural history and classification of Figure 3."""
+    taxdb = taxdb or TaxonomyDatabase()
+
+    # --- specimens -----------------------------------------------------
+    s_graveolens = taxdb.new_specimen(
+        collector="C. von Linnaeus",
+        collection_number="#Herb.Cliff.107 Apium 1",
+        herbarium="BM",
+        field_name="Apium graveolens",
+    )
+    s_repens = taxdb.new_specimen(
+        collector="Jacquin",
+        collection_number="J-001",
+        herbarium="W",
+        field_name="repens",
+    )
+    s_nodiflorum = taxdb.new_specimen(
+        collector="W.D.J.Koch",
+        collection_number="Nova Acta Phys.-Med. 12(1)",
+        herbarium="B",
+        field_name="nodiflorum",
+    )
+
+    # --- nomenclatural history (left side of Figure 3) -------------------
+    nt_apium = taxdb.publish_name(
+        "Apium", "Genus", author="L.", year=1753, publication="Sp. Pl."
+    )
+    nt_graveolens = taxdb.publish_name(
+        "graveolens",
+        "Species",
+        author="L.",
+        year=1753,
+        publication="Sp. Pl.",
+        placement=nt_apium,
+    )
+    taxdb.typify(nt_graveolens, s_graveolens, LECTOTYPE)
+    taxdb.typify(nt_apium, nt_graveolens, HOLOTYPE)
+
+    nt_repens_basionym = taxdb.publish_name(
+        "repens", "Species", author="Jacq.", year=1798
+    )
+    nt_apium_repens = taxdb.publish_name(
+        "repens",
+        "Species",
+        author="Lag.",
+        year=1821,
+        placement=nt_apium,
+        basionym=nt_repens_basionym,
+    )
+    taxdb.typify(nt_apium_repens, s_repens, HOLOTYPE)
+
+    nt_heliosciadium = taxdb.publish_name(
+        "Heliosciadium",
+        "Genus",
+        author="W.D.J.Koch",
+        year=1824,
+        publication="Nova Acta Phys.-Med. 12(1)",
+    )
+    nt_nodiflorum_basionym = taxdb.publish_name(
+        "nodiflorum", "Species", author="L.", year=1753
+    )
+    nt_heliosciadium_nodiflorum = taxdb.publish_name(
+        "nodiflorum",
+        "Species",
+        author="W.D.J.Koch",
+        year=1824,
+        placement=nt_heliosciadium,
+        basionym=nt_nodiflorum_basionym,
+    )
+    taxdb.typify(nt_heliosciadium_nodiflorum, s_nodiflorum, HOLOTYPE)
+    taxdb.typify(nt_heliosciadium, nt_heliosciadium_nodiflorum, HOLOTYPE)
+
+    # --- the revision classification (right side of Figure 3) ------------
+    classification = taxdb.new_classification(
+        "Raguenaud revision", author="Raguenaud", year=2000
+    )
+    taxon1 = taxdb.new_taxon("Genus", working_name="Taxon 1")
+    taxon2 = taxdb.new_taxon("Species", working_name="Taxon 2")
+    taxdb.place(classification, taxon1, taxon2, motivation="leaf shape")
+    taxdb.place(classification, taxon2, s_repens)
+    taxdb.place(classification, taxon2, s_nodiflorum)
+
+    return ApiumScenario(
+        taxdb=taxdb,
+        classification=classification,
+        specimen_graveolens=s_graveolens,
+        specimen_repens=s_repens,
+        specimen_nodiflorum=s_nodiflorum,
+        nt_apium=nt_apium,
+        nt_graveolens=nt_graveolens,
+        nt_repens_basionym=nt_repens_basionym,
+        nt_apium_repens=nt_apium_repens,
+        nt_heliosciadium=nt_heliosciadium,
+        nt_nodiflorum_basionym=nt_nodiflorum_basionym,
+        nt_heliosciadium_nodiflorum=nt_heliosciadium_nodiflorum,
+        taxon1=taxon1,
+        taxon2=taxon2,
+    )
+
+
+@dataclass
+class ShapesScenario:
+    """Handles into the Figure 4 data.
+
+    ``specimens`` maps mnemonic keys (e.g. ``"white_square"``) to
+    specimen objects; ``classifications`` maps the four taxonomists'
+    names to their classifications; ``types`` maps group epithets to
+    their type specimens.
+    """
+
+    taxdb: TaxonomyDatabase
+    specimens: dict[str, PObject] = field(default_factory=dict)
+    classifications: dict[str, Classification] = field(default_factory=dict)
+    names: dict[str, PObject] = field(default_factory=dict)
+    taxa: dict[str, PObject] = field(default_factory=dict)
+
+
+#: (key, shape, brightness) of the initial specimen set; year is the
+#: publication year of the name each (future) type specimen anchors.
+_INITIAL_SPECIMENS = [
+    ("white_square", "square", "white"),
+    ("grey_square", "square", "mid-grey"),
+    ("light_triangle", "triangle", "light-grey"),
+    ("dark_triangle", "triangle", "dark-grey"),
+    ("black_oval", "oval", "black"),
+    ("white_oval", "oval", "white"),
+]
+
+_SECOND_WAVE = [
+    ("white_rectangle", "rectangle", "pale"),
+    ("dark_circle", "circle", "dark-grey"),
+    ("white_circle", "circle", "white"),
+]
+
+_THIRD_WAVE = [
+    ("black_diamond", "diamond", "black"),
+    ("pale_diamond", "diamond", "pale"),
+]
+
+
+def build_shapes_scenario(
+    taxdb: TaxonomyDatabase | None = None,
+) -> ShapesScenario:
+    """Construct the four overlapping classifications of Figure 4."""
+    taxdb = taxdb or TaxonomyDatabase()
+    scenario = ShapesScenario(taxdb=taxdb)
+    spec = scenario.specimens
+
+    def add_specimens(batch: list[tuple[str, str, str]]) -> None:
+        for key, shape, brightness in batch:
+            spec[key] = taxdb.new_specimen(
+                field_name=key,
+                description=f"shape={shape} brightness={brightness}",
+                collector="fieldwork",
+            )
+
+    add_specimens(_INITIAL_SPECIMENS)
+
+    # ------------------------------------------------------------------
+    # Taxonomist 1 (1900): classify the initial set by shape, two levels.
+    # ------------------------------------------------------------------
+    c1 = taxdb.new_classification(
+        "T1 shapes", author="Taxonomist1", year=1900,
+        description="first classification, by shape",
+    )
+    scenario.classifications["T1"] = c1
+    groups1 = {
+        "Squares": ["white_square", "grey_square"],
+        "Triangles": ["light_triangle", "dark_triangle"],
+        "Ovals": ["black_oval", "white_oval"],
+    }
+    type_choice = {
+        "Squares": "white_square",
+        "Triangles": "light_triangle",
+        "Ovals": "black_oval",
+    }
+    shapes_nt = taxdb.publish_name(
+        "Shapes", "Genus", author="T1", year=1900, validate=False
+    )
+    scenario.names["Shapes"] = shapes_nt
+    top1 = taxdb.new_taxon("Genus", working_name="Shapes")
+    scenario.taxa["T1/Shapes"] = top1
+    for epithet, members in groups1.items():
+        nt = taxdb.publish_name(
+            epithet,
+            "Species",
+            author="T1",
+            year=1900,
+            placement=shapes_nt,
+            validate=False,
+        )
+        scenario.names[epithet] = nt
+        taxdb.typify(nt, spec[type_choice[epithet]], HOLOTYPE)
+        ct = taxdb.new_taxon("Species", working_name=epithet)
+        scenario.taxa[f"T1/{epithet}"] = ct
+        taxdb.place(c1, top1, ct, motivation="shape")
+        for key in members:
+            taxdb.place(c1, ct, spec[key])
+    # The genus is typified by its oldest species type (white square →
+    # Squares), so Squares is the type of Shapes.
+    taxdb.typify(shapes_nt, scenario.names["Squares"], HOLOTYPE)
+
+    # ------------------------------------------------------------------
+    # Taxonomist 2 (1920): insert a Sectio level; new specimens & names.
+    # ------------------------------------------------------------------
+    add_specimens(_SECOND_WAVE)
+    c2 = taxdb.new_classification(
+        "T2 sections", author="Taxonomist2", year=1920,
+        description="adds an intermediate Sectio level",
+    )
+    scenario.classifications["T2"] = c2
+    rectangles_nt = taxdb.publish_name(
+        "Rectangles", "Species", author="T2", year=1920,
+        placement=shapes_nt, validate=False,
+    )
+    taxdb.typify(rectangles_nt, spec["white_rectangle"], HOLOTYPE)
+    circles_nt = taxdb.publish_name(
+        "Circles", "Species", author="T2", year=1920,
+        placement=shapes_nt, validate=False,
+    )
+    taxdb.typify(circles_nt, spec["dark_circle"], HOLOTYPE)
+    scenario.names["Rectangles"] = rectangles_nt
+    scenario.names["Circles"] = circles_nt
+
+    top2 = taxdb.new_taxon("Genus", working_name="Shapes")
+    scenario.taxa["T2/Shapes"] = top2
+    sections2 = {
+        "FourAngled": ["Squares", "Rectangles"],
+        "ThreeAngled": ["Triangles"],
+        "Round": ["Ovals", "Circles"],
+    }
+    species_members2 = {
+        "Squares": ["white_square", "grey_square"],
+        "Rectangles": ["white_rectangle"],
+        "Triangles": ["light_triangle", "dark_triangle"],
+        "Ovals": ["black_oval", "white_oval"],
+        "Circles": ["dark_circle", "white_circle"],
+    }
+    for section, species_list in sections2.items():
+        sct = taxdb.new_taxon("Sectio", working_name=section)
+        scenario.taxa[f"T2/{section}"] = sct
+        taxdb.place(c2, top2, sct, motivation="angle count")
+        for epithet in species_list:
+            ct = taxdb.new_taxon("Species", working_name=epithet)
+            scenario.taxa[f"T2/{epithet}"] = ct
+            taxdb.place(c2, sct, ct, motivation="shape")
+            for key in species_members2[epithet]:
+                taxdb.place(c2, ct, spec[key])
+
+    # ------------------------------------------------------------------
+    # Taxonomist 3 (1950): reclassify by brightness; new diamond
+    # specimens; the mid-grey square is deliberately ignored (§2.1.3).
+    # Each brightness group happens to contain exactly one existing type
+    # specimen, so derivation reuses the old names over very different
+    # circumscriptions — the counter-intuitive but ICBN-correct result.
+    # ------------------------------------------------------------------
+    add_specimens(_THIRD_WAVE)
+    c3 = taxdb.new_classification(
+        "T3 brightness", author="Taxonomist3", year=1950,
+        description="reclassifies by brightness; ignores the mid-grey square",
+    )
+    scenario.classifications["T3"] = c3
+    top3 = taxdb.new_taxon("Genus", working_name="Shapes")
+    scenario.taxa["T3/Shapes"] = top3
+    brightness_groups = {
+        # group key -> (members, contained type specimen)
+        "white": ["white_square", "white_oval", "white_circle"],
+        "pale": ["white_rectangle", "pale_diamond"],
+        "light-grey": ["light_triangle"],
+        "dark-grey": ["dark_triangle", "dark_circle"],
+        "black": ["black_oval", "black_diamond"],
+    }
+    for brightness, members in brightness_groups.items():
+        ct = taxdb.new_taxon("Species", working_name=f"brightness {brightness}")
+        scenario.taxa[f"T3/{brightness}"] = ct
+        taxdb.place(c3, top3, ct, motivation=f"brightness = {brightness}")
+        for key in members:
+            taxdb.place(c3, ct, spec[key])
+
+    # ------------------------------------------------------------------
+    # Taxonomist 4 (1980): revision — by shape again, three levels,
+    # including the diamonds discovered by taxonomist 3.
+    # ------------------------------------------------------------------
+    c4 = taxdb.new_classification(
+        "T4 revision", author="Taxonomist4", year=1980,
+        description="three levels as T2, new specimens as T3",
+    )
+    scenario.classifications["T4"] = c4
+    top4 = taxdb.new_taxon("Genus", working_name="Shapes")
+    scenario.taxa["T4/Shapes"] = top4
+    sections4 = {
+        "FourAngled": {
+            "Squares": ["white_square", "grey_square"],
+            "Rectangles": ["white_rectangle"],
+            "Diamonds": ["black_diamond", "pale_diamond"],
+        },
+        "ThreeAngled": {
+            "Triangles": ["light_triangle", "dark_triangle"],
+        },
+        "Round": {
+            "Ovals": ["black_oval", "white_oval"],
+            "Circles": ["dark_circle", "white_circle"],
+        },
+    }
+    for section, species in sections4.items():
+        sct = taxdb.new_taxon("Sectio", working_name=section)
+        scenario.taxa[f"T4/{section}"] = sct
+        taxdb.place(c4, top4, sct, motivation="angle count")
+        for epithet, members in species.items():
+            ct = taxdb.new_taxon("Species", working_name=epithet)
+            scenario.taxa[f"T4/{epithet}"] = ct
+            taxdb.place(c4, sct, ct, motivation="shape, incl. new finds")
+            for key in members:
+                taxdb.place(c4, ct, spec[key])
+
+    return scenario

@@ -1,0 +1,127 @@
+"""Taxon-level synonym discovery (thesis §2.1.3, §2.3).
+
+Instantiates the generic classification comparison for the taxonomic
+model: circumscriptions are sets of specimens (respecting instance
+synonyms), taxa are CTs, and types come from the typification hierarchy —
+so pairs can be classified full vs pro-parte and homotypic vs
+heterotypic.  Also provides name-based synonym detection (the approach of
+older models, kept for comparison) and specimen-based detection (the
+Prometheus approach).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..classification import (
+    Classification,
+    ComparisonReport,
+    compare_classifications,
+)
+from ..core.instances import PObject
+from .model import TaxonomyDatabase
+
+
+def compare_taxonomic(
+    taxdb: TaxonomyDatabase,
+    a: Classification,
+    b: Classification,
+) -> ComparisonReport:
+    """Specimen-based comparison of two taxonomic classifications."""
+
+    def type_of(ct: PObject) -> int | None:
+        nt = taxdb.calculated_name(ct) or taxdb.ascribed_name(ct)
+        if nt is None:
+            return None
+        governing = taxdb.primary_type(nt)
+        if governing is None:
+            return None
+        # Resolve NT types down to their underlying specimen.
+        seen = set()
+        while taxdb.is_nt(governing):
+            if governing.oid in seen:
+                return governing.oid
+            seen.add(governing.oid)
+            nxt = taxdb.primary_type(governing)
+            if nxt is None:
+                return governing.oid
+            governing = nxt
+        return governing.oid
+
+    return compare_classifications(
+        a,
+        b,
+        is_leaf=taxdb.is_specimen,
+        is_group=taxdb.is_ct,
+        type_of=type_of,
+        canonical=taxdb.schema.synonyms.canonical,
+    )
+
+
+@dataclass(frozen=True)
+class NameSynonymPair:
+    """Two CTs in different classifications carrying the same name."""
+
+    taxon_a: int
+    taxon_b: int
+    epithet: str
+    same_name_object: bool
+
+
+def name_based_synonyms(
+    taxdb: TaxonomyDatabase,
+    a: Classification,
+    b: Classification,
+) -> list[NameSynonymPair]:
+    """Synonyms detected by comparing names only — the older, weaker
+    approach the thesis criticises (§2.3): the same name may denote very
+    different circumscriptions (Figure 4)."""
+
+    def label(ct: PObject) -> tuple[str, int] | None:
+        nt = taxdb.calculated_name(ct) or taxdb.ascribed_name(ct)
+        if nt is None:
+            return None
+        return (nt.get("epithet"), nt.oid)
+
+    taxa_a = [n for n in a.nodes() if taxdb.is_ct(n)]
+    taxa_b = [n for n in b.nodes() if taxdb.is_ct(n)]
+    pairs: list[NameSynonymPair] = []
+    for ta in taxa_a:
+        la = label(ta)
+        if la is None:
+            continue
+        for tb in taxa_b:
+            lb = label(tb)
+            if lb is None or ta.oid == tb.oid:
+                continue
+            if la[0] == lb[0]:
+                pairs.append(
+                    NameSynonymPair(
+                        taxon_a=ta.oid,
+                        taxon_b=tb.oid,
+                        epithet=la[0],
+                        same_name_object=la[1] == lb[1],
+                    )
+                )
+    return pairs
+
+
+def deceptive_names(
+    taxdb: TaxonomyDatabase,
+    a: Classification,
+    b: Classification,
+) -> list[NameSynonymPair]:
+    """Name-synonym pairs whose circumscriptions do NOT fully overlap —
+    the cases where a name-based system silently misleads (§2.1.3's
+    pharmaceutical example)."""
+    report = compare_taxonomic(taxdb, a, b)
+    full = {
+        (p.taxon_a, p.taxon_b)
+        for p in report.synonym_pairs
+        if p.kind.value == "full"
+    }
+    return [
+        pair
+        for pair in name_based_synonyms(taxdb, a, b)
+        if (pair.taxon_a, pair.taxon_b) not in full
+    ]

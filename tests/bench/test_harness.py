@@ -1,0 +1,63 @@
+"""Measurement harness: sweeps produce well-formed, correct-shape series."""
+
+from repro.bench import (
+    SweepRow,
+    format_series,
+    measure,
+    ratio_growth,
+    sweep_s1,
+    sweep_s2,
+    sweep_t5,
+)
+
+
+class TestMeasure:
+    def test_measure_returns_positive_ns(self):
+        ns = measure(lambda: sum(range(50)), number=20, repeat=2)
+        assert ns > 0
+
+    def test_setup_runs_per_repeat(self):
+        runs = []
+        measure(lambda: None, number=1, repeat=3, setup=lambda: runs.append(1))
+        assert len(runs) == 3
+
+
+class TestSweepRows:
+    def test_ratio(self):
+        row = SweepRow(size=10, raw_ns=100.0, prometheus_ns=250.0)
+        assert row.ratio == 2.5
+
+    def test_format_series(self):
+        rows = [SweepRow(size=10, raw_ns=100.0, prometheus_ns=200.0)]
+        text = format_series("title", rows)
+        assert "title" in text
+        assert "2.00" in text
+
+    def test_ratio_growth(self):
+        rows = [
+            SweepRow(size=1, raw_ns=100, prometheus_ns=200),
+            SweepRow(size=2, raw_ns=100, prometheus_ns=400),
+        ]
+        assert ratio_growth(rows) == 2.0
+        assert ratio_growth(rows[:1]) == 1.0
+
+
+class TestSweepsSmoke:
+    """Tiny sweeps: assert structure; shape assertions live in the
+    benchmark scripts where sizes are large enough to be stable."""
+
+    def test_t5(self):
+        rows = sweep_t5([20, 40], ops_per_point=20)
+        assert [r.size for r in rows] == [20, 40]
+        assert all(r.raw_ns > 0 and r.prometheus_ns > 0 for r in rows)
+
+    def test_s1(self):
+        rows = sweep_s1([5, 10], ops_per_point=5)
+        assert [r.size for r in rows] == [5, 10]
+        assert all(r.prometheus_ns > 0 for r in rows)
+
+    def test_s2(self):
+        rows = sweep_s2([2, 4], leaves_per_group=2)
+        assert [r.size for r in rows] == [2, 4]
+        # Comparison always costs more than a raw set intersection.
+        assert all(r.ratio > 1 for r in rows)

@@ -1,0 +1,154 @@
+"""OO7 benchmark substrate: construction and workloads."""
+
+import pytest
+
+from repro.core.schema import Schema
+from repro.bench import (
+    OO7Config,
+    build_oo7,
+    define_oo7_schema,
+    delete_composite,
+    insert_composite,
+    query_exact,
+    query_range,
+    query_scan,
+    traverse_t1,
+    traverse_t2,
+    traverse_t6,
+)
+
+
+@pytest.fixture(scope="module")
+def handles():
+    schema = Schema()
+    define_oo7_schema(schema)
+    return build_oo7(schema, OO7Config.tiny())
+
+
+class TestConstruction:
+    def test_scale_matches_config(self, handles):
+        cfg = handles.config
+        assert len(handles.composite_parts) == cfg.num_comp_per_module
+        assert (
+            len(handles.atomic_parts)
+            == cfg.num_comp_per_module * cfg.num_atomic_per_comp
+        )
+        assert len(handles.documents) == cfg.num_comp_per_module
+        # Complete assembly tree: levels-1 inner nodes of fan-out k.
+        k = cfg.num_assm_per_assm
+        inner = sum(k**i for i in range(cfg.num_assm_levels - 1))
+        assert len(handles.complex_assemblies) == inner
+        assert len(handles.base_assemblies) == k ** (cfg.num_assm_levels - 1)
+
+    def test_deterministic(self):
+        s1, s2 = Schema(), Schema()
+        define_oo7_schema(s1)
+        define_oo7_schema(s2)
+        h1 = build_oo7(s1, OO7Config.tiny())
+        h2 = build_oo7(s2, OO7Config.tiny())
+        assert h1.totals == h2.totals
+        x1 = sorted(a.get("x") for a in h1.atomic_parts)
+        x2 = sorted(a.get("x") for a in h2.atomic_parts)
+        assert x1 == x2
+
+    def test_every_composite_has_root_part_and_doc(self, handles):
+        for composite in handles.composite_parts:
+            assert len(composite.related("RootPart")) == 1
+            assert len(composite.related("Documentation")) == 1
+
+    def test_connection_graph_connected(self, handles):
+        """Each private graph is reachable from its root part."""
+        from repro.bench.workload import _dfs_atomic
+
+        for composite in handles.composite_parts:
+            visits = _dfs_atomic(handles.schema, composite)
+            assert visits == handles.config.num_atomic_per_comp
+
+
+class TestTraversals:
+    def test_t1_visits_atomic_parts(self, handles):
+        visits = traverse_t1(handles)
+        # Every base assembly touches its shared composites' full graphs.
+        assert visits > 0
+        assert visits % handles.config.num_atomic_per_comp == 0
+
+    def test_t2a_updates_one_per_composite(self, handles):
+        updates = traverse_t2(handles, "a")
+        assert updates == len(handles.composite_parts)
+
+    def test_t2b_updates_all(self, handles):
+        updates = traverse_t2(handles, "b")
+        assert updates == len(handles.atomic_parts)
+
+    def test_t2c_updates_all_four_times(self, handles):
+        updates = traverse_t2(handles, "c")
+        assert updates == len(handles.atomic_parts) * 4
+
+    def test_t2_swap_is_involution(self, handles):
+        atom = handles.atomic_parts[0]
+        x, y = atom.get("x"), atom.get("y")
+        traverse_t2(handles, "b")
+        traverse_t2(handles, "b")
+        assert (atom.get("x"), atom.get("y")) == (x, y)
+
+    def test_t6_visits_roots_only(self, handles):
+        visits = traverse_t6(handles)
+        assert visits <= traverse_t1(handles)
+        assert visits > 0
+
+
+class TestQueries:
+    def test_exact(self, handles):
+        idents = [handles.atomic_parts[i].get("ident") for i in (0, 3, 5)]
+        assert query_exact(handles, idents) == 3
+        assert query_exact(handles, [999999999]) == 0
+
+    def test_range(self, handles):
+        assert query_range(handles, 1000, 9999) == len(handles.atomic_parts)
+        assert query_range(handles, -5, -1) == 0
+
+    def test_scan(self, handles):
+        assert query_scan(handles) == len(handles.atomic_parts)
+
+
+class TestStructuralModifications:
+    def test_insert_then_delete_restores_counts(self):
+        schema = Schema()
+        define_oo7_schema(schema)
+        handles = build_oo7(schema, OO7Config.tiny())
+        before = dict(handles.totals)
+        composite = insert_composite(handles, ident_base=50_000_000)
+        assert len(handles.composite_parts) == before["composite_parts"] + 1
+        removed = delete_composite(handles, composite)
+        assert removed == 1 + handles.config.num_atomic_per_comp + 1
+        assert handles.totals == before
+
+    def test_delete_cascades_private_parts(self):
+        schema = Schema()
+        define_oo7_schema(schema)
+        handles = build_oo7(schema, OO7Config.tiny())
+        composite = handles.composite_parts[0]
+        atoms = composite.related("ComponentPrivate")
+        document = composite.related("Documentation")[0]
+        delete_composite(handles, composite)
+        assert all(a.deleted for a in atoms)
+        assert document.deleted
+
+    def test_exclusivity_of_private_parts(self):
+        schema = Schema()
+        define_oo7_schema(schema)
+        handles = build_oo7(schema, OO7Config.tiny())
+        from repro.errors import ExclusivityError
+
+        atom = handles.atomic_parts[0]
+        other = handles.composite_parts[-1]
+        with pytest.raises(ExclusivityError):
+            schema.relate("ComponentPrivate", other, atom)
+
+    def test_shared_composites_are_shareable(self):
+        schema = Schema()
+        define_oo7_schema(schema)
+        handles = build_oo7(schema, OO7Config.tiny())
+        composite = handles.composite_parts[0]
+        for base in handles.base_assemblies[:2]:
+            schema.relate("ComponentShared", base, composite)  # no error

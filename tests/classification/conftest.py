@@ -1,0 +1,47 @@
+"""Fixtures for classification-layer tests: a generic node/link schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classification import ClassificationManager
+from repro.core.attributes import Attribute
+from repro.core.schema import Schema
+from repro.core.semantics import RelationshipSemantics, RelKind
+from repro.core import types as T
+
+
+def make_graph_schema(store=None) -> Schema:
+    schema = Schema(store, name="graph")
+    schema.define_class(
+        "Node",
+        [Attribute("label", T.STRING), Attribute("value", T.INTEGER)],
+    )
+    schema.define_relationship(
+        "Contains",
+        "Node",
+        "Node",
+        semantics=RelationshipSemantics(
+            kind=RelKind.AGGREGATION, shareable=True
+        ),
+        attributes=[Attribute("motivation", T.STRING)],
+    )
+    return schema
+
+
+@pytest.fixture
+def graph_schema() -> Schema:
+    return make_graph_schema()
+
+
+@pytest.fixture
+def manager(graph_schema) -> ClassificationManager:
+    return ClassificationManager(graph_schema)
+
+
+@pytest.fixture
+def nodes(graph_schema):
+    """Ten labelled nodes n0..n9."""
+    return [
+        graph_schema.create("Node", label=f"n{i}", value=i) for i in range(10)
+    ]

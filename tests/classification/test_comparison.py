@@ -1,0 +1,112 @@
+"""Circumscription overlap and synonym discovery."""
+
+import pytest
+
+from repro.classification import (
+    OverlapKind,
+    circumscription,
+    classify_overlap,
+    compare_classifications,
+)
+
+
+class TestClassifyOverlap:
+    def test_kinds(self):
+        a = frozenset({1, 2, 3})
+        assert classify_overlap(a, a) is OverlapKind.FULL
+        assert classify_overlap(a, frozenset({3, 4})) is OverlapKind.PARTIAL
+        assert classify_overlap(a, frozenset({1, 2})) is OverlapKind.CONTAINS
+        assert classify_overlap(frozenset({1}), a) is OverlapKind.CONTAINED
+        assert classify_overlap(a, frozenset({9})) is OverlapKind.NONE
+        assert classify_overlap(a, frozenset()) is OverlapKind.NONE
+
+
+class TestCircumscription:
+    def test_leaves_below_node(self, manager, nodes):
+        c = manager.create("c")
+        c.place("Contains", nodes[0], nodes[1])
+        c.place("Contains", nodes[1], nodes[2])
+        c.place("Contains", nodes[1], nodes[3])
+        assert circumscription(c, nodes[0]) == {nodes[2].oid, nodes[3].oid}
+        assert circumscription(c, nodes[2]) == {nodes[2].oid}
+
+    def test_custom_leaf_predicate(self, manager, nodes):
+        c = manager.create("c")
+        c.place("Contains", nodes[0], nodes[1])
+        c.place("Contains", nodes[1], nodes[2])
+        only_n1 = circumscription(
+            c, nodes[0], is_leaf=lambda o: o.get("label") == "n1"
+        )
+        assert only_n1 == {nodes[1].oid}
+
+    def test_canonicalisation_through_synonyms(self, manager, nodes, graph_schema):
+        c = manager.create("c")
+        c.place("Contains", nodes[0], nodes[1])
+        c.place("Contains", nodes[0], nodes[2])
+        graph_schema.synonyms.declare(nodes[1].oid, nodes[2].oid)
+        circ = circumscription(
+            c, nodes[0], canonical=graph_schema.synonyms.canonical
+        )
+        assert len(circ) == 1
+
+
+class TestCompareClassifications:
+    @pytest.fixture
+    def pair(self, manager, nodes):
+        """c1: g0={n4,n5}, g1={n6,n7}; c2: h0={n4,n5}, h1={n6,n8}."""
+        c1, c2 = manager.create("c1"), manager.create("c2")
+        g0, g1 = nodes[0], nodes[1]
+        h0, h1 = nodes[2], nodes[3]
+        for parent, child in [(g0, nodes[4]), (g0, nodes[5]), (g1, nodes[6]), (g1, nodes[7])]:
+            c1.place("Contains", parent, child)
+        for parent, child in [(h0, nodes[4]), (h0, nodes[5]), (h1, nodes[6]), (h1, nodes[8])]:
+            c2.place("Contains", parent, child)
+        return c1, c2
+
+    def test_full_and_partial_synonyms(self, pair, nodes):
+        report = compare_classifications(*pair)
+        fulls = report.full_synonyms()
+        assert len(fulls) == 1
+        assert (fulls[0].taxon_a, fulls[0].taxon_b) == (nodes[0].oid, nodes[2].oid)
+        partials = report.pro_parte_synonyms()
+        assert len(partials) == 1
+        assert partials[0].shared == {nodes[6].oid}
+
+    def test_shared_leaves(self, pair, nodes):
+        report = compare_classifications(*pair)
+        assert report.shared_leaf_oids == {
+            nodes[4].oid, nodes[5].oid, nodes[6].oid
+        }
+
+    def test_jaccard(self, pair):
+        report = compare_classifications(*pair)
+        full = report.full_synonyms()[0]
+        assert full.jaccard == 1.0
+        partial = report.pro_parte_synonyms()[0]
+        assert partial.jaccard == pytest.approx(1 / 3)
+
+    def test_homotypic_flag(self, pair, nodes):
+        types = {
+            nodes[0].oid: nodes[4].oid,
+            nodes[2].oid: nodes[4].oid,  # same type => homotypic
+            nodes[1].oid: nodes[6].oid,
+            nodes[3].oid: nodes[8].oid,  # different types
+        }
+        report = compare_classifications(
+            *pair, type_of=lambda obj: types.get(obj.oid)
+        )
+        full = report.full_synonyms()[0]
+        assert full.homotypic is True
+        partial = report.pro_parte_synonyms()[0]
+        assert partial.homotypic is False
+
+    def test_misplacement_suspects(self, pair):
+        report = compare_classifications(*pair)
+        suspects = report.misplacement_suspects(threshold=1)
+        assert len(suspects) == 1
+
+    def test_empty_classifications(self, manager):
+        c1, c2 = manager.create("e1"), manager.create("e2")
+        report = compare_classifications(c1, c2)
+        assert report.synonym_pairs == []
+        assert report.shared_leaf_oids == frozenset()

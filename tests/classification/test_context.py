@@ -1,0 +1,72 @@
+"""Querying by context (§4.6.2)."""
+
+import pytest
+
+from repro.classification import Context
+from repro.errors import ClassificationError
+
+
+@pytest.fixture
+def contexts(manager, nodes):
+    """Two classifications disagreeing about where n3 belongs."""
+    c1, c2 = manager.create("c1"), manager.create("c2")
+    c1.place("Contains", nodes[0], nodes[1])
+    c1.place("Contains", nodes[1], nodes[3])
+    c2.place("Contains", nodes[0], nodes[2])
+    c2.place("Contains", nodes[2], nodes[3])
+    return manager, c1, c2
+
+
+class TestContext:
+    def test_empty_context_rejected(self):
+        with pytest.raises(ClassificationError):
+            Context([])
+
+    def test_of_by_names(self, contexts):
+        manager, c1, c2 = contexts
+        ctx = Context.of(manager, "c1", "c2")
+        assert ctx.names == ["c1", "c2"]
+        assert len(ctx) == 2
+
+    def test_children_per_classification(self, contexts, nodes):
+        manager, c1, c2 = contexts
+        ctx = Context.of(manager, "c1", "c2")
+        children = ctx.children(nodes[0])
+        assert children["c1"] == [nodes[1]]
+        assert children["c2"] == [nodes[2]]
+
+    def test_appears_in(self, contexts, nodes):
+        manager, *_ = contexts
+        ctx = Context.of(manager, "c1", "c2")
+        assert ctx.appears_in(nodes[3]) == ["c1", "c2"]
+        assert ctx.appears_in(nodes[1]) == ["c1"]
+        assert ctx.appears_in(nodes[9]) == []
+
+    def test_placements_of(self, contexts, nodes):
+        manager, *_ = contexts
+        ctx = Context.of(manager, "c1", "c2")
+        placements = ctx.placements_of(nodes[3])
+        assert placements == {"c1": [nodes[1]], "c2": [nodes[2]]}
+
+    def test_is_placed_under_transitive(self, contexts, nodes):
+        manager, *_ = contexts
+        ctx = Context.of(manager, "c1", "c2")
+        assert ctx.is_placed_under(nodes[3], nodes[0]) == ["c1", "c2"]
+        assert ctx.is_placed_under(nodes[3], nodes[1]) == ["c1"]
+
+    def test_agreement(self, contexts, nodes):
+        manager, *_ = contexts
+        ctx = Context.of(manager, "c1", "c2")
+        assert not ctx.agreement(nodes[3])  # different parents
+        assert ctx.agreement(nodes[1])      # only classified in c1
+
+    def test_disagreements(self, contexts, nodes):
+        manager, *_ = contexts
+        ctx = Context.of(manager, "c1", "c2")
+        assert ctx.disagreements() == [nodes[3].oid]
+
+    def test_single_context(self, contexts, nodes):
+        manager, *_ = contexts
+        ctx = Context.of(manager, "c1")
+        assert ctx.agreement(nodes[3])
+        assert ctx.disagreements() == []

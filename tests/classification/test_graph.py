@@ -1,0 +1,143 @@
+"""Graph operations: extraction, copying, subtree moves."""
+
+import pytest
+
+from repro.classification import (
+    common_subgraph,
+    copy_classification,
+    extract_graph,
+    move_subtree,
+)
+from repro.errors import ClassificationError
+
+
+@pytest.fixture
+def tree(manager, nodes):
+    c = manager.create("tree")
+    for parent, child in [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)]:
+        c.place("Contains", nodes[parent], nodes[child], motivation="m")
+    return c
+
+
+class TestExtraction:
+    def test_whole_classification(self, tree, nodes):
+        view = extract_graph(tree)
+        assert view.node_count == 6
+        assert view.edge_count == 5
+        assert view.roots() == [nodes[0].oid]
+        assert set(view.leaves()) == {nodes[3].oid, nodes[4].oid, nodes[5].oid}
+        assert view.is_acyclic()
+
+    def test_subtree(self, tree, nodes):
+        view = extract_graph(tree, start=nodes[1])
+        assert set(view.nodes) == {nodes[1].oid, nodes[3].oid, nodes[4].oid}
+        assert view.edge_count == 2
+
+    def test_depth_limit(self, tree, nodes):
+        view = extract_graph(tree, start=nodes[0], max_depth=1)
+        assert set(view.nodes) == {nodes[0].oid, nodes[1].oid, nodes[2].oid}
+
+    def test_node_snapshots_contain_attributes(self, tree, nodes):
+        view = extract_graph(tree)
+        assert view.nodes[nodes[0].oid]["label"] == "n0"
+        assert view.nodes[nodes[0].oid]["class"] == "Node"
+
+    def test_edge_snapshots_contain_attributes(self, tree):
+        view = extract_graph(tree)
+        assert all(attrs["motivation"] == "m" for _, _, _, attrs in view.edges)
+
+    def test_to_networkx(self, tree, nodes):
+        g = extract_graph(tree).to_networkx()
+        assert g.number_of_nodes() == 6
+        assert g.number_of_edges() == 5
+        import networkx
+
+        assert networkx.is_directed_acyclic_graph(g)
+        assert g.nodes[nodes[0].oid]["label"] == "n0"
+
+    def test_leaf_only_start(self, tree, nodes):
+        view = extract_graph(tree, start=nodes[5])
+        assert set(view.nodes) == {nodes[5].oid}
+        assert view.edge_count == 0
+
+
+class TestCopy:
+    def test_copy_shares_nodes(self, manager, tree, nodes):
+        copy = copy_classification(manager, tree, "copy")
+        assert len(copy) == len(tree)
+        assert copy.node_oids() == tree.node_oids()
+        # but edges are new instances
+        assert not (copy._edge_oids & tree._edge_oids)
+
+    def test_copy_preserves_edge_attributes(self, manager, tree):
+        copy = copy_classification(manager, tree, "copy")
+        assert all(e.get("motivation") == "m" for e in copy.edges())
+
+    def test_copy_then_restructure_leaves_original(self, manager, tree, nodes):
+        copy = copy_classification(manager, tree, "copy")
+        move_subtree(copy, nodes[3], nodes[2], "Contains")
+        assert tree.parents(nodes[3]) == [nodes[1]]
+        assert copy.parents(nodes[3]) == [nodes[2]]
+
+    def test_copy_with_node_duplication(self, manager, tree, nodes):
+        copy = copy_classification(manager, tree, "deep", copy_nodes=True)
+        # Leaves are shared (objective fixed points), interiors are new.
+        leaf_oids = {n.oid for n in tree.leaves()}
+        assert leaf_oids <= copy.node_oids()
+        interior = tree.node_oids() - leaf_oids
+        assert not (interior & copy.node_oids())
+        assert len(copy) == len(tree)
+
+    def test_copy_by_name(self, manager, tree):
+        copy = copy_classification(manager, "tree", "copy2")
+        assert copy.name == "copy2"
+
+
+class TestMoveSubtree:
+    def test_move(self, tree, nodes):
+        move_subtree(tree, nodes[1], nodes[2], "Contains", motivation="revision")
+        assert tree.parents(nodes[1]) == [nodes[2]]
+        # subtree members follow
+        assert nodes[3] in set(tree.descendants(nodes[2]))
+        assert tree.is_tree()
+
+    def test_move_under_own_descendant_rejected(self, tree, nodes):
+        with pytest.raises(ClassificationError):
+            move_subtree(tree, nodes[1], nodes[3], "Contains")
+
+    def test_move_under_self_rejected(self, tree, nodes):
+        with pytest.raises(ClassificationError):
+            move_subtree(tree, nodes[1], nodes[1], "Contains")
+
+    def test_old_edge_deleted_when_unshared(self, tree, nodes, graph_schema):
+        old_edges = [
+            e for e in tree.edges() if e.destination_oid == nodes[1].oid
+        ]
+        move_subtree(tree, nodes[1], nodes[2], "Contains")
+        assert all(e.deleted for e in old_edges)
+
+    def test_shared_edge_survives_move(self, manager, tree, nodes):
+        other = manager.create("other")
+        shared = [e for e in tree.edges() if e.destination_oid == nodes[1].oid][0]
+        other.add_edge(shared)
+        move_subtree(tree, nodes[1], nodes[2], "Contains")
+        assert not shared.deleted
+        assert shared in other
+
+
+class TestCommonSubgraph:
+    def test_structural_intersection(self, manager, tree, nodes):
+        copy = copy_classification(manager, tree, "copy")
+        move_subtree(copy, nodes[5], nodes[1], "Contains")
+        common = common_subgraph(tree, copy)
+        # All edges except n2->n5 coincide structurally.
+        assert common.edge_count == 4
+        assert (nodes[2].oid, nodes[5].oid) not in {
+            (p, c) for p, c, _, _ in common.edges
+        }
+
+    def test_disjoint_classifications(self, manager, nodes):
+        c1, c2 = manager.create("a"), manager.create("b")
+        c1.place("Contains", nodes[0], nodes[1])
+        c2.place("Contains", nodes[2], nodes[3])
+        assert common_subgraph(c1, c2).edge_count == 0

@@ -1,0 +1,78 @@
+"""LRU cache behaviour."""
+
+from repro.storage.cache import LruCache
+
+
+class TestLruCache:
+    def test_put_get(self):
+        cache = LruCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+
+    def test_miss_returns_none(self):
+        cache = LruCache(4)
+        assert cache.get("missing") is None
+
+    def test_eviction_order(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts a
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_get_refreshes_recency(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.put("c", 3)  # evicts b, not a
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_put_existing_refreshes(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)  # evicts b
+        assert cache.get("a") == 10
+        assert cache.get("b") is None
+
+    def test_invalidate(self):
+        cache = LruCache(4)
+        cache.put("a", 1)
+        cache.invalidate("a")
+        assert cache.get("a") is None
+        cache.invalidate("never-there")  # no error
+
+    def test_clear(self):
+        cache = LruCache(4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_disabled_cache(self):
+        cache = LruCache(0)
+        cache.put("a", 1)  # no-op when disabled
+        assert cache.get("a") is None
+        assert cache.misses == 1
+        cache.get("a")
+        assert cache.misses == 2
+
+    def test_hit_rate(self):
+        cache = LruCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.hit_rate == 0.5
+
+    def test_hit_rate_empty(self):
+        assert LruCache(4).hit_rate == 0.0
+
+    def test_contains(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        assert "a" in cache
+        assert "b" not in cache

@@ -1,0 +1,142 @@
+"""Collection-typed attributes on instances, incl. persistence (§4.4.6)."""
+
+import pytest
+
+from repro.core.attributes import Attribute
+from repro.core.collections import PDict, PList, PSet
+from repro.core.schema import Schema
+from repro.core import types as T
+from repro.errors import TypeCheckError
+from repro.storage.store import ObjectStore
+
+
+def make_schema(store=None) -> Schema:
+    schema = Schema(store)
+    schema.define_class(
+        "Herbarium",
+        [
+            Attribute("code", T.STRING, required=True),
+            Attribute("collectors", T.set_of(T.STRING)),
+            Attribute("shelf_marks", T.list_of(T.INTEGER)),
+            Attribute("loans", T.dict_of(T.INTEGER)),
+        ],
+    )
+    return schema
+
+
+class TestAssignment:
+    def test_plain_containers_accepted(self):
+        schema = make_schema()
+        h = schema.create(
+            "Herbarium",
+            code="E",
+            collectors={"Linnaeus", "Koch"},
+            shelf_marks=[3, 1, 2],
+            loans={"K": 4},
+        )
+        assert h.get("collectors") == {"Linnaeus", "Koch"}
+        assert h.get("shelf_marks") == [3, 1, 2]
+        assert h.get("loans") == {"K": 4}
+
+    def test_wrapper_collections_accepted(self):
+        schema = make_schema()
+        h = schema.create(
+            "Herbarium",
+            code="E",
+            collectors=PSet({"a"}),
+            shelf_marks=PList([1]),
+            loans=PDict({"x": 1}),
+        )
+        assert h.get("collectors") == {"a"}
+
+    def test_element_type_enforced(self):
+        schema = make_schema()
+        with pytest.raises(TypeCheckError):
+            schema.create("Herbarium", code="E", collectors={1, 2})
+        with pytest.raises(TypeCheckError):
+            schema.create("Herbarium", code="E", shelf_marks=["a"])
+        with pytest.raises(TypeCheckError):
+            schema.create("Herbarium", code="E", loans={"k": "v"})
+
+    def test_container_kind_enforced(self):
+        schema = make_schema()
+        with pytest.raises(TypeCheckError):
+            schema.create("Herbarium", code="E", collectors={"a": 1})
+
+    def test_none_is_fine(self):
+        schema = make_schema()
+        h = schema.create("Herbarium", code="E")
+        assert h.get("collectors") is None
+
+
+class TestPersistence:
+    def test_roundtrip_all_kinds(self, tmp_path):
+        path = tmp_path / "coll.plog"
+        store = ObjectStore(path)
+        schema = make_schema(store)
+        schema.create(
+            "Herbarium",
+            code="E",
+            collectors={"Linnaeus", "Koch"},
+            shelf_marks=[3, 1, 2],
+            loans={"K": 4, "P": 7},
+        )
+        schema.commit()
+        store.close()
+
+        store2 = ObjectStore(path)
+        schema2 = make_schema(store2)
+        schema2.load_all()
+        h = schema2.extent("Herbarium")[0]
+        collectors = h.get("collectors")
+        assert isinstance(collectors, PSet)
+        assert collectors == {"Linnaeus", "Koch"}
+        marks = h.get("shelf_marks")
+        assert isinstance(marks, PList)
+        assert marks == [3, 1, 2]
+        loans = h.get("loans")
+        assert isinstance(loans, PDict)
+        assert loans == {"K": 4, "P": 7}
+        store2.close()
+
+    def test_update_collection_persists(self, tmp_path):
+        path = tmp_path / "coll2.plog"
+        store = ObjectStore(path)
+        schema = make_schema(store)
+        h = schema.create("Herbarium", code="E", collectors={"a"})
+        schema.commit()
+        h.set("collectors", {"a", "b"})
+        schema.commit()
+        store.close()
+
+        store2 = ObjectStore(path)
+        schema2 = make_schema(store2)
+        schema2.load_all()
+        assert schema2.extent("Herbarium")[0].get("collectors") == {"a", "b"}
+        store2.close()
+
+
+class TestQuerying:
+    def test_collection_methods_in_pool(self):
+        from repro.query import execute
+
+        schema = make_schema()
+        schema.create("Herbarium", code="E", collectors={"a", "b"})
+        schema.create("Herbarium", code="K", collectors=set())
+        result = execute(
+            schema,
+            "select h.code from h in Herbarium "
+            "where h.collectors.notEmpty()",
+        )
+        assert result == ["E"]
+
+    def test_membership_in_pool(self):
+        from repro.query import execute
+
+        schema = make_schema()
+        schema.create("Herbarium", code="E", collectors={"Koch"})
+        result = execute(
+            schema,
+            'select h.code from h in Herbarium where "Koch" in h.collectors',
+        )
+        assert result == ["E"]

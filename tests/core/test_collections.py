@@ -1,0 +1,49 @@
+"""ODMG collection wrappers."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.collections import PBag, PDict, PList, PSet
+
+
+class TestPSet:
+    def test_set_ops(self):
+        a, b = PSet([1, 2, 3]), PSet([3, 4])
+        assert a.union_with(b) == {1, 2, 3, 4}
+        assert a.intersect_with(b) == {3}
+        assert a.difference_with(b) == {1, 2}
+        assert isinstance(a.union_with(b), PSet)
+
+    def test_cardinality(self):
+        assert PSet([1, 2]).cardinality() == 2
+
+
+class TestPBag:
+    def test_occurrences(self):
+        bag = PBag([1, 1, 2])
+        assert bag.occurrences(1) == 2
+        assert bag.occurrences(9) == 0
+
+    def test_equality_ignores_order(self):
+        assert PBag([1, 2, 2]) == PBag([2, 1, 2])
+        assert PBag([1, 2]) != PBag([1, 2, 2])
+        assert PBag([1, 1, 2]) != PBag([1, 2, 2])
+
+    @given(st.lists(st.integers(), max_size=20))
+    def test_property_bag_equal_to_any_permutation(self, items):
+        assert PBag(items) == PBag(list(reversed(items)))
+
+
+class TestPList:
+    def test_preserves_order_and_duplicates(self):
+        assert list(PList([3, 1, 3])) == [3, 1, 3]
+
+    def test_element_values(self):
+        assert list(PList([1, 2]).element_values()) == [1, 2]
+
+
+class TestPDict:
+    def test_element_values_are_values(self):
+        assert sorted(PDict({"a": 1, "b": 2}).element_values()) == [1, 2]
+
+    def test_cardinality(self):
+        assert PDict({"a": 1}).cardinality() == 1

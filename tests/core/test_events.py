@@ -1,0 +1,83 @@
+"""Event bus: subscription, filtering, muting, veto ordering."""
+
+from repro.core.events import Event, EventBus, EventKind
+
+
+class TestEventBus:
+    def test_subscribe_all(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(e.kind))
+        bus.publish(Event(kind=EventKind.AFTER_CREATE))
+        bus.publish(Event(kind=EventKind.AFTER_DELETE))
+        assert seen == [EventKind.AFTER_CREATE, EventKind.AFTER_DELETE]
+
+    def test_kind_filter(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(
+            lambda e: seen.append(e.kind), kinds={EventKind.AFTER_CREATE}
+        )
+        bus.publish(Event(kind=EventKind.AFTER_DELETE))
+        bus.publish(Event(kind=EventKind.AFTER_CREATE))
+        assert seen == [EventKind.AFTER_CREATE]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe(lambda e: seen.append(1))
+        bus.publish(Event(kind=EventKind.AFTER_CREATE))
+        unsubscribe()
+        unsubscribe()  # idempotent
+        bus.publish(Event(kind=EventKind.AFTER_CREATE))
+        assert seen == [1]
+
+    def test_dispatch_order_is_registration_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append("first"))
+        bus.subscribe(lambda e: seen.append("second"))
+        bus.publish(Event(kind=EventKind.AFTER_CREATE))
+        assert seen == ["first", "second"]
+
+    def test_exception_stops_dispatch(self):
+        bus = EventBus()
+        seen = []
+
+        def boom(event):
+            raise ValueError("veto")
+
+        bus.subscribe(boom)
+        bus.subscribe(lambda e: seen.append(1))
+        try:
+            bus.publish(Event(kind=EventKind.BEFORE_UPDATE))
+        except ValueError:
+            pass
+        assert seen == []
+
+    def test_muted(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(1))
+        with bus.muted():
+            bus.publish(Event(kind=EventKind.AFTER_CREATE))
+        bus.publish(Event(kind=EventKind.AFTER_CREATE))
+        assert seen == [1]
+
+    def test_muted_nests(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(1))
+        with bus.muted():
+            with bus.muted():
+                bus.publish(Event(kind=EventKind.AFTER_CREATE))
+            bus.publish(Event(kind=EventKind.AFTER_CREATE))
+        bus.publish(Event(kind=EventKind.AFTER_CREATE))
+        assert seen == [1]
+
+    def test_published_counter(self):
+        bus = EventBus()
+        bus.publish(Event(kind=EventKind.AFTER_CREATE))
+        with bus.muted():
+            bus.publish(Event(kind=EventKind.AFTER_CREATE))
+        assert bus.published == 1

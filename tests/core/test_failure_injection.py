@@ -1,0 +1,127 @@
+"""Failure injection: the store must degrade safely, never corrupt.
+
+Simulated crash/corruption scenarios beyond the torn-tail case: bit rot
+in the middle of the log, a commit marker destroyed, repeated crashes,
+and crash-during-compaction.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import UnknownOidError
+from repro.storage.log import RecordLog
+from repro.storage.store import ObjectStore
+
+
+def _corrupt_byte(path, offset: int) -> None:
+    with open(path, "r+b") as f:
+        f.seek(offset)
+        byte = f.read(1)
+        f.seek(offset)
+        f.write(bytes([byte[0] ^ 0xFF]))
+
+
+class TestBitRot:
+    def test_midfile_corruption_keeps_prefix(self, tmp_path):
+        path = tmp_path / "rot.plog"
+        offsets = []
+        with ObjectStore(path) as store:
+            for i in range(10):
+                oid = store.insert({"i": i})
+                offsets.append((oid, store.file_size))
+        # Corrupt inside the 6th transaction's region.
+        _corrupt_byte(path, offsets[5][1] - 10)
+        with ObjectStore(path) as store:
+            # Everything committed before the corruption survives.
+            for oid, _ in offsets[:5]:
+                assert oid in store
+            # The corrupted entry and everything after is dropped.
+            assert offsets[5][0] not in store or offsets[6][0] not in store
+
+    def test_reads_never_crash_after_recovery(self, tmp_path):
+        path = tmp_path / "rot2.plog"
+        with ObjectStore(path) as store:
+            oids = [store.insert({"i": i, "pad": "y" * 50}) for i in range(20)]
+        size = os.path.getsize(path)
+        _corrupt_byte(path, size // 2)
+        with ObjectStore(path) as store:
+            for oid in oids:
+                if oid in store:
+                    assert isinstance(store.read(oid), dict)
+                else:
+                    with pytest.raises(UnknownOidError):
+                        store.read(oid)
+
+    def test_new_writes_after_recovery(self, tmp_path):
+        """A recovered store keeps working; new commits land after the
+        valid prefix (the corrupt tail is abandoned)."""
+        path = tmp_path / "rot3.plog"
+        with ObjectStore(path) as store:
+            survivor = store.insert({"keep": True})
+            store.insert({"doomed": True})
+        size = os.path.getsize(path)
+        _corrupt_byte(path, size - 30)
+        with ObjectStore(path) as store:
+            fresh = store.insert({"new": True})
+            assert store.read(survivor) == {"keep": True}
+            assert store.read(fresh) == {"new": True}
+        with ObjectStore(path) as store:
+            assert fresh in store
+
+
+class TestCommitMarkerLoss:
+    def test_destroying_commit_marker_voids_its_transaction(self, tmp_path):
+        path = tmp_path / "marker.plog"
+        store = ObjectStore(path)
+        first = store.insert({"n": 1})
+        before_second = store.file_size
+        second = store.insert({"n": 2})
+        store.close()
+        # The second transaction = data entry + commit marker; zap the
+        # marker region (the last bytes of the file).
+        size = os.path.getsize(path)
+        _corrupt_byte(path, size - 4)
+        with ObjectStore(path) as again:
+            assert first in again
+            assert second not in again
+            assert again.file_size >= before_second
+
+
+class TestCrashDuringCompaction:
+    def test_leftover_compact_file_is_ignored_and_replaced(self, tmp_path):
+        path = tmp_path / "c.plog"
+        with ObjectStore(path) as store:
+            oid = store.insert({"v": 1})
+            store.put(oid, {"v": 2})
+        # Simulate a crash that left a stale .compact temp file behind.
+        stale = str(path) + ".compact"
+        with open(stale, "wb") as f:
+            f.write(b"garbage from a dead process")
+        with ObjectStore(path) as store:
+            assert store.read(oid) == {"v": 2}
+            store.compact()  # must clobber the stale temp file
+            assert store.read(oid) == {"v": 2}
+        assert not os.path.exists(stale)
+
+
+class TestRepeatedCrashes:
+    def test_many_crash_reopen_cycles(self, tmp_path):
+        """Open, write, 'crash' (no close), reopen — ten times; committed
+        state is always exactly the committed prefix."""
+        path = tmp_path / "cycles.plog"
+        committed: dict[int, int] = {}
+        for round_number in range(10):
+            store = ObjectStore(path)
+            for oid, value in committed.items():
+                assert store.read(oid)["v"] == value
+            oid = store.insert({"v": round_number})
+            committed[oid] = round_number
+            # Leave an uncommitted transaction dangling, then "crash".
+            txn = store.begin()
+            txn.write(store.new_oid(), {"ghost": round_number})
+            store._log.flush()
+            store._log._file.close()
+        store = ObjectStore(path)
+        assert len(store) == len(committed)
+        store.close()

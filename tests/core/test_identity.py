@@ -1,0 +1,97 @@
+"""OID allocation invariants."""
+
+import threading
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.identity import NULL_OID, OidAllocator, OidRef
+
+
+class TestOidRef:
+    def test_null_is_falsy(self):
+        assert not OidRef(NULL_OID)
+        assert OidRef(1)
+
+    def test_int_conversion(self):
+        assert int(OidRef(42)) == 42
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OidRef(-1)
+
+    def test_equality_and_hash(self):
+        assert OidRef(5) == OidRef(5)
+        assert OidRef(5) != OidRef(6)
+        assert len({OidRef(5), OidRef(5), OidRef(6)}) == 2
+
+
+class TestOidAllocator:
+    def test_monotonic_from_one(self):
+        alloc = OidAllocator()
+        assert [alloc.allocate() for _ in range(5)] == [1, 2, 3, 4, 5]
+
+    def test_custom_start(self):
+        alloc = OidAllocator(first=100)
+        assert alloc.allocate() == 100
+
+    def test_invalid_start(self):
+        with pytest.raises(ValueError):
+            OidAllocator(first=0)
+
+    def test_allocate_many(self):
+        alloc = OidAllocator()
+        alloc.allocate()
+        block = alloc.allocate_many(10)
+        assert list(block) == list(range(2, 12))
+        assert alloc.allocate() == 12
+
+    def test_allocate_many_zero(self):
+        alloc = OidAllocator()
+        assert list(alloc.allocate_many(0)) == []
+        assert alloc.allocate() == 1
+
+    def test_allocate_many_negative(self):
+        with pytest.raises(ValueError):
+            OidAllocator().allocate_many(-1)
+
+    def test_fast_forward(self):
+        alloc = OidAllocator()
+        alloc.fast_forward(500)
+        assert alloc.allocate() == 501
+
+    def test_fast_forward_backwards_is_noop(self):
+        alloc = OidAllocator()
+        for _ in range(10):
+            alloc.allocate()
+        alloc.fast_forward(3)
+        assert alloc.allocate() == 11
+
+    def test_last_allocated(self):
+        alloc = OidAllocator()
+        assert alloc.last_allocated == 0
+        alloc.allocate()
+        assert alloc.last_allocated == 1
+
+    def test_thread_safety_no_duplicates(self):
+        alloc = OidAllocator()
+        seen: list[int] = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [alloc.allocate() for _ in range(200)]
+            with lock:
+                seen.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == len(set(seen)) == 1600
+
+    @given(st.integers(min_value=1, max_value=1000))
+    def test_property_allocation_is_dense(self, n):
+        alloc = OidAllocator()
+        oids = [alloc.allocate() for _ in range(n)]
+        assert oids == list(range(1, n + 1))

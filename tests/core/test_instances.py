@@ -1,0 +1,169 @@
+"""Object instances: attribute access, validation, events, lifecycle."""
+
+import pytest
+
+from repro.core.events import EventKind
+from repro.core import types as T
+from repro.errors import (
+    AttributeUnknownError,
+    InstanceDeletedError,
+    SchemaError,
+    TypeCheckError,
+)
+
+
+class TestCreation:
+    def test_create_with_attrs(self, schema):
+        alice = schema.create("Person", name="Alice", age=30)
+        assert alice.get("name") == "Alice"
+        assert alice.get("age") == 30
+
+    def test_defaults_applied(self, schema):
+        bob = schema.create("Person", name="Bob")
+        assert bob.get("age") is None
+
+    def test_required_attribute_enforced(self, schema):
+        with pytest.raises(SchemaError):
+            schema.create("Person")  # name is required
+
+    def test_abstract_class_rejected(self):
+        from tests.conftest import make_people_schema
+
+        schema = make_people_schema()
+        schema.define_class("Abstract", abstract=True)
+        with pytest.raises(SchemaError):
+            schema.create("Abstract")
+
+    def test_unknown_class(self, schema):
+        with pytest.raises(SchemaError):
+            schema.create("Nothing")
+
+    def test_relationship_class_not_creatable_directly(self, schema):
+        with pytest.raises(SchemaError):
+            schema.create("WorksFor")
+
+    def test_failed_create_leaves_no_trace(self, schema):
+        before = schema.count("Person")
+        with pytest.raises(TypeCheckError):
+            schema.create("Person", name="X", age="not an int")
+        assert schema.count("Person") == before
+
+
+class TestAttributes:
+    def test_set_validates_type(self, schema):
+        alice = schema.create("Person", name="Alice")
+        with pytest.raises(TypeCheckError):
+            alice.set("age", "forty")
+
+    def test_required_rejects_none(self, schema):
+        alice = schema.create("Person", name="Alice")
+        with pytest.raises(TypeCheckError):
+            alice.set("name", None)
+
+    def test_unknown_attribute(self, schema):
+        alice = schema.create("Person", name="Alice")
+        with pytest.raises(AttributeUnknownError):
+            alice.get("height")
+        with pytest.raises(AttributeUnknownError):
+            alice.set("height", 180)
+
+    def test_item_access(self, schema):
+        alice = schema.create("Person", name="Alice")
+        alice["age"] = 31
+        assert alice["age"] == 31
+
+    def test_update_chains(self, schema):
+        alice = schema.create("Person", name="Alice").update(age=1).update(age=2)
+        assert alice.get("age") == 2
+
+    def test_to_dict(self, schema):
+        alice = schema.create("Person", name="Alice", age=5)
+        assert alice.to_dict() == {"name": "Alice", "age": 5}
+
+    def test_noop_assignment_not_dirtying(self, schema):
+        alice = schema.create("Person", name="Alice")
+        schema.commit()
+        alice.set("name", "Alice")
+        assert not alice.dirty
+
+
+class TestEvents:
+    def test_update_events_published(self, schema):
+        seen = []
+        schema.events.subscribe(
+            lambda e: seen.append((e.kind, e.attribute, e.old_value, e.new_value)),
+            kinds={EventKind.BEFORE_UPDATE, EventKind.AFTER_UPDATE},
+        )
+        alice = schema.create("Person", name="Alice")
+        alice.set("age", 10)
+        assert (EventKind.BEFORE_UPDATE, "age", None, 10) in seen
+        assert (EventKind.AFTER_UPDATE, "age", None, 10) in seen
+
+    def test_before_update_veto_blocks_change(self, schema):
+        def veto(event):
+            if event.attribute == "age" and (event.new_value or 0) < 0:
+                raise ValueError("no negative ages")
+
+        schema.events.subscribe(veto, kinds={EventKind.BEFORE_UPDATE})
+        alice = schema.create("Person", name="Alice", age=5)
+        with pytest.raises(ValueError):
+            alice.set("age", -1)
+        assert alice.get("age") == 5
+
+    def test_after_update_veto_rolls_back_value(self, schema):
+        alice = schema.create("Person", name="Alice", age=5)
+
+        def veto(event):
+            if event.attribute == "age" and event.new_value == 13:
+                raise ValueError("unlucky")
+
+        schema.events.subscribe(veto, kinds={EventKind.AFTER_UPDATE})
+        with pytest.raises(ValueError):
+            alice.set("age", 13)
+        assert alice.get("age") == 5
+
+
+class TestDeletion:
+    def test_deleted_object_rejects_access(self, schema):
+        alice = schema.create("Person", name="Alice")
+        schema.delete(alice)
+        with pytest.raises(InstanceDeletedError):
+            alice.get("name")
+        with pytest.raises(InstanceDeletedError):
+            alice.set("name", "X")
+
+    def test_delete_is_idempotent(self, schema):
+        alice = schema.create("Person", name="Alice")
+        schema.delete(alice)
+        schema.delete(alice)  # no error
+
+    def test_identity_semantics(self, schema):
+        alice = schema.create("Person", name="Alice")
+        same = schema.get_object(alice.oid)
+        assert alice == same
+        assert hash(alice) == hash(same)
+        bob = schema.create("Person", name="Bob")
+        assert alice != bob
+
+
+class TestMethods:
+    def test_method_call_publishes_event(self):
+        from repro.core.attributes import Attribute, Method
+        from repro.core.schema import Schema
+
+        schema = Schema()
+        schema.define_class(
+            "Greeter",
+            [Attribute("who", T.STRING, default="world")],
+            methods=[
+                Method("greet", lambda self, x="hi": f"{x} {self.get('who')}")
+            ],
+        )
+        calls = []
+        schema.events.subscribe(
+            lambda e: calls.append(e.attribute), kinds={EventKind.METHOD_CALL}
+        )
+        g = schema.create("Greeter")
+        assert g.call("greet") == "hi world"
+        assert g.call("greet", "hello") == "hello world"
+        assert calls == ["greet", "greet"]

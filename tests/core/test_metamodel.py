@@ -1,0 +1,59 @@
+"""Meta-model introspection (Figure 14 / 28)."""
+
+from repro.core.metamodel import describe_class, describe_schema, diff_schemas
+from tests.conftest import make_people_schema
+
+
+class TestDescribe:
+    def test_describe_class(self, schema):
+        info = describe_class(schema.get_class("Employee"))
+        assert info["name"] == "Employee"
+        assert info["superclasses"] == ["Person"]
+        assert set(info["attributes"]) == {"name", "age", "salary"}
+        assert info["attributes"]["name"]["required"] is True
+        assert "relationship" not in info
+
+    def test_describe_relationship_class(self, schema):
+        info = describe_class(schema.get_class("Owns"))
+        rel = info["relationship"]
+        assert rel["origin"] == "Company"
+        assert rel["destination"] == "Person"
+        assert rel["kind"] == "aggregation"
+        assert rel["exclusive"] is True
+        assert rel["lifetime_dependent"] is True
+
+    def test_describe_types(self, schema):
+        info = describe_class(schema.get_class("Person"))
+        assert info["attributes"]["age"]["type"] == {
+            "kind": "atomic",
+            "name": "integer",
+        }
+
+    def test_describe_schema_counts(self, schema):
+        schema.create("Person", name="p")
+        info = describe_schema(schema)
+        assert info["counts"]["Person"] == 1
+        assert "WorksFor" in info["classes"]
+
+
+class TestDiff:
+    def test_identical_schemas(self):
+        assert diff_schemas(make_people_schema(), make_people_schema()) == []
+
+    def test_missing_class_detected(self):
+        a = make_people_schema()
+        b = make_people_schema()
+        b.define_class("Extra")
+        problems = diff_schemas(a, b)
+        assert any("Extra" in p for p in problems)
+
+    def test_attribute_difference_detected(self):
+        from repro.core.attributes import Attribute
+        from repro.core import types as T
+
+        a = make_people_schema()
+        b = make_people_schema()
+        b.define_class("Extra2", [Attribute("x", T.STRING)])
+        a.define_class("Extra2", [Attribute("x", T.INTEGER)])
+        problems = diff_schemas(a, b)
+        assert any("different types" in p for p in problems)

@@ -1,0 +1,154 @@
+"""N-ary relationships: named extra participants (Figure 10)."""
+
+import pytest
+
+from repro.core.attributes import Attribute
+from repro.core.relationships import RelationshipClass
+from repro.core.schema import Schema
+from repro.core import types as T
+from repro.errors import RelationshipError
+from repro.query import execute
+from repro.storage.store import ObjectStore
+
+
+def make_schema(store=None) -> Schema:
+    """Determination: a taxonomist applies a name to a specimen — three
+    parties, so the relationship references a third class (§2.1.1)."""
+    schema = Schema(store)
+    schema.define_class("Specimen", [Attribute("code", T.STRING)])
+    schema.define_class("Name", [Attribute("epithet", T.STRING)])
+    schema.define_class("Taxonomist", [Attribute("abbrev", T.STRING)])
+    schema.define_relationship(
+        "Determination",
+        "Name",
+        "Specimen",
+        participants={"determiner": "Taxonomist"},
+        attributes=[Attribute("year", T.INTEGER)],
+    )
+    return schema
+
+
+@pytest.fixture
+def schema():
+    return make_schema()
+
+
+class TestDefinition:
+    def test_roles_declared(self, schema):
+        relclass = schema.get_class("Determination")
+        assert relclass.participant_roles == {"determiner": "Taxonomist"}
+
+    def test_reserved_role_names_rejected(self):
+        with pytest.raises(RelationshipError):
+            RelationshipClass(
+                "Bad", "Name", "Specimen", participants={"origin": "Name"}
+            )
+
+
+class TestCreation:
+    def test_relate_with_participant(self, schema):
+        name = schema.create("Name", epithet="graveolens")
+        specimen = schema.create("Specimen", code="S1")
+        koch = schema.create("Taxonomist", abbrev="Koch")
+        rel = schema.relate(
+            "Determination", name, specimen,
+            participants={"determiner": koch}, year=1824,
+        )
+        assert rel.participant("determiner") == koch
+        assert rel.endpoints() == {
+            "origin": name.oid,
+            "destination": specimen.oid,
+            "determiner": koch.oid,
+        }
+
+    def test_participant_optional(self, schema):
+        name = schema.create("Name", epithet="x")
+        specimen = schema.create("Specimen", code="S")
+        rel = schema.relate("Determination", name, specimen)
+        assert rel.participant("determiner") is None
+
+    def test_unknown_role_rejected(self, schema):
+        name = schema.create("Name", epithet="x")
+        specimen = schema.create("Specimen", code="S")
+        other = schema.create("Taxonomist", abbrev="T")
+        with pytest.raises(RelationshipError):
+            schema.relate(
+                "Determination", name, specimen,
+                participants={"witness": other},
+            )
+
+    def test_role_class_checked(self, schema):
+        name = schema.create("Name", epithet="x")
+        specimen = schema.create("Specimen", code="S")
+        with pytest.raises(RelationshipError):
+            schema.relate(
+                "Determination", name, specimen,
+                participants={"determiner": specimen},
+            )
+
+    def test_unfilled_role_query_rejected(self, schema):
+        name = schema.create("Name", epithet="x")
+        specimen = schema.create("Specimen", code="S")
+        rel = schema.relate("Determination", name, specimen)
+        with pytest.raises(RelationshipError):
+            rel.participant("witness")
+
+
+class TestLifecycle:
+    def test_deleting_participant_removes_edge(self, schema):
+        name = schema.create("Name", epithet="x")
+        specimen = schema.create("Specimen", code="S")
+        koch = schema.create("Taxonomist", abbrev="Koch")
+        rel = schema.relate(
+            "Determination", name, specimen,
+            participants={"determiner": koch},
+        )
+        schema.delete(koch)
+        assert rel.deleted
+
+    def test_persistence_roundtrip(self, tmp_path):
+        path = tmp_path / "nary.plog"
+        store = ObjectStore(path)
+        schema = make_schema(store)
+        name = schema.create("Name", epithet="x")
+        specimen = schema.create("Specimen", code="S")
+        koch = schema.create("Taxonomist", abbrev="Koch")
+        schema.relate(
+            "Determination", name, specimen,
+            participants={"determiner": koch}, year=1824,
+        )
+        schema.commit()
+        store.close()
+
+        store2 = ObjectStore(path)
+        schema2 = make_schema(store2)
+        schema2.load_all()
+        rel = schema2.relationships.instances_of("Determination")[0]
+        assert rel.participant("determiner").get("abbrev") == "Koch"
+        assert rel.get("year") == 1824
+        store2.close()
+
+
+class TestQuerying:
+    def test_participant_navigation_in_pool(self, schema):
+        name = schema.create("Name", epithet="graveolens")
+        specimen = schema.create("Specimen", code="S1")
+        koch = schema.create("Taxonomist", abbrev="Koch")
+        schema.relate(
+            "Determination", name, specimen,
+            participants={"determiner": koch}, year=1824,
+        )
+        result = execute(
+            schema,
+            "select r.determiner.abbrev from r in Determination "
+            "where r.year = 1824",
+        )
+        assert result == ["Koch"]
+
+    def test_typecheck_accepts_role(self, schema):
+        from repro.query import parse, typecheck
+
+        report = typecheck(
+            schema, parse("select r.determiner from r in Determination")
+        )
+        assert report.ok

@@ -1,0 +1,142 @@
+"""Prometheus ODL: textual schema definition."""
+
+import pytest
+
+from repro.core.odl import OdlError, define_schema, parse_odl
+from repro.core.schema import Schema
+from repro.core.semantics import RelKind
+from repro.errors import ExclusivityError
+
+DOCUMENT = """
+// The taxonomy skeleton, in ODL.
+abstract class TaxonomicObject {};
+
+class Specimen extends TaxonomicObject {
+    attribute string collector;
+    attribute date collected;
+    attribute set<string> duplicates;
+};
+
+class Name extends TaxonomicObject {
+    attribute string epithet required;
+    attribute integer year default 1753;
+    attribute ref<Name> successor;
+};
+
+relationship HasType (Name -> Specimen) {
+    kind association;
+    attribute string type_kind required;
+    inherit type_kind;
+    participant designator Name;
+};
+
+relationship Includes (Name -> Specimen) {
+    kind aggregation;
+    shareable;
+    cardinality max_out 100;
+    attribute string motivation;
+};
+
+relationship OwnsExclusively (Name -> Specimen) {
+    kind aggregation;
+    exclusive;
+    lifetime_dependent;
+    exclusivity_group "owners";
+};
+"""
+
+
+@pytest.fixture
+def schema():
+    s = Schema()
+    define_schema(s, DOCUMENT)
+    return s
+
+
+class TestParsing:
+    def test_declarations_in_order(self):
+        declarations = parse_odl(DOCUMENT)
+        names = [d.name for d in declarations]
+        assert names == [
+            "TaxonomicObject", "Specimen", "Name",
+            "HasType", "Includes", "OwnsExclusively",
+        ]
+
+    def test_class_shapes(self, schema):
+        specimen = schema.get_class("Specimen")
+        assert specimen.superclasses[0].name == "TaxonomicObject"
+        assert specimen.get_attribute("duplicates").type_spec.name == "set<string>"
+        assert schema.get_class("TaxonomicObject").abstract
+
+    def test_attribute_modifiers(self, schema):
+        name = schema.get_class("Name")
+        assert name.get_attribute("epithet").required
+        assert name.get_attribute("year").default == 1753
+        assert name.get_attribute("successor").type_spec.name == "ref<Name>"
+
+    def test_relationship_semantics(self, schema):
+        includes = schema.get_class("Includes")
+        assert includes.semantics.kind is RelKind.AGGREGATION
+        assert includes.semantics.shareable
+        assert includes.semantics.cardinality.max_out == 100
+        owns = schema.get_class("OwnsExclusively")
+        assert owns.semantics.exclusive
+        assert owns.semantics.lifetime_dependent
+        assert owns.semantics.exclusivity_group == "owners"
+
+    def test_inherit_and_participant(self, schema):
+        has_type = schema.get_class("HasType")
+        assert has_type.semantics.inherited_attributes == ("type_kind",)
+        assert has_type.participant_roles == {"designator": "Name"}
+
+    def test_comments_ignored(self):
+        parse_odl("// just a comment\n# another\nclass X {};")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text,fragment",
+        [
+            ("klass X {};", "'class' or 'relationship'"),
+            ("class X { attribute wibble a; };", "unknown type"),
+            ("class X { attribute string a wobble; };", "unexpected token"),
+            ("relationship R (A -> B) { kind weird; };", "kind"),
+            ("relationship R (A -> B) { cardinality sideways 3; };",
+             "cardinality"),
+            ("relationship R (A -> B) { inherit ghost; };", "ghost"),
+            ("class X {", "expected"),
+        ],
+    )
+    def test_bad_documents(self, text, fragment):
+        with pytest.raises(OdlError, match=fragment.replace("(", "\\(")):
+            parse_odl(text)
+
+    def test_unknown_character(self):
+        with pytest.raises(OdlError):
+            parse_odl("class X {}; @")
+
+
+class TestBehaviour:
+    def test_defined_schema_is_live(self, schema):
+        name = schema.create("Name", epithet="Apium")
+        specimen = schema.create("Specimen", collector="L.")
+        schema.relate("HasType", name, specimen, type_kind="holotype")
+        # Role acquisition flows from the ODL 'inherit' clause.
+        assert specimen.get("type_kind") == "holotype"
+
+    def test_exclusivity_group_from_odl(self, schema):
+        a = schema.create("Name", epithet="A")
+        b = schema.create("Name", epithet="B")
+        specimen = schema.create("Specimen")
+        schema.relate("OwnsExclusively", a, specimen)
+        with pytest.raises(ExclusivityError):
+            schema.relate("OwnsExclusively", b, specimen)
+
+    def test_pool_over_odl_schema(self, schema):
+        from repro.query import execute
+
+        schema.create("Name", epithet="Apium", year=1753)
+        result = execute(
+            schema, "select n.epithet from n in Name where n.year = 1753"
+        )
+        assert result == ["Apium"]

@@ -1,0 +1,302 @@
+"""First-class relationships: creation, semantics enforcement, roles."""
+
+import pytest
+
+from repro.core.attributes import Attribute
+from repro.core.schema import Schema
+from repro.core.semantics import Cardinality, RelationshipSemantics, RelKind
+from repro.core import types as T
+from repro.errors import (
+    CardinalityError,
+    ConstancyError,
+    ExclusivityError,
+    RelationshipError,
+    SchemaError,
+)
+
+
+class TestCreation:
+    def test_relate_and_navigate(self, schema):
+        alice = schema.create("Person", name="Alice")
+        acme = schema.create("Company", title="ACME")
+        rel = schema.relate("WorksFor", alice, acme, since=1999)
+        assert rel.get("since") == 1999
+        assert alice.related("WorksFor") == [acme]
+        assert acme.related("WorksFor", "in") == [alice]
+        assert rel.origin_object() == alice
+        assert rel.destination_object() == acme
+
+    def test_endpoint_class_checked(self, schema):
+        alice = schema.create("Person", name="Alice")
+        bob = schema.create("Person", name="Bob")
+        with pytest.raises(RelationshipError):
+            schema.relate("WorksFor", alice, bob)
+
+    def test_subclass_endpoints_accepted(self, schema):
+        emp = schema.create("Employee", name="E", salary=10.0)
+        acme = schema.create("Company", title="ACME")
+        schema.relate("WorksFor", emp, acme)
+
+    def test_plain_class_not_relatable(self, schema):
+        alice = schema.create("Person", name="Alice")
+        acme = schema.create("Company", title="ACME")
+        with pytest.raises(SchemaError):
+            schema.relate("Person", alice, acme)
+
+    def test_other_end(self, schema):
+        alice = schema.create("Person", name="Alice")
+        acme = schema.create("Company", title="ACME")
+        rel = schema.relate("WorksFor", alice, acme)
+        assert rel.other_end(alice.oid) == acme.oid
+        assert rel.other_end(acme.oid) == alice.oid
+        with pytest.raises(RelationshipError):
+            rel.other_end(99999)
+
+
+class TestCardinality:
+    def test_max_out_enforced(self, schema):
+        alice = schema.create("Person", name="Alice")
+        companies = [
+            schema.create("Company", title=f"C{i}") for i in range(3)
+        ]
+        schema.relate("WorksFor", alice, companies[0])
+        schema.relate("WorksFor", alice, companies[1])
+        with pytest.raises(CardinalityError):
+            schema.relate("WorksFor", alice, companies[2])
+
+    def test_max_in(self):
+        schema = Schema()
+        schema.define_class("N", [Attribute("v", T.INTEGER)])
+        schema.define_relationship(
+            "R",
+            "N",
+            "N",
+            semantics=RelationshipSemantics(
+                cardinality=Cardinality(max_in=1)
+            ),
+        )
+        a, b, c = (schema.create("N", v=i) for i in range(3))
+        schema.relate("R", a, c)
+        with pytest.raises(CardinalityError):
+            schema.relate("R", b, c)
+
+    def test_minimums_checked_deferred(self, schema):
+        schema2 = Schema()
+        schema2.define_class("N", [Attribute("v", T.INTEGER)])
+        schema2.define_relationship(
+            "Needs",
+            "N",
+            "N",
+            semantics=RelationshipSemantics(
+                cardinality=Cardinality(min_out=1)
+            ),
+        )
+        schema2.create("N", v=1)
+        problems = schema2.check_integrity()
+        assert any("min 1" in p for p in problems)
+
+
+class TestExclusivity:
+    def test_exclusive_destination_single_owner(self, schema):
+        acme = schema.create("Company", title="ACME")
+        mega = schema.create("Company", title="Mega")
+        alice = schema.create("Person", name="Alice")
+        schema.relate("Owns", acme, alice)
+        with pytest.raises(ExclusivityError):
+            schema.relate("Owns", mega, alice)
+
+    def test_exclusivity_freed_after_unrelate(self, schema):
+        acme = schema.create("Company", title="ACME")
+        mega = schema.create("Company", title="Mega")
+        alice = schema.create("Person", name="Alice")
+        rel = schema.relate("Owns", acme, alice)
+        schema.unrelate(rel)
+        schema.relate("Owns", mega, alice)
+
+    def test_exclusivity_group_across_classes(self):
+        schema = Schema()
+        schema.define_class("N")
+        for name in ("R1", "R2"):
+            schema.define_relationship(
+                name,
+                "N",
+                "N",
+                semantics=RelationshipSemantics(
+                    kind=RelKind.AGGREGATION,
+                    exclusive=True,
+                    exclusivity_group="owners",
+                ),
+            )
+        a, b, c = (schema.create("N") for _ in range(3))
+        schema.relate("R1", a, c)
+        with pytest.raises(ExclusivityError):
+            schema.relate("R2", b, c)
+
+
+class TestConstancy:
+    def test_constant_relationship_frozen(self):
+        schema = Schema()
+        schema.define_class("N")
+        schema.define_relationship(
+            "Frozen",
+            "N",
+            "N",
+            semantics=RelationshipSemantics(constant=True),
+            attributes=[Attribute("w", T.INTEGER)],
+        )
+        a, b = schema.create("N"), schema.create("N")
+        rel = schema.relate("Frozen", a, b, w=1)  # initial attrs allowed
+        assert rel.get("w") == 1
+        with pytest.raises(ConstancyError):
+            rel.set("w", 2)
+        with pytest.raises(ConstancyError):
+            schema.unrelate(rel)
+
+    def test_deleting_endpoint_removes_constant_edge(self):
+        schema = Schema()
+        schema.define_class("N")
+        schema.define_relationship(
+            "Frozen", "N", "N",
+            semantics=RelationshipSemantics(constant=True),
+        )
+        a, b = schema.create("N"), schema.create("N")
+        rel = schema.relate("Frozen", a, b)
+        schema.delete(a)
+        assert rel.deleted
+
+
+class TestLifetimeDependency:
+    def test_parts_die_with_whole(self, schema):
+        acme = schema.create("Company", title="ACME")
+        alice = schema.create("Person", name="Alice")
+        schema.relate("Owns", acme, alice)
+        schema.delete(acme)
+        assert alice.deleted
+
+    def test_cascade_false_blocks(self, schema):
+        acme = schema.create("Company", title="ACME")
+        alice = schema.create("Person", name="Alice")
+        schema.relate("Owns", acme, alice)
+        with pytest.raises(SchemaError):
+            schema.delete(acme, cascade=False)
+        assert not acme.deleted
+        assert not alice.deleted
+
+    def test_deleting_part_spares_whole(self, schema):
+        acme = schema.create("Company", title="ACME")
+        alice = schema.create("Person", name="Alice")
+        schema.relate("Owns", acme, alice)
+        schema.delete(alice)
+        assert not acme.deleted
+        assert acme.related("Owns") == []
+
+    def test_transitive_cascade(self):
+        schema = Schema()
+        schema.define_class("N", [Attribute("v", T.INTEGER)])
+        schema.define_relationship(
+            "Has",
+            "N",
+            "N",
+            semantics=RelationshipSemantics(
+                kind=RelKind.AGGREGATION,
+                exclusive=True,
+                lifetime_dependent=True,
+            ),
+        )
+        a, b, c = (schema.create("N", v=i) for i in range(3))
+        schema.relate("Has", a, b)
+        schema.relate("Has", b, c)
+        schema.delete(a)
+        assert b.deleted and c.deleted
+
+
+class TestRolesAttributeInheritance:
+    """§4.4.5: objects acquire attributes through relationships (ADAM)."""
+
+    def _wedding_schema(self) -> Schema:
+        schema = Schema()
+        schema.define_class("Citizen", [Attribute("name", T.STRING)])
+        schema.define_relationship(
+            "Marriage",
+            "Citizen",
+            "Citizen",
+            semantics=RelationshipSemantics(
+                inherited_attributes=("wedding_date",)
+            ),
+            attributes=[
+                Attribute("wedding_date", T.STRING),
+                Attribute("location", T.STRING),
+            ],
+        )
+        return schema
+
+    def test_both_endpoints_acquire_role_attribute(self):
+        schema = self._wedding_schema()
+        a = schema.create("Citizen", name="A")
+        b = schema.create("Citizen", name="B")
+        schema.relate("Marriage", a, b, wedding_date="1999-07-01", location="x")
+        assert a.get("wedding_date") == "1999-07-01"
+        assert b.get("wedding_date") == "1999-07-01"
+
+    def test_non_inherited_attribute_not_acquired(self):
+        schema = self._wedding_schema()
+        a = schema.create("Citizen", name="A")
+        b = schema.create("Citizen", name="B")
+        schema.relate("Marriage", a, b, location="Paris")
+        from repro.errors import AttributeUnknownError
+
+        with pytest.raises(AttributeUnknownError):
+            a.get("location")
+
+    def test_role_lost_when_unrelated(self):
+        schema = self._wedding_schema()
+        a = schema.create("Citizen", name="A")
+        b = schema.create("Citizen", name="B")
+        rel = schema.relate("Marriage", a, b, wedding_date="d")
+        schema.unrelate(rel)
+        from repro.errors import AttributeUnknownError
+
+        with pytest.raises(AttributeUnknownError):
+            a.get("wedding_date")
+
+    def test_roles_of(self):
+        schema = self._wedding_schema()
+        a = schema.create("Citizen", name="A")
+        b = schema.create("Citizen", name="B")
+        schema.relate("Marriage", a, b, wedding_date="d")
+        assert schema.relationships.roles_of(a) == {"wedding_date": "d"}
+
+
+class TestRegistryQueries:
+    def test_polymorphic_relationship_query(self):
+        schema = Schema()
+        schema.define_class("N")
+        schema.define_relationship("Base", "N", "N")
+        schema.define_relationship("Derived", "N", "N", superclasses=("Base",))
+        a, b = schema.create("N"), schema.create("N")
+        schema.relate("Derived", a, b)
+        assert len(schema.relationships.instances_of("Base")) == 1
+        assert len(schema.relationships.instances_of("Base", polymorphic=False)) == 0
+        assert len(a.outgoing("Base")) == 1
+
+    def test_relationship_inheritance_requires_rel_superclass(self):
+        schema = Schema()
+        schema.define_class("N")
+        with pytest.raises(SchemaError):
+            schema.define_relationship("R", "N", "N", superclasses=("N",))
+
+    def test_plain_class_cannot_extend_relationship(self):
+        schema = Schema()
+        schema.define_class("N")
+        schema.define_relationship("R", "N", "N")
+        from repro.core.classes import PClass
+
+        with pytest.raises(SchemaError):
+            schema.register_class(PClass("X", superclasses=("R",)))
+
+    def test_count(self, schema):
+        alice = schema.create("Person", name="A")
+        acme = schema.create("Company", title="C")
+        schema.relate("WorksFor", alice, acme)
+        assert schema.relationships.count("WorksFor") == 1
+        assert schema.relationships.count() == 1

@@ -1,0 +1,134 @@
+"""Table 3: allowed combinations of relationship behaviours.
+
+Running this module with ``-s`` prints the full reproduced table.
+"""
+
+import pytest
+
+from repro.core.semantics import (
+    Behaviour,
+    Cardinality,
+    CombinationRow,
+    RelKind,
+    RelationshipSemantics,
+    UNBOUNDED,
+    allowed_combinations,
+    combination_problem,
+    format_table3,
+)
+from repro.errors import SemanticsError
+
+
+class TestCombinationMatrix:
+    def test_exclusive_and_shareable_contradict(self):
+        assert combination_problem(
+            RelKind.AGGREGATION, exclusive=True, shareable=True,
+            lifetime_dependent=False,
+        )
+
+    def test_exclusive_requires_aggregation(self):
+        assert combination_problem(
+            RelKind.ASSOCIATION, exclusive=True, shareable=False,
+            lifetime_dependent=False,
+        )
+
+    def test_lifetime_requires_aggregation(self):
+        assert combination_problem(
+            RelKind.ASSOCIATION, exclusive=False, shareable=False,
+            lifetime_dependent=True,
+        )
+
+    def test_shareable_lifetime_contradict(self):
+        assert combination_problem(
+            RelKind.AGGREGATION, exclusive=False, shareable=True,
+            lifetime_dependent=True,
+        )
+
+    def test_plain_association_allowed(self):
+        assert combination_problem(
+            RelKind.ASSOCIATION, exclusive=False, shareable=True,
+            lifetime_dependent=False,
+        ) is None
+
+    def test_exclusive_dependent_aggregation_allowed(self):
+        assert combination_problem(
+            RelKind.AGGREGATION, exclusive=True, shareable=False,
+            lifetime_dependent=True,
+        ) is None
+
+    def test_table_is_exhaustive(self):
+        rows = list(allowed_combinations())
+        # 2 kinds × 2^4 flags
+        assert len(rows) == 32
+        assert all(isinstance(r, CombinationRow) for r in rows)
+
+    def test_constant_never_affects_validity(self):
+        by_key = {}
+        for row in allowed_combinations():
+            key = (row.kind, row.exclusive, row.shareable, row.lifetime_dependent)
+            by_key.setdefault(key, set()).add(row.allowed)
+        assert all(len(v) == 1 for v in by_key.values())
+
+    def test_allowed_count(self):
+        rows = list(allowed_combinations())
+        allowed = [r for r in rows if r.allowed]
+        # Associations: only exclusive=False, dependent=False survive
+        # (2 shareable × 2 constant = 4).  Aggregations: all combos minus
+        # the three contradictions (see combination_problem) = 10.
+        assert len(allowed) == 14
+
+    def test_format_table3_prints_all_rows(self, capsys):
+        text = format_table3()
+        print(text)
+        assert len(text.splitlines()) == 34  # header + rule + 32 rows
+        assert "contradictory" in text
+
+
+class TestSemanticsValidation:
+    def test_invalid_combination_rejected_at_declaration(self):
+        with pytest.raises(SemanticsError):
+            RelationshipSemantics(exclusive=True)  # association default
+
+    def test_exclusivity_group_requires_exclusive(self):
+        with pytest.raises(SemanticsError):
+            RelationshipSemantics(exclusivity_group="g")
+
+    def test_exclusive_implies_max_in_one(self):
+        sem = RelationshipSemantics(
+            kind=RelKind.AGGREGATION, exclusive=True
+        )
+        assert sem.effective_max_in == 1
+
+    def test_exclusive_conflicting_max_in_rejected(self):
+        with pytest.raises(SemanticsError):
+            RelationshipSemantics(
+                kind=RelKind.AGGREGATION,
+                exclusive=True,
+                cardinality=Cardinality(max_in=5),
+            )
+
+    def test_cardinality_bounds_validated(self):
+        with pytest.raises(SemanticsError):
+            Cardinality(min_out=3, max_out=2)
+        with pytest.raises(SemanticsError):
+            Cardinality(min_in=-1)
+
+    def test_cardinality_presets(self):
+        assert Cardinality.one_to_many().max_in == 1
+        assert Cardinality.one_to_one().max_out == 1
+        assert Cardinality.many_to_many().max_out == UNBOUNDED
+
+    def test_behaviours_listing(self):
+        sem = RelationshipSemantics(
+            kind=RelKind.AGGREGATION,
+            exclusive=True,
+            lifetime_dependent=True,
+            constant=True,
+            inherited_attributes=("x",),
+        )
+        assert sem.behaviours() == {
+            Behaviour.EXCLUSIVE,
+            Behaviour.LIFETIME_DEPENDENT,
+            Behaviour.CONSTANT,
+            Behaviour.ATTRIBUTE_INHERITANCE,
+        }

@@ -1,0 +1,131 @@
+"""Record serialization: round-trips, edge cases, corruption."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.identity import OidRef
+from repro.errors import SerializationError
+from repro.storage.serialization import decode_record, encode_record
+
+
+class TestRoundTrips:
+    def test_empty_record(self):
+        assert decode_record(encode_record({})) == {}
+
+    def test_scalars(self):
+        record = {
+            "none": None,
+            "true": True,
+            "false": False,
+            "int": 42,
+            "neg": -17,
+            "big": 2**100,
+            "negbig": -(2**100),
+            "float": 3.14159,
+            "str": "Apium graveolens",
+            "unicode": "ὗς — ŭrsus 植物",
+            "bytes": b"\x00\xff\x7f",
+        }
+        assert decode_record(encode_record(record)) == record
+
+    def test_containers(self):
+        record = {
+            "list": [1, "two", None, [3, 4]],
+            "tuple": (1, 2),
+            "dict": {"nested": {"deep": [True]}},
+        }
+        decoded = decode_record(encode_record(record))
+        assert decoded["list"] == [1, "two", None, [3, 4]]
+        assert decoded["tuple"] == (1, 2)
+        assert decoded["dict"] == {"nested": {"deep": [True]}}
+
+    def test_tuple_preserved_as_tuple(self):
+        decoded = decode_record(encode_record({"t": (1, (2, 3))}))
+        assert decoded["t"] == (1, (2, 3))
+        assert isinstance(decoded["t"], tuple)
+
+    def test_oid_refs(self):
+        record = {"ref": OidRef(12345), "null_ref": OidRef(0)}
+        decoded = decode_record(encode_record(record))
+        assert decoded["ref"] == OidRef(12345)
+        assert decoded["null_ref"] == OidRef(0)
+
+    def test_dates(self):
+        record = {
+            "date": dt.date(1753, 5, 1),
+            "datetime": dt.datetime(2000, 1, 2, 3, 4, 5, 678),
+        }
+        decoded = decode_record(encode_record(record))
+        assert decoded == record
+        assert isinstance(decoded["date"], dt.date)
+        assert not isinstance(decoded["date"], dt.datetime)
+
+    def test_float_precision(self):
+        for value in (0.0, -0.0, 1e-300, 1e300, float("inf"), -float("inf")):
+            assert decode_record(encode_record({"f": value}))["f"] == value
+
+    def test_nan(self):
+        decoded = decode_record(encode_record({"f": float("nan")}))
+        assert decoded["f"] != decoded["f"]
+
+    def test_bool_not_confused_with_int(self):
+        decoded = decode_record(encode_record({"b": True, "i": 1}))
+        assert decoded["b"] is True
+        assert decoded["i"] == 1
+        assert not isinstance(decoded["i"], bool)
+
+
+class TestErrors:
+    def test_non_dict_top_level(self):
+        with pytest.raises(SerializationError):
+            encode_record([1, 2])  # type: ignore[arg-type]
+
+    def test_unstorable_type(self):
+        with pytest.raises(SerializationError):
+            encode_record({"x": object()})
+
+    def test_non_string_keys(self):
+        with pytest.raises(SerializationError):
+            encode_record({1: "x"})  # type: ignore[dict-item]
+
+    def test_truncated_data(self):
+        data = encode_record({"key": "value"})
+        with pytest.raises(SerializationError):
+            decode_record(data[: len(data) // 2])
+
+    def test_trailing_garbage(self):
+        data = encode_record({"key": "value"})
+        with pytest.raises(SerializationError):
+            decode_record(data + b"\x00")
+
+    def test_unknown_tag(self):
+        with pytest.raises(SerializationError):
+            decode_record(b"\xfe")
+
+
+# Storable-value strategy for property-based round-trips.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+    st.builds(OidRef, st.integers(min_value=0, max_value=2**40)),
+    st.dates(),
+)
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@given(st.dictionaries(st.text(max_size=10), _values, max_size=6))
+def test_property_roundtrip(record):
+    assert decode_record(encode_record(record)) == record

@@ -1,0 +1,213 @@
+"""Object store: transactions, durability, recovery, compaction."""
+
+import pytest
+
+from repro.errors import TransactionError, UnknownOidError
+from repro.storage.store import ObjectStore
+
+
+class TestAutocommit:
+    def test_insert_and_read(self, store):
+        oid = store.insert({"name": "Apium"})
+        assert store.read(oid) == {"name": "Apium"}
+
+    def test_read_returns_fresh_copy(self, store):
+        oid = store.insert({"tags": ["a"]})
+        first = store.read(oid)
+        first["tags"].append("mutated")
+        assert store.read(oid) == {"tags": ["a"]}
+
+    def test_overwrite(self, store):
+        oid = store.insert({"v": 1})
+        store.put(oid, {"v": 2})
+        assert store.read(oid) == {"v": 2}
+
+    def test_remove(self, store):
+        oid = store.insert({"v": 1})
+        store.remove(oid)
+        with pytest.raises(UnknownOidError):
+            store.read(oid)
+        assert oid not in store
+
+    def test_unknown_oid(self, store):
+        with pytest.raises(UnknownOidError):
+            store.read(424242)
+
+    def test_len_and_contains(self, store):
+        oids = [store.insert({"i": i}) for i in range(5)]
+        assert len(store) == 5
+        assert all(oid in store for oid in oids)
+
+
+class TestTransactions:
+    def test_commit_applies(self, store):
+        with store.begin() as txn:
+            oid = store.new_oid()
+            txn.write(oid, {"v": 1})
+        assert store.read(oid) == {"v": 1}
+
+    def test_abort_discards(self, store):
+        txn = store.begin()
+        oid = store.new_oid()
+        txn.write(oid, {"v": 1})
+        txn.abort()
+        assert oid not in store
+
+    def test_exception_in_context_aborts(self, store):
+        oid = store.new_oid()
+        with pytest.raises(RuntimeError):
+            with store.begin() as txn:
+                txn.write(oid, {"v": 1})
+                raise RuntimeError("boom")
+        assert oid not in store
+
+    def test_read_your_writes(self, store):
+        with store.begin() as txn:
+            oid = store.new_oid()
+            txn.write(oid, {"v": 1})
+            assert txn.read(oid) == {"v": 1}
+            txn.write(oid, {"v": 2})
+            assert txn.read(oid) == {"v": 2}
+
+    def test_read_your_deletes(self, store):
+        oid = store.insert({"v": 1})
+        with store.begin() as txn:
+            txn.delete(oid)
+            with pytest.raises(UnknownOidError):
+                txn.read(oid)
+
+    def test_uncommitted_invisible_to_store_reads(self, store):
+        txn = store.begin()
+        oid = store.new_oid()
+        txn.write(oid, {"v": 1})
+        assert oid not in store
+        txn.commit()
+        assert oid in store
+
+    def test_single_active_transaction(self, store):
+        txn = store.begin()
+        with pytest.raises(TransactionError):
+            store.begin()
+        txn.abort()
+        store.begin().commit()
+
+    def test_finished_transaction_rejects_ops(self, store):
+        txn = store.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.write(1, {})
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_delete_unknown_raises(self, store):
+        with store.begin() as txn:
+            with pytest.raises(UnknownOidError):
+                txn.delete(999)
+            txn.abort()
+
+    def test_delete_then_rewrite_in_txn(self, store):
+        oid = store.insert({"v": 1})
+        with store.begin() as txn:
+            txn.delete(oid)
+            txn.write(oid, {"v": 2})
+        assert store.read(oid) == {"v": 2}
+
+
+class TestRecovery:
+    def test_reopen_sees_committed_state(self, tmp_path):
+        path = tmp_path / "r.plog"
+        with ObjectStore(path) as store:
+            a = store.insert({"name": "a"})
+            b = store.insert({"name": "b"})
+            store.remove(a)
+        with ObjectStore(path) as store:
+            assert a not in store
+            assert store.read(b) == {"name": "b"}
+
+    def test_uncommitted_tail_ignored_on_reopen(self, tmp_path):
+        path = tmp_path / "r.plog"
+        store = ObjectStore(path)
+        committed = store.insert({"ok": True})
+        txn = store.begin()
+        pending = store.new_oid()
+        txn.write(pending, {"ok": False})
+        store._log.flush()  # data is on disk, commit marker is not
+        store._log._file.close()  # simulate crash without close()
+        with ObjectStore(path) as again:
+            assert committed in again
+            assert pending not in again
+
+    def test_oids_not_reused_after_reopen(self, tmp_path):
+        path = tmp_path / "r.plog"
+        with ObjectStore(path) as store:
+            oids = [store.insert({"i": i}) for i in range(10)]
+        with ObjectStore(path) as store:
+            assert store.new_oid() > max(oids)
+
+    def test_overwrite_survives_reopen(self, tmp_path):
+        path = tmp_path / "r.plog"
+        with ObjectStore(path) as store:
+            oid = store.insert({"v": 1})
+            store.put(oid, {"v": 2})
+        with ObjectStore(path) as store:
+            assert store.read(oid) == {"v": 2}
+
+
+class TestCompaction:
+    def test_compaction_shrinks_and_preserves(self, tmp_path):
+        path = tmp_path / "c.plog"
+        with ObjectStore(path) as store:
+            oid = store.insert({"v": 0})
+            for i in range(100):
+                store.put(oid, {"v": i})
+            before = store.file_size
+            store.compact()
+            after = store.file_size
+            assert after < before
+            assert store.read(oid) == {"v": 99}
+        with ObjectStore(path) as store:
+            assert store.read(oid) == {"v": 99}
+
+    def test_compaction_drops_aborted_writes(self, tmp_path):
+        path = tmp_path / "c.plog"
+        with ObjectStore(path) as store:
+            keep = store.insert({"keep": True})
+            txn = store.begin()
+            txn.write(store.new_oid(), {"junk": "x" * 1000})
+            txn.abort()
+            store.compact()
+            assert store.read(keep) == {"keep": True}
+            assert len(store) == 1
+
+    def test_compaction_rejected_in_transaction(self, store):
+        txn = store.begin()
+        with pytest.raises(TransactionError):
+            store.compact()
+        txn.abort()
+
+
+class TestStats:
+    def test_counters(self, store):
+        oid = store.insert({"v": 1})
+        store.read(oid)
+        store.read(oid)
+        snap = store.stats.snapshot()
+        assert snap["writes"] == 1
+        assert snap["reads"] == 2
+        assert snap["commits"] == 1
+
+    def test_cache_hits(self, store):
+        oid = store.insert({"v": 1})
+        store.read(oid)  # put() cached it already at commit
+        assert store.stats.cache_hits >= 1
+
+    def test_reset(self, store):
+        store.insert({"v": 1})
+        store.reset_stats()
+        assert store.stats.snapshot()["writes"] == 0
+
+    def test_zero_cache_store_still_reads(self, tmp_path):
+        with ObjectStore(tmp_path / "z.plog", cache_size=0) as store:
+            oid = store.insert({"v": 1})
+            assert store.read(oid) == {"v": 1}
+            assert store.stats.cache_hits == 0

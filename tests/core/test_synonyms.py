@@ -1,0 +1,107 @@
+"""Instance synonyms: union-find semantics (§4.5)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.synonyms import SynonymRegistry
+
+
+class TestBasics:
+    def test_unknown_oid_is_own_set(self):
+        reg = SynonymRegistry()
+        assert reg.synonyms_of(7) == {7}
+        assert reg.canonical(7) == 7
+
+    def test_declare_pairs(self):
+        reg = SynonymRegistry()
+        reg.declare(1, 2)
+        assert reg.are_synonyms(1, 2)
+        assert reg.synonyms_of(1) == {1, 2}
+
+    def test_reflexive(self):
+        reg = SynonymRegistry()
+        assert reg.are_synonyms(5, 5)
+
+    def test_transitive_merge(self):
+        reg = SynonymRegistry()
+        reg.declare(1, 2)
+        reg.declare(3, 4)
+        assert not reg.are_synonyms(1, 3)
+        reg.declare(2, 3)
+        assert reg.are_synonyms(1, 4)
+        assert reg.synonyms_of(4) == {1, 2, 3, 4}
+
+    def test_canonical_is_smallest(self):
+        reg = SynonymRegistry()
+        reg.declare(9, 3)
+        reg.declare(3, 7)
+        assert reg.canonical(9) == 3
+
+    def test_declare_all(self):
+        reg = SynonymRegistry()
+        reg.declare_all([5, 6, 7])
+        assert reg.synonyms_of(6) == {5, 6, 7}
+        reg.declare_all([])  # no error
+        reg.declare_all([42])  # singleton: no-op
+        assert reg.synonyms_of(42) == {42}
+
+    def test_sets_lists_only_nontrivial(self):
+        reg = SynonymRegistry()
+        reg.declare(1, 2)
+        assert reg.sets() == [frozenset({1, 2})]
+
+    def test_forget_member(self):
+        reg = SynonymRegistry()
+        reg.declare_all([1, 2, 3])
+        reg.forget(2)
+        assert reg.synonyms_of(2) == {2}
+        assert reg.synonyms_of(1) == {1, 3}
+
+    def test_forget_root(self):
+        reg = SynonymRegistry()
+        reg.declare_all([1, 2, 3])
+        root = reg.canonical(1)
+        reg.forget(root)
+        rest = {1, 2, 3} - {root}
+        assert reg.synonyms_of(next(iter(rest))) == rest
+
+    def test_forget_until_empty(self):
+        reg = SynonymRegistry()
+        reg.declare(1, 2)
+        reg.forget(1)
+        reg.forget(2)
+        assert reg.sets() == []
+
+    def test_storable_roundtrip(self):
+        reg = SynonymRegistry()
+        reg.declare_all([1, 2, 3])
+        reg.declare(10, 11)
+        data = reg.to_storable()
+        fresh = SynonymRegistry()
+        fresh.load_storable(data)
+        assert fresh.synonyms_of(2) == {1, 2, 3}
+        assert fresh.are_synonyms(10, 11)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=30),
+            st.integers(min_value=1, max_value=30),
+        ),
+        max_size=40,
+    )
+)
+def test_property_equivalence_relation(pairs):
+    """declare() maintains a partition: symmetric, transitive, consistent."""
+    reg = SynonymRegistry()
+    for a, b in pairs:
+        reg.declare(a, b)
+    seen = set(x for pair in pairs for x in pair)
+    for x in seen:
+        members = reg.synonyms_of(x)
+        assert x in members
+        for y in members:
+            # symmetry + shared set
+            assert reg.are_synonyms(y, x)
+            assert reg.synonyms_of(y) == members
+            assert reg.canonical(y) == min(members)

@@ -1,0 +1,120 @@
+"""Relationship templates (Figure 34)."""
+
+import pytest
+
+from repro.core.attributes import Attribute
+from repro.core.schema import Schema
+from repro.core.semantics import RelKind
+from repro.core.templates import (
+    CLASSIFICATION_EDGE,
+    COMPOSITION,
+    IMMUTABLE_LINK,
+    TEMPLATES,
+    get_template,
+    relationship_from_template,
+)
+from repro.core import types as T
+from repro.errors import (
+    ConstancyError,
+    ExclusivityError,
+    SchemaError,
+    SemanticsError,
+)
+
+
+@pytest.fixture
+def schema():
+    s = Schema()
+    s.define_class("Part", [Attribute("label", T.STRING)])
+    return s
+
+
+class TestCatalogue:
+    def test_all_templates_registered(self):
+        assert set(TEMPLATES) == {
+            "composition", "shared-aggregation", "classification-edge",
+            "association", "immutable-link", "role-grant",
+        }
+
+    def test_get_unknown(self):
+        with pytest.raises(SchemaError, match="available"):
+            get_template("wormhole")
+
+    def test_templates_are_documented(self):
+        assert all(t.doc for t in TEMPLATES.values())
+
+
+class TestStamping:
+    def test_composition_behaviour(self, schema):
+        schema.register_class(
+            COMPOSITION.build("Contains", "Part", "Part")
+        )
+        whole = schema.create("Part", label="whole")
+        part = schema.create("Part", label="part")
+        other = schema.create("Part", label="other")
+        schema.relate("Contains", whole, part)
+        with pytest.raises(ExclusivityError):
+            schema.relate("Contains", other, part)
+        schema.delete(whole)
+        assert part.deleted  # lifetime dependency from the template
+
+    def test_immutable_link(self, schema):
+        schema.register_class(
+            IMMUTABLE_LINK.build("SerialOf", "Part", "Part")
+        )
+        a, b = schema.create("Part"), schema.create("Part")
+        rel = schema.relate("SerialOf", a, b)
+        with pytest.raises(ConstancyError):
+            schema.unrelate(rel)
+
+    def test_by_name_with_attributes(self, schema):
+        relclass = relationship_from_template(
+            "classification-edge",
+            "PlacedIn",
+            "Part",
+            "Part",
+            attributes=[Attribute("motivation", T.STRING)],
+        )
+        schema.register_class(relclass)
+        a, b = schema.create("Part"), schema.create("Part")
+        edge = schema.relate("PlacedIn", a, b, motivation="why not")
+        assert edge.get("motivation") == "why not"
+        assert "classification-edge" in relclass.doc
+
+    def test_override_cardinality(self, schema):
+        relclass = CLASSIFICATION_EDGE.build(
+            "SingleChild", "Part", "Part", max_out=1
+        )
+        schema.register_class(relclass)
+        a, b, c = (schema.create("Part") for _ in range(3))
+        schema.relate("SingleChild", a, b)
+        from repro.errors import CardinalityError
+
+        with pytest.raises(CardinalityError):
+            schema.relate("SingleChild", a, c)
+
+    def test_override_semantics_field(self, schema):
+        relclass = relationship_from_template(
+            "role-grant",
+            "Marries",
+            "Part",
+            "Part",
+            attributes=[Attribute("date", T.STRING)],
+            inherited_attributes=("date",),
+        )
+        schema.register_class(relclass)
+        a, b = schema.create("Part"), schema.create("Part")
+        schema.relate("Marries", a, b, date="1999")
+        assert a.get("date") == "1999"
+
+    def test_invalid_override_rejected_by_table3(self, schema):
+        with pytest.raises(SemanticsError):
+            relationship_from_template(
+                "association", "Bad", "Part", "Part", exclusive=True
+            )
+
+    def test_template_instance_unmodified_by_overrides(self):
+        before = COMPOSITION.semantics
+        COMPOSITION.build("X", "A", "B", constant=True)
+        assert COMPOSITION.semantics == before
+        assert COMPOSITION.semantics.constant is False

@@ -1,0 +1,150 @@
+"""Type system: validation, storable conversion, strictness."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core import types as T
+from repro.core.collections import PDict, PList, PSet
+from repro.core.identity import OidRef
+from repro.errors import TypeCheckError
+
+
+class TestAtomicTypes:
+    def test_integer_accepts_int(self):
+        T.INTEGER.validate(42)
+        T.INTEGER.validate(None)
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeCheckError):
+            T.INTEGER.validate(True)
+
+    def test_integer_rejects_float(self):
+        with pytest.raises(TypeCheckError):
+            T.INTEGER.validate(1.5)
+
+    def test_float_accepts_int_and_float(self):
+        T.FLOAT.validate(1)
+        T.FLOAT.validate(1.5)
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeCheckError):
+            T.FLOAT.validate(False)
+
+    def test_float_to_storable_coerces(self):
+        assert T.FLOAT.to_storable(1) == 1.0
+        assert isinstance(T.FLOAT.to_storable(1), float)
+        assert T.FLOAT.to_storable(None) is None
+
+    def test_string(self):
+        T.STRING.validate("hello")
+        with pytest.raises(TypeCheckError):
+            T.STRING.validate(42)
+
+    def test_boolean(self):
+        T.BOOLEAN.validate(True)
+        with pytest.raises(TypeCheckError):
+            T.BOOLEAN.validate(1)
+
+    def test_date_rejects_datetime(self):
+        T.DATE.validate(dt.date(2000, 1, 1))
+        with pytest.raises(TypeCheckError):
+            T.DATE.validate(dt.datetime(2000, 1, 1))
+
+    def test_datetime(self):
+        T.DATETIME.validate(dt.datetime(2000, 1, 1, 12))
+        with pytest.raises(TypeCheckError):
+            T.DATETIME.validate(dt.date(2000, 1, 1))
+
+    def test_any_accepts_everything(self):
+        T.ANY.validate(object())
+
+    def test_equality(self):
+        assert T.IntegerType() == T.INTEGER
+        assert T.IntegerType() != T.FLOAT
+
+
+class TestRefType:
+    def test_accepts_none_and_oidref(self):
+        ref = T.ref("Person")
+        ref.validate(None)
+        ref.validate(OidRef(7))
+
+    def test_rejects_plain_int(self):
+        with pytest.raises(TypeCheckError):
+            T.ref("Person").validate(7)
+
+    def test_to_storable_none_becomes_null_ref(self):
+        stored = T.ref("Person").to_storable(None)
+        assert stored == OidRef(0)
+
+    def test_class_conformance(self, schema):
+        alice = schema.create("Employee", name="Alice")
+        company = schema.create("Company", title="ACME")
+        ref = T.ref("Person")
+        ref.validate_against(alice, schema)  # Employee is-a Person
+        with pytest.raises(TypeCheckError):
+            ref.validate_against(company, schema)
+
+    def test_from_storable_resolves(self, schema):
+        alice = schema.create("Person", name="Alice")
+        ref = T.ref("Person")
+        assert ref.from_storable(OidRef(alice.oid), schema) == alice
+        assert ref.from_storable(OidRef(0), schema) is None
+
+    def test_equality(self):
+        assert T.ref("A") == T.ref("A")
+        assert T.ref("A") != T.ref("B")
+
+
+class TestCollectionTypes:
+    def test_set_of_strings(self):
+        spec = T.set_of(T.STRING)
+        spec.validate({"a", "b"})
+        spec.validate(PSet(["a"]))
+        with pytest.raises(TypeCheckError):
+            spec.validate({1})
+
+    def test_list_roundtrip(self):
+        spec = T.list_of(T.INTEGER)
+        stored = spec.to_storable(PList([1, 2, 3]))
+        live = spec.from_storable(stored)
+        assert live == [1, 2, 3]
+        assert isinstance(live, PList)
+
+    def test_set_roundtrip(self):
+        spec = T.set_of(T.STRING)
+        stored = spec.to_storable({"x", "y"})
+        live = spec.from_storable(stored)
+        assert live == {"x", "y"}
+        assert isinstance(live, PSet)
+
+    def test_dict_roundtrip(self):
+        spec = T.dict_of(T.INTEGER)
+        stored = spec.to_storable(PDict({"a": 1}))
+        live = spec.from_storable(stored)
+        assert live == {"a": 1}
+        assert isinstance(live, PDict)
+
+    def test_bag_allows_duplicates(self):
+        spec = T.bag_of(T.INTEGER)
+        stored = spec.to_storable([1, 1, 2])
+        live = spec.from_storable(stored)
+        assert sorted(live) == [1, 1, 2]
+
+    def test_none_passes(self):
+        T.set_of(T.STRING).validate(None)
+        assert T.set_of(T.STRING).to_storable(None) is None
+        assert T.set_of(T.STRING).from_storable(None) is None
+
+    def test_wrong_container_kind(self):
+        with pytest.raises(TypeCheckError):
+            T.set_of(T.STRING).validate({"a": 1})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TypeCheckError):
+            T.CollectionTypeSpec("stack", T.STRING)
+
+    def test_name(self):
+        assert T.set_of(T.STRING).name == "set<string>"
+        assert T.ref("Taxon").name == "ref<Taxon>"

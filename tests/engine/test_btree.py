@@ -1,0 +1,144 @@
+"""B-tree: correctness, invariants, model-based property tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.btree import BTree
+
+
+class TestBasics:
+    def test_insert_get(self):
+        tree = BTree(min_degree=2)
+        tree.insert("b", 1)
+        tree.insert("a", 2)
+        assert tree.get("a") == {2}
+        assert tree.get("b") == {1}
+        assert tree.get("c") == frozenset()
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BTree(min_degree=2)
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        tree.insert("k", 1)  # same pair: no-op
+        assert tree.get("k") == {1, 2}
+        assert len(tree) == 2
+
+    def test_contains(self):
+        tree = BTree(min_degree=2)
+        tree.insert(5, 1)
+        assert 5 in tree
+        assert 6 not in tree
+
+    def test_min_degree_validation(self):
+        with pytest.raises(ValueError):
+            BTree(min_degree=1)
+
+    def test_many_inserts_force_splits(self):
+        tree = BTree(min_degree=2)
+        for i in range(500):
+            tree.insert(i, i * 10)
+        tree.check_invariants()
+        assert len(tree) == 500
+        for i in range(500):
+            assert tree.get(i) == {i * 10}
+
+    def test_sorted_iteration(self):
+        tree = BTree(min_degree=2)
+        keys = random.Random(1).sample(range(1000), 200)
+        for k in keys:
+            tree.insert(k, k)
+        assert list(tree.keys()) == sorted(keys)
+
+    def test_remove(self):
+        tree = BTree(min_degree=2)
+        for i in range(100):
+            tree.insert(i, i)
+        for i in range(0, 100, 2):
+            assert tree.remove(i, i)
+        tree.check_invariants()
+        assert list(tree.keys()) == list(range(1, 100, 2))
+
+    def test_remove_one_of_duplicates(self):
+        tree = BTree(min_degree=2)
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        tree.remove("k", 1)
+        assert tree.get("k") == {2}
+        assert "k" in tree
+
+    def test_remove_absent_pair(self):
+        tree = BTree(min_degree=2)
+        tree.insert("k", 1)
+        assert not tree.remove("k", 99)
+        assert not tree.remove("missing", 1)
+
+    def test_remove_everything(self):
+        tree = BTree(min_degree=2)
+        keys = random.Random(7).sample(range(200), 100)
+        for k in keys:
+            tree.insert(k, k)
+        random.Random(8).shuffle(keys)
+        for k in keys:
+            assert tree.remove(k, k)
+            tree.check_invariants()
+        assert len(tree) == 0
+        assert list(tree.keys()) == []
+
+
+class TestRange:
+    @pytest.fixture
+    def tree(self):
+        tree = BTree(min_degree=3)
+        for i in range(0, 100, 5):
+            tree.insert(i, i)
+        return tree
+
+    def test_closed_range(self, tree):
+        keys = [k for k, _ in tree.range(10, 30)]
+        assert keys == [10, 15, 20, 25, 30]
+
+    def test_open_bounds(self, tree):
+        keys = [k for k, _ in tree.range(10, 30, include_low=False,
+                                         include_high=False)]
+        assert keys == [15, 20, 25]
+
+    def test_unbounded(self, tree):
+        assert len(list(tree.range())) == 20
+        assert [k for k, _ in tree.range(low=90)] == [90, 95]
+        assert [k for k, _ in tree.range(high=5)] == [0, 5]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["ins", "del"]),
+            st.integers(min_value=0, max_value=50),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=150,
+    ),
+    st.integers(min_value=2, max_value=5),
+)
+def test_property_model_based(operations, degree):
+    """The tree behaves exactly like a dict[key, set[oid]] model."""
+    tree = BTree(min_degree=degree)
+    model: dict[int, set[int]] = {}
+    for op, key, oid in operations:
+        if op == "ins":
+            tree.insert(key, oid)
+            model.setdefault(key, set()).add(oid)
+        else:
+            expected = key in model and oid in model[key]
+            assert tree.remove(key, oid) == expected
+            if expected:
+                model[key].discard(oid)
+                if not model[key]:
+                    del model[key]
+    tree.check_invariants()
+    assert list(tree.keys()) == sorted(model)
+    for key, oids in model.items():
+        assert tree.get(key) == oids
+    assert len(tree) == sum(len(v) for v in model.values())

@@ -1,0 +1,165 @@
+"""The command-line shell."""
+
+import io
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import Shell, format_result, format_value, main
+from repro.engine import PrometheusDB
+from repro.taxonomy import build_apium_scenario, define_taxonomy_schema
+from repro.taxonomy.model import TaxonomyDatabase
+
+
+@pytest.fixture
+def shell_and_out():
+    db = PrometheusDB()
+    taxdb = TaxonomyDatabase.over_engine(db)
+    build_apium_scenario(taxdb)
+    out = io.StringIO()
+    return Shell(db, out=out), out
+
+
+def run(shell, out, line):
+    out.truncate(0)
+    out.seek(0)
+    shell.execute(line)
+    return out.getvalue()
+
+
+class TestShell:
+    def test_pool_query(self, shell_and_out):
+        shell, out = shell_and_out
+        text = run(shell, out, "select count(s) from s in Specimen")
+        assert "3" in text
+
+    def test_query_error_reported(self, shell_and_out):
+        shell, out = shell_and_out
+        text = run(shell, out, "select x from x in Nowhere")
+        assert text.startswith("error:")
+
+    def test_schema_command(self, shell_and_out):
+        shell, out = shell_and_out
+        text = run(shell, out, ".schema")
+        assert "Specimen" in text
+        assert "relationship" in text
+
+    def test_class_command(self, shell_and_out):
+        shell, out = shell_and_out
+        text = run(shell, out, ".class NomenclaturalTaxon")
+        assert "epithet" in text
+        text = run(shell, out, ".class Nope")
+        assert "error" in text
+        text = run(shell, out, ".class")
+        assert "usage" in text
+
+    def test_classifications_command(self, shell_and_out):
+        shell, out = shell_and_out
+        text = run(shell, out, ".classifications")
+        assert "Raguenaud revision" in text
+
+    def test_commit_abort(self, shell_and_out):
+        shell, out = shell_and_out
+        assert "committed" in run(shell, out, ".commit")
+        assert "aborted" in run(shell, out, ".abort")
+
+    def test_integrity(self, shell_and_out):
+        shell, out = shell_and_out
+        assert run(shell, out, ".integrity").strip() == "ok"
+
+    def test_unknown_command(self, shell_and_out):
+        shell, out = shell_and_out
+        assert "unknown command" in run(shell, out, ".frobnicate")
+
+    def test_help_and_quit(self, shell_and_out):
+        shell, out = shell_and_out
+        assert "commands" in run(shell, out, ".help")
+        run(shell, out, ".quit")
+        assert not shell.running
+
+    def test_comments_and_blank_lines_ignored(self, shell_and_out):
+        shell, out = shell_and_out
+        assert run(shell, out, "") == ""
+        assert run(shell, out, "-- a comment") == ""
+
+
+class TestFormatting:
+    def test_format_object(self, shell_and_out):
+        shell, _ = shell_and_out
+        specimen = shell.db.schema.extent("Specimen")[0]
+        text = format_value(specimen)
+        assert text.startswith("<Specimen #")
+
+    def test_format_relationship(self, shell_and_out):
+        shell, _ = shell_and_out
+        rel = shell.db.schema.relationships.instances_of("HasType")[0]
+        assert "->" in format_value(rel)
+
+    def test_format_rows(self):
+        assert format_result([]) == "(empty)"
+        assert "2 rows" in format_result([1, 2])
+        assert "1 row" in format_result(["only"])
+
+
+class TestBatchMode:
+    def test_execute_flag(self, tmp_path, capsys):
+        out = io.StringIO()
+        code = main(
+            ["--db", str(tmp_path / "cli.plog"), "--taxonomy",
+             "-e", "select count(s) from s in Specimen"],
+            out=out,
+        )
+        assert code == 0
+        assert "0" in out.getvalue()
+
+    def test_subprocess_entry_point(self, tmp_path):
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro",
+                "--db", str(tmp_path / "sub.plog"), "--taxonomy",
+                "-e", ".schema",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "Specimen" in result.stdout
+
+    def test_persisted_data_readable_by_cli(self, tmp_path):
+        path = tmp_path / "data.plog"
+        from repro.storage.store import ObjectStore
+
+        store = ObjectStore(path)
+        taxdb = TaxonomyDatabase(store)
+        taxdb.publish_name("Apium", "Genus", author="L.", year=1753)
+        taxdb.commit()
+        store.close()
+
+        out = io.StringIO()
+        code = main(
+            ["--db", str(path), "--taxonomy",
+             "-e", "select n.epithet from n in NomenclaturalTaxon"],
+            out=out,
+        )
+        assert code == 0
+        assert "Apium" in out.getvalue()
+
+
+class TestOdlSchemaFlag:
+    def test_schema_file_loaded(self, tmp_path):
+        odl = tmp_path / "lib.odl"
+        odl.write_text(
+            'class Book { attribute string title required; };\n'
+            'relationship Cites (Book -> Book) { kind association; };\n'
+        )
+        out = io.StringIO()
+        code = main(
+            ["--db", str(tmp_path / "odl.plog"), "--schema", str(odl),
+             "-e", ".schema"],
+            out=out,
+        )
+        assert code == 0
+        assert "Book" in out.getvalue()
+        assert "Cites" in out.getvalue()

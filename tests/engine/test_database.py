@@ -1,0 +1,188 @@
+"""The assembled PrometheusDB facade."""
+
+import pytest
+
+from repro.core.attributes import Attribute
+from repro.core import types as T
+from repro.engine import PrometheusDB
+from repro.errors import QueryError
+
+
+def declare(db: PrometheusDB) -> None:
+    db.schema.define_class(
+        "Book",
+        [
+            Attribute("title", T.STRING, required=True),
+            Attribute("year", T.INTEGER),
+        ],
+    )
+    db.schema.define_relationship("Cites", "Book", "Book")
+
+
+@pytest.fixture
+def db():
+    database = PrometheusDB()
+    declare(database)
+    return database
+
+
+class TestQueryLayer:
+    def test_query_with_typecheck(self, db):
+        db.schema.create("Book", title="Species Plantarum", year=1753)
+        result = db.query("select b.title from b in Book")
+        assert result == ["Species Plantarum"]
+
+    def test_typecheck_rejects_bad_query(self, db):
+        with pytest.raises(QueryError):
+            db.query("select b.pages from b in Book")
+
+    def test_check_can_be_disabled(self, db):
+        # Evaluation null-semantics tolerates the unknown attribute.
+        db.schema.create("Book", title="x")
+        assert db.query("select b.pages from b in Book", check=False) == [None]
+
+    def test_index_fast_path_used(self, db):
+        db.indexes.create_index("Book", "title")
+        for i in range(10):
+            db.schema.create("Book", title=f"book {i}")
+        plan = db.explain('select b from b in Book where b.title = "book 3"')
+        assert plan.index_used == "Book.title"
+        assert plan.extent_scans == 0
+
+    def test_without_index_scans(self, db):
+        db.schema.create("Book", title="x")
+        plan = db.explain('select b from b in Book where b.title = "x"')
+        assert plan.index_used is None
+        assert plan.extent_scans == 1
+
+    def test_query_params(self, db):
+        db.schema.create("Book", title="a", year=1990)
+        result = db.query(
+            "select b from b in Book where b.year > $y", params={"y": 1980}
+        )
+        assert len(result) == 1
+
+
+class TestLayers:
+    def test_classifications_layer(self, db):
+        c = db.classifications.create("canon")
+        a = db.schema.create("Book", title="a")
+        b = db.schema.create("Book", title="b")
+        c.place("Cites", a, b)
+        assert db.classifications.get("canon").children(a) == [b]
+
+    def test_views_layer(self, db):
+        db.schema.create("Book", title="a", year=2000)
+        db.views.define("modern", "select b from b in Book where b.year > 1990")
+        assert len(db.views.evaluate("modern")) == 1
+
+    def test_trace_layer(self, db):
+        db.trace.record("place", "canon", actor="x")
+        assert len(db.trace) == 1
+
+    def test_describe(self, db):
+        db.indexes.create_index("Book", "title")
+        db.schema.create("Book", title="x")
+        info = db.describe()
+        assert "Book" in info["classes"]
+        assert info["counts"]["Book"] == 1
+        assert info["indexes"] == ["Book.title[hash]"]
+
+    def test_check_integrity_includes_rules(self, db):
+        from repro.rules import Rule, RuleKind, on_create
+
+        db.rules.register(
+            Rule(
+                name="has_year",
+                event=on_create("Book"),
+                condition=lambda ctx: ctx.target.get("year") is not None,
+                kind=RuleKind.INVARIANT,
+                target_class="Book",
+                on_violation=__import__(
+                    "repro.rules", fromlist=["OnViolation"]
+                ).OnViolation.WARN,
+            )
+        )
+        db.schema.create("Book", title="undated")
+        problems = db.check_integrity()
+        assert any("has_year" in p for p in problems)
+
+
+class TestPersistence:
+    def test_full_stack_roundtrip(self, tmp_path):
+        path = tmp_path / "db.plog"
+        with PrometheusDB(path) as db:
+            declare(db)
+            db.load()
+            a = db.schema.create("Book", title="a", year=1900)
+            b = db.schema.create("Book", title="b", year=1950)
+            db.schema.relate("Cites", b, a)
+            c = db.classifications.create("canon")
+            c.add_edge(db.schema.relationships.outgoing(b.oid)[0])
+            db.commit()
+
+        with PrometheusDB(path) as db2:
+            declare(db2)
+            # 2 books + 1 relationship instance
+            assert db2.load() == 3
+            titles = db2.query("select b.title from b in Book order by b.title")
+            assert titles == ["a", "b"]
+            canon = db2.classifications.get("canon")
+            assert len(canon) == 1
+
+    def test_abort_via_facade(self, db):
+        db.schema.create("Book", title="temp")
+        db.abort()
+        assert db.query("select count(b) from b in Book") == [0]
+
+
+class TestOptimizer:
+    """Access-path optimisation (§6.1.5.3)."""
+
+    @pytest.fixture
+    def indexed_db(self):
+        db = PrometheusDB()
+        declare(db)
+        db.indexes.create_index("Book", "title")
+        for i in range(20):
+            db.schema.create("Book", title=f"book {i}", year=1900 + i)
+        return db
+
+    def test_index_used_inside_conjunction(self, indexed_db):
+        plan = indexed_db.explain(
+            'select b from b in Book where b.title = "book 3" and b.year > 1890'
+        )
+        assert plan.index_used == "Book.title"
+        assert plan.extent_scans == 0
+
+    def test_conjunction_result_still_filtered(self, indexed_db):
+        result = indexed_db.query(
+            'select b from b in Book where b.title = "book 3" and b.year > 1990'
+        )
+        assert result == []  # index seeds candidates, WHERE still applies
+
+    def test_reversed_equality_uses_index(self, indexed_db):
+        plan = indexed_db.explain(
+            'select b from b in Book where "book 3" = b.title'
+        )
+        assert plan.index_used == "Book.title"
+
+    def test_parameter_equality_uses_index(self, indexed_db):
+        plan = indexed_db.explain(
+            "select b from b in Book where b.title = $t",
+            params={"t": "book 5"},
+        )
+        assert plan.index_used == "Book.title"
+
+    def test_disjunction_not_indexed(self, indexed_db):
+        plan = indexed_db.explain(
+            'select b from b in Book where b.title = "book 3" or b.year = 1905'
+        )
+        assert plan.index_used is None
+        assert plan.extent_scans == 1
+
+    def test_unindexed_attribute_falls_back(self, indexed_db):
+        plan = indexed_db.explain(
+            "select b from b in Book where b.year = 1905"
+        )
+        assert plan.index_used is None

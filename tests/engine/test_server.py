@@ -1,0 +1,154 @@
+"""HTTP access layer (§6.1.7)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine import PrometheusDB, PrometheusServer
+from repro.engine.server import jsonable
+from repro.taxonomy import build_shapes_scenario
+from repro.taxonomy.model import TaxonomyDatabase
+
+
+@pytest.fixture(scope="module")
+def served():
+    db = PrometheusDB()
+    taxdb = TaxonomyDatabase.over_engine(db)
+    scenario = build_shapes_scenario(taxdb)
+    with PrometheusServer(db) as server:
+        yield server.url, db, scenario
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, json.load(response)
+
+
+def post(url, payload):
+    data = json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=5) as response:
+        return response.status, json.load(response)
+
+
+class TestRoutes:
+    def test_schema(self, served):
+        url, db, _ = served
+        status, body = get(url + "/schema")
+        assert status == 200
+        assert "Specimen" in body["classes"]
+
+    def test_class_description(self, served):
+        url, *_ = served
+        status, body = get(url + "/classes/Specimen")
+        assert status == 200
+        assert "collector" in body["attributes"]
+
+    def test_class_extent(self, served):
+        url, db, _ = served
+        status, body = get(url + "/classes/Specimen/extent")
+        assert status == 200
+        assert len(body) == 11
+
+    def test_unknown_class_404(self, served):
+        url, *_ = served
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(url + "/classes/Martian")
+        assert err.value.code == 404
+
+    def test_object_fetch(self, served):
+        url, _, scenario = served
+        white = scenario.specimens["white_square"]
+        status, body = get(url + f"/objects/{white.oid}")
+        assert status == 200
+        assert body["values"]["field_name"] == "white_square"
+        assert body["class"] == "Specimen"
+
+    def test_object_404(self, served):
+        url, *_ = served
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(url + "/objects/999999")
+        assert err.value.code == 404
+
+    def test_classifications_listing(self, served):
+        url, *_ = served
+        status, body = get(url + "/classifications")
+        assert body == [
+            "T1 shapes", "T2 sections", "T3 brightness", "T4 revision"
+        ]
+
+    def test_classification_detail(self, served):
+        url, *_ = served
+        status, body = get(url + "/classifications/T1%20shapes")
+        assert body["author"] == "Taxonomist1"
+        assert len(body["edges"]) == 9
+        assert len(body["roots"]) == 1
+
+    def test_query_endpoint(self, served):
+        url, *_ = served
+        status, body = post(
+            url + "/query",
+            {"query": "select count(s) from s in Specimen"},
+        )
+        assert body["result"] == [11]
+
+    def test_query_with_params(self, served):
+        url, _, scenario = served
+        white = scenario.specimens["white_square"]
+        status, body = post(
+            url + "/query",
+            {
+                "query": "select s.field_name from s in Specimen "
+                "where s.oid = $o",
+                "params": {"o": white.oid},
+            },
+        )
+        assert body["result"] == ["white_square"]
+
+    def test_bad_query_400(self, served):
+        url, *_ = served
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(url + "/query", {"query": "selectt x"})
+        assert err.value.code == 400
+
+    def test_missing_query_400(self, served):
+        url, *_ = served
+        with pytest.raises(urllib.error.HTTPError) as err:
+            post(url + "/query", {})
+        assert err.value.code == 400
+
+    def test_unknown_route_404(self, served):
+        url, *_ = served
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(url + "/nothing/here")
+        assert err.value.code == 404
+
+
+class TestJsonable:
+    def test_objects(self, served):
+        _, _, scenario = served
+        data = jsonable(scenario.specimens["white_square"])
+        assert data["class"] == "Specimen"
+        assert "values" in data
+
+    def test_relationship_instances_carry_endpoints(self, served):
+        _, db, _ = served
+        edge = db.schema.relationships.instances_of("Includes")[0]
+        data = jsonable(edge)
+        assert data["origin"] == edge.origin_oid
+        assert data["destination"] == edge.destination_oid
+
+    def test_graph_view(self, served):
+        _, db, scenario = served
+        from repro.classification import extract_graph
+
+        view = extract_graph(scenario.classifications["T1"])
+        data = jsonable(view)
+        assert len(data["edges"]) == 9
+
+    def test_fallback_repr(self):
+        assert isinstance(jsonable(object()), str)

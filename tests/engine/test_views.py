@@ -1,0 +1,161 @@
+"""Views layer: stored queries, materialization, classification views."""
+
+import pytest
+
+from repro.classification import ClassificationManager, GraphView
+from repro.engine.views import ViewManager
+from repro.errors import QueryError, SchemaError
+
+
+@pytest.fixture
+def views(schema):
+    return ViewManager(schema, ClassificationManager(schema))
+
+
+class TestDefinition:
+    def test_define_and_evaluate(self, schema, views):
+        schema.create("Person", name="Alice", age=30)
+        schema.create("Person", name="Bob", age=10)
+        views.define("adults", "select p from p in Person where p.age >= 18")
+        result = views.evaluate("adults")
+        assert [p.get("name") for p in result] == ["Alice"]
+
+    def test_bad_query_rejected_eagerly(self, views):
+        with pytest.raises(QueryError):
+            views.define("broken", "select p.bogus from p in Person")
+
+    def test_duplicate_name(self, schema, views):
+        views.define("v", "select p from p in Person")
+        with pytest.raises(SchemaError):
+            views.define("v", "select p from p in Person")
+
+    def test_drop_and_unknown(self, views):
+        views.define("v", "select p from p in Person")
+        views.drop("v")
+        with pytest.raises(SchemaError):
+            views.get("v")
+
+    def test_names(self, views):
+        views.define("b", "select p from p in Person")
+        views.define("a", "select p from p in Person")
+        assert views.names() == ["a", "b"]
+
+    def test_parameterised_view(self, schema, views):
+        schema.create("Person", name="Alice", age=30)
+        views.define(
+            "by_name", "select p from p in Person where p.name = $n"
+        )
+        assert len(views.evaluate("by_name", {"n": "Alice"})) == 1
+        assert views.evaluate("by_name", {"n": "Zed"}) == []
+
+
+class TestMaterialization:
+    def test_cache_hit_and_invalidation(self, schema, views):
+        schema.create("Person", name="Alice")
+        view = views.define(
+            "all", "select p from p in Person", materialized=True
+        )
+        first = views.evaluate("all")
+        assert view.is_fresh
+        assert view.refreshes == 1
+        views.evaluate("all")
+        assert view.refreshes == 1  # served from cache
+        schema.create("Person", name="Bob")  # mutation invalidates
+        assert not view.is_fresh
+        second = views.evaluate("all")
+        assert len(second) == len(first) + 1
+        assert view.refreshes == 2
+
+    def test_update_invalidates(self, schema, views):
+        alice = schema.create("Person", name="Alice")
+        view = views.define(
+            "all", "select p.name from p in Person", materialized=True
+        )
+        views.evaluate("all")
+        alice.set("name", "Alicia")
+        assert not view.is_fresh
+        assert views.evaluate("all") == ["Alicia"]
+
+    def test_params_bypass_cache(self, schema, views):
+        schema.create("Person", name="Alice")
+        view = views.define(
+            "by_name",
+            "select p from p in Person where p.name = $n",
+            materialized=True,
+        )
+        views.evaluate("by_name", {"n": "Alice"})
+        assert not view.is_fresh  # parameterised calls are not cached
+
+
+class TestClassificationViews:
+    def test_whole_classification_as_graph(self, schema):
+        manager = ClassificationManager(schema)
+        views = ViewManager(schema, manager)
+        alice = schema.create("Person", name="boss")
+        bob = schema.create("Person", name="minion")
+        acme = schema.create("Company", title="ACME")
+        c = manager.create("org")
+        c.add_edge(schema.relate("Owns", acme, alice))
+        c.add_edge(schema.relate("Owns", acme, bob))
+        view = views.classification_view("org")
+        assert isinstance(view, GraphView)
+        assert view.node_count == 3
+        assert view.edge_count == 2
+
+    def test_without_manager_rejected(self, schema):
+        views = ViewManager(schema, None)
+        with pytest.raises(SchemaError):
+            views.classification_view("x")
+
+
+class TestScopedInvalidation:
+    """Class-scoped invalidation: unrelated mutations keep caches warm."""
+
+    def test_dependencies_extracted(self, schema, views):
+        view = views.define(
+            "people",
+            "select p from p in Person, c in p->WorksFor",
+            materialized=True,
+        )
+        assert "Person" in view.depends_on
+        assert "WorksFor" in view.depends_on
+        assert "Company" in view.depends_on  # traversal endpoint
+
+    def test_unrelated_class_does_not_invalidate(self, schema, views):
+        view = views.define(
+            "companies", "select c from c in Company", materialized=True
+        )
+        views.evaluate("companies")
+        schema.create("Person", name="nobody")
+        assert view.is_fresh  # Person mutations cannot change this view
+
+    def test_dependent_class_invalidates(self, schema, views):
+        view = views.define(
+            "companies", "select c from c in Company", materialized=True
+        )
+        views.evaluate("companies")
+        schema.create("Company", title="fresh")
+        assert not view.is_fresh
+
+    def test_subclass_mutation_invalidates_superclass_view(self, schema, views):
+        view = views.define(
+            "everyone", "select p from p in Person", materialized=True
+        )
+        views.evaluate("everyone")
+        schema.create("Employee", name="e", salary=1.0)
+        assert not view.is_fresh
+
+    def test_relationship_mutation_invalidates_traversal_view(
+        self, schema, views
+    ):
+        alice = schema.create("Person", name="a")
+        acme = schema.create("Company", title="c")
+        view = views.define(
+            "employers",
+            "select e from p in Person, e in p->WorksFor",
+            materialized=True,
+        )
+        views.evaluate("employers")
+        schema.relate("WorksFor", alice, acme)
+        assert not view.is_fresh
+        assert len(views.evaluate("employers")) == 1

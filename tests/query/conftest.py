@@ -1,0 +1,18 @@
+"""Fixtures for evaluator tests: a populated taxonomy database."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.taxonomy import build_shapes_scenario
+
+
+@pytest.fixture(scope="module")
+def shapes():
+    """The Figure 4 shapes scenario (module-scoped; tests must not mutate)."""
+    return build_shapes_scenario()
+
+
+@pytest.fixture(scope="module")
+def shapes_schema(shapes):
+    return shapes.taxdb.schema

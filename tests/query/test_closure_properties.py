@@ -1,0 +1,115 @@
+"""Property tests: POOL closures agree with networkx on random DAGs."""
+
+import networkx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.attributes import Attribute
+from repro.core.schema import Schema
+from repro.core.semantics import RelationshipSemantics, RelKind
+from repro.core import types as T
+from repro.query import execute
+
+
+def build_dag(edges: list[tuple[int, int]], node_count: int):
+    """Build the same DAG in a Prometheus schema and in networkx.
+
+    Edge (a, b) with a < b guarantees acyclicity.
+    """
+    schema = Schema()
+    schema.define_class("N", [Attribute("idx", T.INTEGER)])
+    schema.define_relationship(
+        "E", "N", "N",
+        semantics=RelationshipSemantics(kind=RelKind.ASSOCIATION),
+    )
+    nodes = [schema.create("N", idx=i) for i in range(node_count)]
+    graph = networkx.DiGraph()
+    graph.add_nodes_from(range(node_count))
+    seen = set()
+    for a, b in edges:
+        if (a, b) in seen or a == b:
+            continue
+        seen.add((a, b))
+        schema.relate("E", nodes[a], nodes[b])
+        graph.add_edge(a, b)
+    return schema, nodes, graph
+
+
+_edges = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=11),
+        st.integers(min_value=0, max_value=11),
+    ).map(lambda p: (min(p), max(p))).filter(lambda p: p[0] != p[1]),
+    max_size=30,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_edges, st.integers(min_value=0, max_value=11))
+def test_plus_closure_equals_networkx_descendants(edges, start):
+    schema, nodes, graph = build_dag(edges, 12)
+    result = execute(
+        schema,
+        "select x.idx from n in N, x in n->E+ where n.idx = $s",
+        params={"s": start},
+    )
+    assert sorted(result) == sorted(networkx.descendants(graph, start))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_edges, st.integers(min_value=0, max_value=11))
+def test_inverse_plus_closure_equals_ancestors(edges, start):
+    schema, nodes, graph = build_dag(edges, 12)
+    result = execute(
+        schema,
+        "select x.idx from n in N, x in n<-E+ where n.idx = $s",
+        params={"s": start},
+    )
+    assert sorted(result) == sorted(networkx.ancestors(graph, start))
+
+
+@settings(max_examples=40, deadline=None)
+@given(_edges, st.integers(min_value=0, max_value=11))
+def test_star_closure_is_plus_with_start(edges, start):
+    schema, nodes, graph = build_dag(edges, 12)
+    star = execute(
+        schema,
+        "select x.idx from n in N, x in n->E* where n.idx = $s",
+        params={"s": start},
+    )
+    plus = execute(
+        schema,
+        "select x.idx from n in N, x in n->E+ where n.idx = $s",
+        params={"s": start},
+    )
+    assert sorted(star) == sorted(set(plus) | {start})
+
+
+@settings(max_examples=30, deadline=None)
+@given(_edges, st.integers(min_value=0, max_value=11),
+       st.integers(min_value=1, max_value=4))
+def test_bounded_closure_is_bfs_depth_window(edges, start, depth):
+    schema, nodes, graph = build_dag(edges, 12)
+    result = execute(
+        schema,
+        f"select x.idx from n in N, x in n->E{{1,{depth}}} where n.idx = $s",
+        params={"s": start},
+    )
+    lengths = networkx.single_source_shortest_path_length(
+        graph, start, cutoff=depth
+    )
+    expected = [node for node, dist in lengths.items() if 1 <= dist <= depth]
+    assert sorted(result) == sorted(expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_edges)
+def test_extract_graph_matches_networkx_reachability(edges):
+    schema, nodes, graph = build_dag(edges, 12)
+    view = execute(
+        schema,
+        "extract graph from first((select n from n in N where n.idx = 0)) "
+        "via E",
+    )
+    reachable = {0} | networkx.descendants(graph, 0)
+    assert set(view.to_networkx().nodes) == {nodes[i].oid for i in reachable}

@@ -1,0 +1,488 @@
+"""POOL evaluation semantics."""
+
+import pytest
+
+from repro.classification import GraphView
+from repro.errors import EvaluationError
+from repro.query import execute
+
+
+def q(shapes, text, **params):
+    return execute(
+        shapes.taxdb.schema,
+        text,
+        classifications=shapes.taxdb.classifications,
+        params=params or None,
+    )
+
+
+class TestSelectBasics:
+    def test_extent_scan(self, shapes):
+        result = q(shapes, "select s from s in Specimen")
+        assert len(result) == 11
+
+    def test_projection(self, shapes):
+        result = q(
+            shapes,
+            'select s.field_name from s in Specimen '
+            'where s.field_name = "white_square"',
+        )
+        assert result == ["white_square"]
+
+    def test_star_single_binding_returns_objects(self, shapes):
+        result = q(shapes, "select * from s in Specimen limit 1")
+        assert result[0].pclass.name == "Specimen"
+
+    def test_multi_projection_returns_rows(self, shapes):
+        rows = q(
+            shapes,
+            "select s.field_name as name, s.oid as o from s in Specimen limit 2",
+        )
+        assert set(rows[0]) == {"name", "o"}
+
+    def test_where_filters(self, shapes):
+        result = q(
+            shapes,
+            'select s from s in Specimen where s.field_name like "white%"',
+        )
+        assert len(result) == 4
+
+    def test_order_by_desc(self, shapes):
+        names = q(
+            shapes,
+            "select s.field_name from s in Specimen order by s.field_name desc",
+        )
+        assert names == sorted(names, reverse=True)
+
+    def test_limit(self, shapes):
+        assert len(q(shapes, "select s from s in Specimen limit 3")) == 3
+
+    def test_distinct(self, shapes):
+        ranks = q(
+            shapes,
+            "select distinct t.rank from t in CircumscriptionTaxon",
+        )
+        assert sorted(ranks) == ["Genus", "Sectio", "Species"]
+
+    def test_cartesian_product(self, shapes):
+        pairs = q(
+            shapes,
+            "select n from n in NomenclaturalTaxon, w in WorkingName "
+            'where n.rank = "Genus"',
+        )
+        # one genus NT × every working name
+        genus_count = len(
+            q(shapes, 'select n from n in NomenclaturalTaxon where n.rank = "Genus"')
+        )
+        working = len(q(shapes, "select w from w in WorkingName"))
+        assert len(pairs) == genus_count * working
+
+    def test_dependent_binding(self, shapes):
+        result = q(
+            shapes,
+            "select x.field_name from t in CircumscriptionTaxon, "
+            "x in (Specimen) t->Includes "
+            'where t.rank = "Species" order by x.field_name limit 2',
+        )
+        assert len(result) == 2
+
+    def test_parameters(self, shapes):
+        white = shapes.specimens["white_square"]
+        result = q(
+            shapes,
+            "select s.field_name from s in Specimen where s.oid = $oid",
+            oid=white.oid,
+        )
+        assert result == ["white_square"]
+
+    def test_missing_parameter(self, shapes):
+        with pytest.raises(EvaluationError):
+            q(shapes, "select s from s in Specimen where s.oid = $nope")
+
+    def test_unknown_extent(self, shapes):
+        with pytest.raises(EvaluationError):
+            q(shapes, "select x from x in Nothing")
+
+    def test_subquery_in_from(self, shapes):
+        result = q(
+            shapes,
+            "select y.field_name from y in "
+            '(select s from s in Specimen where s.field_name like "dark%")',
+        )
+        assert sorted(result) == ["dark_circle", "dark_triangle"]
+
+    def test_exists(self, shapes):
+        result = q(
+            shapes,
+            "select w.label from w in WorkingName where exists "
+            "(select s from s in Specimen where s.field_name = w.label)",
+        )
+        # Working names coincide with specimen field names nowhere.
+        assert result == []
+
+
+class TestAggregates:
+    def test_count_folds(self, shapes):
+        assert q(shapes, "select count(s) from s in Specimen") == [11]
+
+    def test_count_with_where(self, shapes):
+        assert q(
+            shapes,
+            'select count(s) from s in Specimen where s.field_name like "white%"',
+        ) == [4]
+
+    def test_min_max(self, shapes):
+        low = q(shapes, "select min(s.oid) from s in Specimen")[0]
+        high = q(shapes, "select max(s.oid) from s in Specimen")[0]
+        assert 0 < low < high
+
+    def test_per_row_count_preserved(self, shapes):
+        counts = q(
+            shapes,
+            "select count(t->Includes) from t in CircumscriptionTaxon "
+            'where t.rank = "Genus" order by t.oid',
+        )
+        assert len(counts) == 4
+        assert all(c >= 2 for c in counts)
+
+
+class TestTraversal:
+    def test_single_hop(self, shapes):
+        top = shapes.taxa["T1/Shapes"]
+        children = q(
+            shapes,
+            "select c from t in CircumscriptionTaxon, c in t->Includes "
+            "where t.oid = $oid",
+            oid=top.oid,
+        )
+        assert len(children) == 3
+
+    def test_scoped_closure(self, shapes):
+        top = shapes.taxa["T2/Shapes"]
+        result = q(
+            shapes,
+            "select x.field_name from t in CircumscriptionTaxon, "
+            'x in (Specimen) t->Includes["T2 sections"]* '
+            "where t.oid = $oid",
+            oid=top.oid,
+        )
+        assert len(result) == 9  # all T2 specimens
+
+    def test_unscoped_closure_spans_classifications(self, shapes):
+        top = shapes.taxa["T1/Shapes"]
+        scoped = q(
+            shapes,
+            "select x from t in CircumscriptionTaxon, "
+            'x in (Specimen) t->Includes["T1 shapes"]* where t.oid = $oid',
+            oid=top.oid,
+        )
+        assert len(scoped) == 6
+
+    def test_inverse_closure(self, shapes):
+        white = shapes.specimens["white_square"]
+        ancestors = q(
+            shapes,
+            "select a from s in Specimen, "
+            'a in s<-Includes["T2 sections"]+ where s.oid = $oid',
+            oid=white.oid,
+        )
+        assert len(ancestors) == 3  # species, sectio, genus CTs
+
+    def test_depth_bounds(self, shapes):
+        top = shapes.taxa["T2/Shapes"]
+        exactly_two = q(
+            shapes,
+            "select n from t in CircumscriptionTaxon, "
+            'n in t->Includes["T2 sections"]{2} where t.oid = $oid',
+            oid=top.oid,
+        )
+        # depth 2 from genus = species CTs (5 of them)
+        assert len(exactly_two) == 5
+
+    def test_min_depth_zero_includes_start(self, shapes):
+        top = shapes.taxa["T1/Shapes"]
+        result = q(
+            shapes,
+            "select n from t in CircumscriptionTaxon, "
+            'n in t->Includes["T1 shapes"]* where t.oid = $oid',
+            oid=top.oid,
+        )
+        assert any(n.oid == top.oid for n in result)
+
+    def test_traversal_on_unknown_relationship(self, shapes):
+        with pytest.raises(EvaluationError):
+            q(shapes, "select x from s in Specimen, x in s->Nothing")
+
+    def test_relationship_extent_and_endpoints(self, shapes):
+        rows = q(
+            shapes,
+            "select r.origin.rank from r in Includes "
+            'where r.destination.field_name = "white_square" '
+            'order by r.origin.rank',
+        )
+        assert rows == ["Species"] * 4  # placed in a Species group 4 times
+
+
+class TestDowncastAndFunctions:
+    def test_downcast_filters(self, shapes):
+        mixed = q(
+            shapes,
+            "select x from t in CircumscriptionTaxon, "
+            'x in (Specimen) t->Includes["T2 sections"]* '
+            'where t.rank = "Genus" limit 100',
+        )
+        assert mixed
+        assert all(x.pclass.name == "Specimen" for x in mixed)
+
+    def test_class_of(self, shapes):
+        result = q(
+            shapes,
+            "select class_of(s) from s in Specimen limit 1",
+        )
+        assert result == ["Specimen"]
+
+    def test_oid_function(self, shapes):
+        white = shapes.specimens["white_square"]
+        assert q(
+            shapes,
+            "select oid(s) from s in Specimen where s.oid = $o",
+            o=white.oid,
+        ) == [white.oid]
+
+    def test_string_methods(self, shapes):
+        result = q(
+            shapes,
+            "select s.field_name.upper() from s in Specimen "
+            'where s.field_name.startsWith("grey")',
+        )
+        assert result == ["GREY_SQUARE"]
+
+    def test_nvl(self, shapes):
+        result = q(
+            shapes,
+            'select nvl(s.herbarium, "?") from s in Specimen limit 1',
+        )
+        assert result == ["?"]
+
+    def test_roles_function(self, shapes):
+        white = shapes.specimens["white_square"]
+        roles = q(
+            shapes,
+            "select roles(s) from s in Specimen where s.oid = $o",
+            o=white.oid,
+        )[0]
+        assert roles.get("type_kind") == "holotype"
+
+
+class TestExtractGraph:
+    def test_extract_returns_view(self, shapes):
+        top = shapes.taxa["T1/Shapes"]
+        view = q(
+            shapes,
+            "extract graph from first((select t from t in "
+            "CircumscriptionTaxon where t.oid = $o)) via Includes "
+            'in classification "T1 shapes"',
+            o=top.oid,
+        )
+        assert isinstance(view, GraphView)
+        assert view.node_count == 10
+        assert view.edge_count == 9
+
+    def test_extract_depth_limited(self, shapes):
+        top = shapes.taxa["T1/Shapes"]
+        view = q(
+            shapes,
+            "extract graph from first((select t from t in "
+            "CircumscriptionTaxon where t.oid = $o)) via Includes depth 1 "
+            'in classification "T1 shapes"',
+            o=top.oid,
+        )
+        assert view.node_count == 4  # genus + 3 species groups
+
+
+class TestInstanceSynonymsInPool:
+    def test_synonyms_of_function(self):
+        from repro.core.attributes import Attribute
+        from repro.core.schema import Schema
+        from repro.core import types as T
+
+        schema = Schema()
+        schema.define_class("Specimen2", [Attribute("code", T.STRING)])
+        a = schema.create("Specimen2", code="a")
+        b = schema.create("Specimen2", code="b")
+        c = schema.create("Specimen2", code="c")
+        schema.synonyms.declare(a.oid, b.oid)
+        result = execute(
+            schema,
+            "select s2.code from s in Specimen2, s2 in synonyms_of(s) "
+            "where s.code = 'a' order by s2.code",
+        )
+        assert result == ["a", "b"]
+        lone = execute(
+            schema,
+            "select count(synonyms_of(s)) from s in Specimen2 "
+            "where s.code = 'c'",
+        )
+        assert lone == [1]
+
+
+class TestSetOperations:
+    """OQL set operators (union / intersect / except)."""
+
+    def test_union_dedupes_by_identity(self, shapes):
+        result = q(
+            shapes,
+            'select s from s in Specimen where s.field_name like "white%" '
+            'union '
+            'select s from s in Specimen where s.field_name like "%square"',
+        )
+        names = sorted(x.get("field_name") for x in result)
+        assert names == [
+            "grey_square", "white_circle", "white_oval",
+            "white_rectangle", "white_square",
+        ]
+
+    def test_intersect(self, shapes):
+        result = q(
+            shapes,
+            'select s from s in Specimen where s.field_name like "white%" '
+            'intersect '
+            'select s from s in Specimen where s.field_name like "%square"',
+        )
+        assert [x.get("field_name") for x in result] == ["white_square"]
+
+    def test_except(self, shapes):
+        result = q(
+            shapes,
+            "select s.field_name from s in Specimen "
+            "except "
+            'select s.field_name from s in Specimen '
+            'where s.field_name like "white%"',
+        )
+        assert len(result) == 7
+        assert not any(name.startswith("white") for name in result)
+
+    def test_chained_left_associative(self, shapes):
+        result = q(
+            shapes,
+            'select s.field_name from s in Specimen '
+            'where s.field_name like "white%" '
+            "union "
+            'select s.field_name from s in Specimen '
+            'where s.field_name like "dark%" '
+            "except "
+            'select s.field_name from s in Specimen '
+            'where s.field_name = "dark_circle"',
+        )
+        assert "dark_circle" not in result
+        assert "dark_triangle" in result
+
+    def test_parenthesised_grouping(self, shapes):
+        result = q(
+            shapes,
+            'select s.field_name from s in Specimen '
+            'where s.field_name like "white%" '
+            "except "
+            "("
+            'select s.field_name from s in Specimen '
+            'where s.field_name = "white_oval" '
+            "union "
+            'select s.field_name from s in Specimen '
+            'where s.field_name = "white_circle"'
+            ")",
+        )
+        assert sorted(result) == ["white_rectangle", "white_square"]
+
+    def test_unparse_roundtrip(self, shapes):
+        from repro.query import parse
+
+        text = (
+            "select s from s in Specimen union "
+            "select s from s in Specimen where (s.oid > 3)"
+        )
+        ast = parse(text)
+        assert parse(ast.unparse()).unparse() == ast.unparse()
+
+    def test_typecheck_covers_both_sides(self, shapes):
+        from repro.query import parse, typecheck
+
+        report = typecheck(
+            shapes.taxdb.schema,
+            parse(
+                "select s from s in Specimen union "
+                "select x from x in Martians"
+            ),
+        )
+        assert any("Martians" in e for e in report.errors)
+
+
+class TestGroupBy:
+    def test_count_per_group(self, shapes):
+        rows = q(
+            shapes,
+            "select t.rank as rank, count(t) as n "
+            "from t in CircumscriptionTaxon "
+            "group by t.rank order by rank",
+        )
+        by_rank = {r["rank"]: r["n"] for r in rows}
+        # T1: 3 species groups, T2: 5, T3: 5, T4: 6 -> 19
+        assert by_rank == {"Genus": 4, "Sectio": 6, "Species": 19}
+
+    def test_having_filters_groups(self, shapes):
+        rows = q(
+            shapes,
+            "select t.rank as rank, count(t) as n "
+            "from t in CircumscriptionTaxon "
+            "group by t.rank having count(t) > 5 order by rank",
+        )
+        assert [r["rank"] for r in rows] == ["Sectio", "Species"]
+
+    def test_min_max_aggregates_in_groups(self, shapes):
+        rows = q(
+            shapes,
+            "select n.rank as rank, min(n.year) as first, max(n.year) as last "
+            "from n in NomenclaturalTaxon group by n.rank order by rank",
+        )
+        species = [r for r in rows if r["rank"] == "Species"][0]
+        assert species["first"] == 1900
+        assert species["last"] == 1920
+
+    def test_single_projection_scalar(self, shapes):
+        counts = q(
+            shapes,
+            "select count(t) from t in CircumscriptionTaxon "
+            "group by t.rank order by count(t)",
+        )
+        assert counts == [4, 6, 19]
+
+    def test_group_by_requires_projection(self, shapes):
+        from repro.errors import EvaluationError as EvalError
+
+        with pytest.raises(EvalError):
+            q(
+                shapes,
+                "select * from t in CircumscriptionTaxon group by t.rank",
+            )
+
+    def test_unparse_roundtrip(self, shapes):
+        from repro.query import parse
+
+        text = (
+            "select t.rank as r, count(t) as n from t in "
+            "CircumscriptionTaxon group by t.rank having (count(t) > 2) "
+            "order by r"
+        )
+        ast = parse(text)
+        assert parse(ast.unparse()).unparse() == ast.unparse()
+
+    def test_typecheck_group_by(self, shapes):
+        from repro.query import parse, typecheck
+
+        report = typecheck(
+            shapes.taxdb.schema,
+            parse(
+                "select count(t) from t in CircumscriptionTaxon "
+                "group by t.bogus"
+            ),
+        )
+        assert any("bogus" in e for e in report.errors)

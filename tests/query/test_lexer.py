@@ -1,0 +1,97 @@
+"""POOL lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.query.lexer import tokenize
+from repro.query.tokens import TokenType
+
+
+def types(text):
+    return [t.type for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert types("SELECT from WHERE") == [
+            TokenType.SELECT, TokenType.FROM, TokenType.WHERE,
+        ]
+
+    def test_identifiers(self):
+        tokens = tokenize("Taxon my_var _x")
+        assert [t.value for t in tokens[:-1]] == ["Taxon", "my_var", "_x"]
+        assert all(t.type is TokenType.IDENT for t in tokens[:-1])
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].type is TokenType.INT
+        assert tokens[1].type is TokenType.FLOAT
+
+    def test_int_followed_by_dot_attribute(self):
+        # "1.x" should not lex as a float
+        assert types("x.y") == [TokenType.IDENT, TokenType.DOT, TokenType.IDENT]
+
+    def test_strings_both_quotes(self):
+        assert tokenize('"abc"')[0].value == "abc"
+        assert tokenize("'abc'")[0].value == "abc"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\"b"')[0].value == 'a"b'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_arrows(self):
+        assert types("a->B c<-D") == [
+            TokenType.IDENT, TokenType.ARROW, TokenType.IDENT,
+            TokenType.IDENT, TokenType.BACKARROW, TokenType.IDENT,
+        ]
+
+    def test_comparison_operators(self):
+        assert types("= != <> < <= > >=") == [
+            TokenType.EQ, TokenType.NE, TokenType.NE, TokenType.LT,
+            TokenType.LE, TokenType.GT, TokenType.GE,
+        ]
+
+    def test_minus_vs_arrow(self):
+        assert types("a - b") == [
+            TokenType.IDENT, TokenType.MINUS, TokenType.IDENT
+        ]
+
+    def test_parameters(self):
+        token = tokenize("$name")[0]
+        assert token.type is TokenType.PARAM
+        assert token.value == "name"
+
+    def test_bare_dollar_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("$ x")
+
+    def test_comments_skipped(self):
+        assert types("select -- comment here\n x") == [
+            TokenType.SELECT, TokenType.IDENT
+        ]
+
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a ~ b")
+
+    def test_closure_braces(self):
+        assert types("{1,3}") == [
+            TokenType.LBRACE, TokenType.INT, TokenType.COMMA,
+            TokenType.INT, TokenType.RBRACE,
+        ]
+
+    def test_implies_keyword(self):
+        assert types("a implies b") == [
+            TokenType.IDENT, TokenType.IMPLIES, TokenType.IDENT
+        ]
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("x")[-1].type is TokenType.EOF

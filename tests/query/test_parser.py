@@ -1,0 +1,286 @@
+"""POOL parser: structure and unparse round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParseError
+from repro.query.nodes import (
+    AttributeAccess,
+    Binary,
+    Downcast,
+    ExtractGraphQuery,
+    FunctionCall,
+    Literal,
+    MethodCall,
+    SelectQuery,
+    Traversal,
+    Unary,
+    Variable,
+)
+from repro.query.parser import parse, parse_expression
+
+
+class TestSelect:
+    def test_minimal(self):
+        q = parse("select x from x in Taxon")
+        assert isinstance(q, SelectQuery)
+        assert q.bindings[0].variable == "x"
+        assert isinstance(q.bindings[0].source, Variable)
+        assert q.where is None
+
+    def test_star_projection(self):
+        q = parse("select * from x in Taxon")
+        assert q.projection == ()
+
+    def test_multi_projection_with_alias(self):
+        q = parse("select x.name as n, x.rank from x in Taxon")
+        assert q.projection[0].alias == "n"
+        assert q.projection[1].alias is None
+
+    def test_distinct(self):
+        assert parse("select distinct x from x in T").distinct
+
+    def test_where(self):
+        q = parse("select x from x in T where x.age > 5 and x.name = 'a'")
+        assert isinstance(q.where, Binary)
+        assert q.where.op == "and"
+
+    def test_multiple_bindings(self):
+        q = parse("select x from x in A, y in B, z in x->R")
+        assert len(q.bindings) == 3
+        assert isinstance(q.bindings[2].source, Traversal)
+
+    def test_subquery_binding(self):
+        q = parse("select x from x in (select y from y in B)")
+        assert isinstance(q.bindings[0].source, SelectQuery)
+
+    def test_order_by_limit(self):
+        q = parse("select x from x in T order by x.name desc, x.age limit 5")
+        assert q.order_by[0].descending
+        assert not q.order_by[1].descending
+        assert q.limit == 5
+
+    def test_exists_subquery(self):
+        q = parse(
+            "select x from x in T where exists (select y from y in U)"
+        )
+        assert q.where is not None
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse("select x")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("select x from x in T nonsense")
+
+
+class TestExpressions:
+    def test_precedence_or_and(self):
+        e = parse_expression("a or b and c")
+        assert isinstance(e, Binary) and e.op == "or"
+        assert isinstance(e.right, Binary) and e.right.op == "and"
+
+    def test_precedence_arith(self):
+        e = parse_expression("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_parentheses(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert e.op == "*"
+
+    def test_not(self):
+        e = parse_expression("not a = b")
+        assert isinstance(e, Unary) and e.op == "not"
+
+    def test_implies_desugars(self):
+        e = parse_expression("a implies b")
+        assert isinstance(e, Binary) and e.op == "or"
+        assert isinstance(e.left, Unary) and e.left.op == "not"
+
+    def test_implies_right_associative(self):
+        e = parse_expression("a implies b implies c")
+        # a implies (b implies c)
+        assert isinstance(e.right, Binary) and e.right.op == "or"
+
+    def test_in_operator(self):
+        e = parse_expression("x in y")
+        assert e.op == "in"
+
+    def test_not_in(self):
+        e = parse_expression("x not in y")
+        assert isinstance(e, Unary)
+        assert e.operand.op == "in"
+
+    def test_like(self):
+        assert parse_expression("x like '%a%'").op == "like"
+
+    def test_attribute_chain(self):
+        e = parse_expression("x.a.b")
+        assert isinstance(e, AttributeAccess)
+        assert isinstance(e.target, AttributeAccess)
+
+    def test_method_call(self):
+        e = parse_expression("x.name.startsWith('A')")
+        assert isinstance(e, MethodCall)
+        assert e.name == "startsWith"
+
+    def test_function_call(self):
+        e = parse_expression("count(x)")
+        assert isinstance(e, FunctionCall)
+        assert len(e.args) == 1
+
+    def test_parameter(self):
+        e = parse_expression("x.oid = $target")
+        assert e.right.name == "target"
+
+    def test_unary_minus(self):
+        e = parse_expression("-x")
+        assert isinstance(e, Unary) and e.op == "-"
+
+
+class TestTraversals:
+    def test_simple_hop(self):
+        e = parse_expression("x->Rel")
+        assert isinstance(e, Traversal)
+        assert (e.min_depth, e.max_depth) == (1, 1)
+        assert not e.inverse
+
+    def test_inverse_hop(self):
+        assert parse_expression("x<-Rel").inverse
+
+    def test_star_closure(self):
+        e = parse_expression("x->Rel*")
+        assert (e.min_depth, e.max_depth) == (0, None)
+
+    def test_plus_closure(self):
+        e = parse_expression("x->Rel+")
+        assert (e.min_depth, e.max_depth) == (1, None)
+
+    def test_bounded_closure(self):
+        e = parse_expression("x->Rel{2,5}")
+        assert (e.min_depth, e.max_depth) == (2, 5)
+
+    def test_exact_depth(self):
+        e = parse_expression("x->Rel{3}")
+        assert (e.min_depth, e.max_depth) == (3, 3)
+
+    def test_open_upper_bound(self):
+        e = parse_expression("x->Rel{2,}")
+        assert (e.min_depth, e.max_depth) == (2, None)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("x->Rel{5,2}")
+
+    def test_scoped_traversal(self):
+        e = parse_expression('x->Rel["Tutin 1968"]*')
+        assert e.scope == "Tutin 1968"
+        assert (e.min_depth, e.max_depth) == (0, None)
+
+    def test_chained_traversals(self):
+        e = parse_expression("x->A->B")
+        assert e.relationship == "B"
+        assert e.target.relationship == "A"
+
+    def test_traversal_then_attribute(self):
+        e = parse_expression("x->A.name")
+        assert isinstance(e, AttributeAccess)
+        assert isinstance(e.target, Traversal)
+
+
+class TestDowncast:
+    def test_downcast(self):
+        e = parse_expression("(Species) x")
+        assert isinstance(e, Downcast)
+        assert e.class_name == "Species"
+
+    def test_downcast_of_traversal(self):
+        e = parse_expression("(Specimen) t->Includes*")
+        assert isinstance(e, Downcast)
+        assert isinstance(e.target, Traversal)
+
+    def test_parenthesised_expr_not_downcast(self):
+        e = parse_expression("(x) + 1")
+        assert isinstance(e, Binary)
+
+
+class TestExtractGraph:
+    def test_minimal(self):
+        q = parse("extract graph from x via Includes")
+        assert isinstance(q, ExtractGraphQuery)
+        assert q.relationship == "Includes"
+        assert q.depth is None
+
+    def test_full_form(self):
+        q = parse(
+            'extract graph from first(r) via Includes depth 3 '
+            'in classification "T1"'
+        )
+        assert q.depth == 3
+        assert q.classification == "T1"
+
+
+class TestUnparseRoundTrip:
+    CASES = [
+        "select x from x in Taxon",
+        "select distinct x.name from x in Taxon where (x.rank = \"Genus\")",
+        "select x, y from x in A, y in x->R where (x.age > 5) order by x.name desc limit 3",
+        "select x from x in A where (x.name like \"%ius\")",
+        "select count(x) from x in A",
+        'extract graph from x via R depth 2 in classification "C"',
+        "select x from x in (Species) t->Includes*",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_parse_unparse_parse_fixpoint(self, text):
+        first = parse(text)
+        second = parse(first.unparse())
+        assert first.unparse() == second.unparse()
+
+
+# Property: generate small expression trees, unparse, re-parse, compare.
+_identifier = st.from_regex(r"[a-z][a-z0-9_]{0,5}", fullmatch=True).filter(
+    lambda s: s not in {
+        "select", "from", "where", "in", "and", "or", "not", "true",
+        "false", "null", "nil", "as", "order", "by", "asc", "desc",
+        "limit", "like", "extract", "graph", "via", "depth",
+        "classification", "exists", "implies",
+    }
+)
+_literal = st.one_of(
+    st.integers(min_value=0, max_value=999).map(Literal),
+    st.booleans().map(Literal),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+        max_size=6,
+    ).map(Literal),
+)
+_expr = st.recursive(
+    st.one_of(_literal, _identifier.map(Variable)),
+    lambda children: st.one_of(
+        st.builds(
+            Binary,
+            st.sampled_from(["+", "-", "*", "and", "or", "=", "<"]),
+            children,
+            children,
+        ),
+        st.builds(AttributeAccess, children.filter(
+            lambda n: isinstance(n, (Variable, AttributeAccess))
+        ), _identifier),
+        st.builds(
+            lambda t, r: Traversal(target=t, relationship=r),
+            children.filter(lambda n: isinstance(n, (Variable, Traversal))),
+            _identifier,
+        ),
+    ),
+    max_leaves=8,
+)
+
+
+@given(_expr)
+def test_property_expression_unparse_roundtrip(node):
+    text = node.unparse()
+    reparsed = parse_expression(text)
+    assert reparsed.unparse() == text

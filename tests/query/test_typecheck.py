@@ -1,0 +1,107 @@
+"""Static type checking of POOL queries (§5.1.2.4)."""
+
+import pytest
+
+from repro.query import parse, typecheck
+
+
+def check(shapes, text):
+    return typecheck(
+        shapes.taxdb.schema, parse(text), shapes.taxdb.classifications
+    )
+
+
+class TestValidQueries:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "select s from s in Specimen",
+            "select s.field_name from s in Specimen where s.collector = 'x'",
+            "select t from t in CircumscriptionTaxon, c in t->Includes",
+            "select r.origin from r in Includes",
+            'select x from t in CircumscriptionTaxon, x in (Specimen) t->Includes["T1 shapes"]*',
+            "select count(s) from s in Specimen",
+            "select s.field_name.upper() from s in Specimen",
+            'extract graph from CircumscriptionTaxon via Includes '
+            'in classification "T1 shapes"',
+        ],
+    )
+    def test_passes(self, shapes, text):
+        report = check(shapes, text)
+        assert report.ok, report.errors
+
+
+class TestErrors:
+    def test_unknown_extent(self, shapes):
+        report = check(shapes, "select x from x in Martians")
+        assert not report.ok
+        assert "Martians" in report.errors[0]
+
+    def test_unknown_attribute(self, shapes):
+        report = check(shapes, "select s.wingspan from s in Specimen")
+        assert any("wingspan" in e for e in report.errors)
+
+    def test_unknown_relationship(self, shapes):
+        report = check(shapes, "select x from s in Specimen, x in s->Flies")
+        assert any("Flies" in e for e in report.errors)
+
+    def test_plain_class_as_relationship(self, shapes):
+        report = check(shapes, "select x from s in Specimen, x in s->Specimen")
+        assert any("not a relationship" in e for e in report.errors)
+
+    def test_traversal_source_class_mismatch(self, shapes):
+        # Includes starts at CircumscriptionTaxon; a WorkingName cannot.
+        report = check(
+            shapes, "select x from w in WorkingName, x in w->Includes"
+        )
+        assert any("cannot be" in e for e in report.errors)
+
+    def test_unknown_classification_scope(self, shapes):
+        report = check(
+            shapes,
+            'select x from t in CircumscriptionTaxon, x in t->Includes["Atlantis"]',
+        )
+        assert any("Atlantis" in e for e in report.errors)
+
+    def test_unknown_function(self, shapes):
+        report = check(shapes, "select frobnicate(s) from s in Specimen")
+        assert any("frobnicate" in e for e in report.errors)
+
+    def test_unknown_downcast_class(self, shapes):
+        report = check(
+            shapes,
+            "select x from t in CircumscriptionTaxon, x in (Unicorn) t->Includes",
+        )
+        assert any("Unicorn" in e for e in report.errors)
+
+    def test_unbound_variable(self, shapes):
+        report = check(shapes, "select ghost.name from s in Specimen")
+        assert not report.ok
+
+
+class TestWarnings:
+    def test_role_attribute_warns_not_errors(self, shapes):
+        """type_kind is acquired via HasType inheritance — legal but
+        flagged (§4.4.5)."""
+        report = check(shapes, "select s.type_kind from s in Specimen")
+        assert report.ok
+        assert any("role acquisition" in w for w in report.warnings)
+
+    def test_unknown_method_warns(self, shapes):
+        report = check(shapes, "select s.levitate() from s in Specimen")
+        assert report.ok
+        assert any("levitate" in w for w in report.warnings)
+
+    def test_relationship_endpoint_attributes_ok(self, shapes):
+        report = check(shapes, "select r.destination.oid from r in Includes")
+        assert report.ok
+
+    def test_single_hop_is_typed(self, shapes):
+        """One hop yields the declared destination class, so attribute
+        errors after a hop are caught."""
+        report = check(
+            shapes,
+            "select c.no_such_attr from t in CircumscriptionTaxon, "
+            "c in t->Includes",
+        )
+        assert any("no_such_attr" in e for e in report.errors)

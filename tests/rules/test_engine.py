@@ -1,0 +1,334 @@
+"""Rule engine: scheduling, violation handling, cascades (§5.2.2)."""
+
+import pytest
+
+from repro.core.attributes import Attribute
+from repro.core.events import EventKind
+from repro.core.schema import Schema
+from repro.core import types as T
+from repro.errors import ConstraintViolation, RuleCascadeError, RuleError
+from repro.rules import (
+    Mode,
+    On,
+    OnViolation,
+    Rule,
+    RuleEngine,
+    RuleKind,
+    on_create,
+    on_relate,
+    on_update,
+)
+
+
+@pytest.fixture
+def schema():
+    s = Schema()
+    s.define_class(
+        "Account",
+        [
+            Attribute("owner", T.STRING),
+            Attribute("balance", T.INTEGER, default=0),
+        ],
+    )
+    s.define_class("Premium", superclasses=("Account",))
+    s.define_relationship("Linked", "Account", "Account")
+    return s
+
+
+@pytest.fixture
+def engine(schema):
+    return RuleEngine(schema)
+
+
+def non_negative_rule(**overrides):
+    defaults = dict(
+        name="non_negative",
+        event=on_update("Account", attribute="balance"),
+        condition=lambda ctx: (ctx.event.new_value or 0) >= 0,
+        message="balance must stay non-negative",
+    )
+    defaults.update(overrides)
+    return Rule(**defaults)
+
+
+class TestImmediate:
+    def test_violation_blocks_update(self, schema, engine):
+        engine.register(non_negative_rule())
+        account = schema.create("Account", owner="a")
+        with pytest.raises(ConstraintViolation):
+            account.set("balance", -5)
+        assert account.get("balance") == 0  # rolled back
+
+    def test_valid_update_passes(self, schema, engine):
+        engine.register(non_negative_rule())
+        account = schema.create("Account", owner="a")
+        account.set("balance", 100)
+        assert account.get("balance") == 100
+
+    def test_subclass_covered(self, schema, engine):
+        engine.register(non_negative_rule())
+        premium = schema.create("Premium", owner="p")
+        with pytest.raises(ConstraintViolation):
+            premium.set("balance", -1)
+
+    def test_applicability_gate(self, schema, engine):
+        engine.register(
+            non_negative_rule(
+                applicability=lambda ctx: ctx.target.get("owner") == "strict",
+            )
+        )
+        lax = schema.create("Account", owner="lax")
+        lax.set("balance", -10)  # rule does not apply
+        strict = schema.create("Account", owner="strict")
+        with pytest.raises(ConstraintViolation):
+            strict.set("balance", -10)
+
+    def test_pool_expressed_condition(self, schema, engine):
+        engine.register(
+            Rule(
+                name="owner_not_empty",
+                event=on_update("Account", attribute="owner"),
+                condition='new <> ""',
+            )
+        )
+        account = schema.create("Account", owner="x")
+        with pytest.raises(ConstraintViolation):
+            account.set("owner", "")
+
+    def test_disabled_rule_ignored(self, schema, engine):
+        rule = engine.register(non_negative_rule())
+        rule.enabled = False
+        schema.create("Account", owner="a").set("balance", -1)
+
+    def test_priority_order(self, schema, engine):
+        fired = []
+        for name, priority in (("second", 20), ("first", 10)):
+            engine.register(
+                Rule(
+                    name=name,
+                    event=on_create("Account"),
+                    kind=RuleKind.ACTION,
+                    action=lambda ctx, n=name: fired.append(n),
+                    priority=priority,
+                )
+            )
+        schema.create("Account", owner="a")
+        assert fired == ["first", "second"]
+
+    def test_statistics(self, schema, engine):
+        rule = engine.register(non_negative_rule(on_violation=OnViolation.WARN))
+        account = schema.create("Account", owner="a")
+        account.set("balance", 5)
+        account.set("balance", -5)
+        assert rule.fired == 2
+        assert rule.violations == 1
+
+
+class TestDeferred:
+    def test_checked_at_commit(self, schema, engine):
+        engine.register(
+            non_negative_rule(mode=Mode.DEFERRED)
+        )
+        account = schema.create("Account", owner="a")
+        account.set("balance", -5)  # allowed now
+        assert account.get("balance") == -5
+        with pytest.raises(ConstraintViolation):
+            schema.commit()
+        # automatic abort rolled everything back
+        assert schema.count("Account") == 0
+
+    def test_transient_violation_fixed_before_commit(self, schema, engine):
+        """Deferred rules assert the final state: a mid-transaction dip
+        below zero is fine if the balance is valid at commit."""
+        engine.register(non_negative_rule(mode=Mode.DEFERRED))
+        account = schema.create("Account", owner="a")
+        account.set("balance", -5)
+        account.set("balance", 5)
+        schema.commit()
+        assert account.get("balance") == 5
+
+    def test_deferred_on_deleted_object_skipped(self, schema, engine):
+        engine.register(non_negative_rule(mode=Mode.DEFERRED))
+        account = schema.create("Account", owner="a")
+        account.set("balance", -5)
+        schema.delete(account)
+        schema.commit()  # no violation: object gone
+
+    def test_queue_cleared_after_abort(self, schema, engine):
+        engine.register(non_negative_rule(mode=Mode.DEFERRED))
+        account = schema.create("Account", owner="a")
+        account.set("balance", -5)
+        schema.abort()
+        schema.commit()  # queue must be empty now
+
+
+class TestViolationModes:
+    def test_warn_records(self, schema, engine):
+        engine.register(non_negative_rule(on_violation=OnViolation.WARN))
+        account = schema.create("Account", owner="a")
+        account.set("balance", -1)
+        assert account.get("balance") == -1  # change allowed
+        assert len(engine.warnings) == 1
+        assert engine.warnings[0].rule_name == "non_negative"
+        engine.clear_warnings()
+        assert engine.warnings == []
+
+    def test_repair_fixes(self, schema, engine):
+        def clamp(ctx):
+            ctx.target._values["balance"] = 0
+
+        engine.register(
+            non_negative_rule(
+                on_violation=OnViolation.REPAIR,
+                action=clamp,
+                condition=lambda ctx: ctx.target.get("balance") >= 0,
+            )
+        )
+        account = schema.create("Account", owner="a")
+        account.set("balance", -5)
+        assert account.get("balance") == 0
+
+    def test_repair_requires_action(self):
+        with pytest.raises(RuleError):
+            Rule(
+                name="r",
+                event=on_create(),
+                condition=lambda ctx: True,
+                on_violation=OnViolation.REPAIR,
+            )
+
+    def test_interactive_reject(self, schema, engine):
+        engine.register(
+            non_negative_rule(on_violation=OnViolation.INTERACTIVE)
+        )
+        engine.set_interactive_handler(lambda rule, ctx: False)
+        account = schema.create("Account", owner="a")
+        with pytest.raises(ConstraintViolation, match="rejected"):
+            account.set("balance", -1)
+
+    def test_interactive_without_handler_rejects(self, schema, engine):
+        engine.register(
+            non_negative_rule(on_violation=OnViolation.INTERACTIVE)
+        )
+        account = schema.create("Account", owner="a")
+        with pytest.raises(ConstraintViolation):
+            account.set("balance", -1)
+
+
+class TestRelationshipRules:
+    def test_before_relate_veto(self, schema, engine):
+        engine.register(
+            Rule(
+                name="no_self_link",
+                event=on_relate("Linked", before=True),
+                condition=lambda ctx: ctx.origin.oid != ctx.destination.oid,
+                kind=RuleKind.RELATIONSHIP,
+            )
+        )
+        a, b = schema.create("Account"), schema.create("Account")
+        schema.relate("Linked", a, b)
+        with pytest.raises(ConstraintViolation):
+            schema.relate("Linked", a, a)
+        assert len(a.outgoing("Linked")) == 1
+
+
+class TestActionRules:
+    def test_derivation_action(self, schema, engine):
+        """ACTION rules run their action, no constraint involved."""
+        log = []
+        engine.register(
+            Rule(
+                name="audit",
+                event=on_create("Account"),
+                kind=RuleKind.ACTION,
+                action=lambda ctx: log.append(ctx.target.oid),
+            )
+        )
+        a = schema.create("Account", owner="x")
+        assert log == [a.oid]
+
+    def test_cascade_limit(self, schema, engine):
+        """An action that re-triggers itself is stopped (§5.2.2.2)."""
+
+        def pump(ctx):
+            ctx.target.set("balance", (ctx.target.get("balance") or 0) + 1)
+
+        engine.register(
+            Rule(
+                name="runaway",
+                event=on_update("Account", attribute="balance"),
+                kind=RuleKind.ACTION,
+                action=pump,
+            )
+        )
+        account = schema.create("Account", owner="a")
+        with pytest.raises(RuleCascadeError):
+            account.set("balance", 1)
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self, engine):
+        engine.register(non_negative_rule())
+        with pytest.raises(RuleError):
+            engine.register(non_negative_rule())
+
+    def test_unregister(self, schema, engine):
+        engine.register(non_negative_rule(target_class="Account"))
+        assert schema.get_class("Account").constraints
+        engine.unregister("non_negative")
+        assert not schema.get_class("Account").constraints
+        schema.create("Account", owner="a").set("balance", -1)  # gone
+
+    def test_get_unknown(self, engine):
+        with pytest.raises(RuleError):
+            engine.get("nope")
+
+    def test_class_constraint_attachment(self, schema, engine):
+        engine.register(non_negative_rule(target_class="Account"))
+        constraints = schema.get_class("Premium").all_constraints()
+        assert any(c.name == "non_negative" for c in constraints)
+
+    def test_detach_stops_listening(self, schema, engine):
+        engine.register(non_negative_rule())
+        engine.detach()
+        schema.create("Account", owner="a").set("balance", -1)  # unchecked
+
+
+class TestSubclassCoverage:
+    """Rules on abstract classes cover the whole hierarchy, including
+    through composite event specs."""
+
+    def test_composite_spec_covers_subclass(self, schema, engine):
+        from repro.rules import AnyOf
+
+        fired = []
+        engine.register(
+            Rule(
+                name="account_watch",
+                event=AnyOf(
+                    on_create("Account"),
+                    on_update("Account", attribute="balance"),
+                ),
+                kind=RuleKind.ACTION,
+                action=lambda ctx: fired.append(ctx.event.kind.value),
+            )
+        )
+        premium = schema.create("Premium", owner="p")
+        premium.set("balance", 5)
+        assert "after_create" in fired
+        assert "after_update" in fired
+
+    def test_unrelated_class_not_covered(self, schema, engine):
+        fired = []
+        engine.register(
+            Rule(
+                name="only_premium",
+                event=on_create("Premium"),
+                kind=RuleKind.ACTION,
+                action=lambda ctx: fired.append(1),
+            )
+        )
+        schema.create("Account", owner="plain")  # superclass: no match
+        assert fired == []
+        schema.create("Premium", owner="p")
+        assert fired == [1]

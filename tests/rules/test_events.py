@@ -1,0 +1,96 @@
+"""Event specifications: primitive and composite (§5.2.1.1)."""
+
+from repro.core.events import Event, EventKind
+from repro.rules.events import (
+    AllOf,
+    AnyOf,
+    On,
+    Sequence,
+    on_commit,
+    on_create,
+    on_delete,
+    on_relate,
+    on_unrelate,
+    on_update,
+)
+
+
+def ev(kind, class_name="", attribute=""):
+    return Event(kind=kind, class_name=class_name, attribute=attribute)
+
+
+class TestPrimitive:
+    def test_kind_match(self):
+        spec = On(EventKind.AFTER_CREATE)
+        assert spec.matches(ev(EventKind.AFTER_CREATE))
+        assert not spec.matches(ev(EventKind.AFTER_DELETE))
+
+    def test_class_narrowing(self):
+        spec = On(EventKind.AFTER_CREATE, class_name="Taxon")
+        assert spec.matches(ev(EventKind.AFTER_CREATE, "Taxon"))
+        assert not spec.matches(ev(EventKind.AFTER_CREATE, "Specimen"))
+
+    def test_attribute_narrowing(self):
+        spec = On(EventKind.AFTER_UPDATE, class_name="T", attribute="rank")
+        assert spec.matches(ev(EventKind.AFTER_UPDATE, "T", "rank"))
+        assert not spec.matches(ev(EventKind.AFTER_UPDATE, "T", "name"))
+
+    def test_kinds(self):
+        assert On(EventKind.AFTER_CREATE).kinds() == {EventKind.AFTER_CREATE}
+
+    def test_constructors(self):
+        assert on_update("T", before=True).kind is EventKind.BEFORE_UPDATE
+        assert on_create("T").kind is EventKind.AFTER_CREATE
+        assert on_delete(before=True).kind is EventKind.BEFORE_DELETE
+        assert on_relate("R").kind is EventKind.AFTER_RELATE
+        assert on_unrelate("R", before=True).kind is EventKind.BEFORE_UNRELATE
+        assert on_commit().kind is EventKind.BEFORE_COMMIT
+
+
+class TestComposite:
+    def test_any_of(self):
+        spec = AnyOf(
+            On(EventKind.AFTER_CREATE), On(EventKind.AFTER_DELETE)
+        )
+        assert spec.feed(ev(EventKind.AFTER_CREATE))
+        assert spec.feed(ev(EventKind.AFTER_DELETE))
+        assert not spec.feed(ev(EventKind.AFTER_UPDATE))
+        assert spec.kinds() == {
+            EventKind.AFTER_CREATE, EventKind.AFTER_DELETE
+        }
+
+    def test_all_of_accumulates(self):
+        spec = AllOf(
+            On(EventKind.AFTER_CREATE), On(EventKind.AFTER_UPDATE)
+        )
+        assert not spec.feed(ev(EventKind.AFTER_CREATE))
+        assert not spec.feed(ev(EventKind.AFTER_CREATE))  # same again
+        assert spec.feed(ev(EventKind.AFTER_UPDATE))
+
+    def test_all_of_resets(self):
+        spec = AllOf(On(EventKind.AFTER_CREATE), On(EventKind.AFTER_UPDATE))
+        spec.feed(ev(EventKind.AFTER_CREATE))
+        spec.reset()
+        assert not spec.feed(ev(EventKind.AFTER_UPDATE))
+
+    def test_sequence_ordered(self):
+        spec = Sequence(On(EventKind.AFTER_CREATE), On(EventKind.AFTER_DELETE))
+        # Wrong order first: delete before create doesn't advance.
+        assert not spec.feed(ev(EventKind.AFTER_DELETE))
+        assert not spec.feed(ev(EventKind.AFTER_CREATE))
+        assert spec.feed(ev(EventKind.AFTER_DELETE))
+
+    def test_sequence_resets(self):
+        spec = Sequence(On(EventKind.AFTER_CREATE), On(EventKind.AFTER_DELETE))
+        spec.feed(ev(EventKind.AFTER_CREATE))
+        spec.reset()
+        assert not spec.feed(ev(EventKind.AFTER_DELETE))
+
+    def test_nested_composites(self):
+        spec = AnyOf(
+            AllOf(On(EventKind.AFTER_CREATE), On(EventKind.AFTER_UPDATE)),
+            On(EventKind.AFTER_DELETE),
+        )
+        assert spec.feed(ev(EventKind.AFTER_DELETE))
+        assert not spec.feed(ev(EventKind.AFTER_CREATE))
+        assert spec.feed(ev(EventKind.AFTER_UPDATE))

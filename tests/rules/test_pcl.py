@@ -1,0 +1,201 @@
+"""PCL: parsing and translation into Prometheus rules (§5.2.3)."""
+
+import pytest
+
+from repro.core.attributes import Attribute
+from repro.core.schema import Schema
+from repro.core import types as T
+from repro.errors import ConstraintViolation, PCLError
+from repro.rules import (
+    Mode,
+    PclParser,
+    RuleEngine,
+    RuleKind,
+    format_translation,
+    translate_pcl,
+)
+
+
+@pytest.fixture
+def schema():
+    s = Schema()
+    s.define_class(
+        "Taxon",
+        [
+            Attribute("name", T.STRING),
+            Attribute("rank", T.STRING),
+            Attribute("size", T.INTEGER, default=0),
+        ],
+    )
+    s.define_relationship("PlacedIn", "Taxon", "Taxon")
+    return s
+
+
+@pytest.fixture
+def engine(schema):
+    return RuleEngine(schema)
+
+
+class TestParsing:
+    def test_single_inv(self, schema):
+        clauses = PclParser(
+            'context Taxon inv named : self.name <> null'
+        ).parse()
+        assert len(clauses) == 1
+        assert clauses[0].kind == "inv"
+        assert clauses[0].name == "named"
+        assert clauses[0].context_class == "Taxon"
+
+    def test_anonymous_clause_gets_generated_name(self, schema):
+        clauses = PclParser("context Taxon inv : self.size >= 0").parse()
+        assert clauses[0].name == "Taxon_inv_1"
+
+    def test_when_clause(self, schema):
+        clauses = PclParser(
+            'context Taxon inv when self.rank = "Genus" : '
+            'self.name <> ""'
+        ).parse()
+        assert "Genus" in clauses[0].when_text
+
+    def test_mode_keyword(self, schema):
+        clauses = PclParser(
+            "context Taxon inv fast immediate : self.size >= 0"
+        ).parse()
+        assert clauses[0].mode is Mode.IMMEDIATE
+
+    def test_multiple_clauses_one_context(self, schema):
+        clauses = PclParser(
+            """
+            context Taxon
+                inv a : self.size >= 0
+                inv b : self.name <> null
+                pre c : new <> null
+            """
+        ).parse()
+        assert [c.kind for c in clauses] == ["inv", "inv", "pre"]
+
+    def test_multiple_contexts(self, schema):
+        clauses = PclParser(
+            """
+            context Taxon inv : self.size >= 0
+            context PlacedIn relinv : origin.oid <> destination.oid
+            """
+        ).parse()
+        assert [c.context_class for c in clauses] == ["Taxon", "PlacedIn"]
+
+    def test_implies(self, schema):
+        clauses = PclParser(
+            'context Taxon inv : self.rank = "Genus" implies self.size > 0'
+        ).parse()
+        assert "or" in clauses[0].condition_text
+
+    def test_empty_context_rejected(self):
+        with pytest.raises(PCLError):
+            PclParser("context Taxon").parse()
+
+    def test_missing_context_keyword(self):
+        with pytest.raises(PCLError):
+            PclParser("invariant Taxon inv : true").parse()
+
+
+class TestTranslation:
+    def test_inv_defaults_deferred(self, schema, engine):
+        rules = translate_pcl(
+            "context Taxon inv sized : self.size >= 0", schema, engine
+        )
+        assert rules[0].kind is RuleKind.INVARIANT
+        assert rules[0].mode is Mode.DEFERRED
+        assert rules[0].target_class == "Taxon"
+
+    def test_pre_is_immediate_before_update(self, schema, engine):
+        rules = translate_pcl(
+            "context Taxon pre : new <> null", schema, engine
+        )
+        assert rules[0].kind is RuleKind.PRECONDITION
+        assert rules[0].mode is Mode.IMMEDIATE
+
+    def test_relinv_requires_relationship_class(self, schema):
+        with pytest.raises(PCLError):
+            translate_pcl(
+                "context Taxon relinv : origin.oid <> destination.oid",
+                schema,
+            )
+
+    def test_unknown_context_class(self, schema):
+        with pytest.raises(PCLError):
+            translate_pcl("context Ghost inv : true or false", schema)
+
+    def test_format_translation(self, schema):
+        rules = translate_pcl(
+            'context Taxon inv sized when self.rank = "Genus" : '
+            "self.size >= 0",
+            schema,
+        )
+        text = format_translation(rules[0])
+        assert "rule sized" in text
+        assert "when" in text
+        assert "deferred" in text
+
+
+class TestEnforcement:
+    def test_inv_enforced_at_commit(self, schema, engine):
+        translate_pcl("context Taxon inv : self.size >= 0", schema, engine)
+        taxon = schema.create("Taxon", name="x")
+        taxon.set("size", -1)
+        with pytest.raises(ConstraintViolation):
+            schema.commit()
+        assert schema.count("Taxon") == 0  # aborted
+
+    def test_immediate_inv(self, schema, engine):
+        translate_pcl(
+            "context Taxon inv immediate : self.size >= 0", schema, engine
+        )
+        taxon = schema.create("Taxon", name="x")
+        with pytest.raises(ConstraintViolation):
+            taxon.set("size", -1)
+        assert taxon.get("size") == 0
+
+    def test_pre_condition_sees_old_and_new(self, schema, engine):
+        translate_pcl(
+            "context Taxon pre grow on size : new >= old",
+            schema,
+            engine,
+        )
+        taxon = schema.create("Taxon", name="x", size=5)
+        taxon.set("size", 6)
+        with pytest.raises(ConstraintViolation):
+            taxon.set("size", 2)
+
+    def test_relinv_enforced(self, schema, engine):
+        translate_pcl(
+            "context PlacedIn relinv : origin.oid <> destination.oid",
+            schema,
+            engine,
+        )
+        a, b = schema.create("Taxon"), schema.create("Taxon")
+        schema.relate("PlacedIn", a, b)
+        with pytest.raises(ConstraintViolation):
+            schema.relate("PlacedIn", a, a)
+
+    def test_when_gates_enforcement(self, schema, engine):
+        translate_pcl(
+            'context Taxon inv immediate when self.rank = "Genus" : '
+            "self.size > 0",
+            schema,
+            engine,
+        )
+        schema.create("Taxon", name="ok", rank="Species", size=0)
+        with pytest.raises(ConstraintViolation):
+            schema.create("Taxon", name="bad", rank="Genus", size=0)
+
+    def test_figure_23_style_implication(self, schema, engine):
+        """PCL example: rank Genus implies capitalised name."""
+        translate_pcl(
+            "context Taxon inv immediate : "
+            'self.rank = "Genus" implies self.name.length() > 0',
+            schema,
+            engine,
+        )
+        schema.create("Taxon", name="", rank="Species")  # fine
+        with pytest.raises(ConstraintViolation):
+            schema.create("Taxon", name="", rank="Genus")

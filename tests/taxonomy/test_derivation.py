@@ -1,0 +1,171 @@
+"""Name derivation — including the exact Figure 3 reproduction."""
+
+import pytest
+
+from repro.taxonomy import (
+    HOLOTYPE,
+    NameDeriver,
+    TaxonomyDatabase,
+    build_apium_scenario,
+    check_ascriptions,
+    placement_anchor_rank,
+)
+
+
+class TestAnchorRank:
+    def test_species_anchor_is_genus(self):
+        assert placement_anchor_rank("Species").name == "Genus"
+
+    def test_infrageneric_anchor_is_genus(self):
+        assert placement_anchor_rank("Sectio").name == "Genus"
+        assert placement_anchor_rank("Series").name == "Genus"
+
+    def test_infraspecific_anchor_is_species(self):
+        assert placement_anchor_rank("Subspecies").name == "Species"
+        assert placement_anchor_rank("Varietas").name == "Species"
+
+    def test_genus_and_above_uninomial(self):
+        assert placement_anchor_rank("Genus") is None
+        assert placement_anchor_rank("Familia") is None
+
+
+class TestFigure3:
+    """The thesis's worked derivation example, reproduced end to end."""
+
+    @pytest.fixture
+    def derived(self):
+        scenario = build_apium_scenario()
+        deriver = NameDeriver(scenario.taxdb, author="Raguenaud", year=2000)
+        results = deriver.derive(scenario.classification)
+        return scenario, results
+
+    def test_taxon1_becomes_heliosciadium(self, derived):
+        scenario, _ = derived
+        name = scenario.taxdb.calculated_name(scenario.taxon1)
+        assert scenario.taxdb.full_name(name) == "Heliosciadium W.D.J.Koch"
+        assert name.oid == scenario.nt_heliosciadium.oid
+
+    def test_taxon2_new_combination_published(self, derived):
+        scenario, results = derived
+        name = scenario.taxdb.calculated_name(scenario.taxon2)
+        assert (
+            scenario.taxdb.full_name(name)
+            == "Heliosciadium repens (Jacq.)Raguenaud"
+        )
+        species_result = [r for r in results if r.ct_oid == scenario.taxon2.oid][0]
+        assert species_result.action == "new-combination"
+
+    def test_new_combination_carries_basionym(self, derived):
+        scenario, _ = derived
+        name = scenario.taxdb.calculated_name(scenario.taxon2)
+        basionym = scenario.taxdb.basionym_of(name)
+        assert basionym.oid == scenario.nt_repens_basionym.oid
+
+    def test_new_combination_keeps_type(self, derived):
+        scenario, _ = derived
+        name = scenario.taxdb.calculated_name(scenario.taxon2)
+        assert (
+            scenario.taxdb.primary_type(name).oid
+            == scenario.specimen_repens.oid
+        )
+
+    def test_oldest_candidate_chosen(self, derived):
+        """Apium repens (1821) beats Heliosciadium nodiflorum (1824)."""
+        scenario, results = derived
+        species_result = [r for r in results if r.ct_oid == scenario.taxon2.oid][0]
+        assert scenario.nt_apium_repens.oid in species_result.candidates
+        assert scenario.nt_heliosciadium_nodiflorum.oid in species_result.candidates
+        # The chosen epithet is repens, not nodiflorum.
+        name = scenario.taxdb.calculated_name(scenario.taxon2)
+        assert name.get("epithet") == "repens"
+
+    def test_derivation_is_traced(self, derived):
+        scenario, _ = derived
+        entries = scenario.taxdb.trace.for_classification(
+            scenario.classification.name
+        )
+        assert any(e.operation == "derive-names" for e in entries)
+
+    def test_rederivation_is_stable(self, derived):
+        """Deriving again finds the published combination, creates nothing."""
+        scenario, _ = derived
+        names_before = len(scenario.taxdb.names())
+        deriver = NameDeriver(scenario.taxdb, author="Again", year=2001)
+        results = deriver.derive(scenario.classification)
+        assert all(r.action == "existing" for r in results)
+        assert len(scenario.taxdb.names()) == names_before
+
+
+class TestNewNamePublication:
+    def test_empty_group_elects_type_and_publishes(self):
+        taxdb = TaxonomyDatabase()
+        c = taxdb.new_classification("c")
+        genus = taxdb.new_taxon("Genus", working_name="Novagenus")
+        species = taxdb.new_taxon("Species", working_name="novaspecies")
+        taxdb.place(c, genus, species)
+        specimens = [taxdb.new_specimen() for _ in range(2)]
+        for s in specimens:
+            taxdb.place(c, species, s)
+        deriver = NameDeriver(taxdb, author="Me", year=2026)
+        results = deriver.derive(c)
+        assert [r.action for r in results] == ["new-name", "new-name"]
+        genus_nt = taxdb.calculated_name(genus)
+        species_nt = taxdb.calculated_name(species)
+        assert genus_nt.get("epithet") == "Novagenus"
+        assert species_nt.get("epithet") == "novaspecies"
+        assert taxdb.full_name(species_nt) == "Novagenus novaspecies Me"
+        # The elected holotype is the lowest-oid specimen.
+        assert taxdb.primary_type(species_nt).oid == min(s.oid for s in specimens)
+
+    def test_bare_group_without_specimens_fails(self):
+        taxdb = TaxonomyDatabase()
+        c = taxdb.new_classification("c")
+        genus = taxdb.new_taxon("Genus", working_name="Emptius")
+        sp = taxdb.new_taxon("Species", working_name="vacuus")
+        taxdb.place(c, genus, sp)
+        deriver = NameDeriver(taxdb, author="Me", year=2026)
+        results = deriver.derive(c)
+        assert all(r.action == "failed" for r in results)
+
+    def test_bad_working_name_corrected_for_rank(self):
+        taxdb = TaxonomyDatabase()
+        c = taxdb.new_classification("c")
+        family = taxdb.new_taxon("Familia", working_name="Apiales")
+        taxdb.place(
+            c, family, taxdb.new_taxon("Genus", working_name="Apium")
+        )
+        genus = c.children(family)[0]
+        specimen = taxdb.new_specimen()
+        species = taxdb.new_taxon("Species", working_name="x")
+        taxdb.place(c, genus, species)
+        taxdb.place(c, species, specimen)
+        deriver = NameDeriver(taxdb, author="Me", year=2026)
+        deriver.derive(c)
+        family_nt = taxdb.calculated_name(family)
+        assert family_nt.get("epithet").endswith("aceae")
+
+
+class TestHistoricalAscriptions:
+    def test_mismatch_detected(self):
+        """§7.1.2: a historically ascribed name that no longer derives."""
+        scenario = build_apium_scenario()
+        taxdb = scenario.taxdb
+        # The historical publication called Taxon 2 "Apium repens".
+        taxdb.ascribe_name(scenario.taxon2, scenario.nt_apium_repens)
+        NameDeriver(taxdb, author="Raguenaud", year=2000).derive(
+            scenario.classification
+        )
+        mismatches = check_ascriptions(taxdb, scenario.classification)
+        assert len(mismatches) == 1
+        ct_oid, ascribed, calculated = mismatches[0]
+        assert ct_oid == scenario.taxon2.oid
+        assert ascribed == "Apium repens (Jacq.)Lag."
+        assert calculated == "Heliosciadium repens (Jacq.)Raguenaud"
+
+    def test_match_not_reported(self):
+        scenario = build_apium_scenario()
+        taxdb = scenario.taxdb
+        taxdb.ascribe_name(scenario.taxon1, scenario.nt_heliosciadium)
+        NameDeriver(taxdb, author="R", year=2000).derive(scenario.classification)
+        mismatches = check_ascriptions(taxdb, scenario.classification)
+        assert all(oid != scenario.taxon1.oid for oid, _, _ in mismatches)

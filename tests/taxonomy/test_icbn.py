@@ -1,0 +1,231 @@
+"""ICBN rules (Figures 35–40) enforced through the rule engine."""
+
+import pytest
+
+from repro.errors import ConstraintViolation
+from repro.rules import OnViolation, RuleEngine
+from repro.taxonomy import HOLOTYPE, TaxonomyDatabase
+from repro.taxonomy.icbn_rules import (
+    all_icbn_rules,
+    install_icbn_rules,
+)
+
+
+@pytest.fixture
+def taxdb():
+    return TaxonomyDatabase()
+
+
+@pytest.fixture
+def engine(taxdb):
+    return install_icbn_rules(taxdb)
+
+
+class TestFamilyNameRule:
+    def test_wrong_ending_rejected(self, taxdb, engine):
+        with pytest.raises(ConstraintViolation, match="icbn_family_name"):
+            taxdb.publish_name("Apiales", "Familia", validate=False)
+
+    def test_correct_ending_accepted(self, taxdb, engine):
+        taxdb.publish_name("Apiaceae", "Familia")
+
+    def test_conserved_exception_accepted(self, taxdb, engine):
+        taxdb.publish_name("Compositae", "Familia", validate=False)
+
+    def test_rank_change_rechecked(self, taxdb, engine):
+        nt = taxdb.publish_name("Apium", "Genus")
+        with pytest.raises(ConstraintViolation):
+            nt.set("rank", "Familia")
+        assert nt.get("rank") == "Genus"  # rolled back
+
+    def test_other_ranks_unaffected(self, taxdb, engine):
+        taxdb.publish_name("Apium", "Genus")  # no -aceae needed
+
+
+class TestGenusNameRule:
+    def test_lowercase_rejected(self, taxdb, engine):
+        with pytest.raises(ConstraintViolation, match="icbn_genus_name"):
+            taxdb.publish_name("apium", "Genus", validate=False)
+
+    def test_hyphen_allowed(self, taxdb, engine):
+        taxdb.publish_name("Rosa-sinensis", "Genus")
+
+
+class TestTypeExistenceRule:
+    def test_warns_by_default_at_commit(self, taxdb, engine):
+        taxdb.publish_name("Apium", "Genus")
+        taxdb.commit()
+        assert any(
+            v.rule_name == "icbn_type_existence" for v in engine.warnings
+        )
+
+    def test_typified_name_passes(self, taxdb, engine):
+        nt = taxdb.publish_name("Apium", "Genus")
+        taxdb.typify(nt, taxdb.new_specimen(), HOLOTYPE)
+        taxdb.commit()
+        assert engine.warnings == []
+
+    def test_strict_mode_aborts(self, taxdb):
+        engine = install_icbn_rules(taxdb, strict_types=True)
+        taxdb.publish_name("Apium", "Genus")
+        with pytest.raises(ConstraintViolation):
+            taxdb.commit()
+        # automatic transaction abortion: nothing persisted in-session
+        assert taxdb.schema.dirty_count == 0
+        assert taxdb.names() == []
+
+    def test_invalid_names_exempt(self, taxdb, engine):
+        taxdb.publish_name("Dubium", "Genus", status="invalid")
+        taxdb.commit()
+        assert engine.warnings == []
+
+
+class TestRankWindowRules:
+    def test_species_under_family_rejected(self, taxdb, engine):
+        c = taxdb.new_classification("c")
+        family = taxdb.new_taxon("Familia")
+        species = taxdb.new_taxon("Species")
+        with pytest.raises(ConstraintViolation, match="icbn_species_rank"):
+            taxdb.place(c, family, species)
+
+    def test_species_under_genus_ok(self, taxdb, engine):
+        c = taxdb.new_classification("c")
+        taxdb.place(c, taxdb.new_taxon("Genus"), taxdb.new_taxon("Species"))
+
+    def test_species_under_sectio_ok(self, taxdb, engine):
+        c = taxdb.new_classification("c")
+        taxdb.place(c, taxdb.new_taxon("Sectio"), taxdb.new_taxon("Species"))
+
+    def test_series_under_family_rejected(self, taxdb, engine):
+        c = taxdb.new_classification("c")
+        with pytest.raises(ConstraintViolation, match="icbn_series_rank"):
+            taxdb.place(c, taxdb.new_taxon("Familia"), taxdb.new_taxon("Series"))
+
+    def test_series_under_genus_ok(self, taxdb, engine):
+        c = taxdb.new_classification("c")
+        taxdb.place(c, taxdb.new_taxon("Genus"), taxdb.new_taxon("Series"))
+
+
+class TestPlacementRule:
+    def test_direct_relate_checked(self, taxdb, engine):
+        """The relationship rule guards even raw schema.relate calls that
+        bypass the TaxonomyDatabase.place API."""
+        genus = taxdb.new_taxon("Genus")
+        family = taxdb.new_taxon("Familia")
+        with pytest.raises(ConstraintViolation, match="icbn_placement"):
+            taxdb.schema.relate("Includes", genus, family)
+
+    def test_specimen_placement_unconstrained(self, taxdb, engine):
+        species = taxdb.new_taxon("Species")
+        taxdb.schema.relate("Includes", species, taxdb.new_specimen())
+
+
+class TestEpithetFormRule:
+    def test_warns_on_bad_epithet(self, taxdb, engine):
+        # Capitalised Species epithet: violates §2.1.2 form (the genus
+        # rule does not apply at this rank, so only the warning fires).
+        taxdb.publish_name("Graveolens", "Species", validate=False)
+        assert any(
+            v.rule_name == "icbn_epithet_form" for v in engine.warnings
+        )
+
+
+class TestAudit:
+    def test_check_all_invariants_reports_existing_violations(self, taxdb):
+        # Insert bad data BEFORE installing rules (historical import).
+        taxdb.publish_name("Apiales", "Familia", validate=False)
+        engine = install_icbn_rules(taxdb)
+        violations = engine.check_all_invariants()
+        assert any(v.rule_name == "icbn_family_name" for v in violations)
+
+    def test_rule_inventory(self):
+        rules = all_icbn_rules()
+        names = {r.name for r in rules}
+        assert names == {
+            "icbn_family_name",
+            "icbn_genus_name",
+            "icbn_type_existence",
+            "icbn_species_rank",
+            "icbn_series_rank",
+            "icbn_placement",
+            "icbn_epithet_form",
+        }
+
+    def test_interactive_override(self, taxdb):
+        """Interactive rules (§5.2): the handler may accept a violation."""
+        engine = RuleEngine(taxdb.schema)
+        from repro.taxonomy.icbn_rules import family_name_rule
+
+        rule = family_name_rule()
+        rule.on_violation = OnViolation.INTERACTIVE
+        engine.register(rule)
+        decisions = []
+
+        def handler(r, ctx):
+            decisions.append(r.name)
+            return True  # taxonomist accepts the exception
+
+        engine.set_interactive_handler(handler)
+        nt = taxdb.publish_name("Apiales", "Familia", validate=False)
+        assert nt.get("epithet") == "Apiales"
+        # The rule fires on both the attribute update and the creation
+        # event; the handler accepted each time.
+        assert set(decisions) == {"icbn_family_name"}
+        assert len(decisions) >= 1
+
+
+class TestAutonymRule:
+    """The autonym ACTION rule (§5.2 automatic actions)."""
+
+    @pytest.fixture
+    def autonym_taxdb(self):
+        taxdb = TaxonomyDatabase()
+        install_icbn_rules(taxdb, autonyms=True)
+        return taxdb
+
+    def test_autonym_established(self, autonym_taxdb):
+        taxdb = autonym_taxdb
+        genus = taxdb.publish_name("Apium", "Genus", author="L.", year=1753)
+        species = taxdb.publish_name(
+            "graveolens", "Species", author="L.", year=1753, placement=genus
+        )
+        taxdb.publish_name(
+            "dulce", "Varietas", author="Mill.", year=1768, placement=species
+        )
+        autonyms = [
+            nt
+            for nt in taxdb.find_names(epithet="graveolens", rank="Varietas")
+        ]
+        assert len(autonyms) == 1
+        autonym = autonyms[0]
+        assert taxdb.placement_of(autonym).oid == species.oid
+        assert autonym.get("author") == ""  # no author citation
+        assert (
+            taxdb.full_name(autonym) == "Apium graveolens graveolens"
+        )
+
+    def test_rule_is_self_terminating(self, autonym_taxdb):
+        """The autonym's own placement has matching epithets, so the rule
+        does not recurse (no cascade error, exactly one autonym)."""
+        taxdb = autonym_taxdb
+        genus = taxdb.publish_name("Apium", "Genus")
+        species = taxdb.publish_name(
+            "graveolens", "Species", placement=genus
+        )
+        taxdb.publish_name("dulce", "Varietas", placement=species)
+        taxdb.publish_name("rapaceum", "Varietas", placement=species)
+        autonyms = taxdb.find_names(epithet="graveolens", rank="Varietas")
+        assert len(autonyms) == 1  # established once, reused after
+
+    def test_no_autonym_for_species_in_genus(self, autonym_taxdb):
+        """Placement in a Genus is not infraspecific: no autonym."""
+        taxdb = autonym_taxdb
+        genus = taxdb.publish_name("Apium", "Genus")
+        taxdb.publish_name("graveolens", "Species", placement=genus)
+        assert taxdb.find_names(epithet="Apium", rank="Species") == []
+
+    def test_disabled_by_default(self, taxdb, engine):
+        genus = taxdb.publish_name("Apium", "Genus")
+        species = taxdb.publish_name("graveolens", "Species", placement=genus)
+        taxdb.publish_name("dulce", "Varietas", placement=species)
+        assert taxdb.find_names(epithet="graveolens", rank="Varietas") == []

@@ -1,0 +1,161 @@
+"""Legacy-data import (requirement 10)."""
+
+import pytest
+
+from repro.taxonomy import NameDeriver, TaxonomyDatabase
+from repro.taxonomy.importer import (
+    import_classification,
+    import_names,
+    import_specimens,
+)
+
+NAMES_CSV = """epithet,rank,author,year,publication,parent,basionym_author,status
+Apium,Genus,L.,1753,Sp. Pl.,,,
+graveolens,Species,L.,1753,Sp. Pl.,Apium,,
+repens,Species,Jacq.,1798,,,,
+repens,Species,Lag.,1821,,Apium,Jacq.,
+Heliosciadium,Genus,W.D.J.Koch,1824,,,,
+"""
+
+SPECIMENS_CSV = """collector,collection_number,herbarium,field_name,collected,type_of,type_kind
+Linnaeus,Herb.107,BM,apium-1,1753-05-01,graveolens,lectotype
+Jacquin,J-1,W,repens-1,,repens,holotype
+Anon,A-1,E,loose-1,,,
+"""
+
+PLACEMENTS_CSV = """child,child_rank,parent,parent_rank,specimen,motivation
+GenusGroup,Genus,,,,
+SpeciesGroup,Species,GenusGroup,Genus,,leaf shape
+,,SpeciesGroup,,apium-1,
+,,SpeciesGroup,,repens-1,
+"""
+
+
+@pytest.fixture
+def taxdb():
+    return TaxonomyDatabase()
+
+
+class TestImportNames:
+    def test_names_created_with_placements(self, taxdb):
+        report = import_names(taxdb, NAMES_CSV)
+        assert report.created_count == 5
+        assert report.skipped == []
+        combo = [
+            nt
+            for nt in taxdb.find_names(epithet="repens")
+            if nt.get("author") == "Lag."
+        ][0]
+        assert taxdb.placement_of(combo).get("epithet") == "Apium"
+        assert taxdb.full_name(combo) == "Apium repens (Jacq.)Lag."
+
+    def test_basionym_linked(self, taxdb):
+        import_names(taxdb, NAMES_CSV)
+        combo = [
+            nt
+            for nt in taxdb.find_names(epithet="repens")
+            if nt.get("author") == "Lag."
+        ][0]
+        assert taxdb.basionym_of(combo).get("author") == "Jacq."
+
+    def test_unknown_parent_created_as_bare_genus(self, taxdb):
+        report = import_names(
+            taxdb,
+            "epithet,rank,parent\nminor,Species,Ghostia\n",
+        )
+        assert report.created_count == 1
+        ghost = taxdb.find_names(epithet="Ghostia")
+        assert len(ghost) == 1
+        assert ghost[0].get("rank") == "Genus"
+
+    def test_bad_rows_reported(self, taxdb):
+        report = import_names(
+            taxdb,
+            "epithet,rank\n,Genus\nApium,Megarank\n",
+        )
+        assert report.created_count == 0
+        assert len(report.skipped) == 2
+        assert "missing epithet" in report.skipped[0][1]
+        assert "unknown rank" in report.skipped[1][1]
+
+    def test_dict_rows_accepted(self, taxdb):
+        report = import_names(
+            taxdb, [{"epithet": "Apium", "rank": "Genus", "year": "1753"}]
+        )
+        assert report.created_count == 1
+        assert taxdb.names()[0].get("year") == 1753
+
+
+class TestImportSpecimens:
+    def test_specimens_and_types(self, taxdb):
+        import_names(taxdb, NAMES_CSV)
+        report = import_specimens(taxdb, SPECIMENS_CSV)
+        assert report.created_count == 3
+        assert report.linked == 2
+        graveolens = taxdb.find_names(epithet="graveolens")[0]
+        primary = taxdb.primary_type(graveolens)
+        assert primary.get("field_name") == "apium-1"
+        assert primary.get("collected") is not None
+
+    def test_unknown_type_target_reported(self, taxdb):
+        report = import_specimens(
+            taxdb,
+            "collector,field_name,type_of\nX,s1,ghostium\n",
+        )
+        assert report.created_count == 1  # specimen still created
+        assert any("ghostium" in why for _, why in report.skipped)
+
+    def test_bad_date_skipped(self, taxdb):
+        report = import_specimens(
+            taxdb, "collector,collected\nX,not-a-date\n"
+        )
+        assert report.created_count == 0
+        assert any("bad date" in why for _, why in report.skipped)
+
+
+class TestImportClassification:
+    def test_full_pipeline_to_derivation(self, taxdb):
+        """Legacy import end-to-end: names + specimens + a classification,
+        then automatic name derivation over the imported data."""
+        import_names(taxdb, NAMES_CSV)
+        import_specimens(taxdb, SPECIMENS_CSV)
+        # The flat tables carry no name-to-name typification; complete the
+        # type hierarchy the way a curator would (Apium typified by its
+        # type species).
+        apium = taxdb.find_names(epithet="Apium")[0]
+        graveolens = taxdb.find_names(epithet="graveolens")[0]
+        taxdb.typify(apium, graveolens, "holotype")
+        classification, report = import_classification(
+            taxdb, "legacy revision", PLACEMENTS_CSV, author="importer"
+        )
+        assert report.created_count == 2  # two CTs
+        assert report.linked == 3  # one CT placement + two specimens
+        assert classification.is_tree()
+        results = NameDeriver(taxdb, author="Imp", year=2026).derive(
+            classification
+        )
+        assert all(r.succeeded for r in results)
+        genus_ct = [
+            t for t in taxdb.taxa() if taxdb.working_name_of(t) == "GenusGroup"
+        ][0]
+        assert taxdb.display_name(genus_ct) == "Apium L."
+
+    def test_rank_violations_reported_not_raised(self, taxdb):
+        _, report = import_classification(
+            taxdb,
+            "bad",
+            "child,child_rank,parent,parent_rank\n"
+            "G,Genus,,\n"
+            "F,Familia,G,Genus\n",  # family under genus: invalid
+        )
+        assert any("rank" in why.lower() for _, why in report.skipped)
+
+    def test_unknown_specimen_reported(self, taxdb):
+        _, report = import_classification(
+            taxdb,
+            "c",
+            "child,child_rank,parent,parent_rank,specimen\n"
+            "G,Genus,,,\n"
+            ",,G,,phantom\n",
+        )
+        assert any("phantom" in why for _, why in report.skipped)

@@ -1,0 +1,139 @@
+"""ICBN name-formation rules (§2.1.2)."""
+
+import pytest
+
+from repro.errors import NomenclatureError
+from repro.taxonomy.nomenclature import (
+    FAMILY_ENDING_EXCEPTIONS,
+    authorship,
+    correct_ending,
+    epithet_problems,
+    expected_ending,
+    format_full_name,
+    is_multinomial,
+    needs_placement,
+    requires_capital,
+    validate_epithet,
+)
+
+
+class TestCapitalisation:
+    def test_above_species_capitalised(self):
+        for rank in ("Genus", "Familia", "Sectio", "Series", "Subgenus"):
+            assert requires_capital(rank)
+
+    def test_species_and_below_lowercase(self):
+        for rank in ("Species", "Subspecies", "Varietas", "Forma"):
+            assert not requires_capital(rank)
+
+    def test_wrong_case_rejected(self):
+        with pytest.raises(NomenclatureError):
+            validate_epithet("apium", "Genus")
+        with pytest.raises(NomenclatureError):
+            validate_epithet("Graveolens", "Species")
+
+    def test_correct_case_accepted(self):
+        validate_epithet("Apium", "Genus")
+        validate_epithet("graveolens", "Species")
+
+
+class TestWordForm:
+    def test_multi_word_rejected(self):
+        with pytest.raises(NomenclatureError):
+            validate_epithet("Apium graveolens", "Genus")
+
+    def test_hyphen_only_at_genus(self):
+        validate_epithet("Rosa-sinensis", "Genus")
+        with pytest.raises(NomenclatureError):
+            validate_epithet("semi-alba", "Species")
+
+    def test_empty_and_whitespace(self):
+        with pytest.raises(NomenclatureError):
+            validate_epithet("", "Genus")
+        with pytest.raises(NomenclatureError):
+            validate_epithet(" Apium", "Genus")
+
+    def test_digits_rejected(self):
+        with pytest.raises(NomenclatureError):
+            validate_epithet("Apium2", "Genus")
+
+
+class TestEndings:
+    def test_family_must_end_aceae(self):
+        validate_epithet("Apiaceae", "Familia")
+        with pytest.raises(NomenclatureError):
+            validate_epithet("Apiales", "Familia")
+
+    def test_eight_family_exceptions(self):
+        assert len(FAMILY_ENDING_EXCEPTIONS) == 8
+        for name in FAMILY_ENDING_EXCEPTIONS:
+            validate_epithet(name, "Familia")
+
+    def test_subfamily_tribe_subtribe(self):
+        validate_epithet("Apioideae", "Subfamilia")
+        validate_epithet("Apieae", "Tribus")
+        validate_epithet("Apiinea", "Subtribus")
+        with pytest.raises(NomenclatureError):
+            validate_epithet("Apiaceae", "Subfamilia")
+
+    def test_expected_ending(self):
+        assert expected_ending("Familia") == "aceae"
+        assert expected_ending("Genus") is None
+
+    def test_correct_ending(self):
+        assert correct_ending("Apiales", "Familia") == "Apialesaceae"
+        assert correct_ending("Apiaceae", "Subfamilia") == "Apioideae"
+        assert correct_ending("Palmae", "Familia") == "Palmae"  # conserved
+        assert correct_ending("Apium", "Genus") == "Apium"
+
+    def test_epithet_problems_returns_message(self):
+        assert epithet_problems("Apium", "Genus") is None
+        assert "aceae" in epithet_problems("Wrongus", "Familia")
+
+
+class TestNameAssembly:
+    def test_is_multinomial(self):
+        assert is_multinomial("Species")
+        assert is_multinomial("Subspecies")
+        assert not is_multinomial("Genus")
+
+    def test_needs_placement(self):
+        assert needs_placement("Species")
+        assert needs_placement("Sectio")
+        assert not needs_placement("Genus")
+        assert not needs_placement("Familia")
+
+    def test_authorship_plain(self):
+        assert authorship("L.") == "L."
+
+    def test_authorship_with_basionym(self):
+        assert authorship("Lag.", "Jacq.") == "(Jacq.)Lag."
+
+    def test_authorship_already_bracketed(self):
+        assert authorship("(Jacq.)Lag.", "Jacq.") == "(Jacq.)Lag."
+
+    def test_format_uninomial(self):
+        assert format_full_name("Apium", "Genus", "L.") == "Apium L."
+
+    def test_format_binomial(self):
+        assert (
+            format_full_name(
+                "graveolens", "Species", "L.", parent_epithets=("Apium",)
+            )
+            == "Apium graveolens L."
+        )
+
+    def test_format_recombination(self):
+        assert (
+            format_full_name(
+                "repens",
+                "Species",
+                "Raguenaud",
+                parent_epithets=("Heliosciadium",),
+                basionym_author="Jacq.",
+            )
+            == "Heliosciadium repens (Jacq.)Raguenaud"
+        )
+
+    def test_format_without_author(self):
+        assert format_full_name("Apium", "Genus") == "Apium"

@@ -1,0 +1,103 @@
+"""Property-based tests over the taxonomy substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.taxonomy import (
+    FloraParameters,
+    NameDeriver,
+    generate_flora,
+)
+from repro.taxonomy.nomenclature import (
+    RANK_ENDINGS,
+    authorship,
+    correct_ending,
+    epithet_problems,
+    format_full_name,
+)
+from repro.taxonomy.ranks import RANK_SEQUENCE
+
+_ranked = st.sampled_from([r.name for r in RANK_SEQUENCE])
+_word = st.from_regex(r"[A-Za-z]{3,12}", fullmatch=True)
+
+
+class TestNomenclatureProperties:
+    @given(_word, st.sampled_from(sorted(RANK_ENDINGS)))
+    def test_correct_ending_idempotent(self, word, rank):
+        once = correct_ending(word, rank)
+        assert correct_ending(once, rank) == once
+
+    @given(_word, st.sampled_from(sorted(RANK_ENDINGS)))
+    def test_correct_ending_produces_required_suffix(self, word, rank):
+        from repro.taxonomy.nomenclature import FAMILY_ENDING_EXCEPTIONS
+
+        fixed = correct_ending(word, rank)
+        if rank == "Familia" and word in FAMILY_ENDING_EXCEPTIONS:
+            assert fixed == word
+        else:
+            assert fixed.endswith(RANK_ENDINGS[rank])
+
+    @given(_word, _word)
+    def test_authorship_brackets_exactly_once(self, author, basionym_author):
+        cite = authorship(author, basionym_author)
+        assert cite.count("(") == 1
+        assert cite == f"({basionym_author}){author}"
+        # And re-deriving with the already-bracketed author is stable.
+        assert authorship(cite, basionym_author) == cite
+
+    @given(_word, _ranked)
+    def test_epithet_problems_never_raises(self, word, rank):
+        # The message-returning form must be total over arbitrary words.
+        result = epithet_problems(word, rank)
+        assert result is None or isinstance(result, str)
+
+    @given(_word, _word)
+    def test_binomial_contains_both_parts(self, genus, species):
+        full = format_full_name(
+            species.lower(), "Species", "L.",
+            parent_epithets=(genus.capitalize(),),
+        )
+        assert genus.capitalize() in full
+        assert species.lower() in full
+        assert full.endswith("L.")
+
+
+class TestDerivationProperties:
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_generated_floras_always_derive_to_ascribed_names(self, seed):
+        """For any seed, deriving names over the generated flora finds
+        exactly the ascribed nomenclature — the generator and the ICBN
+        algorithm agree by construction."""
+        flora = generate_flora(
+            FloraParameters(
+                families=1,
+                genera_per_family=2,
+                species_per_genus=2,
+                specimens_per_species=1,
+                seed=seed,
+            )
+        )
+        taxdb = flora.taxdb
+        results = NameDeriver(taxdb, author="Prop", year=2026).derive(
+            flora.classification
+        )
+        assert all(r.action == "existing" for r in results)
+        for ct in flora.species_taxa + flora.genus_taxa + flora.family_taxa:
+            assert (
+                taxdb.calculated_name(ct).oid == taxdb.ascribed_name(ct).oid
+            )
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_derivation_publishes_nothing_on_consistent_data(self, seed):
+        flora = generate_flora(
+            FloraParameters(
+                families=1, genera_per_family=2, species_per_genus=2,
+                specimens_per_species=1, seed=seed,
+            )
+        )
+        before = len(flora.taxdb.names())
+        NameDeriver(flora.taxdb, author="Prop", year=2026).derive(
+            flora.classification
+        )
+        assert len(flora.taxdb.names()) == before

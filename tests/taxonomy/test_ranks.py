@@ -1,0 +1,140 @@
+"""ICBN rank hierarchy (Figure 1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RankOrderError
+from repro.taxonomy.ranks import (
+    RANK_SEQUENCE,
+    RankCategory,
+    get_rank,
+    is_rank,
+    primary_ranks,
+    ranks_between,
+    species_placement_valid,
+    validate_placement,
+    validate_rank_selection,
+    walk_down,
+)
+
+
+class TestSequence:
+    def test_full_sequence_length(self):
+        # 7 primary + 5 secondary, each with a sub-rank.
+        assert len(RANK_SEQUENCE) == 24
+
+    def test_strictly_increasing_orders(self):
+        orders = [r.order for r in RANK_SEQUENCE]
+        assert orders == sorted(orders)
+        assert len(set(orders)) == len(orders)
+
+    def test_primary_ranks(self):
+        names = [r.name for r in primary_ranks()]
+        assert names == [
+            "Regnum", "Divisio", "Classis", "Ordo", "Familia", "Genus",
+            "Species",
+        ]
+
+    def test_each_rank_followed_by_its_sub(self):
+        by_name = {r.name: r for r in RANK_SEQUENCE}
+        for rank in RANK_SEQUENCE:
+            if rank.category is RankCategory.SUB:
+                continue
+            sub = by_name["Sub" + rank.name.lower()]
+            assert sub.order == rank.order + 10
+
+    def test_key_orderings(self):
+        assert get_rank("Genus").is_above(get_rank("Species"))
+        assert get_rank("Familia").is_above(get_rank("Tribus"))
+        assert get_rank("Tribus").is_above(get_rank("Genus"))
+        assert get_rank("Sectio").is_above(get_rank("Series"))
+        assert get_rank("Species").is_above(get_rank("Varietas"))
+        assert get_rank("Species") < get_rank("Subspecies")
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_rank("genus") == get_rank("Genus")
+
+    def test_aliases(self):
+        assert get_rank("family").name == "Familia"
+        assert get_rank("kingdom").name == "Regnum"
+        assert get_rank("phyllum").name == "Divisio"  # thesis spelling
+
+    def test_unknown(self):
+        with pytest.raises(RankOrderError):
+            get_rank("Megagenus")
+
+    def test_is_rank(self):
+        assert is_rank("Species")
+        assert is_rank("variety")
+        assert not is_rank("Shoebox")
+
+
+class TestPlacementRules:
+    def test_valid_placement(self):
+        validate_placement("Genus", "Species")
+        validate_placement("Familia", "Genus")
+        validate_placement("Genus", "Sectio")
+
+    def test_same_rank_rejected(self):
+        with pytest.raises(RankOrderError):
+            validate_placement("Genus", "Genus")
+
+    def test_inverted_rejected(self):
+        with pytest.raises(RankOrderError):
+            validate_placement("Species", "Genus")
+
+    def test_species_placement_window(self):
+        assert species_placement_valid("Genus")
+        assert species_placement_valid("Subgenus")
+        assert species_placement_valid("Sectio")
+        assert species_placement_valid("Series")
+        assert species_placement_valid("Subseries")
+        assert not species_placement_valid("Species")
+        assert not species_placement_valid("Familia")
+
+
+class TestSelections:
+    def test_valid_selection(self):
+        ranks = validate_rank_selection(
+            ["Regnum", "Divisio", "Ordo", "Genus", "Sectio", "Species"]
+        )
+        assert [r.name for r in ranks][0] == "Regnum"
+
+    def test_non_descending_rejected(self):
+        with pytest.raises(RankOrderError):
+            validate_rank_selection(["Genus", "Familia"])
+
+    def test_ranks_between(self):
+        window = ranks_between("Genus", "Species")
+        names = [r.name for r in window]
+        assert names[0] == "Genus"
+        assert names[-1] == "Species"
+        assert "Sectio" in names
+        assert "Familia" not in names
+
+    def test_ranks_between_exclusive(self):
+        window = ranks_between(
+            "Genus", "Species", include_lower=False
+        )
+        assert window[-1].name != "Species"
+
+    def test_ranks_between_inverted(self):
+        with pytest.raises(RankOrderError):
+            ranks_between("Species", "Genus")
+
+    def test_walk_down(self):
+        below = list(walk_down("Varietas"))
+        assert [r.name for r in below] == ["Subvarietas", "Forma", "Subforma"]
+
+
+@given(st.sampled_from(RANK_SEQUENCE), st.sampled_from(RANK_SEQUENCE))
+def test_property_comparisons_consistent(a, b):
+    assert (a.is_above(b)) == (b.is_below(a))
+    assert (a < b) == (a.order < b.order)
+    if a.is_above(b):
+        validate_placement(a, b)
+    else:
+        with pytest.raises(RankOrderError):
+            validate_placement(a, b)

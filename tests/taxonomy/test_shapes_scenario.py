@@ -1,0 +1,164 @@
+"""The Figure 4 multiple-classifications scenario, end to end."""
+
+import pytest
+
+from repro.classification import Context, OverlapKind
+from repro.taxonomy import (
+    NameDeriver,
+    build_shapes_scenario,
+    compare_taxonomic,
+    deceptive_names,
+    name_based_synonyms,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    sc = build_shapes_scenario()
+    # Derive names for all four classifications, in chronological order.
+    for key, author, year in (
+        ("T1", "T1", 1900),
+        ("T2", "T2", 1920),
+        ("T3", "T3", 1950),
+        ("T4", "T4", 1980),
+    ):
+        NameDeriver(sc.taxdb, author=author, year=year).derive(
+            sc.classifications[key]
+        )
+    return sc
+
+
+class TestOverlappingClassifications:
+    def test_four_classifications_over_shared_specimens(self, scenario):
+        taxdb = scenario.taxdb
+        manager = taxdb.classifications
+        assert len(manager) == 4
+        white_square = scenario.specimens["white_square"]
+        classified_in = [
+            c.name for c in manager.classifications_of_node(white_square)
+        ]
+        assert len(classified_in) == 4
+
+    def test_mid_grey_square_ignored_by_t3(self, scenario):
+        """Taxonomist 3 deliberately ignores the mid-grey square (§2.1.3)."""
+        grey = scenario.specimens["grey_square"]
+        t3 = scenario.classifications["T3"]
+        assert grey.oid not in t3.node_oids()
+        t1 = scenario.classifications["T1"]
+        assert grey.oid in t1.node_oids()
+
+    def test_contexts_report_different_parents(self, scenario):
+        taxdb = scenario.taxdb
+        ctx = Context.of(taxdb.classifications, "T2 sections", "T3 brightness")
+        white_circle = scenario.specimens["white_circle"]
+        placements = ctx.placements_of(white_circle)
+        t2_parent = placements["T2 sections"][0]
+        t3_parent = placements["T3 brightness"][0]
+        assert taxdb.working_name_of(t2_parent) == "Circles"
+        assert taxdb.working_name_of(t3_parent) == "brightness white"
+        assert not ctx.agreement(white_circle)
+
+
+class TestTypePrecedence:
+    def test_white_group_named_squares(self, scenario):
+        """The brightness-white group contains the white square — the
+        oldest type — so the ICBN forces the name 'Squares' on a group
+        full of circles and ovals (the thesis's unintuitive result)."""
+        taxdb = scenario.taxdb
+        white_ct = scenario.taxa["T3/white"]
+        name = taxdb.calculated_name(white_ct)
+        assert name.get("epithet") == "Squares"
+
+    def test_every_t3_group_reuses_an_old_name(self, scenario):
+        taxdb = scenario.taxdb
+        for key in ("white", "pale", "light-grey", "dark-grey", "black"):
+            ct = scenario.taxa[f"T3/{key}"]
+            nt = taxdb.calculated_name(ct)
+            assert nt is not None
+            assert nt.get("year") in (1900, 1920)  # no new names needed
+
+    def test_top_groups_all_named_shapes(self, scenario):
+        taxdb = scenario.taxdb
+        for key in ("T1", "T2", "T3", "T4"):
+            top = scenario.taxa[f"{key}/Shapes"]
+            nt = taxdb.calculated_name(top)
+            assert nt.get("epithet") == "Shapes"
+
+    def test_diamonds_get_new_name_in_t4(self, scenario):
+        taxdb = scenario.taxdb
+        diamonds = scenario.taxa["T4/Diamonds"]
+        nt = taxdb.calculated_name(diamonds)
+        assert nt.get("year") == 1980
+        assert nt.get("author") == "T4"
+
+
+class TestSynonymDiscovery:
+    def test_specimen_based_full_synonyms_t2_t4(self, scenario):
+        """T4 repeats T2's species groups (plus diamonds): the repeated
+        groups are full specimen-based synonyms."""
+        taxdb = scenario.taxdb
+        report = compare_taxonomic(
+            taxdb,
+            scenario.classifications["T2"],
+            scenario.classifications["T4"],
+        )
+        fulls = report.full_synonyms()
+        full_pairs = {(p.taxon_a, p.taxon_b) for p in fulls}
+        assert (
+            scenario.taxa["T2/Squares"].oid,
+            scenario.taxa["T4/Squares"].oid,
+        ) in full_pairs
+
+    def test_homotypic_flagging(self, scenario):
+        taxdb = scenario.taxdb
+        report = compare_taxonomic(
+            taxdb,
+            scenario.classifications["T2"],
+            scenario.classifications["T4"],
+        )
+        squares_pair = [
+            p
+            for p in report.full_synonyms()
+            if p.taxon_a == scenario.taxa["T2/Squares"].oid
+            and p.taxon_b == scenario.taxa["T4/Squares"].oid
+        ][0]
+        assert squares_pair.homotypic is True
+
+    def test_pro_parte_t2_vs_t3(self, scenario):
+        """Brightness groups cut across shape groups: pro-parte synonymy."""
+        taxdb = scenario.taxdb
+        report = compare_taxonomic(
+            taxdb,
+            scenario.classifications["T2"],
+            scenario.classifications["T3"],
+        )
+        squares_t2 = scenario.taxa["T2/Squares"].oid
+        white_t3 = scenario.taxa["T3/white"].oid
+        pair = [
+            p
+            for p in report.synonym_pairs
+            if p.taxon_a == squares_t2 and p.taxon_b == white_t3
+        ][0]
+        assert pair.kind is OverlapKind.PARTIAL
+
+    def test_name_based_synonyms_exist(self, scenario):
+        taxdb = scenario.taxdb
+        pairs = name_based_synonyms(
+            taxdb,
+            scenario.classifications["T2"],
+            scenario.classifications["T3"],
+        )
+        epithets = {p.epithet for p in pairs}
+        assert "Squares" in epithets
+
+    def test_deceptive_names_detected(self, scenario):
+        """Same name, different circumscription: T2/Squares vs T3's
+        'Squares' (the white-brightness group) — exactly the trap the
+        thesis's pharmaceutical example warns about."""
+        taxdb = scenario.taxdb
+        traps = deceptive_names(
+            taxdb,
+            scenario.classifications["T2"],
+            scenario.classifications["T3"],
+        )
+        assert any(p.epithet == "Squares" for p in traps)

@@ -1,0 +1,133 @@
+"""Taxonomic synonym discovery: specimen-based vs name-based."""
+
+import pytest
+
+from repro.classification import OverlapKind
+from repro.taxonomy import (
+    HOLOTYPE,
+    TaxonomyDatabase,
+    compare_taxonomic,
+    deceptive_names,
+    name_based_synonyms,
+)
+
+
+@pytest.fixture
+def setup():
+    """Two classifications of four specimens.
+
+    c1: A={s0,s1}, B={s2,s3};  c2: X={s0,s1}, Y={s2,s9new}.
+    A and X share the same type specimen (homotypic full synonyms).
+    """
+    taxdb = TaxonomyDatabase()
+    specimens = [taxdb.new_specimen(field_name=f"s{i}") for i in range(4)]
+    extra = taxdb.new_specimen(field_name="s9new")
+
+    genus_nt = taxdb.publish_name("Apium", "Genus", author="L.", year=1753)
+    nt_a = taxdb.publish_name(
+        "alba", "Species", author="L.", year=1753, placement=genus_nt
+    )
+    taxdb.typify(nt_a, specimens[0], HOLOTYPE)
+    nt_b = taxdb.publish_name(
+        "bella", "Species", author="L.", year=1760, placement=genus_nt
+    )
+    taxdb.typify(nt_b, specimens[2], HOLOTYPE)
+
+    c1 = taxdb.new_classification("c1", author="one")
+    c2 = taxdb.new_classification("c2", author="two")
+    taxa = {}
+    for name, classification, members, nt in (
+        ("A", c1, specimens[:2], nt_a),
+        ("B", c1, specimens[2:4], nt_b),
+        ("X", c2, specimens[:2], nt_a),
+        ("Y", c2, [specimens[2], extra], nt_b),
+    ):
+        ct = taxdb.new_taxon("Species", working_name=name)
+        taxdb.ascribe_name(ct, nt)
+        for member in members:
+            taxdb.place(classification, ct, member)
+        taxa[name] = ct
+    return taxdb, c1, c2, taxa, specimens
+
+
+class TestSpecimenBased:
+    def test_full_homotypic_synonym(self, setup):
+        taxdb, c1, c2, taxa, _ = setup
+        report = compare_taxonomic(taxdb, c1, c2)
+        fulls = report.full_synonyms()
+        assert [(p.taxon_a, p.taxon_b) for p in fulls] == [
+            (taxa["A"].oid, taxa["X"].oid)
+        ]
+        assert fulls[0].homotypic is True
+
+    def test_pro_parte_homotypic(self, setup):
+        taxdb, c1, c2, taxa, _ = setup
+        report = compare_taxonomic(taxdb, c1, c2)
+        partials = report.pro_parte_synonyms()
+        pair = [p for p in partials if p.taxon_a == taxa["B"].oid][0]
+        assert pair.taxon_b == taxa["Y"].oid
+        assert pair.kind in (OverlapKind.PARTIAL,)
+        assert pair.homotypic is True  # same type, different delimitation
+
+    def test_heterotypic_when_types_differ(self, setup):
+        taxdb, c1, c2, taxa, specimens = setup
+        # Re-type Y's name copy: give Y an ascribed name typified elsewhere.
+        other_nt = taxdb.publish_name(
+            "cera", "Species", author="K.", year=1800
+        )
+        taxdb.typify(other_nt, specimens[3], HOLOTYPE)
+        taxdb.ascribe_name(taxa["Y"], other_nt)
+        report = compare_taxonomic(taxdb, c1, c2)
+        pair = [
+            p
+            for p in report.pro_parte_synonyms()
+            if p.taxon_a == taxa["B"].oid and p.taxon_b == taxa["Y"].oid
+        ][0]
+        assert pair.homotypic is False
+
+
+class TestNameBased:
+    def test_same_name_pairs(self, setup):
+        taxdb, c1, c2, taxa, _ = setup
+        pairs = name_based_synonyms(taxdb, c1, c2)
+        keyed = {(p.taxon_a, p.taxon_b): p for p in pairs}
+        assert (taxa["A"].oid, taxa["X"].oid) in keyed
+        assert keyed[(taxa["A"].oid, taxa["X"].oid)].same_name_object
+
+    def test_deceptive_pair_detected(self, setup):
+        """B and Y carry the same name but different circumscriptions."""
+        taxdb, c1, c2, taxa, _ = setup
+        traps = deceptive_names(taxdb, c1, c2)
+        assert any(
+            (p.taxon_a, p.taxon_b) == (taxa["B"].oid, taxa["Y"].oid)
+            for p in traps
+        )
+        # A/X is NOT deceptive: full overlap.
+        assert not any(
+            (p.taxon_a, p.taxon_b) == (taxa["A"].oid, taxa["X"].oid)
+            for p in traps
+        )
+
+
+class TestInstanceSynonyms:
+    def test_duplicate_specimens_counted_once(self, setup):
+        """§4.5: two records of the same physical specimen, declared
+        instance synonyms, unify the circumscriptions."""
+        taxdb, c1, c2, taxa, specimens = setup
+        duplicate = taxdb.new_specimen(field_name="s0-dup")
+        taxdb.place(c2, taxa["X"], duplicate)
+        report = compare_taxonomic(taxdb, c1, c2)
+        pair = [
+            p
+            for p in report.synonym_pairs
+            if (p.taxon_a, p.taxon_b) == (taxa["A"].oid, taxa["X"].oid)
+        ][0]
+        assert pair.kind is not OverlapKind.FULL  # dup breaks equality
+        taxdb.schema.synonyms.declare(specimens[0].oid, duplicate.oid)
+        report2 = compare_taxonomic(taxdb, c1, c2)
+        pair2 = [
+            p
+            for p in report2.synonym_pairs
+            if (p.taxon_a, p.taxon_b) == (taxa["A"].oid, taxa["X"].oid)
+        ][0]
+        assert pair2.kind is OverlapKind.FULL
