@@ -1,0 +1,128 @@
+"""Fault-sweep harness: what resilience costs, and what recovery costs.
+
+Not a thesis figure — this is the durability side of the evaluation
+chapter's bargain.  Every perf PR can run this sweep to prove its wins
+did not trade away crash safety, and to watch the recovery path's cost:
+
+* per-operation overhead of running the log through the fault layer
+  (the injection plumbing itself must stay cheap enough to leave on in
+  stress runs);
+* recovery time for a clean log vs. a salvage scan over a damaged one;
+* a miniature crash sweep (torn write at every append of a scripted
+  workload) timing the reopen after each crash.
+
+Writes ``benchmarks/results/fault_sweep.txt`` with the series.
+"""
+
+import pytest
+
+from repro.storage import FaultPlan, InjectedCrash, ObjectStore
+
+from conftest import write_result
+
+RECORD = {"epithet": "graveolens", "rank": "Species", "year": 1753}
+
+
+def test_fault_layer_overhead(benchmark, tmp_path):
+    """Raw append+commit throughput with the fault layer armed (empty
+    plan: every write/flush/fsync is counted, none fault)."""
+    store = ObjectStore(tmp_path / "armed.plog", faults=FaultPlan())
+
+    def run():
+        store.put(store.new_oid(), RECORD)
+
+    benchmark(run)
+    store.close()
+
+
+def test_baseline_without_fault_layer(benchmark, tmp_path):
+    store = ObjectStore(tmp_path / "bare.plog")
+
+    def run():
+        store.put(store.new_oid(), RECORD)
+
+    benchmark(run)
+    store.close()
+
+
+def _build_log(path, n=500):
+    with ObjectStore(path) as store:
+        boundaries = []
+        for i in range(n):
+            boundaries.append(store.file_size)
+            store.insert({**RECORD, "i": i})
+    return boundaries
+
+
+def test_recovery_clean_log(benchmark, tmp_path):
+    path = tmp_path / "clean.plog"
+    _build_log(path)
+
+    def run():
+        store = ObjectStore(path)
+        assert store.last_recovery.clean
+        store.close()
+
+    benchmark(run)
+
+
+def test_recovery_salvage_scan(benchmark, tmp_path):
+    """Recovery over a log with a corrupt region at the 1/3 mark."""
+    path = tmp_path / "hurt.plog"
+    boundaries = _build_log(path)
+    target = boundaries[len(boundaries) // 3] + 12
+    with open(path, "r+b") as f:
+        f.seek(target)
+        byte = f.read(1)
+        f.seek(target)
+        f.write(bytes([byte[0] ^ 0xFF]))
+
+    def run():
+        store = ObjectStore(path)
+        assert store.last_recovery.salvaged
+        store.close()
+
+    benchmark(run)
+
+
+def test_crash_sweep_reopen_costs(tmp_path):
+    """Torn write at every append of a small workload; record reopen
+    times and recovery outcomes as the regenerated 'figure'."""
+    import time
+
+    probe = FaultPlan()
+    with ObjectStore(tmp_path / "probe.plog", faults=probe) as store:
+        for i in range(10):
+            store.insert({**RECORD, "i": i})
+    writes = probe.counts["write"]
+
+    lines = ["# torn-write sweep: write_index reopened_ok live_records reopen_us"]
+    for index in range(1, writes + 1):
+        path = tmp_path / f"sweep-{index}.plog"
+        plan = FaultPlan(seed=index).torn_write(at=index)
+        store = None
+        try:
+            # write #1 is the header: the crash can fire mid-construction
+            store = ObjectStore(path, faults=plan)
+            for i in range(10):
+                store.insert({**RECORD, "i": i})
+        except InjectedCrash:
+            pass
+        finally:
+            if store is not None:
+                store.close()
+        started = time.perf_counter()
+        reopened = ObjectStore(path)
+        micros = (time.perf_counter() - started) * 1e6
+        lines.append(
+            f"{index} ok {len(reopened)} {micros:.0f}"
+        )
+        reopened.close()
+    write_result("fault_sweep.txt", "\n".join(lines))
+    assert len(lines) == writes + 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -9,15 +9,26 @@
 from .btree import BTree
 from .database import PrometheusDB
 from .dump import dump_json, dump_schema, load_dump
-from .federation import Federation, FederationError, NodeResult, RemoteDatabase
+from .federation import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Federation,
+    FederationError,
+    NodeResult,
+    RemoteDatabase,
+    RetryPolicy,
+)
 from .indexes import Index, IndexKind, IndexManager
 from .server import PrometheusServer, jsonable
 from .views import View, ViewManager
 
 __all__ = [
     "BTree",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "Federation",
     "FederationError",
+    "RetryPolicy",
     "Index",
     "IndexKind",
     "IndexManager",

@@ -14,21 +14,48 @@ implements that layer on top of the HTTP access layer (§6.1.7):
 The federation is read-only: each node stays autonomous (its own rules,
 its own classifications), which is exactly the multiple-overlapping-
 classifications stance — no global merged hierarchy is ever fabricated.
+
+Resilience
+----------
+Herbarium nodes are expected to be flaky — dial-up era links, machines
+under desks.  The fan-out therefore degrades rather than fails, and the
+degradation is *visible*:
+
+* per-node **retry** with exponential backoff and seeded jitter
+  (:class:`RetryPolicy`);
+* a per-node **circuit breaker** (:class:`CircuitBreaker`): after N
+  consecutive failures the node is skipped outright until a cooldown
+  elapses, then a single half-open probe decides whether to close the
+  circuit again;
+* **concurrent fan-out with an overall deadline** in
+  :meth:`Federation.query_all`: a hung node costs the deadline, not the
+  sum of every node's timeout, and is reported as failed;
+* aggregates such as :meth:`Federation.count_all` carry ``__errors__``
+  and ``__partial__`` markers so a degraded answer can never be
+  mistaken for a complete one.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import json
+import random
+import threading
+import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable, Iterable
 
 from ..errors import PrometheusError
 
 
 class FederationError(PrometheusError):
     """A remote node failed or answered malformed data."""
+
+
+class CircuitOpenError(FederationError):
+    """The node's circuit breaker is open; the call was not attempted."""
 
 
 class RemoteDatabase:
@@ -69,6 +96,9 @@ class RemoteDatabase:
     def describe(self) -> dict[str, Any]:
         return self._get("/schema")
 
+    def health(self) -> dict[str, Any]:
+        return self._get("/health")
+
     def classifications(self) -> list[str]:
         return self._get("/classifications")
 
@@ -96,12 +126,130 @@ class RemoteDatabase:
 
 
 @dataclass
+class RetryPolicy:
+    """Exponential backoff with deterministic (seeded) jitter.
+
+    Delay before retry *k* (0-based) is
+    ``min(base_delay * 2**k, max_delay)`` plus a uniform jitter of up to
+    ``jitter`` times that value, drawn from a :class:`random.Random`
+    seeded per :meth:`call` — so a test re-running a policy sees the
+    same delays.
+    """
+
+    attempts: int = 2
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def delays(self) -> Iterable[float]:
+        """The backoff schedule (one delay per retry, jitter included)."""
+        rng = random.Random(self.seed)
+        for attempt in range(max(0, self.attempts - 1)):
+            delay = min(self.base_delay * (2 ** attempt), self.max_delay)
+            yield delay + delay * self.jitter * rng.random()
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+        retry_on: tuple[type[BaseException], ...] = (FederationError,),
+    ) -> Any:
+        last: BaseException | None = None
+        schedule = list(self.delays())
+        for attempt in range(max(1, self.attempts)):
+            try:
+                return fn()
+            except retry_on as exc:
+                last = exc
+                if attempt < len(schedule):
+                    sleep(schedule[attempt])
+        assert last is not None
+        raise last
+
+
+class CircuitBreaker:
+    """Classic three-state breaker guarding one remote node.
+
+    * **closed** — calls flow; ``failure_threshold`` *consecutive*
+      failures trip it open.
+    * **open** — calls are refused without touching the network until
+      ``reset_timeout`` seconds pass.
+    * **half-open** — one probe call is admitted; success closes the
+      circuit, failure re-opens it with a fresh cooldown.
+
+    The clock is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = "closed"
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._current_state()
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._failures
+
+    def _current_state(self) -> str:
+        if self._state == "open" and (
+            self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            return "half_open"
+        return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (Claims the half-open probe.)"""
+        with self._lock:
+            state = self._current_state()
+            if state == "closed":
+                return True
+            if state == "half_open" and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = "closed"
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            probe_failed = self._current_state() == "half_open"
+            self._probing = False
+            if probe_failed or self._failures >= self.failure_threshold:
+                self._state = "open"
+                self._opened_at = self._clock()
+
+
+@dataclass
 class NodeResult:
     """One node's answer (or failure) to a federated query."""
 
     node: str
     result: Any = None
     error: str = ""
+    elapsed: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -110,9 +258,23 @@ class NodeResult:
 
 @dataclass
 class Federation:
-    """A named set of remote Prometheus nodes queried together."""
+    """A named set of remote Prometheus nodes queried together.
+
+    ``deadline`` bounds the *whole* fan-out of :meth:`query_all`; nodes
+    that have not answered by then are reported failed (and count
+    against their circuit breaker).  ``retry`` is applied per node
+    *inside* the fan-out; set it to ``None`` to disable retries.
+    """
 
     nodes: dict[str, RemoteDatabase] = field(default_factory=dict)
+    retry: RetryPolicy | None = field(default_factory=RetryPolicy)
+    deadline: float | None = 30.0
+    breaker_threshold: int = 5
+    breaker_reset: float = 30.0
+    max_workers: int = 8
+    _breakers: dict[str, CircuitBreaker] = field(
+        default_factory=dict, repr=False
+    )
 
     def add_node(self, name: str, url_or_client: str | RemoteDatabase) -> None:
         if isinstance(url_or_client, str):
@@ -121,30 +283,103 @@ class Federation:
 
     def remove_node(self, name: str) -> None:
         self.nodes.pop(name, None)
+        self._breakers.pop(name, None)
 
     def __len__(self) -> int:
         return len(self.nodes)
 
+    # -- resilience machinery ----------------------------------------------
+
+    def breaker(self, name: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding ``name``."""
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.breaker_threshold,
+                reset_timeout=self.breaker_reset,
+            )
+            self._breakers[name] = breaker
+        return breaker
+
+    def _call_node(self, name: str, fn: Callable[[], Any]) -> Any:
+        """One guarded node call: breaker gate, retries, breaker update."""
+        breaker = self.breaker(name)
+        if not breaker.allow():
+            raise CircuitOpenError(
+                f"{name}: circuit open "
+                f"({breaker.consecutive_failures} consecutive failures)"
+            )
+        try:
+            result = self.retry.call(fn) if self.retry is not None else fn()
+        except Exception:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        return result
+
     # -- fan-out -----------------------------------------------------------
 
     def query_all(
-        self, text: str, params: dict[str, Any] | None = None
+        self,
+        text: str,
+        params: dict[str, Any] | None = None,
+        deadline: float | None = None,
     ) -> list[NodeResult]:
         """Run one POOL query on every node; failures are per-node.
 
-        A node being down yields a ``NodeResult`` with ``error`` set —
-        the federation degrades, it does not fail (autonomous locals).
+        Nodes are queried concurrently; the call returns within
+        ``deadline`` seconds (default: the federation's) even if a node
+        hangs — that node yields a ``NodeResult`` with ``error`` set and
+        its breaker records the failure.  The federation degrades, it
+        does not fail (autonomous locals).
         """
-        results: list[NodeResult] = []
-        for name in sorted(self.nodes):
+        if deadline is None:
+            deadline = self.deadline
+        names = sorted(self.nodes)
+        if not names:
+            return []
+
+        def run(name: str) -> tuple[Any, float]:
             client = self.nodes[name]
-            try:
-                results.append(
-                    NodeResult(node=name, result=client.query(text, params))
+            started = time.monotonic()
+            result = self._call_node(
+                name, lambda: client.query(text, params)
+            )
+            return result, time.monotonic() - started
+
+        results: dict[str, NodeResult] = {}
+        pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(self.max_workers, len(names)),
+            thread_name_prefix="federation",
+        )
+        try:
+            futures = {pool.submit(run, name): name for name in names}
+            done, not_done = concurrent.futures.wait(
+                futures, timeout=deadline
+            )
+            for future in done:
+                name = futures[future]
+                try:
+                    result, elapsed = future.result()
+                    results[name] = NodeResult(
+                        node=name, result=result, elapsed=elapsed
+                    )
+                except Exception as exc:
+                    results[name] = NodeResult(node=name, error=str(exc))
+            for future in not_done:
+                name = futures[future]
+                future.cancel()
+                results[name] = NodeResult(
+                    node=name,
+                    error=f"deadline exceeded after {deadline}s",
+                    elapsed=deadline or 0.0,
                 )
-            except FederationError as exc:
-                results.append(NodeResult(node=name, error=str(exc)))
-        return results
+                self.breaker(name).record_failure()
+        finally:
+            # Never wait for hung worker threads; their sockets time out
+            # on their own and the results are already discarded.
+            pool.shutdown(wait=False, cancel_futures=True)
+        return [results[name] for name in names]
 
     def gather(
         self, text: str, params: dict[str, Any] | None = None
@@ -173,28 +408,53 @@ class Federation:
         """Classification names per node (nothing is merged)."""
         inventory: dict[str, list[str]] = {}
         for name in sorted(self.nodes):
+            client = self.nodes[name]
             try:
-                inventory[name] = self.nodes[name].classifications()
+                inventory[name] = self._call_node(name, client.classifications)
             except FederationError:
                 inventory[name] = []
         return inventory
 
-    def count_all(self, class_name: str) -> dict[str, int]:
-        """Instance counts of a class per node (plus a ``__total__``)."""
-        counts: dict[str, int] = {}
+    def count_all(self, class_name: str) -> dict[str, Any]:
+        """Instance counts of a class per node (plus a ``__total__``).
+
+        A failed node counts as 0 but is *recorded*: ``__errors__`` maps
+        each failed node to its error and ``__partial__`` is True, so a
+        degraded total can never masquerade as a complete one.
+        """
+        counts: dict[str, Any] = {}
+        errors: dict[str, str] = {}
         total = 0
         for node_result in self.query_all(
             f"select count(x) from x in {class_name}"
         ):
-            value = (
-                int(node_result.result[0])
-                if node_result.ok and node_result.result
-                else 0
-            )
+            if node_result.ok and node_result.result:
+                value = int(node_result.result[0])
+            else:
+                value = 0
+                if not node_result.ok:
+                    errors[node_result.node] = node_result.error
             counts[node_result.node] = value
             total += value
         counts["__total__"] = total
+        counts["__errors__"] = errors
+        counts["__partial__"] = bool(errors)
         return counts
 
     def alive(self) -> dict[str, bool]:
+        """Probe every node directly (bypasses breakers: this *is* the
+        health check that lets an operator see a node come back)."""
         return {name: client.ping() for name, client in sorted(self.nodes.items())}
+
+    def health_report(self) -> dict[str, dict[str, Any]]:
+        """Per-node liveness plus breaker state, for operators."""
+        report: dict[str, dict[str, Any]] = {}
+        for name, client in sorted(self.nodes.items()):
+            breaker = self.breaker(name)
+            report[name] = {
+                "url": client.url,
+                "alive": client.ping(),
+                "breaker": breaker.state,
+                "consecutive_failures": breaker.consecutive_failures,
+            }
+        return report

@@ -82,11 +82,16 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, payload: Any) -> None:
         body = json.dumps(payload, indent=2).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # Client hung up mid-response; drop the connection quietly
+            # instead of letting the handler thread die noisily.
+            self.close_connection = True
 
     def _error(self, status: int, message: str) -> None:
         self._send(status, {"error": message})
@@ -102,6 +107,9 @@ class _Handler(BaseHTTPRequestHandler):
     def _route_get(self) -> None:
         db = self.db
         parts = [unquote(p) for p in urlparse(self.path).path.split("/") if p]
+        if parts == ["health"]:
+            self._send(200, self._health_payload())
+            return
         if parts == ["schema"]:
             self._send(200, jsonable(db.describe()))
             return
@@ -158,6 +166,34 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         self._error(404, f"no route for {self.path!r}")
+
+    def _health_payload(self) -> dict[str, Any]:
+        """Store/recovery status for operators and federation probes.
+
+        ``status`` is ``"ok"`` for an in-memory or cleanly recovered
+        database and ``"degraded"`` when the last recovery had to drop,
+        truncate, or salvage anything — a node that lost data says so.
+        """
+        db = self.db
+        store = db.store
+        payload: dict[str, Any] = {
+            "status": "ok",
+            "classes": sum(1 for _ in db.schema.classes()),
+            "classifications": len(db.classifications.names()),
+            "store": None,
+        }
+        if store is not None:
+            report = store.last_recovery
+            payload["store"] = {
+                "path": store.path,
+                "file_size": store.file_size,
+                "live_records": len(store),
+                "in_transaction": store.in_transaction,
+                "recovery": report.as_dict(),
+            }
+            if not report.clean:
+                payload["status"] = "degraded"
+        return payload
 
     def do_POST(self) -> None:  # noqa: N802
         try:

@@ -40,6 +40,14 @@ class SerializationError(StorageError):
     """A value cannot be encoded to, or decoded from, the record format."""
 
 
+class RecoveryError(StorageError):
+    """Log replay could not reconstruct a consistent store state."""
+
+
+class CompactionError(StorageError):
+    """Log compaction failed; the previous log remains authoritative."""
+
+
 # ---------------------------------------------------------------------------
 # Object model layer
 # ---------------------------------------------------------------------------

@@ -12,20 +12,35 @@ Public API:
 * :func:`encode_record` / :func:`decode_record` — record serialization.
 * :class:`RecordLog` — the underlying append-only checksummed log.
 * :class:`LruCache` — bounded record cache.
+* :class:`FaultPlan` / :class:`FaultyFile` — deterministic fault injection.
+* :class:`RecoveryReport` — what recovery scanned, salvaged, truncated.
 """
 
 from .cache import LruCache
+from .faults import (
+    FaultPlan,
+    FaultyFile,
+    InjectedCrash,
+    InjectedFault,
+    sweep_points,
+)
 from .log import LogEntry, RecordLog
 from .serialization import decode_record, encode_record
-from .store import ObjectStore, StoreStats, Transaction
+from .store import ObjectStore, RecoveryReport, StoreStats, Transaction
 
 __all__ = [
+    "FaultPlan",
+    "FaultyFile",
+    "InjectedCrash",
+    "InjectedFault",
     "LogEntry",
     "LruCache",
     "ObjectStore",
     "RecordLog",
+    "RecoveryReport",
     "StoreStats",
     "Transaction",
     "decode_record",
     "encode_record",
+    "sweep_points",
 ]

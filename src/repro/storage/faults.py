@@ -1,0 +1,296 @@
+"""Deterministic fault injection for the storage layer.
+
+The thesis positions Prometheus as a database of record for decades of
+taxonomic work; every performance PR therefore has to *prove* it did not
+trade away durability.  This module provides the proving ground: a
+seedable, deterministic fault-injection layer that the
+:class:`~repro.storage.log.RecordLog` (and everything above it) can run
+on top of.
+
+Model
+-----
+A :class:`FaultPlan` is a scripted schedule of faults over the low-level
+file operations the log performs — ``write``, ``flush`` and ``fsync``.
+Every operation is counted (globally, across *all* files sharing the
+plan, so a plan spans the main log and a compaction's temporary log);
+a fault fires on the Nth call of its operation, or — for
+:meth:`FaultPlan.crash_at_offset` — on the first write that would cross
+an absolute file offset.
+
+Fault modes:
+
+``error``
+    Raise :class:`OSError` (default ``ENOSPC``) with nothing written.
+    The process survives; the storage layer must roll back cleanly.
+``short``
+    Write only a prefix of the data, then raise :class:`OSError` — a
+    disk-full mid-write.  The process survives.
+``crash`` / ``torn``
+    Write a (possibly empty) prefix, then raise :class:`InjectedCrash`
+    and mark the plan *dead*: every subsequent gated operation raises,
+    simulating process death.  The test then reopens the file fresh and
+    exercises recovery.
+``bitflip``
+    Flip one byte of the data and write it all; the call *succeeds*.
+    Simulates silent media corruption; only checksums can catch it.
+
+Crash granularity is the write boundary: a crash injected on ``flush``
+or ``fsync`` models a crash immediately *after* the data persisted
+(the data-lost-in-flight cases are covered by torn writes).
+
+:class:`InjectedCrash` deliberately does **not** derive from
+:class:`~repro.errors.PrometheusError` so that no library-level handler
+can accidentally swallow a simulated process death.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+from dataclasses import dataclass
+from typing import Any, BinaryIO, Iterator
+
+OPS = ("write", "flush", "fsync")
+
+
+class InjectedFault(Exception):
+    """Base class of injected failures (not a ``PrometheusError``)."""
+
+
+class InjectedCrash(InjectedFault):
+    """Simulated process death: the faulted file is unusable hereafter."""
+
+
+@dataclass
+class Fault:
+    """One scheduled fault.  Fires at most once."""
+
+    op: str                       # "write" | "flush" | "fsync"
+    mode: str                     # "error" | "short" | "crash" | "bitflip"
+    at: int | None = None         # the Nth call of `op` (1-based), or
+    offset: int | None = None     # the first write crossing this offset
+    keep: int | float | None = None   # bytes (int) or fraction (float) kept
+    errno_code: int = errno.ENOSPC
+    flip_position: int | None = None  # byte index to flip (bitflip mode)
+    fired: bool = False
+
+    def matches(self, op: str, count: int, position: int | None, size: int | None) -> bool:
+        if self.fired or op != self.op:
+            return False
+        if self.at is not None:
+            return count == self.at
+        if self.offset is not None and position is not None and size is not None:
+            return position <= self.offset < position + size
+        return False
+
+
+class FaultPlan:
+    """A deterministic, seedable schedule of storage faults.
+
+    Also an operation *counter*: running a workload under an empty plan
+    records how many writes/flushes/fsyncs it performs, which is exactly
+    the list of crash points a sweep must cover (see :func:`sweep_points`).
+
+    Registration methods return ``self`` for chaining::
+
+        plan = FaultPlan(seed=7).crash("write", at=3)
+        store = ObjectStore(path, faults=plan)
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.faults: list[Fault] = []
+        self.counts: dict[str, int] = {op: 0 for op in OPS}
+        self.dead = False
+        self.fired: list[Fault] = []
+
+    # -- registration -------------------------------------------------------
+
+    def add(self, fault: Fault) -> "FaultPlan":
+        if fault.op not in OPS:
+            raise ValueError(f"unknown fault op {fault.op!r}")
+        self.faults.append(fault)
+        return self
+
+    def fail(self, op: str, at: int, errno_code: int = errno.ENOSPC) -> "FaultPlan":
+        """Raise ``OSError(errno_code)`` on the Nth `op`; nothing written."""
+        return self.add(Fault(op=op, mode="error", at=at, errno_code=errno_code))
+
+    def crash(self, op: str, at: int, keep: int | float | None = None) -> "FaultPlan":
+        """Simulate process death on the Nth `op` (torn write if ``op`` is
+        ``write``: a prefix chosen by ``keep`` — or the seeded RNG —
+        reaches the file first)."""
+        return self.add(Fault(op=op, mode="crash", at=at, keep=keep))
+
+    def torn_write(self, at: int, keep: int | float | None = None) -> "FaultPlan":
+        """Crash on the Nth write with only a prefix persisted."""
+        return self.crash("write", at, keep=keep)
+
+    def short_write(self, at: int, keep: int | float | None = None,
+                    errno_code: int = errno.ENOSPC) -> "FaultPlan":
+        """Nth write persists a prefix then raises (process survives)."""
+        return self.add(Fault(op="write", mode="short", at=at, keep=keep,
+                              errno_code=errno_code))
+
+    def bit_flip(self, at: int, position: int | None = None) -> "FaultPlan":
+        """Silently corrupt one byte of the Nth write (call succeeds)."""
+        return self.add(Fault(op="write", mode="bitflip", at=at,
+                              flip_position=position))
+
+    def crash_at_offset(self, offset: int, keep_to_offset: bool = True) -> "FaultPlan":
+        """Crash on the first write that crosses absolute file ``offset``;
+        bytes up to the offset reach the file."""
+        keep: int | float | None = None if not keep_to_offset else -1  # marker
+        fault = Fault(op="write", mode="crash", offset=offset, keep=keep)
+        return self.add(fault)
+
+    # -- interrogation ------------------------------------------------------
+
+    @property
+    def total_ops(self) -> int:
+        return sum(self.counts.values())
+
+    def snapshot_counts(self) -> dict[str, int]:
+        return dict(self.counts)
+
+    def _require_alive(self) -> None:
+        if self.dead:
+            raise InjectedCrash("process already crashed (plan is dead)")
+
+    # -- the firing machinery (called by FaultyFile) ------------------------
+
+    def _arm(self, op: str, position: int | None = None,
+             size: int | None = None) -> Fault | None:
+        self.counts[op] += 1
+        count = self.counts[op]
+        for fault in self.faults:
+            if fault.matches(op, count, position, size):
+                fault.fired = True
+                self.fired.append(fault)
+                return fault
+        return None
+
+    def _resolve_keep(self, fault: Fault, data: bytes, position: int | None) -> int:
+        if fault.keep == -1 and fault.offset is not None and position is not None:
+            return max(0, min(len(data), fault.offset - position))
+        if fault.keep is None:
+            return self._rng.randrange(len(data) + 1) if data else 0
+        if isinstance(fault.keep, float):
+            return max(0, min(len(data), int(len(data) * fault.keep)))
+        return max(0, min(len(data), int(fault.keep)))
+
+    def _execute_write(self, fault: Fault, raw: BinaryIO, data: bytes,
+                       position: int | None) -> int:
+        if fault.mode == "error":
+            raise OSError(fault.errno_code, os.strerror(fault.errno_code))
+        if fault.mode == "short":
+            keep = self._resolve_keep(fault, data, position)
+            raw.write(data[:keep])
+            raise OSError(fault.errno_code, os.strerror(fault.errno_code))
+        if fault.mode == "bitflip":
+            mutated = bytearray(data)
+            if mutated:
+                pos = (fault.flip_position if fault.flip_position is not None
+                       else self._rng.randrange(len(mutated)))
+                mutated[pos % len(mutated)] ^= 0xFF
+            return raw.write(bytes(mutated))
+        # crash / torn
+        keep = self._resolve_keep(fault, data, position)
+        raw.write(data[:keep])
+        try:
+            raw.flush()
+        except OSError:  # pragma: no cover - flush of a dying file
+            pass
+        self.dead = True
+        raise InjectedCrash(
+            f"injected crash on write #{self.counts['write']} "
+            f"({keep}/{len(data)} bytes persisted)"
+        )
+
+    def _execute_simple(self, fault: Fault, raw: BinaryIO) -> None:
+        if fault.mode == "error":
+            raise OSError(fault.errno_code, os.strerror(fault.errno_code))
+        # crash: persist what is buffered, then die (crash-after-persist).
+        try:
+            raw.flush()
+        except OSError:  # pragma: no cover
+            pass
+        self.dead = True
+        raise InjectedCrash(
+            f"injected crash on {fault.op} #{self.counts[fault.op]}"
+        )
+
+
+class FaultyFile:
+    """A binary-file wrapper that routes write/flush/fsync through a
+    :class:`FaultPlan`.  Everything else passes straight through."""
+
+    def __init__(self, raw: BinaryIO, plan: FaultPlan) -> None:
+        self._raw = raw
+        self._plan = plan
+
+    # -- gated operations ---------------------------------------------------
+
+    def write(self, data: bytes) -> int:
+        plan = self._plan
+        plan._require_alive()
+        position = self._raw.tell()
+        fault = plan._arm("write", position=position, size=len(data))
+        if fault is None:
+            return self._raw.write(data)
+        return plan._execute_write(fault, self._raw, data, position)
+
+    def flush(self) -> None:
+        plan = self._plan
+        plan._require_alive()
+        fault = plan._arm("flush")
+        if fault is not None:
+            plan._execute_simple(fault, self._raw)
+        self._raw.flush()
+
+    def fsync(self) -> None:
+        plan = self._plan
+        plan._require_alive()
+        fault = plan._arm("fsync")
+        if fault is not None:
+            plan._execute_simple(fault, self._raw)
+        self._raw.flush()
+        os.fsync(self._raw.fileno())
+
+    def truncate(self, size: int | None = None) -> int:
+        # A dead (crashed) process cannot repair its own tail.
+        self._plan._require_alive()
+        return self._raw.truncate(size)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        # Always release the descriptor, even after a simulated crash
+        # (tests reopen the path; leaking fds would mask that).
+        try:
+            self._raw.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._raw.closed
+
+    # -- passthrough --------------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._raw, name)
+
+
+def sweep_points(counts: dict[str, int]) -> Iterator[tuple[str, int]]:
+    """Enumerate every (op, index) crash point a counted workload exposes.
+
+    Run the workload once under an empty plan to obtain ``counts``
+    (:attr:`FaultPlan.counts`), then re-run it once per yielded point
+    with ``FaultPlan().crash(op, at=index)`` installed.
+    """
+    for op in OPS:
+        for index in range(1, counts.get(op, 0) + 1):
+            yield op, index

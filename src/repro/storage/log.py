@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import BinaryIO, Iterator
 
 from ..errors import CorruptRecordError, StorageError
+from .faults import FaultPlan, FaultyFile, InjectedFault
 
 MAGIC = b"\xA5\x5A"
 HEADER = b"PROMETHEUS-LOG-v1\n"
@@ -60,16 +61,31 @@ class RecordLog:
     right trade-off for benchmarking a layered design rather than disks.
     """
 
-    def __init__(self, path: str | os.PathLike[str], sync: bool = False) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        sync: bool = False,
+        faults: FaultPlan | None = None,
+    ) -> None:
         self._path = os.fspath(path)
         self._sync = sync
-        created = not os.path.exists(self._path) or os.path.getsize(self._path) == 0
-        self._file: BinaryIO = open(self._path, "a+b")
-        if created:
+        size = os.path.getsize(self._path) if os.path.exists(self._path) else 0
+        raw: BinaryIO = open(self._path, "a+b")
+        self._file: BinaryIO = FaultyFile(raw, faults) if faults is not None else raw
+        if size >= len(HEADER):
+            self._check_header()
+        else:
+            # Empty file, or a header torn by a crash during creation:
+            # a strict prefix of HEADER is unambiguously ours to finish.
+            self._file.seek(0)
+            head = self._file.read(size)
+            if head != HEADER[:size]:
+                self._file.close()
+                raise StorageError(f"{self._path}: not a Prometheus log file")
+            if size:
+                self._file.truncate(0)
             self._file.write(HEADER)
             self._file.flush()
-        else:
-            self._check_header()
         self._file.seek(0, io.SEEK_END)
         self._end = self._file.tell()
         self._closed = False
@@ -78,9 +94,13 @@ class RecordLog:
 
     def close(self) -> None:
         if not self._closed:
-            self._file.flush()
-            self._file.close()
-            self._closed = True
+            try:
+                self._file.flush()
+            except (OSError, InjectedFault):
+                pass  # release the descriptor even when the disk is gone
+            finally:
+                self._file.close()
+                self._closed = True
 
     def __enter__(self) -> "RecordLog":
         return self
@@ -110,7 +130,13 @@ class RecordLog:
     # -- writing ------------------------------------------------------------
 
     def append(self, kind: int, payload: bytes) -> int:
-        """Append one entry; return its offset.  Not yet flushed."""
+        """Append one entry; return its offset.  Not yet flushed.
+
+        Exception-safe: if the write fails partway (disk full, I/O
+        error), the torn tail is truncated away and ``_end`` is left
+        unchanged, so one failed append can never poison the log — the
+        next append lands exactly where this one should have.
+        """
         self._require_open()
         entry = bytearray()
         entry += MAGIC
@@ -119,10 +145,27 @@ class RecordLog:
         entry += payload
         entry += _CRC_STRUCT.pack(zlib.crc32(payload))
         offset = self._end
-        self._file.seek(0, io.SEEK_END)
-        self._file.write(entry)
+        try:
+            self._file.seek(0, io.SEEK_END)
+            self._file.write(entry)
+        except InjectedFault:
+            raise  # simulated process death: no in-process repair runs
+        except Exception:
+            self._rollback_tail(offset)
+            raise
         self._end += len(entry)
         return offset
+
+    def _rollback_tail(self, offset: int) -> None:
+        """Best-effort removal of a torn partial write after ``offset``."""
+        try:
+            self._file.flush()
+        except OSError:
+            pass
+        try:
+            self._file.truncate(offset)
+        except OSError:
+            pass
 
     def append_data(self, payload: bytes) -> int:
         return self.append(KIND_DATA, payload)
@@ -138,10 +181,21 @@ class RecordLog:
     def append_meta(self, payload: bytes) -> int:
         return self.append(KIND_META, payload)
 
+    @property
+    def sync(self) -> bool:
+        return self._sync
+
     def flush(self) -> None:
         self._require_open()
         self._file.flush()
         if self._sync:
+            self._fsync()
+
+    def _fsync(self) -> None:
+        fsync = getattr(self._file, "fsync", None)
+        if fsync is not None:  # FaultyFile provides an interceptable fsync
+            fsync()
+        else:
             os.fsync(self._file.fileno())
 
     def truncate(self, offset: int) -> None:
@@ -192,6 +246,54 @@ class RecordLog:
                 return
             yield entry
             offset = entry.end_offset
+
+    def scan_salvage(self, start: int | None = None) -> Iterator[LogEntry]:
+        """Yield every structurally valid entry, resynchronising past
+        corrupt regions instead of abandoning everything after them.
+
+        On a corrupt entry the scan searches forward for the next
+        occurrence of the entry magic at which a *complete, checksummed*
+        entry parses, and resumes there.  Callers see skipped regions as
+        discontinuities between one entry's ``end_offset`` and the next
+        entry's ``offset``.  The CRC requirement makes false resyncs
+        (magic bytes occurring inside a payload) vanishingly unlikely —
+        a candidate must also parse and checksum as a full entry.
+        """
+        self._require_open()
+        offset = len(HEADER) if start is None else start
+        while offset < self._end:
+            try:
+                entry = self.read_entry(offset)
+            except CorruptRecordError:
+                resync = self._find_next_entry(offset + 1)
+                if resync is None:
+                    return
+                offset = resync
+                continue
+            yield entry
+            offset = entry.end_offset
+
+    def _find_next_entry(self, start: int, chunk_size: int = 65536) -> int | None:
+        """First offset >= ``start`` where a fully valid entry begins."""
+        offset = max(start, len(HEADER))
+        while offset < self._end:
+            self._file.seek(offset)
+            chunk = self._file.read(min(chunk_size, self._end - offset))
+            if len(chunk) < len(MAGIC):
+                return None
+            index = chunk.find(MAGIC)
+            while index != -1:
+                candidate = offset + index
+                try:
+                    self.read_entry(candidate)
+                except CorruptRecordError:
+                    pass
+                else:
+                    return candidate
+                index = chunk.find(MAGIC, index + 1)
+            # Overlap by one byte so a MAGIC spanning two chunks is seen.
+            offset += len(chunk) - (len(MAGIC) - 1)
+        return None
 
     @staticmethod
     def decode_oid_payload(payload: bytes) -> int:

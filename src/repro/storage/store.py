@@ -31,7 +31,9 @@ from typing import Any, Iterator
 from ..core.identity import OidAllocator
 from ..errors import StorageError, TransactionError, UnknownOidError
 from .cache import LruCache
+from .faults import FaultPlan, InjectedFault
 from .log import (
+    HEADER,
     KIND_COMMIT,
     KIND_DATA,
     KIND_META,
@@ -41,6 +43,48 @@ from .log import (
 from .serialization import decode_record, encode_record
 
 _TOMB_STRUCT = struct.Struct(">QQ")  # (txn_id, oid)
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What recovery found and did — the store's inspectable contract.
+
+    ``corrupt_regions`` lists the (start, end) byte ranges the salvage
+    scan skipped mid-log; ``salvaged_entries`` counts entries recovered
+    *after* the first such region (zero under prefix-only recovery).
+    ``bytes_truncated`` is the torn/corrupt tail physically removed.
+    """
+
+    entries_scanned: int = 0
+    commits_applied: int = 0
+    uncommitted_dropped: int = 0
+    bytes_truncated: int = 0
+    salvaged_entries: int = 0
+    corrupt_regions: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        """True when the log replayed without loss of any kind."""
+        return (
+            not self.corrupt_regions
+            and self.bytes_truncated == 0
+            and self.uncommitted_dropped == 0
+        )
+
+    @property
+    def salvaged(self) -> bool:
+        return bool(self.corrupt_regions)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "entries_scanned": self.entries_scanned,
+            "commits_applied": self.commits_applied,
+            "uncommitted_dropped": self.uncommitted_dropped,
+            "bytes_truncated": self.bytes_truncated,
+            "salvaged_entries": self.salvaged_entries,
+            "corrupt_regions": [list(r) for r in self.corrupt_regions],
+            "clean": self.clean,
+        }
 
 
 @dataclass
@@ -127,7 +171,12 @@ class Transaction:
 
     def commit(self) -> None:
         self._require_active()
-        self._store._commit(self._pending)
+        try:
+            self._store._commit(self._pending)
+        except BaseException:
+            if self._store._active is not self._pending:
+                self._done = True  # the store already rolled this txn back
+            raise
         self._done = True
 
     def abort(self) -> None:
@@ -155,8 +204,13 @@ class ObjectStore:
         path: str | os.PathLike[str],
         cache_size: int = 4096,
         sync: bool = False,
+        salvage: bool = True,
+        faults: FaultPlan | None = None,
     ) -> None:
-        self._log = RecordLog(path, sync=sync)
+        self._sync = sync
+        self._salvage = salvage
+        self._faults = faults
+        self._log = RecordLog(path, sync=sync, faults=faults)
         self._cache = LruCache(cache_size)
         self._index: dict[int, int] = {}  # oid -> offset of live record
         self._allocator = OidAllocator()
@@ -164,6 +218,7 @@ class ObjectStore:
         self._active: _PendingTxn | None = None
         self._lock = threading.RLock()
         self.stats = StoreStats()
+        self.last_recovery: RecoveryReport = RecoveryReport()
         self._recover()
 
     # -- lifecycle ----------------------------------------------------------
@@ -199,18 +254,31 @@ class ObjectStore:
     def _recover(self) -> None:
         """Rebuild index/allocator state by replaying the log.
 
-        The log is truncated to its valid prefix: a corrupt or torn tail
-        is physically discarded so that subsequent appends stay reachable
-        by future recoveries.
-        """
-        from .log import HEADER
+        With ``salvage`` (the default) the scan resynchronises past
+        corrupt mid-log regions, so committed transactions located
+        *after* bit rot are recovered; only a corrupt *tail* is
+        physically truncated (mid-file bytes cannot be removed without
+        shifting offsets).  With ``salvage=False`` recovery keeps the
+        valid prefix only — the pre-resilience behaviour.
 
+        Either way the outcome is published as :attr:`last_recovery`.
+        """
         pending: dict[int, dict[int, int | None]] = {}
         max_oid = 0
         max_txn = 0
-        valid_end = len(HEADER)
-        for entry in self._log.scan():
-            valid_end = entry.end_offset
+        expected = len(HEADER)
+        entries_scanned = 0
+        commits_applied = 0
+        salvaged_entries = 0
+        corrupt_regions: list[tuple[int, int]] = []
+        scan = self._log.scan_salvage() if self._salvage else self._log.scan()
+        for entry in scan:
+            if entry.offset > expected:
+                corrupt_regions.append((expected, entry.offset))
+            if corrupt_regions:
+                salvaged_entries += 1
+            expected = entry.end_offset
+            entries_scanned += 1
             if entry.kind == KIND_DATA:
                 record = decode_record(entry.payload)
                 txn_id = int(record["t"])
@@ -226,6 +294,7 @@ class ObjectStore:
             elif entry.kind == KIND_COMMIT:
                 txn_id = RecordLog.decode_oid_payload(entry.payload)
                 max_txn = max(max_txn, txn_id)
+                commits_applied += 1
                 for oid, offset in pending.pop(txn_id, {}).items():
                     if offset is None:
                         self._index.pop(oid, None)
@@ -233,10 +302,19 @@ class ObjectStore:
                         self._index[oid] = offset
             elif entry.kind == KIND_META:
                 pass  # reserved for schema snapshots / compaction markers
-        if valid_end < self._log.size:
-            self._log.truncate(valid_end)
+        bytes_truncated = self._log.size - expected
+        if expected < self._log.size:
+            self._log.truncate(expected)
         self._allocator.fast_forward(max_oid)
         self._txn_counter = max_txn
+        self.last_recovery = RecoveryReport(
+            entries_scanned=entries_scanned,
+            commits_applied=commits_applied,
+            uncommitted_dropped=len(pending),
+            bytes_truncated=bytes_truncated,
+            salvaged_entries=salvaged_entries,
+            corrupt_regions=tuple(corrupt_regions),
+        )
 
     # -- OID allocation -----------------------------------------------------
 
@@ -297,7 +375,26 @@ class ObjectStore:
     def _commit(self, pending: _PendingTxn) -> None:
         with self._lock:
             self._require_is_active(pending)
-            self._log.append_commit(pending.txn_id)
+            marker_offset: int | None = None
+            try:
+                marker_offset = self._log.append(
+                    KIND_COMMIT, struct.pack(">Q", pending.txn_id)
+                )
+                self._log.flush()
+            except InjectedFault:
+                raise  # simulated process death: recovery decides the outcome
+            except Exception:
+                # The marker may have hit the file without being durable;
+                # physically retract it so disk and memory agree the
+                # transaction rolled back, then surface the failure.
+                if marker_offset is not None:
+                    try:
+                        self._log.truncate(marker_offset)
+                    except (OSError, StorageError):
+                        pass
+                self._active = None
+                self.stats.aborts += 1
+                raise
             for oid, offset in pending.updates.items():
                 if offset is None:
                     self._index.pop(oid, None)
@@ -382,6 +479,13 @@ class ObjectStore:
 
         Aborted and overwritten entries are dropped.  The store must not
         have an active transaction.
+
+        Crash-atomic: the replacement log is fully written, flushed
+        (and fsynced when the store is durable) *before* the single
+        ``os.replace`` that installs it, so a crash at any step leaves
+        either the old complete log or the new complete log on disk —
+        never a mix.  The replacement preserves the store's durability
+        setting instead of silently reopening with ``sync=False``.
         """
         with self._lock:
             if self._active is not None:
@@ -389,18 +493,44 @@ class ObjectStore:
             tmp_path = self.path + ".compact"
             if os.path.exists(tmp_path):
                 os.remove(tmp_path)
-            new_log = RecordLog(tmp_path, sync=False)
-            new_index: dict[int, int] = {}
+            new_log = RecordLog(tmp_path, sync=self._sync, faults=self._faults)
             txn_id = self._txn_counter + 1
-            for oid in sorted(self._index):
-                fields = self.read(oid)
-                payload = encode_record({"t": txn_id, "o": oid, "f": fields})
-                new_index[oid] = new_log.append(KIND_DATA, payload)
-            new_log.append_commit(txn_id)
-            new_log.close()
+            new_index: dict[int, int] = {}
+            try:
+                for oid in sorted(self._index):
+                    fields = self.read(oid)
+                    payload = encode_record({"t": txn_id, "o": oid, "f": fields})
+                    new_index[oid] = new_log.append(KIND_DATA, payload)
+                new_log.append_commit(txn_id)  # flush (+fsync when durable)
+                new_log.close()
+            except InjectedFault:
+                raise  # simulated process death: the stale tmp stays behind
+            except Exception:
+                # The old log was only read; discard the half-built
+                # replacement and keep serving from the old one.
+                new_log.close()
+                try:
+                    os.remove(tmp_path)
+                except OSError:
+                    pass
+                raise
             self._log.close()
             os.replace(tmp_path, self.path)
-            self._log = RecordLog(self.path, sync=False)
+            if self._sync:
+                self._fsync_directory(os.path.dirname(self.path) or ".")
+            self._log = RecordLog(self.path, sync=self._sync, faults=self._faults)
             self._index = new_index
             self._txn_counter = txn_id
             self._cache.clear()
+
+    @staticmethod
+    def _fsync_directory(directory: str) -> None:
+        """Make a rename durable (no-op where directories can't be opened)."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)

@@ -2,7 +2,11 @@
 
 Simulated crash/corruption scenarios beyond the torn-tail case: bit rot
 in the middle of the log, a commit marker destroyed, repeated crashes,
-and crash-during-compaction.
+crash-during-compaction (at every fault point), and mid-log salvage.
+
+Deliberate damage to *already-committed* bytes is applied post-hoc with
+:func:`_corrupt_byte`; in-flight faults (crashes, ENOSPC, torn writes)
+go through the deterministic :class:`repro.storage.FaultPlan` API.
 """
 
 import os
@@ -10,8 +14,13 @@ import os
 import pytest
 
 from repro.errors import UnknownOidError
-from repro.storage.log import RecordLog
-from repro.storage.store import ObjectStore
+from repro.storage import (
+    FaultPlan,
+    InjectedCrash,
+    ObjectStore,
+    RecordLog,
+    sweep_points,
+)
 
 
 def _corrupt_byte(path, offset: int) -> None:
@@ -88,6 +97,80 @@ class TestCommitMarkerLoss:
             assert again.file_size >= before_second
 
 
+class TestSalvage:
+    """Mid-log corruption must not cost the committed data *after* it."""
+
+    def _build(self, path, n=10):
+        boundaries = []
+        with ObjectStore(path) as store:
+            for i in range(n):
+                start = store.file_size
+                oid = store.insert({"i": i, "pad": "x" * 40})
+                boundaries.append((oid, start))
+        return boundaries
+
+    def test_salvage_recovers_entries_after_corrupt_region(self, tmp_path):
+        path = tmp_path / "salvage.plog"
+        boundaries = self._build(path)
+        # Destroy a byte inside the 6th transaction's data entry.
+        _corrupt_byte(path, boundaries[5][1] + 12)
+        with ObjectStore(path) as store:
+            report = store.last_recovery
+            assert report.salvaged
+            assert report.salvaged_entries > 0
+            assert len(report.corrupt_regions) == 1
+            for position, (oid, _) in enumerate(boundaries):
+                if position == 5:
+                    assert oid not in store
+                else:
+                    assert store.read(oid)["i"] == position
+
+    def test_prefix_mode_stops_at_first_corruption(self, tmp_path):
+        path = tmp_path / "prefix.plog"
+        boundaries = self._build(path)
+        _corrupt_byte(path, boundaries[5][1] + 12)
+        with ObjectStore(path, salvage=False) as store:
+            assert set(store.oids()) == {oid for oid, _ in boundaries[:5]}
+            assert not store.last_recovery.salvaged
+            assert store.last_recovery.bytes_truncated > 0
+
+    def test_salvage_survives_two_separate_corrupt_regions(self, tmp_path):
+        path = tmp_path / "two.plog"
+        boundaries = self._build(path)
+        _corrupt_byte(path, boundaries[2][1] + 12)
+        _corrupt_byte(path, boundaries[7][1] + 12)
+        with ObjectStore(path) as store:
+            assert len(store.last_recovery.corrupt_regions) == 2
+            live = set(store.oids())
+            expected = {
+                oid for position, (oid, _) in enumerate(boundaries)
+                if position not in (2, 7)
+            }
+            assert live == expected
+
+    def test_salvaged_store_keeps_working_and_compacts_clean(self, tmp_path):
+        path = tmp_path / "heal.plog"
+        boundaries = self._build(path)
+        _corrupt_byte(path, boundaries[4][1] + 12)
+        with ObjectStore(path) as store:
+            fresh = store.insert({"i": "new"})
+            store.compact()  # rewrites only live records: damage gone
+            assert store.read(fresh) == {"i": "new"}
+        with ObjectStore(path) as store:
+            assert store.last_recovery.clean
+            assert fresh in store
+
+    def test_clean_log_reports_clean(self, tmp_path):
+        path = tmp_path / "clean.plog"
+        self._build(path, n=3)
+        with ObjectStore(path) as store:
+            report = store.last_recovery
+            assert report.clean
+            assert report.entries_scanned == 6  # 3 data + 3 commits
+            assert report.commits_applied == 3
+            assert report.corrupt_regions == ()
+
+
 class TestCrashDuringCompaction:
     def test_leftover_compact_file_is_ignored_and_replaced(self, tmp_path):
         path = tmp_path / "c.plog"
@@ -103,6 +186,77 @@ class TestCrashDuringCompaction:
             store.compact()  # must clobber the stale temp file
             assert store.read(oid) == {"v": 2}
         assert not os.path.exists(stale)
+
+
+class TestCompactionCrashSweep:
+    """compact() must be crash-atomic at *every* injected fault point:
+    whatever step dies, reopening yields exactly the pre-compaction
+    logical state (compaction never changes logical state)."""
+
+    @staticmethod
+    def _build(path):
+        with ObjectStore(path) as store:
+            oids = [store.insert({"i": i}) for i in range(6)]
+            store.put(oids[0], {"i": 100})
+            store.remove(oids[1])
+            expected = {oid: store.read(oid) for oid in store.oids()}
+        return expected
+
+    @staticmethod
+    def _compact(path, plan):
+        store = ObjectStore(path, faults=plan)
+        try:
+            store.compact()
+        finally:
+            store.close()
+
+    def test_crash_at_every_compaction_fault_point(self, tmp_path):
+        probe_path = tmp_path / "probe.plog"
+        self._build(probe_path)
+        probe = FaultPlan()
+        self._compact(probe_path, probe)
+        counts = probe.snapshot_counts()
+        assert counts["write"] >= 6  # tmp header + 5 live records + commit
+
+        for op, index in sweep_points(counts):
+            path = tmp_path / f"compact-{op}-{index}.plog"
+            expected = self._build(path)
+            plan = FaultPlan(seed=index).crash(op, at=index)
+            try:
+                self._compact(path, plan)
+            except InjectedCrash:
+                pass
+            with ObjectStore(path) as store:
+                state = {oid: store.read(oid) for oid in store.oids()}
+            assert state == expected, f"state diverged at {op} #{index}"
+
+    def test_enospc_during_compaction_keeps_old_log_serving(self, tmp_path):
+        path = tmp_path / "enospc.plog"
+        expected = self._build(path)
+        plan = FaultPlan().fail("write", at=3)  # inside the tmp log build
+        store = ObjectStore(path, faults=plan)
+        with pytest.raises(OSError):
+            store.compact()
+        # The failed attempt cleaned up its temp file and the store
+        # still answers from the old log.
+        assert not os.path.exists(path.with_suffix(".plog.compact"))
+        assert not os.path.exists(str(path) + ".compact")
+        state = {oid: store.read(oid) for oid in store.oids()}
+        assert state == expected
+        store.compact()  # plan exhausted: the retry succeeds
+        store.close()
+        with ObjectStore(path) as reopened:
+            assert {o: reopened.read(o) for o in reopened.oids()} == expected
+
+    def test_compaction_preserves_durability_setting(self, tmp_path):
+        path = tmp_path / "sync.plog"
+        store = ObjectStore(path, sync=True)
+        store.insert({"v": 1})
+        store.compact()
+        # Regression: compact() used to reopen with sync=False, silently
+        # dropping the durability contract for the rest of the process.
+        assert store._log.sync is True
+        store.close()
 
 
 class TestRepeatedCrashes:

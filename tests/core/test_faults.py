@@ -1,0 +1,196 @@
+"""The fault-injection layer itself: deterministic, seedable, honest.
+
+These tests pin down the contract every resilience test builds on: ops
+are counted, faults fire exactly where scheduled, crashes kill the
+faulted file for good, and the same seed replays the same damage.
+"""
+
+import errno
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import (
+    FaultPlan,
+    InjectedCrash,
+    ObjectStore,
+    RecordLog,
+    sweep_points,
+)
+from repro.storage.faults import OPS, Fault
+
+
+class TestFaultPlanScheduling:
+    def test_ops_are_counted_without_faults(self, tmp_path):
+        plan = FaultPlan()
+        with RecordLog(tmp_path / "a.plog", sync=True, faults=plan) as log:
+            log.append_data(b"x")
+            log.append_commit(1)
+        assert plan.counts["write"] == 3  # header + data + commit
+        assert plan.counts["flush"] >= 1
+        assert plan.counts["fsync"] >= 1
+
+    def test_counts_span_multiple_files(self, tmp_path):
+        plan = FaultPlan()
+        with RecordLog(tmp_path / "a.plog", faults=plan) as log:
+            log.append_data(b"x")
+        first = plan.counts["write"]
+        with RecordLog(tmp_path / "b.plog", faults=plan) as log:
+            log.append_data(b"y")
+        assert plan.counts["write"] == first + 2  # header + data again
+
+    def test_fault_fires_exactly_once(self, tmp_path):
+        plan = FaultPlan().fail("write", at=2)
+        log = RecordLog(tmp_path / "a.plog", faults=plan)
+        with pytest.raises(OSError):
+            log.append_data(b"doomed")
+        assert log.append_data(b"fine") > 0  # same call count would not re-fire
+        assert len(plan.fired) == 1
+        log.close()
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().add(Fault(op="read", mode="error", at=1))
+
+    def test_sweep_points_enumerates_all(self):
+        counts = {"write": 3, "flush": 2, "fsync": 0}
+        points = list(sweep_points(counts))
+        assert len(points) == 5
+        assert ("write", 1) in points and ("flush", 2) in points
+        assert all(op in OPS for op, _ in points)
+
+    def test_determinism_same_seed_same_damage(self, tmp_path):
+        sizes = []
+        for run in range(2):
+            path = tmp_path / f"run{run}.plog"
+            plan = FaultPlan(seed=42).torn_write(at=3)
+            log = RecordLog(path, faults=plan)
+            log.append_data(b"first entry payload")
+            with pytest.raises(InjectedCrash):
+                log.append_data(b"second entry payload")
+            log.close()
+            sizes.append(path.stat().st_size)
+        assert sizes[0] == sizes[1]
+
+
+class TestFaultModes:
+    def test_error_mode_writes_nothing(self, tmp_path):
+        path = tmp_path / "e.plog"
+        plan = FaultPlan().fail("write", at=2, errno_code=errno.ENOSPC)
+        log = RecordLog(path, faults=plan)
+        with pytest.raises(OSError) as err:
+            log.append_data(b"payload")
+        assert err.value.errno == errno.ENOSPC
+        log.flush()
+        assert path.stat().st_size == log.size  # tail rolled back cleanly
+        log.close()
+
+    def test_short_write_persists_prefix_then_raises(self, tmp_path):
+        path = tmp_path / "s.plog"
+        plan = FaultPlan().short_write(at=2, keep=5)
+        log = RecordLog(path, faults=plan)
+        with pytest.raises(OSError):
+            log.append_data(b"a-long-enough-payload")
+        # append() repaired the torn tail in-process: log stays usable.
+        offset = log.append_data(b"recovered")
+        assert log.read_entry(offset).payload == b"recovered"
+        log.close()
+
+    def test_torn_write_kills_the_file(self, tmp_path):
+        plan = FaultPlan().torn_write(at=2, keep=4)
+        log = RecordLog(tmp_path / "t.plog", faults=plan)
+        with pytest.raises(InjectedCrash):
+            log.append_data(b"payload")
+        with pytest.raises(InjectedCrash):
+            log.append_data(b"after death")
+        assert plan.dead
+        log.close()  # must not raise: the descriptor is still released
+
+    def test_bit_flip_is_silent_but_caught_by_crc(self, tmp_path):
+        path = tmp_path / "b.plog"
+        plan = FaultPlan(seed=9).bit_flip(at=2, position=10)
+        log = RecordLog(path, faults=plan)
+        offset = log.append_data(b"some payload bytes")
+        log.flush()
+        from repro.errors import CorruptRecordError
+
+        with pytest.raises(CorruptRecordError):
+            log.read_entry(offset)
+        log.close()
+
+    def test_crash_at_offset_persists_up_to_offset(self, tmp_path):
+        path = tmp_path / "o.plog"
+        probe = RecordLog(path)
+        first = probe.append_data(b"aaaa")
+        end_of_first = probe.read_entry(first).end_offset
+        probe.close()
+        path.unlink()
+
+        plan = FaultPlan().crash_at_offset(end_of_first + 5)
+        log = RecordLog(path, faults=plan)
+        log.append_data(b"aaaa")
+        with pytest.raises(InjectedCrash):
+            log.append_data(b"bbbb")
+        log.close()
+        assert path.stat().st_size == end_of_first + 5
+
+    def test_fsync_fault_requires_sync_log(self, tmp_path):
+        # Header creation flushes without fsync, so fsync #1 is the
+        # first explicit flush of a sync log.
+        plan = FaultPlan().fail("fsync", at=1)
+        log = RecordLog(tmp_path / "f.plog", sync=True, faults=plan)
+        log.append_data(b"x")
+        with pytest.raises(OSError):
+            log.flush()
+        log.close()
+
+
+class TestTornHeader:
+    def test_creation_crash_leaves_reopenable_file(self, tmp_path):
+        path = tmp_path / "h.plog"
+        plan = FaultPlan().torn_write(at=1, keep=7)  # header write
+        with pytest.raises(InjectedCrash):
+            RecordLog(path, faults=plan)
+        # 7 bytes of header on disk: recovery finishes the creation.
+        log = RecordLog(path)
+        offset = log.append_data(b"works")
+        assert log.read_entry(offset).payload == b"works"
+        log.close()
+
+    def test_foreign_file_still_rejected(self, tmp_path):
+        path = tmp_path / "alien.bin"
+        path.write_bytes(b"XY")  # short, but not a HEADER prefix
+        with pytest.raises(StorageError):
+            RecordLog(path)
+
+
+class TestStoreUnderFaults:
+    def test_enospc_mid_transaction_aborts_cleanly(self, tmp_path):
+        path = tmp_path / "st.plog"
+        plan = FaultPlan().fail("write", at=4)
+        store = ObjectStore(path, faults=plan)
+        keep = store.insert({"v": 1})
+        with pytest.raises(OSError):
+            store.insert({"v": 2})
+        assert not store.in_transaction
+        after = store.insert({"v": 3})
+        store.close()
+        with ObjectStore(path) as reopened:
+            assert reopened.read(keep) == {"v": 1}
+            assert reopened.read(after) == {"v": 3}
+            assert len(reopened) == 2
+
+    def test_commit_flush_failure_retracts_marker(self, tmp_path):
+        path = tmp_path / "cm.plog"
+        # flush #1 = header-era flush; #2 = first commit; #3 = second.
+        plan = FaultPlan().fail("flush", at=3)
+        store = ObjectStore(path, faults=plan)
+        first = store.insert({"v": 1})
+        with pytest.raises(OSError):
+            store.insert({"v": 2})
+        assert store.stats.aborts == 1
+        assert not store.in_transaction
+        third = store.insert({"v": 3})
+        store.close()
+        with ObjectStore(path) as reopened:
+            assert set(reopened.oids()) == {first, third}
