@@ -15,12 +15,12 @@ from repro.core.attributes import Attribute
 from repro.core.schema import Schema
 from repro.core import types as T
 
-from conftest import write_result
+from conftest import sweep_rows_as_dicts, write_result
 
 SIZES = [100, 400, 1600]
 
 
-def test_fig44_t5_sweep_and_per_op(benchmark):
+def test_fig44_t5_sweep_and_per_op(benchmark, bench_recorder):
     rows = sweep_t5(SIZES, ops_per_point=150)
     table = format_series(
         "Figure 44 — T5 relationship creation vs raw write (constant "
@@ -29,6 +29,7 @@ def test_fig44_t5_sweep_and_per_op(benchmark):
     )
     print("\n" + table)
     write_result("fig44_t5.txt", table)
+    bench_recorder.record_series("fig44_t5", sweep_rows_as_dicts(rows))
     # Shape: the Prometheus/raw ratio stays in the same band — the
     # overhead per operation does not grow with database size.
     growth = ratio_growth(rows)

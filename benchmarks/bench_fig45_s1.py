@@ -16,12 +16,12 @@ from repro.core.schema import Schema
 from repro.core.semantics import RelationshipSemantics, RelKind
 from repro.core import types as T
 
-from conftest import write_result
+from conftest import sweep_rows_as_dicts, write_result
 
 SIZES = [100, 400, 1600]
 
 
-def test_fig45_s1_sweep_and_per_op(benchmark):
+def test_fig45_s1_sweep_and_per_op(benchmark, bench_recorder):
     rows = sweep_s1(SIZES, ops_per_point=40)
     table = format_series(
         "Figure 45 — S1 classified placement vs bare relate "
@@ -30,6 +30,7 @@ def test_fig45_s1_sweep_and_per_op(benchmark):
     )
     print("\n" + table)
     write_result("fig45_s1.txt", table)
+    bench_recorder.record_series("fig45_s1", sweep_rows_as_dicts(rows))
     # Shape: the per-op Prometheus cost grows with classification size
     # while the raw cost stays flat — the overhead ratio at the largest
     # size clearly exceeds the smallest.

@@ -15,12 +15,12 @@ from repro.core.schema import Schema
 from repro.core.semantics import RelationshipSemantics, RelKind
 from repro.core import types as T
 
-from conftest import write_result
+from conftest import sweep_rows_as_dicts, write_result
 
 GROUP_COUNTS = [4, 8, 16, 32]
 
 
-def test_fig46_s2_sweep_and_per_op(benchmark):
+def test_fig46_s2_sweep_and_per_op(benchmark, bench_recorder):
     rows = sweep_s2(GROUP_COUNTS, leaves_per_group=4)
     table = format_series(
         "Figure 46 — S2 classification comparison vs flat intersection "
@@ -29,6 +29,7 @@ def test_fig46_s2_sweep_and_per_op(benchmark):
     )
     print("\n" + table)
     write_result("fig46_s2.txt", table)
+    bench_recorder.record_series("fig46_s2", sweep_rows_as_dicts(rows))
     # Shape: comparison cost grows super-linearly in the group count
     # (g² pairs), so quadrupling the groups should far more than
     # quadruple... at minimum the cost must grow markedly.

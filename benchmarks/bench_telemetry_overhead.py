@@ -1,0 +1,131 @@
+"""Telemetry overhead microbenchmark: the "one branch per hook" contract.
+
+Instrumentation is only allowed into hot paths under the discipline that
+a *disabled* facade costs one attribute load and one branch per hook.
+This benchmark keeps that honest with a before/after comparison on the
+OO7 query workload:
+
+* **before** — the same queries executed through the internal
+  ``PrometheusDB._execute`` entry point, bypassing the telemetry wrapper
+  entirely (the closest running code to the pre-instrumentation build);
+* **disabled** — the public ``db.query`` path with a disabled facade,
+  i.e. every hook present but dormant;
+* **enabled** — the full instrumented path, for the record.
+
+The disabled-vs-before overhead must stay under
+``TELEMETRY_OVERHEAD_LIMIT_PCT`` (default 3%).  The raw cost of the hook
+primitive itself (attribute load + branch) is also measured and
+recorded.  Results land in ``results/BENCH_bench_telemetry_overhead.json``
+so CI can track the trend.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bench import OO7Config, build_oo7, define_oo7_schema
+from repro.engine import PrometheusDB
+from repro.telemetry import DISABLED, Telemetry
+
+OVERHEAD_LIMIT_PCT = float(os.environ.get("TELEMETRY_OVERHEAD_LIMIT_PCT", "3.0"))
+
+QUERIES_PER_BATCH = 20
+ROUNDS = 9
+
+
+def _build_db(telemetry: Telemetry) -> tuple[PrometheusDB, list]:
+    db = PrometheusDB(telemetry=telemetry)
+    define_oo7_schema(db.schema)
+    handles = build_oo7(db.schema, OO7Config.tiny())
+    idents = [a.get("ident") for a in handles.atomic_parts[:QUERIES_PER_BATCH]]
+    return db, idents
+
+
+def _batch_ns(run, rounds: int = ROUNDS) -> float:
+    """Best-of-``rounds`` wall time of one batch, in ns."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter_ns()
+        run()
+        best = min(best, time.perf_counter_ns() - started)
+    return best
+
+
+def test_disabled_overhead_under_limit(bench_recorder):
+    """db.query with telemetry disabled vs the unwrapped execute path."""
+    db, idents = _build_db(Telemetry(enabled=False))
+    text = "select a from a in AtomicPart where a.ident = $i"
+
+    def before() -> None:
+        for ident in idents:
+            db._execute(text, {"i": ident}, check=True)
+
+    def disabled() -> None:
+        for ident in idents:
+            db.query(text, params={"i": ident})
+
+    # Interleave the measurements so drift (thermal, GC) hits both arms.
+    before_ns = float("inf")
+    disabled_ns = float("inf")
+    for _ in range(ROUNDS):
+        before_ns = min(before_ns, _batch_ns(before, rounds=1))
+        disabled_ns = min(disabled_ns, _batch_ns(disabled, rounds=1))
+    overhead_pct = (disabled_ns - before_ns) / before_ns * 100.0
+
+    db_on, idents_on = _build_db(Telemetry(enabled=True))
+
+    def enabled() -> None:
+        for ident in idents_on:
+            db_on.query(text, params={"i": ident})
+
+    enabled_ns = _batch_ns(enabled)
+    enabled_pct = (enabled_ns - before_ns) / before_ns * 100.0
+
+    bench_recorder.record(
+        "test_disabled_overhead_under_limit",
+        before_ns=before_ns,
+        disabled_ns=disabled_ns,
+        enabled_ns=enabled_ns,
+        overhead_disabled_pct=round(overhead_pct, 3),
+        overhead_enabled_pct=round(enabled_pct, 3),
+        queries_per_batch=QUERIES_PER_BATCH,
+        limit_pct=OVERHEAD_LIMIT_PCT,
+    )
+    print(
+        f"\ntelemetry overhead: disabled {overhead_pct:+.2f}% "
+        f"(limit {OVERHEAD_LIMIT_PCT}%), enabled {enabled_pct:+.2f}%"
+    )
+    assert overhead_pct < OVERHEAD_LIMIT_PCT, (
+        f"disabled-telemetry overhead {overhead_pct:.2f}% exceeds "
+        f"{OVERHEAD_LIMIT_PCT}% (before={before_ns:.0f}ns "
+        f"disabled={disabled_ns:.0f}ns per {QUERIES_PER_BATCH}-query batch)"
+    )
+
+
+def test_hook_primitive_cost(bench_recorder):
+    """The dormant hook itself: one attribute load + one branch."""
+    tel = DISABLED
+    iterations = 200_000
+
+    def hooked() -> None:
+        for _ in range(iterations):
+            if tel.enabled:  # pragma: no cover - never taken
+                raise AssertionError
+
+    def bare() -> None:
+        for _ in range(iterations):
+            pass
+
+    hooked_ns = _batch_ns(hooked, rounds=5)
+    bare_ns = _batch_ns(bare, rounds=5)
+    per_hook_ns = max(0.0, (hooked_ns - bare_ns) / iterations)
+    bench_recorder.record(
+        "test_hook_primitive_cost",
+        per_hook_ns=round(per_hook_ns, 3),
+        iterations=iterations,
+    )
+    print(f"\ndormant hook cost: {per_hook_ns:.1f} ns")
+    # A dormant hook must stay in branch-predictor territory, far from
+    # anything that could move a query benchmark by whole percents.
+    assert per_hook_ns < 1000

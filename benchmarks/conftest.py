@@ -4,6 +4,12 @@ Every benchmark regenerates one artefact of the thesis's evaluation
 chapter (see EXPERIMENTS.md for the index).  Figure-style benchmarks
 additionally write their data series into ``benchmarks/results/`` so the
 regenerated "figures" survive the pytest run as inspectable text files.
+
+Machine-readable results: every benchmark module also emits a
+``benchmarks/results/BENCH_<module>.json`` through a
+:class:`repro.telemetry.bench.BenchRecorder`.  pytest-benchmark stats
+are captured automatically after each test; sweep-style benchmarks
+record their series explicitly via the ``bench_recorder`` fixture.
 """
 
 from __future__ import annotations
@@ -14,8 +20,63 @@ import pytest
 
 from repro.bench import OO7Config, build_oo7, define_oo7_schema
 from repro.core.schema import Schema
+from repro.telemetry.bench import BenchRecorder
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+_RECORDERS: dict[str, BenchRecorder] = {}
+
+
+def recorder_for(module_name: str) -> BenchRecorder:
+    """One :class:`BenchRecorder` per benchmark module, created lazily."""
+    name = module_name.rsplit(".", 1)[-1]
+    recorder = _RECORDERS.get(name)
+    if recorder is None:
+        recorder = BenchRecorder(name)
+        _RECORDERS[name] = recorder
+    return recorder
+
+
+@pytest.fixture
+def bench_recorder(request) -> BenchRecorder:
+    """The module's recorder, for explicit series/result recording."""
+    return recorder_for(request.module.__name__)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """After any test that used pytest-benchmark, harvest its stats.
+
+    Runs right after the test body, while the ``benchmark`` fixture is
+    still alive (its value is gone by fixture-teardown time).  Tolerant
+    of benchmarks that were skipped or disabled: the capture only
+    records when stats actually exist.
+    """
+    yield
+    bench = getattr(item, "funcargs", {}).get("benchmark")
+    meta = getattr(bench, "stats", None)
+    stats = getattr(meta, "stats", None)
+    if stats is None:
+        return
+    recorder = recorder_for(item.module.__name__)
+    try:
+        recorder.record(
+            item.name,
+            mean_ns=stats.mean * 1e9,
+            min_ns=stats.min * 1e9,
+            max_ns=stats.max * 1e9,
+            stddev_ns=stats.stddev * 1e9,
+            rounds=stats.rounds,
+        )
+    except (AttributeError, TypeError):
+        pass
+
+
+def pytest_sessionfinish(session, exitstatus):  # noqa: ARG001
+    """Flush every module's recorder to results/BENCH_<module>.json."""
+    for recorder in _RECORDERS.values():
+        if recorder.results or recorder.series:
+            recorder.write(RESULTS_DIR)
 
 
 def write_result(name: str, text: str) -> Path:
@@ -24,6 +85,19 @@ def write_result(name: str, text: str) -> Path:
     path = RESULTS_DIR / name
     path.write_text(text + "\n")
     return path
+
+
+def sweep_rows_as_dicts(rows) -> list[dict]:
+    """SweepRow series → JSON-safe dicts (shared by figure benchmarks)."""
+    return [
+        {
+            "size": row.size,
+            "raw_ns": row.raw_ns,
+            "prometheus_ns": row.prometheus_ns,
+            "ratio": row.ratio,
+        }
+        for row in rows
+    ]
 
 
 @pytest.fixture(scope="module")

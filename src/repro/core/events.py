@@ -14,8 +14,11 @@ already-applied change.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
+
+from ..telemetry import DISABLED, Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
     from .instances import PObject
@@ -77,10 +80,14 @@ class EventBus:
     propagates to the caller and thereby vetoes the change.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: Telemetry | None = None) -> None:
         self._subscribers: list[tuple[frozenset[EventKind] | None, Subscriber]] = []
         self._muted = 0
         self.published = 0
+        #: Telemetry facade; swap in a live one to count publishes and
+        #: time handlers.  Defaults to the shared disabled facade so the
+        #: publish hot path pays exactly one branch when off.
+        self.telemetry = telemetry if telemetry is not None else DISABLED
 
     def subscribe(
         self,
@@ -104,9 +111,31 @@ class EventBus:
         if self._muted:
             return
         self.published += 1
+        tel = self.telemetry
+        if not tel.enabled:
+            for kinds, handler in list(self._subscribers):
+                if kinds is None or event.kind in kinds:
+                    handler(event)
+            return
+        registry = tel.registry
+        registry.counter(
+            "repro_events_published_total",
+            help="Events published on the bus",
+        ).inc()
+        registry.counter(
+            "repro_events_by_kind_total",
+            {"kind": event.kind.value},
+            help="Events published on the bus, by kind",
+        ).inc()
+        latency = registry.histogram(
+            "repro_event_handler_ms",
+            help="Per-subscriber event handling latency (ms)",
+        )
         for kinds, handler in list(self._subscribers):
             if kinds is None or event.kind in kinds:
+                started = time.perf_counter_ns()
                 handler(event)
+                latency.observe((time.perf_counter_ns() - started) / 1e6)
 
     class _Muted:
         def __init__(self, bus: "EventBus") -> None:

@@ -18,6 +18,7 @@ and exposes the operations applications actually call.  The HTTP server
 from __future__ import annotations
 
 import os
+import time
 from typing import Any
 
 from ..classification import ClassificationManager, TraceLog
@@ -30,6 +31,7 @@ from ..query.nodes import QueryPlanInfo
 from ..query.typecheck import typecheck
 from ..rules import RuleEngine
 from ..storage.store import ObjectStore
+from ..telemetry import Telemetry
 from .indexes import IndexManager
 from .views import ViewManager
 
@@ -42,6 +44,12 @@ class PrometheusDB:
         name: diagnostic label.
         cache_size: object-store record cache capacity.
         sync: fsync after commits (durable but slow).
+        telemetry: a :class:`~repro.telemetry.Telemetry` facade to use,
+            or None to create an enabled one.  Pass
+            ``repro.telemetry.DISABLED`` (or any disabled facade) to
+            turn all instrumentation down to one branch per hook.
+        slow_query_ms: threshold for the slow-query log (None = off);
+            only consulted when building the default facade.
     """
 
     def __init__(
@@ -50,19 +58,102 @@ class PrometheusDB:
         name: str = "prometheus",
         cache_size: int = 4096,
         sync: bool = False,
+        telemetry: Telemetry | None = None,
+        slow_query_ms: float | None = None,
     ) -> None:
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else Telemetry(enabled=True, slow_query_ms=slow_query_ms)
+        )
         self.store: ObjectStore | None = (
             ObjectStore(path, cache_size=cache_size, sync=sync)
             if path is not None
             else None
         )
         self.schema = Schema(self.store, name=name)
-        self.rules = RuleEngine(self.schema)
+        self.schema.events.telemetry = self.telemetry
+        self.rules = RuleEngine(self.schema, telemetry=self.telemetry)
         self.indexes = IndexManager(self.schema)
         self._loaded = False
         self._classifications: ClassificationManager | None = None
         self._views: ViewManager | None = None
         self._trace: TraceLog | None = None
+        self._last_plan: QueryPlanInfo | None = None
+        self._wire_telemetry()
+
+    def _wire_telemetry(self) -> None:
+        """Register scrape-time collectors and seed the metric families.
+
+        Seeding guarantees ``GET /metrics`` always exposes at least one
+        counter per layer (events, rules, query, storage, federation),
+        even before any traffic arrives.
+        """
+        registry = self.telemetry.registry
+        registry.counter(
+            "repro_events_published_total", help="Events published on the bus"
+        )
+        registry.counter("repro_rules_fired_total", help="Rule evaluations")
+        registry.counter(
+            "repro_rules_violations_total", help="Rule violations"
+        )
+        registry.counter("repro_query_total", help="POOL queries executed")
+        registry.counter(
+            "repro_storage_ops_total", help="Object-store operations"
+        )
+        registry.counter(
+            "repro_federation_requests_total",
+            help="Guarded federation calls (all nodes)",
+        )
+        registry.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry: Any) -> None:
+        """Scrape-time storage/index/cache metrics: these numbers are
+        maintained by the layers anyway, so observing them is free."""
+        store = self.store
+        if store is not None:
+            snap = store.telemetry_snapshot()
+            ops = registry.counter("repro_storage_ops_total")
+            ops.value = (
+                snap["reads"] + snap["writes"] + snap["deletes"]
+                + snap["commits"] + snap["aborts"]
+            )
+            for op in ("reads", "writes", "deletes", "commits", "aborts"):
+                registry.counter(
+                    "repro_storage_ops_by_kind_total", {"op": op}
+                ).value = snap[op]
+            registry.counter(
+                "repro_storage_cache_hits_total"
+            ).value = snap["cache_hits"]
+            registry.counter(
+                "repro_storage_cache_misses_total"
+            ).value = snap["cache_misses"]
+            registry.gauge(
+                "repro_storage_cache_hit_rate",
+                help="Record-cache hit rate since last reset",
+            ).set(round(snap["cache_hit_rate"], 6))
+            registry.counter(
+                "repro_storage_log_appends_total"
+            ).value = snap["log_appends"]
+            registry.counter(
+                "repro_storage_log_fsyncs_total",
+                help="fsync calls issued by the record log",
+            ).value = snap["log_fsyncs"]
+            registry.gauge("repro_storage_file_bytes").set(snap["file_size"])
+            registry.gauge(
+                "repro_storage_live_records"
+            ).set(snap["live_records"])
+        for index in self.indexes.indexes():
+            registry.counter(
+                "repro_index_probes_total", {"index": index.name}
+            ).value = index.probes
+            registry.gauge(
+                "repro_index_entries", {"index": index.name}
+            ).set(len(index))
+        registry.gauge(
+            "repro_events_bus_published",
+            help="Lifetime publish count kept by the bus itself",
+        ).set(self.schema.events.published)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -123,7 +214,58 @@ class PrometheusDB:
         """Type-check then evaluate POOL ``text``.
 
         Returns a list for SELECT, a GraphView for EXTRACT GRAPH.
+
+        The text may be prefixed with ``EXPLAIN`` or ``PROFILE``
+        (case-insensitive): instead of the result rows the call then
+        returns a plan report dict — ``EXPLAIN`` describes the access
+        paths taken (index vs scan, rows examined, traversal depth),
+        ``PROFILE`` additionally includes the per-clause span tree and
+        wall time.  Both run the query for real (POOL is select-only,
+        so this is always safe).
         """
+        mode, text = self._strip_mode(text)
+        if mode is not None:
+            return self._run_plan_report(mode, text, params)
+        tel = self.telemetry
+        if not tel.enabled:
+            return self._execute(text, params, check)
+        registry = tel.registry
+        registry.counter(
+            "repro_query_total", help="POOL queries executed"
+        ).inc()
+        started = time.perf_counter_ns()
+        try:
+            result = self._execute(text, params, check)
+        except Exception:
+            registry.counter(
+                "repro_query_errors_total", help="POOL queries that raised"
+            ).inc()
+            raise
+        elapsed_ms = (time.perf_counter_ns() - started) / 1e6
+        registry.histogram(
+            "repro_query_ms", help="POOL query latency (ms)"
+        ).observe(elapsed_ms)
+        plan = self._last_plan
+        if plan is not None:
+            if plan.index_used is not None:
+                registry.counter(
+                    "repro_query_index_hits_total",
+                    help="Queries answered through an index fast path",
+                ).inc()
+            if plan.extent_scans:
+                registry.counter(
+                    "repro_query_extent_scans_total",
+                    help="Full extent scans performed by queries",
+                ).inc(plan.extent_scans)
+        tel.record_query(text, elapsed_ms, _result_size(result))
+        return result
+
+    def _execute(
+        self,
+        text: str,
+        params: dict[str, Any] | None,
+        check: bool,
+    ) -> Any:
         ast = parse(text)
         if check:
             report = typecheck(self.schema, ast, self._classifications)
@@ -131,27 +273,66 @@ class PrometheusDB:
                 raise QueryError(
                     "query does not type-check: " + "; ".join(report.errors)
                 )
-        context = QueryContext(
+        context = self._context(params)
+        result = Evaluator(context).run(ast)
+        self._last_plan = context.plan
+        return result
+
+    def _context(self, params: dict[str, Any] | None) -> QueryContext:
+        return QueryContext(
             schema=self.schema,
             classifications=self._classifications,
             params=params or {},
             index_probe=self.indexes.probe,
+            telemetry=self.telemetry,
         )
-        return Evaluator(context).run(ast)
+
+    @staticmethod
+    def _strip_mode(text: str) -> tuple[str | None, str]:
+        head, _, rest = text.lstrip().partition(" ")
+        if head.lower() in ("explain", "profile") and rest.strip():
+            return head.lower(), rest.strip()
+        return None, text
+
+    def _run_plan_report(
+        self, mode: str, text: str, params: dict[str, Any] | None
+    ) -> dict[str, Any]:
+        """Shared body of EXPLAIN and PROFILE (§6.1.5.3 made visible)."""
+        ast = parse(text)
+        context = self._context(params)
+        if mode == "profile":
+            # PROFILE always traces, even when telemetry is disabled:
+            # the caller asked for this one query's structure.
+            local = Telemetry(enabled=True)
+            context.telemetry = local
+        started = time.perf_counter_ns()
+        result = Evaluator(context).run(ast)
+        elapsed_ms = (time.perf_counter_ns() - started) / 1e6
+        report: dict[str, Any] = {
+            "mode": mode,
+            "query": text,
+            "plan": context.plan.as_dict(),
+            "rows": _result_size(result),
+        }
+        if mode == "profile":
+            report["elapsed_ms"] = round(elapsed_ms, 4)
+            report["spans"] = local.tracer.snapshot()
+        return report
 
     def explain(
         self, text: str, params: dict[str, Any] | None = None
     ) -> QueryPlanInfo:
         """Evaluate and return the plan info (index use, extent scans)."""
         ast = parse(text)
-        context = QueryContext(
-            schema=self.schema,
-            classifications=self._classifications,
-            params=params or {},
-            index_probe=self.indexes.probe,
-        )
+        context = self._context(params)
         Evaluator(context).run(ast)
         return context.plan
+
+    def profile(
+        self, text: str, params: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """Run ``text`` with tracing forced on; return the full report."""
+        return self._run_plan_report("profile", text, params)
 
     # -- introspection --------------------------------------------------------------
 
@@ -178,3 +359,9 @@ class PrometheusDB:
             for v in self.rules.check_all_invariants()
         )
         return problems
+
+
+def _result_size(result: Any) -> int:
+    if isinstance(result, list):
+        return len(result)
+    return 1 if result is not None else 0

@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 from ..errors import PrometheusError
+from ..telemetry import DISABLED, Telemetry
 
 
 class FederationError(PrometheusError):
@@ -272,9 +273,36 @@ class Federation:
     breaker_threshold: int = 5
     breaker_reset: float = 30.0
     max_workers: int = 8
+    telemetry: Telemetry = field(default=DISABLED, repr=False)
     _breakers: dict[str, CircuitBreaker] = field(
         default_factory=dict, repr=False
     )
+
+    #: Breaker-state gauge encoding (scraped by the telemetry collector).
+    _BREAKER_STATES = {"closed": 0, "half_open": 1, "open": 2}
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Wire a live facade in and register the breaker-state collector.
+
+        Request counts, latency, retries and errors are recorded on the
+        hot path (one branch when disabled); breaker states are scraped
+        for free at exposition time.
+        """
+        self.telemetry = telemetry
+        telemetry.registry.add_collector(self._collect_breakers)
+
+    def _collect_breakers(self, registry: Any) -> None:
+        for name in sorted(self.nodes):
+            breaker = self.breaker(name)
+            registry.gauge(
+                "repro_federation_breaker_state",
+                {"node": name},
+                help="Circuit-breaker state (0=closed, 1=half_open, 2=open)",
+            ).set(self._BREAKER_STATES.get(breaker.state, -1))
+            registry.gauge(
+                "repro_federation_breaker_consecutive_failures",
+                {"node": name},
+            ).set(breaker.consecutive_failures)
 
     def add_node(self, name: str, url_or_client: str | RemoteDatabase) -> None:
         if isinstance(url_or_client, str):
@@ -304,16 +332,69 @@ class Federation:
     def _call_node(self, name: str, fn: Callable[[], Any]) -> Any:
         """One guarded node call: breaker gate, retries, breaker update."""
         breaker = self.breaker(name)
+        tel = self.telemetry
+        if not tel.enabled:
+            if not breaker.allow():
+                raise CircuitOpenError(
+                    f"{name}: circuit open "
+                    f"({breaker.consecutive_failures} consecutive failures)"
+                )
+            try:
+                result = self.retry.call(fn) if self.retry is not None else fn()
+            except Exception:
+                breaker.record_failure()
+                raise
+            breaker.record_success()
+            return result
+
+        registry = tel.registry
+        node_label = {"node": name}
+        registry.counter(
+            "repro_federation_requests_total",
+            node_label,
+            help="Guarded federation calls per node",
+        ).inc()
         if not breaker.allow():
+            registry.counter(
+                "repro_federation_breaker_rejections_total", node_label
+            ).inc()
             raise CircuitOpenError(
                 f"{name}: circuit open "
                 f"({breaker.consecutive_failures} consecutive failures)"
             )
+        attempts = 0
+
+        def counted() -> Any:
+            nonlocal attempts
+            attempts += 1
+            return fn()
+
+        started = time.monotonic()
         try:
-            result = self.retry.call(fn) if self.retry is not None else fn()
+            result = (
+                self.retry.call(counted) if self.retry is not None else counted()
+            )
         except Exception:
             breaker.record_failure()
+            registry.counter(
+                "repro_federation_errors_total", node_label
+            ).inc()
+            if attempts > 1:
+                registry.counter(
+                    "repro_federation_retries_total", node_label
+                ).inc(attempts - 1)
             raise
+        if attempts > 1:
+            registry.counter(
+                "repro_federation_retries_total",
+                node_label,
+                help="Retry attempts beyond the first, per node",
+            ).inc(attempts - 1)
+        registry.histogram(
+            "repro_federation_request_ms",
+            node_label,
+            help="Per-node federation request latency (ms), retries included",
+        ).observe((time.monotonic() - started) * 1000.0)
         breaker.record_success()
         return result
 

@@ -13,16 +13,28 @@ Endpoints::
     GET  /objects/<oid>               — one object's state
     GET  /classifications             — classification names
     GET  /classifications/<name>      — nodes + edges of one classification
+    GET  /health                      — liveness, recovery, breakers
+    GET  /metrics                     — Prometheus text exposition
+    GET  /stats                       — telemetry snapshot (JSON)
     POST /query                       — {"query": "...", "params": {...}}
+                                        (text may start with EXPLAIN or
+                                        PROFILE for a plan report)
 
 The server is synchronous and threaded; it is an access layer, not a
 concurrency story (the store is single-writer).
+
+Observability: every request is counted and timed in the database's
+telemetry registry, and logged as a structured access-log entry on the
+``repro.server`` stdlib logger (protocol-level chatter from the stdlib
+handler goes to the same logger at DEBUG instead of stderr).
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import unquote, urlparse
@@ -34,6 +46,10 @@ from ..core.metamodel import describe_class
 from ..core.relationships import RelationshipInstance
 from ..errors import PrometheusError
 from .database import PrometheusDB
+from .federation import Federation
+
+_server_logger = logging.getLogger("repro.server")
+_access_logger = logging.getLogger("repro.server.access")
 
 
 def jsonable(value: Any) -> Any:
@@ -75,16 +91,25 @@ def jsonable(value: Any) -> Any:
 
 class _Handler(BaseHTTPRequestHandler):
     db: PrometheusDB  # injected by make_server
+    federation: Federation | None = None  # optional, injected by make_server
+    started_at: float = 0.0  # server start time, injected by make_server
 
-    # Silence default stderr logging.
+    # Route protocol-level chatter through the stdlib logging tree
+    # instead of discarding it (or spamming stderr).
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        pass
+        _server_logger.debug(
+            "%s - %s", self.address_string(), format % args
+        )
 
     def _send(self, status: int, payload: Any) -> None:
         body = json.dumps(payload, indent=2).encode("utf-8")
+        self._send_bytes(status, "application/json", body)
+
+    def _send_bytes(self, status: int, content_type: str, body: bytes) -> None:
+        self._status = status
         try:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
@@ -97,18 +122,66 @@ class _Handler(BaseHTTPRequestHandler):
         self._send(status, {"error": message})
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._handle(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle(self._route_post)
+
+    def _handle(self, route: Any) -> None:
+        """Route + catch errors + emit the access log and HTTP metrics."""
+        self._status = 0
+        started = time.perf_counter_ns()
         try:
-            self._route_get()
+            route()
         except PrometheusError as exc:
             self._error(400, str(exc))
         except Exception as exc:  # pragma: no cover - defensive
             self._error(500, f"{type(exc).__name__}: {exc}")
+        finally:
+            duration_ms = (time.perf_counter_ns() - started) / 1e6
+            method = self.command or "?"
+            path = self.path or "?"
+            _access_logger.info(
+                "%s %s status=%d duration_ms=%.2f",
+                method,
+                path,
+                self._status,
+                duration_ms,
+                extra={
+                    "http_method": method,
+                    "http_path": path,
+                    "http_status": self._status,
+                    "duration_ms": round(duration_ms, 3),
+                },
+            )
+            tel = self.db.telemetry
+            if tel.enabled:
+                tel.registry.counter(
+                    "repro_http_requests_total",
+                    {"method": method, "status": str(self._status)},
+                    help="HTTP requests served",
+                ).inc()
+                tel.registry.histogram(
+                    "repro_http_request_ms",
+                    help="HTTP request handling latency (ms)",
+                ).observe(duration_ms)
 
     def _route_get(self) -> None:
         db = self.db
         parts = [unquote(p) for p in urlparse(self.path).path.split("/") if p]
         if parts == ["health"]:
             self._send(200, self._health_payload())
+            return
+        if parts == ["metrics"]:
+            text = self.db.telemetry.registry.render_prometheus()
+            self._send_bytes(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                text.encode("utf-8"),
+            )
+            return
+        if parts == ["stats"]:
+            self._send(200, self.db.telemetry.snapshot())
             return
         if parts == ["schema"]:
             self._send(200, jsonable(db.describe()))
@@ -178,24 +251,41 @@ class _Handler(BaseHTTPRequestHandler):
         store = db.store
         payload: dict[str, Any] = {
             "status": "ok",
+            "uptime_s": round(time.time() - self.started_at, 3)
+            if self.started_at
+            else None,
             "classes": sum(1 for _ in db.schema.classes()),
             "classifications": len(db.classifications.names()),
             "store": None,
+            "telemetry": db.telemetry.summary(),
         }
         if store is not None:
-            report = store.last_recovery
+            report = getattr(store, "last_recovery", None)
             payload["store"] = {
                 "path": store.path,
                 "file_size": store.file_size,
                 "live_records": len(store),
                 "in_transaction": store.in_transaction,
-                "recovery": report.as_dict(),
+                # A store without a recovery report (never recovered, or
+                # a minimal store implementation) is not an error: the
+                # health check reports the absence and stays "ok".
+                "recovery": report.as_dict() if report is not None else None,
             }
-            if not report.clean:
+            if report is not None and not report.clean:
                 payload["status"] = "degraded"
+        if self.federation is not None:
+            payload["federation"] = {
+                name: {
+                    "breaker": self.federation.breaker(name).state,
+                    "consecutive_failures": self.federation.breaker(
+                        name
+                    ).consecutive_failures,
+                }
+                for name in sorted(self.federation.nodes)
+            }
         return payload
 
-    def do_POST(self) -> None:  # noqa: N802
+    def _route_post(self) -> None:
         try:
             length = int(self.headers.get("Content-Length", "0"))
             raw = self.rfile.read(length) if length else b"{}"
@@ -221,10 +311,25 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class PrometheusServer:
-    """Threaded HTTP server wrapper with clean startup/shutdown."""
+    """Threaded HTTP server wrapper with clean startup/shutdown.
 
-    def __init__(self, db: PrometheusDB, host: str = "127.0.0.1", port: int = 0):
-        handler = type("BoundHandler", (_Handler,), {"db": db})
+    ``federation`` (optional) is the node's client-side view of its
+    peers; when provided, ``/health`` reports each peer's circuit-
+    breaker state so an operator sees partitions from either side.
+    """
+
+    def __init__(
+        self,
+        db: PrometheusDB,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        federation: Federation | None = None,
+    ):
+        handler = type(
+            "BoundHandler",
+            (_Handler,),
+            {"db": db, "federation": federation, "started_at": time.time()},
+        )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
 

@@ -27,6 +27,7 @@ from ..core.instances import PObject
 from ..core.relationships import RelationshipInstance
 from ..core.schema import Schema
 from ..errors import AttributeUnknownError, EvaluationError
+from ..telemetry import DISABLED, Telemetry
 from .functions import FUNCTIONS, call_value_method
 from .nodes import (
     AttributeAccess,
@@ -64,6 +65,7 @@ class QueryContext:
     params: dict[str, Any] = field(default_factory=dict)
     index_probe: IndexProbe | None = None
     plan: QueryPlanInfo = field(default_factory=QueryPlanInfo)
+    telemetry: Telemetry = DISABLED
 
 
 class Evaluator:
@@ -71,6 +73,10 @@ class Evaluator:
 
     def __init__(self, context: QueryContext) -> None:
         self.context = context
+        # Resolved once so every hot-path hook is one load + one branch;
+        # None when telemetry is off, the live tracer when on.
+        tel = context.telemetry
+        self._tracer = tel.tracer if tel.enabled else None
 
     # ------------------------------------------------------------------
     # public entry points
@@ -135,27 +141,44 @@ class Evaluator:
         if aggregate is not None:
             result = self._run_aggregate(query, aggregate, outer_env)
             return result if isinstance(result, list) else [result]
-        kept: list[tuple[tuple[_SortKey, ...], Any]] = []
-        for env in self._bind_rows(query, outer_env):
-            if query.where is not None and not _truthy(
-                self._eval(query.where, env)
-            ):
-                continue
-            # ORDER BY keys are computed against the binding environment,
-            # before projection, so they may use any bound variable.
-            keys = tuple(
-                _SortKey(self._eval(item.expression, env), item.descending)
-                for item in query.order_by
-            )
-            kept.append((keys, self._project(query, env)))
-        if query.order_by:
-            kept.sort(key=lambda pair: pair[0])
-        results = [value for _, value in kept]
-        if query.distinct:
-            results = _distinct(results)
-        if query.limit is not None:
-            results = results[: query.limit]
-        return results
+        tracer = self._tracer
+        span = (
+            tracer.span("pool.select", clause=query.unparse()[:120])
+            if tracer is not None
+            else None
+        )
+        if span is not None:
+            span.__enter__()
+        plan = self.context.plan
+        try:
+            kept: list[tuple[tuple[_SortKey, ...], Any]] = []
+            for env in self._bind_rows(query, outer_env):
+                plan.rows_examined += 1
+                if query.where is not None and not _truthy(
+                    self._eval(query.where, env)
+                ):
+                    continue
+                plan.rows_matched += 1
+                # ORDER BY keys are computed against the binding environment,
+                # before projection, so they may use any bound variable.
+                keys = tuple(
+                    _SortKey(self._eval(item.expression, env), item.descending)
+                    for item in query.order_by
+                )
+                kept.append((keys, self._project(query, env)))
+            if query.order_by:
+                kept.sort(key=lambda pair: pair[0])
+            results = [value for _, value in kept]
+            if query.distinct:
+                results = _distinct(results)
+            if query.limit is not None:
+                results = results[: query.limit]
+            return results
+        finally:
+            if span is not None:
+                span.set("rows_examined", plan.rows_examined)
+                span.set("rows_matched", plan.rows_matched)
+                span.__exit__(None, None, None)
 
     def _run_grouped(
         self, query: SelectQuery, outer_env: dict[str, Any]
@@ -172,11 +195,14 @@ class Evaluator:
             raise EvaluationError("group by requires an explicit projection")
         groups: dict[tuple[Any, ...], list[dict[str, Any]]] = {}
         order: list[tuple[Any, ...]] = []
+        plan = self.context.plan
         for env in self._bind_rows(query, outer_env):
+            plan.rows_examined += 1
             if query.where is not None and not _truthy(
                 self._eval(query.where, env)
             ):
                 continue
+            plan.rows_matched += 1
             key = tuple(
                 _result_key(self._eval(expr, env)) for expr in query.group_by
             )
@@ -292,11 +318,14 @@ class Evaluator:
         per row instead — the per-node fan-out question.
         """
         values: list[Any] = []
+        plan = self.context.plan
         for env in self._bind_rows(query, outer_env):
+            plan.rows_examined += 1
             if query.where is not None and not _truthy(
                 self._eval(query.where, env)
             ):
                 continue
+            plan.rows_matched += 1
             values.append(self._eval(aggregate.args[0], env))
         if query.distinct:
             values = _distinct(values)
@@ -335,10 +364,14 @@ class Evaluator:
         # the WHERE clause is a simple equality on that binding.
         if isinstance(source, Variable) and source.name not in env:
             if self.context.schema.has_class(source.name):
+                plan = self.context.plan
                 fast = self._try_index(source.name, query)
                 if fast is not None:
+                    plan.access_paths.append(f"index:{plan.index_used}")
+                    plan.rows_from_index += len(fast)
                     return fast
-                self.context.plan.extent_scans += 1
+                plan.extent_scans += 1
+                plan.access_paths.append(f"scan:{source.name}")
                 return list(self.context.schema.extent(source.name))
         value = self._eval(source, env)
         if value is None:
@@ -359,9 +392,15 @@ class Evaluator:
         path optimisation.
         """
         probe = self.context.index_probe
+        plan = self.context.plan
         if probe is None or query.where is None:
+            if query.where is not None and probe is None:
+                plan.notes.append(f"{class_name}: no index layer attached")
             return None
         if len(query.bindings) != 1:
+            plan.notes.append(
+                f"{class_name}: multi-binding FROM disables the index path"
+            )
             return None
         binding = query.bindings[0]
         if (
@@ -369,13 +408,21 @@ class Evaluator:
             or binding.source.name != class_name
         ):
             return None
+        considered = False
         for attr, value in self._indexable_conjuncts(
             query.where, binding.variable
         ):
+            considered = True
+            plan.indexes_considered.append(f"{class_name}.{attr}")
             hit = probe(class_name, attr, value)
             if hit is not None:
-                self.context.plan.index_used = f"{class_name}.{attr}"
+                plan.index_used = f"{class_name}.{attr}"
                 return hit
+            plan.notes.append(f"no index on {class_name}.{attr}")
+        if not considered:
+            plan.notes.append(
+                f"{class_name}: WHERE has no indexable equality conjunct"
+            )
         return None
 
     def _indexable_conjuncts(
@@ -635,12 +682,27 @@ class Evaluator:
         result: list[PObject] = []
         result_oids: set[int] = set()
         max_depth = node.max_depth
+        plan = self.context.plan
+        tracer = self._tracer
+        span = (
+            tracer.span(
+                "pool.traverse",
+                relationship=node.relationship,
+                inverse=node.inverse,
+            )
+            if tracer is not None
+            else None
+        )
+        if span is not None:
+            span.__enter__()
 
         def collect(obj: PObject) -> None:
             if obj.oid not in result_oids:
                 result_oids.add(obj.oid)
                 result.append(obj)
 
+        deepest = 0
+        visited_total = 0
         for start in starts:
             if node.min_depth == 0:
                 collect(start)
@@ -658,7 +720,18 @@ class Evaluator:
                         next_frontier.append(nb)
                         if depth >= node.min_depth:
                             collect(nb)
+                if next_frontier and depth > deepest:
+                    deepest = depth
                 frontier = next_frontier
+            visited_total += len(visited)
+        if deepest > plan.traversal_max_depth:
+            plan.traversal_max_depth = deepest
+        plan.traversal_nodes_visited += visited_total
+        if span is not None:
+            span.set("depth_reached", deepest)
+            span.set("nodes_visited", visited_total)
+            span.set("results", len(result))
+            span.__exit__(None, None, None)
         return result
 
     def _downcast(self, class_name: str, value: Any) -> Any:
@@ -831,6 +904,7 @@ def execute(
     classifications: ClassificationManager | None = None,
     params: dict[str, Any] | None = None,
     index_probe: IndexProbe | None = None,
+    telemetry: Telemetry | None = None,
 ) -> Any:
     """Parse and evaluate POOL ``text`` against ``schema``.
 
@@ -842,5 +916,6 @@ def execute(
         classifications=classifications,
         params=params or {},
         index_probe=index_probe,
+        telemetry=telemetry if telemetry is not None else DISABLED,
     )
     return Evaluator(context).run(parse(text))

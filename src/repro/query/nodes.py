@@ -282,8 +282,39 @@ Query = SelectQuery | ExtractGraphQuery | SetOperation
 
 @dataclass
 class QueryPlanInfo:
-    """Optimiser annotations attached during evaluation (§6.1.5.3)."""
+    """Optimiser annotations attached during evaluation (§6.1.5.3).
+
+    Filled in by the evaluator as it runs; ``EXPLAIN``/``PROFILE``
+    (see :meth:`repro.engine.database.PrometheusDB.query`) surface it to
+    callers.  ``access_paths`` records one entry per FROM-clause source:
+    ``index:<Class.attr>`` when an index seeded the candidate set,
+    ``scan:<Class>`` for a full extent scan.  ``rows_examined`` counts
+    binding rows fed to the WHERE clause, ``rows_matched`` those that
+    survived it; ``traversal_max_depth`` is the deepest level any
+    closure traversal actually reached.
+    """
 
     index_used: str | None = None
     extent_scans: int = 0
     notes: list[str] = field(default_factory=list)
+    access_paths: list[str] = field(default_factory=list)
+    indexes_considered: list[str] = field(default_factory=list)
+    rows_examined: int = 0
+    rows_matched: int = 0
+    rows_from_index: int = 0
+    traversal_max_depth: int = 0
+    traversal_nodes_visited: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "index_used": self.index_used,
+            "extent_scans": self.extent_scans,
+            "access_paths": list(self.access_paths),
+            "indexes_considered": list(self.indexes_considered),
+            "rows_examined": self.rows_examined,
+            "rows_matched": self.rows_matched,
+            "rows_from_index": self.rows_from_index,
+            "traversal_max_depth": self.traversal_max_depth,
+            "traversal_nodes_visited": self.traversal_nodes_visited,
+            "notes": list(self.notes),
+        }

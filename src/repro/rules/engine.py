@@ -26,6 +26,7 @@ from typing import Callable
 from ..core.events import Event, EventKind
 from ..core.schema import Schema
 from ..errors import ConstraintViolation, RuleCascadeError, RuleError
+from ..telemetry import DISABLED, Telemetry
 from .rule import Mode, OnViolation, Rule, RuleContext, RuleKind
 
 #: Interactive handler: return True to accept the change anyway.
@@ -53,7 +54,9 @@ class _DeferredEntry:
 class RuleEngine:
     """Rule registry + scheduler bound to one schema."""
 
-    def __init__(self, schema: Schema) -> None:
+    def __init__(
+        self, schema: Schema, telemetry: Telemetry | None = None
+    ) -> None:
         self.schema = schema
         self._rules: dict[str, Rule] = {}
         self._deferred: list[_DeferredEntry] = []
@@ -62,6 +65,8 @@ class RuleEngine:
         self._depth = 0
         self._running_deferred = False
         self._unsubscribe = schema.events.subscribe(self._on_event)
+        #: Telemetry facade (one branch per hook when disabled).
+        self.telemetry = telemetry if telemetry is not None else DISABLED
 
     # -- registry -----------------------------------------------------------
 
@@ -150,6 +155,16 @@ class RuleEngine:
         repeated triggering events on the same object collapse to the
         latest context.
         """
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "repro_rules_deferred_enqueued_total",
+                help="Deferred rule checks enqueued",
+            ).inc()
+            tel.registry.gauge(
+                "repro_rules_deferred_depth",
+                help="Current deferred-rule queue depth",
+            ).set(len(self._deferred) + 1)
         target = ctx.target
         for index, entry in enumerate(self._deferred):
             if entry.rule is rule and (
@@ -188,12 +203,27 @@ class RuleEngine:
 
     def _evaluate(self, rule: Rule, ctx: RuleContext) -> None:
         rule.fired += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "repro_rules_fired_total", help="Rule evaluations"
+            ).inc()
+            tel.registry.counter(
+                "repro_rules_fired_by_rule_total", {"rule": rule.name}
+            ).inc()
         if rule.kind is RuleKind.ACTION:
             rule.run_action(ctx)
             return
         if rule.check(ctx):
             return
         rule.violations += 1
+        if tel.enabled:
+            tel.registry.counter(
+                "repro_rules_violations_total", help="Rule violations"
+            ).inc()
+            tel.registry.counter(
+                "repro_rules_violations_by_rule_total", {"rule": rule.name}
+            ).inc()
         self._handle_violation(rule, ctx)
 
     def _handle_violation(self, rule: Rule, ctx: RuleContext) -> None:
@@ -232,6 +262,9 @@ class RuleEngine:
         self._running_deferred = True
         try:
             entries, self._deferred = self._deferred, []
+            tel = self.telemetry
+            if tel.enabled:
+                tel.registry.gauge("repro_rules_deferred_depth").set(0)
             for entry in entries:
                 target = entry.context.target
                 if target is not None and target.deleted:

@@ -69,6 +69,11 @@ class RecordLog:
     ) -> None:
         self._path = os.fspath(path)
         self._sync = sync
+        # Always-on plain-int op counters (scraped by the telemetry
+        # layer's storage collector; never read on the hot path).
+        self.appends = 0
+        self.flushes = 0
+        self.fsyncs = 0
         size = os.path.getsize(self._path) if os.path.exists(self._path) else 0
         raw: BinaryIO = open(self._path, "a+b")
         self._file: BinaryIO = FaultyFile(raw, faults) if faults is not None else raw
@@ -154,6 +159,7 @@ class RecordLog:
             self._rollback_tail(offset)
             raise
         self._end += len(entry)
+        self.appends += 1
         return offset
 
     def _rollback_tail(self, offset: int) -> None:
@@ -188,6 +194,7 @@ class RecordLog:
     def flush(self) -> None:
         self._require_open()
         self._file.flush()
+        self.flushes += 1
         if self._sync:
             self._fsync()
 
@@ -197,6 +204,7 @@ class RecordLog:
             fsync()
         else:
             os.fsync(self._file.fileno())
+        self.fsyncs += 1
 
     def truncate(self, offset: int) -> None:
         """Discard everything after ``offset`` (recovery from a corrupt

@@ -474,6 +474,26 @@ class ObjectStore:
         self._cache.hits = 0
         self._cache.misses = 0
 
+    def telemetry_snapshot(self) -> dict[str, Any]:
+        """Everything the telemetry storage collector scrapes, in one
+        dict: op counters, log append/flush/fsync counters, cache state.
+
+        All numbers here are maintained anyway (plain int increments),
+        so storage observability costs nothing on the hot path.
+        """
+        log = self._log
+        cache = self._cache
+        return self.stats.snapshot() | {
+            "log_appends": log.appends,
+            "log_flushes": log.flushes,
+            "log_fsyncs": log.fsyncs,
+            "cache_size": len(cache),
+            "cache_capacity": cache.capacity,
+            "cache_hit_rate": cache.hit_rate,
+            "file_size": self.file_size,
+            "live_records": len(self._index),
+        }
+
     def compact(self) -> None:
         """Rewrite the log keeping only live records.
 
@@ -518,7 +538,13 @@ class ObjectStore:
             os.replace(tmp_path, self.path)
             if self._sync:
                 self._fsync_directory(os.path.dirname(self.path) or ".")
+            old_log = self._log
             self._log = RecordLog(self.path, sync=self._sync, faults=self._faults)
+            # Op counters survive compaction: they describe the store's
+            # lifetime, not one log file's.
+            self._log.appends += old_log.appends + new_log.appends
+            self._log.flushes += old_log.flushes + new_log.flushes
+            self._log.fsyncs += old_log.fsyncs + new_log.fsyncs
             self._index = new_index
             self._txn_counter = txn_id
             self._cache.clear()

@@ -1,0 +1,151 @@
+"""Cross-layer telemetry: metrics registry, tracer, slow-query log.
+
+The thesis architecture is layered (events → objects → views/indexes →
+query → rules → HTTP); this package makes every layer observable without
+wiring any layer into another.  One :class:`Telemetry` facade bundles
+
+* a :class:`~repro.telemetry.metrics.MetricsRegistry` (counters, gauges,
+  histograms with p50/p95/p99, scrape-time collectors),
+* a :class:`~repro.telemetry.tracing.Tracer` (nested spans), and
+* a bounded **slow-query log**,
+
+and is threaded through the engine by :class:`~repro.engine.database.
+PrometheusDB`.  The HTTP layer exposes it as ``GET /metrics``
+(Prometheus text format) and ``GET /stats`` (JSON).
+
+Every instrumentation hook in the database follows the discipline::
+
+    tel = self._telemetry
+    if tel.enabled:
+        ...record...
+
+so a disabled facade costs one attribute load and one branch per hook
+(``benchmarks/bench_telemetry_overhead.py`` keeps this honest).
+Components default to the shared :data:`DISABLED` facade, which is
+permanently off — enabling telemetry is always an explicit act of
+wiring a live facade in.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from collections import deque
+from typing import Any
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "Telemetry",
+    "DISABLED",
+]
+
+_slow_logger = logging.getLogger("repro.query.slow")
+
+
+class Telemetry:
+    """Registry + tracer + slow-query log behind one enabled flag.
+
+    ``enabled`` is a plain bool attribute (the hot-path contract);
+    :meth:`enable` / :meth:`disable` flip the facade and both halves
+    together.  ``slow_query_ms`` turns on the slow-query log: queries
+    slower than the threshold are appended to a bounded ring and logged
+    through the ``repro.query.slow`` stdlib logger at WARNING.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        slow_query_ms: float | None = None,
+        slow_query_keep: int = 100,
+    ) -> None:
+        self.enabled = enabled
+        self.registry = MetricsRegistry(enabled=enabled)
+        self.tracer = Tracer(enabled=enabled)
+        self.slow_query_ms = slow_query_ms
+        self.slow_queries: deque[dict[str, Any]] = deque(maxlen=slow_query_keep)
+        self.created_at = time.time()
+
+    # -- switches -----------------------------------------------------------
+
+    def enable(self) -> "Telemetry":
+        self.enabled = True
+        self.registry.enabled = True
+        self.tracer.enabled = True
+        return self
+
+    def disable(self) -> "Telemetry":
+        self.enabled = False
+        self.registry.enabled = False
+        self.tracer.enabled = False
+        return self
+
+    # -- slow-query log -----------------------------------------------------
+
+    def record_query(self, text: str, elapsed_ms: float, rows: int) -> None:
+        """Feed one finished query; kept only if over the threshold.
+
+        Called by the query layer regardless of ``enabled`` *only when*
+        ``slow_query_ms`` is set, so the off-path stays one branch.
+        """
+        threshold = self.slow_query_ms
+        if threshold is None or elapsed_ms < threshold:
+            return
+        entry = {
+            "query": text if len(text) <= 500 else text[:497] + "...",
+            "elapsed_ms": round(elapsed_ms, 3),
+            "rows": rows,
+            "at": time.time(),
+        }
+        self.slow_queries.append(entry)
+        _slow_logger.warning(
+            "slow query (%.1f ms, %d rows): %s",
+            elapsed_ms,
+            rows,
+            entry["query"],
+        )
+
+    # -- snapshots ----------------------------------------------------------
+
+    @property
+    def uptime_s(self) -> float:
+        return time.time() - self.created_at
+
+    def snapshot(self) -> dict[str, Any]:
+        """The JSON body of ``GET /stats``."""
+        return {
+            "enabled": self.enabled,
+            "uptime_s": round(self.uptime_s, 3),
+            "metrics": self.registry.snapshot(),
+            "recent_traces": self.tracer.snapshot(),
+            "slow_queries": list(self.slow_queries),
+            "slow_query_ms": self.slow_query_ms,
+        }
+
+    def summary(self) -> dict[str, Any]:
+        """A compact roll-up for ``/health``: totals only, no series."""
+        snap = self.registry.snapshot()
+        totals = {
+            name: value
+            for name, value in snap.items()
+            if isinstance(value, (int, float)) and name.endswith("_total")
+        }
+        return {
+            "enabled": self.enabled,
+            "uptime_s": round(self.uptime_s, 3),
+            "counters": totals,
+            "slow_queries": len(self.slow_queries),
+        }
+
+
+#: Shared permanently-disabled facade: the default wiring target for
+#: every instrumented component, so hooks never need a None check.
+DISABLED = Telemetry(enabled=False)

@@ -1,0 +1,91 @@
+"""Machine-readable benchmark results, emitted through the registry.
+
+Every benchmark run should leave a ``BENCH_<name>.json`` artefact behind
+so the perf trajectory accumulates across PRs instead of evaporating
+with the terminal scrollback.  A :class:`BenchRecorder` owns one
+:class:`~repro.telemetry.metrics.MetricsRegistry`; numeric fields of
+every recorded result are mirrored into the registry as labelled
+gauges, and the JSON file carries both the per-test results and the
+registry snapshot::
+
+    {
+      "benchmark": "bench_oo7_queries",
+      "created": 1754500000.0,
+      "results": {"test_q1_exact_match_pool_indexed": {"mean_ns": ...}},
+      "series": {"fig44_t5": [{"size": 100, "raw_ns": ...}, ...]},
+      "metrics": {"bench_mean_ns": {"test=...": ...}}
+    }
+
+``benchmarks/conftest.py`` wires a recorder per benchmark module and
+captures pytest-benchmark stats automatically; sweep-style benchmarks
+call :meth:`record_series` with their row data.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Mapping
+
+from .metrics import MetricsRegistry
+
+__all__ = ["BenchRecorder"]
+
+
+class BenchRecorder:
+    """Accumulates one benchmark module's results, then writes JSON."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.registry = MetricsRegistry(enabled=True, namespace="bench")
+        self.results: dict[str, dict[str, Any]] = {}
+        self.series: dict[str, list[dict[str, Any]]] = {}
+        self.meta: dict[str, Any] = {}
+
+    def record(self, test: str, **fields: Any) -> None:
+        """Record one test's measurements (numbers become gauges)."""
+        entry = self.results.setdefault(test, {})
+        entry.update(fields)
+        for key, value in fields.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            self.registry.gauge(
+                f"bench_{key}", {"test": test}
+            ).set(value)
+
+    def record_series(
+        self, series_name: str, rows: list[Mapping[str, Any]]
+    ) -> None:
+        """Record a sweep (size vs cost) as an ordered list of points."""
+        points = [dict(row) for row in rows]
+        self.series[series_name] = points
+        for point in points:
+            label = str(point.get("size", point.get("x", len(points))))
+            for key, value in point.items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                self.registry.gauge(
+                    f"bench_{series_name}_{key}", {"point": label}
+                ).set(value)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "benchmark": self.name,
+            "created": time.time(),
+            "meta": dict(self.meta),
+            "results": {k: dict(v) for k, v in self.results.items()},
+            "series": {k: list(v) for k, v in self.series.items()},
+            "metrics": self.registry.snapshot(),
+        }
+
+    def write(self, directory: str | os.PathLike[str]) -> str:
+        """Write ``BENCH_<name>.json`` under ``directory``; return path."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(os.fspath(directory), f"BENCH_{self.name}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path

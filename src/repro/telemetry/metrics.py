@@ -1,0 +1,349 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms.
+
+The registry is the numeric half of the telemetry layer (the tracer in
+:mod:`repro.telemetry.tracing` is the structural half).  Three metric
+kinds, all process-local and lock-free on the hot path (CPython attribute
+assignment is atomic, and the store layers above already serialise
+writers):
+
+* :class:`Counter` — a monotonically increasing count;
+* :class:`Gauge` — a value that goes up and down (queue depths);
+* :class:`Histogram` — count/sum/min/max plus a bounded reservoir from
+  which p50/p95/p99 are computed at *snapshot* time, never on the hot
+  path.
+
+Cost discipline
+---------------
+Instrumentation hooks throughout the database follow one pattern::
+
+    if registry.enabled:
+        registry.counter("repro_events_published_total").inc()
+
+A disabled registry therefore costs exactly one attribute load and one
+branch per hook — verified by ``benchmarks/bench_telemetry_overhead.py``.
+Metric handles may also be cached by the instrumented component so the
+enabled path skips the name lookup.
+
+Scrape-time **collectors** let a component expose state it already
+counts for free (store op stats, breaker states, queue depths) without
+any hot-path hook at all: a collector is a callable run when the
+registry is rendered or snapshotted.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(value)}"' for key, value in labels
+    )
+    return "{" + inner + "}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+class Counter:
+    """Monotonic counter.  ``inc`` only; never decremented or reset."""
+
+    __slots__ = ("name", "labels", "help", "value")
+
+    kind = "counter"
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...] = (),
+        help: str = "",
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def render(self) -> Iterable[str]:
+        yield f"{self.name}{_format_labels(self.labels)} {_num(self.value)}"
+
+    def snapshot(self) -> Any:
+        return self.value
+
+
+class Gauge:
+    """A value that can move both ways (queue depth, cache size)."""
+
+    __slots__ = ("name", "labels", "help", "value")
+
+    kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...] = (),
+        help: str = "",
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def render(self) -> Iterable[str]:
+        yield f"{self.name}{_format_labels(self.labels)} {_num(self.value)}"
+
+    def snapshot(self) -> Any:
+        return self.value
+
+
+class Histogram:
+    """Count/sum/min/max plus a bounded reservoir for percentiles.
+
+    ``observe`` appends to a ring buffer of the most recent
+    ``reservoir_size`` observations; p50/p95/p99 are computed from that
+    window only when the registry is scraped.  The window biases the
+    percentiles toward recent behaviour, which is what an operator
+    watching a live system wants.
+    """
+
+    __slots__ = (
+        "name",
+        "labels",
+        "help",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "_reservoir",
+        "_cursor",
+        "_size",
+    )
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...] = (),
+        help: str = "",
+        reservoir_size: int = 512,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.help = help
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._reservoir: list[float] = []
+        self._cursor = 0
+        self._size = reservoir_size
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._reservoir) < self._size:
+            self._reservoir.append(value)
+        else:
+            self._reservoir[self._cursor] = value
+            self._cursor = (self._cursor + 1) % self._size
+
+    def percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 over the reservoir window (0.0 when empty)."""
+        window = sorted(self._reservoir)
+        if not window:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+        def pick(q: float) -> float:
+            index = min(len(window) - 1, int(q * (len(window) - 1) + 0.5))
+            return window[index]
+
+        return {"p50": pick(0.50), "p95": pick(0.95), "p99": pick(0.99)}
+
+    def render(self) -> Iterable[str]:
+        base = self.name
+        labels = self.labels
+        quantiles = self.percentiles()
+        for q, value in (("0.5", quantiles["p50"]),
+                         ("0.95", quantiles["p95"]),
+                         ("0.99", quantiles["p99"])):
+            yield (
+                f"{base}{_format_labels(labels + (('quantile', q),))} "
+                f"{_num(value)}"
+            )
+        yield f"{base}_count{_format_labels(labels)} {_num(self.count)}"
+        yield f"{base}_sum{_format_labels(labels)} {_num(self.sum)}"
+
+    def snapshot(self) -> Any:
+        data: dict[str, Any] = {
+            "count": self.count,
+            "sum": self.sum,
+        }
+        if self.count:
+            data["min"] = self.min
+            data["max"] = self.max
+            data.update(self.percentiles())
+        return data
+
+
+_Metric = Counter | Gauge | Histogram
+
+#: A scrape-time contributor: called with the registry when it is
+#: rendered or snapshotted, free to set gauges/counters from state the
+#: component already tracks.
+Collector = Callable[["MetricsRegistry"], None]
+
+
+class MetricsRegistry:
+    """Named metrics plus scrape-time collectors.
+
+    ``enabled`` is a plain attribute so the hot-path check compiles to a
+    single attribute load; metric constructors are only reached when it
+    is True (or when a collector runs at scrape time, where cost does
+    not matter).
+    """
+
+    def __init__(self, enabled: bool = True, namespace: str = "repro") -> None:
+        self.enabled = enabled
+        self.namespace = namespace
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], _Metric] = {}
+        self._collectors: list[Collector] = []
+        self._lock = threading.Lock()
+
+    # -- metric access ------------------------------------------------------
+
+    def _get(
+        self,
+        factory: type,
+        name: str,
+        labels: dict[str, str] | None,
+        help: str,
+        **kwargs: Any,
+    ) -> Any:
+        label_items = tuple(sorted((labels or {}).items()))
+        key = (name, label_items)
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = factory(name, label_items, help, **kwargs)
+                    self._metrics[key] = metric
+        if type(metric) is not factory:
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(
+        self, name: str, labels: dict[str, str] | None = None, help: str = ""
+    ) -> Counter:
+        return self._get(Counter, name, labels, help)
+
+    def gauge(
+        self, name: str, labels: dict[str, str] | None = None, help: str = ""
+    ) -> Gauge:
+        return self._get(Gauge, name, labels, help)
+
+    def histogram(
+        self,
+        name: str,
+        labels: dict[str, str] | None = None,
+        help: str = "",
+        reservoir_size: int = 512,
+    ) -> Histogram:
+        return self._get(
+            Histogram, name, labels, help, reservoir_size=reservoir_size
+        )
+
+    # -- collectors ---------------------------------------------------------
+
+    def add_collector(self, collector: Collector) -> Callable[[], None]:
+        """Register a scrape-time contributor; returns a remover."""
+        self._collectors.append(collector)
+
+        def remove() -> None:
+            try:
+                self._collectors.remove(collector)
+            except ValueError:
+                pass
+
+        return remove
+
+    def _run_collectors(self) -> None:
+        for collector in list(self._collectors):
+            try:
+                collector(self)
+            except Exception:  # pragma: no cover - defensive: a broken
+                pass           # collector must not take down the scrape
+
+    # -- exposition ---------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        self._run_collectors()
+        lines: list[str] = []
+        seen_help: set[str] = set()
+        for key in sorted(self._metrics, key=lambda k: (k[0], k[1])):
+            metric = self._metrics[key]
+            if metric.name not in seen_help:
+                seen_help.add(metric.name)
+                if metric.help:
+                    lines.append(f"# HELP {metric.name} {metric.help}")
+                kind = "summary" if metric.kind == "histogram" else metric.kind
+                lines.append(f"# TYPE {metric.name} {kind}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe nested snapshot: name -> (value | {labels: value})."""
+        self._run_collectors()
+        out: dict[str, Any] = {}
+        for (name, labels), metric in sorted(
+            self._metrics.items(), key=lambda kv: (kv[0][0], kv[0][1])
+        ):
+            value = metric.snapshot()
+            if not labels:
+                out[name] = value
+            else:
+                label_key = ",".join(f"{k}={v}" for k, v in labels)
+                out.setdefault(name, {})[label_key] = value
+        return out
+
+    def reset(self) -> None:
+        """Drop all metrics (collectors are kept).  Test/bench helper."""
+        with self._lock:
+            self._metrics.clear()
+
+
+def _num(value: float) -> str:
+    """Render a number the Prometheus way (integers without '.0')."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)

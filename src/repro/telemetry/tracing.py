@@ -1,0 +1,167 @@
+"""Span-based tracer: the structural half of the telemetry layer.
+
+A :class:`Span` is one timed region of work with a name, attributes and
+parent/child nesting; a :class:`Tracer` hands out spans through a
+context-manager API and keeps the nesting per thread::
+
+    with tracer.span("query.select", clause="where") as span:
+        ...
+        span.set("rows", len(result))
+
+Finished *root* spans (with their whole subtree) are retained in a
+bounded ring so ``/stats`` and PROFILE reports can show recent
+structure.  A disabled tracer hands out one shared no-op span: the cost
+of an instrumentation point is then a single attribute load and branch,
+matching the discipline of :mod:`repro.telemetry.metrics`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+
+class Span:
+    """One timed region.  Durations are monotonic, reported in ms."""
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "children",
+        "parent",
+        "start_ns",
+        "end_ns",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        tracer: "Tracer | None" = None,
+        parent: "Span | None" = None,
+        attributes: dict[str, Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.attributes: dict[str, Any] = attributes or {}
+        self.children: list[Span] = []
+        self.parent = parent
+        self.start_ns = 0
+        self.end_ns = 0
+        self._tracer = tracer
+
+    @property
+    def duration_ms(self) -> float:
+        if not self.end_ns:
+            return 0.0
+        return (self.end_ns - self.start_ns) / 1e6
+
+    def set(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.end_ns = time.perf_counter_ns()
+        if self._tracer is not None:
+            self._tracer._finish(self)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "duration_ms": round(self.duration_ms, 4),
+            "attributes": dict(self.attributes),
+            "children": [child.as_dict() for child in self.children],
+        }
+
+
+class _NullSpan(Span):
+    """Shared do-nothing span handed out by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("disabled")
+
+    def set(self, key: str, value: Any) -> None:  # noqa: D102
+        pass
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Per-thread span stack plus a bounded ring of finished roots."""
+
+    def __init__(self, enabled: bool = True, keep: int = 64) -> None:
+        self.enabled = enabled
+        self._local = threading.local()
+        self._finished: deque[Span] = deque(maxlen=keep)
+        self._lock = threading.Lock()
+
+    # -- span lifecycle -----------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """A new child of the current span (or a new root).
+
+        The span only starts timing when entered, so it can be created
+        and decorated before the timed region begins.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span = Span(name, tracer=self, parent=parent, attributes=attributes)
+        if parent is not None:
+            parent.children.append(span)
+        stack.append(span)
+        return span
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _finish(self, span: Span) -> None:
+        stack = self._stack()
+        # Exits normally come in LIFO order, but be tolerant of a span
+        # exited out of order (generator-held spans): unwind to it.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        if span.parent is None:
+            with self._lock:
+                self._finished.append(span)
+
+    # -- inspection ---------------------------------------------------------
+
+    def finished_roots(self) -> list[Span]:
+        """Recent finished root spans, oldest first."""
+        with self._lock:
+            return list(self._finished)
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        return [span.as_dict() for span in self.finished_roots()]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()

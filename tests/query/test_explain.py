@@ -1,0 +1,126 @@
+"""EXPLAIN / PROFILE plan reports and index selection (§6.1.5.3).
+
+The satellite concern: ``Evaluator._try_index`` must pick an index for
+an indexable equality conjunct and fall back to an extent scan (saying
+why) for everything else — and EXPLAIN must make that decision visible.
+"""
+
+import pytest
+
+from repro.core.attributes import Attribute
+from repro.core import types as T
+from repro.engine import PrometheusDB
+
+
+@pytest.fixture()
+def db():
+    db = PrometheusDB()
+    db.schema.define_class(
+        "Part",
+        [Attribute("ident", T.INTEGER), Attribute("color", T.STRING)],
+    )
+    for i in range(20):
+        db.schema.create("Part", ident=i, color="red" if i % 2 else "blue")
+    db.indexes.create_index("Part", "ident", kind="hash")
+    return db
+
+
+class TestIndexSelection:
+    def test_indexable_equality_uses_the_index(self, db):
+        report = db.query("EXPLAIN select p from p in Part where p.ident = 7")
+        plan = report["plan"]
+        assert plan["index_used"] == "Part.ident"
+        assert plan["access_paths"] == ["index:Part.ident"]
+        assert "Part.ident" in plan["indexes_considered"]
+        assert plan["rows_from_index"] == 1
+        # The index seeded exactly the matching candidate set.
+        assert plan["rows_examined"] == 1
+        assert plan["rows_matched"] == 1
+        assert report["rows"] == 1
+
+    def test_unindexed_attribute_falls_back_to_scan(self, db):
+        report = db.query(
+            'EXPLAIN select p from p in Part where p.color = "red"'
+        )
+        plan = report["plan"]
+        assert plan["index_used"] is None
+        assert plan["access_paths"] == ["scan:Part"]
+        assert "no index on Part.color" in plan["notes"]
+        assert plan["rows_examined"] == 20  # full extent fed to WHERE
+        assert plan["rows_matched"] == 10
+
+    def test_non_equality_conjunct_cannot_use_index(self, db):
+        report = db.query("EXPLAIN select p from p in Part where p.ident > 7")
+        plan = report["plan"]
+        assert plan["index_used"] is None
+        assert plan["access_paths"] == ["scan:Part"]
+
+    def test_explain_and_plain_query_agree(self, db):
+        text = "select p.ident from p in Part where p.ident = 3"
+        report = db.query("EXPLAIN " + text)
+        assert db.query(text) == [3]
+        assert report["rows"] == 1
+
+    def test_explain_prefix_is_case_insensitive(self, db):
+        report = db.query("explain select p from p in Part")
+        assert report["mode"] == "explain"
+        assert report["plan"]["extent_scans"] == 1
+
+    def test_explain_method_returns_plan_object(self, db):
+        plan = db.explain("select p from p in Part where p.ident = 5")
+        assert plan.index_used == "Part.ident"
+
+
+class TestProfile:
+    def test_profile_adds_spans_and_timing(self, db):
+        report = db.query(
+            "PROFILE select p from p in Part where p.ident = 2"
+        )
+        assert report["mode"] == "profile"
+        assert report["elapsed_ms"] >= 0
+        names = [span["name"] for span in report["spans"]]
+        assert "pool.select" in names
+
+    def test_profile_works_with_telemetry_disabled(self):
+        from repro.telemetry import Telemetry
+
+        db = PrometheusDB(telemetry=Telemetry(enabled=False))
+        db.schema.define_class("Thing", [Attribute("v", T.INTEGER)])
+        db.schema.create("Thing", v=1)
+        report = db.query("PROFILE select t from t in Thing")
+        assert report["spans"], "PROFILE must trace even when telemetry is off"
+
+    def test_profile_method(self, db):
+        report = db.profile("select p from p in Part where p.ident = 2")
+        assert report["mode"] == "profile"
+        assert report["plan"]["index_used"] == "Part.ident"
+
+
+class TestQueryMetrics:
+    def test_index_hits_and_scans_counted(self, db):
+        db.query("select p from p in Part where p.ident = 1")
+        db.query('select p from p in Part where p.color = "red"')
+        snap = db.telemetry.registry.snapshot()
+        assert snap["repro_query_total"] == 2
+        assert snap["repro_query_index_hits_total"] == 1
+        assert snap["repro_query_extent_scans_total"] == 1
+        assert snap["repro_query_ms"]["count"] == 2
+
+    def test_query_errors_counted(self, db):
+        from repro.errors import PrometheusError
+
+        with pytest.raises(PrometheusError):
+            db.query("select p from p in Nonexistent")
+        assert db.telemetry.registry.snapshot()["repro_query_errors_total"] == 1
+
+    def test_traversal_depth_reported(self, db):
+        db.schema.define_relationship("Contains", "Part", "Part")
+        parts = list(db.schema.extent("Part"))
+        db.schema.relate("Contains", parts[0], parts[1])
+        db.schema.relate("Contains", parts[1], parts[2])
+        report = db.query(
+            "EXPLAIN select x.ident from p in Part, x in p->Contains+ "
+            "where p.ident = 0"
+        )
+        assert report["plan"]["traversal_max_depth"] == 2
+        assert report["plan"]["traversal_nodes_visited"] >= 2

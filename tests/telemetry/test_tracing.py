@@ -1,0 +1,170 @@
+"""Tracer spans and the Telemetry facade."""
+
+import logging
+
+import pytest
+
+from repro.telemetry import DISABLED, Telemetry
+from repro.telemetry.tracing import NULL_SPAN, Tracer
+
+
+class TestSpans:
+    def test_span_times_its_region(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            pass
+        assert span.end_ns >= span.start_ns
+        assert span.duration_ms >= 0.0
+
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild"):
+                    pass
+        assert root.children == [child]
+        assert child.children[0].name == "grandchild"
+        assert child.parent is root
+
+    def test_attributes_at_creation_and_via_set(self):
+        tracer = Tracer()
+        with tracer.span("q", clause="where") as span:
+            span.set("rows", 7)
+        assert span.attributes == {"clause": "where", "rows": 7}
+
+    def test_finished_roots_ring(self):
+        tracer = Tracer(keep=2)
+        for i in range(3):
+            with tracer.span(f"r{i}"):
+                pass
+        names = [s.name for s in tracer.finished_roots()]
+        assert names == ["r1", "r2"]  # oldest evicted
+
+    def test_child_finish_does_not_enter_ring(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+            assert tracer.finished_roots() == []
+        assert len(tracer.finished_roots()) == 1
+
+    def test_current_tracks_the_stack(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_out_of_order_exit_unwinds(self):
+        tracer = Tracer()
+        outer = tracer.span("outer").__enter__()
+        tracer.span("inner").__enter__()
+        # Exit the outer span while the inner is still open (generator
+        # teardown ordering); the stack must unwind, not wedge.
+        outer.__exit__(None, None, None)
+        assert tracer.current() is None
+
+    def test_as_dict_round_trips_tree(self):
+        tracer = Tracer()
+        with tracer.span("root", kind="select") as root:
+            with tracer.span("leaf"):
+                pass
+        data = root.as_dict()
+        assert data["name"] == "root"
+        assert data["attributes"] == {"kind": "select"}
+        assert data["children"][0]["name"] == "leaf"
+
+    def test_disabled_tracer_hands_out_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", x=1)
+        assert span is NULL_SPAN
+        with span as s:
+            s.set("ignored", True)
+        assert s.attributes == {}
+        assert tracer.finished_roots() == []
+
+
+class TestTelemetryFacade:
+    def test_enable_disable_flip_both_halves(self):
+        tel = Telemetry(enabled=False)
+        assert not tel.registry.enabled
+        assert not tel.tracer.enabled
+        tel.enable()
+        assert tel.enabled and tel.registry.enabled and tel.tracer.enabled
+        tel.disable()
+        assert not tel.enabled
+
+    def test_shared_disabled_facade_is_off(self):
+        assert not DISABLED.enabled
+        assert DISABLED.tracer.span("x") is NULL_SPAN
+
+    def test_snapshot_shape(self):
+        tel = Telemetry()
+        tel.registry.counter("a_total").inc()
+        with tel.tracer.span("trace-me"):
+            pass
+        snap = tel.snapshot()
+        assert snap["enabled"] is True
+        assert snap["uptime_s"] >= 0
+        assert snap["metrics"]["a_total"] == 1
+        assert snap["recent_traces"][0]["name"] == "trace-me"
+        assert snap["slow_queries"] == []
+
+    def test_summary_keeps_only_scalar_totals(self):
+        tel = Telemetry()
+        tel.registry.counter("x_total").inc(3)
+        tel.registry.counter("by_node_total", {"node": "a"}).inc()
+        tel.registry.gauge("depth").set(9)
+        counters = tel.summary()["counters"]
+        assert counters == {"x_total": 3}
+
+
+class TestSlowQueryLog:
+    def test_over_threshold_is_kept_and_logged(self, caplog):
+        tel = Telemetry(slow_query_ms=10.0)
+        with caplog.at_level(logging.WARNING, logger="repro.query.slow"):
+            tel.record_query("select slow", elapsed_ms=25.0, rows=3)
+        assert len(tel.slow_queries) == 1
+        entry = tel.slow_queries[0]
+        assert entry["query"] == "select slow"
+        assert entry["elapsed_ms"] == 25.0
+        assert entry["rows"] == 3
+        assert "slow query" in caplog.text
+
+    def test_under_threshold_is_dropped(self):
+        tel = Telemetry(slow_query_ms=10.0)
+        tel.record_query("select fast", elapsed_ms=1.0, rows=1)
+        assert len(tel.slow_queries) == 0
+
+    def test_no_threshold_means_off(self):
+        tel = Telemetry()
+        tel.record_query("select anything", elapsed_ms=10_000.0, rows=0)
+        assert len(tel.slow_queries) == 0
+
+    def test_long_query_text_truncated(self):
+        tel = Telemetry(slow_query_ms=1.0)
+        tel.record_query("x" * 600, elapsed_ms=5.0, rows=0)
+        assert len(tel.slow_queries[0]["query"]) == 500
+        assert tel.slow_queries[0]["query"].endswith("...")
+
+    def test_ring_is_bounded(self):
+        tel = Telemetry(slow_query_ms=0.0, slow_query_keep=5)
+        for i in range(9):
+            tel.record_query(f"q{i}", elapsed_ms=1.0, rows=0)
+        assert len(tel.slow_queries) == 5
+        assert tel.slow_queries[0]["query"] == "q4"
+
+    def test_end_to_end_through_db(self, tmp_path):
+        from repro.engine import PrometheusDB
+
+        db = PrometheusDB(slow_query_ms=0.0)  # everything is "slow"
+        from repro.core.attributes import Attribute
+        from repro.core import types as T
+
+        db.schema.define_class("Thing", [Attribute("v", T.INTEGER)])
+        db.schema.create("Thing", v=1)
+        db.query("select t from t in Thing")
+        assert len(db.telemetry.slow_queries) == 1
