@@ -1,0 +1,145 @@
+"""Transaction-commit throughput: serial fsyncs vs group commit.
+
+The concurrency subsystem's group commit batches the durability fsync
+across concurrent committers (one leader syncs for every marker already
+appended).  This benchmark quantifies the claim on a durable
+(``sync=True``) database:
+
+* **single writer** — commits serialize; every commit pays its own
+  fsync, so fsyncs-per-commit is ~1 and throughput is fsync-bound;
+* **8 concurrent writers** — committers on distinct objects share
+  barriers, so fsyncs-per-commit drops below 1 and aggregate
+  throughput rises above the serial baseline.
+
+Results land in ``benchmarks/results/BENCH_bench_txn_commit.json``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import types as T
+from repro.core.attributes import Attribute
+from repro.engine import PrometheusDB
+from repro.telemetry import DISABLED
+
+WRITERS = 8
+COMMITS_PER_WRITER = 24
+SERIAL_COMMITS = 64
+
+
+def make_db(path):
+    db = PrometheusDB(path, sync=True, telemetry=DISABLED)
+    db.schema.define_class(
+        "Counter", [Attribute("label", T.STRING), Attribute("n", T.INTEGER)]
+    )
+    return db
+
+
+def measure_serial(tmp_path):
+    db = make_db(tmp_path / "serial.plog")
+    oid = db.schema.create("Counter", label="serial", n=0).oid
+    db.commit()
+    base_fsyncs = db.store.telemetry_snapshot()["log_fsyncs"]
+    started = time.perf_counter()
+    for i in range(SERIAL_COMMITS):
+        with db.begin() as txn:
+            txn.set(oid, "n", i + 1)
+    elapsed = time.perf_counter() - started
+    fsyncs = db.store.telemetry_snapshot()["log_fsyncs"] - base_fsyncs
+    db.close()
+    return {
+        "commits": SERIAL_COMMITS,
+        "elapsed_s": elapsed,
+        "commits_per_s": SERIAL_COMMITS / elapsed,
+        "fsyncs": fsyncs,
+        "fsyncs_per_commit": fsyncs / SERIAL_COMMITS,
+    }
+
+
+def measure_group(tmp_path):
+    db = make_db(tmp_path / "group.plog")
+    oids = [
+        db.schema.create("Counter", label=str(i), n=0).oid
+        for i in range(WRITERS)
+    ]
+    db.commit()
+    snap = db.store.telemetry_snapshot()
+    base_fsyncs = snap["log_fsyncs"]
+    barrier = threading.Barrier(WRITERS + 1)
+
+    def worker(oid):
+        barrier.wait()
+        for i in range(COMMITS_PER_WRITER):
+            with db.begin() as txn:
+                txn.set(oid, "n", i + 1)
+
+    threads = [
+        threading.Thread(target=worker, args=(oid,)) for oid in oids
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - started
+    snap = db.store.telemetry_snapshot()
+    total = WRITERS * COMMITS_PER_WRITER
+    fsyncs = snap["log_fsyncs"] - base_fsyncs
+    db.close()
+    return {
+        "writers": WRITERS,
+        "commits": total,
+        "elapsed_s": elapsed,
+        "commits_per_s": total / elapsed,
+        "fsyncs": fsyncs,
+        "fsyncs_per_commit": fsyncs / total,
+        "group_commit_batches": snap["group_commit_batches"],
+        "group_commit_batched": snap["group_commit_batched"],
+    }
+
+
+@pytest.fixture(scope="module")
+def results(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("txn_commit")
+    serial = measure_serial(tmp_path)
+    group = measure_group(tmp_path)
+    return serial, group
+
+
+def test_group_commit_shares_fsyncs(results, bench_recorder):
+    serial, group = results
+    bench_recorder.record(
+        "serial_single_writer",
+        **{k: round(v, 6) for k, v in serial.items()},
+    )
+    bench_recorder.record(
+        "group_8_writers",
+        **{k: round(v, 6) for k, v in group.items()},
+    )
+    bench_recorder.record(
+        "speedup",
+        throughput_ratio=round(
+            group["commits_per_s"] / serial["commits_per_s"], 4
+        ),
+        fsync_reduction=round(
+            serial["fsyncs_per_commit"] / max(group["fsyncs_per_commit"], 1e-9),
+            4,
+        ),
+    )
+    # A lone writer always has a durable commit on disk when commit()
+    # returns: ~one fsync per commit.
+    assert serial["fsyncs_per_commit"] >= 0.99
+    # Concurrent committers share barriers: strictly fewer fsyncs than
+    # commits (the acceptance criterion for the subsystem).
+    assert group["fsyncs_per_commit"] < 1.0
+    assert group["group_commit_batched"] == group["commits"]
+
+
+def test_group_throughput_beats_serial(results):
+    serial, group = results
+    # Eight writers sharing fsyncs must clear more commits per second
+    # than one writer paying one fsync each.
+    assert group["commits_per_s"] > serial["commits_per_s"]

@@ -15,7 +15,16 @@ The shell speaks POOL plus a few dot-commands:
 ``.classifications``      classification names and sizes
 ``.rules``                installed rules
 ``.indexes``              declared indexes
-``.commit`` / ``.abort``  transaction control
+``.begin``                open a managed transaction (a real session)
+``.commit`` / ``.abort``  transaction control; with an open ``.begin``
+                          transaction these commit/abort *it* (a commit
+                          lost to a concurrent writer reports the
+                          conflict and suggests retrying), otherwise
+                          they act on the implicit autocommit session
+``.txn``                  show the open transaction's staged state
+``.set <oid> <attr> <v>`` assign one attribute (staged when a ``.begin``
+                          transaction is open, direct otherwise; the
+                          value parses as JSON, falling back to string)
 ``.integrity``            run the deferred integrity checks
 ``.quit``                 leave
 ========================  =======================================
@@ -27,6 +36,7 @@ existing taxonomic database file can be opened directly.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import IO
 
@@ -34,8 +44,9 @@ from .classification import GraphView
 from .core.instances import PObject
 from .core.metamodel import describe_class
 from .core.relationships import RelationshipInstance
+from .concurrency import Session
 from .engine import PrometheusDB
-from .errors import PrometheusError
+from .errors import ConflictError, PrometheusError
 
 
 def format_value(value: object) -> str:
@@ -81,6 +92,9 @@ class Shell:
         self.db = db
         self.out = out
         self.running = True
+        # Lazily-created session backing .begin/.commit/.abort — the
+        # shell goes through the same session layer as HTTP clients.
+        self._session: Session | None = None
 
     def emit(self, text: str) -> None:
         print(text, file=self.out)
@@ -114,7 +128,10 @@ class Shell:
     def _cmd_help(self, args: list[str]) -> None:
         self.emit(
             "commands: .help .schema .class <Name> .classifications "
-            ".rules .indexes .commit .abort .integrity .quit\n"
+            ".rules .indexes .begin .commit .abort .txn .set .integrity "
+            ".quit\n"
+            ".begin opens a managed transaction; .commit/.abort then "
+            "apply to it\n"
             "anything else is evaluated as a POOL query"
         )
 
@@ -170,7 +187,69 @@ class Shell:
         for index in indexes:
             self.emit(f"{index.name}: {len(index)} entries, {index.probes} probes")
 
+    def _cmd_begin(self, args: list[str]) -> None:
+        """Open a managed transaction on the shell's session."""
+        if self._session is None:
+            self._session = self.db.sessions.create()
+        if self._session.in_txn:
+            self.emit(
+                "a transaction is already open (.commit or .abort it first)"
+            )
+            return
+        txn = self._session.begin()
+        self.emit(f"transaction {txn.txn_id} open (session-scoped)")
+
+    def _cmd_txn(self, args: list[str]) -> None:
+        if self._session is None or not self._session.in_txn:
+            self.emit("no open transaction (implicit autocommit session)")
+            return
+        txn = self._session.txn
+        self.emit(
+            f"transaction {txn.txn_id}: {txn.op_count} staged op(s), "
+            f"writes={sorted(txn.write_set)}, reads={sorted(txn.read_set)}"
+        )
+
+    def _cmd_set(self, args: list[str]) -> None:
+        """Assign one attribute, staged in the open transaction if any."""
+        if len(args) < 3:
+            self.emit("usage: .set <oid> <attr> <value>")
+            return
+        try:
+            oid = int(args[0])
+        except ValueError:
+            self.emit("error: oid must be an integer")
+            return
+        attr, raw = args[1], " ".join(args[2:])
+        try:
+            value = json.loads(raw)
+        except ValueError:
+            value = raw
+        try:
+            if self._session is not None and self._session.in_txn:
+                self._session.txn.set(oid, attr, value)
+                self.emit(f"staged {attr} on {oid} (commit with .commit)")
+            else:
+                self.db.schema.get_object(oid).set(attr, value)
+                self.emit(f"set {attr} on {oid}")
+        except PrometheusError as exc:
+            self.emit(f"error: {exc}")
+
     def _cmd_commit(self, args: list[str]) -> None:
+        if self._session is not None and self._session.in_txn:
+            try:
+                ts = self._session.commit()
+            except ConflictError as exc:
+                self.emit(f"conflict: {exc}")
+                self.emit(
+                    "the transaction was rolled back — .begin again "
+                    "and retry your changes"
+                )
+                return
+            except PrometheusError as exc:
+                self.emit(f"error: {exc}")
+                return
+            self.emit(f"committed (ts {ts})")
+            return
         try:
             self.db.commit()
             self.emit("committed")
@@ -178,6 +257,10 @@ class Shell:
             self.emit(f"error: {exc}")
 
     def _cmd_abort(self, args: list[str]) -> None:
+        if self._session is not None and self._session.in_txn:
+            self._session.abort()
+            self.emit("transaction aborted")
+            return
         self.db.abort()
         self.emit("aborted")
 

@@ -1,0 +1,24 @@
+"""Concurrency subsystem: transactions, conflict detection, sessions.
+
+Multiple clients (HTTP sessions, CLI, embedding threads) each get a
+copy-on-write :class:`Transaction` overlay; the
+:class:`TransactionManager` serializes commits behind one lock, rejects
+lost updates with first-committer-wins validation
+(:class:`~repro.errors.ConflictError`), and batches fsyncs with group
+commit.  :class:`SessionManager` maps wire tokens to transactions.
+
+See docs/CONCURRENCY.md for the isolation model and its limits.
+"""
+
+from .manager import TransactionManager, TxnStats
+from .sessions import Session, SessionManager
+from .transaction import Transaction, TxnState
+
+__all__ = [
+    "Session",
+    "SessionManager",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+    "TxnStats",
+]

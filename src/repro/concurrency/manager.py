@@ -1,0 +1,373 @@
+"""The transaction manager: validation, serialization, group commit.
+
+One :class:`TransactionManager` guards one schema.  It owns
+
+* the **commit lock** — replays are applied to the shared object layer
+  one transaction at a time, which is what makes the committed history
+  serial-equivalent;
+* the **version table** — per-OID commit timestamps backing the
+  first-committer-wins write-set validation (a stale version in a
+  committing transaction's write set raises
+  :class:`~repro.errors.ConflictError`);
+* the **commit clock** — monotonic commit timestamps;
+* the **group-commit handoff** — with a durable store, the fsync is
+  deferred to the store's shared gate and awaited *outside* the commit
+  lock, so concurrent committers share one fsync while the next
+  transaction is already replaying.
+
+Commit pipeline (per transaction, under the commit lock):
+
+1. validate write set (and read set when requested) against versions;
+2. open a journal scope on the schema + a deferred-rule scope on the
+   rule engine, then replay the op log — immediate rules veto exactly
+   as they would for direct mutations;
+3. publish ``BEFORE_COMMIT``: the transaction's own deferred rules run;
+   a violation rolls back just this scope ("abort the whole
+   transaction", §5.2.2) and re-raises;
+4. flush the touched objects to the store (commit marker appended,
+   fsync deferred), stamp versions with a fresh commit timestamp,
+   publish ``AFTER_COMMIT``;
+5. release the lock, then wait on the group-commit gate for
+   durability.
+
+The *implicit session* (direct schema mutations + ``db.commit()``)
+stays supported: :meth:`commit_implicit` routes it through the same
+commit lock and version table so managed transactions detect conflicts
+with it too.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
+
+from ..core.events import Event, EventKind
+from ..core.schema import Schema, TxnScope
+from ..errors import ConflictError, SchemaError
+from ..telemetry import DISABLED, Telemetry
+from .transaction import Transaction, TxnState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rules.engine import RuleEngine
+    from ..storage.store import ObjectStore
+
+
+class TxnStats:
+    """Authoritative counters, maintained under the manager's locks."""
+
+    def __init__(self) -> None:
+        self.begun = 0
+        self.committed = 0
+        self.aborted = 0
+        self.conflicts = 0
+        self.empty_commits = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "begun": self.begun,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "conflicts": self.conflicts,
+            "empty_commits": self.empty_commits,
+        }
+
+
+class TransactionManager:
+    """Session-scoped MVCC-style transactions over one schema.
+
+    Args:
+        schema: the shared object layer.
+        rules: the schema's rule engine, if any — used to scope the
+            deferred-rule queue to the committing transaction.
+        store: the persistent store, if any — used for group commit.
+        telemetry: facade for txn metrics and ``txn.commit`` spans.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        rules: "RuleEngine | None" = None,
+        store: "ObjectStore | None" = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.schema = schema
+        self.rules = rules
+        self.store = store
+        self.telemetry = telemetry if telemetry is not None else DISABLED
+        self._commit_lock = threading.RLock()
+        self._state_lock = threading.Lock()
+        self._versions: dict[int, int] = {}
+        self._clock = 0
+        self._txn_counter = 0
+        self._active = 0
+        self.stats = TxnStats()
+
+    # -- bookkeeping --------------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        return self._active
+
+    @property
+    def commit_ts(self) -> int:
+        """Timestamp of the most recent commit (0 before any)."""
+        return self._clock
+
+    def version_of(self, oid: int) -> int:
+        """Commit timestamp of the last transaction that wrote ``oid``."""
+        return self._versions.get(oid, 0)
+
+    @contextmanager
+    def read_lock(self) -> Iterator[None]:
+        """Serialize a read of committed state against commit replays.
+
+        Held only per-operation, never for a transaction's lifetime —
+        this is what keeps the design optimistic rather than coarse.
+        """
+        with self._commit_lock:
+            yield
+
+    # -- beginning ----------------------------------------------------------
+
+    def begin(self, validate_reads: bool = False) -> Transaction:
+        """Start a managed transaction (overlay over committed state)."""
+        with self._state_lock:
+            self._txn_counter += 1
+            txn_id = self._txn_counter
+            self._active += 1
+            self.stats.begun += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.gauge(
+                "repro_txn_active", help="Managed transactions in flight"
+            ).set(self._active)
+            tel.registry.counter(
+                "repro_txn_begun_total", help="Managed transactions begun"
+            ).inc()
+        return Transaction(self, txn_id, validate_reads=validate_reads)
+
+    def _note_finished(
+        self, txn: Transaction, committed: bool, conflict: bool
+    ) -> None:
+        with self._state_lock:
+            self._active -= 1
+            if committed:
+                self.stats.committed += 1
+            else:
+                self.stats.aborted += 1
+                if conflict:
+                    self.stats.conflicts += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.gauge("repro_txn_active").set(self._active)
+            if committed:
+                tel.registry.counter(
+                    "repro_txn_commits_total",
+                    help="Managed transactions committed",
+                ).inc()
+            else:
+                tel.registry.counter(
+                    "repro_txn_aborts_total",
+                    help="Managed transactions aborted",
+                ).inc()
+                if conflict:
+                    tel.registry.counter(
+                        "repro_txn_conflicts_total",
+                        help="Commits rejected by write-set validation",
+                    ).inc()
+
+    # -- committing ---------------------------------------------------------
+
+    def commit(self, txn: Transaction) -> int:
+        """Validate + replay + flush ``txn``; returns its commit ts."""
+        tel = self.telemetry
+        started = time.perf_counter_ns()
+        span = (
+            tel.tracer.span("txn.commit", txn=str(txn.txn_id))
+            if tel.enabled
+            else None
+        )
+        try:
+            if span is not None:
+                with span:
+                    ts = self._commit_inner(txn)
+            else:
+                ts = self._commit_inner(txn)
+        finally:
+            if tel.enabled:
+                tel.registry.histogram(
+                    "repro_txn_commit_ms",
+                    help="Managed-transaction commit latency (ms)",
+                ).observe((time.perf_counter_ns() - started) / 1e6)
+        return ts
+
+    def _commit_inner(self, txn: Transaction) -> int:
+        durability_token: int | None = None
+        with self._commit_lock:
+            self._validate(txn)
+            if txn.op_count == 0:
+                # Read-only transaction: nothing to replay or flush.
+                txn.state = TxnState.COMMITTED
+                txn.commit_ts = self._clock
+                self._note_finished(txn, committed=True, conflict=False)
+                self.stats.empty_commits += 1
+                return self._clock
+            scope = self.schema.begin_txn_scope()
+            if self.rules is not None:
+                self.rules.push_deferred_scope()
+            try:
+                self._replay(txn)
+                # The transaction's own deferred rules run now; an
+                # ABORT-class violation calls schema.abort() (scope
+                # rollback) inside the engine, then propagates.
+                self.schema.events.publish(
+                    Event(kind=EventKind.BEFORE_COMMIT)
+                )
+            except BaseException:
+                scope.rollback()  # idempotent if the engine already did
+                self.schema.events.publish(Event(kind=EventKind.AFTER_ABORT))
+                self._finish_scope()
+                txn.state = TxnState.ABORTED
+                self._note_finished(txn, committed=False, conflict=False)
+                raise
+            try:
+                self._clock += 1
+                ts = self._clock
+                durability_token = self._flush(scope)
+                # Stamp both what the replay journalled AND the txn's
+                # declared write set: relationship endpoints are written
+                # logically (their edge sets change) without their own
+                # undo entries, and shared-endpoint writers must still
+                # conflict.
+                for oid in set(scope.touched) | set(txn._write_versions):
+                    self._versions[oid] = ts
+                self.schema.events.publish(Event(kind=EventKind.AFTER_COMMIT))
+            finally:
+                self._finish_scope()
+            txn.state = TxnState.COMMITTED
+            txn.commit_ts = ts
+            self._note_finished(txn, committed=True, conflict=False)
+        if durability_token is not None:
+            # Outside the commit lock: the group-commit leader fsyncs
+            # for every marker appended so far while the next committer
+            # is already replaying.
+            self.store.wait_durable(durability_token)
+        return ts
+
+    def _finish_scope(self) -> None:
+        if self.rules is not None:
+            self.rules.pop_deferred_scope()
+        self.schema.end_txn_scope()
+
+    def _validate(self, txn: Transaction) -> None:
+        """First-committer-wins: any write since first touch conflicts."""
+        stale = [
+            oid
+            for oid, seen in txn._write_versions.items()
+            if self._versions.get(oid, 0) != seen
+        ]
+        if txn.validate_reads:
+            stale.extend(
+                oid
+                for oid, seen in txn._read_versions.items()
+                if oid not in txn._write_versions
+                and self._versions.get(oid, 0) != seen
+            )
+        if stale:
+            txn.state = TxnState.ABORTED
+            self._note_finished(txn, committed=False, conflict=True)
+            raise ConflictError(stale)
+
+    def _replay(self, txn: Transaction) -> None:
+        """Apply the op log to the shared schema, events and all."""
+        schema = self.schema
+        for op in txn._ops:
+            if op.kind == "noop":
+                continue
+            if op.kind == "create":
+                schema.create(op.class_name, _oid=op.oid, **op.attrs)
+            elif op.kind == "set":
+                schema.get_object(op.oid).set(op.attr, op.value)
+            elif op.kind == "delete":
+                schema.delete(schema.get_object(op.oid), cascade=op.cascade)
+            elif op.kind == "relate":
+                participants = {
+                    role: schema.get_object(oid)
+                    for role, oid in op.participants.items()
+                } or None
+                schema.relate(
+                    op.class_name,
+                    schema.get_object(op.origin),
+                    schema.get_object(op.destination),
+                    participants=participants,
+                    _oid=op.oid,
+                    **op.attrs,
+                )
+            elif op.kind == "unrelate":
+                rel = schema.get_object(op.oid)
+                schema.unrelate(rel)  # type: ignore[arg-type]
+            else:  # pragma: no cover - staging guards op kinds
+                raise SchemaError(f"unknown replay op {op.kind!r}")
+
+    def _flush(self, scope: TxnScope) -> int | None:
+        """Write the scope's touched objects; returns a durability token
+        when the fsync was deferred to the group-commit gate."""
+        schema = self.schema
+        writes = {
+            oid: obj
+            for oid, obj in scope.touched.items()
+            if oid in schema._dirty
+        }
+        deletes = [
+            oid for oid in scope.touched if oid in schema._pending_deletes
+        ]
+        token: int | None = None
+        if self.store is not None and (writes or deletes):
+            store_txn = self.store.begin()
+            try:
+                for oid, obj in writes.items():
+                    store_txn.write(oid, schema._to_record(obj))
+                for oid in deletes:
+                    if oid in self.store:
+                        store_txn.delete(oid)
+                token = store_txn.commit(defer_sync=True)
+            except BaseException:
+                if store_txn.active:
+                    store_txn.abort()
+                raise
+        for oid, obj in writes.items():
+            obj._mark_clean()
+            schema._dirty.pop(oid, None)
+        for oid in deletes:
+            schema._pending_deletes.pop(oid, None)
+        return token
+
+    # -- the implicit session ----------------------------------------------
+
+    def commit_implicit(self) -> None:
+        """Commit direct (non-managed) schema mutations.
+
+        Runs the legacy :meth:`Schema.commit` under the commit lock and
+        stamps versions for everything it flushed, so managed
+        transactions racing the implicit session still conflict.
+        """
+        with self._commit_lock:
+            touched = set(self.schema._dirty) | set(
+                self.schema._pending_deletes
+            )
+            self.schema.commit()
+            if touched:
+                self._clock += 1
+                for oid in touched:
+                    self._versions[oid] = self._clock
+
+    # -- introspection ------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        return self.stats.snapshot() | {
+            "active": self._active,
+            "commit_ts": self._clock,
+            "versioned_oids": len(self._versions),
+        }

@@ -1,0 +1,257 @@
+"""Token-issuing session registry for the HTTP server and CLI.
+
+A :class:`Session` binds one client to at most one open
+:class:`~repro.concurrency.transaction.Transaction` at a time.  The
+:class:`SessionManager` issues unguessable tokens, enforces a bounded
+session count, and evicts sessions whose idle time exceeds the timeout
+(their open transaction aborts — nothing they staged ever reached the
+shared schema, so eviction is always safe).
+
+Sessions are *sticky but stateless on the wire*: the server holds the
+overlay; the client holds only the token.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..errors import SessionError
+from ..telemetry import DISABLED, Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .manager import TransactionManager
+    from .transaction import Transaction
+
+
+class Session:
+    """One client's handle: a token plus an optional open transaction."""
+
+    def __init__(
+        self,
+        session_id: str,
+        manager: "TransactionManager",
+        clock: Callable[[], float],
+    ) -> None:
+        self.session_id = session_id
+        self._manager = manager
+        self._clock = clock
+        self.created_at = clock()
+        self.last_used = self.created_at
+        self.commits = 0
+        self.aborts = 0
+        self._txn: "Transaction | None" = None
+        self._lock = threading.RLock()
+
+    def touch(self) -> None:
+        self.last_used = self._clock()
+
+    @property
+    def idle_s(self) -> float:
+        return self._clock() - self.last_used
+
+    @property
+    def in_txn(self) -> bool:
+        txn = self._txn
+        return txn is not None and txn.active
+
+    @property
+    def txn(self) -> "Transaction":
+        """The session's open transaction, beginning one on demand."""
+        with self._lock:
+            if self._txn is None or not self._txn.active:
+                self._txn = self._manager.begin()
+            return self._txn
+
+    def begin(self) -> "Transaction":
+        """Explicitly open a transaction (error if one is already open)."""
+        with self._lock:
+            if self.in_txn:
+                raise SessionError(
+                    f"session {self.session_id} already has an open "
+                    "transaction; commit or abort it first"
+                )
+            self._txn = self._manager.begin()
+            return self._txn
+
+    def commit(self) -> int:
+        """Commit the open transaction; returns its commit timestamp.
+
+        On :class:`~repro.errors.ConflictError` the transaction is gone
+        (first-committer-wins already aborted it) — the session drops it
+        so the client can ``begin()`` again and retry.
+        """
+        with self._lock:
+            if not self.in_txn:
+                raise SessionError(
+                    f"session {self.session_id} has no open transaction"
+                )
+            txn, self._txn = self._txn, None
+            assert txn is not None
+            try:
+                ts = txn.commit()
+            finally:
+                self.touch()
+            self.commits += 1
+            return ts
+
+    def abort(self) -> None:
+        with self._lock:
+            txn, self._txn = self._txn, None
+            if txn is not None and txn.active:
+                txn.abort()
+                self.aborts += 1
+            self.touch()
+
+    def close(self) -> None:
+        """Abort any open transaction and drop it (eviction/release)."""
+        with self._lock:
+            txn, self._txn = self._txn, None
+            if txn is not None and txn.active:
+                txn.abort()
+
+    def info(self) -> dict[str, Any]:
+        return {
+            "session": self.session_id,
+            "in_txn": self.in_txn,
+            "idle_s": round(self.idle_s, 3),
+            "commits": self.commits,
+            "aborts": self.aborts,
+        }
+
+
+class SessionManager:
+    """Bounded, idle-evicting registry of :class:`Session` objects.
+
+    Args:
+        manager: the transaction manager sessions begin transactions on.
+        max_sessions: hard cap; :meth:`create` raises ``SessionError``
+            when the cap is hit even after evicting expired sessions.
+        idle_timeout_s: sessions idle longer than this are evicted (and
+            their open transaction aborted) by the next sweep.
+        clock: injectable monotonic clock for tests.
+        telemetry: facade for session gauges/counters.
+    """
+
+    def __init__(
+        self,
+        manager: "TransactionManager",
+        max_sessions: int = 64,
+        idle_timeout_s: float = 900.0,
+        clock: Callable[[], float] = time.monotonic,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self._manager = manager
+        self.max_sessions = max_sessions
+        self.idle_timeout_s = idle_timeout_s
+        self._clock = clock
+        self.telemetry = telemetry if telemetry is not None else DISABLED
+        self._sessions: dict[str, Session] = {}
+        self._lock = threading.RLock()
+        self.created_total = 0
+        self.expired_total = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def create(self) -> Session:
+        """Issue a new session; evicts expired sessions to make room."""
+        with self._lock:
+            self.sweep()
+            if len(self._sessions) >= self.max_sessions:
+                raise SessionError(
+                    f"session limit reached ({self.max_sessions}); "
+                    "commit/abort idle sessions or raise max_sessions"
+                )
+            session_id = secrets.token_hex(16)
+            session = Session(session_id, self._manager, self._clock)
+            self._sessions[session_id] = session
+            self.created_total += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "repro_sessions_created_total", help="Sessions issued"
+            ).inc()
+            tel.registry.gauge(
+                "repro_sessions_active", help="Live (non-evicted) sessions"
+            ).set(len(self._sessions))
+        return session
+
+    def get(self, session_id: str) -> Session:
+        """Resolve a token; expired or unknown tokens raise SessionError."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is not None and session.idle_s > self.idle_timeout_s:
+                self._evict(session)
+                session = None
+            if session is None:
+                raise SessionError(
+                    f"unknown or expired session {session_id!r}"
+                )
+            session.touch()
+            return session
+
+    def release(self, session_id: str) -> None:
+        """Explicitly end a session (aborts any open transaction)."""
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is not None:
+            session.close()
+            self._update_gauge()
+
+    def sweep(self) -> int:
+        """Evict every expired session; returns how many were evicted."""
+        with self._lock:
+            expired = [
+                s
+                for s in self._sessions.values()
+                if s.idle_s > self.idle_timeout_s
+            ]
+            for session in expired:
+                self._evict(session)
+        return len(expired)
+
+    def _evict(self, session: Session) -> None:
+        self._sessions.pop(session.session_id, None)
+        session.close()
+        self.expired_total += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "repro_sessions_expired_total",
+                help="Sessions evicted by idle timeout",
+            ).inc()
+        self._update_gauge()
+
+    def _update_gauge(self) -> None:
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.gauge(
+                "repro_sessions_active", help="Live (non-evicted) sessions"
+            ).set(len(self._sessions))
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "active": len(self._sessions),
+                "created": self.created_total,
+                "expired": self.expired_total,
+                "max_sessions": self.max_sessions,
+                "idle_timeout_s": self.idle_timeout_s,
+            }
+
+    def close_all(self) -> None:
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            session.close()
+        self._update_gauge()

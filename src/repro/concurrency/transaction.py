@@ -1,0 +1,355 @@
+"""Managed transactions: a copy-on-write overlay per client.
+
+A :class:`Transaction` gives one client (an HTTP session, a CLI
+``.begin``, an embedding thread) an isolated view over the committed
+object layer.  Mutations never touch the shared schema while the
+transaction is open: they are staged as an *op log* plus a read-your-
+writes overlay, and only applied — serially, validated, journalled —
+when :meth:`commit` hands the transaction to the
+:class:`~repro.concurrency.manager.TransactionManager`.
+
+Isolation model (docs/CONCURRENCY.md):
+
+* **writes** are buffered; nobody sees them before commit;
+* **reads** through :meth:`get` see committed state merged with the
+  transaction's own staged writes, and record the object's commit
+  version so the write-set validation can reject lost updates;
+* **conflict detection** is first-committer-wins over the write set
+  (optionally the read set too, ``validate_reads=True``): if another
+  transaction committed any object this one wrote since this one first
+  touched it, commit raises :class:`~repro.errors.ConflictError` and
+  the client retries.
+
+OIDs for created objects and relationships are allocated eagerly from
+the (thread-safe) allocator, so the IDs a client sees before commit are
+the IDs the objects keep after it — OIDs are never reused, so an
+aborted transaction just leaves holes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..core.relationships import RelationshipClass, RelationshipInstance
+from ..errors import (
+    InstanceDeletedError,
+    SchemaError,
+    TransactionError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .manager import TransactionManager
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass(slots=True)
+class _Op:
+    """One staged mutation, replayed in order at commit."""
+
+    kind: str  # create | set | delete | relate | unrelate
+    oid: int
+    class_name: str = ""
+    attrs: dict[str, Any] = field(default_factory=dict)
+    attr: str = ""
+    value: Any = None
+    origin: int = 0
+    destination: int = 0
+    participants: dict[str, int] = field(default_factory=dict)
+    cascade: bool = True
+
+
+class Transaction:
+    """One client's snapshot-style overlay over the committed schema.
+
+    Obtained from :meth:`TransactionManager.begin` (or
+    ``PrometheusDB.begin``); not constructed directly.  Usable as a
+    context manager: commits on clean exit, aborts on exception.
+    """
+
+    def __init__(
+        self,
+        manager: "TransactionManager",
+        txn_id: int,
+        validate_reads: bool = False,
+    ) -> None:
+        self._manager = manager
+        self._schema = manager.schema
+        self.txn_id = txn_id
+        self.validate_reads = validate_reads
+        self.state = TxnState.ACTIVE
+        #: Commit timestamp, set on successful commit.
+        self.commit_ts: int | None = None
+        self._ops: list[_Op] = []
+        # oid -> committed version when this txn first READ the object
+        self._read_versions: dict[int, int] = {}
+        # oid -> committed version when this txn first WROTE the object
+        # (endpoints of staged relates/unrelates count as writes)
+        self._write_versions: dict[int, int] = {}
+        # read-your-writes overlay: staged attribute values per oid
+        self._overlay: dict[int, dict[str, Any]] = {}
+        # oids created by this txn -> index into self._ops
+        self._created: dict[int, int] = {}
+        self._deleted: set[int] = set()
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self.state is TxnState.ACTIVE
+
+    @property
+    def read_set(self) -> frozenset[int]:
+        return frozenset(self._read_versions)
+
+    @property
+    def write_set(self) -> frozenset[int]:
+        return frozenset(self._write_versions)
+
+    @property
+    def op_count(self) -> int:
+        return len(self._ops)
+
+    def _require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.state.value}"
+            )
+
+    # -- version bookkeeping ------------------------------------------------
+
+    def _touch_read(self, oid: int) -> None:
+        if oid not in self._read_versions and oid not in self._created:
+            self._read_versions[oid] = self._manager.version_of(oid)
+
+    def _touch_write(self, oid: int) -> None:
+        if oid in self._created:
+            return
+        if oid not in self._write_versions:
+            # Prefer the version observed when the value was first READ:
+            # a get-then-set pattern must validate against the version
+            # the read saw, or a commit between the two goes undetected.
+            self._write_versions[oid] = self._read_versions.get(
+                oid, self._manager.version_of(oid)
+            )
+
+    # -- reading ------------------------------------------------------------
+
+    def get(self, oid: int) -> dict[str, Any]:
+        """Merged view of one object: committed values + staged writes.
+
+        Records the read in the read set.  Raises for objects this
+        transaction deleted, and for OIDs the committed state does not
+        know (unless this transaction created them).
+        """
+        self._require_active()
+        if oid in self._deleted:
+            raise InstanceDeletedError(
+                f"object {oid} is deleted in this transaction"
+            )
+        if oid in self._created:
+            op = self._ops[self._created[oid]]
+            pclass = self._schema.get_class(op.class_name)
+            values = pclass.defaults()
+            values.update(op.attrs)
+            return values
+        with self._manager.read_lock():
+            obj = self._schema.get_object(oid)
+            base = obj.to_dict()
+            self._touch_read(oid)
+        base.update(self._overlay.get(oid, {}))
+        return base
+
+    def get_value(self, oid: int, attr: str) -> Any:
+        """One attribute through the overlay (sugar over :meth:`get`)."""
+        return self.get(oid).get(attr)
+
+    def class_of(self, oid: int) -> str:
+        """Class name of a visible object (committed or staged)."""
+        self._require_active()
+        if oid in self._created:
+            return self._ops[self._created[oid]].class_name
+        with self._manager.read_lock():
+            return self._schema.get_object(oid).pclass.name
+
+    # -- staging mutations --------------------------------------------------
+
+    def create(self, class_name: str, **attrs: Any) -> int:
+        """Stage creation of a new object; returns its (final) OID."""
+        self._require_active()
+        pclass = self._schema.get_class(class_name)
+        if pclass.abstract:
+            raise SchemaError(f"class {class_name!r} is abstract")
+        if isinstance(pclass, RelationshipClass):
+            raise SchemaError(
+                f"use relate() to create instances of relationship class "
+                f"{class_name!r}"
+            )
+        for name in attrs:
+            pclass.get_attribute(name)  # unknown attribute fails fast
+        oid = self._schema._new_oid()
+        self._created[oid] = len(self._ops)
+        self._ops.append(
+            _Op(kind="create", oid=oid, class_name=class_name,
+                attrs=dict(attrs))
+        )
+        return oid
+
+    def set(self, oid: int, attr: str, value: Any) -> None:
+        """Stage one attribute assignment (full validation at commit)."""
+        self._require_active()
+        if oid in self._deleted:
+            raise InstanceDeletedError(
+                f"object {oid} is deleted in this transaction"
+            )
+        if oid in self._created:
+            # Creation replays with its final attributes, so later sets
+            # on a staged object fold into the create op.
+            op = self._ops[self._created[oid]]
+            self._schema.get_class(op.class_name).get_attribute(attr)
+            op.attrs[attr] = value
+            return
+        with self._manager.read_lock():
+            obj = self._schema.get_object(oid)
+            obj.pclass.get_attribute(attr)  # unknown attribute fails fast
+            self._touch_write(oid)
+        self._overlay.setdefault(oid, {})[attr] = value
+        self._ops.append(_Op(kind="set", oid=oid, attr=attr, value=value))
+
+    def update(self, oid: int, **attrs: Any) -> None:
+        for attr, value in attrs.items():
+            self.set(oid, attr, value)
+
+    def delete(self, oid: int, cascade: bool = True) -> None:
+        """Stage deletion (lifetime-dependency cascade runs at commit)."""
+        self._require_active()
+        if oid in self._deleted:
+            return
+        if oid in self._created:
+            # Created and deleted within this txn: the create op degrades
+            # to a no-op; nothing ever reaches the shared schema.
+            index = self._created.pop(oid)
+            self._ops[index] = _Op(kind="noop", oid=oid)
+            self._deleted.add(oid)
+            return
+        with self._manager.read_lock():
+            self._schema.get_object(oid)  # must exist, not deleted
+            self._touch_write(oid)
+        self._deleted.add(oid)
+        self._overlay.pop(oid, None)
+        self._ops.append(_Op(kind="delete", oid=oid, cascade=cascade))
+
+    def relate(
+        self,
+        relationship: str,
+        origin: int,
+        destination: int,
+        participants: dict[str, int] | None = None,
+        **attrs: Any,
+    ) -> int:
+        """Stage a relationship origin → destination; returns its OID.
+
+        Endpoints join the *write set*: two transactions concurrently
+        relating through the same endpoint conflict, which is exactly
+        the shared-endpoint write-write case the thesis's workflows hit.
+        """
+        self._require_active()
+        relclass = self._schema.get_class(relationship)
+        if not isinstance(relclass, RelationshipClass):
+            raise SchemaError(f"{relationship!r} is not a relationship class")
+        if relclass.abstract:
+            raise SchemaError(
+                f"relationship class {relationship!r} is abstract"
+            )
+        for name in attrs:
+            relclass.get_attribute(name)
+        endpoints = [origin, destination, *list((participants or {}).values())]
+        with self._manager.read_lock():
+            for endpoint in endpoints:
+                if endpoint not in self._created:
+                    if endpoint in self._deleted:
+                        raise InstanceDeletedError(
+                            f"object {endpoint} is deleted in this transaction"
+                        )
+                    self._schema.get_object(endpoint)
+                    self._touch_write(endpoint)
+        oid = self._schema._new_oid()
+        self._created[oid] = len(self._ops)
+        self._ops.append(
+            _Op(
+                kind="relate",
+                oid=oid,
+                class_name=relationship,
+                attrs=dict(attrs),
+                origin=origin,
+                destination=destination,
+                participants=dict(participants or {}),
+            )
+        )
+        return oid
+
+    def unrelate(self, rel_oid: int) -> None:
+        """Stage removal of a relationship instance."""
+        self._require_active()
+        if rel_oid in self._created:
+            index = self._created[rel_oid]
+            if self._ops[index].kind != "relate":
+                raise SchemaError(f"object {rel_oid} is not a relationship")
+            del self._created[rel_oid]
+            self._ops[index] = _Op(kind="noop", oid=rel_oid)
+            self._deleted.add(rel_oid)
+            return
+        with self._manager.read_lock():
+            rel = self._schema.get_object(rel_oid)
+            if not isinstance(rel, RelationshipInstance):
+                raise SchemaError(f"object {rel_oid} is not a relationship")
+            self._touch_write(rel_oid)
+            for endpoint in (rel.origin_oid, rel.destination_oid):
+                if self._schema.has_object(endpoint):
+                    self._touch_write(endpoint)
+        self._deleted.add(rel_oid)
+        self._ops.append(_Op(kind="unrelate", oid=rel_oid))
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def commit(self) -> int:
+        """Validate, replay and persist; returns the commit timestamp.
+
+        Raises :class:`~repro.errors.ConflictError` when first-committer-
+        wins validation rejects the write set — the transaction is then
+        aborted and the caller retries from ``begin()``.
+        """
+        self._require_active()
+        return self._manager.commit(self)
+
+    def abort(self) -> None:
+        """Discard the overlay; nothing ever reached the shared schema."""
+        if self.state is not TxnState.ACTIVE:
+            return
+        self.state = TxnState.ABORTED
+        self._ops.clear()
+        self._overlay.clear()
+        self._manager._note_finished(self, committed=False, conflict=False)
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if not self.active:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<Transaction {self.txn_id} {self.state.value}: "
+            f"{len(self._ops)} ops, writes={sorted(self.write_set)}>"
+        )

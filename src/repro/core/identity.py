@@ -12,7 +12,6 @@ needs a stable handle per object, which is what the OID provides.
 
 from __future__ import annotations
 
-import itertools
 import threading
 from dataclasses import dataclass
 
@@ -51,30 +50,33 @@ class OidAllocator:
     def __init__(self, first: int = 1) -> None:
         if first < 1:
             raise ValueError("first OID must be >= 1")
-        self._counter = itertools.count(first)
-        self._last = first - 1
+        # A single integer is the whole allocator state: every transition
+        # happens under the lock, so there is no counter object to swap
+        # and no window where allocate() can race a fast_forward().
+        self._next = first
         self._lock = threading.Lock()
 
     def allocate(self) -> int:
         """Return the next unused OID."""
         with self._lock:
-            self._last = next(self._counter)
-            return self._last
+            oid = self._next
+            self._next += 1
+            return oid
 
     def allocate_many(self, n: int) -> range:
         """Reserve ``n`` consecutive OIDs and return them as a range."""
         if n < 0:
             raise ValueError("cannot allocate a negative number of OIDs")
         with self._lock:
-            start = self._last + 1
-            self._last = start + n - 1
-            self._counter = itertools.count(self._last + 1)
+            start = self._next
+            self._next += n
             return range(start, start + n)
 
     @property
     def last_allocated(self) -> int:
         """Highest OID handed out so far (0 if none)."""
-        return self._last
+        with self._lock:
+            return self._next - 1
 
     def fast_forward(self, oid: int) -> None:
         """Ensure future allocations are strictly greater than ``oid``.
@@ -83,6 +85,5 @@ class OidAllocator:
         log, so new objects never collide with recovered ones.
         """
         with self._lock:
-            if oid > self._last:
-                self._last = oid
-                self._counter = itertools.count(oid + 1)
+            if oid >= self._next:
+                self._next = oid + 1

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterator
 from ..errors import (
     InstanceDeletedError,
     SchemaError,
+    TransactionError,
     UnknownOidError,
 )
 from ..storage.store import ObjectStore
@@ -72,6 +73,39 @@ class _Journal:
         return len(self._entries)
 
 
+class TxnScope:
+    """Journal scope for one managed transaction's replay.
+
+    While a scope is active on the schema, every undo entry and every
+    touched object is captured here instead of in the implicit-session
+    journal, so a failed managed commit rolls back exactly the ops it
+    replayed — the implicit session's own pending changes survive.
+    ``touched`` is also what the transaction manager flushes and
+    version-stamps after a successful replay.
+    """
+
+    def __init__(self, schema: "Schema") -> None:
+        self._schema = schema
+        self.journal = _Journal()
+        #: Every object the replay created, updated, deleted, related or
+        #: unrelated (including cascade-deleted dependents), by OID.
+        self.touched: dict[int, PObject] = {}
+
+    def note(self, obj: PObject) -> None:
+        self.touched.setdefault(obj.oid, obj)
+
+    def rollback(self) -> None:
+        """Undo the scope's ops (idempotent: the journal self-clears).
+
+        Undo closures restore object table, extents, relationship
+        indexes and pending-delete bookkeeping.  An attribute-update
+        undo leaves its object in the dirty set; that costs at most one
+        redundant (value-identical) write at a later commit, never
+        corruption.
+        """
+        self.journal.rollback()
+
+
 class Schema:
     """A live Prometheus database session.
 
@@ -97,6 +131,7 @@ class Schema:
         self._dirty: dict[int, PObject] = {}
         self._pending_deletes: dict[int, PObject] = {}
         self._journal = _Journal()
+        self._scope: TxnScope | None = None
         self._allocator = OidAllocator()
         self._meta_oid: int | None = None
         root = PClass("Object", abstract=True, doc="ODMG inheritance root")
@@ -204,8 +239,14 @@ class Schema:
     # object lifecycle
     # ------------------------------------------------------------------
 
-    def create(self, class_name: str, **attrs: Any) -> PObject:
-        """Create a new instance of ``class_name`` with initial attributes."""
+    def create(
+        self, class_name: str, *, _oid: int | None = None, **attrs: Any
+    ) -> PObject:
+        """Create a new instance of ``class_name`` with initial attributes.
+
+        ``_oid`` lets the transaction layer replay a creation under the
+        OID it already promised the client; normal callers omit it.
+        """
         pclass = self.get_class(class_name)
         if pclass.abstract:
             raise SchemaError(f"class {class_name!r} is abstract")
@@ -214,7 +255,7 @@ class Schema:
                 f"use relate() to create instances of relationship class "
                 f"{class_name!r}"
             )
-        oid = self._new_oid()
+        oid = self._new_oid() if _oid is None else _oid
         obj = PObject(oid, pclass, self, pclass.defaults())
         self.events.publish(
             Event(
@@ -244,7 +285,7 @@ class Schema:
         except Exception:
             self._uninstall(obj)
             raise
-        self._journal.record(lambda: self._uninstall(obj))
+        self._record_undo(lambda: self._uninstall(obj), obj)
         return obj
 
     def _install(self, obj: PObject) -> None:
@@ -335,7 +376,7 @@ class Schema:
             self._dirty[obj.oid] = obj
             self._pending_deletes.pop(obj.oid, None)
 
-        self._journal.record(undo)
+        self._record_undo(undo, obj)
 
     # ------------------------------------------------------------------
     # relationships
@@ -347,12 +388,14 @@ class Schema:
         origin: PObject,
         destination: PObject,
         participants: dict[str, PObject] | None = None,
+        _oid: int | None = None,
         **attrs: Any,
     ) -> RelationshipInstance:
         """Create a relationship instance origin → destination.
 
         ``participants`` fills the named extra endpoints of an n-ary
-        relationship class (Figure 10's dotted arrows).
+        relationship class (Figure 10's dotted arrows).  ``_oid`` lets
+        the transaction layer replay under a preallocated OID.
         """
         relclass = self.get_class(relationship)
         if not isinstance(relclass, RelationshipClass):
@@ -375,7 +418,7 @@ class Schema:
                 payload={"attrs": attrs},
             )
         )
-        oid = self._new_oid()
+        oid = self._new_oid() if _oid is None else _oid
         rel = RelationshipInstance(
             oid,
             relclass,
@@ -414,7 +457,7 @@ class Schema:
             self.relationships.unindex(rel)
             self._uninstall(rel)
 
-        self._journal.record(undo)
+        self._record_undo(undo, rel)
         return rel
 
     def unrelate(self, rel: RelationshipInstance, _force: bool = False) -> None:
@@ -453,7 +496,7 @@ class Schema:
             self._pending_deletes.pop(rel.oid, None)
             self.relationships.index(rel)
 
-        self._journal.record(undo)
+        self._record_undo(undo, rel)
         self.events.publish(
             Event(
                 kind=EventKind.AFTER_UNRELATE,
@@ -496,19 +539,61 @@ class Schema:
     def _note_dirty(self, obj: PObject) -> None:
         self._dirty[obj.oid] = obj
 
+    def _record_undo(self, undo: Callable[[], None], obj: PObject) -> None:
+        """Journal one undo step into the active scope (or the implicit
+        session's journal when no managed transaction is replaying)."""
+        scope = self._scope
+        if scope is None:
+            self._journal.record(undo)
+        else:
+            scope.note(obj)
+            scope.journal.record(undo)
+
+    # -- managed-transaction scopes (repro.concurrency) ------------------
+
+    def begin_txn_scope(self) -> TxnScope:
+        """Route journal entries into a fresh per-transaction scope.
+
+        Used by the transaction manager while replaying a managed
+        transaction's ops; exactly one scope can be active (replays are
+        serialized behind the manager's commit lock).
+        """
+        if self._scope is not None:
+            raise TransactionError("a transaction scope is already active")
+        self._scope = TxnScope(self)
+        return self._scope
+
+    def end_txn_scope(self) -> None:
+        self._scope = None
+
+    @property
+    def in_txn_scope(self) -> bool:
+        return self._scope is not None
+
     def _journal_update(self, obj: PObject, attr: str, old: Any) -> None:
         def undo() -> None:
             if not obj.deleted:
                 obj._values[attr] = old
 
-        self._journal.record(undo)
+        self._record_undo(undo, obj)
 
     @property
     def dirty_count(self) -> int:
         return len(self._dirty)
 
     def commit(self) -> None:
-        """Persist all pending changes; clears the undo journal."""
+        """Persist all pending changes; clears the undo journal.
+
+        This is the *implicit session's* commit: direct mutations made
+        through the schema API outside any managed transaction.  Managed
+        transactions commit through their
+        :class:`~repro.concurrency.TransactionManager` instead.
+        """
+        if self._scope is not None:
+            raise TransactionError(
+                "cannot commit the implicit session while a managed "
+                "transaction is replaying"
+            )
         self.events.publish(Event(kind=EventKind.BEFORE_COMMIT))
         if self.store is not None and (
             self._dirty or self._pending_deletes or self._meta_dirty()
@@ -528,7 +613,17 @@ class Schema:
         self.events.publish(Event(kind=EventKind.AFTER_COMMIT))
 
     def abort(self) -> None:
-        """Discard all pending changes, restoring in-memory state."""
+        """Discard all pending changes, restoring in-memory state.
+
+        With a managed-transaction scope active, only that scope's
+        replayed ops are rolled back (the rule engine calls this when a
+        deferred rule vetoes the committing transaction); the implicit
+        session's own pending changes are untouched.
+        """
+        scope = self._scope
+        if scope is not None:
+            scope.rollback()
+            return
         self._journal.rollback()
         for obj in list(self._dirty.values()):
             obj._mark_clean()

@@ -22,6 +22,7 @@ import time
 from typing import Any
 
 from ..classification import ClassificationManager, TraceLog
+from ..concurrency import SessionManager, Transaction, TransactionManager
 from ..core.metamodel import describe_schema
 from ..core.schema import Schema
 from ..errors import QueryError
@@ -75,10 +76,17 @@ class PrometheusDB:
         self.schema.events.telemetry = self.telemetry
         self.rules = RuleEngine(self.schema, telemetry=self.telemetry)
         self.indexes = IndexManager(self.schema)
+        self.transactions = TransactionManager(
+            self.schema,
+            rules=self.rules,
+            store=self.store,
+            telemetry=self.telemetry,
+        )
         self._loaded = False
         self._classifications: ClassificationManager | None = None
         self._views: ViewManager | None = None
         self._trace: TraceLog | None = None
+        self._sessions: SessionManager | None = None
         self._last_plan: QueryPlanInfo | None = None
         self._wire_telemetry()
 
@@ -104,6 +112,22 @@ class PrometheusDB:
         registry.counter(
             "repro_federation_requests_total",
             help="Guarded federation calls (all nodes)",
+        )
+        registry.counter(
+            "repro_txn_commits_total", help="Managed transactions committed"
+        )
+        registry.counter(
+            "repro_txn_aborts_total", help="Managed transactions aborted"
+        )
+        registry.counter(
+            "repro_txn_conflicts_total",
+            help="Commits rejected by write-set validation",
+        )
+        registry.gauge(
+            "repro_txn_active", help="Managed transactions in flight"
+        )
+        registry.gauge(
+            "repro_sessions_active", help="Live (non-evicted) sessions"
         )
         registry.add_collector(self._collect_metrics)
 
@@ -139,6 +163,14 @@ class PrometheusDB:
                 "repro_storage_log_fsyncs_total",
                 help="fsync calls issued by the record log",
             ).value = snap["log_fsyncs"]
+            registry.counter(
+                "repro_storage_group_commit_batches_total",
+                help="Shared fsync barriers executed by group commit",
+            ).value = snap["group_commit_batches"]
+            registry.counter(
+                "repro_storage_group_commit_commits_total",
+                help="Commits whose durability rode a shared fsync",
+            ).value = snap["group_commit_batched"]
             registry.gauge("repro_storage_file_bytes").set(snap["file_size"])
             registry.gauge(
                 "repro_storage_live_records"
@@ -154,6 +186,20 @@ class PrometheusDB:
             "repro_events_bus_published",
             help="Lifetime publish count kept by the bus itself",
         ).set(self.schema.events.published)
+        # Transaction counters are reconciled from the manager's
+        # authoritative (lock-protected) stats at scrape time — the
+        # registry's lock-free counters can under-count under threads.
+        txn = self.transactions.stats.snapshot()
+        registry.counter("repro_txn_commits_total").value = txn["committed"]
+        registry.counter("repro_txn_aborts_total").value = txn["aborted"]
+        registry.counter("repro_txn_conflicts_total").value = txn["conflicts"]
+        registry.gauge("repro_txn_active").set(
+            self.transactions.active_count
+        )
+        if self._sessions is not None:
+            registry.gauge("repro_sessions_active").set(
+                self._sessions.active_count
+            )
 
     # -- lifecycle --------------------------------------------------------
 
@@ -198,10 +244,33 @@ class PrometheusDB:
     # -- transactions -------------------------------------------------------
 
     def commit(self) -> None:
-        self.schema.commit()
+        """Commit the implicit session's pending changes.
+
+        Routed through the transaction manager so managed transactions
+        racing direct mutations still see version bumps (and conflict).
+        """
+        self.transactions.commit_implicit()
 
     def abort(self) -> None:
         self.schema.abort()
+
+    def begin(self, validate_reads: bool = False) -> Transaction:
+        """Start a managed transaction (copy-on-write overlay).
+
+        Use as a context manager — commits on clean exit, aborts on
+        exception; :class:`~repro.errors.ConflictError` from commit
+        means another writer won and the caller should retry.
+        """
+        return self.transactions.begin(validate_reads=validate_reads)
+
+    @property
+    def sessions(self) -> SessionManager:
+        """Token-issuing session registry (built on first use)."""
+        if self._sessions is None:
+            self._sessions = SessionManager(
+                self.transactions, telemetry=self.telemetry
+            )
+        return self._sessions
 
     # -- the query layer (§6.1.5) ----------------------------------------------
 
@@ -340,6 +409,9 @@ class PrometheusDB:
         info = describe_schema(self.schema)
         info["indexes"] = [index.name for index in self.indexes.indexes()]
         info["rules"] = [rule.name for rule in self.rules.rules()]
+        info["transactions"] = self.transactions.snapshot()
+        if self._sessions is not None:
+            info["sessions"] = self._sessions.snapshot()
         if self._classifications is not None:
             info["classifications"] = self._classifications.names()
         if self._views is not None:

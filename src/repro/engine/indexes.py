@@ -120,6 +120,7 @@ class IndexManager:
                 EventKind.BEFORE_DELETE,
                 EventKind.AFTER_RELATE,
                 EventKind.BEFORE_UNRELATE,
+                EventKind.AFTER_ABORT,
             },
         )
 
@@ -174,6 +175,13 @@ class IndexManager:
         return out
 
     def _on_event(self, event: Event) -> None:
+        if event.kind is EventKind.AFTER_ABORT:
+            # Rollback restored the object layer behind our back: entry
+            # maintenance ran for the doomed mutations (insert on
+            # create, move on update) with no compensating events, so
+            # the only safe recovery is a rebuild from live state.
+            self._rebuild_all()
+            return
         target = event.target
         if target is None or not event.class_name:
             return
@@ -187,6 +195,19 @@ class IndexManager:
         elif event.kind in (EventKind.BEFORE_DELETE, EventKind.BEFORE_UNRELATE):
             for index in self._covering(event.class_name, None):
                 index.impl.remove(target.get(index.attribute), target.oid)
+
+    def _rebuild_all(self) -> None:
+        """Re-derive every index from the (post-rollback) extents."""
+        for index in self._indexes.values():
+            impl: _HashIndex | _BTreeIndex = (
+                _HashIndex()
+                if index.kind is IndexKind.HASH
+                else _BTreeIndex()
+            )
+            if self.schema.has_class(index.class_name):
+                for obj in self.schema.extent(index.class_name):
+                    impl.insert(obj.get(index.attribute), obj.oid)
+            index.impl = impl
 
     # -- probing -------------------------------------------------------------------
 

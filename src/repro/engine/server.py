@@ -20,8 +20,23 @@ Endpoints::
                                         (text may start with EXPLAIN or
                                         PROFILE for a plan report)
 
-The server is synchronous and threaded; it is an access layer, not a
-concurrency story (the store is single-writer).
+Session-scoped transactions (repro.concurrency)::
+
+    POST /session                     — issue a token; 201 {"session": id}
+    GET  /session/<id>                — session status
+    POST /session/<id>/query          — POOL query (read-committed view)
+    POST /session/<id>/apply          — {"ops": [...]} staged mutations
+    POST /session/<id>/commit         — commit; 409 + {"conflict": true}
+                                        when first-committer-wins rejects
+    POST /session/<id>/abort          — discard the overlay
+    POST /session/<id>/release        — end the session
+
+Unknown/expired session tokens answer 404.  Mutations staged through
+``/apply`` are invisible to every other client until ``/commit``; the
+classic endpoints stay on the implicit autocommit session.
+
+The server is synchronous and threaded; concurrent writers go through
+sessions and the optimistic transaction manager.
 
 Observability: every request is counted and timed in the database's
 telemetry registry, and logged as a structured access-log entry on the
@@ -44,7 +59,13 @@ from ..core.identity import OidRef
 from ..core.instances import PObject
 from ..core.metamodel import describe_class
 from ..core.relationships import RelationshipInstance
-from ..errors import PrometheusError
+from ..concurrency import Session
+from ..errors import (
+    ConflictError,
+    PrometheusError,
+    SchemaError,
+    SessionError,
+)
 from .database import PrometheusDB
 from .federation import Federation
 
@@ -210,6 +231,14 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             self._send(200, jsonable(db.schema.get_object(oid)))
             return
+        if len(parts) == 2 and parts[0] == "session":
+            try:
+                session = db.sessions.get(parts[1])
+            except SessionError as exc:
+                self._error(404, str(exc))
+                return
+            self._send(200, session.info())
+            return
         if parts == ["classifications"]:
             self._send(200, db.classifications.names())
             return
@@ -258,6 +287,10 @@ class _Handler(BaseHTTPRequestHandler):
             "classifications": len(db.classifications.names()),
             "store": None,
             "telemetry": db.telemetry.summary(),
+            "transactions": db.transactions.snapshot(),
+            "sessions": db._sessions.snapshot()
+            if db._sessions is not None
+            else None,
         }
         if store is not None:
             report = getattr(store, "last_recovery", None)
@@ -307,7 +340,124 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             self._send(200, {"result": jsonable(result)})
             return
+        if parts and parts[0] == "session":
+            self._route_session(parts[1:], payload)
+            return
         self._error(404, f"no route for {self.path!r}")
+
+    # -- session-scoped transactions (repro.concurrency) --------------------
+
+    def _route_session(self, parts: list[str], payload: Any) -> None:
+        db = self.db
+        if not parts:  # POST /session — issue a token
+            try:
+                session = db.sessions.create()
+            except SessionError as exc:
+                self._error(429, str(exc))
+                return
+            self._send(201, {"session": session.session_id})
+            return
+        try:
+            session = db.sessions.get(parts[0])
+        except SessionError as exc:
+            self._error(404, str(exc))
+            return
+        action = parts[1] if len(parts) == 2 else None
+        if action == "query":
+            text = payload.get("query", "")
+            if not isinstance(text, str) or not text.strip():
+                self._error(400, "missing 'query'")
+                return
+            # Queries run over committed state (read-committed): the
+            # session's staged writes are not yet query-visible — see
+            # docs/CONCURRENCY.md.
+            result = db.query(text, params=payload.get("params", {}))
+            self._send(200, {"result": jsonable(result)})
+            return
+        if action == "apply":
+            ops = payload.get("ops")
+            if not isinstance(ops, list):
+                self._error(400, "missing 'ops' (a list)")
+                return
+            self._send(200, {"results": self._apply_ops(session, ops)})
+            return
+        if action == "commit":
+            try:
+                ts = session.commit()
+            except ConflictError as exc:
+                self._send(
+                    409,
+                    {"error": str(exc), "conflict": True, "retry": True},
+                )
+                return
+            self._send(200, {"committed": True, "commit_ts": ts})
+            return
+        if action == "abort":
+            session.abort()
+            self._send(200, {"aborted": True})
+            return
+        if action == "release":
+            db.sessions.release(session.session_id)
+            self._send(200, {"released": True})
+            return
+        self._error(404, f"no route for {self.path!r}")
+
+    def _apply_ops(self, session: Session, ops: list[Any]) -> list[Any]:
+        """Stage each op on the session's transaction, in order.
+
+        Staging is fail-fast: an invalid op raises (→ 400) and ops after
+        it are not staged; ops before it remain staged — the client
+        decides whether to commit, abort, or re-send.
+        """
+        txn = session.txn
+        results: list[Any] = []
+        for op in ops:
+            if not isinstance(op, dict):
+                raise SchemaError("each op must be an object")
+            kind = op.get("op")
+            try:
+                self._apply_one(txn, kind, op, results)
+            except KeyError as exc:
+                raise SchemaError(
+                    f"op {kind!r} is missing field {exc.args[0]!r}"
+                ) from None
+        return results
+
+    def _apply_one(
+        self, txn: Any, kind: Any, op: dict[str, Any], results: list[Any]
+    ) -> None:
+        if kind == "create":
+            oid = txn.create(op["class"], **op.get("attrs", {}))
+            results.append({"oid": oid})
+        elif kind == "set":
+            txn.set(int(op["oid"]), op["attr"], op.get("value"))
+            results.append({"ok": True})
+        elif kind == "update":
+            txn.update(int(op["oid"]), **op.get("attrs", {}))
+            results.append({"ok": True})
+        elif kind == "delete":
+            txn.delete(int(op["oid"]), cascade=op.get("cascade", True))
+            results.append({"ok": True})
+        elif kind == "relate":
+            oid = txn.relate(
+                op["class"],
+                int(op["origin"]),
+                int(op["destination"]),
+                participants={
+                    role: int(v)
+                    for role, v in op.get("participants", {}).items()
+                }
+                or None,
+                **op.get("attrs", {}),
+            )
+            results.append({"oid": oid})
+        elif kind == "unrelate":
+            txn.unrelate(int(op["oid"]))
+            results.append({"ok": True})
+        elif kind == "get":
+            results.append({"values": jsonable(txn.get(int(op["oid"])))})
+        else:
+            raise SchemaError(f"unknown op {kind!r}")
 
 
 class PrometheusServer:

@@ -36,6 +36,27 @@ class TransactionError(StorageError):
     """Illegal transaction state transition (e.g. commit after abort)."""
 
 
+class ConflictError(TransactionError):
+    """First-committer-wins validation failed: another transaction
+    committed one of this transaction's written objects first.
+
+    The transaction has been rolled back; the operation is safe to
+    retry from ``begin()``.  ``oids`` lists the conflicting objects.
+    """
+
+    def __init__(self, oids: "list[int] | tuple[int, ...]" = ()) -> None:
+        self.oids = tuple(sorted(oids))
+        listing = ", ".join(str(oid) for oid in self.oids) or "?"
+        super().__init__(
+            f"write conflict on oid(s) {listing}: another transaction "
+            "committed first; begin a new transaction and retry"
+        )
+
+
+class SessionError(PrometheusError):
+    """Session-layer failure (unknown/expired token, session limit)."""
+
+
 class SerializationError(StorageError):
     """A value cannot be encoded to, or decoded from, the record format."""
 

@@ -59,7 +59,10 @@ class RuleEngine:
     ) -> None:
         self.schema = schema
         self._rules: dict[str, Rule] = {}
-        self._deferred: list[_DeferredEntry] = []
+        # Stack of deferred queues: index 0 is the implicit session's
+        # queue; a managed transaction pushes its own scope around its
+        # replay so only *its* deferred checks run at its commit.
+        self._deferred_stack: list[list[_DeferredEntry]] = [[]]
         self._warnings: list[Violation] = []
         self._interactive_handler: InteractiveHandler | None = None
         self._depth = 0
@@ -114,6 +117,29 @@ class RuleEngine:
     def detach(self) -> None:
         """Stop listening to the schema's events."""
         self._unsubscribe()
+
+    # -- deferred-queue scoping (repro.concurrency) -------------------------
+
+    @property
+    def _deferred(self) -> list[_DeferredEntry]:
+        return self._deferred_stack[-1]
+
+    @_deferred.setter
+    def _deferred(self, value: list[_DeferredEntry]) -> None:
+        self._deferred_stack[-1] = value
+
+    def push_deferred_scope(self) -> None:
+        """Open a fresh deferred queue for one managed transaction."""
+        self._deferred_stack.append([])
+
+    def pop_deferred_scope(self) -> None:
+        if len(self._deferred_stack) > 1:
+            self._deferred_stack.pop()
+
+    @property
+    def deferred_depth(self) -> int:
+        """Entries queued in the current (innermost) deferred scope."""
+        return len(self._deferred)
 
     # -- event dispatch -----------------------------------------------------------
 

@@ -191,12 +191,20 @@ class RecordLog:
     def sync(self) -> bool:
         return self._sync
 
-    def flush(self) -> None:
+    def flush(self, fsync: bool | None = None) -> None:
+        """Flush buffered bytes to the OS; fsync per the log's ``sync``
+        setting unless ``fsync`` overrides it (the group-commit path
+        flushes with ``fsync=False`` and batches the fsync later)."""
         self._require_open()
         self._file.flush()
         self.flushes += 1
-        if self._sync:
+        if self._sync if fsync is None else fsync:
             self._fsync()
+
+    def fsync_now(self) -> None:
+        """Force one fsync (the group-commit leader's shared barrier)."""
+        self._require_open()
+        self._fsync()
 
     def _fsync(self) -> None:
         fsync = getattr(self._file, "fsync", None)

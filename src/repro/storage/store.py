@@ -122,6 +122,80 @@ class _PendingTxn:
     staged: dict[int, dict[str, Any] | None] = field(default_factory=dict)
 
 
+class _GroupCommitGate:
+    """Shared-fsync coordinator: the group-commit half of durability.
+
+    Committers append their commit marker (under the store lock), flush
+    the file buffer without fsyncing, register a *generation* with the
+    gate, and then — outside the store lock — wait for that generation
+    to be durable.  The first waiter becomes the leader: it issues ONE
+    fsync covering every generation appended so far, then wakes all
+    waiters whose generation it covered.  Concurrent committers in
+    ``sync=True`` mode therefore share fsyncs instead of queuing one
+    each; a lone committer degenerates to exactly one fsync, same as
+    the serial path.
+
+    A failed fsync is reported to every waiter it strands; a later
+    successful fsync (durability is cumulative for an append-only file)
+    clears the error for the generations it covers.
+    """
+
+    def __init__(self, log: RecordLog) -> None:
+        self._log = log
+        self._cond = threading.Condition()
+        self._appended = 0  # generations appended (one per commit marker)
+        self._synced = 0    # highest generation known durable
+        self._leader = False
+        self._error: tuple[int, BaseException] | None = None
+        #: fsync batches performed / commits those batches covered —
+        #: scraped by telemetry; batched_commits / batches > 1 means
+        #: group commit actually grouped something.
+        self.batches = 0
+        self.batched_commits = 0
+
+    def note_append(self) -> int:
+        """Register one appended commit marker; returns its generation."""
+        with self._cond:
+            self._appended += 1
+            return self._appended
+
+    def wait_durable(self, gen: int) -> None:
+        """Block until generation ``gen`` is covered by an fsync."""
+        while True:
+            with self._cond:
+                while True:
+                    if self._synced >= gen:
+                        return
+                    error = self._error
+                    if error is not None and error[0] >= gen:
+                        raise error[1]
+                    if not self._leader:
+                        self._leader = True
+                        target = self._appended
+                        break  # become the leader, fsync outside the lock
+                    self._cond.wait()
+            failure: BaseException | None = None
+            try:
+                self._log.fsync_now()
+            except BaseException as exc:
+                failure = exc
+            with self._cond:
+                self._leader = False
+                if failure is None:
+                    self.batches += 1
+                    self.batched_commits += target - self._synced
+                    self._synced = max(self._synced, target)
+                    if self._error is not None and self._error[0] <= target:
+                        self._error = None
+                else:
+                    self._error = (target, failure)
+                self._cond.notify_all()
+            if failure is not None:
+                raise failure
+            # Loop: our gen may exceed the target we just synced (another
+            # committer appended after we sampled) — wait again.
+
+
 class Transaction:
     """Handle for one serial transaction.
 
@@ -169,15 +243,21 @@ class Transaction:
             return copy.deepcopy(staged)
         return self._store.read(oid)
 
-    def commit(self) -> None:
+    def commit(self, defer_sync: bool = False) -> int | None:
+        """Commit; with ``defer_sync`` on a durable store, the commit
+        marker is appended and flushed but the fsync is deferred to the
+        group-commit gate — the returned durability token must then be
+        passed to :meth:`ObjectStore.wait_durable` (outside any lock the
+        caller holds) before durability may be assumed."""
         self._require_active()
         try:
-            self._store._commit(self._pending)
+            token = self._store._commit(self._pending, defer_sync=defer_sync)
         except BaseException:
             if self._store._active is not self._pending:
                 self._done = True  # the store already rolled this txn back
             raise
         self._done = True
+        return token
 
     def abort(self) -> None:
         self._require_active()
@@ -217,6 +297,7 @@ class ObjectStore:
         self._txn_counter = 0
         self._active: _PendingTxn | None = None
         self._lock = threading.RLock()
+        self._gate = _GroupCommitGate(self._log)
         self.stats = StoreStats()
         self.last_recovery: RecoveryReport = RecoveryReport()
         self._recover()
@@ -372,7 +453,10 @@ class ObjectStore:
             pending.staged[oid] = None
             self.stats.deletes += 1
 
-    def _commit(self, pending: _PendingTxn) -> None:
+    def _commit(
+        self, pending: _PendingTxn, defer_sync: bool = False
+    ) -> int | None:
+        deferred = defer_sync and self._sync
         with self._lock:
             self._require_is_active(pending)
             marker_offset: int | None = None
@@ -380,7 +464,7 @@ class ObjectStore:
                 marker_offset = self._log.append(
                     KIND_COMMIT, struct.pack(">Q", pending.txn_id)
                 )
-                self._log.flush()
+                self._log.flush(fsync=False if deferred else None)
             except InjectedFault:
                 raise  # simulated process death: recovery decides the outcome
             except Exception:
@@ -406,6 +490,20 @@ class ObjectStore:
                         self._cache.put(oid, copy.deepcopy(staged))
             self._active = None
             self.stats.commits += 1
+            if deferred:
+                return self._gate.note_append()
+            return None
+
+    def wait_durable(self, token: int) -> None:
+        """Block until the deferred-sync commit ``token`` is fsynced.
+
+        Must be called WITHOUT holding locks that other committers need:
+        the whole point is that while the group leader fsyncs, the next
+        committer appends.  A failed shared fsync raises here; in-memory
+        state is then ahead of disk exactly as it would be after a
+        crash — recovery decides the outcome on reopen.
+        """
+        self._gate.wait_durable(token)
 
     def _abort(self, pending: _PendingTxn) -> None:
         with self._lock:
@@ -492,6 +590,8 @@ class ObjectStore:
             "cache_hit_rate": cache.hit_rate,
             "file_size": self.file_size,
             "live_records": len(self._index),
+            "group_commit_batches": self._gate.batches,
+            "group_commit_batched": self._gate.batched_commits,
         }
 
     def compact(self) -> None:
@@ -545,6 +645,10 @@ class ObjectStore:
             self._log.appends += old_log.appends + new_log.appends
             self._log.flushes += old_log.flushes + new_log.flushes
             self._log.fsyncs += old_log.fsyncs + new_log.fsyncs
+            old_gate = self._gate
+            self._gate = _GroupCommitGate(self._log)
+            self._gate.batches = old_gate.batches
+            self._gate.batched_commits = old_gate.batched_commits
             self._index = new_index
             self._txn_counter = txn_id
             self._cache.clear()

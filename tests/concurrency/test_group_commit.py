@@ -1,0 +1,154 @@
+"""Group commit: shared fsyncs, durability, correctness after reload."""
+
+import threading
+
+import pytest
+
+from repro.core import types as T
+from repro.core.attributes import Attribute
+from repro.engine import PrometheusDB
+from repro.errors import ConflictError
+
+
+def make_db(path=None, sync=False):
+    db = PrometheusDB(path, sync=sync)
+    db.schema.define_class(
+        "Counter", [Attribute("label", T.STRING), Attribute("n", T.INTEGER)]
+    )
+    return db
+
+
+class TestGroupCommit:
+    def test_single_writer_syncs_every_commit(self, tmp_path):
+        """With no concurrency there is nobody to share a batch with:
+        every commit still fsyncs (durability is never weakened)."""
+        db = make_db(tmp_path / "gc.plog", sync=True)
+        oid = db.schema.create("Counter", label="a", n=0).oid
+        db.commit()
+        base = db.store.telemetry_snapshot()["log_fsyncs"]
+        for i in range(5):
+            with db.begin() as txn:
+                txn.set(oid, "n", i + 1)
+        snap = db.store.telemetry_snapshot()
+        assert snap["log_fsyncs"] - base >= 5
+        db.close()
+
+    def test_concurrent_writers_share_fsyncs(self, tmp_path):
+        db = make_db(tmp_path / "gc.plog", sync=True)
+        oids = [
+            db.schema.create("Counter", label=str(i), n=0).oid
+            for i in range(8)
+        ]
+        db.commit()
+        base = db.store.telemetry_snapshot()["log_fsyncs"]
+        commits_per_thread = 5
+
+        def worker(oid):
+            for i in range(commits_per_thread):
+                with db.begin() as txn:
+                    txn.set(oid, "n", i + 1)
+
+        threads = [
+            threading.Thread(target=worker, args=(oid,)) for oid in oids
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = db.store.telemetry_snapshot()
+        total_commits = len(oids) * commits_per_thread
+        fsyncs = snap["log_fsyncs"] - base
+        # Every commit is durable, but many share one barrier.
+        assert fsyncs <= total_commits
+        assert snap["group_commit_batched"] == total_commits
+        assert snap["group_commit_batches"] == fsyncs
+        db.close()
+
+    def test_reload_after_group_commit(self, tmp_path):
+        path = tmp_path / "gc.plog"
+        db = make_db(path, sync=True)
+        oids = [
+            db.schema.create("Counter", label=str(i), n=0).oid
+            for i in range(4)
+        ]
+        db.commit()
+
+        def worker(oid, value):
+            with db.begin() as txn:
+                txn.set(oid, "n", value)
+
+        threads = [
+            threading.Thread(target=worker, args=(oid, i + 10))
+            for i, oid in enumerate(oids)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        db.close()
+
+        db2 = make_db(path)
+        db2.load()
+        values = {
+            db2.schema.get_object(oid).get("label"): db2.schema.get_object(
+                oid
+            ).get("n")
+            for oid in oids
+        }
+        assert values == {"0": 10, "1": 11, "2": 12, "3": 13}
+        assert db2.check_integrity() == []
+        db2.close()
+
+    def test_async_mode_skips_the_gate(self, tmp_path):
+        """sync=False commits don't pay for durability waits at all."""
+        db = make_db(tmp_path / "gc.plog", sync=False)
+        oid = db.schema.create("Counter", label="a", n=0).oid
+        db.commit()
+        base = db.store.telemetry_snapshot()["log_fsyncs"]
+        with db.begin() as txn:
+            txn.set(oid, "n", 1)
+        snap = db.store.telemetry_snapshot()
+        assert snap["log_fsyncs"] == base
+        assert snap["group_commit_batched"] == 0
+        db.close()
+
+    def test_in_memory_db_commits_without_store(self):
+        db = make_db()
+        oid = db.schema.create("Counter", label="a", n=0).oid
+        db.commit()
+        with db.begin() as txn:
+            txn.set(oid, "n", 1)
+        assert db.schema.get_object(oid).get("n") == 1
+
+    def test_conflicted_txn_writes_nothing_durable(self, tmp_path):
+        db = make_db(tmp_path / "gc.plog", sync=True)
+        oid = db.schema.create("Counter", label="a", n=0).oid
+        db.commit()
+        loser = db.begin()
+        loser.set(oid, "n", -1)
+        with db.begin() as winner:
+            winner.set(oid, "n", 7)
+        appends_after_winner = db.store.telemetry_snapshot()["log_appends"]
+        with pytest.raises(ConflictError):
+            loser.commit()
+        assert (
+            db.store.telemetry_snapshot()["log_appends"]
+            == appends_after_winner
+        )
+        db.close()
+
+    def test_compaction_preserves_gate_counters(self, tmp_path):
+        db = make_db(tmp_path / "gc.plog", sync=True)
+        oid = db.schema.create("Counter", label="a", n=0).oid
+        db.commit()
+        with db.begin() as txn:
+            txn.set(oid, "n", 1)
+        before = db.store.telemetry_snapshot()
+        db.store.compact()
+        after = db.store.telemetry_snapshot()
+        assert (
+            after["group_commit_batched"] == before["group_commit_batched"]
+        )
+        with db.begin() as txn:  # gate still works on the new log
+            txn.set(oid, "n", 2)
+        db.close()

@@ -1,0 +1,167 @@
+"""Session layer: tokens, idle eviction, bounded count."""
+
+import pytest
+
+from repro.concurrency import SessionManager
+from repro.core import types as T
+from repro.core.attributes import Attribute
+from repro.engine import PrometheusDB
+from repro.errors import ConflictError, SessionError
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def db():
+    database = PrometheusDB()
+    database.schema.define_class(
+        "Taxon", [Attribute("name", T.STRING), Attribute("rank", T.STRING)]
+    )
+    return database
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def sessions(db, clock):
+    return SessionManager(
+        db.transactions, max_sessions=3, idle_timeout_s=60.0, clock=clock
+    )
+
+
+class TestLifecycle:
+    def test_tokens_are_unique_and_unguessable_length(self, sessions):
+        a, b = sessions.create(), sessions.create()
+        assert a.session_id != b.session_id
+        assert len(a.session_id) == 32  # 16 random bytes, hex
+
+    def test_get_resolves_and_touches(self, sessions, clock):
+        session = sessions.create()
+        clock.advance(59)
+        assert sessions.get(session.session_id) is session
+        clock.advance(59)  # touched above, so still inside the window
+        assert sessions.get(session.session_id) is session
+
+    def test_unknown_token_raises(self, sessions):
+        with pytest.raises(SessionError):
+            sessions.get("nope")
+
+    def test_idle_eviction(self, sessions, clock):
+        session = sessions.create()
+        clock.advance(61)
+        with pytest.raises(SessionError):
+            sessions.get(session.session_id)
+        assert sessions.active_count == 0
+        assert sessions.expired_total == 1
+
+    def test_eviction_aborts_open_txn(self, db, sessions, clock):
+        session = sessions.create()
+        oid = db.schema.create("Taxon", name="Q").oid
+        db.commit()
+        txn = session.txn
+        txn.set(oid, "rank", "staged")
+        clock.advance(61)
+        sessions.sweep()
+        assert not txn.active
+        assert db.schema.get_object(oid).get("rank") is None
+
+    def test_bounded_count(self, sessions):
+        for _ in range(3):
+            sessions.create()
+        with pytest.raises(SessionError):
+            sessions.create()
+
+    def test_expired_sessions_make_room(self, sessions, clock):
+        for _ in range(3):
+            sessions.create()
+        clock.advance(61)
+        sessions.create()  # eviction freed all three slots
+        assert sessions.active_count == 1
+
+    def test_release(self, sessions):
+        session = sessions.create()
+        sessions.release(session.session_id)
+        with pytest.raises(SessionError):
+            sessions.get(session.session_id)
+
+    def test_close_all(self, sessions):
+        for _ in range(3):
+            sessions.create()
+        sessions.close_all()
+        assert sessions.active_count == 0
+
+
+class TestTransactionBinding:
+    def test_txn_property_begins_lazily_and_reuses(self, sessions):
+        session = sessions.create()
+        assert not session.in_txn
+        txn = session.txn
+        assert session.txn is txn
+
+    def test_explicit_begin_rejects_double_open(self, sessions):
+        session = sessions.create()
+        session.begin()
+        with pytest.raises(SessionError):
+            session.begin()
+
+    def test_commit_without_txn_raises(self, sessions):
+        session = sessions.create()
+        with pytest.raises(SessionError):
+            session.commit()
+
+    def test_commit_resets_binding(self, db, sessions):
+        oid = db.schema.create("Taxon", name="Q").oid
+        db.commit()
+        session = sessions.create()
+        session.txn.set(oid, "rank", "genus")
+        session.commit()
+        assert not session.in_txn
+        assert session.commits == 1
+
+    def test_conflict_drops_txn_for_retry(self, db, sessions):
+        oid = db.schema.create("Taxon", name="Q").oid
+        db.commit()
+        session = sessions.create()
+        session.txn.set(oid, "rank", "loser")
+        with db.begin() as winner:
+            winner.set(oid, "rank", "winner")
+        with pytest.raises(ConflictError):
+            session.commit()
+        assert not session.in_txn  # a fresh .txn starts clean
+        session.txn.set(oid, "rank", "retry")
+        session.commit()
+        assert db.schema.get_object(oid).get("rank") == "retry"
+
+    def test_abort_discards(self, db, sessions):
+        oid = db.schema.create("Taxon", name="Q").oid
+        db.commit()
+        session = sessions.create()
+        session.txn.set(oid, "rank", "staged")
+        session.abort()
+        assert db.schema.get_object(oid).get("rank") is None
+        assert session.aborts == 1
+
+
+class TestDbIntegration:
+    def test_db_sessions_property(self, db):
+        assert db.sessions is db.sessions
+        session = db.sessions.create()
+        assert db.sessions.get(session.session_id) is session
+
+    def test_describe_includes_sessions(self, db):
+        db.sessions.create()
+        info = db.describe()
+        assert info["sessions"]["active"] == 1
+        assert info["transactions"]["begun"] == 0

@@ -90,6 +90,52 @@ class TestOidAllocator:
             t.join()
         assert len(seen) == len(set(seen)) == 1600
 
+    def test_thread_safety_with_fast_forward_and_blocks(self):
+        """Regression: allocate / allocate_many / fast_forward racing.
+
+        The allocator used to rebuild its counter on fast_forward, which
+        opened a window where a concurrent allocate() could hand out an
+        OID at or below the fast-forward target (a duplicate after a
+        load).  All transitions now share one lock over a plain int:
+        no OID may ever be issued twice, and every fast_forward target
+        must stay unallocatable.
+        """
+        alloc = OidAllocator()
+        seen: list[int] = []
+        targets = [100, 500, 1000, 2500, 5000]
+        lock = threading.Lock()
+        barrier = threading.Barrier(10)
+
+        def allocator_worker():
+            barrier.wait()
+            local: list[int] = []
+            for i in range(150):
+                if i % 7 == 0:
+                    local.extend(alloc.allocate_many(3))
+                else:
+                    local.append(alloc.allocate())
+            with lock:
+                seen.extend(local)
+
+        def forwarder_worker():
+            barrier.wait()
+            for target in targets:
+                alloc.fast_forward(target)
+
+        threads = [threading.Thread(target=allocator_worker) for _ in range(8)]
+        threads += [threading.Thread(target=forwarder_worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == len(set(seen)), "duplicate OIDs issued"
+        # After every fast_forward(t), future allocations must be > t;
+        # with the single-lock design the allocator can never go back,
+        # so the final counter sits past both the max target and max seen.
+        assert alloc.last_allocated >= max(max(seen), max(targets))
+        assert alloc.allocate() == alloc.last_allocated
+        assert alloc.last_allocated > max(targets)
+
     @given(st.integers(min_value=1, max_value=1000))
     def test_property_allocation_is_dense(self, n):
         alloc = OidAllocator()

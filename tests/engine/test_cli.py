@@ -163,3 +163,104 @@ class TestOdlSchemaFlag:
         assert code == 0
         assert "Book" in out.getvalue()
         assert "Cites" in out.getvalue()
+
+
+class TestTransactionCommands:
+    """.begin/.commit/.abort run through a real concurrency session."""
+
+    @pytest.fixture
+    def shell(self):
+        db = PrometheusDB()
+        from repro.core import types as T
+        from repro.core.attributes import Attribute
+
+        db.schema.define_class(
+            "Taxon",
+            [Attribute("name", T.STRING), Attribute("rank", T.STRING)],
+        )
+        self.oid = db.schema.create("Taxon", name="Quercus", rank="genus").oid
+        db.commit()
+        out = io.StringIO()
+        return Shell(db, out=out), out, db
+
+    def test_begin_opens_session_txn(self, shell):
+        sh, out, db = shell
+        text = run(sh, out, ".begin")
+        assert "transaction" in text and "open" in text
+        assert db.sessions.active_count == 1
+        assert sh._session.in_txn
+
+    def test_double_begin_rejected(self, shell):
+        sh, out, _ = shell
+        run(sh, out, ".begin")
+        text = run(sh, out, ".begin")
+        assert "already open" in text
+
+    def test_set_stages_and_commit_applies(self, shell):
+        sh, out, db = shell
+        run(sh, out, ".begin")
+        text = run(sh, out, f".set {self.oid} rank subgenus")
+        assert "staged" in text
+        assert db.schema.get_object(self.oid).get("rank") == "genus"
+        text = run(sh, out, ".commit")
+        assert "committed" in text
+        assert db.schema.get_object(self.oid).get("rank") == "subgenus"
+
+    def test_abort_discards_staged(self, shell):
+        sh, out, db = shell
+        run(sh, out, ".begin")
+        run(sh, out, f".set {self.oid} rank subgenus")
+        text = run(sh, out, ".abort")
+        assert "transaction aborted" in text
+        assert db.schema.get_object(self.oid).get("rank") == "genus"
+
+    def test_commit_conflict_surfaces_retry_hint(self, shell):
+        sh, out, db = shell
+        run(sh, out, ".begin")
+        run(sh, out, f".set {self.oid} rank loser")
+        with db.begin() as winner:
+            winner.set(self.oid, "rank", "winner")
+        text = run(sh, out, ".commit")
+        assert "conflict" in text
+        assert ".begin again" in text
+        assert db.schema.get_object(self.oid).get("rank") == "winner"
+        # retry succeeds
+        run(sh, out, ".begin")
+        run(sh, out, f".set {self.oid} rank retried")
+        text = run(sh, out, ".commit")
+        assert "committed" in text
+        assert db.schema.get_object(self.oid).get("rank") == "retried"
+
+    def test_txn_command_reports_state(self, shell):
+        sh, out, _ = shell
+        text = run(sh, out, ".txn")
+        assert "no open transaction" in text
+        run(sh, out, ".begin")
+        run(sh, out, f".set {self.oid} rank x")
+        text = run(sh, out, ".txn")
+        assert "1 staged op" in text
+        run(sh, out, ".abort")
+
+    def test_set_without_txn_is_direct(self, shell):
+        sh, out, db = shell
+        text = run(sh, out, f".set {self.oid} rank direct")
+        assert "set rank" in text
+        assert db.schema.get_object(self.oid).get("rank") == "direct"
+
+    def test_set_parses_json_values(self, shell):
+        sh, out, db = shell
+        run(sh, out, ".begin")
+        run(sh, out, f'.set {self.oid} name "Quercus L."')
+        run(sh, out, ".commit")
+        assert db.schema.get_object(self.oid).get("name") == "Quercus L."
+
+    def test_commit_without_begin_uses_implicit_session(self, shell):
+        sh, out, db = shell
+        db.schema.get_object(self.oid).set("rank", "implicit")
+        text = run(sh, out, ".commit")
+        assert text.strip() == "committed"
+
+    def test_help_mentions_txn_commands(self, shell):
+        sh, out, _ = shell
+        text = run(sh, out, ".help")
+        assert ".begin" in text and ".txn" in text and ".set" in text
