@@ -124,6 +124,9 @@ class Schema:
         #: record; higher layers (classifications, views) keep their
         #: registries here.
         self.meta_extras: dict[str, Any] = {}
+        #: Bumped on every class registration; part of the query-plan
+        #: cache key so cached plans never survive schema evolution.
+        self.version = 0
         self.relationships = RelationshipRegistry(self)
         self._classes: dict[str, PClass] = {}
         self._objects: dict[int, PObject] = {}
@@ -186,6 +189,7 @@ class Schema:
         pclass._bind(self, tuple(supers))
         self._classes[pclass.name] = pclass
         self._extents[pclass.name] = set()
+        self.version += 1
         return pclass
 
     def define_class(

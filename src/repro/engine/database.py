@@ -29,6 +29,8 @@ from ..errors import QueryError
 from ..query import parse
 from ..query.evaluator import Evaluator, QueryContext
 from ..query.nodes import QueryPlanInfo
+from ..query.planner import Planner
+from ..query.plans import AdjacencyCache
 from ..query.typecheck import typecheck
 from ..rules import RuleEngine
 from ..storage.store import ObjectStore
@@ -51,6 +53,9 @@ class PrometheusDB:
             turn all instrumentation down to one branch per hook.
         slow_query_ms: threshold for the slow-query log (None = off);
             only consulted when building the default facade.
+        planner: execute queries through the cost-based planner
+            (:mod:`repro.query.planner`); False falls back to the naive
+            AST interpreter everywhere (the differential-test reference).
     """
 
     def __init__(
@@ -61,6 +66,7 @@ class PrometheusDB:
         sync: bool = False,
         telemetry: Telemetry | None = None,
         slow_query_ms: float | None = None,
+        planner: bool = True,
     ) -> None:
         self.telemetry = (
             telemetry
@@ -76,6 +82,12 @@ class PrometheusDB:
         self.schema.events.telemetry = self.telemetry
         self.rules = RuleEngine(self.schema, telemetry=self.telemetry)
         self.indexes = IndexManager(self.schema)
+        self.planner: Planner | None = None
+        if planner:
+            self.planner = Planner(
+                self.schema, catalog=self.indexes, telemetry=self.telemetry
+            )
+            self.planner.attach(self.schema.events)
         self.transactions = TransactionManager(
             self.schema,
             rules=self.rules,
@@ -128,6 +140,15 @@ class PrometheusDB:
         )
         registry.gauge(
             "repro_sessions_active", help="Live (non-evicted) sessions"
+        )
+        registry.counter(
+            "repro_planner_plans_built_total", help="Plans compiled"
+        )
+        registry.counter(
+            "repro_planner_cache_hits_total", help="Plan-cache hits"
+        )
+        registry.counter(
+            "repro_planner_cache_misses_total", help="Plan-cache misses"
         )
         registry.add_collector(self._collect_metrics)
 
@@ -200,6 +221,22 @@ class PrometheusDB:
             registry.gauge("repro_sessions_active").set(
                 self._sessions.active_count
             )
+        if self.planner is not None:
+            snap = self.planner.snapshot()
+            registry.gauge(
+                "repro_planner_cache_plans",
+                help="Plans currently held by the LRU plan cache",
+            ).set(snap["cache_size"])
+            # Reconcile from the planner's lock-protected tallies.
+            registry.counter(
+                "repro_planner_cache_hits_total"
+            ).value = snap["hits"]
+            registry.counter(
+                "repro_planner_cache_misses_total"
+            ).value = snap["misses"]
+            registry.counter(
+                "repro_planner_plans_built_total"
+            ).value = snap["built"]
 
     # -- lifecycle --------------------------------------------------------
 
@@ -354,6 +391,12 @@ class PrometheusDB:
             params=params or {},
             index_probe=self.indexes.probe,
             telemetry=self.telemetry,
+            planner=self.planner,
+            adjacency=(
+                AdjacencyCache(self.schema)
+                if self.planner is not None
+                else None
+            ),
         )
 
     @staticmethod
@@ -410,6 +453,8 @@ class PrometheusDB:
         info["indexes"] = [index.name for index in self.indexes.indexes()]
         info["rules"] = [rule.name for rule in self.rules.rules()]
         info["transactions"] = self.transactions.snapshot()
+        if self.planner is not None:
+            info["planner"] = self.planner.snapshot()
         if self._sessions is not None:
             info["sessions"] = self._sessions.snapshot()
         if self._classifications is not None:

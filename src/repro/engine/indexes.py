@@ -51,6 +51,10 @@ class _HashIndex:
     def get(self, key: Any) -> frozenset[int]:
         return frozenset(self._data.get(_hashable(key), ()))
 
+    @property
+    def distinct(self) -> int:
+        return len(self._data)
+
     def __len__(self) -> int:
         return sum(len(v) for v in self._data.values())
 
@@ -59,18 +63,32 @@ class _BTreeIndex:
     def __init__(self) -> None:
         self._tree = BTree()
         self._nulls: set[int] = set()
+        # Non-null key *comparison categories* present in the tree
+        # (bool < numbers < str under POOL sort order, but the B-tree
+        # interleaves bools with numbers) — the planner may only elide a
+        # sort via index order when exactly one category is present.
+        self._categories: dict[str, int] = {}
 
     def insert(self, key: Any, oid: int) -> None:
         if key is None:
             self._nulls.add(oid)
         else:
+            before = len(self._tree)
             self._tree.insert(key, oid)
+            if len(self._tree) != before:
+                cat = _category(key)
+                self._categories[cat] = self._categories.get(cat, 0) + 1
 
     def remove(self, key: Any, oid: int) -> None:
         if key is None:
             self._nulls.discard(oid)
-        else:
-            self._tree.remove(key, oid)
+        elif self._tree.remove(key, oid):
+            cat = _category(key)
+            count = self._categories.get(cat, 0) - 1
+            if count <= 0:
+                self._categories.pop(cat, None)
+            else:
+                self._categories[cat] = count
 
     def get(self, key: Any) -> frozenset[int]:
         if key is None:
@@ -81,6 +99,19 @@ class _BTreeIndex:
         self, low: Any, high: Any, include_low: bool, include_high: bool
     ) -> Iterator[tuple[Any, frozenset[int]]]:
         return self._tree.range(low, high, include_low, include_high)
+
+    @property
+    def nulls(self) -> frozenset[int]:
+        return frozenset(self._nulls)
+
+    @property
+    def order_safe(self) -> bool:
+        """True when tree order provably equals POOL sort order."""
+        return len(self._categories) <= 1 and "other" not in self._categories
+
+    @property
+    def distinct(self) -> int:
+        return self._tree.key_count + (1 if self._nulls else 0)
 
     def __len__(self) -> int:
         return len(self._tree) + len(self._nulls)
@@ -111,6 +142,9 @@ class IndexManager:
 
     def __init__(self, schema: Schema) -> None:
         self.schema = schema
+        #: Bumped on every index create/drop; part of the plan-cache key
+        #: so cached plans never outlive the access paths they chose.
+        self.epoch = 0
         self._indexes: dict[tuple[str, str], Index] = {}
         self._unsubscribe = schema.events.subscribe(
             self._on_event,
@@ -146,10 +180,12 @@ class IndexManager:
         for obj in self.schema.extent(class_name):
             index.impl.insert(obj.get(attribute), obj.oid)
         self._indexes[key] = index
+        self.epoch += 1
         return index
 
     def drop_index(self, class_name: str, attribute: str) -> None:
-        self._indexes.pop((class_name, attribute), None)
+        if self._indexes.pop((class_name, attribute), None) is not None:
+            self.epoch += 1
 
     def indexes(self) -> list[Index]:
         return [self._indexes[k] for k in sorted(self._indexes)]
@@ -246,12 +282,103 @@ class IndexManager:
             oids |= bucket
         return self._load(oids)
 
+    def range_probe(
+        self,
+        class_name: str,
+        attribute: str,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[PObject] | None:
+        """None-safe range probe for the planner.
+
+        Unlike :meth:`range` this returns None (rather than raising)
+        when no B-tree index covers the probe, so the planner's runtime
+        fallback is a plain extent scan.  ``None``-valued entries live
+        in the B-tree's side set, never in the key order, so rows whose
+        indexed attribute is null are correctly absent from every range
+        result (three-valued comparison semantics).
+        """
+        index = self._indexes.get((class_name, attribute))
+        if index is None or not isinstance(index.impl, _BTreeIndex):
+            return None
+        index.probes += 1
+        oids: set[int] = set()
+        try:
+            walk = index.impl.range(low, high, include_low, include_high)
+            for _, bucket in walk:
+                oids |= bucket
+        except TypeError:
+            # Bound incomparable with the stored keys: let the caller
+            # fall back to a scan so the filter decides (and raises the
+            # same TypeError the naive comparison would).
+            return None
+        return self._load(oids)
+
+    def ordered_scan(
+        self, class_name: str, attribute: str, descending: bool = False
+    ) -> list[PObject] | None:
+        """Extent members in ``ORDER BY attribute`` order, via the index.
+
+        Returns None unless a B-tree index covers the attribute *and*
+        its keys all fall in one comparison category (mixed bool/number
+        or stray types would make tree order diverge from POOL sort
+        order).  Nulls sort before every value ascending, after every
+        value descending; ties come back in OID order — exactly the
+        naive evaluator's stable-sort order.
+        """
+        index = self._indexes.get((class_name, attribute))
+        if index is None or not isinstance(index.impl, _BTreeIndex):
+            return None
+        if not index.impl.order_safe:
+            return None
+        index.probes += 1
+        groups: list[frozenset[int]] = [
+            bucket for _, bucket in index.impl.range(None, None, True, True)
+        ]
+        if descending:
+            groups.reverse()
+            groups.append(index.impl.nulls)
+        else:
+            groups.insert(0, index.impl.nulls)
+        out: list[PObject] = []
+        for bucket in groups:
+            out.extend(
+                self.schema.get_object(oid)
+                for oid in sorted(bucket)
+                if self.schema.has_object(oid)
+            )
+        return out
+
+    def lookup(self, class_name: str, attribute: str) -> dict[str, Any] | None:
+        """Cardinality statistics for the planner's cost model."""
+        index = self._indexes.get((class_name, attribute))
+        if index is None:
+            return None
+        return {
+            "kind": index.kind.value,
+            "entries": len(index.impl),
+            "distinct": index.impl.distinct,
+        }
+
     def _load(self, oids: frozenset[int] | set[int]) -> list[PObject]:
         return [
             self.schema.get_object(oid)
             for oid in sorted(oids)
             if self.schema.has_object(oid)
         ]
+
+
+def _category(key: Any) -> str:
+    """Comparison category of a B-tree key (see ``_SortKey``)."""
+    if isinstance(key, bool):
+        return "bool"
+    if isinstance(key, (int, float)):
+        return "num"
+    if isinstance(key, str):
+        return "str"
+    return "other"
 
 
 def _hashable(value: Any) -> Any:

@@ -37,9 +37,12 @@ from .nodes import (
     Variable,
 )
 from .parser import Parser, parse, parse_expression
+from .planner import Planner, normalize_query
+from .plans import AdjacencyCache, SelectPlan
 from .typecheck import TypeChecker, TypeReport, typecheck
 
 __all__ = [
+    "AdjacencyCache",
     "AttributeAccess",
     "Binary",
     "Binding",
@@ -54,9 +57,11 @@ __all__ = [
     "OrderItem",
     "Parameter",
     "Parser",
+    "Planner",
     "ProjectionItem",
     "Query",
     "QueryContext",
+    "SelectPlan",
     "SelectQuery",
     "SetOperation",
     "Traversal",
@@ -65,6 +70,7 @@ __all__ = [
     "Unary",
     "Variable",
     "execute",
+    "normalize_query",
     "parse",
     "parse_expression",
     "tokenize",

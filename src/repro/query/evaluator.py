@@ -48,6 +48,7 @@ from .nodes import (
     Variable,
 )
 from .parser import parse
+from .plans import _Run as _PlanRun
 
 if TYPE_CHECKING:  # pragma: no cover
     pass
@@ -66,6 +67,12 @@ class QueryContext:
     index_probe: IndexProbe | None = None
     plan: QueryPlanInfo = field(default_factory=QueryPlanInfo)
     telemetry: Telemetry = DISABLED
+    #: Cost-based planner (repro.query.planner.Planner); None selects
+    #: the naive AST interpreter — the differential-testing reference.
+    planner: Any = None
+    #: Per-query adjacency memo (repro.query.plans.AdjacencyCache);
+    #: populated by the database layer alongside the planner.
+    adjacency: Any = None
 
 
 class Evaluator:
@@ -135,11 +142,77 @@ class Evaluator:
     def _run_select(
         self, query: SelectQuery, outer_env: dict[str, Any]
     ) -> list[Any]:
+        planner = self.context.planner
+        if planner is not None:
+            planned = planner.plan_select(query)
+            if planned is not None:
+                return self._run_planned(planned, outer_env)
+        return self._run_select_naive(query, outer_env)
+
+    def _run_planned(
+        self, planned: tuple[Any, dict[str, Any], str], outer_env: dict[str, Any]
+    ) -> list[Any]:
+        """Execute a compiled plan (see :mod:`repro.query.planner`).
+
+        The plan is cached and literal-free; its literals travel in
+        ``literals`` and are overlaid on the query parameters for the
+        duration of this execution (save/restore, so nested planned
+        subqueries compose).
+        """
+        plan, literals, cache_status = planned
+        ctx = self.context
+        info = ctx.plan
+        info.cache = cache_status
+        saved = ctx.params
+        if literals:
+            ctx.params = {**saved, **literals}
+        try:
+            query = plan.query
+            if query.group_by:
+                plan.annotate(self)
+                run = _PlanRun()
+                result = self._run_grouped(
+                    query, plan.stream(self, dict(outer_env), run)
+                )
+                plan.finish_stream(self, run)
+                return result
+            aggregate = self._aggregate_projection(query)
+            if aggregate is not None:
+                plan.annotate(self)
+                run = _PlanRun()
+                result = self._run_aggregate(
+                    query, aggregate, plan.stream(self, dict(outer_env), run)
+                )
+                plan.finish_stream(self, run)
+                return result if isinstance(result, list) else [result]
+            tracer = self._tracer
+            span = (
+                tracer.span("pool.select", clause=query.unparse()[:120])
+                if tracer is not None
+                else None
+            )
+            if span is not None:
+                span.__enter__()
+            try:
+                return plan.execute(self, dict(outer_env))
+            finally:
+                if span is not None:
+                    span.set("rows_examined", info.rows_examined)
+                    span.set("rows_matched", info.rows_matched)
+                    span.__exit__(None, None, None)
+        finally:
+            ctx.params = saved
+
+    def _run_select_naive(
+        self, query: SelectQuery, outer_env: dict[str, Any]
+    ) -> list[Any]:
         if query.group_by:
-            return self._run_grouped(query, outer_env)
+            return self._run_grouped(query, self._naive_rows(query, outer_env))
         aggregate = self._aggregate_projection(query)
         if aggregate is not None:
-            result = self._run_aggregate(query, aggregate, outer_env)
+            result = self._run_aggregate(
+                query, aggregate, self._naive_rows(query, outer_env)
+            )
             return result if isinstance(result, list) else [result]
         tracer = self._tracer
         span = (
@@ -152,13 +225,7 @@ class Evaluator:
         plan = self.context.plan
         try:
             kept: list[tuple[tuple[_SortKey, ...], Any]] = []
-            for env in self._bind_rows(query, outer_env):
-                plan.rows_examined += 1
-                if query.where is not None and not _truthy(
-                    self._eval(query.where, env)
-                ):
-                    continue
-                plan.rows_matched += 1
+            for env in self._naive_rows(query, outer_env):
                 # ORDER BY keys are computed against the binding environment,
                 # before projection, so they may use any bound variable.
                 keys = tuple(
@@ -180,8 +247,22 @@ class Evaluator:
                 span.set("rows_matched", plan.rows_matched)
                 span.__exit__(None, None, None)
 
-    def _run_grouped(
+    def _naive_rows(
         self, query: SelectQuery, outer_env: dict[str, Any]
+    ) -> Iterator[dict[str, Any]]:
+        """Post-WHERE binding environments, naive interpretation."""
+        plan = self.context.plan
+        for env in self._bind_rows(query, outer_env):
+            plan.rows_examined += 1
+            if query.where is not None and not _truthy(
+                self._eval(query.where, env)
+            ):
+                continue
+            plan.rows_matched += 1
+            yield env
+
+    def _run_grouped(
+        self, query: SelectQuery, rows_in: Iterator[dict[str, Any]]
     ) -> list[Any]:
         """GROUP BY evaluation (OQL-flavoured subset).
 
@@ -195,14 +276,7 @@ class Evaluator:
             raise EvaluationError("group by requires an explicit projection")
         groups: dict[tuple[Any, ...], list[dict[str, Any]]] = {}
         order: list[tuple[Any, ...]] = []
-        plan = self.context.plan
-        for env in self._bind_rows(query, outer_env):
-            plan.rows_examined += 1
-            if query.where is not None and not _truthy(
-                self._eval(query.where, env)
-            ):
-                continue
-            plan.rows_matched += 1
+        for env in rows_in:
             key = tuple(
                 _result_key(self._eval(expr, env)) for expr in query.group_by
             )
@@ -308,7 +382,7 @@ class Evaluator:
         self,
         query: SelectQuery,
         aggregate: FunctionCall,
-        outer_env: dict[str, Any],
+        rows_in: Iterator[dict[str, Any]],
     ) -> Any:
         """Aggregate projection semantics.
 
@@ -318,14 +392,7 @@ class Evaluator:
         per row instead — the per-node fan-out question.
         """
         values: list[Any] = []
-        plan = self.context.plan
-        for env in self._bind_rows(query, outer_env):
-            plan.rows_examined += 1
-            if query.where is not None and not _truthy(
-                self._eval(query.where, env)
-            ):
-                continue
-            plan.rows_matched += 1
+        for env in rows_in:
             values.append(self._eval(aggregate.args[0], env))
         if query.distinct:
             values = _distinct(values)
@@ -491,15 +558,19 @@ class Evaluator:
         seen_edges: set[int] = set()
         frontier = [(obj, 0) for obj in starts]
         seen_nodes = {obj.oid for obj in starts}
+        adjacency = self.context.adjacency
         for obj in starts:
             view.nodes[obj.oid] = {"class": obj.pclass.name, **obj.to_dict()}
         while frontier:
             obj, depth = frontier.pop()
             if query.depth is not None and depth >= query.depth:
                 continue
-            for edge in schema.relationships.outgoing(
-                obj.oid, query.relationship
-            ):
+            outgoing = (
+                adjacency.edges(obj.oid, query.relationship, False)
+                if adjacency is not None
+                else schema.relationships.outgoing(obj.oid, query.relationship)
+            )
+            for edge in outgoing:
                 if edges_allowed is not None and edge.oid not in edges_allowed:
                     continue
                 if edge.oid in seen_edges:
@@ -665,8 +736,12 @@ class Evaluator:
             classification = self._manager().get(node.scope)
             allowed = classification._edge_oids
 
+        adjacency = self.context.adjacency
+
         def neighbours(obj: PObject) -> list[PObject]:
-            if node.inverse:
+            if adjacency is not None:
+                edges = adjacency.edges(obj.oid, node.relationship, node.inverse)
+            elif node.inverse:
                 edges = schema.relationships.incoming(obj.oid, node.relationship)
             else:
                 edges = schema.relationships.outgoing(obj.oid, node.relationship)
@@ -910,6 +985,11 @@ def execute(
 
     Returns a list of results for SELECT queries, a
     :class:`~repro.classification.GraphView` for EXTRACT GRAPH queries.
+
+    This entry point always uses the *naive* AST interpreter — it is the
+    reference implementation the differential query-fuzzing harness
+    checks the cost-based planner against.  Planned execution is wired
+    up by :class:`~repro.engine.database.PrometheusDB`.
     """
     context = QueryContext(
         schema=schema,

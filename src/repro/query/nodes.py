@@ -304,6 +304,15 @@ class QueryPlanInfo:
     rows_from_index: int = 0
     traversal_max_depth: int = 0
     traversal_nodes_visited: int = 0
+    #: "naive" (AST interpretation) or "cost" (planned execution).
+    engine: str = "naive"
+    #: "hit" / "miss" when the plan cache was consulted, else None.
+    cache: str | None = None
+    #: Total estimated cost of the chosen plan (cost-model units).
+    est_cost: float | None = None
+    #: Nested physical plan tree with per-operator row counts and
+    #: cost estimates; None under naive evaluation.
+    plan_tree: dict | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -317,4 +326,8 @@ class QueryPlanInfo:
             "traversal_max_depth": self.traversal_max_depth,
             "traversal_nodes_visited": self.traversal_nodes_visited,
             "notes": list(self.notes),
+            "engine": self.engine,
+            "cache": self.cache,
+            "est_cost": self.est_cost,
+            "plan_tree": self.plan_tree,
         }

@@ -1,0 +1,221 @@
+"""Seeded random POOL query generator + reducing shrinker.
+
+Used by the differential harness (``test_differential.py``): every
+generated query is executed through the cost-based planner *and* the
+retained naive reference evaluator, and the result sets must agree.
+Queries are built as a structured :class:`QuerySpec` (not raw text) so
+a failing case can be *shrunk* — conjuncts dropped, clauses stripped,
+bindings removed — down to a minimal still-failing query before it is
+reported.
+
+The generator deliberately avoids arithmetic that can raise
+(division/modulo) and type-mismatched comparisons (``size = "x"``), so
+every query is deterministic and the only interesting behaviour is
+access-path selection.  Nulls, on the other hand, are generated
+aggressively: the fuzz schema's ``year`` attribute is None for ~30% of
+rows, which exercises the None-safe range-probe and null-ordering
+paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+#: Attribute name -> kind, shared by predicate and value generators.
+ATTRS = {
+    "name": "str",
+    "rank": "str",
+    "size": "int",
+    "score": "float",
+    "flag": "bool",
+    "year": "nullable_int",
+}
+
+RANKS = ("kingdom", "family", "genus", "species")
+
+
+@dataclass
+class QuerySpec:
+    """One generated SELECT, structured for shrinking."""
+
+    bindings: list[tuple[str, str]]  # (variable, source text)
+    conjuncts: list[str] = field(default_factory=list)  # ANDed predicates
+    projection: str | None = None  # None = bare first variable
+    order_by: str | None = None
+    limit: int | None = None
+    distinct: bool = False
+
+    def text(self) -> str:
+        proj = self.projection or self.bindings[0][0]
+        parts = ["select"]
+        if self.distinct:
+            parts.append("distinct")
+        parts.append(proj)
+        parts.append("from")
+        parts.append(
+            ", ".join(f"{var} in {source}" for var, source in self.bindings)
+        )
+        if self.conjuncts:
+            parts.append("where")
+            parts.append(" and ".join(self.conjuncts))
+        if self.order_by:
+            parts.append(f"order by {self.order_by}")
+        if self.limit is not None:
+            parts.append(f"limit {self.limit}")
+        return " ".join(parts)
+
+
+class QueryGen:
+    """Seeded generator over the fuzz schema (Base / Leaf / Links)."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+
+    # -- value pools (type-correct by construction) ---------------------
+
+    def _value(self, kind: str) -> str:
+        rng = self.rng
+        if kind == "str":
+            return f'"{rng.choice(["n", "m"])}{rng.randrange(0, 40)}"'
+        if kind == "int":
+            return str(rng.randrange(-2, 12))
+        if kind == "float":
+            return f"{rng.randrange(0, 100) / 10.0}"
+        if kind == "bool":
+            return rng.choice(("true", "false"))
+        if kind == "nullable_int":
+            return str(rng.randrange(1750, 1760))
+        raise AssertionError(kind)
+
+    def _attr(self) -> tuple[str, str]:
+        name = self.rng.choice(list(ATTRS))
+        return name, ATTRS[name]
+
+    # -- predicates -----------------------------------------------------
+
+    def _comparison(self, var: str) -> str:
+        attr, kind = self._attr()
+        value = self._value(kind)
+        if kind in ("str", "bool"):
+            op = self.rng.choice(("=", "!=", "="))
+        else:
+            op = self.rng.choice(("=", "!=", "<", "<=", ">", ">="))
+        if kind == "str" and self.rng.random() < 0.25:
+            prefix = self.rng.choice(("n", "m", "n1"))
+            return f'{var}.{attr} like "{prefix}%"'
+        if self.rng.random() < 0.15:  # reversed operand order
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+            return f"{value} {flipped} {var}.{attr}"
+        return f"{var}.{attr} {op} {value}"
+
+    def _predicate(self, variables: list[str], depth: int = 0) -> str:
+        rng = self.rng
+        var = rng.choice(variables)
+        roll = rng.random()
+        if depth < 2 and roll < 0.18:
+            left = self._predicate(variables, depth + 1)
+            right = self._predicate(variables, depth + 1)
+            return f"({left} or {right})"
+        if depth < 2 and roll < 0.26:
+            return f"(not {self._predicate(variables, depth + 1)})"
+        if roll < 0.32:
+            return f"{var}.flag"
+        if len(variables) > 1 and roll < 0.40:
+            a, b = rng.sample(variables, 2)
+            attr = rng.choice(("size", "rank"))
+            op = rng.choice(("=", "!="))
+            return f"{a}.{attr} {op} {b}.{attr}"
+        return self._comparison(var)
+
+    # -- whole queries --------------------------------------------------
+
+    def _source(self, prev_var: str | None) -> str:
+        rng = self.rng
+        if prev_var is None or rng.random() < 0.5:
+            return rng.choice(("Base", "Base", "Leaf"))
+        arrow = rng.choice(("->", "<-"))
+        closure = rng.choice(("", "", "+", "*", "{1,2}", "{0,2}", "{2,3}"))
+        return f"{prev_var}{arrow}Links{closure}"
+
+    def spec(self) -> QuerySpec:
+        rng = self.rng
+        bindings = [("a", self._source(None))]
+        if rng.random() < 0.45:
+            bindings.append(("b", self._source("a")))
+        variables = [var for var, _ in bindings]
+        conjuncts = [
+            self._predicate(variables)
+            for _ in range(rng.choice((0, 1, 1, 1, 2, 2, 3)))
+        ]
+        projection: str | None = None
+        roll = rng.random()
+        proj_var = rng.choice(variables)
+        if roll < 0.35:
+            attr = rng.choice(list(ATTRS))
+            projection = f"{proj_var}.{attr}"
+        elif roll < 0.45:
+            projection = f"(Leaf) {proj_var}"
+        elif roll < 0.55 and len(variables) > 1:
+            projection = ", ".join(f"{v}.size" for v in variables)
+        order_by = None
+        if rng.random() < 0.4:
+            attr = rng.choice(("size", "name", "year", "score"))
+            direction = rng.choice(("", " desc", " asc"))
+            order_by = f"{rng.choice(variables)}.{attr}{direction}"
+        limit = rng.choice((None, None, None, 1, 2, 5, 10))
+        distinct = rng.random() < 0.25
+        return QuerySpec(
+            bindings=bindings,
+            conjuncts=conjuncts,
+            projection=projection,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+
+def shrink(spec: QuerySpec, still_fails) -> QuerySpec:
+    """Greedy reducing shrinker.
+
+    Repeatedly tries structural reductions, keeping any that still
+    reproduce the failure (``still_fails(spec) -> bool``), until no
+    reduction applies.  Returns the minimal failing spec.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for candidate in _reductions(spec):
+            if still_fails(candidate):
+                spec = candidate
+                changed = True
+                break
+    return spec
+
+
+def _reductions(spec: QuerySpec):
+    for index in range(len(spec.conjuncts)):
+        rest = spec.conjuncts[:index] + spec.conjuncts[index + 1:]
+        yield replace(spec, conjuncts=rest)
+    if spec.order_by:
+        yield replace(spec, order_by=None)
+    if spec.limit is not None:
+        yield replace(spec, limit=None)
+    if spec.distinct:
+        yield replace(spec, distinct=False)
+    if spec.projection is not None:
+        yield replace(spec, projection=None)
+    if len(spec.bindings) > 1:
+        # Dropping binding b requires nothing else to mention it.
+        survivor = spec.bindings[0][0]
+        dropped = {var for var, _ in spec.bindings[1:]}
+        mentions = " ".join(spec.conjuncts) + " " + (spec.projection or "") + \
+            " " + (spec.order_by or "")
+        if not any(f"{var}." in mentions or f"{var}-" in mentions
+                   or f"{var}<" in mentions or f" {var} " in f" {mentions} "
+                   for var in dropped):
+            yield replace(
+                spec, bindings=spec.bindings[:1], projection=spec.projection
+                if spec.projection and survivor in spec.projection
+                else None,
+            )

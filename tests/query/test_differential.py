@@ -1,0 +1,211 @@
+"""Differential query fuzzing: planner vs naive reference evaluator.
+
+Every seeded random POOL query (see :mod:`qgen`) is executed twice over
+the same live schema:
+
+* **reference** — the module-level :func:`repro.query.execute`, which
+  always interprets the AST naively with no index layer attached;
+* **planner** — ``PrometheusDB.query``, which compiles through the
+  cost-based planner with hash + B-tree indexes (including a B-tree
+  over a None-mixed column) and the plan cache live.
+
+Result sets must agree: exactly (including order) when the query has an
+ORDER BY, as multisets otherwise.  If either side raises, the other
+must raise too.  On divergence the case is shrunk to a minimal failing
+query and reported with its seed and both results.
+
+CI runs three fixed seeds plus one derived from ``GITHUB_RUN_ID``
+(printed for reproduction); ``QUERY_FUZZ_SEED`` forces any seed
+locally:
+
+    QUERY_FUZZ_SEED=12345 pytest tests/query/test_differential.py -k extra
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core import types as T
+from repro.core.attributes import Attribute
+from repro.core.instances import PObject
+from repro.engine import PrometheusDB
+from repro.query import execute
+
+from .qgen import RANKS, QueryGen, QuerySpec, shrink
+
+FIXED_SEEDS = (101, 202, 303)
+CASES_PER_SEED = 170  # 3 seeds x 170 = 510 >= 500
+
+
+def build_db(seed: int) -> PrometheusDB:
+    """The fuzz schema, populated from one seed.
+
+    ``Base`` holds every attribute kind (str/int/float/bool and a
+    None-mixed int), ``Leaf`` subclasses it, and ``Links`` is a
+    Base-to-Base relationship forming a random sparse digraph.  Indexes
+    cover equality (hash), ranges and ordering (btree) and — crucially —
+    a None-mixed column (btree on ``year``).
+    """
+    rng = random.Random(seed * 7919 + 13)
+    db = PrometheusDB()
+    db.schema.define_class(
+        "Base",
+        [
+            Attribute("name", T.STRING),
+            Attribute("rank", T.STRING),
+            Attribute("size", T.INTEGER),
+            Attribute("score", T.FLOAT),
+            Attribute("flag", T.BOOLEAN),
+            Attribute("year", T.INTEGER, required=False),
+        ],
+    )
+    db.schema.define_class(
+        "Leaf", [Attribute("extra", T.INTEGER)], superclasses=["Base"]
+    )
+    db.schema.define_relationship("Links", "Base", "Base")
+    objects = []
+    for i in range(rng.randrange(30, 45)):
+        cls = "Leaf" if rng.random() < 0.4 else "Base"
+        attrs = {
+            "name": f"{rng.choice(['n', 'm'])}{rng.randrange(0, 40)}",
+            "rank": rng.choice(RANKS),
+            "size": rng.randrange(-2, 12),
+            "score": rng.randrange(0, 100) / 10.0,
+            "flag": rng.random() < 0.5,
+            "year": None if rng.random() < 0.3 else rng.randrange(1750, 1760),
+        }
+        if cls == "Leaf":
+            attrs["extra"] = rng.randrange(0, 5)
+        objects.append(db.schema.create(cls, **attrs))
+    for _ in range(rng.randrange(20, 60)):
+        a, b = rng.choice(objects), rng.choice(objects)
+        if a.oid != b.oid:
+            db.schema.relate("Links", a, b)
+    db.indexes.create_index("Base", "name", kind="hash")
+    db.indexes.create_index("Base", "size", kind="btree")
+    db.indexes.create_index("Base", "year", kind="btree")  # None-mixed!
+    db.indexes.create_index("Base", "rank", kind="hash")
+    return db
+
+
+def canon(value):
+    """Canonical hashable form for result comparison."""
+    if isinstance(value, PObject):
+        return ("obj", value.oid)
+    if isinstance(value, (list, tuple)):
+        return ("seq",) + tuple(canon(v) for v in value)
+    if isinstance(value, dict):
+        return ("row",) + tuple(
+            sorted((k, canon(v)) for k, v in value.items())
+        )
+    return value
+
+
+def run_both(db: PrometheusDB, text: str):
+    """(reference_outcome, planner_outcome) — ('ok', rows) or ('err', type)."""
+    try:
+        ref = ("ok", [canon(v) for v in execute(db.schema, text)])
+    except Exception as exc:  # noqa: BLE001 — classify, don't mask
+        ref = ("err", type(exc).__name__)
+    try:
+        got = ("ok", [canon(v) for v in db.query(text, check=False)])
+    except Exception as exc:  # noqa: BLE001
+        got = ("err", type(exc).__name__)
+    return ref, got
+
+
+def agree(spec: QuerySpec, ref, got) -> bool:
+    if ref[0] != got[0]:
+        return False
+    if ref[0] == "err":
+        return ref[1] == got[1]
+    if spec.order_by:
+        return ref[1] == got[1]
+    return Counter(ref[1]) == Counter(got[1])
+
+
+def run_seed(seed: int, cases: int) -> None:
+    db = build_db(seed)
+    gen = QueryGen(seed)
+    failures = []
+    for case in range(cases):
+        spec = gen.spec()
+        text = spec.text()
+        try:
+            ref, got = run_both(db, text)
+        except Exception as exc:  # pragma: no cover — harness bug
+            pytest.fail(f"harness crashed on seed={seed} case={case}: "
+                        f"{text!r}: {exc}")
+        if not agree(spec, ref, got):
+            failures.append((case, spec, ref, got))
+            break  # shrink the first divergence; later ones usually alias it
+    if not failures:
+        return
+    case, spec, ref, got = failures[0]
+
+    def still_fails(candidate: QuerySpec) -> bool:
+        r, g = run_both(db, candidate.text())
+        return not agree(candidate, r, g)
+
+    minimal = shrink(spec, still_fails)
+    ref, got = run_both(db, minimal.text())
+    pytest.fail(
+        "planner/reference divergence\n"
+        f"  seed       : {seed} (case {case})\n"
+        f"  minimal    : {minimal.text()}\n"
+        f"  original   : {spec.text()}\n"
+        f"  reference  : {ref}\n"
+        f"  planner    : {got}\n"
+        f"reproduce with QUERY_FUZZ_SEED={seed}"
+    )
+
+
+@pytest.mark.parametrize("seed", FIXED_SEEDS)
+def test_differential_fixed_seeds(seed):
+    run_seed(seed, CASES_PER_SEED)
+
+
+def test_differential_extra_seed(capsys):
+    """One extra seed from the environment (CI derives it from
+    GITHUB_RUN_ID and prints it so any failure is reproducible)."""
+    raw = os.environ.get("QUERY_FUZZ_SEED")
+    if raw is None:
+        pytest.skip("QUERY_FUZZ_SEED not set")
+    seed = int(raw)
+    with capsys.disabled():
+        print(f"\n[query-fuzz] extra seed: {seed}")
+    run_seed(seed, CASES_PER_SEED)
+
+
+def test_generator_is_deterministic():
+    a = [QueryGen(42).spec().text() for _ in range(25)]
+    b = [QueryGen(42).spec().text() for _ in range(25)]
+    assert a == b
+
+
+def test_shrinker_minimises():
+    """The shrinker strips clauses irrelevant to a (synthetic) failure."""
+    spec = QuerySpec(
+        bindings=[("a", "Base"), ("b", "a->Links")],
+        conjuncts=["a.size > 3", "a.flag", "b.rank = \"genus\""],
+        projection="a.name",
+        order_by="a.size desc",
+        limit=5,
+        distinct=True,
+    )
+
+    def still_fails(candidate: QuerySpec) -> bool:
+        # Synthetic oracle: the "bug" needs only `a.size > 3`.
+        return any("a.size > 3" in c for c in candidate.conjuncts)
+
+    minimal = shrink(spec, still_fails)
+    assert minimal.conjuncts == ["a.size > 3"]
+    assert minimal.order_by is None
+    assert minimal.limit is None
+    assert minimal.distinct is False
+    assert minimal.projection is None
+    assert len(minimal.bindings) == 1

@@ -1,0 +1,280 @@
+"""Unit tests for the cost-based planner, plan cache and access paths.
+
+Includes the regression for the ISSUE-4 satellite fix: range probes
+over an index whose column holds None-mixed values must be None-safe —
+nulls live outside the B-tree key order and must never appear in (or
+crash) a range result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import types as T
+from repro.core.attributes import Attribute
+from repro.engine import PrometheusDB
+from repro.query import Planner, normalize_query, parse
+from repro.query.nodes import Parameter
+
+
+@pytest.fixture()
+def db():
+    db = PrometheusDB()
+    db.schema.define_class(
+        "Part",
+        [
+            Attribute("ident", T.INTEGER),
+            Attribute("size", T.INTEGER, required=False),
+            Attribute("color", T.STRING),
+        ],
+    )
+    for i in range(30):
+        db.schema.create(
+            "Part",
+            ident=i,
+            size=None if i % 5 == 0 else i % 9,
+            color="red" if i % 2 else "blue",
+        )
+    return db
+
+
+class TestNormalisation:
+    def test_literals_become_parameter_slots(self):
+        skeleton, literals = normalize_query(
+            parse('select p from p in Part where p.ident = 7')
+        )
+        assert literals == {"__plan_lit_0": 7}
+        assert "7" not in skeleton.unparse()
+        assert "$__plan_lit_0" in skeleton.unparse()
+
+    def test_same_shape_same_skeleton(self):
+        s1, _ = normalize_query(
+            parse('select p from p in Part where p.color = "red"')
+        )
+        s2, _ = normalize_query(
+            parse('select p from p in Part where p.color = "blue"')
+        )
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+
+    def test_different_shape_different_skeleton(self):
+        s1, _ = normalize_query(parse("select p from p in Part"))
+        s2, _ = normalize_query(parse("select p from p in Part limit 3"))
+        assert s1 != s2
+
+
+class TestAccessPaths:
+    def test_equality_picks_hash_index(self, db):
+        db.indexes.create_index("Part", "ident", kind="hash")
+        report = db.query("explain select p from p in Part where p.ident = 7")
+        assert report["plan"]["engine"] == "cost"
+        assert report["plan"]["access_paths"] == ["index:Part.ident"]
+        assert report["rows"] == 1
+
+    def test_range_picks_btree_index(self, db):
+        db.indexes.create_index("Part", "ident", kind="btree")
+        report = db.query(
+            "explain select p from p in Part where p.ident >= 25"
+        )
+        assert report["plan"]["access_paths"] == ["range:Part.ident"]
+        assert report["rows"] == 5
+        # Seeding never elides the filter: counters reflect the
+        # narrowed candidate set.
+        assert report["plan"]["rows_examined"] == 5
+        assert report["plan"]["rows_matched"] == 5
+
+    def test_range_on_hash_index_falls_back_to_scan(self, db):
+        db.indexes.create_index("Part", "ident", kind="hash")
+        report = db.query("explain select p from p in Part where p.ident > 7")
+        assert report["plan"]["access_paths"] == ["scan:Part"]
+        assert any("no btree index" in n for n in report["plan"]["notes"])
+
+    def test_order_by_elides_sort_via_btree(self, db):
+        db.indexes.create_index("Part", "size", kind="btree")
+        report = db.query("explain select p from p in Part order by p.size")
+        assert report["plan"]["access_paths"] == ["ordered:Part.size"]
+        ops = _flatten_ops(report["plan"]["plan_tree"])
+        assert "sort" not in ops
+        assert "index_ordered_scan" in ops
+
+    def test_no_elision_without_index(self, db):
+        report = db.query("explain select p from p in Part order by p.size")
+        ops = _flatten_ops(report["plan"]["plan_tree"])
+        assert "sort" in ops
+
+    def test_plan_tree_carries_row_counts_and_costs(self, db):
+        report = db.query(
+            "explain select p from p in Part where p.color = \"red\""
+        )
+        tree = report["plan"]["plan_tree"]
+        assert tree is not None
+        filt = _find_op(tree, "filter")
+        assert filt["rows_out"] == 15
+        assert filt["est_cost"] > 0
+        scan = _find_op(tree, "extent_scan")
+        assert scan["rows_out"] == 30
+
+
+class TestNoneSafeRanges:
+    """Regression: None-mixed indexed columns (ISSUE 4 satellite)."""
+
+    def test_range_probe_excludes_nulls(self, db):
+        db.indexes.create_index("Part", "size", kind="btree")
+        report = db.query("explain select p from p in Part where p.size >= 0")
+        assert report["plan"]["access_paths"] == ["range:Part.size"]
+        rows = db.query("select p from p in Part where p.size >= 0")
+        # 6 of the 30 rows have size=None; a range never matches them.
+        assert len(rows) == 24
+        assert all(p.get("size") is not None for p in rows)
+
+    def test_range_probe_agrees_with_naive_on_nulls(self, db):
+        from repro.query import execute
+
+        db.indexes.create_index("Part", "size", kind="btree")
+        for text in (
+            "select p.ident from p in Part where p.size > 3",
+            "select p.ident from p in Part where p.size <= 2",
+            "select p.ident from p in Part where p.size >= 0 and p.size < 5",
+        ):
+            assert sorted(db.query(text)) == sorted(execute(db.schema, text))
+
+    def test_null_bound_matches_nothing(self, db):
+        db.indexes.create_index("Part", "size", kind="btree")
+        db.schema.define_class("Probe", [Attribute("v", T.INTEGER,
+                                                   required=False)])
+        db.schema.create("Probe", v=None)
+        rows = db.query(
+            "select p from p in Part, q in Probe where p.size > q.v",
+            check=False,
+        )
+        assert rows == []
+
+    def test_equality_probe_still_finds_null_rows(self, db):
+        db.indexes.create_index("Part", "size", kind="btree")
+        rows = db.query("select p from p in Part where p.size = null",
+                        check=False)
+        assert len(rows) == 6
+
+    def test_ordered_scan_sorts_nulls_first_asc_last_desc(self, db):
+        db.indexes.create_index("Part", "size", kind="btree")
+        asc = db.query("select p.size from p in Part order by p.size")
+        assert asc[:6] == [None] * 6
+        assert asc[6:] == sorted(asc[6:])
+        desc = db.query("select p.size from p in Part order by p.size desc")
+        assert desc[-6:] == [None] * 6
+        assert desc[:-6] == sorted(desc[:-6], reverse=True)
+
+
+class TestOrderedScanSafety:
+    def test_mixed_key_categories_disable_elision(self):
+        db = PrometheusDB()
+        db.schema.define_class("M", [Attribute("v", T.ANY)])
+        db.schema.create("M", v=2)
+        db.schema.create("M", v=True)  # bool + int interleave in the tree
+        db.schema.create("M", v=1)
+        db.indexes.create_index("M", "v", kind="btree")
+        assert db.indexes.ordered_scan("M", "v") is None
+        # The planner's fallback still returns correctly sorted rows
+        # (POOL order: bools before numbers).
+        rows = db.query("select m.v from m in M order by m.v", check=False)
+        assert rows == [True, 1, 2]
+
+    def test_homogeneous_keys_allow_elision(self):
+        db = PrometheusDB()
+        db.schema.define_class("M", [Attribute("v", T.INTEGER)])
+        for v in (3, 1, 2):
+            db.schema.create("M", v=v)
+        db.indexes.create_index("M", "v", kind="btree")
+        scan = db.indexes.ordered_scan("M", "v")
+        assert [o.get("v") for o in scan] == [1, 2, 3]
+        scan = db.indexes.ordered_scan("M", "v", descending=True)
+        assert [o.get("v") for o in scan] == [3, 2, 1]
+
+
+class TestPlanCache:
+    def test_lru_eviction(self, db):
+        planner = Planner(db.schema, catalog=db.indexes, cache_size=2)
+        q = lambda t: planner.plan_select(parse(t))
+        assert q("select p from p in Part")[2] == "miss"
+        assert q("select p from p in Part limit 1")[2] == "miss"
+        assert q("select p from p in Part")[2] == "hit"
+        # Third distinct shape evicts the LRU entry (limit 1).
+        assert q("select p from p in Part limit 2")[2] == "miss"
+        assert q("select p from p in Part limit 1")[2] == "miss"
+        assert planner.evictions >= 1
+
+    def test_schema_version_invalidates(self, db):
+        report = db.query("explain select p from p in Part")
+        assert report["plan"]["cache"] == "miss"
+        assert db.query("explain select p from p in Part")["plan"][
+            "cache"] == "hit"
+        db.schema.define_class("Widget", [Attribute("w", T.INTEGER)])
+        assert db.query("explain select p from p in Part")["plan"][
+            "cache"] == "miss"
+
+    def test_abort_evicts_everything(self, db):
+        db.query("select p from p in Part")
+        assert db.planner.snapshot()["cache_size"] >= 1
+        db.schema.create("Part", ident=100, color="x", size=1)
+        db.abort()
+        assert db.planner.snapshot()["cache_size"] == 0
+
+    def test_parameterised_queries_share_plans(self, db):
+        db.query("select p from p in Part where p.ident = $i",
+                 params={"i": 1})
+        built = db.planner.built
+        rows = db.query("select p from p in Part where p.ident = $i",
+                        params={"i": 2})
+        assert db.planner.built == built
+        assert len(rows) == 1 and rows[0].get("ident") == 2
+
+    def test_user_params_not_clobbered_by_literal_overlay(self, db):
+        rows = db.query(
+            "select p.ident from p in Part "
+            "where p.ident = $i and p.color = \"blue\"",
+            params={"i": 4},
+        )
+        assert rows == [4]
+
+
+class TestFallback:
+    def test_planner_failure_falls_back_to_naive(self, db):
+        # Set operations are not SELECTs: the evaluator routes each arm
+        # through _run_select, which plans fine — but verify unplannable
+        # input degrades instead of raising by feeding the planner an
+        # extract-graph AST directly.
+        planner = db.planner
+        assert planner.plan_select(
+            parse("extract graph from p in Part via Contains")
+            if False else _Unplannable()
+        ) is None
+        assert planner.failures == 1
+
+    def test_telemetry_counters_exported(self, db):
+        db.query("select p from p in Part")
+        db.query("select p from p in Part")
+        text = db.telemetry.registry.render_prometheus()
+        assert "repro_planner_plans_built_total" in text
+        assert "repro_planner_cache_hits_total" in text
+        assert "repro_planner_access_paths_total" in text
+
+
+class _Unplannable:
+    """Not an AST node at all — normalisation must fail gracefully."""
+
+
+def _flatten_ops(tree) -> list[str]:
+    out = [tree["op"]]
+    for child in tree.get("children", ()):
+        out.extend(_flatten_ops(child))
+    return out
+
+
+def _find_op(tree, op):
+    if tree["op"] == op:
+        return tree
+    for child in tree.get("children", ()):
+        found = _find_op(child, op)
+        if found is not None:
+            return found
+    return None
