@@ -1,0 +1,279 @@
+"""Read throughput with replicas: one node vs primary + 3 replicas.
+
+Real process topology, the same one an operator gets from the CLI: a
+primary serving its log (`--serve`) and three replica processes
+(`--replica-of`) that catch up over HTTP and serve read-only queries.
+Client threads then hammer POST /query two ways — every read to the
+primary, and round-robin across the three replicas — and the aggregate
+read rate is compared.
+
+The scale-out gate (>= 2.0x with three replica processes) only
+engages on machines with >= 4 CPUs: below that the four server
+processes time-slice one another and the ratio measures the scheduler,
+not replication.  The measured numbers and the skip reason are recorded
+to ``benchmarks/results/BENCH_bench_replication.json`` either way.
+
+Also measured: cold catch-up time for a fresh replica, and the p99
+replication lag (bytes) sampled while the primary takes a write burst.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+SPECIMENS = 400
+READER_THREADS = 8
+MEASURE_SECONDS = 1.5
+WRITE_BURST = 60
+
+READ_QUERY = (
+    'select s.field_name from s in Specimen where s.field_name like "s1%"'
+)
+
+
+def _request(url, payload=None, timeout=10.0):
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as response:
+        return json.load(response)
+
+
+class Node:
+    """One ``python -m repro --serve`` process."""
+
+    def __init__(self, args, cwd):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_SRC)
+        # The URL announcement must cross the pipe immediately even on
+        # interpreters where a piped stdout is block-buffered.
+        env["PYTHONUNBUFFERED"] = "1"
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *args],
+            cwd=cwd,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.url = self._await_url()
+
+    def _await_url(self, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError("server process exited before serving")
+            if "serving on " in line:
+                return line.split("serving on ", 1)[1].split()[0]
+        raise RuntimeError("server never reported its URL")
+
+    def stop(self):
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+def populate_primary(path):
+    from repro.engine import PrometheusDB
+    from repro.taxonomy import define_taxonomy_schema
+    from repro.telemetry import DISABLED
+
+    db = PrometheusDB(path, telemetry=DISABLED)
+    define_taxonomy_schema(db.schema)
+    db.load()
+    txn = db.transactions.begin()
+    for i in range(SPECIMENS):
+        txn.create(
+            "Specimen",
+            field_name=f"s{i:04d}",
+            collector="bench",
+            herbarium="BM",
+        )
+    txn.commit()
+    db.close()
+
+
+def commit_lsn(url):
+    return _request(url + "/replicate/status")["commit_lsn"]
+
+
+def applied_lsn(url):
+    return _request(url + "/replicate/status")["applying"]["applied_lsn"]
+
+
+def await_catch_up(primary_url, replica_urls, timeout=60.0):
+    target = commit_lsn(primary_url)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if all(applied_lsn(u) >= target for u in replica_urls):
+            return
+        time.sleep(0.05)
+    raise RuntimeError("replicas never caught up")
+
+
+def measure_reads(urls, seconds=MEASURE_SECONDS, threads=READER_THREADS):
+    """Aggregate queries/s from ``threads`` readers over ``urls``."""
+    stop = time.monotonic() + seconds
+    counts = [0] * threads
+
+    def reader(slot):
+        n = 0
+        while time.monotonic() < stop:
+            url = urls[(slot + n) % len(urls)]
+            _request(url + "/query", {"query": READ_QUERY})
+            n += 1
+        counts[slot] = n
+
+    workers = [
+        threading.Thread(target=reader, args=(i,)) for i in range(threads)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    return sum(counts) / seconds
+
+
+def write_burst_with_lag_samples(primary_url):
+    """Commit a burst through the HTTP session API, sampling lag."""
+    samples = []
+    done = threading.Event()
+
+    def sampler():
+        while not done.is_set():
+            lags = _request(primary_url + "/health")["replication"][
+                "lag_bytes"
+            ]
+            if lags:
+                samples.append(max(lags.values()))
+            time.sleep(0.01)
+
+    thread = threading.Thread(target=sampler)
+    thread.start()
+    try:
+        sid = _request(primary_url + "/session", {})["session"]
+        for i in range(WRITE_BURST):
+            _request(
+                f"{primary_url}/session/{sid}/apply",
+                {
+                    "ops": [
+                        {
+                            "op": "create",
+                            "class": "Specimen",
+                            "attrs": {"field_name": f"burst{i:04d}"},
+                        }
+                    ]
+                },
+            )
+            _request(f"{primary_url}/session/{sid}/commit", {})
+        _request(f"{primary_url}/session/{sid}/release", {})
+    finally:
+        done.set()
+        thread.join()
+    samples.sort()
+    p99 = samples[min(len(samples) - 1, int(len(samples) * 0.99))] if samples else 0
+    return {"lag_samples": len(samples), "lag_p99_bytes": p99}
+
+
+@pytest.fixture(scope="module")
+def topology(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("replication_bench")
+    populate_primary(tmp / "primary.plog")
+    primary = Node(
+        ["--db", str(tmp / "primary.plog"), "--taxonomy", "--serve", "0"],
+        cwd=tmp,
+    )
+    replicas = []
+    try:
+        started = time.perf_counter()
+        for i in range(3):
+            replicas.append(
+                Node(
+                    [
+                        "--db", str(tmp / f"replica{i}.plog"),
+                        "--taxonomy",
+                        "--replica-of", primary.url,
+                        "--replica-name", f"r{i}",
+                        "--serve", "0",
+                    ],
+                    cwd=tmp,
+                )
+            )
+        replica_urls = [r.url for r in replicas]
+        await_catch_up(primary.url, replica_urls)
+        catch_up_s = time.perf_counter() - started
+        yield primary, replica_urls, catch_up_s
+    finally:
+        for replica in replicas:
+            replica.stop()
+        primary.stop()
+
+
+def test_replica_read_scaling(topology, bench_recorder):
+    primary, replica_urls, catch_up_s = topology
+    single = measure_reads([primary.url])
+    scaled = measure_reads(replica_urls)
+    speedup = scaled / single if single else float("inf")
+    cpus = os.cpu_count() or 1
+    gated = cpus >= 4
+    bench_recorder.record(
+        "read_throughput",
+        primary_only_reads_per_s=round(single, 1),
+        three_replicas_reads_per_s=round(scaled, 1),
+        speedup=round(speedup, 3),
+        reader_threads=READER_THREADS,
+        cpu_count=cpus,
+        gate_engaged=gated,
+        gate_skip_reason=(
+            None
+            if gated
+            else f"only {cpus} CPU(s): processes time-slice, "
+            "ratio measures the scheduler"
+        ),
+    )
+    if gated:
+        assert speedup >= 2.0, (
+            f"three replica processes served only {speedup:.2f}x the "
+            f"single-node read rate ({scaled:.0f} vs {single:.0f}/s)"
+        )
+
+
+def test_catch_up_and_lag(topology, bench_recorder):
+    primary, replica_urls, catch_up_s = topology
+    lag = write_burst_with_lag_samples(primary.url)
+    await_catch_up(primary.url, replica_urls)
+    # The primary learns a replica's position from the *next* pull's
+    # cursor, so the acknowledged lag trails the applied LSN by one
+    # long-poll cycle — wait for the acks, not just the applies.
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        final_lags = _request(primary.url + "/health")["replication"][
+            "lag_bytes"
+        ]
+        if max(final_lags.values()) == 0:
+            break
+        time.sleep(0.1)
+    bench_recorder.record(
+        "catch_up_and_lag",
+        cold_catch_up_s=round(catch_up_s, 3),
+        specimens=SPECIMENS,
+        write_burst_commits=WRITE_BURST,
+        **lag,
+        final_max_lag_bytes=max(final_lags.values()),
+    )
+    # After quiescing, every replica has acknowledged the full log.
+    assert max(final_lags.values()) == 0

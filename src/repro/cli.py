@@ -26,11 +26,20 @@ The shell speaks POOL plus a few dot-commands:
                           transaction is open, direct otherwise; the
                           value parses as JSON, falling back to string)
 ``.integrity``            run the deferred integrity checks
+``.replicas``             replication topology: shipped replicas, or
+                          this replica's apply status, or the status of
+                          ``--replica NAME=URL`` remotes
+``.lag``                  replication lag in bytes per replica
 ``.quit``                 leave
 ========================  =======================================
 
 The ``--taxonomy`` flag registers the Prometheus taxonomic schema so an
 existing taxonomic database file can be opened directly.
+
+Replication: ``--replica-of URL`` opens the database read-only and
+tails the primary at ``URL`` (log shipping); combined with ``--serve``
+this node becomes a read replica.  ``--replica NAME=URL`` (repeatable)
+points the shell/server at known read replicas for status display.
 """
 
 from __future__ import annotations
@@ -88,10 +97,23 @@ def format_result(result: object) -> str:
 class Shell:
     """Executes shell lines against one database."""
 
-    def __init__(self, db: PrometheusDB, out: IO[str] = sys.stdout) -> None:
+    def __init__(
+        self,
+        db: PrometheusDB,
+        out: IO[str] = sys.stdout,
+        shipper: object | None = None,
+        replica_client: object | None = None,
+        remotes: dict[str, object] | None = None,
+    ) -> None:
         self.db = db
         self.out = out
         self.running = True
+        # Replication wiring for .replicas/.lag: a LogShipper when this
+        # node ships, a ReplicationClient when it is a replica, and/or
+        # named RemoteDatabase clients from --replica NAME=URL.
+        self.shipper = shipper
+        self.replica_client = replica_client
+        self.remotes = remotes or {}
         # Lazily-created session backing .begin/.commit/.abort — the
         # shell goes through the same session layer as HTTP clients.
         self._session: Session | None = None
@@ -129,7 +151,7 @@ class Shell:
         self.emit(
             "commands: .help .schema .class <Name> .classifications "
             ".rules .indexes .begin .commit .abort .txn .set .integrity "
-            ".quit\n"
+            ".replicas .lag .quit\n"
             ".begin opens a managed transaction; .commit/.abort then "
             "apply to it\n"
             "anything else is evaluated as a POOL query"
@@ -271,6 +293,83 @@ class Shell:
         for problem in problems:
             self.emit(problem)
 
+    def _cmd_replicas(self, args: list[str]) -> None:
+        """Replication topology as seen from this node."""
+        shown = False
+        if self.replica_client is not None:
+            status = self.replica_client.status()
+            self.emit(
+                f"replica {status['name']}: applied_lsn={status['applied_lsn']} "
+                f"batches={status['batches_applied']} "
+                f"resyncs={status['resyncs']} "
+                f"running={status['running']}"
+            )
+            if status["last_error"]:
+                self.emit(f"  last error: {status['last_error']}")
+            shown = True
+        if self.shipper is not None:
+            replicas = self.shipper.replicas()
+            self.emit(
+                f"shipping from commit_lsn={self.shipper.store.commit_lsn}: "
+                f"{len(replicas)} replica(s) seen"
+            )
+            for name in sorted(replicas):
+                state = replicas[name].as_dict()
+                self.emit(
+                    f"  {name}: acked_lsn={state['acked_lsn']} "
+                    f"pulls={state['pulls']} "
+                    f"shipped={state['bytes_shipped']}B "
+                    f"diverged={state['diverged']}"
+                )
+            shown = True
+        for name in sorted(self.remotes):
+            try:
+                status = self.remotes[name].replication_status()
+            except PrometheusError as exc:
+                self.emit(f"  {name}: unreachable ({exc})")
+                continue
+            self.emit(
+                f"  {name}: role={status.get('role')} "
+                f"commit_lsn={status.get('commit_lsn')}"
+            )
+            shown = True
+        if not shown:
+            self.emit("(no replication configured)")
+
+    def _cmd_lag(self, args: list[str]) -> None:
+        """Replication lag in bytes, per replica."""
+        shown = False
+        if self.shipper is not None:
+            for name, lag in sorted(self.shipper.lag_bytes().items()):
+                self.emit(f"{name}: {lag} bytes behind")
+                shown = True
+            if not shown:
+                self.emit("(no replica has pulled yet)")
+                shown = True
+        if self.replica_client is not None:
+            status = self.replica_client.status()
+            self.emit(
+                f"this replica: applied_lsn={status['applied_lsn']}, "
+                f"position={status['replication_position']}"
+            )
+            shown = True
+        local = self.db.store.commit_lsn if self.db.store is not None else None
+        for name in sorted(self.remotes):
+            try:
+                status = self.remotes[name].replication_status()
+            except PrometheusError as exc:
+                self.emit(f"{name}: unreachable ({exc})")
+                shown = True
+                continue
+            remote_lsn = status.get("commit_lsn")
+            suffix = ""
+            if local is not None and remote_lsn is not None:
+                suffix = f" ({max(0, local - int(remote_lsn))} bytes behind us)"
+            self.emit(f"{name}: commit_lsn={remote_lsn}{suffix}")
+            shown = True
+        if not shown:
+            self.emit("(no replication configured)")
+
     def _cmd_quit(self, args: list[str]) -> None:
         self.running = False
 
@@ -300,11 +399,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--serve", metavar="PORT", type=int, default=None,
         help="start the HTTP access layer instead of a shell",
     )
+    parser.add_argument(
+        "--replica-of", metavar="URL", default=None,
+        help="open read-only and tail the primary at URL (log shipping)",
+    )
+    parser.add_argument(
+        "--replica", metavar="NAME=URL", action="append", default=[],
+        help="register a known read replica for .replicas/.lag "
+        "(repeatable)",
+    )
+    parser.add_argument(
+        "--replica-name", metavar="NAME", default="replica",
+        help="this replica's name, reported to the primary on each pull",
+    )
     return parser
 
 
 def open_database(args: argparse.Namespace) -> PrometheusDB:
-    db = PrometheusDB(args.db)
+    if args.replica_of and not args.db:
+        raise PrometheusError(
+            "--replica-of needs --db: a replica keeps a local log copy"
+        )
+    db = PrometheusDB(args.db, read_only=bool(args.replica_of))
     if args.taxonomy:
         from .taxonomy import define_taxonomy_schema
 
@@ -325,14 +441,63 @@ def main(argv: list[str] | None = None, out: IO[str] = sys.stdout) -> int:
     except PrometheusError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    shell = Shell(db, out=out)
+
+    shipper = None
+    replica_client = None
+    remotes: dict[str, object] = {}
+    if args.replica_of:
+        from .replication import (
+            HttpPullTransport,
+            ReplicaApplier,
+            ReplicationClient,
+        )
+
+        replica_client = ReplicationClient(
+            ReplicaApplier(db),
+            HttpPullTransport(args.replica_of),
+            name=args.replica_name,
+        )
+        replica_client.start()
+        print(f"replicating from {args.replica_of}", file=out, flush=True)
+    elif db.store is not None:
+        # Any node with a persistent log can serve pulls; the shipper
+        # costs nothing until a replica asks.
+        from .replication import LogShipper
+
+        shipper = LogShipper(db.store)
+        if db.telemetry.enabled:
+            shipper.attach_telemetry(db.telemetry)
+    if args.replica:
+        from .engine.federation import RemoteDatabase
+
+        for spec in args.replica:
+            name, _, url = spec.partition("=")
+            if not url:
+                print(f"error: --replica wants NAME=URL, got {spec!r}",
+                      file=sys.stderr)
+                return 1
+            remotes[name] = RemoteDatabase(url)
+
+    shell = Shell(
+        db,
+        out=out,
+        shipper=shipper,
+        replica_client=replica_client,
+        remotes=remotes,
+    )
     try:
         if args.serve is not None:
             from .engine import PrometheusServer
 
-            server = PrometheusServer(db, port=args.serve)
+            server = PrometheusServer(
+                db,
+                port=args.serve,
+                shipper=shipper,
+                replica_client=replica_client,
+                primary_url=args.replica_of,
+            )
             server.start()
-            print(f"serving on {server.url} (Ctrl-C to stop)", file=out)
+            print(f"serving on {server.url} (Ctrl-C to stop)", file=out, flush=True)
             try:
                 import time
 
@@ -357,6 +522,8 @@ def main(argv: list[str] | None = None, out: IO[str] = sys.stdout) -> int:
             shell.execute(line)
         return 0
     finally:
+        if replica_client is not None:
+            replica_client.stop()
         db.close()
 
 

@@ -206,6 +206,14 @@ class TransactionManager:
     def _commit_inner(self, txn: Transaction) -> int:
         durability_token: int | None = None
         with self._commit_lock:
+            if not txn.active:
+                # An abort (e.g. session eviction) won the race to the
+                # commit lock: the op log is gone.  Without this check
+                # the empty-commit fast path would report success for a
+                # transaction whose writes were just discarded.
+                raise TransactionError(
+                    f"transaction {txn.txn_id} is {txn.state.value}"
+                )
             self._validate(txn)
             if txn.op_count == 0:
                 # Read-only transaction: nothing to replay or flush.
@@ -236,6 +244,11 @@ class TransactionManager:
                 self._clock += 1
                 ts = self._clock
                 durability_token = self._flush(scope)
+                if self.store is not None:
+                    # Still under the commit lock, so this is exactly
+                    # this transaction's marker offset — the LSN a
+                    # session needs for read-your-writes routing.
+                    txn.commit_lsn = self.store.commit_lsn
                 # Stamp both what the replay journalled AND the txn's
                 # declared write set: relationship endpoints are written
                 # logically (their edge sets change) without their own

@@ -42,6 +42,10 @@ class Session:
         self.last_used = self.created_at
         self.commits = 0
         self.aborts = 0
+        #: Storage LSN of this session's newest commit (None before the
+        #: first, or on an in-memory store).  The read router uses it as
+        #: the read-your-writes floor when picking a replica.
+        self.last_commit_lsn: int | None = None
         self._txn: "Transaction | None" = None
         self._lock = threading.RLock()
 
@@ -95,22 +99,41 @@ class Session:
             finally:
                 self.touch()
             self.commits += 1
+            self.last_commit_lsn = txn.commit_lsn
             return ts
 
     def abort(self) -> None:
         with self._lock:
             txn, self._txn = self._txn, None
-            if txn is not None and txn.active:
-                txn.abort()
-                self.aborts += 1
             self.touch()
+        if txn is not None and self._abort_safely(txn):
+            self.aborts += 1
 
     def close(self) -> None:
         """Abort any open transaction and drop it (eviction/release)."""
         with self._lock:
             txn, self._txn = self._txn, None
-            if txn is not None and txn.active:
+        if txn is not None:
+            self._abort_safely(txn)
+
+    def _abort_safely(self, txn: "Transaction") -> bool:
+        """Abort ``txn`` without racing an in-flight commit of it.
+
+        ``Transaction.commit()`` is public, so a client holding
+        ``session.txn`` can be mid-replay inside the manager's commit
+        lock while the idle evictor closes this session.  A bare
+        ``txn.abort()`` here would clear the op log under the replay's
+        feet (half-applied commit).  Taking the commit lock first means
+        the abort lands strictly before the replay starts — the
+        committer re-checks ``active`` under the lock and bails — or
+        strictly after it finished, where the re-check below skips the
+        abort.  Returns True if this call performed the abort.
+        """
+        with self._manager.read_lock():
+            if txn.active:
                 txn.abort()
+                return True
+        return False
 
     def info(self) -> dict[str, Any]:
         return {
@@ -119,6 +142,7 @@ class Session:
             "idle_s": round(self.idle_s, 3),
             "commits": self.commits,
             "aborts": self.aborts,
+            "last_commit_lsn": self.last_commit_lsn,
         }
 
 

@@ -86,6 +86,10 @@ class Transaction:
         self.state = TxnState.ACTIVE
         #: Commit timestamp, set on successful commit.
         self.commit_ts: int | None = None
+        #: Storage commit LSN (log byte offset), set on successful
+        #: commit when a persistent store backs the manager.  Sessions
+        #: carry it forward for read-your-writes replica routing.
+        self.commit_lsn: int | None = None
         self._ops: list[_Op] = []
         # oid -> committed version when this txn first READ the object
         self._read_versions: dict[int, int] = {}

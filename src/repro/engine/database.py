@@ -56,6 +56,12 @@ class PrometheusDB:
         planner: execute queries through the cost-based planner
             (:mod:`repro.query.planner`); False falls back to the naive
             AST interpreter everywhere (the differential-test reference).
+        read_only: open the store as a replica — local writes raise and
+            the log only grows through
+            :meth:`~repro.storage.store.ObjectStore.apply_replicated`.
+        faults: a :class:`~repro.storage.faults.FaultPlan` threaded down
+            to the store's log file (crash/torn-write injection for the
+            recovery and replication sweeps).
     """
 
     def __init__(
@@ -67,6 +73,8 @@ class PrometheusDB:
         telemetry: Telemetry | None = None,
         slow_query_ms: float | None = None,
         planner: bool = True,
+        read_only: bool = False,
+        faults: Any | None = None,
     ) -> None:
         self.telemetry = (
             telemetry
@@ -74,7 +82,13 @@ class PrometheusDB:
             else Telemetry(enabled=True, slow_query_ms=slow_query_ms)
         )
         self.store: ObjectStore | None = (
-            ObjectStore(path, cache_size=cache_size, sync=sync)
+            ObjectStore(
+                path,
+                cache_size=cache_size,
+                sync=sync,
+                read_only=read_only,
+                faults=faults,
+            )
             if path is not None
             else None
         )

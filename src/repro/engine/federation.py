@@ -118,6 +118,22 @@ class RemoteDatabase:
         body = self._post("/query", {"query": text, "params": params or {}})
         return body["result"]
 
+    def query_with_lsn(
+        self, text: str, params: dict[str, Any] | None = None
+    ) -> tuple[Any, int | None]:
+        """Run a query and return ``(result, serving node's commit LSN)``.
+
+        The LSN is None for in-memory nodes (or servers predating
+        replication); staleness-bounded routing then cannot use them as
+        replicas.
+        """
+        body = self._post("/query", {"query": text, "params": params or {}})
+        lsn = body.get("lsn")
+        return body["result"], (None if lsn is None else int(lsn))
+
+    def replication_status(self) -> dict[str, Any]:
+        return self._get("/replicate/status")
+
     def ping(self) -> bool:
         try:
             self._get("/schema")
@@ -245,12 +261,18 @@ class CircuitBreaker:
 
 @dataclass
 class NodeResult:
-    """One node's answer (or failure) to a federated query."""
+    """One node's answer (or failure) to a federated query.
+
+    ``served_by`` names which physical endpoint answered — the node
+    itself, or one of its read replicas when
+    :meth:`Federation.query_all_reads` off-loaded the read.
+    """
 
     node: str
     result: Any = None
     error: str = ""
     elapsed: float = 0.0
+    served_by: str = ""
 
     @property
     def ok(self) -> bool:
@@ -268,6 +290,12 @@ class Federation:
     """
 
     nodes: dict[str, RemoteDatabase] = field(default_factory=dict)
+    #: Per-node read replicas: node name -> {replica name -> client}.
+    #: Reads through :meth:`query_all_reads` prefer these; writes and
+    #: :meth:`query_all` never touch them.
+    replicas: dict[str, dict[str, RemoteDatabase]] = field(
+        default_factory=dict
+    )
     retry: RetryPolicy | None = field(default_factory=RetryPolicy)
     deadline: float | None = 30.0
     breaker_threshold: int = 5
@@ -309,8 +337,21 @@ class Federation:
             url_or_client = RemoteDatabase(url_or_client)
         self.nodes[name] = url_or_client
 
+    def add_read_replica(
+        self, node: str, name: str, url_or_client: str | RemoteDatabase
+    ) -> None:
+        """Register a read replica of ``node`` (its own breaker key is
+        ``node/name``)."""
+        if node not in self.nodes:
+            raise FederationError(f"unknown federation node {node!r}")
+        if isinstance(url_or_client, str):
+            url_or_client = RemoteDatabase(url_or_client)
+        self.replicas.setdefault(node, {})[name] = url_or_client
+
     def remove_node(self, name: str) -> None:
         self.nodes.pop(name, None)
+        for replica in self.replicas.pop(name, {}):
+            self._breakers.pop(f"{name}/{replica}", None)
         self._breakers.pop(name, None)
 
     def __len__(self) -> int:
@@ -459,6 +500,94 @@ class Federation:
         finally:
             # Never wait for hung worker threads; their sockets time out
             # on their own and the results are already discarded.
+            pool.shutdown(wait=False, cancel_futures=True)
+        return [results[name] for name in names]
+
+    def query_all_reads(
+        self,
+        text: str,
+        params: dict[str, Any] | None = None,
+        staleness_bytes: float | None = None,
+        min_lsn: int = 0,
+        deadline: float | None = None,
+    ) -> list[NodeResult]:
+        """Fan a read out, preferring each node's replicas.
+
+        Per node: try its replicas first (in name order), each guarded
+        by its own ``node/replica`` circuit breaker; fall back to the
+        primary when the replica fails, reports no LSN, lags behind
+        ``min_lsn`` (the caller's read-your-writes floor), or — when
+        ``staleness_bytes`` is set — lags the primary's commit LSN by
+        more than that many bytes.  ``served_by`` on each result records
+        which endpoint actually answered.
+        """
+        if deadline is None:
+            deadline = self.deadline
+        names = sorted(self.nodes)
+        if not names:
+            return []
+
+        def run(name: str) -> tuple[Any, float, str]:
+            started = time.monotonic()
+            replicas = self.replicas.get(name, {})
+            for replica_name in sorted(replicas):
+                key = f"{name}/{replica_name}"
+                client = replicas[replica_name]
+                floor = min_lsn
+                try:
+                    if staleness_bytes is not None:
+                        status = self._call_node(
+                            name, self.nodes[name].replication_status
+                        )
+                        primary_lsn = int(status.get("commit_lsn") or 0)
+                        floor = max(floor, primary_lsn - int(staleness_bytes))
+                    result, lsn = self._call_node(
+                        key, lambda: client.query_with_lsn(text, params)
+                    )
+                except (FederationError, CircuitOpenError):
+                    continue
+                if lsn is None or lsn < floor:
+                    # Too stale for this read; the replica is healthy,
+                    # so its breaker is untouched.
+                    continue
+                return result, time.monotonic() - started, key
+            result = self._call_node(
+                name, lambda: self.nodes[name].query(text, params)
+            )
+            return result, time.monotonic() - started, name
+
+        results: dict[str, NodeResult] = {}
+        pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(self.max_workers, len(names)),
+            thread_name_prefix="federation-read",
+        )
+        try:
+            futures = {pool.submit(run, name): name for name in names}
+            done, not_done = concurrent.futures.wait(
+                futures, timeout=deadline
+            )
+            for future in done:
+                name = futures[future]
+                try:
+                    result, elapsed, served_by = future.result()
+                    results[name] = NodeResult(
+                        node=name,
+                        result=result,
+                        elapsed=elapsed,
+                        served_by=served_by,
+                    )
+                except Exception as exc:
+                    results[name] = NodeResult(node=name, error=str(exc))
+            for future in not_done:
+                name = futures[future]
+                future.cancel()
+                results[name] = NodeResult(
+                    node=name,
+                    error=f"deadline exceeded after {deadline}s",
+                    elapsed=deadline or 0.0,
+                )
+                self.breaker(name).record_failure()
+        finally:
             pool.shutdown(wait=False, cancel_futures=True)
         return [results[name] for name in names]
 

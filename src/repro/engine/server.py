@@ -20,6 +20,19 @@ Endpoints::
                                         (text may start with EXPLAIN or
                                         PROFILE for a plan report)
 
+Replication (repro.replication)::
+
+    POST /replicate/pull              — {"from_lsn": n, "prefix_crc": c,
+                                        "wait_s": w} → 200 binary frame,
+                                        204 caught-up, 409 diverged
+                                        (primary role only)
+    GET  /replicate/status            — shipper/applier status + role
+
+A server wired as a *replica* (``replica_client`` set) answers 403 to
+``/session/<id>/apply`` and ``/commit`` with the primary's URL in the
+body, so write clients can follow the topology.  Read queries carry the
+serving node's ``lsn`` so clients can enforce staleness bounds.
+
 Session-scoped transactions (repro.concurrency)::
 
     POST /session                     — issue a token; 201 {"session": id}
@@ -114,6 +127,12 @@ class _Handler(BaseHTTPRequestHandler):
     db: PrometheusDB  # injected by make_server
     federation: Federation | None = None  # optional, injected by make_server
     started_at: float = 0.0  # server start time, injected by make_server
+    # Replication wiring (both optional, injected by PrometheusServer):
+    # a LogShipper makes this node a primary, a ReplicationClient makes
+    # it a replica serving reads and refusing writes.
+    shipper: Any = None
+    replica_client: Any = None
+    primary_url: str | None = None
 
     # Route protocol-level chatter through the stdlib logging tree
     # instead of discarding it (or spamming stderr).
@@ -239,6 +258,20 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             self._send(200, session.info())
             return
+        if parts == ["replicate", "status"]:
+            payload: dict[str, Any] = {
+                "role": self._role(),
+                "commit_lsn": db.store.commit_lsn
+                if db.store is not None
+                else None,
+            }
+            if self.shipper is not None:
+                payload["shipping"] = self.shipper.status()
+            if self.replica_client is not None:
+                payload["applying"] = self.replica_client.status()
+                payload["primary_url"] = self.primary_url
+            self._send(200, payload)
+            return
         if parts == ["classifications"]:
             self._send(200, db.classifications.names())
             return
@@ -316,7 +349,35 @@ class _Handler(BaseHTTPRequestHandler):
                 }
                 for name in sorted(self.federation.nodes)
             }
+        if self.shipper is not None or self.replica_client is not None:
+            replication: dict[str, Any] = {"role": self._role()}
+            if self.shipper is not None:
+                status = self.shipper.status()
+                replication["commit_lsn"] = status["commit_lsn"]
+                replication["replicas"] = status["replicas"]
+                replication["lag_bytes"] = status["lag_bytes"]
+            if self.replica_client is not None:
+                replication["applying"] = self.replica_client.status()
+                if not self.replica_client.running:
+                    payload["status"] = "degraded"
+            payload["replication"] = replication
         return payload
+
+    def _role(self) -> str:
+        if self.replica_client is not None:
+            return "replica"
+        if self.shipper is not None:
+            return "primary"
+        return "standalone"
+
+    def _run_query(self, text: str, params: dict[str, Any] | None) -> Any:
+        """Run a read, under the applier's read lock on a replica so the
+        result is a commit-boundary snapshot, never a half-applied
+        batch."""
+        if self.replica_client is not None:
+            with self.replica_client.applier.read_lock():
+                return self.db.query(text, params=params)
+        return self.db.query(text, params=params)
 
     def _route_post(self) -> None:
         try:
@@ -334,16 +395,54 @@ class _Handler(BaseHTTPRequestHandler):
                 self._error(400, "missing 'query'")
                 return
             try:
-                result = self.db.query(text, params=params)
+                result = self._run_query(text, params)
             except PrometheusError as exc:
                 self._error(400, str(exc))
                 return
-            self._send(200, {"result": jsonable(result)})
+            body: dict[str, Any] = {"result": jsonable(result)}
+            if self.db.store is not None:
+                # The LSN this read reflects; router/checker clients use
+                # it to verify their staleness bound was honoured.
+                body["lsn"] = self.db.store.commit_lsn
+            self._send(200, body)
+            return
+        if parts == ["replicate", "pull"]:
+            self._route_pull(payload)
             return
         if parts and parts[0] == "session":
             self._route_session(parts[1:], payload)
             return
         self._error(404, f"no route for {self.path!r}")
+
+    def _route_pull(self, payload: dict[str, Any]) -> None:
+        """One replica pull against the local shipper (primary role)."""
+        if self.shipper is None:
+            self._error(404, "this node does not ship its log")
+            return
+        try:
+            from_lsn = int(payload.get("from_lsn", 0))
+            wait_s = float(payload.get("wait_s", 0.0))
+            prefix_crc = payload.get("prefix_crc")
+            prefix_crc = None if prefix_crc is None else int(prefix_crc)
+            max_bytes = payload.get("max_bytes")
+            max_bytes = None if max_bytes is None else int(max_bytes)
+        except (TypeError, ValueError):
+            self._error(400, "pull fields must be numeric")
+            return
+        status, frame = self.shipper.pull(
+            from_lsn,
+            prefix_crc=prefix_crc,
+            wait_s=wait_s,
+            max_bytes=max_bytes,
+            replica=str(payload.get("replica", "")),
+        )
+        if status == "diverged":
+            self._send(409, {"status": "diverged"})
+            return
+        if status == "empty":
+            self._send_bytes(204, "application/octet-stream", b"")
+            return
+        self._send_bytes(200, "application/octet-stream", frame or b"")
 
     # -- session-scoped transactions (repro.concurrency) --------------------
 
@@ -371,8 +470,18 @@ class _Handler(BaseHTTPRequestHandler):
             # Queries run over committed state (read-committed): the
             # session's staged writes are not yet query-visible — see
             # docs/CONCURRENCY.md.
-            result = db.query(text, params=payload.get("params", {}))
+            result = self._run_query(text, payload.get("params", {}))
             self._send(200, {"result": jsonable(result)})
+            return
+        if action in ("apply", "commit") and self.replica_client is not None:
+            self._send(
+                403,
+                {
+                    "error": "this node is a read replica; "
+                    "writes go to the primary",
+                    "primary_url": self.primary_url,
+                },
+            )
             return
         if action == "apply":
             ops = payload.get("ops")
@@ -390,7 +499,16 @@ class _Handler(BaseHTTPRequestHandler):
                     {"error": str(exc), "conflict": True, "retry": True},
                 )
                 return
-            self._send(200, {"committed": True, "commit_ts": ts})
+            self._send(
+                200,
+                {
+                    "committed": True,
+                    "commit_ts": ts,
+                    # For read-your-writes routing: reads bounded by this
+                    # LSN must go to nodes that have applied it.
+                    "commit_lsn": session.last_commit_lsn,
+                },
+            )
             return
         if action == "abort":
             session.abort()
@@ -474,11 +592,21 @@ class PrometheusServer:
         host: str = "127.0.0.1",
         port: int = 0,
         federation: Federation | None = None,
+        shipper: Any = None,
+        replica_client: Any = None,
+        primary_url: str | None = None,
     ):
         handler = type(
             "BoundHandler",
             (_Handler,),
-            {"db": db, "federation": federation, "started_at": time.time()},
+            {
+                "db": db,
+                "federation": federation,
+                "started_at": time.time(),
+                "shipper": shipper,
+                "replica_client": replica_client,
+                "primary_url": primary_url,
+            },
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None

@@ -131,6 +131,19 @@ class ClassificationError(PrometheusError):
 
 
 # ---------------------------------------------------------------------------
+# Replication
+# ---------------------------------------------------------------------------
+
+class ReplicationError(PrometheusError):
+    """Log shipping failed (bad frame, protocol error, dead stream)."""
+
+
+class DivergedError(ReplicationError):
+    """The replica's log is not a prefix of the primary's (e.g. the
+    primary compacted); the replica must reset and re-sync from empty."""
+
+
+# ---------------------------------------------------------------------------
 # Taxonomy substrate
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,49 @@
+"""Log-shipping replication: primary shipper, replicas, read routing.
+
+Physical replication for Prometheus: the primary serves raw byte ranges
+of its record log (``stream``), replicas splice them in through the
+recovery path and refresh their object layer incrementally (``replica``),
+and a staleness-bounded router spreads reads across the fleet
+(``router``).  LSNs are byte offsets; equality of LSN implies byte
+identity of state — the invariant every test in
+``tests/replication/`` leans on.
+"""
+
+from .replica import (
+    HttpPullTransport,
+    ReplicaApplier,
+    ReplicationClient,
+    RWLock,
+)
+from .router import ReadNode, ReadRouter, RoutedResult, UNBOUNDED
+from .stream import (
+    BASE_LSN,
+    DEFAULT_MAX_BYTES,
+    FRAME_MAGIC,
+    FRAME_VERSION,
+    PREFIX_CRC_WINDOW,
+    LogShipper,
+    ReplicaPullState,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "BASE_LSN",
+    "DEFAULT_MAX_BYTES",
+    "FRAME_MAGIC",
+    "FRAME_VERSION",
+    "PREFIX_CRC_WINDOW",
+    "UNBOUNDED",
+    "HttpPullTransport",
+    "LogShipper",
+    "ReadNode",
+    "ReadRouter",
+    "ReplicaApplier",
+    "ReplicaPullState",
+    "ReplicationClient",
+    "RoutedResult",
+    "RWLock",
+    "decode_frame",
+    "encode_frame",
+]

@@ -1,0 +1,448 @@
+"""Replica-side replication: apply shipped batches, serve reads.
+
+A replica is a normal :class:`~repro.engine.database.PrometheusDB` whose
+store was opened ``read_only`` and whose log grows only by
+:meth:`~repro.storage.store.ObjectStore.apply_replicated`.  Three pieces
+live here:
+
+* :class:`RWLock` — many concurrent readers (POOL queries) or one
+  writer (the applier).  Queries therefore always see a commit-boundary
+  snapshot: a half-applied batch is never query-visible.
+* :class:`ReplicaApplier` — splices a decoded frame into the store and
+  refreshes the object layer *incrementally*: changed objects are
+  re-materialised from their records, extents, relationship indexes and
+  attribute indexes are patched in place, with the event bus muted so
+  no rules fire (they already fired on the primary).
+* :class:`ReplicationClient` — the pull loop: long-polls the primary
+  (via any transport with a ``pull`` method — the HTTP one or an
+  in-process :class:`~repro.replication.stream.LogShipper`), applies
+  frames, resets and re-syncs from scratch when the primary reports
+  divergence (e.g. it compacted).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+import zlib
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
+
+from ..core.relationships import RelationshipInstance
+from ..core.schema import _META_CLASS
+from ..core.synonyms import SynonymRegistry
+from ..errors import DivergedError, ReplicationError
+from ..storage.store import AppliedBatch
+from ..telemetry import Telemetry
+from .stream import BASE_LSN, PREFIX_CRC_WINDOW, decode_frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.database import PrometheusDB
+
+
+class RWLock:
+    """Readers-writer lock: queries share, the applier excludes."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        with self._cond:
+            while self._writer:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        with self._cond:
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
+class ReplicaApplier:
+    """Applies replicated batches to a replica database in place."""
+
+    def __init__(
+        self, db: "PrometheusDB", telemetry: Telemetry | None = None
+    ) -> None:
+        if db.store is None:
+            raise ReplicationError("a replica needs a persistent store")
+        self.db = db
+        self.telemetry = (
+            telemetry if telemetry is not None else db.telemetry
+        )
+        self.lock = RWLock()
+        self.batches_applied = 0
+        self.bytes_applied = 0
+        self.resyncs = 0
+        self.last_apply_at = 0.0
+
+    # -- reads -------------------------------------------------------------
+
+    @contextmanager
+    def read_lock(self) -> Iterator[None]:
+        """Hold this around queries for a commit-boundary snapshot."""
+        with self.lock.read():
+            yield
+
+    def query(self, text: str, params: dict[str, Any] | None = None) -> Any:
+        with self.lock.read():
+            return self.db.query(text, params=params)
+
+    @property
+    def applied_lsn(self) -> int:
+        return self.db.store.commit_lsn  # type: ignore[union-attr]
+
+    # -- applying ----------------------------------------------------------
+
+    def apply_frame(self, frame: bytes) -> AppliedBatch | None:
+        """Decode, validate and apply one shipped frame.
+
+        Duplicate delivery is tolerated (the overlap is trimmed); a gap
+        — the frame starts past this log's end — raises, because
+        splicing it would corrupt byte identity.
+        """
+        from_lsn, to_lsn, payload = decode_frame(frame)
+        store = self.db.store
+        assert store is not None
+        started = time.perf_counter_ns()
+        with self.lock.write():
+            position = store.replication_position
+            if to_lsn <= position:
+                return None  # duplicate; already applied
+            if from_lsn > position:
+                raise ReplicationError(
+                    f"replication gap: frame starts at {from_lsn}, "
+                    f"log ends at {position}"
+                )
+            if from_lsn < position:
+                payload = payload[position - from_lsn:]
+            batch = store.apply_replicated(payload)
+            self._refresh_model(batch)
+        self.batches_applied += 1
+        self.bytes_applied += len(payload)
+        self.last_apply_at = time.monotonic()
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "repro_replication_batches_applied_total",
+                help="Shipped batches applied by this replica",
+            ).inc()
+            tel.registry.counter(
+                "repro_replication_bytes_applied_total",
+                help="Log payload bytes applied by this replica",
+            ).inc(len(payload))
+            tel.registry.histogram(
+                "repro_replication_apply_ms",
+                help="Batch apply latency, model refresh included (ms)",
+            ).observe((time.perf_counter_ns() - started) / 1e6)
+        return batch
+
+    def _refresh_model(self, batch: AppliedBatch) -> None:
+        """Patch the object layer to match the newly applied commits.
+
+        Runs with the event bus muted: rules, views and the planner's
+        event hooks must not re-fire for changes that already ran their
+        course on the primary.  Attribute indexes and the relationship
+        registry are therefore patched directly (the same maintenance
+        the event path would have done), and nothing is marked dirty —
+        a replica has nothing to flush.
+        """
+        schema = self.db.schema
+        indexes = self.db.indexes
+        with schema.events.muted():
+            for oid, fields in batch.changes:
+                old = schema._objects.get(oid)
+                if old is not None:
+                    for index in indexes._covering(old.pclass.name, None):
+                        index.impl.remove(old.get(index.attribute), oid)
+                    if isinstance(old, RelationshipInstance):
+                        schema.relationships.unindex(old)
+                    schema._extents[old.pclass.name].discard(oid)
+                    schema._objects.pop(oid, None)
+                    old._mark_deleted()
+                if fields is None:
+                    if oid == schema._meta_oid:
+                        schema._meta_oid = None
+                    schema.synonyms.forget(oid)
+                    continue
+                if fields.get("class") == _META_CLASS:
+                    schema._meta_oid = oid
+                    schema.synonyms = SynonymRegistry()
+                    schema.synonyms.load_storable(fields.get("synonyms", []))
+                    extras = fields.get("extras", {})
+                    if isinstance(extras, dict):
+                        schema.meta_extras.clear()
+                        schema.meta_extras.update(extras)
+                    continue
+                obj = schema._from_record(oid, fields)
+                schema._objects[oid] = obj
+                schema._extents[obj.pclass.name].add(oid)
+                if isinstance(obj, RelationshipInstance):
+                    schema.relationships.index(obj)
+                for index in indexes._covering(obj.pclass.name, None):
+                    index.impl.insert(obj.get(index.attribute), oid)
+
+    def reset(self) -> None:
+        """Divergence recovery: drop all replicated state, start empty.
+
+        The primary rewrote its log (compaction), so byte offsets no
+        longer line up; the only safe move for a prefix-replica is a
+        full re-sync from LSN :data:`~repro.replication.stream.BASE_LSN`.
+        """
+        schema = self.db.schema
+        store = self.db.store
+        assert store is not None
+        with self.lock.write():
+            with schema.events.muted():
+                for oid in list(schema._objects):
+                    obj = schema._objects.pop(oid)
+                    schema._extents[obj.pclass.name].discard(oid)
+                    if isinstance(obj, RelationshipInstance):
+                        schema.relationships.unindex(obj)
+                    obj._mark_deleted()
+                self.db.indexes._rebuild_all()
+            schema.synonyms = SynonymRegistry()
+            schema.meta_extras.clear()
+            schema._meta_oid = None
+            store.reset_for_resync()
+        self.resyncs += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "repro_replication_resyncs_total",
+                help="Full re-syncs forced by primary divergence",
+            ).inc()
+
+    def status(self) -> dict[str, Any]:
+        store = self.db.store
+        assert store is not None
+        return {
+            "applied_lsn": store.commit_lsn,
+            "replication_position": store.replication_position,
+            "batches_applied": self.batches_applied,
+            "bytes_applied": self.bytes_applied,
+            "resyncs": self.resyncs,
+            "last_apply_age_s": (
+                round(time.monotonic() - self.last_apply_at, 3)
+                if self.last_apply_at
+                else None
+            ),
+        }
+
+
+class HttpPullTransport:
+    """Pulls frames from a primary's ``POST /replicate/pull`` endpoint."""
+
+    def __init__(self, url: str, timeout_margin_s: float = 10.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout_margin_s = timeout_margin_s
+
+    def pull(
+        self,
+        from_lsn: int,
+        prefix_crc: int | None = None,
+        wait_s: float = 0.0,
+        max_bytes: int | None = None,
+        replica: str = "",
+    ) -> tuple[str, bytes | None]:
+        body: dict[str, Any] = {
+            "from_lsn": from_lsn,
+            "wait_s": wait_s,
+            "replica": replica,
+        }
+        if prefix_crc is not None:
+            body["prefix_crc"] = prefix_crc
+        if max_bytes is not None:
+            body["max_bytes"] = max_bytes
+        request = urllib.request.Request(
+            self.url + "/replicate/pull",
+            data=json.dumps(body).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=wait_s + self.timeout_margin_s
+            ) as response:
+                if response.status == 204:
+                    return "empty", None
+                return "frame", response.read()
+        except urllib.error.HTTPError as exc:
+            if exc.code == 409:
+                return "diverged", None
+            raise ReplicationError(
+                f"pull failed: HTTP {exc.code} {exc.reason}"
+            ) from exc
+        except (urllib.error.URLError, OSError) as exc:
+            raise ReplicationError(f"pull failed: {exc}") from exc
+
+
+class ReplicationClient:
+    """The replica's pull loop: catch up, then long-poll forever.
+
+    ``transport`` is anything with the shipper's ``pull`` signature — an
+    :class:`HttpPullTransport` against a remote primary, or a local
+    :class:`~repro.replication.stream.LogShipper` for in-process tests
+    (which is also how the fault-injection sweep drives torn batches
+    deterministically).
+    """
+
+    def __init__(
+        self,
+        applier: ReplicaApplier,
+        transport: Any,
+        name: str = "replica",
+        poll_wait_s: float = 10.0,
+        error_backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+    ) -> None:
+        self.applier = applier
+        self.transport = transport
+        self.name = name
+        self.poll_wait_s = poll_wait_s
+        self.error_backoff_s = error_backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.pull_errors = 0
+        self.last_error: str | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- one pull ----------------------------------------------------------
+
+    def _position(self) -> int:
+        store = self.applier.db.store
+        assert store is not None
+        return store.replication_position
+
+    def _prefix_crc(self) -> int | None:
+        position = self._position()
+        if position <= BASE_LSN:
+            return None
+        store = self.applier.db.store
+        assert store is not None
+        window_start = max(BASE_LSN, position - PREFIX_CRC_WINDOW)
+        return zlib.crc32(store.read_log_bytes(window_start, position))
+
+    def pull_once(self, wait_s: float = 0.0) -> AppliedBatch | None:
+        """One pull + apply; handles divergence by resetting.
+
+        Returns the applied batch, or None when the primary had nothing
+        new.  Raises :class:`~repro.errors.ReplicationError` on
+        transport or frame errors (the loop retries; callers of the
+        synchronous API see the failure).
+        """
+        status, frame = self.transport.pull(
+            self._position(),
+            prefix_crc=self._prefix_crc(),
+            wait_s=wait_s,
+            replica=self.name,
+        )
+        if status == "empty":
+            return None
+        if status == "diverged":
+            self.applier.reset()
+            raise DivergedError(
+                f"replica {self.name}: primary log diverged; "
+                "reset for full re-sync"
+            )
+        if status != "frame" or frame is None:
+            raise ReplicationError(f"unexpected pull status {status!r}")
+        position = self._position()
+        batch = self.applier.apply_frame(frame)
+        if self._position() == position:
+            # A frame was shipped but nothing could be spliced: the
+            # shipper's byte ceiling is smaller than the next log entry,
+            # and retrying the same pull would spin forever.
+            raise ReplicationError(
+                f"replica {self.name}: frame from {position} made no "
+                "progress (max_bytes below the next entry size?)"
+            )
+        return batch
+
+    def catch_up(self, deadline_s: float = 30.0) -> int:
+        """Pull until the primary reports no new data; returns the
+        applied LSN.  Divergence resets and keeps pulling."""
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            try:
+                if self.pull_once(wait_s=0.0) is None:
+                    return self.applier.applied_lsn
+            except DivergedError:
+                continue  # reset already happened; restart from empty
+        raise ReplicationError(
+            f"replica {self.name}: catch-up exceeded {deadline_s}s"
+        )
+
+    # -- the background loop ----------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name=f"replication-{self.name}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _run(self) -> None:
+        backoff = self.error_backoff_s
+        while not self._stop.is_set():
+            try:
+                self.pull_once(wait_s=self.poll_wait_s)
+            except DivergedError:
+                backoff = self.error_backoff_s  # reset is progress
+            except ReplicationError as exc:
+                self.pull_errors += 1
+                self.last_error = str(exc)
+                tel = self.applier.telemetry
+                if tel.enabled:
+                    tel.registry.counter(
+                        "repro_replication_pull_errors_total",
+                        help="Failed pull attempts (transport or frame)",
+                    ).inc()
+                # Mid-stream reconnect: back off, then resume from our
+                # own log end — the cursor is the file, nothing to redo.
+                if self._stop.wait(backoff):
+                    return
+                backoff = min(backoff * 2, self.max_backoff_s)
+            else:
+                backoff = self.error_backoff_s
+                self.last_error = None
+
+    def status(self) -> dict[str, Any]:
+        return self.applier.status() | {
+            "name": self.name,
+            "running": self.running,
+            "pull_errors": self.pull_errors,
+            "last_error": self.last_error,
+        }

@@ -1,0 +1,183 @@
+"""Staleness-bounded read routing across the primary and its replicas.
+
+The router answers one question per read: *which node may serve this
+query without violating the client's staleness bound or its own
+read-your-writes history?*  The rules, in LSN (byte-offset) terms:
+
+* A replica at applied LSN ``La`` may serve a read with bound ``B``
+  (bytes) iff ``La >= primary_commit_lsn - B``.
+* A session that committed at LSN ``Lc`` must read from nodes with
+  ``La >= Lc`` (read-your-writes) — until replication catches up that
+  usually means the primary.
+* ``B = 0`` (the default) demands full freshness; only a fully
+  caught-up replica or the primary qualifies.
+
+The router is deliberately transport-agnostic: nodes are anything with
+``query``/``applied_lsn``-shaped callables, so the same class routes
+across in-process appliers (tests) and HTTP remotes (federation).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import ReplicationError
+from ..telemetry import DISABLED, Telemetry
+
+#: Accept any staleness — route purely for load spreading.
+UNBOUNDED = float("inf")
+
+
+@dataclass
+class ReadNode:
+    """One routable read target.
+
+    ``query_fn(text, params)`` runs a query; ``lsn_fn()`` reports the
+    node's applied commit LSN; ``is_primary`` marks the always-fresh
+    fallback (its ``lsn_fn`` should report the primary commit LSN).
+    """
+
+    name: str
+    query_fn: Callable[[str, dict[str, Any] | None], Any]
+    lsn_fn: Callable[[], int]
+    is_primary: bool = False
+    reads: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "primary": self.is_primary,
+            "reads": self.reads,
+            "errors": self.errors,
+        }
+
+
+@dataclass
+class RoutedResult:
+    """A query result plus where/why it ran — the checker records this."""
+
+    node: str
+    result: Any
+    node_lsn: int
+    primary_lsn: int
+    reason: str = "fresh-enough"
+
+
+class ReadRouter:
+    """Routes reads to the freshest-eligible, least-loaded node."""
+
+    def __init__(
+        self,
+        primary: ReadNode,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if not primary.is_primary:
+            raise ReplicationError("the router's first node must be primary")
+        self.primary = primary
+        self.telemetry = telemetry if telemetry is not None else DISABLED
+        self._lock = threading.Lock()
+        self._replicas: dict[str, ReadNode] = {}
+        self._rr = 0  # round-robin tiebreak among eligible replicas
+
+    def add_replica(self, node: ReadNode) -> None:
+        if node.is_primary:
+            raise ReplicationError("replicas must not be marked primary")
+        with self._lock:
+            self._replicas[node.name] = node
+
+    def remove_replica(self, name: str) -> None:
+        with self._lock:
+            self._replicas.pop(name, None)
+
+    def replicas(self) -> list[str]:
+        with self._lock:
+            return sorted(self._replicas)
+
+    # -- routing -----------------------------------------------------------
+
+    def choose(
+        self,
+        staleness_bytes: float = 0.0,
+        min_lsn: int = 0,
+    ) -> tuple[ReadNode, int, int, str]:
+        """Pick a node; returns (node, node_lsn, primary_lsn, reason).
+
+        ``staleness_bytes`` is the client's bound B; ``min_lsn`` is the
+        read-your-writes floor (a session passes its last commit LSN).
+        Preference order: an eligible replica (round-robin among them),
+        else the primary.
+        """
+        primary_lsn = self.primary.lsn_fn()
+        floor = max(min_lsn, primary_lsn - staleness_bytes)
+        with self._lock:
+            candidates = []
+            for node in self._replicas.values():
+                lsn = node.lsn_fn()
+                if lsn >= floor:
+                    candidates.append((node, lsn))
+            if candidates:
+                self._rr += 1
+                node, lsn = candidates[self._rr % len(candidates)]
+                return node, lsn, primary_lsn, "fresh-enough"
+        reason = (
+            "read-your-writes" if min_lsn > 0 else "no-replica-fresh-enough"
+        )
+        if not self._replicas:
+            reason = "no-replicas"
+        return self.primary, primary_lsn, primary_lsn, reason
+
+    def query(
+        self,
+        text: str,
+        params: dict[str, Any] | None = None,
+        staleness_bytes: float = 0.0,
+        min_lsn: int = 0,
+    ) -> RoutedResult:
+        """Route and run one read; falls back to the primary on replica
+        failure (the replica's error count feeds eviction decisions)."""
+        node, lsn, primary_lsn, reason = self.choose(staleness_bytes, min_lsn)
+        try:
+            result = node.query_fn(text, params)
+        except Exception:
+            node.errors += 1
+            self._count("repro_router_replica_errors_total")
+            if node.is_primary:
+                raise
+            node = self.primary
+            lsn = primary_lsn = self.primary.lsn_fn()
+            reason = "replica-error-fallback"
+            result = node.query_fn(text, params)
+        node.reads += 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "repro_router_reads_total",
+                {"node": node.name},
+                help="Reads served per routed node",
+            ).inc()
+        return RoutedResult(
+            node=node.name,
+            result=result,
+            node_lsn=lsn,
+            primary_lsn=primary_lsn,
+            reason=reason,
+        )
+
+    def _count(self, name: str) -> None:
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter(name).inc()
+
+    def status(self) -> dict[str, Any]:
+        with self._lock:
+            nodes = {
+                name: node.as_dict() | {"lsn": node.lsn_fn()}
+                for name, node in sorted(self._replicas.items())
+            }
+        return {
+            "primary": self.primary.as_dict()
+            | {"lsn": self.primary.lsn_fn()},
+            "replicas": nodes,
+        }

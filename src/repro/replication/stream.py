@@ -1,0 +1,271 @@
+"""Log-shipping wire format and the primary-side shipper.
+
+Replication in Prometheus is *physical*: the unit shipped is a raw byte
+range of the primary's :class:`~repro.storage.log.RecordLog`, so a
+replica's log file is always a byte-identical prefix of the primary's.
+An LSN is therefore just a byte offset, and "two nodes are at the same
+LSN" literally means their files hash identically up to it — the
+property the crash-recovery sweep asserts.
+
+Frame format (all integers big-endian)::
+
+    magic(4 = b"PLSB") | version(1) | from_lsn(8) | to_lsn(8) |
+    crc32(payload)(4) | payload
+
+The payload is the log bytes ``[from_lsn, to_lsn)`` where ``to_lsn`` is
+a commit-marker boundary on the primary: every batch ends at a
+transaction boundary, so a replica that applied a whole frame is at a
+consistent state.  Entries of *aborted* transactions that precede the
+next commit marker ride along inside later frames (they are dead weight
+on the primary and stay dead weight on the replica — byte identity is
+preserved, and the apply path ignores uncommitted entries exactly like
+recovery does).
+
+Divergence: a replica proves its log is still a prefix of the primary's
+by sending the CRC of its last ``PREFIX_CRC_WINDOW`` bytes with every
+pull.  After the primary compacts (offsets change wholesale) the check
+fails, the shipper answers "diverged", and the replica resets to empty
+and re-syncs from scratch.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..errors import ReplicationError
+from ..storage.log import HEADER
+from ..telemetry import DISABLED, Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage.store import ObjectStore
+
+FRAME_MAGIC = b"PLSB"
+FRAME_VERSION = 1
+_FRAME_HEAD = struct.Struct(">4sBQQI")  # magic, version, from, to, crc
+
+#: Bytes of trailing log context hashed into the pull-time prefix check.
+PREFIX_CRC_WINDOW = 64
+
+#: Smallest LSN: the log's fixed file header (identical on every node).
+BASE_LSN = len(HEADER)
+
+#: Default ceiling on one frame's payload.
+DEFAULT_MAX_BYTES = 4 * 1024 * 1024
+
+
+def encode_frame(from_lsn: int, to_lsn: int, payload: bytes) -> bytes:
+    return (
+        _FRAME_HEAD.pack(
+            FRAME_MAGIC, FRAME_VERSION, from_lsn, to_lsn, zlib.crc32(payload)
+        )
+        + payload
+    )
+
+
+def decode_frame(data: bytes) -> tuple[int, int, bytes]:
+    """Validate and unpack one frame; returns (from_lsn, to_lsn, payload).
+
+    Raises :class:`~repro.errors.ReplicationError` on any structural
+    problem — a torn frame (network cut, fault injection) never reaches
+    the apply path.
+    """
+    if len(data) < _FRAME_HEAD.size:
+        raise ReplicationError(
+            f"short frame: {len(data)} < {_FRAME_HEAD.size} header bytes"
+        )
+    magic, version, from_lsn, to_lsn, crc = _FRAME_HEAD.unpack(
+        data[: _FRAME_HEAD.size]
+    )
+    if magic != FRAME_MAGIC:
+        raise ReplicationError(f"bad frame magic {magic!r}")
+    if version != FRAME_VERSION:
+        raise ReplicationError(f"unsupported frame version {version}")
+    payload = data[_FRAME_HEAD.size:]
+    if len(payload) != to_lsn - from_lsn:
+        raise ReplicationError(
+            f"frame length mismatch: payload {len(payload)} bytes for "
+            f"range [{from_lsn}, {to_lsn})"
+        )
+    if zlib.crc32(payload) != crc:
+        raise ReplicationError("frame checksum mismatch (torn shipment)")
+    return from_lsn, to_lsn, payload
+
+
+@dataclass
+class ReplicaPullState:
+    """What the primary knows about one replica, from its pulls."""
+
+    name: str
+    acked_lsn: int = 0  # from_lsn of the latest pull == bytes it holds
+    pulls: int = 0
+    bytes_shipped: int = 0
+    last_pull_at: float = 0.0
+    diverged: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "acked_lsn": self.acked_lsn,
+            "pulls": self.pulls,
+            "bytes_shipped": self.bytes_shipped,
+            "last_pull_age_s": (
+                round(time.monotonic() - self.last_pull_at, 3)
+                if self.last_pull_at
+                else None
+            ),
+            "diverged": self.diverged,
+        }
+
+
+class LogShipper:
+    """Primary-side pull server: frames log ranges for replicas.
+
+    One shipper serves every replica; it keeps no per-replica cursors of
+    its own (the replica's ``from_lsn`` *is* the cursor), only optional
+    bookkeeping for ``/health`` and the lag gauge.  ``pull`` long-polls:
+    a caught-up replica parks in :meth:`ObjectStore.wait_for_commit_lsn`
+    until the next commit or the wait budget expires.
+    """
+
+    def __init__(
+        self,
+        store: "ObjectStore",
+        telemetry: Telemetry | None = None,
+        max_wait_s: float = 25.0,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        self.store = store
+        self.telemetry = telemetry if telemetry is not None else DISABLED
+        self.max_wait_s = max_wait_s
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._replicas: dict[str, ReplicaPullState] = {}
+
+    # -- replica bookkeeping (for /health and the lag gauge) --------------
+
+    def replicas(self) -> dict[str, ReplicaPullState]:
+        with self._lock:
+            return dict(self._replicas)
+
+    def _note_pull(
+        self, replica: str, from_lsn: int, shipped: int, diverged: bool
+    ) -> None:
+        if not replica:
+            return
+        with self._lock:
+            state = self._replicas.get(replica)
+            if state is None:
+                state = self._replicas[replica] = ReplicaPullState(replica)
+            # Plain assignment, not max(): a post-compaction re-sync
+            # legitimately rewinds the replica's cursor to zero.
+            state.acked_lsn = from_lsn
+            state.pulls += 1
+            state.bytes_shipped += shipped
+            state.last_pull_at = time.monotonic()
+            if diverged:
+                state.diverged += 1
+
+    def lag_bytes(self) -> dict[str, int]:
+        """Per-replica replication lag: commit LSN minus acked bytes."""
+        commit_lsn = self.store.commit_lsn
+        with self._lock:
+            return {
+                name: max(0, commit_lsn - state.acked_lsn)
+                for name, state in self._replicas.items()
+            }
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Register the scrape-time lag collector (free on the hot path)."""
+        self.telemetry = telemetry
+        telemetry.registry.add_collector(self._collect)
+
+    def _collect(self, registry: Any) -> None:
+        for name, lag in sorted(self.lag_bytes().items()):
+            registry.gauge(
+                "repro_replication_lag_bytes",
+                {"replica": name},
+                help="Primary commit LSN minus the replica's acked LSN",
+            ).set(lag)
+
+    # -- the pull protocol -------------------------------------------------
+
+    def prefix_crc(self, upto_lsn: int) -> int:
+        """CRC of the last ``PREFIX_CRC_WINDOW`` log bytes before ``upto_lsn``."""
+        window_start = max(BASE_LSN, upto_lsn - PREFIX_CRC_WINDOW)
+        return zlib.crc32(self.store.read_log_bytes(window_start, upto_lsn))
+
+    def pull(
+        self,
+        from_lsn: int,
+        prefix_crc: int | None = None,
+        wait_s: float = 0.0,
+        max_bytes: int | None = None,
+        replica: str = "",
+    ) -> tuple[str, bytes | None]:
+        """One pull request; returns ``(status, frame_or_None)``.
+
+        Statuses: ``"frame"`` (new bytes, frame attached), ``"empty"``
+        (caught up, wait budget spent), ``"diverged"`` (this log is not
+        a superset-prefix of the replica's — reset and re-sync).
+        """
+        if from_lsn < BASE_LSN:
+            from_lsn = BASE_LSN
+        ceiling = min(max_bytes or self.max_bytes, self.max_bytes)
+        store = self.store
+        if from_lsn > store.replication_position:
+            # The replica is ahead of this log: it replicated from a
+            # longer incarnation (pre-compaction) — diverged.
+            self._note_pull(replica, from_lsn, 0, diverged=True)
+            self._count("repro_replication_divergences_total")
+            return "diverged", None
+        if prefix_crc is not None and from_lsn > BASE_LSN:
+            if self.prefix_crc(from_lsn) != prefix_crc:
+                self._note_pull(replica, from_lsn, 0, diverged=True)
+                self._count("repro_replication_divergences_total")
+                return "diverged", None
+        commit_lsn = store.commit_lsn
+        if commit_lsn <= from_lsn and wait_s > 0:
+            commit_lsn = store.wait_for_commit_lsn(
+                from_lsn + 1, timeout=min(wait_s, self.max_wait_s)
+            )
+        if commit_lsn <= from_lsn:
+            self._note_pull(replica, from_lsn, 0, diverged=False)
+            return "empty", None
+        to_lsn = min(commit_lsn, from_lsn + ceiling)
+        payload = store.read_log_bytes(from_lsn, to_lsn)
+        to_lsn = from_lsn + len(payload)
+        frame = encode_frame(from_lsn, to_lsn, payload)
+        self._note_pull(replica, from_lsn, len(payload), diverged=False)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "repro_replication_batches_shipped_total",
+                help="Framed log batches served to replicas",
+            ).inc()
+            tel.registry.counter(
+                "repro_replication_bytes_shipped_total",
+                help="Log payload bytes served to replicas",
+            ).inc(len(payload))
+        return "frame", frame
+
+    def _count(self, name: str) -> None:
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter(name).inc()
+
+    def status(self) -> dict[str, Any]:
+        store = self.store
+        return {
+            "commit_lsn": store.commit_lsn,
+            "durable_lsn": store.durable_lsn,
+            "replication_position": store.replication_position,
+            "replicas": {
+                name: state.as_dict()
+                for name, state in sorted(self.replicas().items())
+            },
+            "lag_bytes": self.lag_bytes(),
+        }

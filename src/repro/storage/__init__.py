@@ -26,9 +26,16 @@ from .faults import (
 )
 from .log import LogEntry, RecordLog
 from .serialization import decode_record, encode_record
-from .store import ObjectStore, RecoveryReport, StoreStats, Transaction
+from .store import (
+    AppliedBatch,
+    ObjectStore,
+    RecoveryReport,
+    StoreStats,
+    Transaction,
+)
 
 __all__ = [
+    "AppliedBatch",
     "FaultPlan",
     "FaultyFile",
     "InjectedCrash",

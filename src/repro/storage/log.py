@@ -214,6 +214,35 @@ class RecordLog:
             os.fsync(self._file.fileno())
         self.fsyncs += 1
 
+    def append_raw(self, data: bytes) -> int:
+        """Append pre-framed entry bytes verbatim; return the new end offset.
+
+        This is the replication apply path: a replica receives a byte
+        range copied straight out of the primary's log and splices it
+        onto its own tail, keeping the two files byte-identical.  The
+        caller is responsible for validating the spliced region (via
+        :meth:`scan` / :meth:`scan_salvage`); a torn shipment is healed
+        exactly like a torn local append — truncated at recovery time.
+        Exception-safe the same way :meth:`append` is.
+        """
+        self._require_open()
+        offset = self._end
+        try:
+            self._file.seek(0, io.SEEK_END)
+            self._file.write(data)
+            self._file.flush()
+            self.flushes += 1
+        except InjectedFault:
+            raise  # simulated process death: no in-process repair runs
+        except Exception:
+            self._rollback_tail(offset)
+            raise
+        self._end += len(data)
+        self.appends += 1
+        if self._sync:
+            self._fsync()
+        return self._end
+
     def truncate(self, offset: int) -> None:
         """Discard everything after ``offset`` (recovery from a corrupt
         tail: appends must land directly after the last valid entry, or
@@ -310,6 +339,23 @@ class RecordLog:
             # Overlap by one byte so a MAGIC spanning two chunks is seen.
             offset += len(chunk) - (len(MAGIC) - 1)
         return None
+
+    def read_bytes(self, start: int, end: int) -> bytes:
+        """Raw byte range ``[start, end)`` of the log file.
+
+        The replication shipper uses this to frame batches without
+        re-encoding entries; ``end`` is clamped to the current end of
+        valid data so a concurrent append can never yield a torn tail.
+        """
+        self._require_open()
+        if start < 0 or start > self._end:
+            raise StorageError(f"read_bytes start {start} outside log")
+        end = min(end, self._end)
+        if end <= start:
+            return b""
+        self._file.flush()
+        self._file.seek(start)
+        return self._file.read(end - start)
 
     @staticmethod
     def decode_oid_payload(payload: bytes) -> int:

@@ -22,6 +22,7 @@ Design
 from __future__ import annotations
 
 import copy
+import hashlib
 import os
 import struct
 import threading
@@ -111,6 +112,24 @@ class StoreStats:
         }
 
 
+@dataclass(frozen=True)
+class AppliedBatch:
+    """Result of splicing one replicated byte range onto the local log.
+
+    ``changes`` lists ``(oid, fields-or-None)`` for every object whose
+    committed state changed, in commit order — the replica's model layer
+    uses it to refresh schema objects and indexes incrementally instead
+    of reloading the whole store.
+    """
+
+    start: int
+    end: int
+    commit_lsn: int
+    entries: int = 0
+    commits_applied: int = 0
+    changes: tuple[tuple[int, dict[str, Any] | None], ...] = ()
+
+
 @dataclass
 class _PendingTxn:
     """Index deltas accumulated by an in-flight transaction."""
@@ -152,11 +171,22 @@ class _GroupCommitGate:
         #: group commit actually grouped something.
         self.batches = 0
         self.batched_commits = 0
+        #: Highest commit LSN covered by a successful fsync (replication
+        #: ships only durable prefixes on a ``sync=True`` primary).
+        self.durable_lsn = 0
+        self._gen_lsns: dict[int, int] = {}
 
-    def note_append(self) -> int:
-        """Register one appended commit marker; returns its generation."""
+    def note_append(self, lsn: int = 0) -> int:
+        """Register one appended commit marker; returns its generation.
+
+        ``lsn`` is the end offset of the marker just appended — once the
+        generation's fsync lands, every log byte below it is durable and
+        :attr:`durable_lsn` advances to it.
+        """
         with self._cond:
             self._appended += 1
+            if lsn:
+                self._gen_lsns[self._appended] = lsn
             return self._appended
 
     def wait_durable(self, gen: int) -> None:
@@ -185,6 +215,10 @@ class _GroupCommitGate:
                     self.batches += 1
                     self.batched_commits += target - self._synced
                     self._synced = max(self._synced, target)
+                    for gen in [g for g in self._gen_lsns if g <= target]:
+                        self.durable_lsn = max(
+                            self.durable_lsn, self._gen_lsns.pop(gen)
+                        )
                     if self._error is not None and self._error[0] <= target:
                         self._error = None
                 else:
@@ -286,10 +320,12 @@ class ObjectStore:
         sync: bool = False,
         salvage: bool = True,
         faults: FaultPlan | None = None,
+        read_only: bool = False,
     ) -> None:
         self._sync = sync
         self._salvage = salvage
         self._faults = faults
+        self._read_only = read_only
         self._log = RecordLog(path, sync=sync, faults=faults)
         self._cache = LruCache(cache_size)
         self._index: dict[int, int] = {}  # oid -> offset of live record
@@ -297,6 +333,8 @@ class ObjectStore:
         self._txn_counter = 0
         self._active: _PendingTxn | None = None
         self._lock = threading.RLock()
+        self._lsn_cond = threading.Condition(self._lock)
+        self._commit_lsn = len(HEADER)
         self._gate = _GroupCommitGate(self._log)
         self.stats = StoreStats()
         self.last_recovery: RecoveryReport = RecoveryReport()
@@ -376,6 +414,7 @@ class ObjectStore:
                 txn_id = RecordLog.decode_oid_payload(entry.payload)
                 max_txn = max(max_txn, txn_id)
                 commits_applied += 1
+                self._commit_lsn = entry.end_offset
                 for oid, offset in pending.pop(txn_id, {}).items():
                     if offset is None:
                         self._index.pop(oid, None)
@@ -411,6 +450,10 @@ class ObjectStore:
     def begin(self) -> Transaction:
         """Start the (single) active transaction."""
         with self._lock:
+            if self._read_only:
+                raise TransactionError(
+                    "store is read-only (replica): writes go to the primary"
+                )
             if self._active is not None:
                 raise TransactionError("a transaction is already active")
             self._txn_counter += 1
@@ -490,8 +533,12 @@ class ObjectStore:
                         self._cache.put(oid, copy.deepcopy(staged))
             self._active = None
             self.stats.commits += 1
+            # The marker was the last append under this lock, so the log
+            # end IS the commit LSN; publish it to long-poll waiters.
+            self._commit_lsn = self._log.size
+            self._lsn_cond.notify_all()
             if deferred:
-                return self._gate.note_append()
+                return self._gate.note_append(self._commit_lsn)
             return None
 
     def wait_durable(self, token: int) -> None:
@@ -511,6 +558,179 @@ class ObjectStore:
             # Appended data entries become dead weight; compaction drops them.
             self._active = None
             self.stats.aborts += 1
+
+    # -- replication ---------------------------------------------------------
+
+    @property
+    def read_only(self) -> bool:
+        return self._read_only
+
+    @property
+    def commit_lsn(self) -> int:
+        """End offset of the last applied commit marker.
+
+        LSNs in Prometheus replication are plain byte offsets into the
+        primary's log file; a replica's log is a byte-identical prefix,
+        so the same number means the same state on every node.
+        """
+        return self._commit_lsn
+
+    @property
+    def durable_lsn(self) -> int:
+        """Highest commit LSN known to be fsynced.
+
+        On a ``sync=False`` store OS buffering is the declared contract,
+        so every committed LSN counts as durable; with deferred group
+        commit the gate's shared fsync advances this lazily.
+        """
+        if not self._sync:
+            return self._commit_lsn
+        return max(self._gate.durable_lsn, len(HEADER))
+
+    @property
+    def replication_position(self) -> int:
+        """Byte offset a replica should pull from next: its raw log end.
+
+        This can exceed :attr:`commit_lsn` by the trailing entries of an
+        aborted transaction — those bytes were shipped as part of a
+        committed range and are dead weight here exactly as they are on
+        the primary, preserving byte-identity.
+        """
+        return self._log.size
+
+    def wait_for_commit_lsn(self, min_lsn: int, timeout: float | None = None) -> int:
+        """Block until ``commit_lsn >= min_lsn`` (or timeout); return it.
+
+        The shipper's long-poll: a replica that is already caught up
+        parks here until the next commit instead of busy-polling.
+        """
+        deadline = None if timeout is None else (timeout)
+        with self._lsn_cond:
+            if self._commit_lsn >= min_lsn:
+                return self._commit_lsn
+            self._lsn_cond.wait_for(
+                lambda: self._commit_lsn >= min_lsn, timeout=deadline
+            )
+            return self._commit_lsn
+
+    def apply_replicated(self, data: bytes) -> AppliedBatch:
+        """Splice a shipped byte range onto the log and apply its commits.
+
+        This IS the recovery path run incrementally: the bytes are
+        appended verbatim (keeping the file a byte-identical prefix of
+        the primary's), then scanned exactly like :meth:`_recover` scans
+        the whole log — data entries accumulate per transaction and the
+        index only moves at commit markers.  Data entries whose commit
+        marker has not arrived yet (an aborted transaction's dead
+        weight) are ignored, same as on the primary.  A structurally
+        torn shipment — which frame checksums should have caught
+        upstream — is truncated away so the next pull re-requests it.
+        """
+        with self._lock:
+            if self._active is not None:
+                raise TransactionError(
+                    "cannot apply replicated bytes inside a transaction"
+                )
+            start = self._log.size
+            self._log.append_raw(data)
+            pending: dict[int, dict[int, tuple[int, dict[str, Any] | None]]] = {}
+            changes: list[tuple[int, dict[str, Any] | None]] = []
+            max_oid = 0
+            max_txn = 0
+            entries = 0
+            commits_applied = 0
+            # Scan from the last commit marker, not from the appended
+            # bytes: a transaction can straddle frames, and its data
+            # entries — already on disk from an earlier apply but not
+            # yet committed — must be back in the pending map when this
+            # frame delivers the commit marker.
+            scan_from = min(self._commit_lsn, start)
+            expected = scan_from
+            for entry in self._log.scan(scan_from):
+                expected = entry.end_offset
+                entries += 1
+                if entry.kind == KIND_DATA:
+                    record = decode_record(entry.payload)
+                    txn_id = int(record["t"])
+                    oid = int(record["o"])
+                    fields = record["f"]
+                    pending.setdefault(txn_id, {})[oid] = (entry.offset, fields)
+                    max_oid = max(max_oid, oid)
+                    max_txn = max(max_txn, txn_id)
+                elif entry.kind == KIND_TOMBSTONE:
+                    txn_id, oid = _TOMB_STRUCT.unpack(entry.payload)
+                    pending.setdefault(txn_id, {})[oid] = (entry.offset, None)
+                    max_oid = max(max_oid, oid)
+                    max_txn = max(max_txn, txn_id)
+                elif entry.kind == KIND_COMMIT:
+                    txn_id = RecordLog.decode_oid_payload(entry.payload)
+                    max_txn = max(max_txn, txn_id)
+                    commits_applied += 1
+                    for oid, (offset, fields) in pending.pop(txn_id, {}).items():
+                        if fields is None:
+                            self._index.pop(oid, None)
+                        else:
+                            self._index[oid] = offset
+                        self._cache.invalidate(oid)
+                        changes.append(
+                            (oid, None if fields is None else dict(fields))
+                        )
+                    self._commit_lsn = expected
+            if expected < self._log.size:
+                # Torn shipment survived the frame checksum (should not
+                # happen); drop the tail so the next pull refetches it.
+                self._log.truncate(expected)
+            self._allocator.fast_forward(max_oid)
+            self._txn_counter = max(self._txn_counter, max_txn)
+            self._lsn_cond.notify_all()
+            return AppliedBatch(
+                start=start,
+                end=self._log.size,
+                commit_lsn=self._commit_lsn,
+                entries=entries,
+                commits_applied=commits_applied,
+                changes=tuple(changes),
+            )
+
+    def reset_for_resync(self) -> None:
+        """Drop every replicated byte; divergence recovery on a replica.
+
+        After the primary compacts, byte offsets no longer line up and a
+        prefix-replica cannot patch itself — the only convergent move is
+        to truncate back to the bare file header and re-pull from LSN 0.
+        The OID allocator is deliberately left alone (it only ever moves
+        forward and will fast-forward again during re-apply).
+        """
+        with self._lock:
+            if self._active is not None:
+                raise TransactionError(
+                    "cannot reset the store inside a transaction"
+                )
+            self._log.truncate(len(HEADER))
+            self._index.clear()
+            self._cache.clear()
+            self._commit_lsn = len(HEADER)
+            self._lsn_cond.notify_all()
+
+    def read_log_bytes(self, start: int, end: int) -> bytes:
+        """Raw log bytes ``[start, min(end, log end))`` — the shipper's
+        read path, taken under the store lock so a concurrent commit's
+        partially appended entries are never visible."""
+        with self._lock:
+            return self._log.read_bytes(start, end)
+
+    def fingerprint(self, upto: int | None = None) -> str:
+        """SHA-256 over log bytes ``[0, upto)`` (default: the commit LSN).
+
+        Because replicas splice raw primary bytes, two stores at the
+        same commit LSN hash identically — this is the equivalence check
+        used by the crash-recovery sweep and the traversal tests.
+        """
+        with self._lock:
+            end = self._commit_lsn if upto is None else upto
+            digest = hashlib.sha256()
+            digest.update(self._log.read_bytes(0, end))
+            return digest.hexdigest()
 
     # -- autocommit convenience ----------------------------------------------
 
@@ -592,6 +812,7 @@ class ObjectStore:
             "live_records": len(self._index),
             "group_commit_batches": self._gate.batches,
             "group_commit_batched": self._gate.batched_commits,
+            "commit_lsn": self._commit_lsn,
         }
 
     def compact(self) -> None:
@@ -608,6 +829,10 @@ class ObjectStore:
         setting instead of silently reopening with ``sync=False``.
         """
         with self._lock:
+            if self._read_only:
+                raise StorageError(
+                    "cannot compact a read-only replica store"
+                )
             if self._active is not None:
                 raise TransactionError("cannot compact inside a transaction")
             tmp_path = self.path + ".compact"
@@ -652,6 +877,11 @@ class ObjectStore:
             self._index = new_index
             self._txn_counter = txn_id
             self._cache.clear()
+            # Offsets changed wholesale: the new log ends at its commit
+            # marker.  Replicas detect this as prefix divergence and
+            # re-sync from scratch.
+            self._commit_lsn = self._log.size
+            self._lsn_cond.notify_all()
 
     @staticmethod
     def _fsync_directory(directory: str) -> None:

@@ -1,0 +1,150 @@
+"""Replica-aware federation reads: off-load, staleness floors, breakers.
+
+Stub clients (duck-typed :class:`RemoteDatabase`) make every routing
+decision deterministic: who answered (``served_by``), why a replica was
+skipped (stale, lagging the caller's ``min_lsn``, no LSN at all,
+failing), and that a failing replica trips only its *own*
+``node/replica`` breaker while the primary keeps serving.
+"""
+
+import pytest
+
+from repro.engine.federation import (
+    Federation,
+    FederationError,
+)
+
+
+class StubPrimary:
+    def __init__(self, name: str, commit_lsn: int = 1000) -> None:
+        self.name = name
+        self.commit_lsn = commit_lsn
+        self.queries = 0
+        self.status_calls = 0
+
+    def query(self, text, params=None):
+        self.queries += 1
+        return f"{self.name}:primary"
+
+    def replication_status(self):
+        self.status_calls += 1
+        return {"role": "primary", "commit_lsn": self.commit_lsn}
+
+
+class StubReplica:
+    def __init__(self, name: str, lsn: int | None, fail: bool = False) -> None:
+        self.name = name
+        self.lsn = lsn
+        self.fail = fail
+        self.queries = 0
+
+    def query_with_lsn(self, text, params=None):
+        self.queries += 1
+        if self.fail:
+            raise FederationError(f"{self.name}: connection refused")
+        return f"{self.name}:replica", self.lsn
+
+
+@pytest.fixture
+def fed():
+    federation = Federation(retry=None)
+    federation.primary = StubPrimary("alpha", commit_lsn=1000)
+    federation.add_node("alpha", federation.primary)  # type: ignore[arg-type]
+    return federation
+
+
+def one(results):
+    assert len(results) == 1
+    assert results[0].ok, results[0].error
+    return results[0]
+
+
+class TestRegistration:
+    def test_replica_for_unknown_node_rejected(self, fed):
+        with pytest.raises(FederationError, match="unknown federation node"):
+            fed.add_read_replica("omega", "r1", StubReplica("r1", 10))
+
+    def test_remove_node_clears_replica_breakers(self, fed):
+        replica = StubReplica("r1", lsn=None, fail=True)
+        fed.add_read_replica("alpha", "r1", replica)
+        fed.query_all_reads("q")  # trips a failure on alpha/r1
+        assert fed.breaker("alpha/r1").consecutive_failures == 1
+        fed.remove_node("alpha")
+        assert "alpha" not in fed.nodes
+        assert "alpha/r1" not in fed._breakers
+        # Re-adding the node starts its replicas from a clean slate.
+        fed.add_node("alpha", fed.primary)
+        assert fed.breaker("alpha/r1").consecutive_failures == 0
+
+
+class TestRouting:
+    def test_fresh_replica_serves_the_read(self, fed):
+        replica = StubReplica("r1", lsn=1000)
+        fed.add_read_replica("alpha", "r1", replica)
+        result = one(fed.query_all_reads("q"))
+        assert result.result == "r1:replica"
+        assert result.served_by == "alpha/r1"
+        assert fed.primary.queries == 0
+
+    def test_no_replicas_means_primary(self, fed):
+        result = one(fed.query_all_reads("q"))
+        assert result.result == "alpha:primary"
+        assert result.served_by == "alpha"
+
+    def test_stale_replica_falls_back_under_bound(self, fed):
+        replica = StubReplica("r1", lsn=100)
+        fed.add_read_replica("alpha", "r1", replica)
+        # Unbounded: any LSN is fine, the replica serves.
+        assert one(fed.query_all_reads("q")).served_by == "alpha/r1"
+        # Bounded: floor = 1000 - 50 = 950 > 100 — the primary serves,
+        # and the healthy-but-stale replica's breaker is untouched.
+        result = one(fed.query_all_reads("q", staleness_bytes=50))
+        assert result.served_by == "alpha"
+        assert result.result == "alpha:primary"
+        assert fed.breaker("alpha/r1").consecutive_failures == 0
+        assert fed.primary.status_calls >= 1
+
+    def test_min_lsn_floor_enforces_read_your_writes(self, fed):
+        replica = StubReplica("r1", lsn=100)
+        fed.add_read_replica("alpha", "r1", replica)
+        assert one(fed.query_all_reads("q", min_lsn=500)).served_by == "alpha"
+        assert one(fed.query_all_reads("q", min_lsn=80)).served_by == "alpha/r1"
+
+    def test_lsn_less_replica_never_serves_bounded_reads(self, fed):
+        # A node predating replication reports no LSN; it cannot prove
+        # freshness, so the primary answers.
+        fed.add_read_replica("alpha", "r1", StubReplica("r1", lsn=None))
+        assert one(fed.query_all_reads("q")).served_by == "alpha"
+
+    def test_replica_order_and_fallback_across_replicas(self, fed):
+        fed.add_read_replica("alpha", "r1", StubReplica("r1", lsn=100))
+        fed.add_read_replica("alpha", "r2", StubReplica("r2", lsn=1000))
+        # r1 is tried first (name order) but is too stale; r2 serves.
+        result = one(fed.query_all_reads("q", staleness_bytes=50))
+        assert result.served_by == "alpha/r2"
+        assert result.result == "r2:replica"
+
+
+class TestBreakerIsolation:
+    def test_failing_replica_trips_own_breaker_only(self, fed):
+        replica = StubReplica("r1", lsn=1000, fail=True)
+        fed.add_read_replica("alpha", "r1", replica)
+        for _ in range(fed.breaker_threshold):
+            result = one(fed.query_all_reads("q"))
+            assert result.served_by == "alpha"  # fell back every time
+        assert fed.breaker("alpha/r1").state == "open"
+        assert fed.breaker("alpha").state == "closed"
+        # With the breaker open the replica is not even called.
+        calls = replica.queries
+        assert one(fed.query_all_reads("q")).served_by == "alpha"
+        assert replica.queries == calls
+
+    def test_recovered_replica_resumes_serving(self, fed):
+        replica = StubReplica("r1", lsn=1000, fail=True)
+        fed.add_read_replica("alpha", "r1", replica)
+        fed.query_all_reads("q")
+        assert fed.breaker("alpha/r1").consecutive_failures == 1
+        replica.fail = False
+        result = one(fed.query_all_reads("q"))
+        assert result.served_by == "alpha/r1"
+        assert fed.breaker("alpha/r1").consecutive_failures == 0

@@ -1,0 +1,227 @@
+"""Seeded consistency checker for replicated read histories.
+
+The replication stress tests record every client-visible operation as a
+structured history — writes with the commit LSN they landed at, reads
+with the routing evidence the system produced (which node answered, its
+applied LSN, the primary's commit LSN when the node was chosen and
+after the read returned, the client's staleness bound and
+read-your-writes floor).  :func:`verify` then replays nothing: it
+checks the recorded history against the replication contract purely by
+LSN arithmetic.
+
+Invariants (LSNs are log byte offsets; per key, commit order == LSN
+order because the primary's commits are serialized):
+
+1. **Bounded staleness** — a read with bound ``B`` and floor
+   ``min_lsn`` must have been served by a node whose applied LSN was at
+   least ``max(min_lsn, L0 - B)``, where ``L0`` is the primary's commit
+   LSN when the node was picked.
+2. **Value currency** — the value a read observed must have been the
+   key's current value at *some* LSN in the read's admissible window
+   ``[max(min_lsn, L0 - B), L1]`` (``L1`` = primary commit LSN after
+   the read returned).  A value whose validity interval ends before the
+   window is a stale read (staleness bound or read-your-writes
+   violated); one whose interval starts after the window is a read from
+   the future; a value never written at all is a phantom (e.g. a torn
+   batch became query-visible).
+
+A failing history is *shrunk* before reporting — the same greedy
+reducing loop as ``tests/query/qgen.py`` — so the assertion message
+shows the minimal set of writes and reads that still violates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+#: Stand-in for an unbounded staleness allowance.
+UNBOUNDED = float("inf")
+
+
+@dataclass(frozen=True)
+class WriteRec:
+    """One committed write, recorded by the writer after commit."""
+
+    key: str
+    value: int
+    lsn: int  # storage commit LSN the write landed at
+    writer: str = ""
+
+
+@dataclass(frozen=True)
+class ReadRec:
+    """One routed read plus the evidence needed to judge it."""
+
+    key: str
+    value: int | None  # None = key not found
+    node: str  # which endpoint answered
+    node_lsn: int  # that node's applied LSN when chosen
+    primary_lsn: int  # primary commit LSN when the node was chosen (L0)
+    post_lsn: int  # primary commit LSN after the read returned (L1)
+    bound: float = UNBOUNDED  # client staleness bound B, in bytes
+    min_lsn: int = 0  # read-your-writes floor
+    reader: str = ""
+
+    def window(self) -> tuple[float, int]:
+        low = self.min_lsn
+        if self.bound != UNBOUNDED:
+            low = max(low, self.primary_lsn - self.bound)
+        return low, self.post_lsn
+
+
+@dataclass(frozen=True)
+class Violation:
+    kind: str  # stale-node | stale-read | future-read | phantom
+    read: ReadRec
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}\n  read: {self.read}"
+
+
+@dataclass
+class History:
+    """Everything one stress round recorded, shrinkable as a unit."""
+
+    writes: list[WriteRec] = field(default_factory=list)
+    reads: list[ReadRec] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [f"{len(self.writes)} write(s), {len(self.reads)} read(s)"]
+        for w in sorted(self.writes, key=lambda w: w.lsn):
+            lines.append(
+                f"  write {w.key}={w.value} @lsn {w.lsn} by {w.writer}"
+            )
+        for r in self.reads:
+            low, high = r.window()
+            lines.append(
+                f"  read  {r.key} -> {r.value} on {r.node} "
+                f"(node_lsn={r.node_lsn}, window=[{low}, {high}], "
+                f"bound={r.bound}, min_lsn={r.min_lsn}) by {r.reader}"
+            )
+        return "\n".join(lines)
+
+
+def _intervals(history: History) -> dict[str, list[tuple[int, float, int]]]:
+    """Per key: (start_lsn, end_lsn, value) validity intervals."""
+    per_key: dict[str, list[WriteRec]] = {}
+    for w in history.writes:
+        per_key.setdefault(w.key, []).append(w)
+    out: dict[str, list[tuple[int, float, int]]] = {}
+    for key, writes in per_key.items():
+        writes.sort(key=lambda w: w.lsn)
+        spans: list[tuple[int, float, int]] = []
+        for i, w in enumerate(writes):
+            end = writes[i + 1].lsn if i + 1 < len(writes) else UNBOUNDED
+            spans.append((w.lsn, end, w.value))
+        out[key] = spans
+    return out
+
+
+def verify(history: History) -> list[Violation]:
+    """All contract violations in ``history`` (empty list = consistent)."""
+    violations: list[Violation] = []
+    intervals = _intervals(history)
+    for read in history.reads:
+        low, high = read.window()
+        if read.node_lsn < low:
+            violations.append(
+                Violation(
+                    "stale-node",
+                    read,
+                    f"served by {read.node} at applied LSN {read.node_lsn}, "
+                    f"below the admissible floor {low}",
+                )
+            )
+        if read.value is None:
+            # The key was invisible on the serving node.  The harness
+            # never deletes, so that is legal only if some admissible
+            # LSN precedes the key's first write — i.e. a violation
+            # whenever the first write is at or below the window floor.
+            spans = intervals.get(read.key, [])
+            if spans and spans[0][0] <= low:
+                violations.append(
+                    Violation(
+                        "stale-read",
+                        read,
+                        f"key {read.key!r} invisible although written at "
+                        f"LSN {spans[0][0]} <= window floor {low}",
+                    )
+                )
+            continue
+        spans = intervals.get(read.key, [])
+        match = [s for s in spans if s[2] == read.value]
+        if not match:
+            violations.append(
+                Violation(
+                    "phantom",
+                    read,
+                    f"value {read.value} was never committed for "
+                    f"{read.key!r}",
+                )
+            )
+            continue
+        if not any(start <= high and end > low for start, end, _ in match):
+            start, end, _ = match[0]
+            kind = "stale-read" if end <= low else "future-read"
+            violations.append(
+                Violation(
+                    kind,
+                    read,
+                    f"value {read.value} valid in [{start}, {end}) which "
+                    f"misses the admissible window [{low}, {high}]",
+                )
+            )
+    return violations
+
+
+# -- shrinking ---------------------------------------------------------------
+
+
+def shrink(history: History, still_fails) -> History:
+    """Greedy reducing shrinker (mirrors ``tests/query/qgen.shrink``).
+
+    Repeatedly tries structural reductions, keeping any that still
+    reproduce the failure (``still_fails(history) -> bool``), until no
+    reduction applies.  Returns the minimal failing history.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for candidate in _reductions(history):
+            if still_fails(candidate):
+                history = candidate
+                changed = True
+                break
+    return history
+
+
+def _reductions(history: History):
+    for index in range(len(history.reads)):
+        rest = history.reads[:index] + history.reads[index + 1:]
+        yield replace(history, reads=rest)
+    for index in range(len(history.writes)):
+        rest = history.writes[:index] + history.writes[index + 1:]
+        yield replace(history, writes=rest)
+
+
+def minimal_violation(history: History) -> str:
+    """Shrink ``history`` and render the minimal violating core."""
+    minimal = shrink(history, lambda h: bool(verify(h)))
+    report = verify(minimal)
+    lines = ["minimal violating history:", minimal.describe(), ""]
+    lines.extend(str(v) for v in report)
+    return "\n".join(lines)
+
+
+def derive_seeds(fixed: tuple[int, ...], run_id: str | None) -> list[int]:
+    """The fixed seeds plus one derived from the CI run id (if any)."""
+    seeds = list(fixed)
+    if run_id:
+        seeds.append(int(run_id) % 1_000_000)
+    return seeds
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)

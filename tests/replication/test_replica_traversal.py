@@ -1,0 +1,174 @@
+"""Recursive POOL traversal on a lagging replica is snapshot-consistent.
+
+A replica that is *behind* the primary is fine; a replica that shows a
+*mix* of two commits is not.  The recursive closure operator makes the
+difference observable: it touches many relationship instances in one
+query, so a half-applied batch would surface as a tree with dangling or
+extra edges.  These tests pin both properties — a lagging replica
+answers with exactly its watermark's tree, and a traversal racing the
+applier only ever sees whole commits.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import PrometheusDB
+from repro.replication import LogShipper, ReplicaApplier, ReplicationClient
+
+
+def declare_tree(db: PrometheusDB) -> None:
+    from repro.core import types as T
+    from repro.core.attributes import Attribute
+
+    db.schema.define_class("Node", [Attribute("name", T.STRING)])
+    db.schema.define_relationship("Child", "Node", "Node")
+
+
+CLOSURE = (
+    "select x.name from n in Node, x in n->Child* "
+    'where n.name = "root" order by x.name'
+)
+
+
+@pytest.fixture
+def tree_primary(tmp_path):
+    db = PrometheusDB(tmp_path / "primary.plog")
+    declare_tree(db)
+    db.load()
+    txn = db.transactions.begin()
+    root = txn.create("Node", name="root")
+    for limb in ("left", "right"):
+        node = txn.create("Node", name=limb)
+        txn.relate("Child", root, node)
+        for leaf in ("a", "b"):
+            child = txn.create("Node", name=f"{limb}-{leaf}")
+            txn.relate("Child", node, child)
+    txn.commit()
+    yield db
+    db.close()
+
+
+def make_tree_replica(tmp_path, shipper, name="replica"):
+    db = PrometheusDB(tmp_path / f"{name}.plog", read_only=True)
+    declare_tree(db)
+    db.load()
+    applier = ReplicaApplier(db)
+    client = ReplicationClient(applier, shipper, name=name)
+    return db, applier, client
+
+
+STATE_A = ["left", "left-a", "left-b", "right", "right-a", "right-b", "root"]
+STATE_B = sorted(STATE_A + ["right-c", "right-c-deep"])
+
+
+def grow_tree(db: PrometheusDB) -> None:
+    """One atomic commit: a new subtree under "right"."""
+    [right] = db.query('select n from n in Node where n.name = "right"')
+    txn = db.transactions.begin()
+    new = txn.create("Node", name="right-c")
+    txn.relate("Child", right.oid, new)
+    deep = txn.create("Node", name="right-c-deep")
+    txn.relate("Child", new, deep)
+    txn.commit()
+
+
+def test_lagging_replica_serves_its_watermark_tree(tmp_path, tree_primary):
+    shipper = LogShipper(tree_primary.store)
+    rdb, applier, client = make_tree_replica(tmp_path, shipper)
+    client.catch_up()
+    watermark = applier.applied_lsn
+    assert applier.query(CLOSURE) == STATE_A
+
+    # The primary moves on; the replica does not pull.
+    grow_tree(tree_primary)
+    assert tree_primary.query(CLOSURE) == STATE_B
+    assert applier.applied_lsn == watermark < tree_primary.store.commit_lsn
+
+    # Lagging is visible in the LSN, never in the tree's shape: the
+    # closure is exactly the watermark state, no partial subtree.
+    assert applier.query(CLOSURE) == STATE_A
+
+    client.catch_up()
+    assert applier.query(CLOSURE) == STATE_B
+    assert rdb.store.fingerprint() == tree_primary.store.fingerprint()
+    rdb.close()
+
+
+def test_traversal_racing_the_applier_sees_whole_commits(
+    tmp_path, tree_primary
+):
+    # Ship in tiny frames so transactions straddle several applies —
+    # the worst case for a reader racing the applier.
+    shipper = LogShipper(tree_primary.store, max_bytes=128)
+    rdb, applier, client = make_tree_replica(tmp_path, shipper)
+    client.catch_up()
+    grow_tree(tree_primary)
+
+    seen: list[list[str]] = []
+    stop = threading.Event()
+
+    def traverse() -> None:
+        while not stop.is_set():
+            with applier.read_lock():
+                seen.append(applier.db.query(CLOSURE))
+
+    reader = threading.Thread(target=traverse)
+    reader.start()
+    try:
+        client.catch_up()
+    finally:
+        stop.set()
+        reader.join(timeout=30)
+    assert not reader.is_alive()
+
+    assert seen, "the racing reader never ran"
+    for closure in seen:
+        assert closure in (STATE_A, STATE_B), (
+            f"torn traversal: {closure!r} is neither commit's tree"
+        )
+    assert seen[-1] == STATE_B or applier.query(CLOSURE) == STATE_B
+    rdb.close()
+
+
+def test_traversal_blocks_while_a_batch_is_mid_apply(tmp_path, tree_primary):
+    """The RWLock keeps the closure out of a half-refreshed model."""
+    shipper = LogShipper(tree_primary.store)
+    rdb, applier, client = make_tree_replica(tmp_path, shipper)
+    client.catch_up()
+    grow_tree(tree_primary)
+
+    status, frame = shipper.pull(rdb.store.replication_position)
+    assert status == "frame"
+    in_write = threading.Event()
+    release = threading.Event()
+    original = applier._refresh_model
+
+    def stalled_refresh(batch):
+        in_write.set()
+        release.wait(timeout=30)
+        return original(batch)
+
+    applier._refresh_model = stalled_refresh
+    applying = threading.Thread(target=applier.apply_frame, args=(frame,))
+    applying.start()
+    try:
+        assert in_write.wait(timeout=10)
+        # The applier holds the write lock mid-batch: a traversal now
+        # must wait rather than observe the half-refreshed tree.
+        result: list[list[str]] = []
+        reading = threading.Thread(
+            target=lambda: result.append(applier.query(CLOSURE))
+        )
+        reading.start()
+        reading.join(timeout=0.3)
+        assert reading.is_alive(), "query slipped past the write lock"
+        release.set()
+        reading.join(timeout=30)
+        assert result == [STATE_B]
+    finally:
+        release.set()
+        applying.join(timeout=30)
+        applier._refresh_model = original
+    assert not applying.is_alive()
+    rdb.close()
