@@ -1,0 +1,295 @@
+"""Time-to-recover through a real failover: kill -9 the primary.
+
+Real process topology, the same one an operator gets from the CLI: a
+primary and two replicas, each started with ``--ha`` so the servers
+carry HA controllers, plus an in-process
+:class:`~repro.ha.supervisor.FailoverCoordinator` probing them over
+HTTP exactly as ``python -m repro --ha-supervisor`` would.
+
+Each round: commit acknowledged writes (semi-sync, ``wait_replicated``
+= 1), SIGKILL the primary process, and clock three moments —
+
+* **detect**   — the coordinator's suspicion crossing the threshold,
+* **promoted** — the winning replica stamped with the new epoch,
+* **recovered** — the first client write acknowledged by the new
+  primary (retry-with-rediscovery, like a real client).
+
+``p50``/``p99`` of time-to-recover across rounds go to
+``benchmarks/results/BENCH_bench_failover.json``, together with the
+count of acknowledged writes missing after promotion — asserted to be
+ZERO unconditionally: losing acked writes is a correctness bug at any
+machine size.  The latency gate (p99 under ``TTR_P99_BUDGET_S``) only
+engages with >= 4 CPUs; below that the processes time-slice each other
+and the number measures the scheduler, not the failover path.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+ROUNDS = 5
+ACKED_WRITES_PER_ROUND = 10
+TTR_P99_BUDGET_S = 10.0
+
+COORDINATOR_INTERVAL_S = 0.25
+PHI_THRESHOLD = 4.0
+LEASE_TTL_S = 1.0
+SKEW_ALLOWANCE_S = 0.5
+
+
+def _request(url, payload=None, timeout=10.0):
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as response:
+        return json.load(response)
+
+
+class Node:
+    """One ``python -m repro --serve`` process."""
+
+    def __init__(self, args, cwd):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_SRC)
+        env["PYTHONUNBUFFERED"] = "1"
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *args],
+            cwd=cwd,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.url = self._await_url()
+
+    def _await_url(self, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError("server process exited before serving")
+            if "serving on " in line:
+                return line.split("serving on ", 1)[1].split()[0]
+        raise RuntimeError("server never reported its URL")
+
+    def kill9(self):
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=10)
+
+    def stop(self):
+        if self.proc.poll() is not None:
+            return
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+def declare_schema(path):
+    from repro.engine import PrometheusDB
+    from repro.taxonomy import define_taxonomy_schema
+    from repro.telemetry import DISABLED
+
+    db = PrometheusDB(path, telemetry=DISABLED)
+    define_taxonomy_schema(db.schema)
+    db.load()
+    db.close()
+
+
+def acked_write(url, key, timeout=10.0):
+    """One semi-synchronous committed write; True when replicated."""
+    sid = _request(url + "/session", {}, timeout=timeout)["session"]
+    _request(
+        f"{url}/session/{sid}/apply",
+        {"ops": [{"op": "create", "class": "Specimen",
+                  "attrs": {"field_name": key, "collector": "bench"}}]},
+        timeout=timeout,
+    )
+    body = _request(
+        f"{url}/session/{sid}/commit",
+        {"wait_replicated": 1, "wait_timeout_s": timeout},
+        timeout=timeout + 5,
+    )
+    _request(f"{url}/session/{sid}/release", {}, timeout=timeout)
+    return bool(body.get("replicated"))
+
+
+def run_round(tmp, bench_dir):
+    """Boot, ack writes, kill the primary, clock the recovery."""
+    from repro.ha import FailoverCoordinator, http_node
+
+    declare_schema(tmp / "primary.plog")
+    primary = Node(
+        [
+            "--db", str(tmp / "primary.plog"),
+            "--taxonomy",
+            "--serve", "0",
+            "--ha",
+        ],
+        cwd=bench_dir,
+    )
+    replicas = {}
+    coordinator = None
+    try:
+        for i in range(2):
+            replicas[f"r{i}"] = Node(
+                [
+                    "--db", str(tmp / f"replica{i}.plog"),
+                    "--taxonomy",
+                    "--replica-of", primary.url,
+                    "--replica-name", f"r{i}",
+                    "--serve", "0",
+                    "--ha",
+                ],
+                cwd=bench_dir,
+            )
+        supervised = [http_node("primary", primary.url)] + [
+            http_node(name, node.url) for name, node in replicas.items()
+        ]
+        coordinator = FailoverCoordinator(
+            supervised,
+            primary="primary",
+            interval_s=COORDINATOR_INTERVAL_S,
+            phi_threshold=PHI_THRESHOLD,
+            lease_ttl_s=LEASE_TTL_S,
+            skew_allowance_s=SKEW_ALLOWANCE_S,
+        )
+        coordinator.start()
+        # A few probe rounds build heartbeat history (and grant the
+        # primary its first lease) before the writes start.
+        time.sleep(COORDINATOR_INTERVAL_S * 6)
+
+        acked = []
+        for i in range(ACKED_WRITES_PER_ROUND):
+            key = f"acked{i:03d}"
+            for _ in range(40):  # the first lease may still be in flight
+                try:
+                    replicated = acked_write(primary.url, key)
+                except urllib.error.HTTPError:
+                    time.sleep(0.1)
+                    continue
+                # Commit succeeded: retrying would double-write the
+                # key, so an unreplicated commit fails the round.
+                if not replicated:
+                    raise RuntimeError(f"{key} committed but never acked")
+                acked.append(key)
+                break
+            else:
+                raise RuntimeError("primary never acknowledged writes")
+
+        killed_at = time.perf_counter()
+        primary.kill9()
+        deadline = time.monotonic() + 60
+        while not coordinator.failovers:
+            if time.monotonic() > deadline:
+                raise RuntimeError("no failover within 60s")
+            time.sleep(0.02)
+        report = coordinator.failovers[-1]
+        promoted_at = time.perf_counter()
+        new_primary_url = replicas[report.new_primary].url
+
+        # The failover-following client: retry until the new primary
+        # acknowledges a replicated write again.
+        recovered_at = None
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            try:
+                if acked_write(new_primary_url, "post-failover"):
+                    recovered_at = time.perf_counter()
+                    break
+            except (urllib.error.HTTPError, urllib.error.URLError, OSError):
+                pass
+            time.sleep(0.05)
+        if recovered_at is None:
+            raise RuntimeError("new primary never took an acked write")
+
+        lost = 0
+        for key in acked:
+            got = _request(
+                new_primary_url + "/query",
+                {
+                    "query": "select s.field_name from s in Specimen "
+                    "where s.field_name = $key",
+                    "params": {"key": key},
+                },
+            )["result"]
+            if got != [key]:
+                lost += 1
+        return {
+            "detect_to_promoted_s": report.detect_to_promoted_s,
+            "kill_to_promoted_s": promoted_at - killed_at,
+            "kill_to_recovered_s": recovered_at - killed_at,
+            "new_primary": report.new_primary,
+            "epoch": report.epoch,
+            "acked_writes": len(acked),
+            "acked_writes_lost": lost,
+        }
+    finally:
+        if coordinator is not None:
+            coordinator.stop()
+        for node in replicas.values():
+            node.stop()
+        primary.stop()
+
+
+def percentile(values, q):
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(len(ordered) * q))]
+
+
+def test_failover_time_to_recover(tmp_path_factory, bench_recorder):
+    bench_dir = tmp_path_factory.mktemp("failover_bench")
+    rounds = []
+    for i in range(ROUNDS):
+        rounds.append(run_round(tmp_path_factory.mktemp(f"round{i}"),
+                                bench_dir))
+    ttrs = [r["kill_to_recovered_s"] for r in rounds]
+    lost = sum(r["acked_writes_lost"] for r in rounds)
+    cpus = os.cpu_count() or 1
+    gated = cpus >= 4
+    bench_recorder.record(
+        "failover_time_to_recover",
+        rounds=len(rounds),
+        ttr_p50_s=round(percentile(ttrs, 0.50), 3),
+        ttr_p99_s=round(percentile(ttrs, 0.99), 3),
+        detect_to_promoted_p50_s=round(
+            percentile([r["detect_to_promoted_s"] for r in rounds], 0.5), 3
+        ),
+        kill_to_promoted_p50_s=round(
+            percentile([r["kill_to_promoted_s"] for r in rounds], 0.5), 3
+        ),
+        acked_writes=sum(r["acked_writes"] for r in rounds),
+        acked_writes_lost=lost,
+        epochs=[r["epoch"] for r in rounds],
+        coordinator_interval_s=COORDINATOR_INTERVAL_S,
+        phi_threshold=PHI_THRESHOLD,
+        lease_ttl_s=LEASE_TTL_S,
+        cpu_count=cpus,
+        gate_engaged=gated,
+        gate_skip_reason=(
+            None
+            if gated
+            else f"only {cpus} CPU(s): processes time-slice, latency "
+            "measures the scheduler"
+        ),
+    )
+    # Correctness is not CPU-gated: acked writes survive, always.
+    assert lost == 0, f"{lost} acknowledged writes lost across rounds"
+    if gated:
+        assert percentile(ttrs, 0.99) <= TTR_P99_BUDGET_S, (
+            f"p99 time-to-recover {percentile(ttrs, 0.99):.2f}s over "
+            f"budget {TTR_P99_BUDGET_S}s: {ttrs}"
+        )

@@ -40,6 +40,13 @@ Replication: ``--replica-of URL`` opens the database read-only and
 tails the primary at ``URL`` (log shipping); combined with ``--serve``
 this node becomes a read replica.  ``--replica NAME=URL`` (repeatable)
 points the shell/server at known read replicas for status display.
+
+High availability: ``--ha`` arms a serving node with an
+:class:`~repro.ha.node.HAController` (fenced promotion, the ``/ha/*``
+API); ``--ha-supervisor --node NAME=URL ...`` runs the failover
+coordinator instead of a shell — it probes liveness, renews the
+primary's lease, and promotes the best replica when the primary dies.
+See ``docs/HA.md``.
 """
 
 from __future__ import annotations
@@ -412,6 +419,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--replica-name", metavar="NAME", default="replica",
         help="this replica's name, reported to the primary on each pull",
     )
+    ha = parser.add_argument_group(
+        "high availability (repro.ha)",
+        "--ha arms a serving node with an HA controller (fencing, "
+        "promote/demote API); --ha-supervisor runs the failover "
+        "coordinator over --node NAME=URL endpoints instead of a shell",
+    )
+    ha.add_argument(
+        "--ha", action="store_true",
+        help="enable the HA controller on this serving node",
+    )
+    ha.add_argument(
+        "--ha-supervisor", action="store_true",
+        help="run the failover coordinator (needs --node, no --db)",
+    )
+    ha.add_argument(
+        "--node", metavar="NAME=URL", action="append", default=[],
+        help="a supervised cluster node (repeatable; supervisor mode)",
+    )
+    ha.add_argument(
+        "--primary", metavar="NAME", default=None,
+        help="which --node is the current primary (default: the first)",
+    )
+    ha.add_argument(
+        "--ha-interval", metavar="SECONDS", type=float, default=1.0,
+        help="supervisor probe interval (default 1.0)",
+    )
+    ha.add_argument(
+        "--ha-phi-threshold", metavar="PHI", type=float, default=8.0,
+        help="phi-accrual suspicion threshold (default 8.0)",
+    )
+    ha.add_argument(
+        "--ha-lease-ttl", metavar="SECONDS", type=float, default=None,
+        help="write-lease TTL; on a node this arms lease fencing, on "
+        "the supervisor it sets the granted TTL (default 3.0 there)",
+    )
     return parser
 
 
@@ -434,8 +476,61 @@ def open_database(args: argparse.Namespace) -> PrometheusDB:
     return db
 
 
+def run_supervisor(args: argparse.Namespace, out: IO[str]) -> int:
+    """``--ha-supervisor``: probe, renew, fail over.  No database."""
+    from .ha import FailoverCoordinator, http_node
+
+    nodes = []
+    for spec in args.node:
+        name, _, url = spec.partition("=")
+        if not url:
+            print(f"error: --node wants NAME=URL, got {spec!r}",
+                  file=sys.stderr)
+            return 1
+        nodes.append(http_node(name, url))
+    if not nodes:
+        print("error: --ha-supervisor needs at least one --node NAME=URL",
+              file=sys.stderr)
+        return 1
+    primary = args.primary or nodes[0].name
+    try:
+        coordinator = FailoverCoordinator(
+            nodes,
+            primary,
+            interval_s=args.ha_interval,
+            phi_threshold=args.ha_phi_threshold,
+            lease_ttl_s=(
+                args.ha_lease_ttl if args.ha_lease_ttl is not None else 3.0
+            ),
+        )
+    except PrometheusError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"supervising {len(nodes)} node(s); primary={primary} "
+        "(Ctrl-C to stop)",
+        file=out,
+        flush=True,
+    )
+    coordinator.start()
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        coordinator.stop()
+        for report in coordinator.failovers:
+            print(f"failover: {report.as_dict()}", file=out, flush=True)
+    return 0
+
+
 def main(argv: list[str] | None = None, out: IO[str] = sys.stdout) -> int:
     args = build_parser().parse_args(argv)
+    if args.ha_supervisor:
+        return run_supervisor(args, out)
     try:
         db = open_database(args)
     except PrometheusError as exc:
@@ -478,6 +573,25 @@ def main(argv: list[str] | None = None, out: IO[str] = sys.stdout) -> int:
                 return 1
             remotes[name] = RemoteDatabase(url)
 
+    ha = None
+    if args.ha:
+        if db.store is None:
+            print("error: --ha needs --db (fencing lives in the log)",
+                  file=sys.stderr)
+            return 1
+        from .ha import HAController
+        from .replication import HttpPullTransport
+
+        ha = HAController(
+            db,
+            name=args.replica_name,
+            shipper=shipper,
+            replica_client=replica_client,
+            primary_url=args.replica_of,
+            lease_ttl_s=args.ha_lease_ttl,
+            make_transport=HttpPullTransport,
+        )
+
     shell = Shell(
         db,
         out=out,
@@ -495,6 +609,7 @@ def main(argv: list[str] | None = None, out: IO[str] = sys.stdout) -> int:
                 shipper=shipper,
                 replica_client=replica_client,
                 primary_url=args.replica_of,
+                ha=ha,
             )
             server.start()
             print(f"serving on {server.url} (Ctrl-C to stop)", file=out, flush=True)
@@ -522,7 +637,9 @@ def main(argv: list[str] | None = None, out: IO[str] = sys.stdout) -> int:
             shell.execute(line)
         return 0
     finally:
-        if replica_client is not None:
+        if ha is not None and ha.replica_client is not None:
+            ha.replica_client.stop()
+        elif replica_client is not None:
             replica_client.stop()
         db.close()
 

@@ -18,7 +18,7 @@ import threading
 import time
 from typing import TYPE_CHECKING, Any, Callable
 
-from ..errors import SessionError
+from ..errors import NodeDemotedError, SessionError
 from ..telemetry import DISABLED, Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -46,6 +46,10 @@ class Session:
         #: first, or on an in-memory store).  The read router uses it as
         #: the read-your-writes floor when picking a replica.
         self.last_commit_lsn: int | None = None
+        #: Set when this node is demoted with the session open:
+        #: ``(epoch, primary_url)``.  Any further transactional use
+        #: raises :class:`~repro.errors.NodeDemotedError`.
+        self.demoted: "tuple[int, str | None] | None" = None
         self._txn: "Transaction | None" = None
         self._lock = threading.RLock()
 
@@ -61,10 +65,23 @@ class Session:
         txn = self._txn
         return txn is not None and txn.active
 
+    def _check_demoted(self) -> None:
+        if self.demoted is not None:
+            epoch, primary_url = self.demoted
+            target = f"; current primary: {primary_url}" if primary_url else ""
+            raise NodeDemotedError(
+                f"session {self.session_id}: this node was demoted to "
+                f"replica at epoch {epoch}; the open transaction was "
+                f"aborted — reconnect to the primary and retry{target}",
+                epoch=epoch,
+                primary_url=primary_url,
+            )
+
     @property
     def txn(self) -> "Transaction":
         """The session's open transaction, beginning one on demand."""
         with self._lock:
+            self._check_demoted()
             if self._txn is None or not self._txn.active:
                 self._txn = self._manager.begin()
             return self._txn
@@ -72,6 +89,7 @@ class Session:
     def begin(self) -> "Transaction":
         """Explicitly open a transaction (error if one is already open)."""
         with self._lock:
+            self._check_demoted()
             if self.in_txn:
                 raise SessionError(
                     f"session {self.session_id} already has an open "
@@ -88,6 +106,7 @@ class Session:
         so the client can ``begin()`` again and retry.
         """
         with self._lock:
+            self._check_demoted()
             if not self.in_txn:
                 raise SessionError(
                     f"session {self.session_id} has no open transaction"
@@ -116,6 +135,23 @@ class Session:
         if txn is not None:
             self._abort_safely(txn)
 
+    def demote(self, epoch: int, primary_url: "str | None" = None) -> bool:
+        """This node lost the primary role: abort and poison the session.
+
+        The open transaction (if any) is aborted safely; the session
+        stays resolvable so the client's next request gets the *typed*
+        :class:`~repro.errors.NodeDemotedError` (with the successor's
+        URL) rather than a generic unknown-session error.  Returns True
+        when an open transaction was aborted by this call.
+        """
+        with self._lock:
+            self.demoted = (epoch, primary_url)
+            txn, self._txn = self._txn, None
+        aborted = txn is not None and self._abort_safely(txn)
+        if aborted:
+            self.aborts += 1
+        return aborted
+
     def _abort_safely(self, txn: "Transaction") -> bool:
         """Abort ``txn`` without racing an in-flight commit of it.
 
@@ -138,6 +174,7 @@ class Session:
     def info(self) -> dict[str, Any]:
         return {
             "session": self.session_id,
+            "demoted": self.demoted is not None,
             "in_txn": self.in_txn,
             "idle_s": round(self.idle_s, 3),
             "commits": self.commits,
@@ -254,6 +291,25 @@ class SessionManager:
             tel.registry.gauge(
                 "repro_sessions_active", help="Live (non-evicted) sessions"
             ).set(len(self._sessions))
+
+    def demote_all(
+        self, epoch: int, primary_url: "str | None" = None
+    ) -> int:
+        """Demotion fence: abort every open transaction, poison every
+        session with the typed error.  Returns how many sessions had an
+        open transaction aborted."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+        aborted = sum(
+            1 for s in sessions if s.demote(epoch, primary_url)
+        )
+        tel = self.telemetry
+        if tel.enabled and sessions:
+            tel.registry.counter(
+                "repro_ha_sessions_demoted_total",
+                help="Sessions poisoned because this node was demoted",
+            ).inc(len(sessions))
+        return aborted
 
     # -- introspection ------------------------------------------------------
 

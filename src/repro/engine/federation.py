@@ -141,6 +141,37 @@ class RemoteDatabase:
         except FederationError:
             return False
 
+    # -- high availability --------------------------------------------------
+
+    def liveness(self) -> dict[str, Any]:
+        """The cheap ``/health/liveness`` probe (no store locks held)."""
+        return self._get("/health/liveness")
+
+    def readiness(self) -> dict[str, Any]:
+        return self._get("/health/readiness")
+
+    def ha_status(self) -> dict[str, Any]:
+        return self._get("/ha/status")
+
+    def ha_promote(self, epoch: int) -> dict[str, Any]:
+        return self._post("/ha/promote", {"epoch": epoch})
+
+    def ha_demote(
+        self, epoch: int, primary_url: str | None = None
+    ) -> dict[str, Any]:
+        body: dict[str, Any] = {"epoch": epoch}
+        if primary_url:
+            body["primary_url"] = primary_url
+        return self._post("/ha/demote", body)
+
+    def ha_repoint(self, primary_url: str, epoch: int) -> dict[str, Any]:
+        return self._post(
+            "/ha/repoint", {"primary_url": primary_url, "epoch": epoch}
+        )
+
+    def ha_lease(self, epoch: int, ttl_s: float) -> dict[str, Any]:
+        return self._post("/ha/lease", {"epoch": epoch, "ttl_s": ttl_s})
+
 
 @dataclass
 class RetryPolicy:
@@ -353,6 +384,36 @@ class Federation:
         for replica in self.replicas.pop(name, {}):
             self._breakers.pop(f"{name}/{replica}", None)
         self._breakers.pop(name, None)
+
+    def follow_promotion(self, node: str, replica_name: str) -> None:
+        """Failover: ``replica_name`` (one of ``node``'s read replicas)
+        was promoted to primary — swap it into the node slot.
+
+        The promoted replica's client becomes the federation's endpoint
+        for ``node``; it leaves the replica set (reads against it are
+        now primary reads) and both the node's breaker and the old
+        replica breaker are reset, so the first post-failover call is
+        not rejected on the dead primary's accumulated failures.  The
+        deposed primary is dropped entirely — fenced, it must re-join as
+        a replica through the normal registration path.
+        """
+        replicas = self.replicas.get(node, {})
+        promoted = replicas.pop(replica_name, None)
+        if promoted is None:
+            raise FederationError(
+                f"node {node!r} has no read replica {replica_name!r}"
+            )
+        self.nodes[node] = promoted
+        self._breakers.pop(node, None)
+        self._breakers.pop(f"{node}/{replica_name}", None)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "repro_federation_failovers_total",
+                {"node": node},
+                help="Promotions followed (replica swapped into the "
+                "primary slot)",
+            ).inc()
 
     def __len__(self) -> int:
         return len(self.nodes)

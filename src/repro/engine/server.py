@@ -13,7 +13,11 @@ Endpoints::
     GET  /objects/<oid>               — one object's state
     GET  /classifications             — classification names
     GET  /classifications/<name>      — nodes + edges of one classification
-    GET  /health                      — liveness, recovery, breakers
+    GET  /health                      — aggregate: liveness, recovery,
+                                        breakers, replication
+    GET  /health/liveness             — cheap am-I-up probe (no store
+                                        locks; the HA detector's target)
+    GET  /health/readiness            — 200/503: may this node serve?
     GET  /metrics                     — Prometheus text exposition
     GET  /stats                       — telemetry snapshot (JSON)
     POST /query                       — {"query": "...", "params": {...}}
@@ -28,9 +32,19 @@ Replication (repro.replication)::
                                         (primary role only)
     GET  /replicate/status            — shipper/applier status + role
 
+High availability (repro.ha, active when an ``HAController`` is wired)::
+
+    GET  /ha/status                   — role, epoch, fencing, lease
+    POST /ha/promote                  — {"epoch": n} replica → primary
+    POST /ha/demote                   — {"epoch": n, "primary_url": u}
+    POST /ha/repoint                  — {"primary_url": u, "epoch": n}
+    POST /ha/lease                    — {"epoch": n, "ttl_s": t}
+
 A server wired as a *replica* (``replica_client`` set) answers 403 to
 ``/session/<id>/apply`` and ``/commit`` with the primary's URL in the
-body, so write clients can follow the topology.  Read queries carry the
+body, so write clients can follow the topology.  A *fenced* ex-primary
+(deposed by a newer cluster epoch) answers 409 with the current epoch
+on writes and pulls — see ``docs/HA.md``.  Read queries carry the
 serving node's ``lsn`` so clients can enforce staleness bounds.
 
 Session-scoped transactions (repro.concurrency)::
@@ -75,9 +89,11 @@ from ..core.relationships import RelationshipInstance
 from ..concurrency import Session
 from ..errors import (
     ConflictError,
+    NodeDemotedError,
     PrometheusError,
     SchemaError,
     SessionError,
+    StalePrimaryError,
 )
 from .database import PrometheusDB
 from .federation import Federation
@@ -133,6 +149,24 @@ class _Handler(BaseHTTPRequestHandler):
     shipper: Any = None
     replica_client: Any = None
     primary_url: str | None = None
+    # Optional HAController: when set, it owns the mutable role state
+    # (promotion swaps shipper/replica_client under the server's feet),
+    # so every role-sensitive route goes through the _shipper()/
+    # _replica_client()/_primary() helpers instead of the class attrs.
+    ha: Any = None
+
+    def _shipper(self) -> Any:
+        return self.ha.shipper if self.ha is not None else self.shipper
+
+    def _replica_client(self) -> Any:
+        if self.ha is not None:
+            return self.ha.replica_client
+        return self.replica_client
+
+    def _primary(self) -> str | None:
+        if self.ha is not None:
+            return self.ha.primary_url
+        return self.primary_url
 
     # Route protocol-level chatter through the stdlib logging tree
     # instead of discarding it (or spamming stderr).
@@ -212,6 +246,41 @@ class _Handler(BaseHTTPRequestHandler):
         if parts == ["health"]:
             self._send(200, self._health_payload())
             return
+        if parts == ["health", "liveness"]:
+            # Deliberately minimal: plain attribute reads only, no store
+            # or session locks — a node wedged on a lock still answers,
+            # and the failure detector measures *process* liveness.
+            self._send(
+                200,
+                {
+                    "status": "alive",
+                    "role": self._role(),
+                    "epoch": self.ha.epoch
+                    if self.ha is not None
+                    else (
+                        db.store.cluster_epoch
+                        if db.store is not None
+                        else 0
+                    ),
+                    "uptime_s": round(time.time() - self.started_at, 3)
+                    if self.started_at
+                    else None,
+                },
+            )
+            return
+        if parts == ["health", "readiness"]:
+            ready, reasons = self._readiness()
+            self._send(
+                200 if ready else 503,
+                {"ready": ready, "reasons": reasons, "role": self._role()},
+            )
+            return
+        if parts == ["ha", "status"]:
+            if self.ha is None:
+                self._error(404, "this node has no HA controller")
+                return
+            self._send(200, self.ha.status())
+            return
         if parts == ["metrics"]:
             text = self.db.telemetry.registry.render_prometheus()
             self._send_bytes(
@@ -259,17 +328,32 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(200, session.info())
             return
         if parts == ["replicate", "status"]:
+            shipper = self._shipper()
+            replica_client = self._replica_client()
             payload: dict[str, Any] = {
                 "role": self._role(),
                 "commit_lsn": db.store.commit_lsn
                 if db.store is not None
                 else None,
+                "applied_lsn": db.store.commit_lsn
+                if db.store is not None
+                else None,
+                "epoch": self.ha.epoch
+                if self.ha is not None
+                else (
+                    db.store.cluster_epoch if db.store is not None else 0
+                ),
+                # The reign the log's data belongs to — the failover
+                # census ranks candidates by this, not the wire epoch.
+                "log_epoch": db.store.cluster_epoch
+                if db.store is not None
+                else 0,
             }
-            if self.shipper is not None:
-                payload["shipping"] = self.shipper.status()
-            if self.replica_client is not None:
-                payload["applying"] = self.replica_client.status()
-                payload["primary_url"] = self.primary_url
+            if shipper is not None:
+                payload["shipping"] = shipper.status()
+            if replica_client is not None:
+                payload["applying"] = replica_client.status()
+                payload["primary_url"] = self._primary()
             self._send(200, payload)
             return
         if parts == ["classifications"]:
@@ -349,24 +433,52 @@ class _Handler(BaseHTTPRequestHandler):
                 }
                 for name in sorted(self.federation.nodes)
             }
-        if self.shipper is not None or self.replica_client is not None:
+        shipper = self._shipper()
+        replica_client = self._replica_client()
+        if shipper is not None or replica_client is not None:
             replication: dict[str, Any] = {"role": self._role()}
-            if self.shipper is not None:
-                status = self.shipper.status()
+            if shipper is not None:
+                status = shipper.status()
                 replication["commit_lsn"] = status["commit_lsn"]
                 replication["replicas"] = status["replicas"]
                 replication["lag_bytes"] = status["lag_bytes"]
-            if self.replica_client is not None:
-                replication["applying"] = self.replica_client.status()
-                if not self.replica_client.running:
+                replication["epoch"] = status.get("epoch", 0)
+            if replica_client is not None:
+                replication["applying"] = replica_client.status()
+                if not replica_client.running:
                     payload["status"] = "degraded"
             payload["replication"] = replication
+        if self.ha is not None:
+            payload["ha"] = self.ha.status()
         return payload
 
+    def _readiness(self) -> tuple[bool, list[str]]:
+        """May this node serve its role right now?  (reasons when not)
+
+        A fenced node is not ready (clients should go to the successor),
+        a replica whose pull loop died is not ready (it only gets
+        staler), a store that needed salvage on recovery is not ready
+        until an operator looks at it.
+        """
+        reasons: list[str] = []
+        store = self.db.store
+        if store is not None:
+            report = getattr(store, "last_recovery", None)
+            if report is not None and not report.clean:
+                reasons.append("recovery-not-clean")
+        if self.ha is not None and self.ha.fenced:
+            reasons.append("fenced")
+        replica_client = self._replica_client()
+        if replica_client is not None and not replica_client.running:
+            reasons.append("pull-loop-stopped")
+        return not reasons, reasons
+
     def _role(self) -> str:
-        if self.replica_client is not None:
+        if self.ha is not None:
+            return self.ha.role if not self.ha.fenced else "fenced"
+        if self._replica_client() is not None:
             return "replica"
-        if self.shipper is not None:
+        if self._shipper() is not None:
             return "primary"
         return "standalone"
 
@@ -374,8 +486,9 @@ class _Handler(BaseHTTPRequestHandler):
         """Run a read, under the applier's read lock on a replica so the
         result is a commit-boundary snapshot, never a half-applied
         batch."""
-        if self.replica_client is not None:
-            with self.replica_client.applier.read_lock():
+        replica_client = self._replica_client()
+        if replica_client is not None:
+            with replica_client.applier.read_lock():
                 return self.db.query(text, params=params)
         return self.db.query(text, params=params)
 
@@ -409,6 +522,9 @@ class _Handler(BaseHTTPRequestHandler):
         if parts == ["replicate", "pull"]:
             self._route_pull(payload)
             return
+        if parts and parts[0] == "ha":
+            self._route_ha(parts[1:], payload)
+            return
         if parts and parts[0] == "session":
             self._route_session(parts[1:], payload)
             return
@@ -416,7 +532,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route_pull(self, payload: dict[str, Any]) -> None:
         """One replica pull against the local shipper (primary role)."""
-        if self.shipper is None:
+        shipper = self._shipper()
+        if shipper is None:
             self._error(404, "this node does not ship its log")
             return
         try:
@@ -426,16 +543,36 @@ class _Handler(BaseHTTPRequestHandler):
             prefix_crc = None if prefix_crc is None else int(prefix_crc)
             max_bytes = payload.get("max_bytes")
             max_bytes = None if max_bytes is None else int(max_bytes)
+            epoch = payload.get("epoch")
+            epoch = None if epoch is None else int(epoch)
         except (TypeError, ValueError):
             self._error(400, "pull fields must be numeric")
             return
-        status, frame = self.shipper.pull(
+        if epoch is not None and self.ha is not None:
+            # A puller reporting a higher epoch is proof of a promotion
+            # this node missed: self-fence before even consulting the
+            # shipper, so the write path closes in the same breath.
+            self.ha.observe_epoch(epoch)
+        status, frame = shipper.pull(
             from_lsn,
             prefix_crc=prefix_crc,
             wait_s=wait_s,
             max_bytes=max_bytes,
             replica=str(payload.get("replica", "")),
+            epoch=epoch,
         )
+        if status == "stale-primary":
+            self._send(
+                409,
+                {
+                    "status": "stale-primary",
+                    "epoch": self.ha.epoch
+                    if self.ha is not None
+                    else shipper.epoch,
+                    "primary_url": self._primary(),
+                },
+            )
+            return
         if status == "diverged":
             self._send(409, {"status": "diverged"})
             return
@@ -443,6 +580,73 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_bytes(204, "application/octet-stream", b"")
             return
         self._send_bytes(200, "application/octet-stream", frame or b"")
+
+    def _route_ha(self, parts: list[str], payload: dict[str, Any]) -> None:
+        """HA transitions, executed by the node's controller."""
+        if self.ha is None:
+            self._error(404, "this node has no HA controller")
+            return
+        action = parts[0] if len(parts) == 1 else None
+        try:
+            if action == "promote":
+                lsn = self.ha.promote(int(payload.get("epoch", 0)))
+                self._send(
+                    200,
+                    {
+                        "promoted": True,
+                        "epoch": self.ha.epoch,
+                        "stamp_lsn": lsn,
+                    },
+                )
+                return
+            if action == "demote":
+                self.ha.demote(
+                    int(payload.get("epoch", 0)),
+                    payload.get("primary_url"),
+                )
+                self._send(
+                    200, {"demoted": True, "epoch": self.ha.epoch}
+                )
+                return
+            if action == "repoint":
+                self.ha.repoint(
+                    str(payload.get("primary_url", "")),
+                    int(payload.get("epoch", 0)),
+                )
+                client = self.ha.replica_client
+                if client is not None and not client.running:
+                    client.start()
+                self._send(
+                    200,
+                    {
+                        "repointed": True,
+                        "primary_url": self.ha.primary_url,
+                        "epoch": self.ha.epoch,
+                    },
+                )
+                return
+            if action == "lease":
+                self.ha.grant_lease(
+                    int(payload.get("epoch", 0)),
+                    float(payload.get("ttl_s", 0.0)),
+                )
+                self._send(200, {"leased": True, "epoch": self.ha.epoch})
+                return
+        except StalePrimaryError as exc:
+            self._send(
+                409,
+                {
+                    "error": str(exc),
+                    "status": "stale-primary",
+                    "epoch": exc.epoch,
+                    "primary_url": exc.primary_url or self._primary(),
+                },
+            )
+            return
+        except (TypeError, ValueError):
+            self._error(400, "ha fields must be numeric")
+            return
+        self._error(404, f"no route for {self.path!r}")
 
     # -- session-scoped transactions (repro.concurrency) --------------------
 
@@ -473,42 +677,82 @@ class _Handler(BaseHTTPRequestHandler):
             result = self._run_query(text, payload.get("params", {}))
             self._send(200, {"result": jsonable(result)})
             return
-        if action in ("apply", "commit") and self.replica_client is not None:
-            self._send(
-                403,
-                {
-                    "error": "this node is a read replica; "
-                    "writes go to the primary",
-                    "primary_url": self.primary_url,
-                },
-            )
-            return
+        if action in ("apply", "commit"):
+            if self._replica_client() is not None:
+                self._send(
+                    403,
+                    {
+                        "error": "this node is a read replica; "
+                        "writes go to the primary",
+                        "primary_url": self._primary(),
+                    },
+                )
+                return
+            if self.ha is not None and not self.ha.writes_allowed():
+                # Fenced (or lease-expired) ex-primary: 409 + the
+                # current epoch, so the client rediscovers instead of
+                # retrying against a node that can never accept.
+                tel = db.telemetry
+                if tel.enabled:
+                    tel.registry.counter(
+                        "repro_ha_fenced_writes_total",
+                        help="Writes refused because this node is "
+                        "fenced or lost its lease",
+                    ).inc()
+                self._send(
+                    409,
+                    {
+                        "error": "this node is fenced: it is not the "
+                        "current primary",
+                        "stale_primary": True,
+                        "epoch": self.ha.epoch,
+                        "primary_url": self._primary(),
+                        "retry": True,
+                    },
+                )
+                return
         if action == "apply":
             ops = payload.get("ops")
             if not isinstance(ops, list):
                 self._error(400, "missing 'ops' (a list)")
                 return
-            self._send(200, {"results": self._apply_ops(session, ops)})
+            try:
+                results = self._apply_ops(session, ops)
+            except NodeDemotedError as exc:
+                self._send_demoted(exc)
+                return
+            self._send(200, {"results": results})
             return
         if action == "commit":
             try:
                 ts = session.commit()
+            except NodeDemotedError as exc:
+                self._send_demoted(exc)
+                return
             except ConflictError as exc:
                 self._send(
                     409,
                     {"error": str(exc), "conflict": True, "retry": True},
                 )
                 return
-            self._send(
-                200,
-                {
-                    "committed": True,
-                    "commit_ts": ts,
-                    # For read-your-writes routing: reads bounded by this
-                    # LSN must go to nodes that have applied it.
-                    "commit_lsn": session.last_commit_lsn,
-                },
-            )
+            body: dict[str, Any] = {
+                "committed": True,
+                "commit_ts": ts,
+                # For read-your-writes routing: reads bounded by this
+                # LSN must go to nodes that have applied it.
+                "commit_lsn": session.last_commit_lsn,
+            }
+            min_acks = payload.get("wait_replicated")
+            shipper = self._shipper()
+            if min_acks and shipper is not None:
+                # Semi-synchronous ack: only report replicated=True once
+                # the commit's bytes were pulled by that many replicas.
+                body["replicated"] = shipper.wait_replicated(
+                    session.last_commit_lsn or 0,
+                    min_acks=int(min_acks),
+                    timeout_s=float(payload.get("wait_timeout_s", 5.0)),
+                )
+            self._send(200, body)
             return
         if action == "abort":
             session.abort()
@@ -519,6 +763,19 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(200, {"released": True})
             return
         self._error(404, f"no route for {self.path!r}")
+
+    def _send_demoted(self, exc: NodeDemotedError) -> None:
+        """The typed demotion answer: 409 + the successor's address."""
+        self._send(
+            409,
+            {
+                "error": str(exc),
+                "demoted": True,
+                "epoch": exc.epoch,
+                "primary_url": exc.primary_url or self._primary(),
+                "retry": True,
+            },
+        )
 
     def _apply_ops(self, session: Session, ops: list[Any]) -> list[Any]:
         """Stage each op on the session's transaction, in order.
@@ -595,7 +852,15 @@ class PrometheusServer:
         shipper: Any = None,
         replica_client: Any = None,
         primary_url: str | None = None,
+        ha: Any = None,
     ):
+        if ha is not None:
+            if shipper is None:
+                shipper = ha.shipper
+            if replica_client is None:
+                replica_client = ha.replica_client
+            if primary_url is None:
+                primary_url = ha.primary_url
         handler = type(
             "BoundHandler",
             (_Handler,),
@@ -606,8 +871,10 @@ class PrometheusServer:
                 "shipper": shipper,
                 "replica_client": replica_client,
                 "primary_url": primary_url,
+                "ha": ha,
             },
         )
+        self.ha = ha
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
 

@@ -57,6 +57,26 @@ class SessionError(PrometheusError):
     """Session-layer failure (unknown/expired token, session limit)."""
 
 
+class NodeDemotedError(SessionError):
+    """This node was demoted to replica while the session was open.
+
+    The session's transaction has been aborted by the demotion; the
+    client should reconnect to the current primary (``primary_url`` when
+    known) and retry from ``begin()``.  ``epoch`` is the cluster epoch
+    of the promotion that deposed this node.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        epoch: int = 0,
+        primary_url: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+        self.primary_url = primary_url
+
+
 class SerializationError(StorageError):
     """A value cannot be encoded to, or decoded from, the record format."""
 
@@ -141,6 +161,26 @@ class ReplicationError(PrometheusError):
 class DivergedError(ReplicationError):
     """The replica's log is not a prefix of the primary's (e.g. the
     primary compacted); the replica must reset and re-sync from empty."""
+
+
+class StalePrimaryError(ReplicationError):
+    """The peer (or this node) belongs to a superseded cluster epoch.
+
+    Raised when a pull or write hits a node that has been fenced off by
+    a newer promotion — the caller should rediscover the current primary
+    and retry.  ``epoch`` carries the highest cluster epoch the refusing
+    side knows; ``primary_url`` (when known) points at the successor.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        epoch: int = 0,
+        primary_url: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+        self.primary_url = primary_url
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,42 @@
+"""High availability: failure detection, fenced promotion, supervision.
+
+Built on the PR-5 replication stack, this package removes the topology's
+single point of failure.  Three pieces:
+
+* :mod:`detector` — a phi-accrual-style failure detector: heartbeat
+  arrival intervals feed an exponential model, and "suspicion" is a
+  continuous ``phi`` value compared against a threshold, not a binary
+  timeout.
+* :mod:`node` — :class:`HAController`, the per-node role machine:
+  primary or replica, fenced or not, holding (and checking) the write
+  lease, executing promote/demote/repoint transitions.
+* :mod:`supervisor` — :class:`FailoverCoordinator`, the external
+  supervisor: probes ``/health/liveness``, renews the primary's lease,
+  and when the primary is suspected performs a *fenced* failover —
+  wait out the lease, pick the replica with the highest applied LSN,
+  stamp a new cluster epoch, re-point the survivors.
+
+Fencing is epoch-based: a monotonic cluster epoch is stamped into the
+record log (it replicates like any other entry) and carried by every
+shipped frame; a deposed primary that comes back is rejected with the
+current epoch instead of splitting the brain.  See ``docs/HA.md`` for
+the state machine and the operator runbook.
+"""
+
+from .detector import PhiAccrualDetector
+from .node import HAController
+from .supervisor import (
+    FailoverCoordinator,
+    FailoverReport,
+    SupervisedNode,
+    http_node,
+)
+
+__all__ = [
+    "FailoverCoordinator",
+    "FailoverReport",
+    "HAController",
+    "PhiAccrualDetector",
+    "SupervisedNode",
+    "http_node",
+]

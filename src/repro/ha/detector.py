@@ -1,0 +1,129 @@
+"""Phi-accrual-style failure detection over heartbeat arrivals.
+
+Classic timeout detectors answer "is the node dead?" with a boolean
+derived from one magic number.  The phi-accrual detector (Hayashibara
+et al.) instead outputs a *suspicion level* ``phi`` that grows
+continuously the longer a heartbeat is overdue, scaled by how regular
+the node's past heartbeats were: a node that heartbeats like clockwork
+is suspected quickly, a jittery one is given slack.  The caller picks a
+threshold (8 is the customary default: roughly "one false positive if
+heartbeats were this overdue 10^8 intervals in a row").
+
+This implementation uses the exponential-distribution variant (as in
+Cassandra): with mean observed interval ``m`` and time-since-last-beat
+``t``, ``P(still alive) = exp(-t/m)`` and
+
+    phi = -log10(P) = (t / m) * log10(e)
+
+It needs only the running mean, is monotone in ``t``, and behaves
+sanely with the small sample counts a fresh cluster has.  The clock is
+injectable so tests (and the chaos harness) can drive it virtually.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from typing import Any, Callable
+
+#: log10(e): converts the exponential model's exponent into a phi value.
+_LOG10_E = math.log10(math.e)
+
+#: Default suspicion threshold (the literature's customary value).
+DEFAULT_THRESHOLD = 8.0
+
+
+class PhiAccrualDetector:
+    """Tracks heartbeat arrivals per node and exposes ``phi``/``suspect``.
+
+    Args:
+        threshold: suspicion level at which :meth:`suspect` fires.
+        window: how many recent inter-arrival intervals feed the mean.
+        min_interval_s: floor on the modelled mean interval — guards
+            against a burst of rapid-fire heartbeats (mean ~ 0) making
+            the detector hair-triggered forever after.
+        first_heartbeat_estimate_s: stand-in mean until two heartbeats
+            have arrived.
+        clock: injectable monotonic clock.
+    """
+
+    def __init__(
+        self,
+        threshold: float = DEFAULT_THRESHOLD,
+        window: int = 128,
+        min_interval_s: float = 0.05,
+        first_heartbeat_estimate_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.window = window
+        self.min_interval_s = min_interval_s
+        self.first_heartbeat_estimate_s = first_heartbeat_estimate_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._intervals: dict[str, deque[float]] = {}
+        self._last_beat: dict[str, float] = {}
+
+    def heartbeat(self, node: str) -> None:
+        """Record one heartbeat arrival from ``node``."""
+        now = self._clock()
+        with self._lock:
+            last = self._last_beat.get(node)
+            if last is not None:
+                window = self._intervals.setdefault(
+                    node, deque(maxlen=self.window)
+                )
+                window.append(max(0.0, now - last))
+            self._last_beat[node] = now
+
+    def forget(self, node: str) -> None:
+        """Drop a node's history (it left the cluster)."""
+        with self._lock:
+            self._intervals.pop(node, None)
+            self._last_beat.pop(node, None)
+
+    def _mean_interval(self, node: str) -> float:
+        window = self._intervals.get(node)
+        if not window:
+            return self.first_heartbeat_estimate_s
+        return max(sum(window) / len(window), self.min_interval_s)
+
+    def phi(self, node: str) -> float:
+        """Current suspicion level for ``node``.
+
+        0.0 for a node we have never heard from (no evidence either
+        way — the supervisor decides how to treat strangers); grows
+        without bound as a known node stays silent.
+        """
+        with self._lock:
+            last = self._last_beat.get(node)
+            if last is None:
+                return 0.0
+            elapsed = max(0.0, self._clock() - last)
+            return (elapsed / self._mean_interval(node)) * _LOG10_E
+
+    def suspect(self, node: str) -> bool:
+        return self.phi(node) >= self.threshold
+
+    def last_heard(self, node: str) -> float | None:
+        """Seconds since ``node``'s last heartbeat (None = never)."""
+        with self._lock:
+            last = self._last_beat.get(node)
+            if last is None:
+                return None
+            return max(0.0, self._clock() - last)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        with self._lock:
+            nodes = sorted(self._last_beat)
+        out: dict[str, dict[str, Any]] = {}
+        for node in nodes:
+            out[node] = {
+                "phi": round(self.phi(node), 3),
+                "suspect": self.suspect(node),
+                "last_heard_s": self.last_heard(node),
+                "samples": len(self._intervals.get(node, ())),
+            }
+        return out

@@ -1,0 +1,334 @@
+"""Per-node HA role machine: primary/replica, fencing, lease, transitions.
+
+One :class:`HAController` wraps one :class:`~repro.engine.database.
+PrometheusDB` and owns its cluster role.  The controller is the single
+place where the role changes, so the server, the CLI and the chaos
+harness all agree on what this node currently is:
+
+* ``primary`` — holds (when configured) a write lease granted by the
+  supervisor; writes are allowed only while the lease is live and the
+  node is not fenced.
+* ``replica`` — pulls from a primary via its
+  :class:`~repro.replication.replica.ReplicationClient`.
+
+Transitions (see ``docs/HA.md`` for the full state machine):
+
+* :meth:`promote` — replica → primary at a new, higher epoch.  The
+  epoch is stamped into the record log *first thing* so it replicates
+  to every survivor and permanently outranks the deposed primary.
+* :meth:`demote` / :meth:`fence` — primary → fenced.  Open sessions
+  are aborted with the typed
+  :class:`~repro.errors.NodeDemotedError`, the store flips read-only,
+  and every subsequent write or pull against this node answers with
+  the current epoch.
+* :meth:`repoint` — replica (or fenced ex-primary) → replica of a new
+  primary.  A fenced ex-primary re-joins through the normal
+  replication path: divergence detection will reset it if its log
+  grew past the promotion point.
+
+Epoch arithmetic is deliberately dumb: a single monotonic integer,
+compared with ``>``.  No quorums here — the supervisor is the single
+elector, and *fencing* (lease expiry + epoch rejection), not
+consensus, is what prevents dual primaries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..errors import ReplicationError, StalePrimaryError
+from ..replication.replica import ReplicaApplier, ReplicationClient
+from ..replication.stream import LogShipper
+from ..telemetry import DISABLED, Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.database import PrometheusDB
+
+
+class HAController:
+    """Owns one node's cluster role and executes HA transitions.
+
+    Args:
+        db: the node's database (must have a persistent store).
+        name: this node's cluster-wide name.
+        shipper: the primary-side :class:`LogShipper` (primaries only;
+            created on promotion otherwise).
+        replica_client: the pull loop (replicas only).
+        primary_url: where the current primary lives, when known.
+        lease_ttl_s: when set, primary writes additionally require a
+            live lease (granted by the supervisor via
+            :meth:`grant_lease`, self-granted on promotion).  ``None``
+            disables lease checking — standalone primaries stay
+            writable forever.
+        clock: injectable monotonic clock (virtual in the chaos tests).
+        make_transport: ``url -> transport`` factory used by
+            :meth:`repoint` to build the pull transport at the new
+            primary (HTTP in production, in-process in tests).
+    """
+
+    def __init__(
+        self,
+        db: "PrometheusDB",
+        name: str,
+        shipper: LogShipper | None = None,
+        replica_client: ReplicationClient | None = None,
+        primary_url: str | None = None,
+        lease_ttl_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        make_transport: Callable[[str], Any] | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if db.store is None:
+            raise ReplicationError("HA needs a persistent store")
+        self.db = db
+        self.name = name
+        self.shipper = shipper
+        self.replica_client = replica_client
+        self.primary_url = primary_url
+        self.lease_ttl_s = lease_ttl_s
+        self._clock = clock
+        self.make_transport = make_transport
+        self.telemetry = (
+            telemetry if telemetry is not None else db.telemetry
+        )
+        self.role = "replica" if replica_client is not None else "primary"
+        self.fenced = False
+        self.promotions = 0
+        self.fences = 0
+        self.last_fence_reason: str | None = None
+        self._epoch_seen = 0
+        # With lease fencing armed, a primary starts UNLEASED: only the
+        # supervisor's grant (or a promotion, which is supervisor-
+        # ordered) opens the write window.  A deposed primary that
+        # restarts therefore cannot self-authorize writes it would lose.
+        self._lease_expires: float | None = None
+        self._lock = threading.RLock()
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Highest cluster epoch this node knows about.
+
+        The max of the log's stamped epoch and anything learned out of
+        band (a frame, a rejected pull, a supervisor demote) — the
+        out-of-band value can lead the log while a promotion's stamp is
+        still replicating.
+        """
+        store = self.db.store
+        assert store is not None
+        seen = self._epoch_seen
+        client = self.replica_client
+        if client is not None:
+            seen = max(seen, client.applier.known_epoch)
+        return max(store.cluster_epoch, seen)
+
+    def lease_valid(self) -> bool:
+        if self.lease_ttl_s is None:
+            return True
+        expires = self._lease_expires
+        return expires is not None and self._clock() < expires
+
+    def writes_allowed(self) -> bool:
+        """May this node accept a write *right now*?
+
+        Primary role, not fenced, lease live.  The server consults this
+        before every session apply/commit; the chaos harness asserts at
+        most one node in the cluster ever answers True.
+        """
+        with self._lock:
+            return (
+                self.role == "primary"
+                and not self.fenced
+                and self.lease_valid()
+            )
+
+    # -- epoch observations ------------------------------------------------
+
+    def observe_epoch(self, epoch: int) -> None:
+        """Learn an epoch from the outside world; self-fence if deposed.
+
+        A primary that hears of a higher epoch has been superseded by a
+        promotion it did not see (it was partitioned away) — it fences
+        itself immediately rather than waiting for the supervisor.
+        """
+        with self._lock:
+            was_newer = epoch > self.epoch
+            if epoch > self._epoch_seen:
+                self._epoch_seen = epoch
+            if was_newer and self.role == "primary":
+                self.fence(f"superseded by epoch {epoch}")
+
+    # -- transitions -------------------------------------------------------
+
+    def fence(self, reason: str) -> None:
+        """Stop accepting writes permanently (until promoted again).
+
+        Idempotent.  Aborts every open session with the typed demotion
+        error and flips the store read-only so even non-session write
+        paths are refused.
+        """
+        with self._lock:
+            if self.fenced:
+                return
+            self.fenced = True
+            store = self.db.store
+            assert store is not None
+            manager = getattr(self.db, "_sessions", None)
+            if manager is not None:
+                manager.demote_all(self.epoch, self.primary_url)
+            store.make_read_only()
+            self.fences += 1
+            self.last_fence_reason = reason
+            tel = self.telemetry
+            if tel.enabled:
+                tel.registry.counter(
+                    "repro_ha_fences_total",
+                    help="Times this node fenced itself off from writes",
+                ).inc()
+
+    def promote(self, epoch: int) -> int:
+        """Become primary at ``epoch``; returns the stamp's commit LSN.
+
+        Order matters: the pull loop stops first (no frames land under
+        our feet), the store flips writable, and the *first* write of
+        the new reign is the epoch stamp — it replicates to every
+        survivor before any data does, so a survivor that later hears
+        from the deposed primary already outranks it.
+        """
+        with self._lock:
+            if epoch <= self.epoch:
+                raise StalePrimaryError(
+                    f"cannot promote {self.name} at epoch {epoch}: it "
+                    f"already knows epoch {self.epoch}",
+                    epoch=self.epoch,
+                )
+            store = self.db.store
+            assert store is not None
+            if self.replica_client is not None:
+                self.replica_client.stop()
+                self.replica_client = None
+            store.make_writable()
+            lsn = store.stamp_epoch(epoch)
+            self._epoch_seen = epoch
+            if self.shipper is None:
+                self.shipper = LogShipper(store, telemetry=self.telemetry)
+            self.role = "primary"
+            self.fenced = False
+            self.primary_url = None
+            self.promotions += 1
+            if self.lease_ttl_s is not None:
+                self._lease_expires = self._clock() + self.lease_ttl_s
+            tel = self.telemetry
+            if tel.enabled:
+                tel.registry.counter(
+                    "repro_ha_promotions_total",
+                    help="Replica-to-primary promotions executed",
+                ).inc()
+                tel.registry.gauge(
+                    "repro_ha_cluster_epoch",
+                    help="This node's view of the cluster epoch",
+                ).set(epoch)
+            return lsn
+
+    def demote(self, epoch: int, primary_url: str | None = None) -> None:
+        """Supervisor-ordered demotion: fence, remember the successor."""
+        with self._lock:
+            if epoch > self._epoch_seen:
+                self._epoch_seen = epoch
+            if primary_url:
+                self.primary_url = primary_url
+            if self.role == "primary":
+                self.fence(f"demoted at epoch {epoch}")
+            tel = self.telemetry
+            if tel.enabled:
+                tel.registry.gauge(
+                    "repro_ha_cluster_epoch",
+                    help="This node's view of the cluster epoch",
+                ).set(self.epoch)
+
+    def repoint(self, primary_url: str, epoch: int) -> None:
+        """Follow a promotion: pull from ``primary_url`` from now on.
+
+        For a running replica this swaps the transport in place.  For a
+        fenced ex-primary it builds the replica machinery (applier +
+        client) so the node re-joins the new reign as a follower; its
+        log is usually a prefix of the winner's (the winner had the
+        highest LSN) and replication just continues — when it is not,
+        divergence detection resets it.
+        """
+        if self.make_transport is None:
+            raise ReplicationError(
+                f"node {self.name} has no transport factory; cannot "
+                "repoint"
+            )
+        with self._lock:
+            if epoch < self.epoch:
+                raise StalePrimaryError(
+                    f"refusing to repoint {self.name} at stale epoch "
+                    f"{epoch} (known: {self.epoch})",
+                    epoch=self.epoch,
+                )
+            if epoch > self._epoch_seen:
+                self._epoch_seen = epoch
+            transport = self.make_transport(primary_url)
+            if self.role == "primary":
+                # Deposed primary rejoining as a follower.
+                self.fence(f"repointed to {primary_url} at epoch {epoch}")
+                self.role = "replica"
+                self.shipper = None
+            self.primary_url = primary_url
+            client = self.replica_client
+            if client is not None:
+                was_running = client.running
+                client.stop()
+                client.applier.observe_epoch(epoch)
+                client.set_transport(transport)
+                client.failovers_followed += 1
+                if was_running:
+                    client.start()
+            else:
+                applier = ReplicaApplier(self.db, telemetry=self.telemetry)
+                applier.observe_epoch(epoch)
+                self.replica_client = ReplicationClient(
+                    applier, transport, name=self.name
+                )
+
+    def grant_lease(self, epoch: int, ttl_s: float) -> None:
+        """Supervisor lease renewal; stale-epoch grants are rejected."""
+        with self._lock:
+            if epoch < self.epoch:
+                raise StalePrimaryError(
+                    f"lease grant at epoch {epoch} rejected: node knows "
+                    f"epoch {self.epoch}",
+                    epoch=self.epoch,
+                )
+            self.lease_ttl_s = ttl_s
+            self._lease_expires = self._clock() + ttl_s
+
+    # -- introspection -----------------------------------------------------
+
+    def status(self) -> dict[str, Any]:
+        store = self.db.store
+        assert store is not None
+        with self._lock:
+            lease_remaining = None
+            if self.lease_ttl_s is not None and self._lease_expires:
+                lease_remaining = round(
+                    self._lease_expires - self._clock(), 3
+                )
+            return {
+                "name": self.name,
+                "role": self.role,
+                "epoch": self.epoch,
+                "fenced": self.fenced,
+                "writes_allowed": self.writes_allowed(),
+                "applied_lsn": store.commit_lsn,
+                "primary_url": self.primary_url,
+                "lease_ttl_s": self.lease_ttl_s,
+                "lease_remaining_s": lease_remaining,
+                "promotions": self.promotions,
+                "fences": self.fences,
+            }

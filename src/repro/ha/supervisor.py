@@ -1,0 +1,377 @@
+"""The external supervisor: liveness probing, lease renewal, failover.
+
+:class:`FailoverCoordinator` watches a fixed set of nodes (one primary,
+N replicas).  Each :meth:`tick`:
+
+1. probe every node's ``/health/liveness`` (cheap, lock-free on the
+   node side) and feed arrivals into the phi-accrual detector;
+2. renew the live primary's write lease;
+3. if the primary's suspicion crosses the threshold, run
+   :meth:`failover`.
+
+Failover is *fenced*, not consensual — correctness comes from ordering:
+
+1. **Wait out the lease.**  The deposed primary's lease (plus a clock
+   skew allowance) must expire before anyone else is promoted; after
+   that instant it refuses writes on its own, even if partitioned away
+   from everything, so the old reign and the new can never overlap.
+2. **Pick the winner — with a quorum.**  Promotion requires a majority
+   of the cluster to be reachable as candidates; the winner is the
+   candidate with the highest ``(log epoch, applied LSN)``.  The pair
+   matters: within one reign there is a single writer, so the LSN
+   totally orders the prefixes, and across reigns the log epoch
+   outranks raw length — a deposed primary's diverged log can be
+   *longer* (unreplicated commits) without being *more complete*.
+   Combined with the write-side ack quorum (primary + at least one
+   replica = a majority of three), any acknowledged write is held by a
+   member of every candidate majority, and the freshest candidate's
+   log contains it.  With fewer candidates than a majority the
+   coordinator refuses to promote: the cluster stays unavailable
+   rather than guessing (the CP choice).
+3. **Stamp the epoch.**  The winner promotes at ``max(observed)+1``;
+   the stamp is the first entry of the new log reign and replicates to
+   every survivor.
+4. **Re-point the survivors** at the winner, **demote** the old primary
+   (best-effort — it may be dead; fencing already covers it), and
+   grant the winner its first lease.
+
+The clock *and* sleep are injectable, so the chaos harness drives the
+whole sequence on virtual time, deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import ReplicationError
+from ..telemetry import DISABLED, Telemetry
+from .detector import DEFAULT_THRESHOLD, PhiAccrualDetector
+
+
+@dataclass
+class SupervisedNode:
+    """One node as the coordinator sees it: a name, a URL, callables.
+
+    The callables let the same coordinator supervise HTTP nodes in
+    production and in-process :class:`~repro.ha.node.HAController`
+    objects in the chaos harness.  Every callable may raise — the
+    coordinator treats any exception as "unreachable".
+
+    * ``liveness()`` — cheap probe; any return counts as a heartbeat.
+    * ``status()`` — replication status (``applied_lsn``, ``epoch``).
+    * ``promote(epoch)`` / ``demote(epoch, primary_url)`` /
+      ``repoint(primary_url, epoch)`` / ``lease(epoch, ttl_s)`` — the
+      HA transitions.
+    """
+
+    name: str
+    url: str
+    liveness: Callable[[], Any]
+    status: Callable[[], dict[str, Any]]
+    promote: Callable[[int], Any]
+    demote: Callable[[int, str | None], Any]
+    repoint: Callable[[str, int], Any]
+    lease: Callable[[int, float], Any]
+
+
+def http_node(
+    name: str, url: str, timeout_s: float = 5.0
+) -> SupervisedNode:
+    """A :class:`SupervisedNode` speaking the server's HTTP HA API."""
+    from ..engine.federation import RemoteDatabase
+
+    client = RemoteDatabase(url, timeout=timeout_s)
+    return SupervisedNode(
+        name=name,
+        url=url,
+        liveness=client.liveness,
+        status=client.replication_status,
+        promote=lambda epoch: client.ha_promote(epoch),
+        demote=lambda epoch, primary_url: client.ha_demote(
+            epoch, primary_url
+        ),
+        repoint=lambda primary_url, epoch: client.ha_repoint(
+            primary_url, epoch
+        ),
+        lease=lambda epoch, ttl_s: client.ha_lease(epoch, ttl_s),
+    )
+
+
+@dataclass
+class FailoverReport:
+    """What one failover did, for operators and the bench."""
+
+    old_primary: str
+    new_primary: str
+    epoch: int
+    #: candidate -> (log_epoch, applied_lsn) as seen by the census.
+    candidates: dict[str, tuple[int, int]] = field(default_factory=dict)
+    repointed: list[str] = field(default_factory=list)
+    demote_ok: bool = False
+    detect_to_promoted_s: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "old_primary": self.old_primary,
+            "new_primary": self.new_primary,
+            "epoch": self.epoch,
+            "candidates": {
+                name: list(pair) for name, pair in self.candidates.items()
+            },
+            "repointed": list(self.repointed),
+            "demote_ok": self.demote_ok,
+            "detect_to_promoted_s": round(self.detect_to_promoted_s, 4),
+        }
+
+
+class FailoverCoordinator:
+    """Probes the fleet, renews the lease, promotes on primary loss.
+
+    Args:
+        nodes: every node in the cluster (the primary included).
+        primary: the current primary's name (must be in ``nodes``).
+        interval_s: tick period of the background loop.
+        phi_threshold: suspicion level that triggers failover.
+        lease_ttl_s: write-lease duration granted to the primary; the
+            failover waits ``lease_ttl_s + skew_allowance_s`` before
+            promoting so the old lease provably expired first.
+        skew_allowance_s: how much the deposed primary's clock may run
+            slow relative to ours and still have its lease expire
+            within the wait.
+        promotion_quorum: how many candidates (reachable non-primary
+            nodes) the census must find before a failover may promote.
+            Defaults to a majority of the cluster, which together with
+            the primary-plus-one write ack quorum guarantees no
+            acknowledged write is lost by a promotion.
+        clock / sleep: injectable time, for the chaos harness.
+    """
+
+    def __init__(
+        self,
+        nodes: list[SupervisedNode],
+        primary: str,
+        interval_s: float = 1.0,
+        phi_threshold: float = DEFAULT_THRESHOLD,
+        lease_ttl_s: float = 3.0,
+        skew_allowance_s: float = 0.5,
+        promotion_quorum: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.nodes = {node.name: node for node in nodes}
+        if primary not in self.nodes:
+            raise ReplicationError(f"unknown primary {primary!r}")
+        self.primary = primary
+        self.promotion_quorum = (
+            promotion_quorum
+            if promotion_quorum is not None
+            else (len(self.nodes) + 1) // 2
+        )
+        self.interval_s = interval_s
+        self.lease_ttl_s = lease_ttl_s
+        self.skew_allowance_s = skew_allowance_s
+        self._clock = clock
+        self._sleep = sleep
+        self.telemetry = telemetry if telemetry is not None else DISABLED
+        self.detector = PhiAccrualDetector(
+            threshold=phi_threshold, clock=clock
+        )
+        self.epoch = 0
+        self.failovers: list[FailoverReport] = []
+        self.ticks = 0
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- one supervision round --------------------------------------------
+
+    def probe(self, name: str) -> dict[str, Any] | None:
+        """Liveness-probe one node; heartbeat the detector on success.
+
+        Returns the liveness body ({} when the probe succeeded but
+        returned something non-dict), or None when unreachable.
+        """
+        node = self.nodes[name]
+        try:
+            body = node.liveness()
+        except Exception:
+            return None
+        self.detector.heartbeat(name)
+        if not isinstance(body, dict):
+            return {}
+        epoch = int(body.get("epoch") or 0)
+        if epoch > self.epoch:
+            self.epoch = epoch
+        return body
+
+    def tick(self) -> FailoverReport | None:
+        """One round: probe everyone, renew the lease, maybe fail over."""
+        with self._lock:
+            self.ticks += 1
+            primary_alive = False
+            for name in sorted(self.nodes):
+                body = self.probe(name)
+                if name == self.primary:
+                    primary_alive = body is not None
+                elif (
+                    body is not None
+                    and body.get("role") == "primary"
+                    and int(body.get("epoch") or 0) < self.epoch
+                ):
+                    # A deposed primary returned from the dead (pause,
+                    # restart) still wearing the crown at a stale epoch.
+                    # Its lease has long expired so it is not accepting
+                    # writes, but fence it explicitly so its sessions
+                    # fail fast with the typed error.
+                    try:
+                        self.nodes[name].demote(
+                            self.epoch, self.nodes[self.primary].url
+                        )
+                    except Exception:
+                        pass
+            if primary_alive:
+                try:
+                    self.nodes[self.primary].lease(
+                        max(self.epoch, 1), self.lease_ttl_s
+                    )
+                except Exception:
+                    pass  # renewal is retried next tick; expiry fences
+                return None
+            if not self.detector.suspect(self.primary):
+                return None  # silent but not yet past the threshold
+            return self.failover()
+
+    def failover(self) -> FailoverReport | None:
+        """Fenced promotion of the best surviving replica.
+
+        Returns None when no replica is reachable (nothing to promote
+        — the cluster stays down rather than guessing).
+        """
+        with self._lock:
+            started = self._clock()
+            old_primary = self.primary
+            # 1. The old lease must have expired before a new reign
+            # starts, clock skew included.
+            self._sleep(self.lease_ttl_s + self.skew_allowance_s)
+            # 2. Census of the survivors.
+            candidates: dict[str, tuple[int, int]] = {}
+            observed_epoch = self.epoch
+            for name, node in self.nodes.items():
+                if name == old_primary:
+                    continue
+                try:
+                    status = node.status()
+                except Exception:
+                    continue
+                known_epoch = int(status.get("epoch") or 0)
+                log_epoch = int(
+                    status.get("log_epoch", known_epoch) or 0
+                )
+                candidates[name] = (
+                    log_epoch,
+                    int(status.get("applied_lsn") or 0),
+                )
+                observed_epoch = max(observed_epoch, known_epoch)
+            if len(candidates) < self.promotion_quorum:
+                return None  # cannot promote safely: stay down (CP)
+            # Freshest (log epoch, applied LSN) wins — the epoch first,
+            # so a deposed primary's diverged-but-longer log never
+            # outranks the current reign; the name breaks exact ties so
+            # every coordinator run (and chaos seed) picks the same one.
+            winner = min(
+                candidates,
+                key=lambda n: (-candidates[n][0], -candidates[n][1], n),
+            )
+            new_epoch = observed_epoch + 1
+            # 3. Stamp the new reign.
+            self.nodes[winner].promote(new_epoch)
+            self.epoch = new_epoch
+            self.primary = winner
+            promoted_at = self._clock()
+            report = FailoverReport(
+                old_primary=old_primary,
+                new_primary=winner,
+                epoch=new_epoch,
+                candidates=candidates,
+                detect_to_promoted_s=promoted_at - started,
+            )
+            # 4. Fence the loser (best-effort), re-point the rest.
+            try:
+                self.nodes[old_primary].demote(
+                    new_epoch, self.nodes[winner].url
+                )
+                report.demote_ok = True
+            except Exception:
+                pass  # dead or partitioned; lease expiry fences it
+            for name in sorted(candidates):
+                if name == winner:
+                    continue
+                try:
+                    self.nodes[name].repoint(
+                        self.nodes[winner].url, new_epoch
+                    )
+                    report.repointed.append(name)
+                except Exception:
+                    continue
+            try:
+                self.nodes[winner].lease(new_epoch, self.lease_ttl_s)
+            except Exception:
+                pass
+            self.detector.forget(old_primary)
+            self.failovers.append(report)
+            tel = self.telemetry
+            if tel.enabled:
+                tel.registry.counter(
+                    "repro_ha_failovers_total",
+                    help="Fenced failovers executed by the supervisor",
+                ).inc()
+                tel.registry.gauge(
+                    "repro_ha_cluster_epoch",
+                    help="The supervisor's view of the cluster epoch",
+                ).set(new_epoch)
+                tel.registry.histogram(
+                    "repro_ha_time_to_recover_ms",
+                    help="Suspicion-to-promoted latency per failover (ms)",
+                ).observe(report.detect_to_promoted_s * 1000.0)
+            return report
+
+    # -- background loop ---------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="ha-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.tick()
+            except Exception:  # supervision must outlive bad rounds
+                pass
+            if self._stop.wait(self.interval_s):
+                return
+
+    def status(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "primary": self.primary,
+                "epoch": self.epoch,
+                "ticks": self.ticks,
+                "nodes": sorted(self.nodes),
+                "detector": self.detector.snapshot(),
+                "failovers": [r.as_dict() for r in self.failovers],
+            }

@@ -22,7 +22,9 @@ live here:
 
 from __future__ import annotations
 
+import inspect
 import json
+import random
 import threading
 import time
 import urllib.error
@@ -34,7 +36,7 @@ from typing import TYPE_CHECKING, Any, Iterator
 from ..core.relationships import RelationshipInstance
 from ..core.schema import _META_CLASS
 from ..core.synonyms import SynonymRegistry
-from ..errors import DivergedError, ReplicationError
+from ..errors import DivergedError, ReplicationError, StalePrimaryError
 from ..storage.store import AppliedBatch
 from ..telemetry import Telemetry
 from .stream import BASE_LSN, PREFIX_CRC_WINDOW, decode_frame
@@ -96,6 +98,24 @@ class ReplicaApplier:
         self.bytes_applied = 0
         self.resyncs = 0
         self.last_apply_at = 0.0
+        self._epoch_seen = 0
+
+    @property
+    def known_epoch(self) -> int:
+        """Highest cluster epoch this replica has witnessed.
+
+        The max of what the log itself records (epoch stamps replicate
+        as META entries) and what frames/promotions have told us — the
+        latter can lead the former while a promotion's stamp is still
+        in flight.
+        """
+        store = self.db.store
+        assert store is not None
+        return max(store.cluster_epoch, self._epoch_seen)
+
+    def observe_epoch(self, epoch: int) -> None:
+        if epoch > self._epoch_seen:
+            self._epoch_seen = epoch
 
     # -- reads -------------------------------------------------------------
 
@@ -120,9 +140,20 @@ class ReplicaApplier:
 
         Duplicate delivery is tolerated (the overlap is trimmed); a gap
         — the frame starts past this log's end — raises, because
-        splicing it would corrupt byte identity.
+        splicing it would corrupt byte identity.  A frame from a cluster
+        epoch *older* than the highest this replica has witnessed is a
+        deposed primary still shipping: it is rejected with
+        :class:`~repro.errors.StalePrimaryError` (fencing).
         """
-        from_lsn, to_lsn, payload = decode_frame(frame)
+        from_lsn, to_lsn, payload, epoch = decode_frame(frame)
+        known = self.known_epoch
+        if epoch < known:
+            raise StalePrimaryError(
+                f"frame from epoch {epoch} rejected: this replica has "
+                f"witnessed epoch {known}",
+                epoch=known,
+            )
+        self.observe_epoch(epoch)
         store = self.db.store
         assert store is not None
         started = time.perf_counter_ns()
@@ -240,6 +271,7 @@ class ReplicaApplier:
         return {
             "applied_lsn": store.commit_lsn,
             "replication_position": store.replication_position,
+            "epoch": self.known_epoch,
             "batches_applied": self.batches_applied,
             "bytes_applied": self.bytes_applied,
             "resyncs": self.resyncs,
@@ -252,11 +284,23 @@ class ReplicaApplier:
 
 
 class HttpPullTransport:
-    """Pulls frames from a primary's ``POST /replicate/pull`` endpoint."""
+    """Pulls frames from a primary's ``POST /replicate/pull`` endpoint.
 
-    def __init__(self, url: str, timeout_margin_s: float = 10.0) -> None:
+    Every request carries a socket timeout: ``wait_s`` (the server-side
+    long-poll budget) plus ``timeout_margin_s``, hard-capped at
+    ``timeout_s`` — a hung peer can therefore stall one pull, never the
+    pull loop.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout_margin_s: float = 10.0,
+        timeout_s: float = 60.0,
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout_margin_s = timeout_margin_s
+        self.timeout_s = timeout_s
 
     def pull(
         self,
@@ -265,6 +309,7 @@ class HttpPullTransport:
         wait_s: float = 0.0,
         max_bytes: int | None = None,
         replica: str = "",
+        epoch: int | None = None,
     ) -> tuple[str, bytes | None]:
         body: dict[str, Any] = {
             "from_lsn": from_lsn,
@@ -275,26 +320,55 @@ class HttpPullTransport:
             body["prefix_crc"] = prefix_crc
         if max_bytes is not None:
             body["max_bytes"] = max_bytes
+        if epoch is not None:
+            body["epoch"] = epoch
         request = urllib.request.Request(
             self.url + "/replicate/pull",
             data=json.dumps(body).encode("utf-8"),
             headers={"Content-Type": "application/json"},
         )
+        timeout = min(wait_s + self.timeout_margin_s, self.timeout_s)
         try:
             with urllib.request.urlopen(
-                request, timeout=wait_s + self.timeout_margin_s
+                request, timeout=timeout
             ) as response:
                 if response.status == 204:
                     return "empty", None
                 return "frame", response.read()
         except urllib.error.HTTPError as exc:
             if exc.code == 409:
+                detail: dict[str, Any] = {}
+                try:
+                    detail = json.loads(exc.read().decode("utf-8"))
+                except (ValueError, OSError):
+                    pass
+                if detail.get("status") == "stale-primary" or detail.get(
+                    "stale_primary"
+                ):
+                    raise StalePrimaryError(
+                        "pull rejected: peer fenced at epoch "
+                        f"{detail.get('epoch', 0)}",
+                        epoch=int(detail.get("epoch", 0) or 0),
+                        primary_url=detail.get("primary_url"),
+                    ) from exc
                 return "diverged", None
             raise ReplicationError(
                 f"pull failed: HTTP {exc.code} {exc.reason}"
             ) from exc
         except (urllib.error.URLError, OSError) as exc:
             raise ReplicationError(f"pull failed: {exc}") from exc
+
+
+def _accepts_epoch(pull: Any) -> bool:
+    """Does this transport's ``pull`` take the fencing ``epoch`` kwarg?"""
+    try:
+        parameters = inspect.signature(pull).parameters
+    except (TypeError, ValueError):  # builtins/C callables: assume yes
+        return True
+    return "epoch" in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD
+        for p in parameters.values()
+    )
 
 
 class ReplicationClient:
@@ -305,6 +379,14 @@ class ReplicationClient:
     :class:`~repro.replication.stream.LogShipper` for in-process tests
     (which is also how the fault-injection sweep drives torn batches
     deterministically).
+
+    Failover: when the primary is fenced (``StalePrimaryError``) or
+    stays unreachable for ``rediscover_after`` consecutive pulls, the
+    loop calls the optional ``rediscover`` callback, which may return a
+    new transport pointed at the promoted primary.  Error backoff is
+    full-jitter (seeded deterministically from the replica name, or
+    ``jitter_seed``) so a fleet of replicas does not stampede a
+    recovering primary in lockstep.
     """
 
     def __init__(
@@ -315,6 +397,9 @@ class ReplicationClient:
         poll_wait_s: float = 10.0,
         error_backoff_s: float = 0.05,
         max_backoff_s: float = 2.0,
+        rediscover: Any = None,
+        rediscover_after: int = 3,
+        jitter_seed: int | None = None,
     ) -> None:
         self.applier = applier
         self.transport = transport
@@ -322,8 +407,15 @@ class ReplicationClient:
         self.poll_wait_s = poll_wait_s
         self.error_backoff_s = error_backoff_s
         self.max_backoff_s = max_backoff_s
+        self.rediscover = rediscover
+        self.rediscover_after = rediscover_after
         self.pull_errors = 0
+        self.stale_primary_seen = 0
+        self.failovers_followed = 0
         self.last_error: str | None = None
+        if jitter_seed is None:
+            jitter_seed = zlib.crc32(name.encode("utf-8"))
+        self._rng = random.Random(jitter_seed)
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
 
@@ -351,12 +443,16 @@ class ReplicationClient:
         transport or frame errors (the loop retries; callers of the
         synchronous API see the failure).
         """
-        status, frame = self.transport.pull(
-            self._position(),
-            prefix_crc=self._prefix_crc(),
-            wait_s=wait_s,
-            replica=self.name,
-        )
+        kwargs: dict[str, Any] = {
+            "prefix_crc": self._prefix_crc(),
+            "wait_s": wait_s,
+            "replica": self.name,
+        }
+        if _accepts_epoch(self.transport.pull):
+            # Older/duck-typed transports (fault-injection wrappers in
+            # tests) may predate fencing; they just don't send an epoch.
+            kwargs["epoch"] = self.applier.known_epoch
+        status, frame = self.transport.pull(self._position(), **kwargs)
         if status == "empty":
             return None
         if status == "diverged":
@@ -364,6 +460,13 @@ class ReplicationClient:
             raise DivergedError(
                 f"replica {self.name}: primary log diverged; "
                 "reset for full re-sync"
+            )
+        if status == "stale-primary":
+            # In-process shipper path: the peer detected it is deposed.
+            raise StalePrimaryError(
+                f"replica {self.name}: pull peer is fenced (deposed "
+                "primary); rediscover the current primary",
+                epoch=self.applier.known_epoch,
             )
         if status != "frame" or frame is None:
             raise ReplicationError(f"unexpected pull status {status!r}")
@@ -393,6 +496,34 @@ class ReplicationClient:
             f"replica {self.name}: catch-up exceeded {deadline_s}s"
         )
 
+    # -- failover ----------------------------------------------------------
+
+    def set_transport(self, transport: Any) -> None:
+        """Re-point the pull loop at a different primary (promotion)."""
+        self.transport = transport
+
+    def _try_rediscover(self, reason: str) -> bool:
+        """Ask ``rediscover`` for a fresh transport; True when re-pointed."""
+        if self.rediscover is None:
+            return False
+        try:
+            transport = self.rediscover(self)
+        except Exception as exc:  # rediscovery must never kill the loop
+            self.last_error = f"rediscovery failed ({reason}): {exc}"
+            return False
+        if transport is None:
+            return False
+        self.set_transport(transport)
+        self.failovers_followed += 1
+        tel = self.applier.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "repro_ha_failovers_followed_total",
+                help="Times this replica re-pointed its pull loop at a "
+                "newly discovered primary",
+            ).inc()
+        return True
+
     # -- the background loop ----------------------------------------------
 
     def start(self) -> None:
@@ -415,14 +546,33 @@ class ReplicationClient:
         return self._thread is not None and self._thread.is_alive()
 
     def _run(self) -> None:
-        backoff = self.error_backoff_s
+        consecutive = 0
         while not self._stop.is_set():
             try:
                 self.pull_once(wait_s=self.poll_wait_s)
             except DivergedError:
-                backoff = self.error_backoff_s  # reset is progress
+                consecutive = 0  # reset is progress
+            except StalePrimaryError as exc:
+                # The peer we pull from was deposed: rediscover NOW,
+                # don't wait out a backoff ladder against a dead node.
+                self.stale_primary_seen += 1
+                self.last_error = str(exc)
+                tel = self.applier.telemetry
+                if tel.enabled:
+                    tel.registry.counter(
+                        "repro_ha_stale_primary_total",
+                        help="Pulls rejected because the peer was a "
+                        "deposed (fenced) primary",
+                    ).inc()
+                if exc.epoch:
+                    self.applier.observe_epoch(exc.epoch)
+                if not self._try_rediscover("stale-primary"):
+                    if self._stop.wait(self._backoff(consecutive)):
+                        return
+                    consecutive += 1
             except ReplicationError as exc:
                 self.pull_errors += 1
+                consecutive += 1
                 self.last_error = str(exc)
                 tel = self.applier.telemetry
                 if tel.enabled:
@@ -430,19 +580,33 @@ class ReplicationClient:
                         "repro_replication_pull_errors_total",
                         help="Failed pull attempts (transport or frame)",
                     ).inc()
+                if (
+                    consecutive >= self.rediscover_after
+                    and self._try_rediscover("unreachable")
+                ):
+                    consecutive = 0
+                    continue
                 # Mid-stream reconnect: back off, then resume from our
                 # own log end — the cursor is the file, nothing to redo.
-                if self._stop.wait(backoff):
+                if self._stop.wait(self._backoff(consecutive - 1)):
                     return
-                backoff = min(backoff * 2, self.max_backoff_s)
             else:
-                backoff = self.error_backoff_s
+                consecutive = 0
                 self.last_error = None
+
+    def _backoff(self, attempt: int) -> float:
+        """Full-jitter backoff: uniform in [0, min(cap, base·2^n)]."""
+        ceiling = min(
+            self.max_backoff_s, self.error_backoff_s * (2 ** max(attempt, 0))
+        )
+        return self._rng.uniform(0, ceiling)
 
     def status(self) -> dict[str, Any]:
         return self.applier.status() | {
             "name": self.name,
             "running": self.running,
             "pull_errors": self.pull_errors,
+            "stale_primary_seen": self.stale_primary_seen,
+            "failovers_followed": self.failovers_followed,
             "last_error": self.last_error,
         }

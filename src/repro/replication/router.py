@@ -80,6 +80,7 @@ class ReadRouter:
         self._lock = threading.Lock()
         self._replicas: dict[str, ReadNode] = {}
         self._rr = 0  # round-robin tiebreak among eligible replicas
+        self.failovers = 0
 
     def add_replica(self, node: ReadNode) -> None:
         if node.is_primary:
@@ -90,6 +91,21 @@ class ReadRouter:
     def remove_replica(self, name: str) -> None:
         with self._lock:
             self._replicas.pop(name, None)
+
+    def set_primary(self, node: ReadNode) -> None:
+        """Follow a promotion: ``node`` becomes the fresh fallback.
+
+        If the new primary was one of our read replicas it is removed
+        from the replica set (reads against it are now primary reads);
+        the deposed primary is *not* auto-added as a replica — it is
+        fenced and must re-join through the normal replication path.
+        """
+        node.is_primary = True
+        with self._lock:
+            self._replicas.pop(node.name, None)
+            self.primary = node
+            self.failovers += 1
+        self._count("repro_router_failovers_total")
 
     def replicas(self) -> list[str]:
         with self._lock:
@@ -180,4 +196,5 @@ class ReadRouter:
             "primary": self.primary.as_dict()
             | {"lsn": self.primary.lsn_fn()},
             "replicas": nodes,
+            "failovers": self.failovers,
         }

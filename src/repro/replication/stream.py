@@ -10,7 +10,13 @@ property the crash-recovery sweep asserts.
 Frame format (all integers big-endian)::
 
     magic(4 = b"PLSB") | version(1) | from_lsn(8) | to_lsn(8) |
-    crc32(payload)(4) | payload
+    epoch(8) | crc32(payload)(4) | payload
+
+Version 2 added the cluster ``epoch`` field: every frame carries the
+shipping primary's epoch, and a replica that has witnessed a newer
+promotion refuses frames from the old epoch (fencing — see
+``docs/HA.md``).  Version-1 frames (no epoch field) still decode, with
+``epoch`` reported as 0, so a v1 primary can feed a v2 replica.
 
 The payload is the log bytes ``[from_lsn, to_lsn)`` where ``to_lsn`` is
 a commit-marker boundary on the primary: every batch ends at a
@@ -45,8 +51,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..storage.store import ObjectStore
 
 FRAME_MAGIC = b"PLSB"
-FRAME_VERSION = 1
-_FRAME_HEAD = struct.Struct(">4sBQQI")  # magic, version, from, to, crc
+FRAME_VERSION = 2
+_FRAME_HEAD = struct.Struct(">4sBQQQI")  # magic, version, from, to, epoch, crc
+_FRAME_HEAD_V1 = struct.Struct(">4sBQQI")  # magic, version, from, to, crc
 
 #: Bytes of trailing log context hashed into the pull-time prefix check.
 PREFIX_CRC_WINDOW = 64
@@ -58,34 +65,59 @@ BASE_LSN = len(HEADER)
 DEFAULT_MAX_BYTES = 4 * 1024 * 1024
 
 
-def encode_frame(from_lsn: int, to_lsn: int, payload: bytes) -> bytes:
+def encode_frame(
+    from_lsn: int, to_lsn: int, payload: bytes, epoch: int = 0
+) -> bytes:
     return (
         _FRAME_HEAD.pack(
-            FRAME_MAGIC, FRAME_VERSION, from_lsn, to_lsn, zlib.crc32(payload)
+            FRAME_MAGIC,
+            FRAME_VERSION,
+            from_lsn,
+            to_lsn,
+            epoch,
+            zlib.crc32(payload),
         )
         + payload
     )
 
 
-def decode_frame(data: bytes) -> tuple[int, int, bytes]:
-    """Validate and unpack one frame; returns (from_lsn, to_lsn, payload).
+def decode_frame(data: bytes) -> tuple[int, int, bytes, int]:
+    """Validate and unpack one frame; returns
+    ``(from_lsn, to_lsn, payload, epoch)``.
 
     Raises :class:`~repro.errors.ReplicationError` on any structural
     problem — a torn frame (network cut, fault injection) never reaches
-    the apply path.
+    the apply path.  Version-1 frames decode with ``epoch = 0``.
     """
-    if len(data) < _FRAME_HEAD.size:
+    if len(data) < _FRAME_HEAD_V1.size:
         raise ReplicationError(
-            f"short frame: {len(data)} < {_FRAME_HEAD.size} header bytes"
+            f"short frame: {len(data)} < {_FRAME_HEAD_V1.size} header bytes"
         )
-    magic, version, from_lsn, to_lsn, crc = _FRAME_HEAD.unpack(
-        data[: _FRAME_HEAD.size]
-    )
+    version = data[len(FRAME_MAGIC)]
+    if version == 1:
+        magic, version, from_lsn, to_lsn, crc = _FRAME_HEAD_V1.unpack(
+            data[: _FRAME_HEAD_V1.size]
+        )
+        epoch = 0
+        head_size = _FRAME_HEAD_V1.size
+    elif version == FRAME_VERSION:
+        if len(data) < _FRAME_HEAD.size:
+            raise ReplicationError(
+                f"short frame: {len(data)} < {_FRAME_HEAD.size} header bytes"
+            )
+        magic, version, from_lsn, to_lsn, epoch, crc = _FRAME_HEAD.unpack(
+            data[: _FRAME_HEAD.size]
+        )
+        head_size = _FRAME_HEAD.size
+    else:
+        if data[:len(FRAME_MAGIC)] != FRAME_MAGIC:
+            raise ReplicationError(
+                f"bad frame magic {data[:len(FRAME_MAGIC)]!r}"
+            )
+        raise ReplicationError(f"unsupported frame version {version}")
     if magic != FRAME_MAGIC:
         raise ReplicationError(f"bad frame magic {magic!r}")
-    if version != FRAME_VERSION:
-        raise ReplicationError(f"unsupported frame version {version}")
-    payload = data[_FRAME_HEAD.size:]
+    payload = data[head_size:]
     if len(payload) != to_lsn - from_lsn:
         raise ReplicationError(
             f"frame length mismatch: payload {len(payload)} bytes for "
@@ -93,7 +125,7 @@ def decode_frame(data: bytes) -> tuple[int, int, bytes]:
         )
     if zlib.crc32(payload) != crc:
         raise ReplicationError("frame checksum mismatch (torn shipment)")
-    return from_lsn, to_lsn, payload
+    return from_lsn, to_lsn, payload, epoch
 
 
 @dataclass
@@ -142,8 +174,13 @@ class LogShipper:
         self.telemetry = telemetry if telemetry is not None else DISABLED
         self.max_wait_s = max_wait_s
         self.max_bytes = max_bytes
-        self._lock = threading.Lock()
+        self._lock = threading.Condition()
         self._replicas: dict[str, ReplicaPullState] = {}
+
+    @property
+    def epoch(self) -> int:
+        """The cluster epoch this shipper stamps into every frame."""
+        return self.store.cluster_epoch
 
     # -- replica bookkeeping (for /health and the lag gauge) --------------
 
@@ -168,6 +205,65 @@ class LogShipper:
             state.last_pull_at = time.monotonic()
             if diverged:
                 state.diverged += 1
+            self._lock.notify_all()
+
+    def _note_ack(self, replica: str, from_lsn: int) -> None:
+        """Record the pull cursor as an ack without counting a pull.
+
+        The cursor is an acknowledgement the moment the request
+        *arrives*: the replica holds every byte below ``from_lsn``
+        whatever this pull ends up returning.  Noting it on entry —
+        before any long-poll park — is what lets a semi-synchronous
+        commit see the ack now rather than when the empty poll times
+        out.
+        """
+        if not replica:
+            return
+        with self._lock:
+            state = self._replicas.get(replica)
+            if state is None:
+                state = self._replicas[replica] = ReplicaPullState(replica)
+            state.acked_lsn = from_lsn
+            self._lock.notify_all()
+
+    def replicated_count(self, lsn: int) -> int:
+        """How many replicas have pulled up to (at least) ``lsn``.
+
+        A replica's ``acked_lsn`` is the ``from_lsn`` of its latest
+        pull — bytes it already holds — so ``acked_lsn >= lsn`` means
+        the range up to ``lsn`` has been shipped and applied there.
+        """
+        with self._lock:
+            return sum(
+                1
+                for state in self._replicas.values()
+                if state.acked_lsn >= lsn
+            )
+
+    def wait_replicated(
+        self, lsn: int, min_acks: int = 1, timeout_s: float = 5.0
+    ) -> bool:
+        """Block until ``min_acks`` replicas hold the log up to ``lsn``.
+
+        Semi-synchronous acknowledgement: a replica implicitly acks the
+        bytes below its pull cursor, so this parks on the pull-notify
+        condition until enough cursors pass ``lsn`` or the budget runs
+        out.  Returns ``True`` when the quorum was reached.
+        """
+        deadline = time.monotonic() + timeout_s
+        with self._lock:
+            while True:
+                acks = sum(
+                    1
+                    for state in self._replicas.values()
+                    if state.acked_lsn >= lsn
+                )
+                if acks >= min_acks:
+                    return True
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._lock.wait(remaining)
 
     def lag_bytes(self) -> dict[str, int]:
         """Per-replica replication lag: commit LSN minus acked bytes."""
@@ -205,13 +301,24 @@ class LogShipper:
         wait_s: float = 0.0,
         max_bytes: int | None = None,
         replica: str = "",
+        epoch: int | None = None,
     ) -> tuple[str, bytes | None]:
         """One pull request; returns ``(status, frame_or_None)``.
 
         Statuses: ``"frame"`` (new bytes, frame attached), ``"empty"``
         (caught up, wait budget spent), ``"diverged"`` (this log is not
-        a superset-prefix of the replica's — reset and re-sync).
+        a superset-prefix of the replica's — reset and re-sync),
+        ``"stale-primary"`` (the puller has witnessed a newer cluster
+        epoch than this node's — this node is a deposed primary and must
+        not ship; the caller should surface the fencing to an operator
+        or the HA controller).
         """
+        if epoch is not None and epoch > self.epoch:
+            # Fencing: the replica knows a promotion this node missed.
+            # Refusing the pull (rather than shipping from a stale
+            # timeline) is what keeps a deposed primary harmless.
+            self._count("repro_ha_fenced_pulls_total")
+            return "stale-primary", None
         if from_lsn < BASE_LSN:
             from_lsn = BASE_LSN
         ceiling = min(max_bytes or self.max_bytes, self.max_bytes)
@@ -227,6 +334,7 @@ class LogShipper:
                 self._note_pull(replica, from_lsn, 0, diverged=True)
                 self._count("repro_replication_divergences_total")
                 return "diverged", None
+        self._note_ack(replica, from_lsn)
         commit_lsn = store.commit_lsn
         if commit_lsn <= from_lsn and wait_s > 0:
             commit_lsn = store.wait_for_commit_lsn(
@@ -238,7 +346,7 @@ class LogShipper:
         to_lsn = min(commit_lsn, from_lsn + ceiling)
         payload = store.read_log_bytes(from_lsn, to_lsn)
         to_lsn = from_lsn + len(payload)
-        frame = encode_frame(from_lsn, to_lsn, payload)
+        frame = encode_frame(from_lsn, to_lsn, payload, epoch=self.epoch)
         self._note_pull(replica, from_lsn, len(payload), diverged=False)
         tel = self.telemetry
         if tel.enabled:
@@ -263,6 +371,7 @@ class LogShipper:
             "commit_lsn": store.commit_lsn,
             "durable_lsn": store.durable_lsn,
             "replication_position": store.replication_position,
+            "epoch": self.epoch,
             "replicas": {
                 name: state.as_dict()
                 for name, state in sorted(self.replicas().items())

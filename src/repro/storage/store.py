@@ -45,6 +45,24 @@ from .serialization import decode_record, encode_record
 
 _TOMB_STRUCT = struct.Struct(">QQ")  # (txn_id, oid)
 
+#: KIND_META payload tag for a cluster-epoch stamp (HA fencing).  The
+#: epoch lives *inside* the log rather than in the file header so that
+#: replicas — whose logs are byte-identical prefixes of the primary's —
+#: learn it through ordinary replication, at the exact log position the
+#: promotion happened.
+_EPOCH_TAG = b"EPOCH\x00"
+_EPOCH_STRUCT = struct.Struct(">Q")
+
+
+def _decode_epoch_meta(payload: bytes) -> int | None:
+    """The epoch carried by a META payload, or None for other metadata."""
+    if (
+        payload.startswith(_EPOCH_TAG)
+        and len(payload) == len(_EPOCH_TAG) + _EPOCH_STRUCT.size
+    ):
+        return _EPOCH_STRUCT.unpack_from(payload, len(_EPOCH_TAG))[0]
+    return None
+
 
 @dataclass(frozen=True)
 class RecoveryReport:
@@ -336,6 +354,10 @@ class ObjectStore:
         self._lsn_cond = threading.Condition(self._lock)
         self._commit_lsn = len(HEADER)
         self._gate = _GroupCommitGate(self._log)
+        #: Highest cluster epoch stamped into this log (0 = never
+        #: promoted).  Replicated like any other entry, so every node at
+        #: the same LSN agrees on it — the HA fencing invariant.
+        self.cluster_epoch = 0
         self.stats = StoreStats()
         self.last_recovery: RecoveryReport = RecoveryReport()
         self._recover()
@@ -421,7 +443,10 @@ class ObjectStore:
                     else:
                         self._index[oid] = offset
             elif entry.kind == KIND_META:
-                pass  # reserved for schema snapshots / compaction markers
+                epoch = _decode_epoch_meta(entry.payload)
+                if epoch is not None:
+                    self.cluster_epoch = max(self.cluster_epoch, epoch)
+                # other META payloads: reserved for schema snapshots
         bytes_truncated = self._log.size - expected
         if expected < self._log.size:
             self._log.truncate(expected)
@@ -565,6 +590,55 @@ class ObjectStore:
     def read_only(self) -> bool:
         return self._read_only
 
+    def make_writable(self) -> None:
+        """Promotion: lift the replica's read-only guard so local
+        transactions may begin.  The caller (the HA controller) stamps
+        the new cluster epoch immediately after."""
+        with self._lock:
+            self._read_only = False
+
+    def make_read_only(self) -> None:
+        """Demotion: refuse new local transactions (writes go to the new
+        primary).  An in-flight transaction is not interrupted — the
+        session layer aborts those before calling this."""
+        with self._lock:
+            self._read_only = True
+
+    def stamp_epoch(self, epoch: int) -> int:
+        """Durably record a new cluster epoch; returns its commit LSN.
+
+        The stamp is a META entry followed by its own commit marker, so
+        ``commit_lsn`` advances past it and the shipper replicates it to
+        every follower immediately — a re-pointed replica learns the
+        promotion through the ordinary pull path.  Epochs are strictly
+        monotonic; stamping a stale one raises.
+        """
+        with self._lock:
+            if self._read_only:
+                raise TransactionError(
+                    "cannot stamp an epoch on a read-only store; "
+                    "promote (make_writable) first"
+                )
+            if self._active is not None:
+                raise TransactionError(
+                    "cannot stamp an epoch inside a transaction"
+                )
+            if epoch <= self.cluster_epoch:
+                raise StorageError(
+                    f"epoch {epoch} is not newer than the stamped "
+                    f"epoch {self.cluster_epoch}"
+                )
+            self._txn_counter += 1
+            self._log.append(
+                KIND_META, _EPOCH_TAG + _EPOCH_STRUCT.pack(epoch)
+            )
+            self._log.append_commit(self._txn_counter)
+            self.cluster_epoch = epoch
+            self.stats.commits += 1
+            self._commit_lsn = self._log.size
+            self._lsn_cond.notify_all()
+            return self._commit_lsn
+
     @property
     def commit_lsn(self) -> int:
         """End offset of the last applied commit marker.
@@ -676,6 +750,10 @@ class ObjectStore:
                             (oid, None if fields is None else dict(fields))
                         )
                     self._commit_lsn = expected
+                elif entry.kind == KIND_META:
+                    epoch = _decode_epoch_meta(entry.payload)
+                    if epoch is not None:
+                        self.cluster_epoch = max(self.cluster_epoch, epoch)
             if expected < self._log.size:
                 # Torn shipment survived the frame checksum (should not
                 # happen); drop the tail so the next pull refetches it.
@@ -710,6 +788,9 @@ class ObjectStore:
             self._index.clear()
             self._cache.clear()
             self._commit_lsn = len(HEADER)
+            # cluster_epoch is deliberately KEPT: it is fencing knowledge,
+            # not log content.  A reset replica must still refuse frames
+            # from a primary of an older epoch while it re-syncs.
             self._lsn_cond.notify_all()
 
     def read_log_bytes(self, start: int, end: int) -> bytes:
@@ -813,6 +894,7 @@ class ObjectStore:
             "group_commit_batches": self._gate.batches,
             "group_commit_batched": self._gate.batched_commits,
             "commit_lsn": self._commit_lsn,
+            "cluster_epoch": self.cluster_epoch,
         }
 
     def compact(self) -> None:
@@ -846,6 +928,13 @@ class ObjectStore:
                     fields = self.read(oid)
                     payload = encode_record({"t": txn_id, "o": oid, "f": fields})
                     new_index[oid] = new_log.append(KIND_DATA, payload)
+                if self.cluster_epoch:
+                    # The epoch stamp lives in the log; re-stamp it or the
+                    # compacted log would forget which epoch it belongs to.
+                    new_log.append(
+                        KIND_META,
+                        _EPOCH_TAG + _EPOCH_STRUCT.pack(self.cluster_epoch),
+                    )
                 new_log.append_commit(txn_id)  # flush (+fsync when durable)
                 new_log.close()
             except InjectedFault:

@@ -98,7 +98,7 @@ class TestPullEndpoint:
         with urllib.request.urlopen(req, timeout=10) as response:
             assert response.status == 200
             frame = response.read()
-        from_lsn, to_lsn, payload = decode_frame(frame)
+        from_lsn, to_lsn, payload, _ = decode_frame(frame)
         assert from_lsn == BASE_LSN
         assert to_lsn == primary.store.commit_lsn
         assert payload == primary.store.read_log_bytes(from_lsn, to_lsn)

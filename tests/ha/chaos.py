@@ -1,0 +1,613 @@
+"""Deterministic chaos harness for the HA subsystem.
+
+Everything runs in-process, single-threaded, on a virtual clock: node
+kills (clean and torn), restarts, pauses, network partitions and clock
+skew are drawn from a seeded RNG, so every schedule is exactly
+reproducible from its seed — a failing seed IS the bug report.
+
+The cluster under test is real: three :class:`PrometheusDB` stores on
+disk, real :class:`LogShipper`/:class:`ReplicaApplier` replication,
+real :class:`HAController` role machines and a real
+:class:`FailoverCoordinator` — only the transport (a direct in-process
+call that consults the partition matrix) and time are simulated.  The
+coordinator's injectable ``sleep`` advances the virtual clock, so the
+lease wait before promotion is modelled faithfully at zero wall cost.
+
+Invariants checked (the point of the exercise):
+
+* **single writer** — at every step, at most one open node answers
+  ``writes_allowed()``;
+* **single writer per epoch** — across the whole run, writes at any
+  given epoch were accepted by exactly one node;
+* **no acknowledged write lost** — every write acked to the client
+  (committed on a primary AND pulled by at least one replica) is
+  queryable on the final primary after the dust settles;
+* **deposed primaries stay fenced** — a demoted ex-primary refuses
+  pulls from the current reign with ``stale-primary`` and refuses
+  writes.
+
+Unacknowledged writes (committed locally, never replicated) MAY be
+lost — that is semi-synchronous replication's contract, and the
+harness records rather than mourns them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core import types as T
+from repro.core.attributes import Attribute
+from repro.engine import PrometheusDB
+from repro.errors import (
+    DivergedError,
+    ReplicationError,
+    StalePrimaryError,
+)
+from repro.ha import FailoverCoordinator, HAController, SupervisedNode
+from repro.replication import LogShipper, ReplicaApplier, ReplicationClient
+
+NODE_NAMES = ("n1", "n2", "n3")
+LEASE_TTL_S = 1.0
+SKEW_ALLOWANCE_S = 0.5
+MAX_SKEW_S = 0.2  # |per-node skew| stays well inside the allowance
+STEP_DT_S = 0.25
+PHI_THRESHOLD = 4.0
+
+
+class VirtualClock:
+    """Global virtual time plus a bounded per-node skew offset."""
+
+    def __init__(self) -> None:
+        self.now = 1_000.0
+        self.skew: dict[str, float] = {}
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        assert dt >= 0
+        self.now += dt
+
+    def node_clock(self, name: str):
+        return lambda: self.now + self.skew.get(name, 0.0)
+
+
+class ChaosTransport:
+    """A pull transport that is really a partition-aware function call."""
+
+    def __init__(self, cluster: "ChaosCluster", src: str, dst: str) -> None:
+        self.cluster = cluster
+        self.src = src
+        self.dst = dst
+
+    def pull(
+        self,
+        from_lsn: int,
+        prefix_crc: int | None = None,
+        wait_s: float = 0.0,
+        max_bytes: int | None = None,
+        replica: str = "",
+        epoch: int | None = None,
+    ) -> tuple[str, bytes | None]:
+        self.cluster.check_link(self.src, self.dst)
+        node = self.cluster.nodes[self.dst]
+        shipper = node.ctrl.shipper if node.ctrl is not None else None
+        if shipper is None:
+            raise ReplicationError(
+                f"{self.dst} is not shipping (role changed?)"
+            )
+        return shipper.pull(
+            from_lsn,
+            prefix_crc=prefix_crc,
+            wait_s=0.0,  # no blocking on virtual time
+            max_bytes=max_bytes,
+            replica=replica,
+            epoch=epoch,
+        )
+
+
+class ChaosNode:
+    """One cluster member: its store path, db handle and controller."""
+
+    def __init__(self, name: str, path) -> None:
+        self.name = name
+        self.path = path
+        self.db: PrometheusDB | None = None
+        self.ctrl: HAController | None = None
+        self.last_role = "replica"
+
+    @property
+    def open(self) -> bool:
+        return self.db is not None
+
+
+def _declare(db: PrometheusDB) -> None:
+    db.schema.define_class(
+        "Entry",
+        [Attribute("key", T.STRING), Attribute("value", T.INTEGER)],
+    )
+
+
+class ChaosCluster:
+    """Builds the 3-node cluster and runs one seeded schedule."""
+
+    def __init__(self, tmp_path, seed: int) -> None:
+        self.tmp_path = tmp_path
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.clock = VirtualClock()
+        self.nodes = {name: ChaosNode(name, tmp_path) for name in NODE_NAMES}
+        self.alive: set[str] = set()
+        self.paused: set[str] = set()
+        self.partitions: set[frozenset[str]] = set()
+        # What the external writing client currently believes.
+        self.client_primary = NODE_NAMES[0]
+        self.write_seq = 0
+        self.acked: list[tuple[str, int, int]] = []  # (key, value, epoch)
+        self.unacked: list[tuple[str, int, int]] = []
+        self.rejected_writes = 0
+        self.accepted_by_epoch: dict[int, set[str]] = {}
+        self.fence_checks = 0
+        self._reports_seen = 0
+        self._boot()
+
+    # -- construction ------------------------------------------------------
+
+    def _make_transport_factory(self, me: str):
+        return lambda url: ChaosTransport(self, me, url)
+
+    def _boot(self) -> None:
+        primary_name = NODE_NAMES[0]
+        for name in NODE_NAMES:
+            node = self.nodes[name]
+            if name == primary_name:
+                db = PrometheusDB(self.tmp_path / f"{name}.plog")
+                _declare(db)
+                db.load()
+                node.db = db
+                node.ctrl = HAController(
+                    db,
+                    name,
+                    shipper=LogShipper(db.store),
+                    lease_ttl_s=LEASE_TTL_S,
+                    clock=self.clock.node_clock(name),
+                    make_transport=self._make_transport_factory(name),
+                )
+                node.last_role = "primary"
+            else:
+                self._open_as_replica(node, primary_name)
+            self.alive.add(name)
+        supervised = [
+            SupervisedNode(
+                name=name,
+                url=name,
+                liveness=self._liveness_fn(name),
+                status=self._status_fn(name),
+                promote=self._ctrl_fn(name, "promote"),
+                demote=self._ctrl_fn(name, "demote"),
+                repoint=self._ctrl_fn(name, "repoint"),
+                lease=self._ctrl_fn(name, "grant_lease"),
+            )
+            for name in NODE_NAMES
+        ]
+        self.coordinator = FailoverCoordinator(
+            supervised,
+            primary=primary_name,
+            interval_s=STEP_DT_S,
+            phi_threshold=PHI_THRESHOLD,
+            lease_ttl_s=LEASE_TTL_S,
+            skew_allowance_s=SKEW_ALLOWANCE_S,
+            clock=self.clock,
+            sleep=self.clock.advance,
+        )
+
+    def _open_as_replica(self, node: ChaosNode, primary_name: str) -> None:
+        db = PrometheusDB(self.tmp_path / f"{node.name}.plog", read_only=True)
+        _declare(db)
+        db.load()
+        applier = ReplicaApplier(db)
+        client = ReplicationClient(
+            applier,
+            ChaosTransport(self, node.name, primary_name),
+            name=node.name,
+        )
+        node.db = db
+        node.ctrl = HAController(
+            db,
+            node.name,
+            replica_client=client,
+            primary_url=primary_name,
+            lease_ttl_s=LEASE_TTL_S,
+            clock=self.clock.node_clock(node.name),
+            make_transport=self._make_transport_factory(node.name),
+        )
+        node.last_role = "replica"
+
+    # -- the coordinator's view of a node ----------------------------------
+
+    def reachable(self, name: str) -> bool:
+        return name in self.alive and name not in self.paused
+
+    def check_link(self, src: str, dst: str) -> None:
+        if not self.reachable(src) or not self.reachable(dst):
+            raise ReplicationError(f"link {src}->{dst}: endpoint down")
+        if frozenset((src, dst)) in self.partitions:
+            raise ReplicationError(f"link {src}->{dst}: partitioned")
+
+    def _liveness_fn(self, name: str):
+        def liveness() -> dict[str, Any]:
+            if not self.reachable(name):
+                raise ReplicationError(f"{name} unreachable")
+            ctrl = self.nodes[name].ctrl
+            assert ctrl is not None
+            return {
+                "status": "alive",
+                "role": "fenced" if ctrl.fenced else ctrl.role,
+                "epoch": ctrl.epoch,
+            }
+
+        return liveness
+
+    def _status_fn(self, name: str):
+        def status() -> dict[str, Any]:
+            if not self.reachable(name):
+                raise ReplicationError(f"{name} unreachable")
+            node = self.nodes[name]
+            assert node.db is not None and node.db.store is not None
+            return {
+                "applied_lsn": node.db.store.commit_lsn,
+                "epoch": node.ctrl.epoch if node.ctrl else 0,
+                # The election ranks by the LOG's epoch: what reign the
+                # data belongs to, not what the node heard on the wire.
+                "log_epoch": node.db.store.cluster_epoch,
+            }
+
+        return status
+
+    def _ctrl_fn(self, name: str, method: str):
+        def call(*args: Any, **kwargs: Any) -> Any:
+            if not self.reachable(name):
+                raise ReplicationError(f"{name} unreachable")
+            ctrl = self.nodes[name].ctrl
+            assert ctrl is not None
+            return getattr(ctrl, method)(*args, **kwargs)
+
+        return call
+
+    # -- chaos events ------------------------------------------------------
+
+    def kill(self, name: str, torn: bool) -> None:
+        node = self.nodes[name]
+        if not node.open:
+            return
+        assert node.ctrl is not None
+        node.last_role = "primary" if node.ctrl.role == "primary" else "replica"
+        client = node.ctrl.replica_client
+        if client is not None:
+            client.stop()
+        node.db.close()
+        if torn:
+            # A crash mid-append: garbage past the last flushed commit.
+            # Recovery truncates it; no *committed* byte is touched, so
+            # durability claims stay honest.
+            junk = bytes(
+                self.rng.getrandbits(8)
+                for _ in range(self.rng.randint(1, 20))
+            )
+            with open(self.tmp_path / f"{name}.plog", "ab") as fh:
+                fh.write(junk)
+        node.db = None
+        node.ctrl = None
+        self.alive.discard(name)
+        self.paused.discard(name)
+
+    def restart(self, name: str) -> None:
+        node = self.nodes[name]
+        if node.open:
+            return
+        if node.last_role == "primary":
+            # It comes back still wearing the crown — but unleased, so
+            # it cannot write until the supervisor says so, and the
+            # supervisor will demote it if the reign has moved on.
+            db = PrometheusDB(self.tmp_path / f"{name}.plog")
+            _declare(db)
+            db.load()
+            node.db = db
+            node.ctrl = HAController(
+                db,
+                name,
+                shipper=LogShipper(db.store),
+                lease_ttl_s=LEASE_TTL_S,
+                clock=self.clock.node_clock(name),
+                make_transport=self._make_transport_factory(name),
+            )
+        else:
+            target = self.coordinator.primary
+            self._open_as_replica(node, target)
+        self.alive.add(name)
+
+    def partition(self, a: str, b: str) -> None:
+        if a != b:
+            self.partitions.add(frozenset((a, b)))
+
+    def heal(self) -> None:
+        self.partitions.clear()
+
+    def set_skew(self, name: str) -> None:
+        self.clock.skew[name] = self.rng.uniform(-MAX_SKEW_S, MAX_SKEW_S)
+
+    # -- client traffic ----------------------------------------------------
+
+    def _writable_target(self) -> str | None:
+        """The failover-following client: retry with rediscovery."""
+        candidates = [self.client_primary, self.coordinator.primary]
+        for target in candidates:
+            node = self.nodes.get(target)
+            if (
+                node is not None
+                and self.reachable(target)
+                and node.ctrl is not None
+                and node.ctrl.writes_allowed()
+            ):
+                self.client_primary = target
+                return target
+        self.rejected_writes += 1
+        return None
+
+    def client_write(self) -> None:
+        target = self._writable_target()
+        if target is None:
+            return
+        node = self.nodes[target]
+        assert node.db is not None and node.ctrl is not None
+        epoch = node.ctrl.epoch
+        key = f"k{self.write_seq}"
+        value = self.rng.randint(0, 10_000)
+        self.write_seq += 1
+        try:
+            txn = node.db.transactions.begin()
+            txn.create("Entry", key=key, value=value)
+            txn.commit()
+        except Exception:
+            # Raced a fence; the client never got an ack.  Fine.
+            return
+        lsn = node.db.store.commit_lsn
+        self.accepted_by_epoch.setdefault(epoch, set()).add(target)
+        # Semi-sync ack: replicated to >= 1 replica, or not acked.
+        if self._replicate_to_one(target, lsn):
+            self.acked.append((key, value, epoch))
+        else:
+            self.unacked.append((key, value, epoch))
+
+    def _followers_of(self, primary_name: str) -> list[str]:
+        out = []
+        for name in NODE_NAMES:
+            node = self.nodes[name]
+            if (
+                name != primary_name
+                and node.open
+                and node.ctrl is not None
+                and node.ctrl.replica_client is not None
+                and node.ctrl.primary_url == primary_name
+            ):
+                out.append(name)
+        return out
+
+    def _replicate_to_one(self, primary_name: str, lsn: int) -> bool:
+        for name in self._followers_of(primary_name):
+            if self.pump_replica(name, lsn):
+                return True
+        return False
+
+    def pump_replica(self, name: str, target_lsn: int | None = None) -> bool:
+        """Drive one replica's pull loop synchronously; True = caught
+        up to ``target_lsn`` (or fully, when None)."""
+        node = self.nodes[name]
+        if not node.open or node.ctrl is None:
+            return False
+        client = node.ctrl.replica_client
+        if client is None:
+            return False
+        for _ in range(10):
+            try:
+                batch = client.pull_once()
+            except DivergedError:
+                continue  # reset done inside; next pull restarts
+            except (StalePrimaryError, ReplicationError):
+                return False
+            applied = node.db.store.commit_lsn
+            if target_lsn is not None and applied >= target_lsn:
+                return True
+            if batch is None:  # caught up
+                return target_lsn is None or applied >= target_lsn
+        return False
+
+    # -- invariants --------------------------------------------------------
+
+    def assert_single_writer(self, context: str) -> None:
+        writers = [
+            name
+            for name, node in self.nodes.items()
+            if node.open
+            and node.ctrl is not None
+            and node.ctrl.writes_allowed()
+        ]
+        assert len(writers) <= 1, (
+            f"seed {self.seed} [{context}]: dual primary! "
+            f"writers={writers} epoch={self.coordinator.epoch}"
+        )
+
+    def assert_one_writer_per_epoch(self) -> None:
+        for epoch, writers in sorted(self.accepted_by_epoch.items()):
+            assert len(writers) == 1, (
+                f"seed {self.seed}: epoch {epoch} accepted writes on "
+                f"{sorted(writers)} — fencing failed"
+            )
+
+    def check_deposed_fenced(self, old_primary: str) -> None:
+        """A live deposed primary must refuse this reign's traffic."""
+        node = self.nodes[old_primary]
+        if not node.open or node.ctrl is None:
+            return
+        self.fence_checks += 1
+        assert not node.ctrl.writes_allowed(), (
+            f"seed {self.seed}: deposed {old_primary} still accepts "
+            "writes"
+        )
+        shipper = node.ctrl.shipper
+        if shipper is not None:
+            status, _ = shipper.pull(
+                node.db.store.commit_lsn, epoch=self.coordinator.epoch
+            )
+            assert status == "stale-primary", (
+                f"seed {self.seed}: deposed {old_primary} served a pull "
+                f"from epoch {self.coordinator.epoch}: {status}"
+            )
+
+    # -- the schedule ------------------------------------------------------
+
+    def step(self) -> None:
+        self.clock.advance(STEP_DT_S)
+        roll = self.rng.random()
+        alive = sorted(self.alive)
+        dead = sorted(set(NODE_NAMES) - self.alive)
+        if roll < 0.45:
+            self.client_write()
+        elif roll < 0.62:
+            followers = self._followers_of(self.coordinator.primary)
+            if followers:
+                self.pump_replica(self.rng.choice(followers))
+        elif roll < 0.68:
+            if len(alive) > 1:
+                victim = self.rng.choice(alive)
+                torn = (
+                    victim == self.coordinator.primary
+                    and self.rng.random() < 0.5
+                )
+                self.kill(victim, torn=torn)
+        elif roll < 0.76:
+            if dead:
+                self.restart(self.rng.choice(dead))
+        elif roll < 0.81:
+            self.partition(*self.rng.sample(NODE_NAMES, 2))
+        elif roll < 0.86:
+            self.heal()
+        elif roll < 0.90:
+            # Pause: alive but unresponsive (GC stall, SIGSTOP...).
+            candidates = [n for n in alive if n not in self.paused]
+            if len(candidates) > 1:
+                self.paused.add(self.rng.choice(candidates))
+        elif roll < 0.96:
+            if self.paused:
+                self.paused.discard(self.rng.choice(sorted(self.paused)))
+        else:
+            self.set_skew(self.rng.choice(NODE_NAMES))
+        self.tick()
+
+    def tick(self) -> None:
+        self.coordinator.tick()
+        reports = self.coordinator.failovers
+        while self._reports_seen < len(reports):
+            report = reports[self._reports_seen]
+            self._reports_seen += 1
+            self.check_deposed_fenced(report.old_primary)
+
+    def run(self, steps: int = 60) -> None:
+        for _ in range(steps):
+            self.step()
+            self.assert_single_writer("mid-run")
+        self.settle()
+        self.verify()
+
+    # -- convergence and final verification --------------------------------
+
+    def settle(self, max_rounds: int = 200) -> None:
+        """Heal everything and drive the cluster to a steady state."""
+        self.heal()
+        self.paused.clear()
+        for name in sorted(set(NODE_NAMES) - self.alive):
+            self.restart(name)
+        # Let the supervisor stabilise: demote returners, renew/choose
+        # the primary, fail over if the seat is empty.
+        for _ in range(max_rounds):
+            self.clock.advance(STEP_DT_S)
+            self.tick()
+            self.assert_single_writer("settle")
+            primary = self.coordinator.primary
+            node = self.nodes[primary]
+            if (
+                self.reachable(primary)
+                and node.ctrl is not None
+                and node.ctrl.writes_allowed()
+            ):
+                break
+        else:
+            raise AssertionError(
+                f"seed {self.seed}: no writable primary after settling"
+            )
+        primary = self.coordinator.primary
+        # Operator step: point every survivor at the final primary.
+        for name in NODE_NAMES:
+            node = self.nodes[name]
+            if name == primary or not node.open:
+                continue
+            assert node.ctrl is not None
+            node.ctrl.repoint(primary, self.coordinator.epoch)
+        for name in NODE_NAMES:
+            if name != primary:
+                assert self.pump_replica(name), (
+                    f"seed {self.seed}: {name} could not catch up to "
+                    f"{primary}"
+                )
+
+    def verify(self) -> None:
+        primary = self.coordinator.primary
+        pdb = self.nodes[primary].db
+        assert pdb is not None
+        # 1. Every acknowledged write survived, with its exact value.
+        for key, value, epoch in self.acked:
+            got = pdb.query(
+                "select e.value from e in Entry where e.key = $key",
+                params={"key": key},
+            )
+            assert got == [value], (
+                f"seed {self.seed}: ACKED write {key}={value} (epoch "
+                f"{epoch}) lost or mangled on {primary}: got {got}"
+            )
+        # 2. No epoch ever had two accepting nodes.
+        self.assert_one_writer_per_epoch()
+        # 3. The survivors converged byte-for-byte.
+        fp = pdb.store.fingerprint()
+        for name in NODE_NAMES:
+            node = self.nodes[name]
+            if name == primary or not node.open:
+                continue
+            assert node.db.store.fingerprint() == fp, (
+                f"seed {self.seed}: {name} diverged from {primary}"
+            )
+        # 4. The cluster still takes (and replicates) writes.
+        before = len(self.acked)
+        self.client_write()
+        assert len(self.acked) == before + 1, (
+            f"seed {self.seed}: final write on {primary} was not acked"
+        )
+
+    def close(self) -> None:
+        for node in self.nodes.values():
+            if node.ctrl is not None and node.ctrl.replica_client:
+                node.ctrl.replica_client.stop()
+            if node.db is not None:
+                node.db.close()
+                node.db = None
+
+
+def run_schedule(tmp_path, seed: int, steps: int = 60) -> ChaosCluster:
+    """Run one seeded schedule to completion; returns the cluster for
+    post-hoc inspection.  Raises AssertionError on invariant breach."""
+    cluster = ChaosCluster(tmp_path, seed)
+    try:
+        cluster.run(steps=steps)
+    finally:
+        cluster.close()
+    return cluster

@@ -1,0 +1,84 @@
+"""Shared fixtures for the HA suite.
+
+Same in-process topology idiom as ``tests/replication``: the
+``ReplicationClient`` uses the primary's :class:`LogShipper` directly
+as its transport, so promotion, fencing and epoch plumbing are
+exercised end-to-end without sockets.
+"""
+
+import pytest
+
+from repro.core import types as T
+from repro.core.attributes import Attribute
+from repro.engine import PrometheusDB
+from repro.replication import LogShipper, ReplicaApplier, ReplicationClient
+
+
+def declare(db: PrometheusDB) -> None:
+    db.schema.define_class(
+        "Entry",
+        [Attribute("key", T.STRING), Attribute("value", T.INTEGER)],
+    )
+
+
+def make_primary(tmp_path, name: str = "primary") -> PrometheusDB:
+    db = PrometheusDB(tmp_path / f"{name}.plog")
+    declare(db)
+    db.load()
+    return db
+
+
+def make_replica(
+    tmp_path, shipper: LogShipper, name: str
+) -> tuple[PrometheusDB, ReplicaApplier, ReplicationClient]:
+    db = PrometheusDB(tmp_path / f"{name}.plog", read_only=True)
+    declare(db)
+    db.load()
+    applier = ReplicaApplier(db)
+    client = ReplicationClient(applier, shipper, name=name)
+    return db, applier, client
+
+
+def write_entry(db: PrometheusDB, key: str, value: int) -> int:
+    txn = db.transactions.begin()
+    txn.create("Entry", key=key, value=value)
+    txn.commit()
+    return txn.commit_lsn
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock for detector and lease tests."""
+
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def primary(tmp_path):
+    db = make_primary(tmp_path)
+    yield db
+    db.close()
+
+
+@pytest.fixture
+def shipper(primary):
+    return LogShipper(primary.store)
+
+
+@pytest.fixture
+def replica(tmp_path, shipper):
+    db, applier, client = make_replica(tmp_path, shipper, "replica-1")
+    yield db, applier, client
+    client.stop()
+    db.close()

@@ -1,0 +1,97 @@
+"""Phi-accrual failure detector: suspicion math on a virtual clock."""
+
+import math
+
+import pytest
+
+from repro.ha import PhiAccrualDetector
+
+
+def beat_regularly(det, clock, node, interval, count):
+    for _ in range(count):
+        det.heartbeat(node)
+        clock.advance(interval)
+
+
+class TestPhi:
+    def test_never_heard_node_is_not_suspect(self, clock):
+        det = PhiAccrualDetector(clock=clock)
+        assert det.phi("ghost") == 0.0
+        assert not det.suspect("ghost")
+        assert det.last_heard("ghost") is None
+
+    def test_phi_grows_with_silence(self, clock):
+        det = PhiAccrualDetector(clock=clock)
+        beat_regularly(det, clock, "n1", 1.0, 10)
+        early = det.phi("n1")
+        clock.advance(5.0)
+        late = det.phi("n1")
+        assert late > early
+
+    def test_phi_matches_exponential_model(self, clock):
+        det = PhiAccrualDetector(clock=clock)
+        beat_regularly(det, clock, "n1", 2.0, 20)
+        # Last advance already moved us 2.0 past the final beat; go to
+        # exactly 6 seconds of silence: phi = (6 / 2) * log10(e).
+        clock.advance(4.0)
+        assert det.phi("n1") == pytest.approx(3.0 * math.log10(math.e))
+
+    def test_regular_node_suspected_faster_than_jittery(self, clock):
+        det = PhiAccrualDetector(clock=clock)
+        beat_regularly(det, clock, "steady", 0.5, 20)
+        for i in range(20):
+            det.heartbeat("jittery")
+            clock.advance(0.5 if i % 2 else 3.0)
+        clock.advance(10.0)
+        assert det.phi("steady") > det.phi("jittery")
+
+    def test_threshold_crossing(self, clock):
+        det = PhiAccrualDetector(threshold=4.0, clock=clock)
+        beat_regularly(det, clock, "n1", 1.0, 10)
+        assert not det.suspect("n1")
+        # phi = t * log10(e) with mean 1.0: crosses 4.0 near t = 9.2s.
+        clock.advance(20.0)
+        assert det.suspect("n1")
+
+    def test_min_interval_floor_prevents_hair_trigger(self, clock):
+        det = PhiAccrualDetector(min_interval_s=0.5, clock=clock)
+        # A burst of near-instant heartbeats would drive the mean to ~0
+        # and make any silence look fatal; the floor absorbs it.
+        beat_regularly(det, clock, "bursty", 0.0001, 50)
+        clock.advance(1.0)
+        assert det.phi("bursty") <= (1.1 / 0.5) * math.log10(math.e)
+
+    def test_heartbeat_resets_suspicion(self, clock):
+        det = PhiAccrualDetector(threshold=4.0, clock=clock)
+        beat_regularly(det, clock, "n1", 1.0, 10)
+        clock.advance(30.0)
+        assert det.suspect("n1")
+        det.heartbeat("n1")
+        assert not det.suspect("n1")
+
+    def test_forget_drops_history(self, clock):
+        det = PhiAccrualDetector(clock=clock)
+        beat_regularly(det, clock, "n1", 1.0, 5)
+        det.forget("n1")
+        assert det.phi("n1") == 0.0
+        assert det.last_heard("n1") is None
+
+    def test_window_bounds_history(self, clock):
+        det = PhiAccrualDetector(window=4, clock=clock)
+        # Old slow intervals age out of the window: after 4 fast beats
+        # the mean reflects only the recent cadence.
+        beat_regularly(det, clock, "n1", 10.0, 3)
+        beat_regularly(det, clock, "n1", 0.5, 6)
+        clock.advance(0.5)  # 1.0s total silence
+        assert det.phi("n1") == pytest.approx(
+            (1.0 / 0.5) * math.log10(math.e)
+        )
+
+    def test_snapshot_shape(self, clock):
+        det = PhiAccrualDetector(clock=clock)
+        beat_regularly(det, clock, "n1", 1.0, 3)
+        snap = det.snapshot()
+        assert set(snap) == {"n1"}
+        entry = snap["n1"]
+        assert {"phi", "suspect", "last_heard_s", "samples"} <= set(entry)
+        assert entry["samples"] == 2

@@ -1,0 +1,299 @@
+"""HAController transitions: fencing, leases, promotion, repointing.
+
+In-process topologies (shipper-as-transport, as in the replication
+suite) drive every role transition and check the fencing invariants at
+each layer: store read-only flips, session poisoning, epoch stamps in
+the log, and stale-epoch rejections on both pull directions.
+"""
+
+import pytest
+
+from repro.errors import (
+    NodeDemotedError,
+    StalePrimaryError,
+    TransactionError,
+)
+from repro.ha import HAController
+from repro.replication import BASE_LSN, LogShipper
+
+from .conftest import make_primary, make_replica, write_entry
+
+
+def primary_controller(db, shipper=None, **kwargs):
+    return HAController(db, "n1", shipper=shipper, **kwargs)
+
+
+class TestRolesAndLeases:
+    def test_standalone_primary_writes_forever(self, primary):
+        ctrl = primary_controller(primary)
+        assert ctrl.role == "primary"
+        assert ctrl.epoch == 0
+        assert ctrl.writes_allowed()  # no lease configured
+
+    def test_leased_primary_starts_unleased(self, primary, clock):
+        ctrl = primary_controller(primary, lease_ttl_s=3.0, clock=clock)
+        # Only the supervisor opens the write window — a primary that
+        # (re)starts with lease fencing armed cannot self-authorize.
+        assert not ctrl.writes_allowed()
+        ctrl.grant_lease(epoch=0, ttl_s=3.0)
+        assert ctrl.writes_allowed()
+
+    def test_lease_expires_on_the_clock(self, primary, clock):
+        ctrl = primary_controller(primary, lease_ttl_s=3.0, clock=clock)
+        ctrl.grant_lease(epoch=0, ttl_s=3.0)
+        clock.advance(2.9)
+        assert ctrl.writes_allowed()
+        clock.advance(0.2)
+        assert not ctrl.writes_allowed()
+        ctrl.grant_lease(epoch=0, ttl_s=3.0)  # renewal reopens
+        assert ctrl.writes_allowed()
+
+    def test_stale_epoch_lease_rejected(self, primary, clock):
+        ctrl = primary_controller(primary, lease_ttl_s=3.0, clock=clock)
+        ctrl._epoch_seen = 5
+        with pytest.raises(StalePrimaryError) as err:
+            ctrl.grant_lease(epoch=4, ttl_s=3.0)
+        assert err.value.epoch == 5
+        assert not ctrl.writes_allowed()
+
+
+class TestFencing:
+    def test_fence_flips_store_read_only(self, primary):
+        ctrl = primary_controller(primary)
+        write_entry(primary, "before", 1)
+        ctrl.fence("test")
+        assert ctrl.fenced and not ctrl.writes_allowed()
+        txn = primary.transactions.begin()
+        txn.create("Entry", key="after", value=2)
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_fence_poisons_open_sessions(self, primary):
+        ctrl = primary_controller(primary)
+        session = primary.sessions.create()
+        session.txn.create("Entry", key="doomed", value=1)
+        ctrl.primary_url = "http://new-primary"
+        ctrl.demote(epoch=2, primary_url="http://new-primary")
+        with pytest.raises(NodeDemotedError) as err:
+            session.commit()
+        assert err.value.epoch == 2
+        assert err.value.primary_url == "http://new-primary"
+        assert session.info()["demoted"] is True
+
+    def test_fence_is_idempotent(self, primary):
+        ctrl = primary_controller(primary)
+        ctrl.fence("one")
+        ctrl.fence("two")
+        assert ctrl.fences == 1
+        assert ctrl.last_fence_reason == "one"
+
+    def test_higher_observed_epoch_self_fences_primary(self, primary):
+        ctrl = primary_controller(primary)
+        ctrl.observe_epoch(3)
+        assert ctrl.fenced
+        assert ctrl.epoch == 3
+        assert "superseded" in ctrl.last_fence_reason
+
+    def test_equal_epoch_does_not_fence(self, primary):
+        ctrl = primary_controller(primary)
+        ctrl.observe_epoch(0)
+        assert not ctrl.fenced
+
+
+class TestPromotion:
+    def test_promote_stamps_epoch_and_opens_writes(
+        self, tmp_path, primary, shipper, replica
+    ):
+        rdb, applier, client = replica
+        write_entry(primary, "a", 1)
+        client.catch_up()
+        ctrl = HAController(
+            rdb, "r1", replica_client=client, primary_url="p"
+        )
+        assert ctrl.role == "replica"
+        ctrl.promote(1)
+        assert ctrl.role == "primary"
+        assert not ctrl.fenced
+        assert ctrl.replica_client is None
+        assert ctrl.shipper is not None
+        assert rdb.store.cluster_epoch == 1
+        assert ctrl.writes_allowed()
+        write_entry(rdb, "post-promotion", 2)
+        assert rdb.query(
+            'select e.value from e in Entry where e.key = "post-promotion"'
+        ) == [2]
+
+    def test_promote_rejects_stale_epoch(self, replica):
+        rdb, _, client = replica
+        ctrl = HAController(rdb, "r1", replica_client=client)
+        ctrl.promote(2)
+        with pytest.raises(StalePrimaryError):
+            HAController(rdb, "r1").promote(2)
+
+    def test_epoch_stamp_replicates_to_survivors(
+        self, tmp_path, primary, shipper, replica
+    ):
+        # p -> r1 (will be promoted), and a survivor r2 that repoints.
+        rdb, applier, client = replica
+        write_entry(primary, "a", 1)
+        client.catch_up()
+        ctrl = HAController(rdb, "r1", replica_client=client)
+        ctrl.promote(1)
+        sdb, sapplier, sclient = make_replica(tmp_path, ctrl.shipper, "r2")
+        try:
+            sclient.catch_up()
+            # The survivor's first frames from the new reign carry —
+            # and its log permanently records — the new epoch.
+            assert sdb.store.cluster_epoch == 1
+            assert sapplier.known_epoch == 1
+            assert sdb.store.fingerprint() == rdb.store.fingerprint()
+        finally:
+            sclient.stop()
+            sdb.close()
+
+
+class TestEpochFencingOnPulls:
+    def test_shipper_refuses_newer_epoch_puller(self, primary, shipper):
+        write_entry(primary, "a", 1)
+        status, frame = shipper.pull(BASE_LSN, epoch=7)
+        assert status == "stale-primary"
+        assert frame is None
+
+    def test_shipper_serves_equal_or_older_epoch(self, primary, shipper):
+        write_entry(primary, "a", 1)
+        assert shipper.pull(BASE_LSN, epoch=0)[0] == "frame"
+        assert shipper.pull(BASE_LSN, epoch=None)[0] == "frame"
+
+    def test_applier_rejects_frames_from_deposed_reign(
+        self, primary, shipper, replica
+    ):
+        _, applier, _ = replica
+        write_entry(primary, "a", 1)
+        _, frame = shipper.pull(BASE_LSN)
+        applier.observe_epoch(5)  # learned of a promotion out of band
+        with pytest.raises(StalePrimaryError) as err:
+            applier.apply_frame(frame)
+        assert err.value.epoch == 5
+
+    def test_client_pull_once_sends_its_epoch(self, primary, shipper, replica):
+        # After the replica learns epoch 7, its own pulls against the
+        # old-reign shipper come back stale-primary, not data.
+        _, applier, client = replica
+        write_entry(primary, "a", 1)
+        applier.observe_epoch(7)
+        with pytest.raises(StalePrimaryError):
+            client.pull_once()
+
+
+class TestRepoint:
+    def _promote_chain(self, tmp_path, primary, shipper):
+        """p with two replicas; r1 gets promoted; returns the pieces."""
+        r1db, _, r1client = make_replica(tmp_path, shipper, "r1")
+        r2db, _, r2client = make_replica(tmp_path, shipper, "r2")
+        write_entry(primary, "seed", 1)
+        r1client.catch_up()
+        r2client.catch_up()
+        controllers = {
+            "r1": HAController(
+                r1db, "r1", replica_client=r1client, primary_url="p"
+            ),
+        }
+        controllers["r2"] = HAController(
+            r2db,
+            "r2",
+            replica_client=r2client,
+            primary_url="p",
+            make_transport=lambda url: controllers[url].shipper,
+        )
+        controllers["r1"].promote(1)
+        return controllers, r1db, r2db
+
+    def test_survivor_repoints_to_new_primary(
+        self, tmp_path, primary, shipper
+    ):
+        controllers, r1db, r2db = self._promote_chain(
+            tmp_path, primary, shipper
+        )
+        try:
+            controllers["r2"].repoint("r1", epoch=1)
+            write_entry(r1db, "new-reign", 2)
+            controllers["r2"].replica_client.catch_up()
+            assert r2db.store.cluster_epoch == 1
+            assert r2db.query(
+                'select e.value from e in Entry where e.key = "new-reign"'
+            ) == [2]
+            assert controllers["r2"].replica_client.failovers_followed == 1
+        finally:
+            for ctrl in controllers.values():
+                if ctrl.replica_client is not None:
+                    ctrl.replica_client.stop()
+            r1db.close()
+            r2db.close()
+
+    def test_repoint_rejects_stale_epoch(self, tmp_path, primary, shipper):
+        controllers, r1db, r2db = self._promote_chain(
+            tmp_path, primary, shipper
+        )
+        try:
+            controllers["r2"].observe_epoch(5)
+            with pytest.raises(StalePrimaryError):
+                controllers["r2"].repoint("r1", epoch=1)
+        finally:
+            for ctrl in controllers.values():
+                if ctrl.replica_client is not None:
+                    ctrl.replica_client.stop()
+            r1db.close()
+            r2db.close()
+
+    def test_deposed_primary_rejoins_as_replica(
+        self, tmp_path, primary, shipper
+    ):
+        controllers, r1db, r2db = self._promote_chain(
+            tmp_path, primary, shipper
+        )
+        pctrl = HAController(
+            primary,
+            "p",
+            shipper=shipper,
+            make_transport=lambda url: controllers[url].shipper,
+        )
+        try:
+            write_entry(r1db, "after-failover", 9)
+            pctrl.repoint("r1", epoch=1)
+            assert pctrl.role == "replica"
+            assert pctrl.fenced
+            assert pctrl.shipper is None
+            pctrl.replica_client.catch_up()
+            assert primary.store.cluster_epoch == 1
+            assert primary.query(
+                'select e.value from e in Entry where e.key = "after-failover"'
+            ) == [9]
+        finally:
+            if pctrl.replica_client is not None:
+                pctrl.replica_client.stop()
+            for ctrl in controllers.values():
+                if ctrl.replica_client is not None:
+                    ctrl.replica_client.stop()
+            r1db.close()
+            r2db.close()
+
+    def test_repoint_without_factory_errors(self, primary):
+        from repro.errors import ReplicationError
+
+        ctrl = primary_controller(primary)
+        with pytest.raises(ReplicationError, match="transport factory"):
+            ctrl.repoint("elsewhere", epoch=1)
+
+
+class TestStatus:
+    def test_status_shape(self, primary, clock):
+        ctrl = primary_controller(primary, lease_ttl_s=3.0, clock=clock)
+        ctrl.grant_lease(epoch=0, ttl_s=3.0)
+        status = ctrl.status()
+        assert status["name"] == "n1"
+        assert status["role"] == "primary"
+        assert status["epoch"] == 0
+        assert status["fenced"] is False
+        assert status["writes_allowed"] is True
+        assert status["lease_remaining_s"] == pytest.approx(3.0)
+        assert "applied_lsn" in status

@@ -33,7 +33,20 @@ def write_entry(db, key: str, value: int) -> int:
 class TestFrameCodec:
     def test_round_trip(self):
         frame = encode_frame(18, 25, b"payload")
-        assert decode_frame(frame) == (18, 25, b"payload")
+        assert decode_frame(frame) == (18, 25, b"payload", 0)
+
+    def test_round_trip_with_epoch(self):
+        frame = encode_frame(18, 25, b"payload", epoch=7)
+        assert decode_frame(frame) == (18, 25, b"payload", 7)
+
+    def test_v1_frame_decodes_with_epoch_zero(self):
+        import struct
+        import zlib
+
+        head = struct.Struct(">4sBQQI").pack(
+            b"PLSB", 1, 18, 25, zlib.crc32(b"payload")
+        )
+        assert decode_frame(head + b"payload") == (18, 25, b"payload", 0)
 
     def test_short_frame_rejected(self):
         with pytest.raises(ReplicationError, match="short frame"):
@@ -66,7 +79,7 @@ class TestShipper:
         write_entry(primary, "a", 1)
         status, frame = shipper.pull(BASE_LSN, replica="r")
         assert status == "frame"
-        from_lsn, to_lsn, payload = decode_frame(frame)
+        from_lsn, to_lsn, payload, _ = decode_frame(frame)
         assert from_lsn == BASE_LSN
         assert to_lsn == primary.store.commit_lsn
         assert payload == primary.store.read_log_bytes(from_lsn, to_lsn)
@@ -91,7 +104,7 @@ class TestShipper:
             status, frame = shipper.pull(cursor, max_bytes=128)
             if status == "empty":
                 break
-            _, to_lsn, payload = decode_frame(frame)
+            _, to_lsn, payload, _ = decode_frame(frame)
             assert len(payload) <= 128 or chunks == 0
             cursor = to_lsn
             chunks += 1

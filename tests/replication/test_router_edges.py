@@ -1,0 +1,109 @@
+"""ReadRouter edge cases: degraded replica sets and routing floors.
+
+The happy paths live in ``test_replication.py``; these pin the
+behaviour at the edges the failover machinery creates — every replica
+too stale, the replica set shrinking to nothing mid-read, a
+read-your-writes floor beyond even the primary's LSN, and primary
+re-election via :meth:`set_primary`.
+"""
+
+from repro.replication import ReadNode, ReadRouter
+
+
+def node(name, lsns, results=None, primary=False, errors=None):
+    def query(text, params):
+        if errors and name in errors:
+            raise RuntimeError(f"{name} down")
+        return (results or {}).get(name, name)
+
+    return ReadNode(
+        name=name,
+        query_fn=query,
+        lsn_fn=lambda: lsns[name],
+        is_primary=primary,
+    )
+
+
+class TestStalenessEdges:
+    def test_every_replica_over_the_floor_falls_to_primary(self):
+        lsns = {"p": 1000, "r1": 10, "r2": 20}
+        router = ReadRouter(node("p", lsns, primary=True))
+        router.add_replica(node("r1", lsns))
+        router.add_replica(node("r2", lsns))
+        routed = router.query("q", staleness_bytes=100)
+        assert routed.node == "p"
+        assert routed.reason == "no-replica-fresh-enough"
+
+    def test_min_lsn_beyond_primary_still_serves_primary(self):
+        # A client may carry a commit LSN from a *newer* primary than
+        # the node set we route over (mid-failover).  The primary is
+        # still the best answer — the router must not error or loop.
+        lsns = {"p": 100, "r1": 100}
+        router = ReadRouter(node("p", lsns, primary=True))
+        router.add_replica(node("r1", lsns))
+        routed = router.query("q", min_lsn=10_000)
+        assert routed.node == "p"
+        assert routed.reason == "read-your-writes"
+
+    def test_zero_staleness_budget_requires_exact_catchup(self):
+        lsns = {"p": 100, "r1": 99, "r2": 100}
+        router = ReadRouter(node("p", lsns, primary=True))
+        router.add_replica(node("r1", lsns))
+        router.add_replica(node("r2", lsns))
+        for _ in range(3):
+            assert router.query("q", staleness_bytes=0).node == "r2"
+
+
+class TestShrinkingReplicaSet:
+    def test_remove_all_replicas_mid_stream(self):
+        lsns = {"p": 100, "r1": 100, "r2": 100}
+        router = ReadRouter(node("p", lsns, primary=True))
+        router.add_replica(node("r1", lsns))
+        router.add_replica(node("r2", lsns))
+        assert router.query("q").node in {"r1", "r2"}
+        router.remove_replica("r1")
+        router.remove_replica("r2")
+        routed = router.query("q")
+        assert routed.node == "p"
+        assert routed.reason == "no-replicas"
+
+    def test_remove_unknown_replica_is_harmless(self):
+        lsns = {"p": 100}
+        router = ReadRouter(node("p", lsns, primary=True))
+        router.remove_replica("ghost")
+        assert router.query("q").node == "p"
+
+    def test_all_replicas_erroring_still_serves(self):
+        lsns = {"p": 100, "r1": 100, "r2": 100}
+        errors = {"r1", "r2"}
+        router = ReadRouter(node("p", lsns, primary=True))
+        router.add_replica(node("r1", lsns, errors=errors))
+        router.add_replica(node("r2", lsns, errors=errors))
+        routed = router.query("q")
+        assert routed.node == "p"
+        assert routed.reason == "replica-error-fallback"
+
+
+class TestFailoverRouting:
+    def test_set_primary_promotes_replica_in_place(self):
+        lsns = {"p": 100, "r1": 100, "r2": 100}
+        router = ReadRouter(node("p", lsns, primary=True))
+        router.add_replica(node("r1", lsns))
+        router.add_replica(node("r2", lsns))
+        router.set_primary(node("r1", lsns, primary=True))
+        assert router.failovers == 1
+        # r1 no longer serves as a replica; reads spread over r2 only,
+        # writes' read-your-writes floor now measures against r1.
+        assert {router.query("q").node for _ in range(3)} == {"r2"}
+        lsns["r2"] = 10
+        routed = router.query("q", staleness_bytes=20)
+        assert routed.node == "r1"
+        assert routed.reason == "no-replica-fresh-enough"
+
+    def test_set_primary_with_fresh_node_keeps_replicas(self):
+        lsns = {"p": 100, "r1": 100, "new": 100}
+        router = ReadRouter(node("p", lsns, primary=True))
+        router.add_replica(node("r1", lsns))
+        router.set_primary(node("new", lsns, primary=True))
+        assert router.query("q").node == "r1"
+        assert router.status()["failovers"] == 1
