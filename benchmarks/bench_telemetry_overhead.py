@@ -103,6 +103,93 @@ def test_disabled_overhead_under_limit(bench_recorder):
     )
 
 
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def test_http_hop_propagation_overhead(bench_recorder):
+    """Cost of carrying ``traceparent`` across one HTTP hop.
+
+    Four arms — {disabled, enabled} telemetry x {bare, traceparent}
+    request — measured as per-request medians over a keep-alive
+    connection.  Propagation parse/push/pop is a handful of string and
+    list operations, so the bound here is a generous absolute sanity
+    check (the hard <3% gate stays on the in-process query path above,
+    where the noise floor allows a tight limit).
+    """
+    import http.client
+    import json as _json
+
+    from repro.engine import PrometheusServer
+    from repro.telemetry import format_traceparent, propagation
+
+    requests_per_arm = 60
+    text = "select a from a in AtomicPart where a.ident = $i"
+    payload = _json.dumps({"query": text, "params": {"i": 1}})
+    traceparent = format_traceparent(propagation.new_context())
+
+    def arm_us(url: str, with_header: bool) -> float:
+        host = url.split("//", 1)[1]
+        conn = http.client.HTTPConnection(host, timeout=10)
+        headers = {"Content-Type": "application/json"}
+        if with_header:
+            headers[propagation.TRACEPARENT_HEADER] = traceparent
+        try:
+            samples = []
+            for _ in range(requests_per_arm):
+                started = time.perf_counter_ns()
+                conn.request("POST", "/query", body=payload, headers=headers)
+                response = conn.getresponse()
+                response.read()
+                samples.append((time.perf_counter_ns() - started) / 1000.0)
+                assert response.status == 200
+            return _median(samples)
+        finally:
+            conn.close()
+
+    results = {}
+    for mode, enabled in (("disabled", False), ("enabled", True)):
+        db, _ = _build_db(Telemetry(enabled=enabled))
+        with PrometheusServer(db) as server:
+            arm_us(server.url, with_header=False)  # warm the connection path
+            bare_us = arm_us(server.url, with_header=False)
+            traced_us = arm_us(server.url, with_header=True)
+        results[mode] = {
+            "bare_us": round(bare_us, 2),
+            "traced_us": round(traced_us, 2),
+            "added_us": round(traced_us - bare_us, 2),
+        }
+
+    bench_recorder.record(
+        "test_http_hop_propagation_overhead",
+        requests_per_arm=requests_per_arm,
+        **{
+            f"{mode}_{key}": value
+            for mode, stats in results.items()
+            for key, value in stats.items()
+        },
+    )
+    print(
+        "\nper-hop traceparent cost: "
+        + ", ".join(
+            f"{mode} {stats['added_us']:+.1f}us"
+            f" ({stats['bare_us']:.0f} -> {stats['traced_us']:.0f})"
+            for mode, stats in results.items()
+        )
+    )
+    # Loopback HTTP round trips run hundreds of microseconds; header
+    # parse + context push must stay far below one millisecond of that.
+    for mode, stats in results.items():
+        assert stats["added_us"] < 1000.0, (
+            f"{mode}: traceparent added {stats['added_us']:.0f}us/hop "
+            f"(bare={stats['bare_us']:.0f}us traced={stats['traced_us']:.0f}us)"
+        )
+
+
 def test_hook_primitive_cost(bench_recorder):
     """The dormant hook itself: one attribute load + one branch."""
     tel = DISABLED

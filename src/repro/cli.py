@@ -30,6 +30,11 @@ The shell speaks POOL plus a few dot-commands:
                           this replica's apply status, or the status of
                           ``--replica NAME=URL`` remotes
 ``.lag``                  replication lag in bytes per replica
+``.cluster``              scatter-gather cluster overview over the
+                          ``--peer NAME=URL`` federation (role, epoch,
+                          LSNs, lag, breaker, lease per endpoint);
+                          ``.cluster metrics`` sums every peer's
+                          counters instead
 ``.quit``                 leave
 ========================  =======================================
 
@@ -111,6 +116,7 @@ class Shell:
         shipper: object | None = None,
         replica_client: object | None = None,
         remotes: dict[str, object] | None = None,
+        federation: object | None = None,
     ) -> None:
         self.db = db
         self.out = out
@@ -121,6 +127,8 @@ class Shell:
         self.shipper = shipper
         self.replica_client = replica_client
         self.remotes = remotes or {}
+        # A Federation over --peer NAME=URL endpoints backs .cluster.
+        self.federation = federation
         # Lazily-created session backing .begin/.commit/.abort — the
         # shell goes through the same session layer as HTTP clients.
         self._session: Session | None = None
@@ -158,7 +166,7 @@ class Shell:
         self.emit(
             "commands: .help .schema .class <Name> .classifications "
             ".rules .indexes .begin .commit .abort .txn .set .integrity "
-            ".replicas .lag .quit\n"
+            ".replicas .lag .cluster [metrics] .quit\n"
             ".begin opens a managed transaction; .commit/.abort then "
             "apply to it\n"
             "anything else is evaluated as a POOL query"
@@ -377,6 +385,52 @@ class Shell:
         if not shown:
             self.emit("(no replication configured)")
 
+    def _cmd_cluster(self, args: list[str]) -> None:
+        """Scatter-gather cluster view over the --peer federation."""
+        if self.federation is None:
+            self.emit("(no federation peers; start with --peer NAME=URL)")
+            return
+        if args and args[0] == "metrics":
+            merged = self.federation.cluster_metrics()
+            for series, value in sorted(merged["totals"].items()):
+                self.emit(f"{series} {value:g}")
+            for name, error in sorted(merged["errors"].items()):
+                self.emit(f"{name}: unreachable ({error})")
+            if merged["partial"]:
+                self.emit("(partial: some endpoints did not answer)")
+            return
+        overview = self.federation.cluster_overview()
+        for name, row in sorted(overview["nodes"].items()):
+            if "error" in row:
+                self.emit(
+                    f"{name}: unreachable ({row['error']}) "
+                    f"breaker={row['breaker']}"
+                )
+                continue
+            line = (
+                f"{name}: role={row.get('role')} epoch={row.get('epoch')} "
+                f"commit_lsn={row.get('commit_lsn')} "
+                f"applied_lsn={row.get('applied_lsn')} "
+                f"lag={row.get('lag_bytes')} breaker={row['breaker']}"
+            )
+            ha = row.get("ha")
+            if ha is not None:
+                line += (
+                    f" fenced={ha.get('fenced')} "
+                    f"writes={ha.get('writes_allowed')}"
+                )
+                if ha.get("lease_remaining_s") is not None:
+                    line += f" lease={ha['lease_remaining_s']}s"
+            self.emit(line)
+        summary = overview["summary"]
+        primaries = ",".join(summary["primaries"]) or "(none)"
+        self.emit(
+            f"summary: {summary['endpoints']} endpoint(s), "
+            f"primary={primaries}, max_epoch={summary['max_epoch']}, "
+            f"total_lag={summary['total_lag_bytes']:g}B"
+            + (", PARTIAL" if summary["partial"] else "")
+        )
+
     def _cmd_quit(self, args: list[str]) -> None:
         self.running = False
 
@@ -418,6 +472,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--replica-name", metavar="NAME", default="replica",
         help="this replica's name, reported to the primary on each pull",
+    )
+    parser.add_argument(
+        "--peer", metavar="NAME=URL", action="append", default=[],
+        help="a federation peer for .cluster and the /cluster/* routes "
+        "(repeatable; include this node's own URL for a full view)",
+    )
+    parser.add_argument(
+        "--node-name", metavar="NAME", default=None,
+        help="this node's name, stamped on trace spans and journal "
+        "events (default: --replica-name when replicating, else "
+        "'primary')",
     )
     ha = parser.add_argument_group(
         "high availability (repro.ha)",
@@ -537,6 +602,12 @@ def main(argv: list[str] | None = None, out: IO[str] = sys.stdout) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
+    node_name = args.node_name or (
+        args.replica_name if args.replica_of else "primary"
+    )
+    if db.telemetry.enabled:
+        db.telemetry.set_node(node_name)
+
     shipper = None
     replica_client = None
     remotes: dict[str, object] = {}
@@ -573,6 +644,19 @@ def main(argv: list[str] | None = None, out: IO[str] = sys.stdout) -> int:
                 return 1
             remotes[name] = RemoteDatabase(url)
 
+    federation = None
+    if args.peer:
+        from .engine.federation import Federation
+
+        federation = Federation(telemetry=db.telemetry)
+        for spec in args.peer:
+            name, _, url = spec.partition("=")
+            if not url:
+                print(f"error: --peer wants NAME=URL, got {spec!r}",
+                      file=sys.stderr)
+                return 1
+            federation.add_node(name, url)
+
     ha = None
     if args.ha:
         if db.store is None:
@@ -598,6 +682,7 @@ def main(argv: list[str] | None = None, out: IO[str] = sys.stdout) -> int:
         shipper=shipper,
         replica_client=replica_client,
         remotes=remotes,
+        federation=federation,
     )
     try:
         if args.serve is not None:
@@ -610,6 +695,7 @@ def main(argv: list[str] | None = None, out: IO[str] = sys.stdout) -> int:
                 replica_client=replica_client,
                 primary_url=args.replica_of,
                 ha=ha,
+                federation=federation,
             )
             server.start()
             print(f"serving on {server.url} (Ctrl-C to stop)", file=out, flush=True)

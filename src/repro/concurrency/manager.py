@@ -45,8 +45,8 @@ from typing import TYPE_CHECKING, Any, Iterator
 
 from ..core.events import Event, EventKind
 from ..core.schema import Schema, TxnScope
-from ..errors import ConflictError, SchemaError
-from ..telemetry import DISABLED, Telemetry
+from ..errors import ConflictError, SchemaError, TransactionError
+from ..telemetry import DISABLED, NULL_SPAN, Telemetry
 from .transaction import Transaction, TxnState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -265,8 +265,16 @@ class TransactionManager:
         if durability_token is not None:
             # Outside the commit lock: the group-commit leader fsyncs
             # for every marker appended so far while the next committer
-            # is already replaying.
-            self.store.wait_durable(durability_token)
+            # is already replaying.  The wait gets its own child span so
+            # a slow trace distinguishes replay time from fsync time.
+            tel = self.telemetry
+            wait_span = (
+                tel.tracer.span("txn.wait_durable")
+                if tel.enabled
+                else NULL_SPAN
+            )
+            with wait_span:
+                self.store.wait_durable(durability_token)
         return ts
 
     def _finish_scope(self) -> None:

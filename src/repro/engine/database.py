@@ -92,6 +92,16 @@ class PrometheusDB:
             if path is not None
             else None
         )
+        if (
+            path is not None
+            and self.telemetry.enabled
+            and self.telemetry.events.path is None
+        ):
+            # Persist the lifecycle journal beside the store so a
+            # failover post-mortem survives the process.
+            self.telemetry.events.path = str(
+                os.fspath(path)
+            ) + ".events.jsonl"
         self.schema = Schema(self.store, name=name)
         self.schema.events.telemetry = self.telemetry
         self.rules = RuleEngine(self.schema, telemetry=self.telemetry)

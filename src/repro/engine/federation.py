@@ -48,7 +48,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 from ..errors import PrometheusError
-from ..telemetry import DISABLED, Telemetry
+from ..telemetry import DISABLED, Telemetry, propagation
+from ..telemetry.metrics import parse_prometheus
 
 
 class FederationError(PrometheusError):
@@ -68,21 +69,25 @@ class RemoteDatabase:
 
     # -- raw HTTP ---------------------------------------------------------
 
-    def _get(self, path: str) -> Any:
-        try:
-            with urllib.request.urlopen(
-                self.url + path, timeout=self.timeout
-            ) as response:
-                return json.load(response)
-        except (urllib.error.URLError, OSError, ValueError) as exc:
-            raise FederationError(f"{self.url}{path}: {exc}") from exc
+    @staticmethod
+    def _trace_headers() -> dict[str, str]:
+        """The outbound trace-context header, when a trace is active.
 
-    def _post(self, path: str, payload: dict[str, Any]) -> Any:
-        data = json.dumps(payload).encode("utf-8")
+        Every HTTP edge the client makes — fan-out queries, replication
+        status probes, HA control calls — carries the caller's
+        ``traceparent`` so the serving node's spans join the same trace.
+        """
+        ctx = propagation.current()
+        if ctx is None:
+            return {}
+        return {propagation.TRACEPARENT_HEADER: propagation.format_traceparent(ctx)}
+
+    def _open(self, path: str, data: bytes | None = None,
+              headers: dict[str, str] | None = None) -> Any:
         request = urllib.request.Request(
             self.url + path,
             data=data,
-            headers={"Content-Type": "application/json"},
+            headers={**self._trace_headers(), **(headers or {})},
         )
         try:
             with urllib.request.urlopen(
@@ -91,6 +96,28 @@ class RemoteDatabase:
                 return json.load(response)
         except (urllib.error.URLError, OSError, ValueError) as exc:
             raise FederationError(f"{self.url}{path}: {exc}") from exc
+
+    def _get(self, path: str) -> Any:
+        return self._open(path)
+
+    def _get_text(self, path: str) -> str:
+        request = urllib.request.Request(
+            self.url + path, headers=self._trace_headers()
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            raise FederationError(f"{self.url}{path}: {exc}") from exc
+
+    def _post(self, path: str, payload: dict[str, Any]) -> Any:
+        return self._open(
+            path,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
 
     # -- API ------------------------------------------------------------------
 
@@ -133,6 +160,18 @@ class RemoteDatabase:
 
     def replication_status(self) -> dict[str, Any]:
         return self._get("/replicate/status")
+
+    def metrics_text(self) -> str:
+        """Raw Prometheus exposition text from ``GET /metrics``."""
+        return self._get_text("/metrics")
+
+    def trace(self, trace_id: str) -> dict[str, Any]:
+        """This node's retained spans of one trace."""
+        return self._get(f"/trace/{trace_id}")
+
+    def events(self, since: int = 0) -> dict[str, Any]:
+        """The node's lifecycle event journal after ``since``."""
+        return self._get(f"/events?since={int(since)}")
 
     def ping(self) -> bool:
         try:
@@ -246,6 +285,10 @@ class CircuitBreaker:
         self._state = "closed"
         self._opened_at = 0.0
         self._probing = False
+        #: Optional ``listener(old_state, new_state)`` fired (outside
+        #: the breaker lock) on every open/close transition — the
+        #: federation journals these as ``federation.breaker`` events.
+        self.listener: Callable[[str, str], None] | None = None
 
     @property
     def state(self) -> str:
@@ -276,18 +319,33 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         with self._lock:
+            old = self._current_state()
             self._failures = 0
             self._state = "closed"
             self._probing = False
+        if old != "closed":
+            self._notify(old, "closed")
 
     def record_failure(self) -> None:
         with self._lock:
+            old = self._current_state()
             self._failures += 1
-            probe_failed = self._current_state() == "half_open"
+            probe_failed = old == "half_open"
             self._probing = False
-            if probe_failed or self._failures >= self.failure_threshold:
+            opened = probe_failed or self._failures >= self.failure_threshold
+            if opened:
                 self._state = "open"
                 self._opened_at = self._clock()
+        if opened and old != "open":
+            self._notify(old, "open")
+
+    def _notify(self, old: str, new: str) -> None:
+        listener = self.listener
+        if listener is not None:
+            try:
+                listener(old, new)
+            except Exception:  # pragma: no cover - observers never break calls
+                pass
 
 
 @dataclass
@@ -428,8 +486,26 @@ class Federation:
                 failure_threshold=self.breaker_threshold,
                 reset_timeout=self.breaker_reset,
             )
+            breaker.listener = self._breaker_transition(name)
             self._breakers[name] = breaker
         return breaker
+
+    def _breaker_transition(
+        self, name: str
+    ) -> Callable[[str, str], None]:
+        """A journal hook for one breaker's open/close transitions."""
+
+        def on_transition(old: str, new: str) -> None:
+            tel = self.telemetry
+            if tel.enabled:
+                tel.events.record(
+                    "federation.breaker",
+                    target=name,
+                    from_state=old,
+                    to_state=new,
+                )
+
+        return on_transition
 
     def _call_node(self, name: str, fn: Callable[[], Any]) -> Any:
         """One guarded node call: breaker gate, retries, breaker update."""
@@ -522,12 +598,19 @@ class Federation:
         if not names:
             return []
 
+        # Fan-out hops threads: capture the caller's trace position so
+        # each per-node call (and its outbound traceparent) stays in the
+        # caller's trace instead of orphaning into a fresh one.
+        tracer = self.telemetry.tracer
+        handle = tracer.capture()
+
         def run(name: str) -> tuple[Any, float]:
             client = self.nodes[name]
             started = time.monotonic()
-            result = self._call_node(
-                name, lambda: client.query(text, params)
-            )
+            with tracer.attach(handle):
+                result = self._call_node(
+                    name, lambda: client.query(text, params)
+                )
             return result, time.monotonic() - started
 
         results: dict[str, NodeResult] = {}
@@ -588,8 +671,15 @@ class Federation:
         if not names:
             return []
 
+        tracer = self.telemetry.tracer
+        handle = tracer.capture()
+
         def run(name: str) -> tuple[Any, float, str]:
             started = time.monotonic()
+            with tracer.attach(handle):
+                return run_traced(name, started)
+
+        def run_traced(name: str, started: float) -> tuple[Any, float, str]:
             replicas = self.replicas.get(name, {})
             for replica_name in sorted(replicas):
                 key = f"{name}/{replica_name}"
@@ -651,6 +741,199 @@ class Federation:
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
         return [results[name] for name in names]
+
+    # -- cluster observability (scatter-gather) -----------------------------
+
+    def endpoints(self) -> dict[str, RemoteDatabase]:
+        """Every physical endpoint: nodes plus ``node/replica`` keys."""
+        out: dict[str, RemoteDatabase] = dict(sorted(self.nodes.items()))
+        for node in sorted(self.replicas):
+            for replica, client in sorted(self.replicas[node].items()):
+                out[f"{node}/{replica}"] = client
+        return out
+
+    def _scatter(
+        self,
+        calls: dict[str, Callable[[], Any]],
+        deadline: float | None = None,
+    ) -> dict[str, tuple[Any, str]]:
+        """Run ``{name: thunk}`` concurrently under the deadline.
+
+        Returns ``{name: (result, error)}`` — exactly one of the pair is
+        meaningful.  Used by the ``/cluster/*`` aggregation endpoints;
+        unlike :meth:`query_all` it does not touch breakers (these *are*
+        the observability probes an operator uses to watch a node come
+        back).
+        """
+        if deadline is None:
+            deadline = self.deadline
+        if not calls:
+            return {}
+        tracer = self.telemetry.tracer
+        handle = tracer.capture()
+
+        def run(fn: Callable[[], Any]) -> Any:
+            with tracer.attach(handle):
+                return fn()
+
+        results: dict[str, tuple[Any, str]] = {}
+        pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=min(self.max_workers, len(calls)),
+            thread_name_prefix="federation-scatter",
+        )
+        try:
+            futures = {
+                pool.submit(run, fn): name for name, fn in calls.items()
+            }
+            done, not_done = concurrent.futures.wait(
+                futures, timeout=deadline
+            )
+            for future in done:
+                name = futures[future]
+                try:
+                    results[name] = (future.result(), "")
+                except Exception as exc:
+                    results[name] = (None, str(exc))
+            for future in not_done:
+                name = futures[future]
+                future.cancel()
+                results[name] = (
+                    None,
+                    f"deadline exceeded after {deadline}s",
+                )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return results
+
+    def cluster_metrics(
+        self, deadline: float | None = None
+    ) -> dict[str, Any]:
+        """Scatter-gather merge of every endpoint's ``/metrics``.
+
+        Per endpoint the full parsed series map is returned; counters
+        (series whose bare name ends ``_total``) are additionally summed
+        into ``totals`` for a one-look cluster rate view.  Failed
+        endpoints land in ``errors`` and flip ``partial`` — a degraded
+        merge never masquerades as a complete one (the
+        :meth:`count_all` convention).
+        """
+        endpoints = self.endpoints()
+        scattered = self._scatter(
+            {
+                name: client.metrics_text
+                for name, client in endpoints.items()
+            },
+            deadline,
+        )
+        nodes: dict[str, Any] = {}
+        totals: dict[str, float] = {}
+        errors: dict[str, str] = {}
+        for name, client in endpoints.items():
+            text, error = scattered.get(name, (None, "not scattered"))
+            if error:
+                errors[name] = error
+                continue
+            series = parse_prometheus(text)
+            nodes[name] = {"url": client.url, "series": series}
+            for key, value in series.items():
+                if key.split("{", 1)[0].endswith("_total"):
+                    totals[key] = totals.get(key, 0.0) + value
+        return {
+            "nodes": nodes,
+            "totals": totals,
+            "errors": errors,
+            "partial": bool(errors),
+        }
+
+    def cluster_overview(
+        self, deadline: float | None = None
+    ) -> dict[str, Any]:
+        """One merged row per endpoint: role, epoch, LSNs, lag, breaker.
+
+        The ``/cluster/overview`` payload — each endpoint's
+        ``/replicate/status`` joined with its ``/ha/status`` (absent on
+        nodes without an HA controller) and the federation's own breaker
+        state for that endpoint, plus a cluster summary (who is primary,
+        the highest epoch seen, total replication lag).
+        """
+        endpoints = self.endpoints()
+
+        def probe(client: RemoteDatabase) -> Callable[[], dict[str, Any]]:
+            def call() -> dict[str, Any]:
+                status = client.replication_status()
+                shipping = status.get("shipping") or {}
+                lag = shipping.get("lag_bytes")
+                row: dict[str, Any] = {
+                    "url": client.url,
+                    "role": status.get("role"),
+                    "epoch": status.get("epoch"),
+                    "log_epoch": status.get("log_epoch"),
+                    "commit_lsn": status.get("commit_lsn"),
+                    "applied_lsn": status.get("applied_lsn"),
+                    "lag_bytes": sum(lag.values())
+                    if isinstance(lag, dict)
+                    else lag,
+                }
+                try:
+                    ha = client.ha_status()
+                except FederationError:
+                    ha = None  # no HA controller on that node
+                if ha is not None and "error" not in ha:
+                    row["ha"] = {
+                        "fenced": ha.get("fenced"),
+                        "writes_allowed": ha.get("writes_allowed"),
+                        "lease_remaining_s": ha.get("lease_remaining_s"),
+                        "promotions": ha.get("promotions"),
+                        "fences": ha.get("fences"),
+                    }
+                return row
+
+            return call
+
+        scattered = self._scatter(
+            {
+                name: probe(client)
+                for name, client in endpoints.items()
+            },
+            deadline,
+        )
+        nodes: dict[str, Any] = {}
+        errors: dict[str, str] = {}
+        primaries: list[str] = []
+        max_epoch = 0
+        total_lag = 0.0
+        for name, client in endpoints.items():
+            row, error = scattered.get(name, (None, "not scattered"))
+            if error:
+                errors[name] = error
+                nodes[name] = {
+                    "url": client.url,
+                    "error": error,
+                    "breaker": self.breaker(name).state,
+                }
+                continue
+            row = dict(row)
+            row["breaker"] = self.breaker(name).state
+            nodes[name] = row
+            if row.get("role") == "primary":
+                primaries.append(name)
+            try:
+                max_epoch = max(max_epoch, int(row.get("epoch") or 0))
+            except (TypeError, ValueError):
+                pass
+            if isinstance(row.get("lag_bytes"), (int, float)):
+                total_lag += row["lag_bytes"]
+        return {
+            "nodes": nodes,
+            "summary": {
+                "endpoints": len(endpoints),
+                "primaries": primaries,
+                "max_epoch": max_epoch,
+                "total_lag_bytes": total_lag,
+                "errors": len(errors),
+                "partial": bool(errors),
+            },
+        }
 
     def gather(
         self, text: str, params: dict[str, Any] | None = None

@@ -20,6 +20,13 @@ Endpoints::
     GET  /health/readiness            — 200/503: may this node serve?
     GET  /metrics                     — Prometheus text exposition
     GET  /stats                       — telemetry snapshot (JSON)
+    GET  /trace/<trace_id>            — this node's retained spans of
+                                        one (possibly cross-node) trace
+    GET  /events?since=<seq>          — HA/replication lifecycle journal
+    GET  /cluster/metrics             — scatter-gather merge of every
+                                        peer's /metrics (federation)
+    GET  /cluster/overview            — per-node role/epoch/LSN/lag/
+                                        breaker summary (+ supervisor)
     POST /query                       — {"query": "...", "params": {...}}
                                         (text may start with EXPLAIN or
                                         PROFILE for a plan report)
@@ -68,7 +75,13 @@ sessions and the optimistic transaction manager.
 Observability: every request is counted and timed in the database's
 telemetry registry, and logged as a structured access-log entry on the
 ``repro.server`` stdlib logger (protocol-level chatter from the stdlib
-handler goes to the same logger at DEBUG instead of stderr).
+handler goes to the same logger at DEBUG instead of stderr).  Every
+request also participates in distributed tracing: an inbound
+``traceparent`` header (W3C trace context) is adopted so the request's
+spans join the caller's trace, the trace id is returned in the
+``X-Repro-Trace-Id`` response header and stamped into the access log
+and 4xx/5xx payloads, and the node's recent spans are queryable at
+``GET /trace/<trace_id>`` — see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -79,7 +92,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
-from urllib.parse import unquote, urlparse
+from urllib.parse import parse_qs, unquote, urlparse
 
 from ..classification import GraphView
 from ..core.identity import OidRef
@@ -95,6 +108,7 @@ from ..errors import (
     SessionError,
     StalePrimaryError,
 )
+from ..telemetry import propagation
 from .database import PrometheusDB
 from .federation import Federation
 
@@ -154,6 +168,9 @@ class _Handler(BaseHTTPRequestHandler):
     # so every role-sensitive route goes through the _shipper()/
     # _replica_client()/_primary() helpers instead of the class attrs.
     ha: Any = None
+    # Optional FailoverCoordinator: merged into /cluster/overview so the
+    # aggregate view carries phi values and failover history.
+    supervisor: Any = None
 
     def _shipper(self) -> Any:
         return self.ha.shipper if self.ha is not None else self.shipper
@@ -176,6 +193,13 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def _send(self, status: int, payload: Any) -> None:
+        if status >= 400 and isinstance(payload, dict):
+            # Error bodies carry the trace id so a client retry loop
+            # (conflict, stale-primary) can be correlated with the
+            # server-side spans that produced each rejection.
+            trace_id = getattr(self, "_trace_id", None)
+            if trace_id and "trace_id" not in payload:
+                payload = dict(payload, trace_id=trace_id)
         body = json.dumps(payload, indent=2).encode("utf-8")
         self._send_bytes(status, "application/json", body)
 
@@ -185,6 +209,9 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            trace_id = getattr(self, "_trace_id", None)
+            if trace_id:
+                self.send_header("X-Repro-Trace-Id", trace_id)
             self.end_headers()
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):
@@ -202,9 +229,33 @@ class _Handler(BaseHTTPRequestHandler):
         self._handle(self._route_post)
 
     def _handle(self, route: Any) -> None:
-        """Route + catch errors + emit the access log and HTTP metrics."""
+        """Route + catch errors + emit the access log and HTTP metrics.
+
+        Trace propagation happens here, once for every route: an inbound
+        ``traceparent`` header is activated *as-is* (so the server span's
+        parent is exactly the caller's recorded span id — the linkage a
+        cross-node trace join relies on), a per-request ``http.request``
+        span is opened when telemetry is enabled, and the trace id is
+        stamped into the response header, error payloads and access log.
+        """
         self._status = 0
         started = time.perf_counter_ns()
+        method = self.command or "?"
+        remote = propagation.parse_traceparent(self.headers.get("traceparent"))
+        if remote is not None:
+            propagation.push(remote)
+        tel = self.db.telemetry
+        span = None
+        if tel.enabled:
+            span = tel.tracer.span(
+                "http.request",
+                method=method,
+                path=urlparse(self.path or "").path,
+            )
+            span.__enter__()
+            self._trace_id = span.trace_id
+        else:
+            self._trace_id = remote.trace_id if remote is not None else None
         try:
             route()
         except PrometheusError as exc:
@@ -212,23 +263,28 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # pragma: no cover - defensive
             self._error(500, f"{type(exc).__name__}: {exc}")
         finally:
+            if span is not None:
+                span.set("status", self._status)
+                span.__exit__(None, None, None)
+            if remote is not None:
+                propagation.pop(remote)
             duration_ms = (time.perf_counter_ns() - started) / 1e6
-            method = self.command or "?"
             path = self.path or "?"
             _access_logger.info(
-                "%s %s status=%d duration_ms=%.2f",
+                "%s %s status=%d duration_ms=%.2f trace=%s",
                 method,
                 path,
                 self._status,
                 duration_ms,
+                self._trace_id or "-",
                 extra={
                     "http_method": method,
                     "http_path": path,
                     "http_status": self._status,
                     "duration_ms": round(duration_ms, 3),
+                    "trace_id": self._trace_id,
                 },
             )
-            tel = self.db.telemetry
             if tel.enabled:
                 tel.registry.counter(
                     "repro_http_requests_total",
@@ -242,7 +298,55 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route_get(self) -> None:
         db = self.db
-        parts = [unquote(p) for p in urlparse(self.path).path.split("/") if p]
+        parsed = urlparse(self.path)
+        parts = [unquote(p) for p in parsed.path.split("/") if p]
+        if len(parts) == 2 and parts[0] == "trace":
+            trace_id = parts[1].lower()
+            spans = db.telemetry.traces.spans(trace_id)
+            if not spans:
+                self._error(404, f"no spans retained for trace {parts[1]!r}")
+                return
+            self._send(
+                200,
+                {
+                    "trace_id": trace_id,
+                    "node": db.telemetry.traces.node,
+                    "spans": spans,
+                },
+            )
+            return
+        if parts == ["events"]:
+            query = parse_qs(parsed.query)
+            try:
+                since = int(query.get("since", ["0"])[0])
+            except ValueError:
+                self._error(400, "'since' must be an integer")
+                return
+            journal = db.telemetry.events
+            self._send(
+                200,
+                {
+                    "node": journal.node,
+                    "last_seq": journal.last_seq,
+                    "events": journal.events(since=since),
+                },
+            )
+            return
+        if parts == ["cluster", "metrics"]:
+            if self.federation is None:
+                self._error(404, "this node aggregates no cluster")
+                return
+            self._send(200, self.federation.cluster_metrics())
+            return
+        if parts == ["cluster", "overview"]:
+            if self.federation is None:
+                self._error(404, "this node aggregates no cluster")
+                return
+            overview = self.federation.cluster_overview()
+            if self.supervisor is not None:
+                overview["supervisor"] = self.supervisor.status()
+            self._send(200, overview)
+            return
         if parts == ["health"]:
             self._send(200, self._health_payload())
             return
@@ -853,6 +957,7 @@ class PrometheusServer:
         replica_client: Any = None,
         primary_url: str | None = None,
         ha: Any = None,
+        supervisor: Any = None,
     ):
         if ha is not None:
             if shipper is None:
@@ -872,6 +977,7 @@ class PrometheusServer:
                 "replica_client": replica_client,
                 "primary_url": primary_url,
                 "ha": ha,
+                "supervisor": supervisor,
             },
         )
         self.ha = ha

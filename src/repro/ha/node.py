@@ -104,7 +104,48 @@ class HAController:
         # ordered) opens the write window.  A deposed primary that
         # restarts therefore cannot self-authorize writes it would lose.
         self._lease_expires: float | None = None
+        self._lease_expiry_noted = False
         self._lock = threading.RLock()
+        if self.telemetry.enabled:
+            self.attach_telemetry(self.telemetry)
+
+    def attach_telemetry(self, telemetry: Telemetry | None = None) -> None:
+        """Wire a facade in and register the HA gauges collector.
+
+        Exposes ``repro_ha_cluster_epoch``,
+        ``repro_ha_lease_remaining_seconds``, ``repro_ha_fenced`` and
+        ``repro_ha_writes_allowed`` at scrape time — no hot-path hooks.
+        """
+        if telemetry is not None:
+            self.telemetry = telemetry
+        self.telemetry.registry.add_collector(self._collect)
+
+    def _collect(self, registry: Any) -> None:
+        with self._lock:
+            epoch = self.epoch
+            lease_remaining = 0.0
+            if self.lease_ttl_s is not None and self._lease_expires is not None:
+                lease_remaining = max(
+                    0.0, self._lease_expires - self._clock()
+                )
+            fenced = self.fenced
+            writes = self.writes_allowed()
+        registry.gauge(
+            "repro_ha_cluster_epoch",
+            help="This node's view of the cluster epoch",
+        ).set(epoch)
+        registry.gauge(
+            "repro_ha_lease_remaining_seconds",
+            help="Seconds of write lease left (0 = unleased or expired)",
+        ).set(round(lease_remaining, 3))
+        registry.gauge(
+            "repro_ha_fenced",
+            help="1 when this node is fenced off from writes",
+        ).set(1 if fenced else 0)
+        registry.gauge(
+            "repro_ha_writes_allowed",
+            help="1 when this node may accept a write right now",
+        ).set(1 if writes else 0)
 
     # -- state -------------------------------------------------------------
 
@@ -129,7 +170,20 @@ class HAController:
         if self.lease_ttl_s is None:
             return True
         expires = self._lease_expires
-        return expires is not None and self._clock() < expires
+        if expires is not None and self._clock() < expires:
+            self._lease_expiry_noted = False
+            return True
+        if expires is not None and not self._lease_expiry_noted:
+            # One journal entry per expiry, not one per rejected write.
+            self._lease_expiry_noted = True
+            tel = self.telemetry
+            if tel.enabled:
+                tel.events.record(
+                    "ha.lease_expired",
+                    epoch=self.epoch,
+                    expired_at=round(expires, 3),
+                )
+        return False
 
     def writes_allowed(self) -> bool:
         """May this node accept a write *right now*?
@@ -158,6 +212,10 @@ class HAController:
             was_newer = epoch > self.epoch
             if epoch > self._epoch_seen:
                 self._epoch_seen = epoch
+            if was_newer:
+                tel = self.telemetry
+                if tel.enabled:
+                    tel.events.record("ha.epoch_change", epoch=epoch)
             if was_newer and self.role == "primary":
                 self.fence(f"superseded by epoch {epoch}")
 
@@ -188,6 +246,12 @@ class HAController:
                     "repro_ha_fences_total",
                     help="Times this node fenced itself off from writes",
                 ).inc()
+                tel.events.record(
+                    "ha.fence",
+                    epoch=self.epoch,
+                    lsn=store.commit_lsn,
+                    reason=reason,
+                )
 
     def promote(self, epoch: int) -> int:
         """Become primary at ``epoch``; returns the stamp's commit LSN.
@@ -221,6 +285,7 @@ class HAController:
             self.promotions += 1
             if self.lease_ttl_s is not None:
                 self._lease_expires = self._clock() + self.lease_ttl_s
+                self._lease_expiry_noted = False
             tel = self.telemetry
             if tel.enabled:
                 tel.registry.counter(
@@ -231,6 +296,7 @@ class HAController:
                     "repro_ha_cluster_epoch",
                     help="This node's view of the cluster epoch",
                 ).set(epoch)
+                tel.events.record("ha.promote", epoch=epoch, lsn=lsn)
             return lsn
 
     def demote(self, epoch: int, primary_url: str | None = None) -> None:
@@ -248,6 +314,9 @@ class HAController:
                     "repro_ha_cluster_epoch",
                     help="This node's view of the cluster epoch",
                 ).set(self.epoch)
+                tel.events.record(
+                    "ha.demote", epoch=epoch, primary_url=self.primary_url
+                )
 
     def repoint(self, primary_url: str, epoch: int) -> None:
         """Follow a promotion: pull from ``primary_url`` from now on.
@@ -295,6 +364,11 @@ class HAController:
                 self.replica_client = ReplicationClient(
                     applier, transport, name=self.name
                 )
+            tel = self.telemetry
+            if tel.enabled:
+                tel.events.record(
+                    "ha.repoint", epoch=epoch, primary_url=primary_url
+                )
 
     def grant_lease(self, epoch: int, ttl_s: float) -> None:
         """Supervisor lease renewal; stale-epoch grants are rejected."""
@@ -307,6 +381,10 @@ class HAController:
                 )
             self.lease_ttl_s = ttl_s
             self._lease_expires = self._clock() + ttl_s
+            self._lease_expiry_noted = False
+            tel = self.telemetry
+            if tel.enabled:
+                tel.events.record("ha.lease_grant", epoch=epoch, ttl_s=ttl_s)
 
     # -- introspection -----------------------------------------------------
 

@@ -47,8 +47,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..errors import ReplicationError
-from ..telemetry import DISABLED, Telemetry
+from ..telemetry import DISABLED, NULL_SPAN, Telemetry
 from .detector import DEFAULT_THRESHOLD, PhiAccrualDetector
+
+#: Ceiling for the exported phi gauge — phi grows without bound while a
+#: node stays silent, and an unbounded value wrecks dashboard scales.
+PHI_GAUGE_CAP = 1e6
 
 
 @dataclass
@@ -186,6 +190,37 @@ class FailoverCoordinator:
         self._lock = threading.RLock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        if self.telemetry.enabled:
+            self.attach_telemetry(self.telemetry)
+
+    def attach_telemetry(self, telemetry: Telemetry | None = None) -> None:
+        """Wire a facade in and register the supervision gauges.
+
+        Exposes per-node ``repro_ha_phi{node=...}`` suspicion levels and
+        the supervisor's ``repro_ha_cluster_epoch`` at scrape time, and
+        pre-creates the ``repro_ha_time_to_recover_ms`` histogram so it
+        renders (empty) before the first failover.
+        """
+        if telemetry is not None:
+            self.telemetry = telemetry
+        self.telemetry.registry.histogram(
+            "repro_ha_time_to_recover_ms",
+            help="Suspicion-to-promoted latency per failover (ms)",
+        )
+        self.telemetry.registry.add_collector(self._collect)
+
+    def _collect(self, registry: Any) -> None:
+        for name, stats in self.detector.snapshot().items():
+            phi = min(float(stats["phi"]), PHI_GAUGE_CAP)
+            registry.gauge(
+                "repro_ha_phi",
+                {"node": name},
+                help="Phi-accrual suspicion level per supervised node",
+            ).set(phi)
+        registry.gauge(
+            "repro_ha_cluster_epoch",
+            help="The supervisor's view of the cluster epoch",
+        ).set(self.epoch)
 
     # -- one supervision round --------------------------------------------
 
@@ -250,7 +285,26 @@ class FailoverCoordinator:
 
         Returns None when no replica is reachable (nothing to promote
         — the cluster stays down rather than guessing).
+
+        Runs under an ``ha.failover`` trace span: every journal entry
+        the transitions emit (fence, promote, repoint, lease grant) on
+        in-process nodes — and, via traceparent headers, on HTTP nodes
+        — carries the same trace_id, so one trace reconstructs the
+        whole promotion.
         """
+        tel = self.telemetry
+        span = (
+            tel.tracer.span("ha.failover") if tel.enabled else NULL_SPAN
+        )
+        with span:
+            report = self._failover_locked()
+            if report is not None:
+                span.set("old_primary", report.old_primary)
+                span.set("new_primary", report.new_primary)
+                span.set("epoch", report.epoch)
+        return report
+
+    def _failover_locked(self) -> FailoverReport | None:
         with self._lock:
             started = self._clock()
             old_primary = self.primary
@@ -337,6 +391,15 @@ class FailoverCoordinator:
                     "repro_ha_time_to_recover_ms",
                     help="Suspicion-to-promoted latency per failover (ms)",
                 ).observe(report.detect_to_promoted_s * 1000.0)
+                tel.events.record(
+                    "ha.failover",
+                    epoch=new_epoch,
+                    old_primary=old_primary,
+                    new_primary=winner,
+                    detect_to_promoted_s=round(
+                        report.detect_to_promoted_s, 4
+                    ),
+                )
             return report
 
     # -- background loop ---------------------------------------------------

@@ -38,7 +38,7 @@ from ..core.schema import _META_CLASS
 from ..core.synonyms import SynonymRegistry
 from ..errors import DivergedError, ReplicationError, StalePrimaryError
 from ..storage.store import AppliedBatch
-from ..telemetry import Telemetry
+from ..telemetry import NULL_SPAN, Telemetry, propagation
 from .stream import BASE_LSN, PREFIX_CRC_WINDOW, decode_frame
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -264,6 +264,12 @@ class ReplicaApplier:
                 "repro_replication_resyncs_total",
                 help="Full re-syncs forced by primary divergence",
             ).inc()
+            tel.events.record(
+                "replication.reset",
+                epoch=self.known_epoch,
+                lsn=store.replication_position,
+                resyncs=self.resyncs,
+            )
 
     def status(self) -> dict[str, Any]:
         store = self.db.store
@@ -322,10 +328,19 @@ class HttpPullTransport:
             body["max_bytes"] = max_bytes
         if epoch is not None:
             body["epoch"] = epoch
+        headers = {"Content-Type": "application/json"}
+        ctx = propagation.current()
+        if ctx is not None:
+            # The pull joins the active trace (catch-up under a request,
+            # or the loop's attached startup context), so the primary's
+            # handler span lands in the same trace_id.
+            headers[propagation.TRACEPARENT_HEADER] = (
+                propagation.format_traceparent(ctx)
+            )
         request = urllib.request.Request(
             self.url + "/replicate/pull",
             data=json.dumps(body).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
+            headers=headers,
         )
         timeout = min(wait_s + self.timeout_margin_s, self.timeout_s)
         try:
@@ -418,6 +433,7 @@ class ReplicationClient:
         self._rng = random.Random(jitter_seed)
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        self._trace_handle: Any = None
 
     # -- one pull ----------------------------------------------------------
 
@@ -443,6 +459,17 @@ class ReplicationClient:
         transport or frame errors (the loop retries; callers of the
         synchronous API see the failure).
         """
+        tel = self.applier.telemetry
+        span = (
+            tel.tracer.span("replication.pull", replica=self.name)
+            if tel.enabled
+            else NULL_SPAN
+        )
+        with span:
+            batch = self._pull_once_inner(wait_s, span)
+        return batch
+
+    def _pull_once_inner(self, wait_s: float, span: Any) -> AppliedBatch | None:
         kwargs: dict[str, Any] = {
             "prefix_crc": self._prefix_crc(),
             "wait_s": wait_s,
@@ -453,6 +480,7 @@ class ReplicationClient:
             # tests) may predate fencing; they just don't send an epoch.
             kwargs["epoch"] = self.applier.known_epoch
         status, frame = self.transport.pull(self._position(), **kwargs)
+        span.set("status", status)
         if status == "empty":
             return None
         if status == "diverged":
@@ -530,6 +558,10 @@ class ReplicationClient:
         if self._thread is not None and self._thread.is_alive():
             return
         self._stop.clear()
+        # Capture the starter's trace position (a /ha/repoint request,
+        # the CLI boot) so the loop's spans hang under it instead of
+        # orphaning into per-pull root traces.
+        self._trace_handle = self.applier.telemetry.tracer.capture()
         self._thread = threading.Thread(
             target=self._run, name=f"replication-{self.name}", daemon=True
         )
@@ -546,6 +578,10 @@ class ReplicationClient:
         return self._thread is not None and self._thread.is_alive()
 
     def _run(self) -> None:
+        with self.applier.telemetry.tracer.attach(self._trace_handle):
+            self._run_loop()
+
+    def _run_loop(self) -> None:
         consecutive = 0
         while not self._stop.is_set():
             try:

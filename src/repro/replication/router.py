@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..errors import ReplicationError
-from ..telemetry import DISABLED, Telemetry
+from ..telemetry import DISABLED, NULL_SPAN, Telemetry
 
 #: Accept any staleness — route purely for load spreading.
 UNBOUNDED = float("inf")
@@ -153,26 +153,38 @@ class ReadRouter:
     ) -> RoutedResult:
         """Route and run one read; falls back to the primary on replica
         failure (the replica's error count feeds eviction decisions)."""
-        node, lsn, primary_lsn, reason = self.choose(staleness_bytes, min_lsn)
-        try:
-            result = node.query_fn(text, params)
-        except Exception:
-            node.errors += 1
-            self._count("repro_router_replica_errors_total")
-            if node.is_primary:
-                raise
-            node = self.primary
-            lsn = primary_lsn = self.primary.lsn_fn()
-            reason = "replica-error-fallback"
-            result = node.query_fn(text, params)
-        node.reads += 1
         tel = self.telemetry
-        if tel.enabled:
-            tel.registry.counter(
-                "repro_router_reads_total",
-                {"node": node.name},
-                help="Reads served per routed node",
-            ).inc()
+        # The root span of a routed read: the choose() LSN probes and
+        # the serving node's query (both HTTP for federation-backed
+        # nodes) run under it, so one trace covers router → primary
+        # probe → replica answer across processes.
+        span = (
+            tel.tracer.span("router.query") if tel.enabled else NULL_SPAN
+        )
+        with span:
+            node, lsn, primary_lsn, reason = self.choose(
+                staleness_bytes, min_lsn
+            )
+            try:
+                result = node.query_fn(text, params)
+            except Exception:
+                node.errors += 1
+                self._count("repro_router_replica_errors_total")
+                if node.is_primary:
+                    raise
+                node = self.primary
+                lsn = primary_lsn = self.primary.lsn_fn()
+                reason = "replica-error-fallback"
+                result = node.query_fn(text, params)
+            node.reads += 1
+            span.set("node", node.name)
+            span.set("reason", reason)
+            if tel.enabled:
+                tel.registry.counter(
+                    "repro_router_reads_total",
+                    {"node": node.name},
+                    help="Reads served per routed node",
+                ).inc()
         return RoutedResult(
             node=node.name,
             result=result,

@@ -327,12 +327,12 @@ class LogShipper:
             # The replica is ahead of this log: it replicated from a
             # longer incarnation (pre-compaction) — diverged.
             self._note_pull(replica, from_lsn, 0, diverged=True)
-            self._count("repro_replication_divergences_total")
+            self._diverged(replica, from_lsn, "replica-ahead")
             return "diverged", None
         if prefix_crc is not None and from_lsn > BASE_LSN:
             if self.prefix_crc(from_lsn) != prefix_crc:
                 self._note_pull(replica, from_lsn, 0, diverged=True)
-                self._count("repro_replication_divergences_total")
+                self._diverged(replica, from_lsn, "prefix-crc-mismatch")
                 return "diverged", None
         self._note_ack(replica, from_lsn)
         commit_lsn = store.commit_lsn
@@ -364,6 +364,21 @@ class LogShipper:
         tel = self.telemetry
         if tel.enabled:
             tel.registry.counter(name).inc()
+
+    def _diverged(self, replica: str, from_lsn: int, reason: str) -> None:
+        """Count + journal one divergence detection."""
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter(
+                "repro_replication_divergences_total"
+            ).inc()
+            tel.events.record(
+                "replication.diverged",
+                epoch=self.epoch,
+                lsn=from_lsn,
+                replica=replica,
+                reason=reason,
+            )
 
     def status(self) -> dict[str, Any]:
         store = self.store

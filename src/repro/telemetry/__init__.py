@@ -33,7 +33,17 @@ import time
 from collections import deque
 from typing import Any
 
+from . import propagation
+from .events import EventJournal
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .propagation import (
+    TRACEPARENT_HEADER,
+    TraceBuffer,
+    TraceContext,
+    format_traceparent,
+    new_context,
+    parse_traceparent,
+)
 from .tracing import NULL_SPAN, Span, Tracer
 
 __all__ = [
@@ -46,6 +56,14 @@ __all__ = [
     "NULL_SPAN",
     "Telemetry",
     "DISABLED",
+    "EventJournal",
+    "TraceBuffer",
+    "TraceContext",
+    "TRACEPARENT_HEADER",
+    "new_context",
+    "parse_traceparent",
+    "format_traceparent",
+    "propagation",
 ]
 
 _slow_logger = logging.getLogger("repro.query.slow")
@@ -66,13 +84,24 @@ class Telemetry:
         enabled: bool = True,
         slow_query_ms: float | None = None,
         slow_query_keep: int = 100,
+        trace_keep: int = 512,
+        event_keep: int = 1024,
     ) -> None:
         self.enabled = enabled
         self.registry = MetricsRegistry(enabled=enabled)
         self.tracer = Tracer(enabled=enabled)
+        self.traces = TraceBuffer(keep=trace_keep)
+        self.tracer.buffer = self.traces
+        self.events = EventJournal(keep=event_keep)
         self.slow_query_ms = slow_query_ms
         self.slow_queries: deque[dict[str, Any]] = deque(maxlen=slow_query_keep)
         self.created_at = time.time()
+
+    def set_node(self, node: str) -> "Telemetry":
+        """Stamp a node name into span records and journal entries."""
+        self.traces.node = node
+        self.events.node = node
+        return self
 
     # -- switches -----------------------------------------------------------
 
@@ -99,17 +128,20 @@ class Telemetry:
         threshold = self.slow_query_ms
         if threshold is None or elapsed_ms < threshold:
             return
+        ctx = propagation.current()
         entry = {
             "query": text if len(text) <= 500 else text[:497] + "...",
             "elapsed_ms": round(elapsed_ms, 3),
             "rows": rows,
             "at": time.time(),
+            "trace_id": ctx.trace_id if ctx is not None else None,
         }
         self.slow_queries.append(entry)
         _slow_logger.warning(
-            "slow query (%.1f ms, %d rows): %s",
+            "slow query (%.1f ms, %d rows, trace=%s): %s",
             elapsed_ms,
             rows,
+            entry["trace_id"],
             entry["query"],
         )
 

@@ -1,0 +1,116 @@
+"""Structured event journal for HA/replication lifecycle events.
+
+Metrics answer "how much"; traces answer "where did this request go";
+the **event journal** answers "what happened to the cluster, in what
+order".  Promotions, fences, lease grants and expiries, epoch changes,
+replica resets and divergences, breaker transitions — each is one
+structured entry stamped with wall time, node name, cluster epoch, LSN
+and the active trace id, kept in a bounded ring, appended as one JSON
+line to a journal file beside the store, and served by
+``GET /events?since=<seq>``.
+
+The journal is wall-clock ordered *per node*; a post-mortem merges the
+journals of every node by ``(at, seq)`` to reconstruct a failover
+timeline (see ``docs/OBSERVABILITY.md`` for the walkthrough).  ``clock``
+and ``node`` are plain attributes so deterministic harnesses (the chaos
+tests) can wire virtual clocks in after construction.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from collections import deque
+from typing import Any
+
+from . import propagation
+
+__all__ = ["EventJournal"]
+
+_logger = logging.getLogger("repro.events")
+
+
+class EventJournal:
+    """Bounded ring + optional JSONL file of cluster lifecycle events."""
+
+    def __init__(
+        self,
+        path: str | None = None,
+        node: str = "",
+        keep: int = 1024,
+        clock=time.time,
+    ) -> None:
+        self.path = path
+        self.node = node
+        self.clock = clock
+        self._ring: deque[dict[str, Any]] = deque(maxlen=keep)
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def record(
+        self,
+        kind: str,
+        *,
+        epoch: int | None = None,
+        lsn: int | None = None,
+        **fields: Any,
+    ) -> dict[str, Any]:
+        """Append one event; returns the entry (with its ``seq``).
+
+        ``kind`` is dotted (``ha.promote``, ``replication.diverged``,
+        ``federation.breaker``); extra keyword fields ride along
+        verbatim.  The active trace context, if any, is stamped in so a
+        failover triggered mid-request correlates with its trace.
+        """
+        ctx = propagation.current()
+        with self._lock:
+            self._seq += 1
+            entry: dict[str, Any] = {
+                "seq": self._seq,
+                "at": self.clock(),
+                "node": self.node,
+                "kind": kind,
+                "epoch": epoch,
+                "lsn": lsn,
+                "trace_id": ctx.trace_id if ctx is not None else None,
+            }
+            entry.update(fields)
+            self._ring.append(entry)
+            path = self.path
+            if path is not None:
+                try:
+                    with open(path, "a", encoding="utf-8") as fh:
+                        fh.write(json.dumps(entry, default=str) + "\n")
+                except OSError:  # pragma: no cover - journal is best-effort
+                    _logger.warning("event journal write failed: %s", path)
+        _logger.info(
+            "%s node=%s epoch=%s lsn=%s", kind, self.node, epoch, lsn
+        )
+        return entry
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def events(self, since: int = 0) -> list[dict[str, Any]]:
+        """Entries with ``seq > since``, oldest first (the ``?since=``
+        cursor of ``GET /events``)."""
+        with self._lock:
+            return [dict(e) for e in self._ring if e["seq"] > since]
+
+    def tail(self, n: int = 20) -> list[dict[str, Any]]:
+        with self._lock:
+            return [dict(e) for e in list(self._ring)[-n:]]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()

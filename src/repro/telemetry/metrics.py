@@ -40,6 +40,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "parse_prometheus",
 ]
 
 
@@ -347,3 +348,29 @@ def _num(value: float) -> str:
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
     return repr(value) if isinstance(value, float) else str(value)
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse Prometheus 0.0.4 text back into ``{series: value}``.
+
+    The inverse (good enough for our own output) of
+    :meth:`MetricsRegistry.render_prometheus`: comment lines are
+    dropped, each sample line becomes one entry keyed by its full series
+    name **including** the label block (``repro_store_ops_total{op="append"}``).
+    Used by the cluster scatter-gather endpoints to merge per-node
+    ``/metrics`` scrapes without shipping a JSON variant of every
+    metric.  Unparseable lines are skipped, not fatal — a merge should
+    survive one node running a newer build.
+    """
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        # name{labels} value  |  name value  (no timestamps emitted).
+        try:
+            series, value = line.rsplit(None, 1)
+            out[series] = float(value)
+        except ValueError:
+            continue
+    return out

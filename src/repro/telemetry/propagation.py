@@ -1,0 +1,249 @@
+"""W3C ``traceparent``-style trace-context propagation.
+
+One trace — a client query fanning out through the federation, a
+replication pull long-polling the primary, a supervisor probe — crosses
+several processes.  This module carries the identity of that trace
+across each HTTP hop in the Dapper/OpenTelemetry style:
+
+* a :class:`TraceContext` is ``(trace_id, span_id, sampled)``;
+* :func:`format_traceparent` / :func:`parse_traceparent` read and write
+  the ``00-<32 hex>-<16 hex>-<2 hex flags>`` wire header;
+* a per-thread **context stack** (:func:`push` / :func:`pop` /
+  :func:`current` / :func:`activate`) makes the active context visible
+  to the tracer without threading it through every call signature;
+* a :class:`TraceBuffer` is the bounded per-node ring of finished span
+  records that ``GET /trace/<trace_id>`` serves.
+
+The propagation layer is deliberately independent of the
+:class:`~repro.telemetry.Telemetry` enabled flag: pushing a context is
+two list operations, and a node with telemetry disabled still forwards
+the header so downstream nodes can trace their share of the work.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "TRACEPARENT_HEADER",
+    "TraceContext",
+    "TraceBuffer",
+    "new_context",
+    "new_trace_id",
+    "new_span_id",
+    "parse_traceparent",
+    "format_traceparent",
+    "current",
+    "push",
+    "pop",
+    "activate",
+]
+
+#: Canonical header name (HTTP header names are case-insensitive).
+TRACEPARENT_HEADER = "traceparent"
+
+_VERSION = "00"
+_HEX = set("0123456789abcdef")
+
+
+class TraceContext:
+    """One position in a trace: the trace and the span that owns it."""
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(self, trace_id: str, span_id: str, sampled: bool = True) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = sampled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceContext({self.trace_id[:8]}…, {self.span_id})"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "sampled": self.sampled,
+        }
+
+
+def _rng() -> "random.Random":
+    """Per-thread PRNG seeded once from the OS.
+
+    Ids are generated on the query hot path (every root span needs
+    one); two ``os.urandom`` syscalls per span are measurably slower
+    than ``getrandbits`` and ids only need uniqueness, not secrecy.
+    """
+    rng = getattr(_local, "rng", None)
+    if rng is None:
+        rng = random.Random(
+            int.from_bytes(os.urandom(16), "big") ^ threading.get_ident()
+        )
+        _local.rng = rng
+    return rng
+
+
+def new_trace_id() -> str:
+    return f"{_rng().getrandbits(128) or 1:032x}"
+
+
+def new_span_id() -> str:
+    return f"{_rng().getrandbits(64) or 1:016x}"
+
+
+def new_context(sampled: bool = True) -> TraceContext:
+    """A fresh root context (new trace, new span)."""
+    return TraceContext(new_trace_id(), new_span_id(), sampled)
+
+
+def format_traceparent(ctx: TraceContext) -> str:
+    flags = "01" if ctx.sampled else "00"
+    return f"{_VERSION}-{ctx.trace_id}-{ctx.span_id}-{flags}"
+
+
+def _is_hex(value: str) -> bool:
+    return bool(value) and all(ch in _HEX for ch in value)
+
+
+def parse_traceparent(header: str | None) -> TraceContext | None:
+    """Parse a ``traceparent`` header; ``None`` on anything malformed.
+
+    Per the W3C spec an all-zero trace or span id is invalid, and an
+    unknown version is accepted as long as the first four fields parse.
+    """
+    if not header:
+        return None
+    parts = header.strip().lower().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, span_id, flags = parts[:4]
+    if len(version) != 2 or not _is_hex(version) or version == "ff":
+        return None
+    if len(trace_id) != 32 or not _is_hex(trace_id) or trace_id == "0" * 32:
+        return None
+    if len(span_id) != 16 or not _is_hex(span_id) or span_id == "0" * 16:
+        return None
+    if len(flags) != 2 or not _is_hex(flags):
+        return None
+    return TraceContext(trace_id, span_id, sampled=bool(int(flags, 16) & 1))
+
+
+# -- the per-thread context stack -------------------------------------------
+
+_local = threading.local()
+
+
+def _stack() -> list[TraceContext]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+def current() -> TraceContext | None:
+    """The active context on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def push(ctx: TraceContext) -> None:
+    _stack().append(ctx)
+
+
+def pop(ctx: TraceContext) -> None:
+    """Remove ``ctx`` (tolerating out-of-order exits, like the tracer)."""
+    stack = _stack()
+    for i in range(len(stack) - 1, -1, -1):
+        if stack[i] is ctx:
+            del stack[i:]
+            return
+
+
+@contextmanager
+def activate(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+    """``with activate(ctx): ...`` — scoped :func:`push` / :func:`pop`."""
+    if ctx is None:
+        yield None
+        return
+    push(ctx)
+    try:
+        yield ctx
+    finally:
+        pop(ctx)
+
+
+# -- the per-node span ring --------------------------------------------------
+
+
+class TraceBuffer:
+    """Bounded ring of finished span records, queryable by trace_id.
+
+    Records are flat dicts (not :class:`~repro.telemetry.tracing.Span`
+    objects) so ``GET /trace/<id>`` can serve them directly and a span
+    record survives its tree being garbage collected.  ``node`` is
+    stamped into every record so merged cross-node traces stay
+    attributable.
+    """
+
+    def __init__(self, keep: int = 512, node: str = "") -> None:
+        self.node = node
+        self._spans: deque[dict[str, Any]] = deque(maxlen=keep)
+        self._lock = threading.Lock()
+
+    def record(self, record: dict[str, Any]) -> None:
+        record.setdefault("node", self.node)
+        with self._lock:
+            self._spans.append(record)
+
+    def spans(self, trace_id: str) -> list[dict[str, Any]]:
+        """All retained spans of one trace, oldest first."""
+        with self._lock:
+            return [dict(r) for r in self._spans if r.get("trace_id") == trace_id]
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids currently retained, oldest first."""
+        seen: dict[str, None] = {}
+        with self._lock:
+            for record in self._spans:
+                seen.setdefault(record.get("trace_id", ""), None)
+        return [tid for tid in seen if tid]
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [dict(r) for r in self._spans]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+
+def span_record(
+    *,
+    trace_id: str,
+    span_id: str,
+    parent_span_id: str | None,
+    name: str,
+    duration_ms: float,
+    attributes: dict[str, Any],
+) -> dict[str, Any]:
+    """The canonical shape of one :class:`TraceBuffer` entry."""
+    return {
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "parent_span_id": parent_span_id,
+        "name": name,
+        "at": time.time(),
+        "duration_ms": round(duration_ms, 4),
+        "attributes": attributes,
+    }

@@ -20,13 +20,24 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Any
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from . import propagation
+from .propagation import TraceContext
 
 __all__ = ["Span", "Tracer", "NULL_SPAN"]
 
 
 class Span:
-    """One timed region.  Durations are monotonic, reported in ms."""
+    """One timed region.  Durations are monotonic, reported in ms.
+
+    Every span handed out by an enabled tracer carries a **trace
+    identity**: a 32-hex ``trace_id`` shared by the whole (possibly
+    cross-process) trace, its own 16-hex ``span_id``, and the
+    ``parent_span_id`` it hangs under — which may belong to a span on
+    another node when the trace arrived over HTTP.
+    """
 
     __slots__ = (
         "name",
@@ -36,6 +47,10 @@ class Span:
         "start_ns",
         "end_ns",
         "_tracer",
+        "trace_id",
+        "span_id",
+        "parent_span_id",
+        "_ctx",
     )
 
     def __init__(
@@ -52,6 +67,10 @@ class Span:
         self.start_ns = 0
         self.end_ns = 0
         self._tracer = tracer
+        self.trace_id = ""
+        self.span_id = ""
+        self.parent_span_id: str | None = None
+        self._ctx: TraceContext | None = None
 
     @property
     def duration_ms(self) -> float:
@@ -72,12 +91,16 @@ class Span:
             self._tracer._finish(self)
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "name": self.name,
             "duration_ms": round(self.duration_ms, 4),
             "attributes": dict(self.attributes),
             "children": [child.as_dict() for child in self.children],
         }
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
+            out["span_id"] = self.span_id
+        return out
 
 
 class _NullSpan(Span):
@@ -102,13 +125,26 @@ NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """Per-thread span stack plus a bounded ring of finished roots."""
+    """Per-thread span stack plus a bounded ring of finished roots.
+
+    When a span opens it derives its trace identity from, in order: the
+    enclosing open span on this thread, the active
+    :mod:`~repro.telemetry.propagation` context (a remote parent that
+    arrived by ``traceparent`` header, or a captured context attached
+    after a thread hop), or — as a last resort — a freshly minted trace.
+    Each open span also publishes its own context on the propagation
+    stack, so outbound HTTP made under it is stamped with *its* span id
+    and the downstream node's spans hang directly beneath it.
+    """
 
     def __init__(self, enabled: bool = True, keep: int = 64) -> None:
         self.enabled = enabled
         self._local = threading.local()
         self._finished: deque[Span] = deque(maxlen=keep)
         self._lock = threading.Lock()
+        #: Optional :class:`~repro.telemetry.propagation.TraceBuffer`
+        #: every finished span is recorded into (set by ``Telemetry``).
+        self.buffer = None
 
     # -- span lifecycle -----------------------------------------------------
 
@@ -125,6 +161,18 @@ class Tracer:
         span = Span(name, tracer=self, parent=parent, attributes=attributes)
         if parent is not None:
             parent.children.append(span)
+            span.trace_id = parent.trace_id
+            span.parent_span_id = parent.span_id or None
+        else:
+            ctx = propagation.current()
+            if ctx is not None:
+                span.trace_id = ctx.trace_id
+                span.parent_span_id = ctx.span_id
+            else:
+                span.trace_id = propagation.new_trace_id()
+        span.span_id = propagation.new_span_id()
+        span._ctx = TraceContext(span.trace_id, span.span_id)
+        propagation.push(span._ctx)
         stack.append(span)
         return span
 
@@ -148,9 +196,64 @@ class Tracer:
             top = stack.pop()
             if top is span:
                 break
+        if span._ctx is not None:
+            propagation.pop(span._ctx)
+        buffer = self.buffer
+        if buffer is not None and span.trace_id:
+            buffer.record(
+                propagation.span_record(
+                    trace_id=span.trace_id,
+                    span_id=span.span_id,
+                    parent_span_id=span.parent_span_id,
+                    name=span.name,
+                    duration_ms=span.duration_ms,
+                    attributes=dict(span.attributes),
+                )
+            )
         if span.parent is None:
             with self._lock:
                 self._finished.append(span)
+
+    # -- cross-thread handoff -----------------------------------------------
+
+    def capture(self) -> TraceContext | None:
+        """Snapshot the caller's trace position for a thread hop.
+
+        The per-thread span stack does not follow work onto executor or
+        daemon threads; without a handoff, spans opened there become
+        orphan roots with fresh trace ids.  Capture on the submitting
+        thread, then :meth:`attach` inside the worker::
+
+            handle = tracer.capture()
+            executor.submit(lambda: run_with(handle))
+
+            def run_with(handle):
+                with tracer.attach(handle):
+                    ...  # spans here join the captured trace
+        """
+        if self.enabled:
+            stack = self._stack()
+            if stack and stack[-1]._ctx is not None:
+                return stack[-1]._ctx
+        return propagation.current()
+
+    @contextmanager
+    def attach(self, handle: TraceContext | None) -> Iterator[None]:
+        """Adopt a captured context on this (worker) thread.
+
+        Spans opened inside the ``with`` become children of the captured
+        span through the propagation fallback in :meth:`span`; outbound
+        HTTP under it carries the captured trace.  A ``None`` handle is
+        a no-op, so call sites never need their own guard.
+        """
+        if handle is None:
+            yield
+            return
+        propagation.push(handle)
+        try:
+            yield
+        finally:
+            propagation.pop(handle)
 
     # -- inspection ---------------------------------------------------------
 

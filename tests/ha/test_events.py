@@ -1,0 +1,242 @@
+"""Failovers reconstructed from the event journal.
+
+The chaos harness runs on a virtual clock, so these tests wire each
+node's :class:`EventJournal` to that clock, run scripted failovers,
+merge the per-node journals by ``(at, seq)`` and assert the promotion
+timeline the journal promises operators:
+
+* promote epochs strictly increase across the merged timeline;
+* the coordinator provably waited out the old lease — the new reign's
+  ``ha.promote`` lands at or after the deposed primary's last
+  ``ha.lease_grant`` plus the TTL;
+* the deposed primary's ``ha.fence`` (old reign) precedes the first
+  write accepted by the new reign;
+* with supervisor telemetry attached, one ``ha.failover`` event and
+  one trace id tie the whole promotion together, and the
+  ``repro_ha_*`` supervision gauges render.
+"""
+
+import json
+
+from repro.telemetry import Telemetry
+
+from .chaos import LEASE_TTL_S, ChaosCluster
+
+
+def wire_journals(cluster, journals):
+    """Stamp node names and the virtual clock into every open node's
+    journal, keeping a reference per incarnation so entries survive
+    ``kill()`` (which drops the db handle, not the journal object)."""
+    for name, node in cluster.nodes.items():
+        if node.db is None:
+            continue
+        events = node.db.telemetry.events
+        bucket = journals.setdefault(name, [])
+        if any(events is seen for seen in bucket):
+            continue
+        events.node = name
+        events.clock = cluster.clock.node_clock(name)
+        bucket.append(events)
+
+
+def merged_timeline(journals):
+    """The post-mortem merge: every node's entries by ``(at, seq)``."""
+    entries = [
+        entry
+        for bucket in journals.values()
+        for journal in bucket
+        for entry in journal.events()
+    ]
+    entries.sort(key=lambda e: (e["at"], e["node"], e["seq"]))
+    return entries
+
+
+def node_events(journals, name, kind):
+    return [
+        entry
+        for journal in journals.get(name, [])
+        for entry in journal.events()
+        if entry["kind"] == kind
+    ]
+
+
+def drive_failover(cluster, max_ticks=60):
+    before = len(cluster.coordinator.failovers)
+    for _ in range(max_ticks):
+        cluster.clock.advance(0.25)
+        cluster.tick()
+        if len(cluster.coordinator.failovers) > before:
+            return cluster.coordinator.failovers[-1]
+    raise AssertionError("no failover within the tick budget")
+
+
+class TestPromotionTimeline:
+    def test_fence_and_lease_expiry_precede_the_new_reigns_first_write(
+        self, tmp_path
+    ):
+        cluster = ChaosCluster(tmp_path, seed=3)
+        journals = {}
+        try:
+            wire_journals(cluster, journals)
+            cluster.tick()  # bootstrap: leases n1
+            cluster.client_write()
+            grants = node_events(journals, "n1", "ha.lease_grant")
+            assert grants, "bootstrap lease was not journaled"
+            granted_at = grants[-1]["at"]
+
+            cluster.paused.add("n1")  # GC stall / SIGSTOP
+            report = drive_failover(cluster)
+
+            [promote] = [
+                e
+                for e in merged_timeline(journals)
+                if e["kind"] == "ha.promote"
+            ]
+            assert promote["node"] == report.new_primary
+            assert promote["epoch"] == report.epoch
+            # The fencing guarantee, visible in the journal: promotion
+            # waited until the old lease had provably expired.
+            assert promote["at"] >= granted_at + LEASE_TTL_S
+
+            # The old primary wakes mid-new-reign; its own lease check
+            # journals the expiry, timestamped before the promotion.
+            cluster.paused.discard("n1")
+            old = cluster.nodes["n1"].ctrl
+            assert not old.writes_allowed()
+            [expiry] = node_events(journals, "n1", "ha.lease_expired")
+            assert expiry["expired_at"] <= promote["at"]
+
+            # The supervisor spots the stale crown and fences it; only
+            # then does the client's first new-reign write land.
+            cluster.clock.advance(0.25)
+            cluster.tick()
+            assert old.fenced
+            first_write_at = cluster.clock.now
+            cluster.client_write()
+            assert report.epoch in cluster.accepted_by_epoch
+
+            fences = node_events(journals, "n1", "ha.fence")
+            assert fences
+            assert fences[0]["epoch"] == report.epoch
+            assert fences[0]["at"] <= first_write_at
+        finally:
+            cluster.close()
+
+    def test_double_failover_merged_journal_epochs_increase(
+        self, tmp_path
+    ):
+        cluster = ChaosCluster(tmp_path, seed=4)
+        journals = {}
+        try:
+            wire_journals(cluster, journals)
+            cluster.tick()
+            cluster.client_write()
+            cluster.kill("n1", torn=False)
+            first = drive_failover(cluster)
+            cluster.client_write()
+            cluster.kill(first.new_primary, torn=True)
+            cluster.restart("n1")  # back at log epoch 0, crown on
+            wire_journals(cluster, journals)  # fresh incarnation
+            second = drive_failover(cluster)
+
+            timeline = merged_timeline(journals)
+            promotes = [
+                e for e in timeline if e["kind"] == "ha.promote"
+            ]
+            assert [e["epoch"] for e in promotes] == [
+                first.epoch,
+                second.epoch,
+            ]
+            assert first.epoch < second.epoch
+            assert [e["node"] for e in promotes] == [
+                first.new_primary,
+                second.new_primary,
+            ]
+
+            # The returning reign-0 primary was fenced into the current
+            # epoch BEFORE the next reign was stamped.
+            n1_fences = [
+                e
+                for e in timeline
+                if e["kind"] == "ha.fence" and e["node"] == "n1"
+            ]
+            assert n1_fences
+            fence_pos = timeline.index(n1_fences[0])
+            second_pos = timeline.index(promotes[1])
+            assert fence_pos < second_pos
+            assert n1_fences[0]["epoch"] >= first.epoch
+
+            # Each journal is locally ordered by (at, seq) — the merge
+            # key the post-mortem relies on.
+            for bucket in journals.values():
+                for journal in bucket:
+                    stamps = [
+                        (e["at"], e["seq"]) for e in journal.events()
+                    ]
+                    assert stamps == sorted(stamps)
+
+            # The JSONL file beside the store spans both incarnations
+            # of n1 (seq restarts, wall order does not).
+            lines = [
+                json.loads(line)
+                for line in open(
+                    tmp_path / "n1.plog.events.jsonl",
+                    encoding="utf-8",
+                )
+            ]
+            kinds = {e["kind"] for e in lines}
+            assert "ha.lease_grant" in kinds
+            assert "ha.fence" in kinds
+        finally:
+            cluster.close()
+
+
+class TestSupervisorTelemetry:
+    def test_failover_event_trace_and_gauges(self, tmp_path):
+        cluster = ChaosCluster(tmp_path, seed=1)
+        journals = {}
+        try:
+            wire_journals(cluster, journals)
+            tel = Telemetry()
+            tel.events.node = "supervisor"
+            tel.events.clock = cluster.clock
+            cluster.coordinator.attach_telemetry(tel)
+            cluster.tick()
+            for _ in range(3):
+                cluster.client_write()
+            cluster.pump_replica("n2")
+            cluster.kill("n1", torn=False)
+            report = drive_failover(cluster)
+
+            [event] = [
+                e
+                for e in tel.events.events()
+                if e["kind"] == "ha.failover"
+            ]
+            assert event["epoch"] == report.epoch
+            assert event["old_primary"] == "n1"
+            assert event["new_primary"] == report.new_primary
+            assert event["detect_to_promoted_s"] >= LEASE_TTL_S
+
+            # One trace ties the supervisor's failover span to the
+            # journal entries the transitions wrote on the nodes.
+            [span] = [
+                s
+                for s in tel.traces.snapshot()
+                if s["name"] == "ha.failover"
+            ]
+            assert span["attributes"]["epoch"] == report.epoch
+            assert event["trace_id"] == span["trace_id"]
+            [promote] = node_events(
+                journals, report.new_primary, "ha.promote"
+            )
+            assert promote["trace_id"] == span["trace_id"]
+
+            # The supervision gauges render: per-node phi, the epoch,
+            # and one TTR observation.
+            text = tel.registry.render_prometheus()
+            assert 'repro_ha_phi{node="n2"}' in text
+            assert f"repro_ha_cluster_epoch {report.epoch}" in text
+            assert "repro_ha_time_to_recover_ms_count 1" in text
+        finally:
+            cluster.close()

@@ -1,0 +1,239 @@
+"""Trace-context propagation, the span ring, and the event journal.
+
+The wire format and the per-thread stack are what every HTTP edge in
+the cluster relies on; the :class:`TraceBuffer` and
+:class:`EventJournal` are what ``GET /trace/<id>`` and ``GET /events``
+serve.  Cross-thread capture/attach is the tracer-side contract that
+keeps executor and pull-loop spans inside their parent trace.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    EventJournal,
+    Telemetry,
+    TraceBuffer,
+    TraceContext,
+    format_traceparent,
+    parse_traceparent,
+    propagation,
+)
+
+
+class TestTraceparentWireFormat:
+    def test_roundtrip(self):
+        ctx = propagation.new_context()
+        parsed = parse_traceparent(format_traceparent(ctx))
+        assert parsed is not None
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+        assert parsed.sampled is True
+
+    def test_unsampled_flag_roundtrips(self):
+        ctx = propagation.new_context(sampled=False)
+        header = format_traceparent(ctx)
+        assert header.endswith("-00")
+        parsed = parse_traceparent(header)
+        assert parsed is not None and parsed.sampled is False
+
+    def test_header_shape(self):
+        header = format_traceparent(
+            TraceContext("ab" * 16, "cd" * 8)
+        )
+        assert header == f"00-{'ab' * 16}-{'cd' * 8}-01"
+
+    def test_uppercase_header_is_normalized(self):
+        header = f"00-{'AB' * 16}-{'CD' * 8}-01"
+        parsed = parse_traceparent(header)
+        assert parsed is not None
+        assert parsed.trace_id == "ab" * 16
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-short-0011223344556677-01",  # bad trace length
+            f"00-{'00' * 16}-0011223344556677-01",  # all-zero trace
+            f"00-{'ab' * 16}-{'00' * 8}-01",  # all-zero span
+            f"ff-{'ab' * 16}-{'cd' * 8}-01",  # forbidden version
+            f"00-{'zz' * 16}-{'cd' * 8}-01",  # non-hex
+            f"00-{'ab' * 16}-{'cd' * 8}-xx",  # non-hex flags
+        ],
+    )
+    def test_malformed_headers_parse_to_none(self, header):
+        assert parse_traceparent(header) is None
+
+    def test_ids_are_unique_and_well_formed(self):
+        ids = {propagation.new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(t) == 32 for t in ids)
+        assert len(propagation.new_span_id()) == 16
+
+
+class TestContextStack:
+    def test_push_pop_current(self):
+        assert propagation.current() is None
+        a, b = propagation.new_context(), propagation.new_context()
+        propagation.push(a)
+        propagation.push(b)
+        assert propagation.current() is b
+        propagation.pop(b)
+        assert propagation.current() is a
+        propagation.pop(a)
+        assert propagation.current() is None
+
+    def test_pop_tolerates_out_of_order_exit(self):
+        a, b = propagation.new_context(), propagation.new_context()
+        propagation.push(a)
+        propagation.push(b)
+        propagation.pop(a)  # unwinds b too
+        assert propagation.current() is None
+        propagation.pop(b)  # no-op, no error
+
+    def test_activate_scopes_and_tolerates_none(self):
+        ctx = propagation.new_context()
+        with propagation.activate(ctx):
+            assert propagation.current() is ctx
+        assert propagation.current() is None
+        with propagation.activate(None):
+            assert propagation.current() is None
+
+    def test_stack_is_per_thread(self):
+        ctx = propagation.new_context()
+        propagation.push(ctx)
+        seen = []
+        thread = threading.Thread(
+            target=lambda: seen.append(propagation.current())
+        )
+        thread.start()
+        thread.join()
+        propagation.pop(ctx)
+        assert seen == [None]
+
+
+class TestTraceBuffer:
+    def test_record_and_query_by_trace(self):
+        buffer = TraceBuffer(keep=8, node="n1")
+        buffer.record(
+            propagation.span_record(
+                trace_id="t1", span_id="s1", parent_span_id=None,
+                name="root", duration_ms=1.0, attributes={},
+            )
+        )
+        [span] = buffer.spans("t1")
+        assert span["node"] == "n1"
+        assert span["name"] == "root"
+        assert buffer.spans("missing") == []
+        assert buffer.trace_ids() == ["t1"]
+
+    def test_ring_is_bounded(self):
+        buffer = TraceBuffer(keep=3)
+        for i in range(5):
+            buffer.record({"trace_id": f"t{i}"})
+        assert len(buffer) == 3
+        assert buffer.spans("t0") == []
+        assert buffer.spans("t4") != []
+
+
+class TestEventJournal:
+    def test_record_stamps_seq_node_and_trace(self):
+        journal = EventJournal(node="n1", clock=lambda: 123.5)
+        ctx = propagation.new_context()
+        with propagation.activate(ctx):
+            journal.record("ha.promote", epoch=3, lsn=64)
+        [event] = journal.events()
+        assert event["seq"] == 1
+        assert event["at"] == 123.5
+        assert event["node"] == "n1"
+        assert event["kind"] == "ha.promote"
+        assert event["epoch"] == 3 and event["lsn"] == 64
+        assert event["trace_id"] == ctx.trace_id
+
+    def test_since_cursor(self):
+        journal = EventJournal()
+        for i in range(4):
+            journal.record("k", i=i)
+        assert journal.last_seq == 4
+        tail = journal.events(since=2)
+        assert [e["seq"] for e in tail] == [3, 4]
+
+    def test_persists_jsonl_beside_the_store(self, tmp_path):
+        path = tmp_path / "node.events.jsonl"
+        journal = EventJournal(path=str(path), node="n1")
+        journal.record("replication.reset", epoch=2, extra="x")
+        journal.record("ha.fence", reason="demoted")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "replication.reset"
+        assert first["extra"] == "x"
+
+    def test_ring_is_bounded_but_seq_keeps_counting(self):
+        journal = EventJournal(keep=2)
+        for i in range(5):
+            journal.record("k", i=i)
+        events = journal.events()
+        assert [e["seq"] for e in events] == [4, 5]
+        assert journal.last_seq == 5
+
+
+class TestCrossThreadCaptureAttach:
+    def test_attach_links_worker_spans_to_the_captured_trace(self):
+        tel = Telemetry()
+        with tel.tracer.span("fanout") as root:
+            handle = tel.tracer.capture()
+            result = {}
+
+            def work():
+                with tel.tracer.attach(handle):
+                    with tel.tracer.span("leg") as leg:
+                        result["trace"] = leg.trace_id
+                        result["parent"] = leg.parent_span_id
+
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        assert result["trace"] == root.trace_id
+        assert result["parent"] == root.span_id
+        names = {
+            (r["name"], r["trace_id"]) for r in tel.traces.snapshot()
+        }
+        assert ("leg", root.trace_id) in names
+        assert ("fanout", root.trace_id) in names
+
+    def test_capture_without_open_span_returns_ambient_context(self):
+        tel = Telemetry()
+        ctx = propagation.new_context()
+        with propagation.activate(ctx):
+            handle = tel.tracer.capture()
+        assert handle is ctx
+
+    def test_attach_none_is_a_noop(self):
+        tel = Telemetry()
+        with tel.tracer.attach(None):
+            with tel.tracer.span("orphan") as span:
+                assert span.parent_span_id is None
+
+    def test_server_style_remote_context_becomes_parent(self):
+        tel = Telemetry()
+        remote = propagation.new_context()
+        propagation.push(remote)
+        try:
+            with tel.tracer.span("http.request") as span:
+                assert span.trace_id == remote.trace_id
+                assert span.parent_span_id == remote.span_id
+        finally:
+            propagation.pop(remote)
+
+    def test_record_query_stamps_trace_id(self):
+        tel = Telemetry(slow_query_ms=0.0)
+        ctx = propagation.new_context()
+        with propagation.activate(ctx):
+            tel.record_query("select x", 5.0, 1)
+        [entry] = tel.slow_queries
+        assert entry["trace_id"] == ctx.trace_id
