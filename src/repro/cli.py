@@ -26,6 +26,11 @@ The shell speaks POOL plus a few dot-commands:
                           transaction is open, direct otherwise; the
                           value parses as JSON, falling back to string)
 ``.integrity``            run the deferred integrity checks
+``.asof <lsn>`` / ``off`` time travel: evaluate subsequent POOL
+                          queries at that commit LSN (MVCC snapshot);
+                          ``.asof`` alone shows the current setting and
+                          the retained LSN window
+``.lsn``                  the newest queryable snapshot LSN
 ``.replicas``             replication topology: shipped replicas, or
                           this replica's apply status, or the status of
                           ``--replica NAME=URL`` remotes
@@ -132,6 +137,8 @@ class Shell:
         # Lazily-created session backing .begin/.commit/.abort — the
         # shell goes through the same session layer as HTTP clients.
         self._session: Session | None = None
+        # Time-travel state: when set, POOL queries run at this LSN.
+        self._as_of: int | None = None
 
     def emit(self, text: str) -> None:
         print(text, file=self.out)
@@ -145,7 +152,7 @@ class Shell:
             self._command(line)
             return
         try:
-            result = self.db.query(line)
+            result = self.db.query(line, as_of=self._as_of)
         except PrometheusError as exc:
             self.emit(f"error: {exc}")
             return
@@ -166,9 +173,12 @@ class Shell:
         self.emit(
             "commands: .help .schema .class <Name> .classifications "
             ".rules .indexes .begin .commit .abort .txn .set .integrity "
-            ".replicas .lag .cluster [metrics] .quit\n"
+            ".asof [<lsn>|off] .lsn .replicas .lag .cluster [metrics] "
+            ".quit\n"
             ".begin opens a managed transaction; .commit/.abort then "
             "apply to it\n"
+            ".asof <lsn> time-travels subsequent queries; .asof off "
+            "returns to live reads\n"
             "anything else is evaluated as a POOL query"
         )
 
@@ -300,6 +310,44 @@ class Shell:
             return
         self.db.abort()
         self.emit("aborted")
+
+    def _cmd_asof(self, args: list[str]) -> None:
+        """Pin (or clear) the shell's time-travel LSN."""
+        if not args:
+            if self._as_of is None:
+                self.emit("live reads (no as_of pinned)")
+            else:
+                self.emit(f"queries run as of lsn {self._as_of}")
+            if self.db.mvcc is not None:
+                self.emit(
+                    f"retained window: lsn {self.db.mvcc.floor} .. "
+                    f"{self.db.lsn}"
+                )
+            return
+        if args[0].lower() == "off":
+            self._as_of = None
+            self.emit("back to live reads")
+            return
+        if self.db.mvcc is None:
+            self.emit("error: this database was opened without MVCC")
+            return
+        try:
+            lsn = int(args[0])
+        except ValueError:
+            self.emit("usage: .asof <lsn> | .asof off")
+            return
+        floor, head = self.db.mvcc.floor, self.db.lsn
+        if lsn > head or lsn < floor:
+            self.emit(
+                f"error: lsn {lsn} outside the retained window "
+                f"({floor} .. {head})"
+            )
+            return
+        self._as_of = lsn
+        self.emit(f"queries now run as of lsn {lsn} (.asof off to return)")
+
+    def _cmd_lsn(self, args: list[str]) -> None:
+        self.emit(str(self.db.lsn))
 
     def _cmd_integrity(self, args: list[str]) -> None:
         problems = self.db.check_integrity()

@@ -5,11 +5,18 @@ One :class:`TransactionManager` guards one schema.  It owns
 * the **commit lock** — replays are applied to the shared object layer
   one transaction at a time, which is what makes the committed history
   serial-equivalent;
-* the **version table** — per-OID commit timestamps backing the
-  first-committer-wins write-set validation (a stale version in a
-  committing transaction's write set raises
-  :class:`~repro.errors.ConflictError`);
-* the **commit clock** — monotonic commit timestamps;
+* the **version table** — per-OID commit timestamps backing snapshot
+  validation: a committing transaction conflicts exactly when some OID
+  in its *write set* was committed after the transaction's snapshot
+  (write-write, first committer wins — raises
+  :class:`~repro.errors.ConflictError`; reads never conflict unless
+  the transaction opted into ``validate_reads=True``);
+* the **commit clock** — monotonic commit timestamps, published
+  atomically with the commit LSN as the ``(ts, lsn)`` snapshot pair
+  new transactions begin at;
+* the **MVCC store** (:mod:`repro.mvcc`) — every commit appends its
+  records to per-OID version chains at the commit LSN, so snapshot
+  reads resolve lock-free and ``as_of`` time travel works;
 * the **group-commit handoff** — with a durable store, the fsync is
   deferred to the store's shared gate and awaited *outside* the commit
   lock, so concurrent committers share one fsync while the next
@@ -17,7 +24,8 @@ One :class:`TransactionManager` guards one schema.  It owns
 
 Commit pipeline (per transaction, under the commit lock):
 
-1. validate write set (and read set when requested) against versions;
+1. validate the write set (and read set when requested) against the
+   transaction's snapshot timestamp;
 2. open a journal scope on the schema + a deferred-rule scope on the
    rule engine, then replay the op log — immediate rules veto exactly
    as they would for direct mutations;
@@ -26,7 +34,9 @@ Commit pipeline (per transaction, under the commit lock):
    transaction", §5.2.2) and re-raises;
 4. flush the touched objects to the store (commit marker appended,
    fsync deferred), stamp versions with a fresh commit timestamp,
-   publish ``AFTER_COMMIT``;
+   append the flushed records to the version chains at the commit LSN
+   and publish the new ``(ts, lsn)`` snapshot pair, then
+   ``AFTER_COMMIT``;
 5. release the lock, then wait on the group-commit gate for
    durability.
 
@@ -50,6 +60,7 @@ from ..telemetry import DISABLED, NULL_SPAN, Telemetry
 from .transaction import Transaction, TxnState
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..mvcc import MvccStore
     from ..rules.engine import RuleEngine
     from ..storage.store import ObjectStore
 
@@ -91,11 +102,13 @@ class TransactionManager:
         rules: "RuleEngine | None" = None,
         store: "ObjectStore | None" = None,
         telemetry: Telemetry | None = None,
+        mvcc: "MvccStore | None" = None,
     ) -> None:
         self.schema = schema
         self.rules = rules
         self.store = store
         self.telemetry = telemetry if telemetry is not None else DISABLED
+        self.mvcc = mvcc
         self._commit_lock = threading.RLock()
         self._state_lock = threading.Lock()
         self._versions: dict[int, int] = {}
@@ -103,6 +116,15 @@ class TransactionManager:
         self._txn_counter = 0
         self._active = 0
         self.stats = TxnStats()
+        # The (commit ts, commit LSN) pair new transactions snapshot at.
+        # Written as the last step of every commit (chains already hold
+        # that commit's versions), read without the commit lock —
+        # single-reference tuple swaps are atomic, so a beginner either
+        # sees the whole commit or none of it.
+        base_lsn = store.commit_lsn if store is not None else 0
+        self._published: tuple[int, int] = (0, base_lsn)
+        if mvcc is not None and store is not None:
+            mvcc.gc.note_head(base_lsn)
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -114,6 +136,15 @@ class TransactionManager:
     def commit_ts(self) -> int:
         """Timestamp of the most recent commit (0 before any)."""
         return self._clock
+
+    @property
+    def published_snapshot(self) -> tuple[int, int]:
+        """The ``(commit ts, LSN)`` pair new transactions begin at."""
+        return self._published
+
+    def publish_floor(self, lsn: int) -> None:
+        """Reset the published LSN (bootstrap seed / resync point)."""
+        self._published = (self._clock, lsn)
 
     def version_of(self, oid: int) -> int:
         """Commit timestamp of the last transaction that wrote ``oid``."""
@@ -132,12 +163,30 @@ class TransactionManager:
     # -- beginning ----------------------------------------------------------
 
     def begin(self, validate_reads: bool = False) -> Transaction:
-        """Start a managed transaction (overlay over committed state)."""
+        """Start a managed transaction over a pinned snapshot.
+
+        The snapshot is the last atomically-published ``(ts, lsn)``
+        commit pair; pinning it keeps the version-chain GC from
+        collecting anything this transaction can still read.  No lock
+        is shared with committers on this path beyond the pin table's
+        own mutex.
+        """
         with self._state_lock:
             self._txn_counter += 1
             txn_id = self._txn_counter
             self._active += 1
             self.stats.begun += 1
+        snapshot_ts, snapshot_lsn = self._published
+        pin = None
+        if self.mvcc is not None:
+            while True:
+                snapshot_ts, snapshot_lsn = self._published
+                pin = self.mvcc.pin(snapshot_lsn)
+                if pin is not None:
+                    break
+                # GC advanced its floor past the pair we read — only
+                # possible when commits raced us, so a fresh read of the
+                # published pair makes progress.
         tel = self.telemetry
         if tel.enabled:
             tel.registry.gauge(
@@ -146,11 +195,22 @@ class TransactionManager:
             tel.registry.counter(
                 "repro_txn_begun_total", help="Managed transactions begun"
             ).inc()
-        return Transaction(self, txn_id, validate_reads=validate_reads)
+        txn = Transaction(
+            self,
+            txn_id,
+            validate_reads=validate_reads,
+            snapshot_ts=snapshot_ts,
+            snapshot_lsn=snapshot_lsn,
+        )
+        txn._pin = pin
+        return txn
 
     def _note_finished(
         self, txn: Transaction, committed: bool, conflict: bool
     ) -> None:
+        if txn._pin is not None:
+            txn._pin.release()
+            txn._pin = None
         with self._state_lock:
             self._active -= 1
             if committed:
@@ -243,12 +303,15 @@ class TransactionManager:
             try:
                 self._clock += 1
                 ts = self._clock
-                durability_token = self._flush(scope)
+                durability_token, records, deletes = self._flush(scope)
                 if self.store is not None:
                     # Still under the commit lock, so this is exactly
                     # this transaction's marker offset — the LSN a
                     # session needs for read-your-writes routing.
                     txn.commit_lsn = self.store.commit_lsn
+                    lsn = txn.commit_lsn
+                else:
+                    lsn = ts  # in-memory: the clock is the LSN domain
                 # Stamp both what the replay journalled AND the txn's
                 # declared write set: relationship endpoints are written
                 # logically (their edge sets change) without their own
@@ -256,6 +319,12 @@ class TransactionManager:
                 # conflict.
                 for oid in set(scope.touched) | set(txn._write_versions):
                     self._versions[oid] = ts
+                if self.mvcc is not None:
+                    # Chains first, then the atomic (ts, lsn) publish:
+                    # a transaction beginning at this snapshot must be
+                    # able to resolve every version the pair implies.
+                    self.mvcc.apply_commit(lsn, records, deletes)
+                self._published = (ts, lsn)
                 self.schema.events.publish(Event(kind=EventKind.AFTER_COMMIT))
             finally:
                 self._finish_scope()
@@ -275,6 +344,10 @@ class TransactionManager:
             )
             with wait_span:
                 self.store.wait_durable(durability_token)
+        if self.mvcc is not None:
+            # Amortized GC outside the commit lock: prune versions no
+            # pinned snapshot can reach anymore.
+            self.mvcc.maybe_gc()
         return ts
 
     def _finish_scope(self) -> None:
@@ -283,18 +356,27 @@ class TransactionManager:
         self.schema.end_txn_scope()
 
     def _validate(self, txn: Transaction) -> None:
-        """First-committer-wins: any write since first touch conflicts."""
+        """Write-write snapshot validation (first committer wins).
+
+        A conflict is an OID in the write set committed by someone else
+        *after this transaction's snapshot*.  Reads never conflict —
+        snapshot reads are consistent by construction — unless the
+        transaction opted into ``validate_reads=True``, which applies
+        the same post-snapshot test to the read set.
+        """
+        snapshot_ts = txn.snapshot_ts
+        versions = self._versions
         stale = [
             oid
-            for oid, seen in txn._write_versions.items()
-            if self._versions.get(oid, 0) != seen
+            for oid in txn._write_versions
+            if versions.get(oid, 0) > snapshot_ts
         ]
         if txn.validate_reads:
             stale.extend(
                 oid
-                for oid, seen in txn._read_versions.items()
+                for oid in txn._read_versions
                 if oid not in txn._write_versions
-                and self._versions.get(oid, 0) != seen
+                and versions.get(oid, 0) > snapshot_ts
             )
         if stale:
             txn.state = TxnState.ABORTED
@@ -332,9 +414,17 @@ class TransactionManager:
             else:  # pragma: no cover - staging guards op kinds
                 raise SchemaError(f"unknown replay op {op.kind!r}")
 
-    def _flush(self, scope: TxnScope) -> int | None:
-        """Write the scope's touched objects; returns a durability token
-        when the fsync was deferred to the group-commit gate."""
+    def _flush(
+        self, scope: TxnScope
+    ) -> tuple[int | None, dict[int, dict[str, Any]], list[int]]:
+        """Write the scope's touched objects.
+
+        Returns ``(token, records, deletes)``: the group-commit
+        durability token (when the fsync was deferred to the store's
+        gate), plus the flushed storage records and tombstoned OIDs —
+        the exact payload the MVCC chains append at the commit LSN, so
+        the records are serialized once and shared by reference.
+        """
         schema = self.schema
         writes = {
             oid: obj
@@ -344,12 +434,16 @@ class TransactionManager:
         deletes = [
             oid for oid in scope.touched if oid in schema._pending_deletes
         ]
+        records: dict[int, dict[str, Any]] = {}
+        if self.store is not None or self.mvcc is not None:
+            for oid, obj in writes.items():
+                records[oid] = schema._to_record(obj)
         token: int | None = None
         if self.store is not None and (writes or deletes):
             store_txn = self.store.begin()
             try:
-                for oid, obj in writes.items():
-                    store_txn.write(oid, schema._to_record(obj))
+                for oid, record in records.items():
+                    store_txn.write(oid, record)
                 for oid in deletes:
                     if oid in self.store:
                         store_txn.delete(oid)
@@ -363,7 +457,7 @@ class TransactionManager:
             schema._dirty.pop(oid, None)
         for oid in deletes:
             schema._pending_deletes.pop(oid, None)
-        return token
+        return token, records, deletes
 
     # -- the implicit session ----------------------------------------------
 
@@ -372,17 +466,62 @@ class TransactionManager:
 
         Runs the legacy :meth:`Schema.commit` under the commit lock and
         stamps versions for everything it flushed, so managed
-        transactions racing the implicit session still conflict.
+        transactions racing the implicit session still conflict.  The
+        clock is bumped *before* the schema commit: the schema's MVCC
+        sink (:meth:`ingest_implicit`) publishes the new ``(ts, lsn)``
+        pair as soon as the chains hold the commit's versions.
         """
         with self._commit_lock:
             touched = set(self.schema._dirty) | set(
                 self.schema._pending_deletes
             )
+            # Meta-only commits (classification edits, synonym changes)
+            # must advance the clock too: the in-memory LSN domain *is*
+            # the clock, and two different meta states may never share
+            # one LSN in the version chains.
+            if touched or self.schema._meta_dirty():
+                self._clock += 1
             self.schema.commit()
             if touched:
-                self._clock += 1
                 for oid in touched:
                     self._versions[oid] = self._clock
+            # The schema's MVCC sink already published; this is the
+            # no-sink (chains disabled) fallback, and is idempotent.
+            lsn = (
+                self.store.commit_lsn
+                if self.store is not None
+                else self._clock
+            )
+            self._published = (self._clock, max(lsn, self._published[1]))
+
+    def ingest_implicit(
+        self,
+        records: "dict[int, dict[str, Any]]",
+        deletes: "list[int]",
+        meta: "tuple[int, dict[str, Any]] | None",
+    ) -> None:
+        """MVCC sink for :meth:`Schema.commit` (``Schema._mvcc_sink``).
+
+        Appends the implicit session's flushed records — and the schema
+        metadata record, which is how classification membership gets
+        its version history — to the chains, then publishes the new
+        snapshot pair.  Also covers code that calls ``schema.commit()``
+        directly without going through :meth:`commit_implicit`: those
+        commits do not bump the conflict clock (exactly as before
+        MVCC), but snapshot readers still see their data.
+        """
+        if self.mvcc is None:
+            return
+        lsn = (
+            self.store.commit_lsn if self.store is not None else self._clock
+        )
+        writes = dict(records)
+        if meta is not None:
+            writes[meta[0]] = meta[1]
+        if writes or deletes:
+            self.mvcc.apply_commit(lsn, writes, deletes)
+        self._published = (self._clock, max(lsn, self._published[1]))
+        self.mvcc.maybe_gc()
 
     # -- introspection ------------------------------------------------------
 
@@ -391,4 +530,5 @@ class TransactionManager:
             "active": self._active,
             "commit_ts": self._clock,
             "versioned_oids": len(self._versions),
+            "snapshot_lsn": self._published[1],
         }

@@ -8,17 +8,21 @@ writes overlay, and only applied — serially, validated, journalled —
 when :meth:`commit` hands the transaction to the
 :class:`~repro.concurrency.manager.TransactionManager`.
 
-Isolation model (docs/CONCURRENCY.md):
+Isolation model (docs/CONCURRENCY.md): snapshot isolation.
 
 * **writes** are buffered; nobody sees them before commit;
-* **reads** through :meth:`get` see committed state merged with the
-  transaction's own staged writes, and record the object's commit
-  version so the write-set validation can reject lost updates;
-* **conflict detection** is first-committer-wins over the write set
-  (optionally the read set too, ``validate_reads=True``): if another
-  transaction committed any object this one wrote since this one first
-  touched it, commit raises :class:`~repro.errors.ConflictError` and
-  the client retries.
+* **reads** through :meth:`get` resolve the OID's *version chain*
+  (:mod:`repro.mvcc`) at the snapshot LSN pinned when the transaction
+  began, merged with the transaction's own staged writes — lock-free:
+  a reader never blocks behind a committing writer and never aborts
+  because of one.  OIDs the chain store does not track fall back to
+  the pre-MVCC locked read of live committed state;
+* **conflict detection** is write-write only: commit raises
+  :class:`~repro.errors.ConflictError` exactly when another transaction
+  committed an object in this one's write set *after this one's
+  snapshot* (first committer wins).  Pure readers always commit.
+  ``validate_reads=True`` opts a transaction into the stricter pre-MVCC
+  behaviour of validating the read set the same way.
 
 OIDs for created objects and relationships are allocated eagerly from
 the (thread-safe) allocator, so the IDs a client sees before commit are
@@ -32,15 +36,26 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from ..core.relationships import RelationshipClass, RelationshipInstance
+from ..core.relationships import (
+    DESTINATION_KEY,
+    ORIGIN_KEY,
+    RelationshipClass,
+    RelationshipInstance,
+)
 from ..errors import (
     InstanceDeletedError,
     SchemaError,
     TransactionError,
+    UnknownOidError,
 )
+from ..mvcc.view import record_values
 
 if TYPE_CHECKING:  # pragma: no cover
     from .manager import TransactionManager
+
+#: Sentinel: the version chains cannot answer for this OID — fall back
+#: to the pre-MVCC locked read of live committed state.
+_LIVE = object()
 
 
 class TxnState(enum.Enum):
@@ -78,12 +93,24 @@ class Transaction:
         manager: "TransactionManager",
         txn_id: int,
         validate_reads: bool = False,
+        snapshot_ts: int = 0,
+        snapshot_lsn: int = 0,
     ) -> None:
         self._manager = manager
         self._schema = manager.schema
         self.txn_id = txn_id
         self.validate_reads = validate_reads
         self.state = TxnState.ACTIVE
+        #: Commit clock value / log LSN this transaction's snapshot
+        #: observes: reads resolve version chains at ``snapshot_lsn``,
+        #: and validation conflicts exactly on commits newer than
+        #: ``snapshot_ts``.  Published atomically as a pair by the
+        #: manager, so the two always describe the same commit.
+        self.snapshot_ts = snapshot_ts
+        self.snapshot_lsn = snapshot_lsn
+        #: The pin keeping GC from collecting this snapshot's versions;
+        #: released by the manager when the transaction finishes.
+        self._pin: Any = None
         #: Commit timestamp, set on successful commit.
         self.commit_ts: int | None = None
         #: Storage commit LSN (log byte offset), set on successful
@@ -143,14 +170,43 @@ class Transaction:
                 oid, self._manager.version_of(oid)
             )
 
+    # -- snapshot resolution ------------------------------------------------
+
+    def _snapshot_record(self, oid: int) -> Any:
+        """Storage record visible at this transaction's snapshot.
+
+        Returns the record dict, raises :class:`UnknownOidError` when
+        the chain proves the object absent at the snapshot (deleted, or
+        created after it), or returns the ``_LIVE`` sentinel when the
+        chains cannot answer: no MVCC store, an untracked OID, or an
+        OID with uncommitted implicit-session changes — those keep the
+        pre-MVCC locked live read so direct schema mutations stay
+        read-your-writes for the implicit session.
+        """
+        mvcc = self._manager.mvcc
+        if mvcc is None:
+            return _LIVE
+        schema = self._schema
+        if oid in schema._dirty or oid in schema._pending_deletes:
+            return _LIVE
+        tracked, record = mvcc.lookup(oid, self.snapshot_lsn)
+        if not tracked:
+            return _LIVE
+        if record is None:
+            raise UnknownOidError(oid)
+        return record
+
     # -- reading ------------------------------------------------------------
 
     def get(self, oid: int) -> dict[str, Any]:
-        """Merged view of one object: committed values + staged writes.
+        """Merged view of one object: snapshot values + staged writes.
 
-        Records the read in the read set.  Raises for objects this
-        transaction deleted, and for OIDs the committed state does not
-        know (unless this transaction created them).
+        Lock-free on the MVCC path: the version chain is resolved at
+        the snapshot LSN without touching the commit lock, so a long
+        reader never waits behind (or is aborted by) writers.  Records
+        the read in the read set.  Raises for objects this transaction
+        deleted, and for OIDs absent at the snapshot (unless this
+        transaction created them).
         """
         self._require_active()
         if oid in self._deleted:
@@ -163,9 +219,14 @@ class Transaction:
             values = pclass.defaults()
             values.update(op.attrs)
             return values
-        with self._manager.read_lock():
-            obj = self._schema.get_object(oid)
-            base = obj.to_dict()
+        record = self._snapshot_record(oid)
+        if record is _LIVE:
+            with self._manager.read_lock():
+                obj = self._schema.get_object(oid)
+                base = obj.to_dict()
+                self._touch_read(oid)
+        else:
+            base = record_values(self._schema, record)
             self._touch_read(oid)
         base.update(self._overlay.get(oid, {}))
         return base
@@ -179,8 +240,11 @@ class Transaction:
         self._require_active()
         if oid in self._created:
             return self._ops[self._created[oid]].class_name
-        with self._manager.read_lock():
-            return self._schema.get_object(oid).pclass.name
+        record = self._snapshot_record(oid)
+        if record is _LIVE:
+            with self._manager.read_lock():
+                return self._schema.get_object(oid).pclass.name
+        return record["class"]
 
     # -- staging mutations --------------------------------------------------
 
@@ -219,9 +283,15 @@ class Transaction:
             self._schema.get_class(op.class_name).get_attribute(attr)
             op.attrs[attr] = value
             return
-        with self._manager.read_lock():
-            obj = self._schema.get_object(oid)
-            obj.pclass.get_attribute(attr)  # unknown attribute fails fast
+        record = self._snapshot_record(oid)
+        if record is _LIVE:
+            with self._manager.read_lock():
+                obj = self._schema.get_object(oid)
+                obj.pclass.get_attribute(attr)  # unknown attr fails fast
+                self._touch_write(oid)
+        else:
+            pclass = self._schema.get_class(record["class"])
+            pclass.get_attribute(attr)  # unknown attribute fails fast
             self._touch_write(oid)
         self._overlay.setdefault(oid, {})[attr] = value
         self._ops.append(_Op(kind="set", oid=oid, attr=attr, value=value))
@@ -242,8 +312,12 @@ class Transaction:
             self._ops[index] = _Op(kind="noop", oid=oid)
             self._deleted.add(oid)
             return
-        with self._manager.read_lock():
-            self._schema.get_object(oid)  # must exist, not deleted
+        record = self._snapshot_record(oid)
+        if record is _LIVE:
+            with self._manager.read_lock():
+                self._schema.get_object(oid)  # must exist, not deleted
+                self._touch_write(oid)
+        else:
             self._touch_write(oid)
         self._deleted.add(oid)
         self._overlay.pop(oid, None)
@@ -274,15 +348,20 @@ class Transaction:
         for name in attrs:
             relclass.get_attribute(name)
         endpoints = [origin, destination, *list((participants or {}).values())]
-        with self._manager.read_lock():
-            for endpoint in endpoints:
-                if endpoint not in self._created:
-                    if endpoint in self._deleted:
-                        raise InstanceDeletedError(
-                            f"object {endpoint} is deleted in this transaction"
-                        )
+        for endpoint in endpoints:
+            if endpoint in self._created:
+                continue
+            if endpoint in self._deleted:
+                raise InstanceDeletedError(
+                    f"object {endpoint} is deleted in this transaction"
+                )
+            record = self._snapshot_record(endpoint)
+            if record is _LIVE:
+                with self._manager.read_lock():
                     self._schema.get_object(endpoint)
                     self._touch_write(endpoint)
+            else:
+                self._touch_write(endpoint)
         oid = self._schema._new_oid()
         self._created[oid] = len(self._ops)
         self._ops.append(
@@ -309,14 +388,32 @@ class Transaction:
             self._ops[index] = _Op(kind="noop", oid=rel_oid)
             self._deleted.add(rel_oid)
             return
-        with self._manager.read_lock():
-            rel = self._schema.get_object(rel_oid)
-            if not isinstance(rel, RelationshipInstance):
+        record = self._snapshot_record(rel_oid)
+        if record is _LIVE:
+            with self._manager.read_lock():
+                rel = self._schema.get_object(rel_oid)
+                if not isinstance(rel, RelationshipInstance):
+                    raise SchemaError(
+                        f"object {rel_oid} is not a relationship"
+                    )
+                self._touch_write(rel_oid)
+                for endpoint in (rel.origin_oid, rel.destination_oid):
+                    if self._schema.has_object(endpoint):
+                        self._touch_write(endpoint)
+        else:
+            if ORIGIN_KEY not in record or not isinstance(
+                self._schema.get_class(record["class"]), RelationshipClass
+            ):
                 raise SchemaError(f"object {rel_oid} is not a relationship")
             self._touch_write(rel_oid)
-            for endpoint in (rel.origin_oid, rel.destination_oid):
-                if self._schema.has_object(endpoint):
-                    self._touch_write(endpoint)
+            for endpoint in (record[ORIGIN_KEY], record[DESTINATION_KEY]):
+                try:
+                    exists = self._snapshot_record(endpoint)
+                except UnknownOidError:
+                    continue
+                if exists is _LIVE and not self._schema.has_object(endpoint):
+                    continue
+                self._touch_write(int(endpoint))
         self._deleted.add(rel_oid)
         self._ops.append(_Op(kind="unrelate", oid=rel_oid))
 

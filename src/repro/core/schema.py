@@ -137,6 +137,14 @@ class Schema:
         self._scope: TxnScope | None = None
         self._allocator = OidAllocator()
         self._meta_oid: int | None = None
+        #: MVCC hook (set by the engine): called after every implicit
+        #: commit with ``(records, deleted_oids, (meta_oid, meta_record)
+        #: | None)`` so the version chains track direct schema commits
+        #: too — including ones that bypass the transaction manager.
+        self._mvcc_sink: Callable[
+            [dict[int, dict[str, Any]], list[int], tuple[int, dict[str, Any]] | None],
+            None,
+        ] | None = None
         root = PClass("Object", abstract=True, doc="ODMG inheritance root")
         self._register_root(root)
         if store is not None:
@@ -363,11 +371,23 @@ class Schema:
             )
         )
 
+    def _delete_needs_tracking(self, oid: int) -> bool:
+        """Whether a deletion must survive until the next commit.
+
+        Store-backed deletions are tracked when the store still holds
+        the oid (so the commit can tombstone it).  In-memory schemas
+        with an MVCC sink track every deletion: the version chains may
+        hold a committed version that needs a tombstone, and a spurious
+        tombstone for a never-committed oid reads as absence anyway.
+        """
+        if self.store is not None:
+            return oid in self.store
+        return self._mvcc_sink is not None
+
     def _remove_object(self, obj: PObject) -> None:
         self._extents[obj.pclass.name].discard(obj.oid)
         self._dirty.pop(obj.oid, None)
-        was_persisted = self.store is not None and obj.oid in self.store
-        if was_persisted:
+        if self._delete_needs_tracking(obj.oid):
             self._pending_deletes[obj.oid] = obj
         self._objects.pop(obj.oid, None)
         obj._mark_deleted()
@@ -487,7 +507,7 @@ class Schema:
         self.relationships.unindex(rel)
         self._extents[rel.pclass.name].discard(rel.oid)
         self._dirty.pop(rel.oid, None)
-        if self.store is not None and rel.oid in self.store:
+        if self._delete_needs_tracking(rel.oid):
             self._pending_deletes[rel.oid] = rel
         self._objects.pop(rel.oid, None)
         rel._mark_deleted()
@@ -599,21 +619,38 @@ class Schema:
                 "transaction is replaying"
             )
         self.events.publish(Event(kind=EventKind.BEFORE_COMMIT))
-        if self.store is not None and (
+        sink = self._mvcc_sink
+        records: dict[int, Any] = {}
+        meta: tuple[int, dict[str, Any]] | None = None
+        changed = bool(
             self._dirty or self._pending_deletes or self._meta_dirty()
-        ):
+        )
+        if changed and (self.store is not None or sink is not None):
+            records = {
+                obj.oid: self._to_record(obj) for obj in self._dirty.values()
+            }
+        if self.store is not None and changed:
             with self.store.begin() as txn:
-                for obj in self._dirty.values():
-                    txn.write(obj.oid, self._to_record(obj))
+                for oid, record in records.items():
+                    txn.write(oid, record)
                 for oid in self._pending_deletes:
                     if oid in self.store:
                         txn.delete(oid)
-                self._write_meta(txn)
+                meta = self._write_meta(txn)
+        elif sink is not None and changed:
+            meta_record = self._meta_record()
+            if meta_record is not None:
+                if self._meta_oid is None:
+                    self._meta_oid = self._new_oid()
+                meta = (self._meta_oid, meta_record)
+        deleted = list(self._pending_deletes)
         for obj in self._dirty.values():
             obj._mark_clean()
         self._dirty.clear()
         self._pending_deletes.clear()
         self._journal.clear()
+        if sink is not None and changed:
+            sink(records, deleted, meta)
         self.events.publish(Event(kind=EventKind.AFTER_COMMIT))
 
     def abort(self) -> None:
@@ -684,20 +721,24 @@ class Schema:
             or self._meta_oid is not None
         )
 
-    def _write_meta(self, txn: Any) -> None:
+    def _meta_record(self) -> dict[str, Any] | None:
         data = self.synonyms.to_storable()
         if not data and not self.meta_extras and self._meta_oid is None:
-            return
+            return None
+        return {
+            "class": _META_CLASS,
+            "synonyms": data,
+            "extras": dict(self.meta_extras),
+        }
+
+    def _write_meta(self, txn: Any) -> tuple[int, dict[str, Any]] | None:
+        record = self._meta_record()
+        if record is None:
+            return None
         if self._meta_oid is None:
             self._meta_oid = self.store.new_oid()  # type: ignore[union-attr]
-        txn.write(
-            self._meta_oid,
-            {
-                "class": _META_CLASS,
-                "synonyms": data,
-                "extras": dict(self.meta_extras),
-            },
-        )
+        txn.write(self._meta_oid, record)
+        return (self._meta_oid, record)
 
     def load_all(self) -> int:
         """Load every stored object into the session (call after classes

@@ -25,7 +25,8 @@ from ..classification import ClassificationManager, TraceLog
 from ..concurrency import SessionManager, Transaction, TransactionManager
 from ..core.metamodel import describe_schema
 from ..core.schema import Schema
-from ..errors import QueryError
+from ..errors import QueryError, SnapshotError
+from ..mvcc import MvccStore, SnapshotSchema
 from ..query import parse
 from ..query.evaluator import Evaluator, QueryContext
 from ..query.nodes import QueryPlanInfo
@@ -59,6 +60,11 @@ class PrometheusDB:
         read_only: open the store as a replica — local writes raise and
             the log only grows through
             :meth:`~repro.storage.store.ObjectStore.apply_replicated`.
+        mvcc: keep per-OID version chains (:mod:`repro.mvcc`) so
+            transactions read lock-free pinned snapshots and
+            ``query(..., as_of=lsn)`` time travel works; False turns
+            the chains off (transactions fall back to locked live
+            reads; validation stays snapshot-based).
         faults: a :class:`~repro.storage.faults.FaultPlan` threaded down
             to the store's log file (crash/torn-write injection for the
             recovery and replication sweeps).
@@ -75,6 +81,7 @@ class PrometheusDB:
         planner: bool = True,
         read_only: bool = False,
         faults: Any | None = None,
+        mvcc: bool = True,
     ) -> None:
         self.telemetry = (
             telemetry
@@ -112,12 +119,21 @@ class PrometheusDB:
                 self.schema, catalog=self.indexes, telemetry=self.telemetry
             )
             self.planner.attach(self.schema.events)
+        self.mvcc: MvccStore | None = MvccStore() if mvcc else None
         self.transactions = TransactionManager(
             self.schema,
             rules=self.rules,
             store=self.store,
             telemetry=self.telemetry,
+            mvcc=self.mvcc,
         )
+        if self.mvcc is not None:
+            # Direct schema.commit() calls feed the chains too.
+            self.schema._mvcc_sink = self.transactions.ingest_implicit
+        #: Small LRU of materialized as_of views; each holds a GC pin.
+        self._snapshot_views: dict[
+            int, tuple[SnapshotSchema, Any, ClassificationManager]
+        ] = {}
         self._loaded = False
         self._classifications: ClassificationManager | None = None
         self._views: ViewManager | None = None
@@ -174,6 +190,44 @@ class PrometheusDB:
         registry.counter(
             "repro_planner_cache_misses_total", help="Plan-cache misses"
         )
+        if self.mvcc is not None:
+            registry.gauge(
+                "repro_mvcc_pinned_snapshots",
+                help="Snapshot pins currently held (readers + cached views)",
+            )
+            registry.gauge(
+                "repro_mvcc_watermark_lsn",
+                help="Oldest pinned snapshot LSN (GC reclaim boundary)",
+            )
+            registry.gauge(
+                "repro_mvcc_floor_lsn",
+                help="Oldest LSN still materializable (history floor)",
+            )
+            registry.gauge(
+                "repro_mvcc_head_lsn", help="Newest committed snapshot LSN"
+            )
+            registry.gauge(
+                "repro_mvcc_chains", help="OIDs with a live version chain"
+            )
+            registry.gauge(
+                "repro_mvcc_versions_live",
+                help="Record versions currently held across all chains",
+            )
+            registry.counter(
+                "repro_mvcc_versions_appended_total",
+                help="Versions appended to chains since start",
+            )
+            registry.counter(
+                "repro_mvcc_versions_collected_total",
+                help="Versions reclaimed by chain GC",
+            )
+            registry.counter(
+                "repro_mvcc_gc_runs_total", help="Version-chain GC passes"
+            )
+            registry.counter(
+                "repro_mvcc_snapshot_reads_total",
+                help="Snapshot views materialized (as_of queries)",
+            )
         registry.add_collector(self._collect_metrics)
 
     def _collect_metrics(self, registry: Any) -> None:
@@ -261,16 +315,52 @@ class PrometheusDB:
             registry.counter(
                 "repro_planner_plans_built_total"
             ).value = snap["built"]
+        if self.mvcc is not None:
+            snap = self.mvcc.telemetry_snapshot()
+            registry.gauge(
+                "repro_mvcc_pinned_snapshots"
+            ).set(snap["pinned_snapshots"])
+            registry.gauge(
+                "repro_mvcc_watermark_lsn"
+            ).set(snap["watermark_lsn"])
+            registry.gauge("repro_mvcc_floor_lsn").set(snap["floor_lsn"])
+            registry.gauge("repro_mvcc_head_lsn").set(snap["head_lsn"])
+            registry.gauge("repro_mvcc_chains").set(snap["chains"])
+            registry.gauge(
+                "repro_mvcc_versions_live"
+            ).set(snap["versions_live"])
+            registry.counter(
+                "repro_mvcc_versions_appended_total"
+            ).value = snap["versions_appended"]
+            registry.counter(
+                "repro_mvcc_versions_collected_total"
+            ).value = snap["versions_collected"]
+            registry.counter(
+                "repro_mvcc_gc_runs_total"
+            ).value = snap["gc_runs"]
+            registry.counter(
+                "repro_mvcc_snapshot_reads_total"
+            ).value = snap["snapshot_reads"]
 
     # -- lifecycle --------------------------------------------------------
 
     def load(self) -> int:
-        """Load persisted instances (call after declaring all classes)."""
+        """Load persisted instances (call after declaring all classes).
+
+        Also seeds the MVCC version chains with the loaded state at the
+        current commit LSN: time-travel history starts here (the log's
+        earlier offsets are not replayed), and grows with every commit.
+        """
         count = self.schema.load_all()
+        if self.mvcc is not None and self.store is not None:
+            base = self.store.commit_lsn
+            self.mvcc.seed(self.store.items(), base)
+            self.transactions.publish_floor(base)
         self._loaded = True
         return count
 
     def close(self) -> None:
+        self.release_snapshots()
         if self.store is not None:
             self.store.close()
 
@@ -333,6 +423,85 @@ class PrometheusDB:
             )
         return self._sessions
 
+    # -- time travel (MVCC snapshots) ---------------------------------------
+
+    @property
+    def lsn(self) -> int:
+        """The newest queryable snapshot LSN (commit log position)."""
+        if self.store is not None:
+            return self.store.commit_lsn
+        return self.transactions.published_snapshot[1]
+
+    def snapshot(self, as_of: int | None = None) -> "DatabaseSnapshot":
+        """Pin a consistent point-in-time handle (default: now).
+
+        The handle keeps its LSN's versions safe from GC until
+        released; use as a context manager.
+        """
+        if self.mvcc is None:
+            raise SnapshotError("snapshots require mvcc=True")
+        lsn = self.lsn if as_of is None else self._check_as_of(as_of)
+        pin = self.mvcc.pin(lsn)
+        if pin is None:
+            raise SnapshotError(
+                f"snapshot lsn {lsn} predates retained history "
+                f"(floor {self.mvcc.floor})"
+            )
+        return DatabaseSnapshot(self, lsn, pin)
+
+    def mvcc_gc(self) -> int:
+        """Run one version-chain GC pass; returns versions collected."""
+        if self.mvcc is None:
+            return 0
+        return self.mvcc.run_gc()
+
+    def release_snapshots(self) -> None:
+        """Drop all cached as_of views (and their GC pins)."""
+        for _, pin, _ in self._snapshot_views.values():
+            pin.release()
+        self._snapshot_views.clear()
+
+    def _check_as_of(self, as_of: Any) -> int:
+        if isinstance(as_of, bool) or not isinstance(as_of, int):
+            raise SnapshotError(f"as_of must be an integer LSN, got {as_of!r}")
+        head = self.lsn
+        if as_of > head:
+            raise SnapshotError(
+                f"snapshot lsn {as_of} not yet available (head is {head})"
+            )
+        if self.mvcc is not None and as_of < self.mvcc.floor:
+            raise SnapshotError(
+                f"snapshot lsn {as_of} predates retained history "
+                f"(floor {self.mvcc.floor})"
+            )
+        return as_of
+
+    def _snapshot_view(
+        self, as_of: int
+    ) -> tuple[SnapshotSchema, ClassificationManager]:
+        """Materialized (cached) schema view + classifications at a LSN."""
+        if self.mvcc is None:
+            raise SnapshotError("as_of queries require mvcc=True")
+        as_of = self._check_as_of(as_of)
+        cached = self._snapshot_views.get(as_of)
+        if cached is not None:
+            view, _, classifications = cached
+            return view, classifications
+        pin = self.mvcc.pin(as_of)
+        if pin is None:
+            raise SnapshotError(
+                f"snapshot lsn {as_of} predates retained history "
+                f"(floor {self.mvcc.floor})"
+            )
+        view = self.mvcc.view(self.schema, as_of)
+        classifications = ClassificationManager(view)  # type: ignore[arg-type]
+        self._snapshot_views[as_of] = (view, pin, classifications)
+        while len(self._snapshot_views) > 4:
+            oldest = next(iter(self._snapshot_views))
+            _, old_pin, _ = self._snapshot_views.pop(oldest)
+            old_pin.release()
+        return view, classifications
+
     # -- the query layer (§6.1.5) ----------------------------------------------
 
     def query(
@@ -340,10 +509,16 @@ class PrometheusDB:
         text: str,
         params: dict[str, Any] | None = None,
         check: bool = True,
+        as_of: int | None = None,
     ) -> Any:
         """Type-check then evaluate POOL ``text``.
 
         Returns a list for SELECT, a GraphView for EXTRACT GRAPH.
+
+        ``as_of`` evaluates the query against the consistent snapshot
+        at that commit LSN (time travel): reads never block writers,
+        and the same LSN returns byte-identical results on every node
+        that applied the same log prefix.
 
         The text may be prefixed with ``EXPLAIN`` or ``PROFILE``
         (case-insensitive): instead of the result rows the call then
@@ -355,17 +530,17 @@ class PrometheusDB:
         """
         mode, text = self._strip_mode(text)
         if mode is not None:
-            return self._run_plan_report(mode, text, params)
+            return self._run_plan_report(mode, text, params, as_of=as_of)
         tel = self.telemetry
         if not tel.enabled:
-            return self._execute(text, params, check)
+            return self._execute(text, params, check, as_of=as_of)
         registry = tel.registry
         registry.counter(
             "repro_query_total", help="POOL queries executed"
         ).inc()
         started = time.perf_counter_ns()
         try:
-            result = self._execute(text, params, check)
+            result = self._execute(text, params, check, as_of=as_of)
         except Exception:
             registry.counter(
                 "repro_query_errors_total", help="POOL queries that raised"
@@ -395,6 +570,7 @@ class PrometheusDB:
         text: str,
         params: dict[str, Any] | None,
         check: bool,
+        as_of: int | None = None,
     ) -> Any:
         ast = parse(text)
         if check:
@@ -403,12 +579,34 @@ class PrometheusDB:
                 raise QueryError(
                     "query does not type-check: " + "; ".join(report.errors)
                 )
-        context = self._context(params)
+        context = self._context(params, as_of=as_of)
         result = Evaluator(context).run(ast)
         self._last_plan = context.plan
         return result
 
-    def _context(self, params: dict[str, Any] | None) -> QueryContext:
+    def _context(
+        self, params: dict[str, Any] | None, as_of: int | None = None
+    ) -> QueryContext:
+        if as_of is not None:
+            # Time travel: evaluate against the materialized snapshot.
+            # Live attribute indexes reflect current state, so index
+            # probes are disabled; the planner keys/stamps every plan
+            # with the snapshot LSN (and builds scan-only plans).
+            view, classifications = self._snapshot_view(as_of)
+            return QueryContext(
+                schema=view,  # type: ignore[arg-type]
+                classifications=classifications,
+                params=params or {},
+                index_probe=None,
+                telemetry=self.telemetry,
+                planner=self.planner,
+                adjacency=(
+                    AdjacencyCache(view)  # type: ignore[arg-type]
+                    if self.planner is not None
+                    else None
+                ),
+                as_of=as_of,
+            )
         return QueryContext(
             schema=self.schema,
             classifications=self._classifications,
@@ -431,11 +629,15 @@ class PrometheusDB:
         return None, text
 
     def _run_plan_report(
-        self, mode: str, text: str, params: dict[str, Any] | None
+        self,
+        mode: str,
+        text: str,
+        params: dict[str, Any] | None,
+        as_of: int | None = None,
     ) -> dict[str, Any]:
         """Shared body of EXPLAIN and PROFILE (§6.1.5.3 made visible)."""
         ast = parse(text)
-        context = self._context(params)
+        context = self._context(params, as_of=as_of)
         if mode == "profile":
             # PROFILE always traces, even when telemetry is disabled:
             # the caller asked for this one query's structure.
@@ -500,6 +702,65 @@ class PrometheusDB:
             for v in self.rules.check_all_invariants()
         )
         return problems
+
+
+class DatabaseSnapshot:
+    """A pinned, consistent point-in-time handle over one database.
+
+    Holds a GC pin for its LSN so every version reachable at that
+    point stays materializable for the handle's lifetime.  All reads
+    (queries, object access, classifications) resolve against the
+    version chains — writers are never blocked and never observed.
+    """
+
+    def __init__(self, db: PrometheusDB, lsn: int, pin: Any) -> None:
+        self.db = db
+        self.lsn = lsn
+        self._pin = pin
+        self._released = False
+
+    # -- reads ---------------------------------------------------------------
+
+    def query(
+        self, text: str, params: dict[str, Any] | None = None
+    ) -> Any:
+        self._check_open()
+        return self.db.query(text, params, as_of=self.lsn)
+
+    @property
+    def schema(self) -> SnapshotSchema:
+        """The materialized read-only object layer at this LSN."""
+        self._check_open()
+        view, _ = self.db._snapshot_view(self.lsn)
+        return view
+
+    @property
+    def classifications(self) -> ClassificationManager:
+        """Classifications as they stood at this LSN (time travel)."""
+        self._check_open()
+        _, classifications = self.db._snapshot_view(self.lsn)
+        return classifications
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._pin.release()
+
+    def _check_open(self) -> None:
+        if self._released:
+            raise SnapshotError(f"snapshot at lsn {self.lsn} was released")
+
+    def __enter__(self) -> "DatabaseSnapshot":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "released" if self._released else "pinned"
+        return f"<DatabaseSnapshot lsn={self.lsn} {state}>"
 
 
 def _result_size(result: Any) -> int:

@@ -29,7 +29,11 @@ Endpoints::
                                         breaker summary (+ supervisor)
     POST /query                       — {"query": "...", "params": {...}}
                                         (text may start with EXPLAIN or
-                                        PROFILE for a plan report)
+                                        PROFILE for a plan report;
+                                        ``?as_of=LSN`` or ``"as_of"`` in
+                                        the body time-travels the read —
+                                        404 when outside the retained
+                                        MVCC window)
 
 Replication (repro.replication)::
 
@@ -60,8 +64,12 @@ Session-scoped transactions (repro.concurrency)::
     GET  /session/<id>                — session status
     POST /session/<id>/query          — POOL query (read-committed view)
     POST /session/<id>/apply          — {"ops": [...]} staged mutations
-    POST /session/<id>/commit         — commit; 409 + {"conflict": true}
-                                        when first-committer-wins rejects
+    POST /session/<id>/commit         — commit; 409 + {"conflict": true,
+                                        "conflict_kind": "write-write",
+                                        "stale_oids": [...]} when
+                                        write-write validation rejects
+                                        (fencing/demotion 409s carry
+                                        their own conflict_kind)
     POST /session/<id>/abort          — discard the overlay
     POST /session/<id>/release        — end the session
 
@@ -106,6 +114,7 @@ from ..errors import (
     PrometheusError,
     SchemaError,
     SessionError,
+    SnapshotError,
     StalePrimaryError,
 )
 from ..telemetry import propagation
@@ -586,15 +595,37 @@ class _Handler(BaseHTTPRequestHandler):
             return "primary"
         return "standalone"
 
-    def _run_query(self, text: str, params: dict[str, Any] | None) -> Any:
+    def _run_query(
+        self,
+        text: str,
+        params: dict[str, Any] | None,
+        as_of: int | None = None,
+    ) -> Any:
         """Run a read, under the applier's read lock on a replica so the
         result is a commit-boundary snapshot, never a half-applied
-        batch."""
+        batch.  ``as_of`` reads resolve against immutable version
+        chains, so on a replica they skip the applier's read lock
+        entirely — time travel never waits behind a splice."""
         replica_client = self._replica_client()
         if replica_client is not None:
-            with replica_client.applier.read_lock():
-                return self.db.query(text, params=params)
-        return self.db.query(text, params=params)
+            return replica_client.applier.query(text, params=params, as_of=as_of)
+        return self.db.query(text, params=params, as_of=as_of)
+
+    def _query_as_of(self, payload: dict[str, Any]) -> int | None:
+        """``as_of`` from the JSON body or the ``?as_of=`` query string."""
+        as_of = payload.get("as_of")
+        if as_of is None:
+            values = parse_qs(urlparse(self.path).query).get("as_of")
+            if values:
+                as_of = values[0]
+        if as_of is None:
+            return None
+        try:
+            return int(as_of)
+        except (TypeError, ValueError):
+            raise SnapshotError(
+                f"as_of must be an integer LSN, got {as_of!r}"
+            ) from None
 
     def _route_post(self) -> None:
         try:
@@ -612,11 +643,26 @@ class _Handler(BaseHTTPRequestHandler):
                 self._error(400, "missing 'query'")
                 return
             try:
-                result = self._run_query(text, params)
+                as_of = self._query_as_of(payload)
+                result = self._run_query(text, params, as_of=as_of)
+            except SnapshotError as exc:
+                mvcc = self.db.mvcc
+                self._send(
+                    404,
+                    {
+                        "error": str(exc),
+                        "snapshot": "unavailable",
+                        "floor": mvcc.floor if mvcc is not None else 0,
+                        "head": self.db.lsn,
+                    },
+                )
+                return
             except PrometheusError as exc:
                 self._error(400, str(exc))
                 return
             body: dict[str, Any] = {"result": jsonable(result)}
+            if as_of is not None:
+                body["as_of"] = as_of
             if self.db.store is not None:
                 # The LSN this read reflects; router/checker clients use
                 # it to verify their staleness bound was honoured.
@@ -670,6 +716,7 @@ class _Handler(BaseHTTPRequestHandler):
                 409,
                 {
                     "status": "stale-primary",
+                    "conflict_kind": "stale-primary",
                     "epoch": self.ha.epoch
                     if self.ha is not None
                     else shipper.epoch,
@@ -678,7 +725,9 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         if status == "diverged":
-            self._send(409, {"status": "diverged"})
+            self._send(
+                409, {"status": "diverged", "conflict_kind": "diverged"}
+            )
             return
         if status == "empty":
             self._send_bytes(204, "application/octet-stream", b"")
@@ -742,6 +791,7 @@ class _Handler(BaseHTTPRequestHandler):
                 {
                     "error": str(exc),
                     "status": "stale-primary",
+                    "conflict_kind": "stale-primary",
                     "epoch": exc.epoch,
                     "primary_url": exc.primary_url or self._primary(),
                 },
@@ -778,7 +828,23 @@ class _Handler(BaseHTTPRequestHandler):
             # Queries run over committed state (read-committed): the
             # session's staged writes are not yet query-visible — see
             # docs/CONCURRENCY.md.
-            result = self._run_query(text, payload.get("params", {}))
+            try:
+                as_of = self._query_as_of(payload)
+                result = self._run_query(
+                    text, payload.get("params", {}), as_of=as_of
+                )
+            except SnapshotError as exc:
+                mvcc = db.mvcc
+                self._send(
+                    404,
+                    {
+                        "error": str(exc),
+                        "snapshot": "unavailable",
+                        "floor": mvcc.floor if mvcc is not None else 0,
+                        "head": db.lsn,
+                    },
+                )
+                return
             self._send(200, {"result": jsonable(result)})
             return
         if action in ("apply", "commit"):
@@ -808,6 +874,7 @@ class _Handler(BaseHTTPRequestHandler):
                     {
                         "error": "this node is fenced: it is not the "
                         "current primary",
+                        "conflict_kind": "fenced",
                         "stale_primary": True,
                         "epoch": self.ha.epoch,
                         "primary_url": self._primary(),
@@ -834,9 +901,19 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_demoted(exc)
                 return
             except ConflictError as exc:
+                # Machine-readable rejection: write-write validation
+                # lost the race (vs the fencing/demotion 409s, which
+                # carry their own conflict_kind).  ``stale_oids`` names
+                # the objects another transaction committed first.
                 self._send(
                     409,
-                    {"error": str(exc), "conflict": True, "retry": True},
+                    {
+                        "error": str(exc),
+                        "conflict": True,
+                        "conflict_kind": "write-write",
+                        "stale_oids": list(exc.oids),
+                        "retry": True,
+                    },
                 )
                 return
             body: dict[str, Any] = {
@@ -875,6 +952,7 @@ class _Handler(BaseHTTPRequestHandler):
             {
                 "error": str(exc),
                 "demoted": True,
+                "conflict_kind": "demoted",
                 "epoch": exc.epoch,
                 "primary_url": exc.primary_url or self._primary(),
                 "retry": True,

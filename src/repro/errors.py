@@ -232,6 +232,15 @@ class EvaluationError(QueryError):
     """Runtime failure while evaluating a query."""
 
 
+class SnapshotError(QueryError):
+    """A time-travel LSN is outside the retained history window.
+
+    Raised when ``as_of`` is ahead of the node's commit head (not yet
+    replicated/committed here) or below the MVCC GC floor (versions
+    already reclaimed), or when snapshots are requested with MVCC off.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Rules / constraints
 # ---------------------------------------------------------------------------

@@ -1,0 +1,122 @@
+"""Version-chain garbage collection, driven by the oldest pinned snapshot.
+
+The invariant the collector must uphold: **no version reachable from
+any pinned snapshot is ever collected**.  Reachable means "the version
+a chain resolves for some pinned LSN" — per chain that is the newest
+version at or below the pin, plus everything newer.
+
+The race to defend against: a reader pins an LSN while the collector is
+choosing its watermark.  Both sides therefore go through one lock —
+pins are granted only at or above the *floor* (the highest watermark
+any GC run has used), and the watermark/floor advance happens under the
+same lock that grants pins.  After the floor is published the actual
+chain pruning can proceed lock-free: every grantable pin is now at or
+above the watermark, and pruning keeps each chain's visible-at-watermark
+version.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .chains import VersionStore
+from .snapshots import Snapshot, SnapshotRegistry
+
+
+class VersionGC:
+    """Watermark bookkeeping + opportunistic collection cadence."""
+
+    def __init__(
+        self,
+        versions: VersionStore,
+        registry: SnapshotRegistry,
+        interval_commits: int = 128,
+    ) -> None:
+        self._versions = versions
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._floor = 0
+        self._head = 0
+        self._interval = max(1, interval_commits)
+        self._commits_since_gc = 0
+        self.runs = 0
+
+    # -- coordination --------------------------------------------------------
+
+    @property
+    def floor(self) -> int:
+        """Oldest LSN still resolvable; pins below it are refused."""
+        return self._floor
+
+    @property
+    def head(self) -> int:
+        """Newest LSN with complete chain state."""
+        return self._head
+
+    @property
+    def interval_commits(self) -> int:
+        """Commits between opportunistic collection passes."""
+        return self._interval
+
+    @interval_commits.setter
+    def interval_commits(self, value: int) -> None:
+        self._interval = max(1, int(value))
+
+    def note_head(self, lsn: int) -> None:
+        if lsn > self._head:
+            self._head = lsn
+
+    def set_floor(self, lsn: int) -> None:
+        """Bootstrap: history starts at ``lsn`` (seed / resync point)."""
+        with self._lock:
+            self._floor = lsn
+            if lsn > self._head:
+                self._head = lsn
+
+    def try_pin(self, lsn: int) -> Snapshot | None:
+        """Pin ``lsn`` unless GC already advanced the floor past it.
+
+        Granting and floor-advancing share ``self._lock``, so a granted
+        pin is visible to every later watermark computation.
+        """
+        with self._lock:
+            if lsn < self._floor:
+                return None
+            return self._registry.pin(lsn)
+
+    def watermark(self) -> int:
+        """Oldest LSN any current snapshot can resolve."""
+        oldest = self._registry.oldest()
+        if oldest is None:
+            return self._head
+        return min(oldest, self._head)
+
+    # -- collection ----------------------------------------------------------
+
+    def run(self) -> int:
+        """One collection pass; returns the number of versions dropped."""
+        with self._lock:
+            watermark = self.watermark()
+            if watermark > self._floor:
+                self._floor = watermark
+            else:
+                watermark = self._floor
+            self.runs += 1
+        # Pruning outside the lock is safe: pins are now floor-gated at
+        # or above the watermark, and each chain keeps its newest
+        # version <= watermark.
+        return self._versions.collect(watermark)
+
+    def maybe_run(self) -> int:
+        """Amortized trigger: one pass every ``interval_commits``."""
+        self._commits_since_gc += 1
+        if self._commits_since_gc < self._interval:
+            return 0
+        self._commits_since_gc = 0
+        return self.run()
+
+    def reset(self, floor: int = 0) -> None:
+        with self._lock:
+            self._floor = floor
+            self._head = floor
+            self._commits_since_gc = 0

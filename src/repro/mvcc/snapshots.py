@@ -1,0 +1,80 @@
+"""Snapshot pinning: which LSNs must remain resolvable.
+
+A :class:`Snapshot` is a refcounted pin on one LSN.  Every managed
+transaction pins its begin LSN; every cached ``as_of`` view pins its
+own; the GC watermark is the oldest pin.  Pins are cheap (one lock, two
+dict operations) because ``begin()`` sits on the commit hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Snapshot:
+    """A pinned snapshot LSN.  Release exactly once (idempotent)."""
+
+    __slots__ = ("lsn", "_registry", "_released")
+
+    def __init__(self, lsn: int, registry: "SnapshotRegistry") -> None:
+        self.lsn = lsn
+        self._registry = registry
+        self._released = False
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._registry._unpin(self.lsn)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "released" if self._released else "pinned"
+        return f"<Snapshot lsn={self.lsn} {state}>"
+
+
+class SnapshotRegistry:
+    """Refcounted pin table with O(pins) oldest-pin lookup.
+
+    The pin count stays small (active transactions + cached views), so
+    a plain ``min()`` beats maintaining a heap with lazy deletion.
+    """
+
+    def __init__(self) -> None:
+        self._pins: dict[int, int] = {}
+        self._lock = threading.Lock()
+        self.pinned_total = 0
+
+    def pin(self, lsn: int) -> Snapshot:
+        with self._lock:
+            self._pins[lsn] = self._pins.get(lsn, 0) + 1
+            self.pinned_total += 1
+        return Snapshot(lsn, self)
+
+    def _unpin(self, lsn: int) -> None:
+        with self._lock:
+            count = self._pins.get(lsn, 0)
+            if count <= 1:
+                self._pins.pop(lsn, None)
+            else:
+                self._pins[lsn] = count - 1
+
+    def oldest(self) -> int | None:
+        """The oldest pinned LSN, or None when nothing is pinned."""
+        with self._lock:
+            return min(self._pins) if self._pins else None
+
+    @property
+    def count(self) -> int:
+        """Number of live pins (refcounts summed)."""
+        with self._lock:
+            return sum(self._pins.values())

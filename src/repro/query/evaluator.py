@@ -73,6 +73,10 @@ class QueryContext:
     #: Per-query adjacency memo (repro.query.plans.AdjacencyCache);
     #: populated by the database layer alongside the planner.
     adjacency: Any = None
+    #: Snapshot LSN for time-travel evaluation; ``schema`` is then a
+    #: read-only SnapshotSchema and plan-cache keys must include it so
+    #: an as_of query never reuses a plan compiled against live stats.
+    as_of: int | None = None
 
 
 class Evaluator:
@@ -144,7 +148,7 @@ class Evaluator:
     ) -> list[Any]:
         planner = self.context.planner
         if planner is not None:
-            planned = planner.plan_select(query)
+            planned = planner.plan_select(query, as_of=self.context.as_of)
             if planned is not None:
                 return self._run_planned(planned, outer_env)
         return self._run_select_naive(query, outer_env)

@@ -11,8 +11,13 @@ a lazy generator pipeline, so ``LIMIT`` stops pulling early.
 Plan caching: the AST is *normalized* — every literal is replaced by a
 synthetic parameter slot (``$__plan_lit_N``) — so queries differing only
 in constants share one cached plan.  The cache key is the normalized
-AST; each entry is stamped with ``(schema.version, catalog.epoch)`` and
-is rebuilt when either moves (class registration, index create/drop).
+AST; each entry is stamped with ``(schema.version, catalog.epoch,
+as_of)`` and is rebuilt when either stat component moves (class
+registration, index create/drop).  The ``as_of`` component keeps
+time-travel evaluation honest: a snapshot query is compiled (and cached)
+under its own snapshot LSN, with live-index access paths disabled —
+it can never hit a plan compiled against newer index statistics, and a
+live query can never hit a scan-only snapshot plan.
 ``AFTER_ABORT`` on the event bus evicts the whole cache: a rollback
 rebuilds the index layer behind the planner's back (see
 ``IndexManager._on_event``), so cached access paths are re-derived from
@@ -146,14 +151,15 @@ class Planner:
         self.catalog = catalog
         self.telemetry = telemetry if telemetry is not None else DISABLED
         self.cache_size = cache_size
-        self._cache: OrderedDict[Node, tuple[tuple[int, int], SelectPlan]] = (
-            OrderedDict()
-        )
+        self._cache: OrderedDict[
+            Node, tuple[tuple[Any, int, int | None], SelectPlan]
+        ] = OrderedDict()
         # Front cache keyed on the *raw* AST: equal queries carry equal
         # literals, so a front hit skips normalization entirely.  Cleared
         # with every main-cache eviction so it can never outlive an entry.
         self._front: OrderedDict[
-            Node, tuple[tuple[int, int], SelectPlan, dict[str, Any], Node]
+            Node,
+            tuple[tuple[Any, int, int | None], SelectPlan, dict[str, Any], Node],
         ] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
@@ -186,10 +192,10 @@ class Planner:
                 help="Cached plans evicted (rollbacks, capacity)",
             ).inc(dropped)
 
-    def _stamp(self) -> tuple[int, int]:
+    def _stamp(self, as_of: int | None = None) -> tuple[Any, int, int | None]:
         version = getattr(self.schema, "version", 0)
         epoch = getattr(self.catalog, "epoch", 0) if self.catalog else 0
-        return (version, epoch)
+        return (version, epoch, as_of)
 
     def snapshot(self) -> dict[str, Any]:
         with self._lock:
@@ -207,17 +213,22 @@ class Planner:
     # -- entry point ----------------------------------------------------
 
     def plan_select(
-        self, query: SelectQuery
+        self, query: SelectQuery, as_of: int | None = None
     ) -> tuple[SelectPlan, dict[str, Any], str] | None:
         """Plan (or fetch from cache) one SELECT.
 
         Returns ``(plan, literal_bindings, "hit" | "miss")``, or None
         when the query cannot be planned — the caller falls back to the
         naive evaluator, so planning failures can never lose results.
+
+        ``as_of`` marks a time-travel compilation: the snapshot LSN
+        becomes part of the cache stamp and index access paths are not
+        considered (live indexes describe current state, not the
+        snapshot's).
         """
         tel = self.telemetry
         try:
-            stamp = self._stamp()
+            stamp = self._stamp(as_of)
             with self._lock:
                 front = self._front.get(query)
                 if front is not None and front[0] == stamp:
@@ -253,7 +264,7 @@ class Planner:
                         help="Plan-cache hits",
                     ).inc()
                 return hit_plan, literals, "hit"
-            plan = self._build(skeleton)
+            plan = self._build(skeleton, as_of=as_of)
             with self._lock:
                 self.misses += 1
                 self.built += 1
@@ -291,8 +302,13 @@ class Planner:
 
     # -- plan construction ----------------------------------------------
 
-    def _build(self, query: SelectQuery) -> SelectPlan:
+    def _build(
+        self, query: SelectQuery, as_of: int | None = None
+    ) -> SelectPlan:
         schema = self.schema
+        # Time-travel plans are scan-only: the live catalog's indexes
+        # describe current state, not the snapshot's.
+        catalog = self.catalog if as_of is None else None
         binding_vars = {b.variable for b in query.bindings}
 
         def needed(node: Node) -> frozenset[str]:
@@ -334,7 +350,7 @@ class Planner:
             )
             op, elided = self._bind(
                 op, binding, bound, pending, considered, notes, query,
-                try_ordered=elide_wanted,
+                try_ordered=elide_wanted, catalog=catalog,
             )
             order_elided = order_elided or elided
             bound.add(binding.variable)
@@ -400,6 +416,7 @@ class Planner:
         notes: list[str],
         query: SelectQuery,
         try_ordered: bool,
+        catalog: Any = None,
     ) -> tuple[PlanOp, bool]:
         """Choose the cheapest access path for one FROM binding."""
         source = binding.source
@@ -412,7 +429,7 @@ class Planner:
         ):
             return self._bind_extent(
                 child, var, source.name, bound, pending, considered, notes,
-                query, try_ordered,
+                query, try_ordered, catalog,
             )
         if isinstance(source, Traversal):
             op: PlanOp = BindTraverse(child, var, source)
@@ -438,9 +455,9 @@ class Planner:
         notes: list[str],
         query: SelectQuery,
         try_ordered: bool,
+        catalog: Any = None,
     ) -> tuple[PlanOp, bool]:
         schema = self.schema
-        catalog = self.catalog
         binding_vars = {b.variable for b in query.bindings}
 
         def seed_value_ok(value: Node) -> bool:

@@ -125,9 +125,24 @@ class ReplicaApplier:
         with self.lock.read():
             yield
 
-    def query(self, text: str, params: dict[str, Any] | None = None) -> Any:
+    def query(
+        self,
+        text: str,
+        params: dict[str, Any] | None = None,
+        as_of: int | None = None,
+    ) -> Any:
+        """Evaluate a query at a commit boundary (or at ``as_of``).
+
+        Live reads take the RWLock so a half-applied batch is never
+        visible.  ``as_of`` reads skip the lock entirely: version
+        chains at a pinned LSN are immutable, so the applier can keep
+        splicing while the query runs — and the same LSN returns
+        byte-identical results here and on the primary.
+        """
+        if as_of is not None and self.db.mvcc is not None:
+            return self.db.query(text, params=params, as_of=as_of)
         with self.lock.read():
-            return self.db.query(text, params=params)
+            return self.db.query(text, params=params, as_of=as_of)
 
     @property
     def applied_lsn(self) -> int:
@@ -170,6 +185,7 @@ class ReplicaApplier:
                 payload = payload[position - from_lsn:]
             batch = store.apply_replicated(payload)
             self._refresh_model(batch)
+            self._feed_mvcc(batch)
         self.batches_applied += 1
         self.bytes_applied += len(payload)
         self.last_apply_at = time.monotonic()
@@ -234,16 +250,43 @@ class ReplicaApplier:
                 for index in indexes._covering(obj.pclass.name, None):
                     index.impl.insert(obj.get(index.attribute), oid)
 
+    def _feed_mvcc(self, batch: AppliedBatch) -> None:
+        """Stamp the replica's version chains with the batch's commits.
+
+        Each commit is appended at the *primary's* LSN for it (the
+        marker's end offset — identical here because the log is a
+        byte-identical prefix), so ``as_of`` time travel resolves the
+        same versions on every node.  Called under the write lock.
+        """
+        mvcc = self.db.mvcc
+        if mvcc is None:
+            return
+        for lsn, commit_changes in batch.commits:
+            writes: dict[int, dict[str, Any]] = {}
+            deletes: list[int] = []
+            for oid, fields in commit_changes:
+                if fields is None:
+                    deletes.append(oid)
+                else:
+                    writes[oid] = fields
+            mvcc.apply_commit(lsn, writes, deletes)
+        if batch.commits:
+            self.db.transactions.publish_floor(batch.commit_lsn)
+            mvcc.maybe_gc()
+
     def reset(self) -> None:
         """Divergence recovery: drop all replicated state, start empty.
 
         The primary rewrote its log (compaction), so byte offsets no
         longer line up; the only safe move for a prefix-replica is a
         full re-sync from LSN :data:`~repro.replication.stream.BASE_LSN`.
+        MVCC history is dropped with it — old LSNs name offsets in a
+        log that no longer exists.
         """
         schema = self.db.schema
         store = self.db.store
         assert store is not None
+        self.db.release_snapshots()
         with self.lock.write():
             with schema.events.muted():
                 for oid in list(schema._objects):
@@ -257,6 +300,8 @@ class ReplicaApplier:
             schema.meta_extras.clear()
             schema._meta_oid = None
             store.reset_for_resync()
+            if self.db.mvcc is not None:
+                self.db.mvcc.reset(store.commit_lsn)
         self.resyncs += 1
         tel = self.telemetry
         if tel.enabled:

@@ -138,6 +138,13 @@ class AppliedBatch:
     committed state changed, in commit order — the replica's model layer
     uses it to refresh schema objects and indexes incrementally instead
     of reloading the whole store.
+
+    ``commits`` breaks the same stream down per commit marker:
+    ``(lsn, ((oid, fields-or-None), ...))`` where ``lsn`` is the marker's
+    end offset — the *same* number the primary published as
+    ``commit_lsn`` for that commit, because the log is a byte-identical
+    prefix.  The replica's MVCC applier stamps version chains with these,
+    which is what makes ``as_of`` reads byte-identical across nodes.
     """
 
     start: int
@@ -146,6 +153,9 @@ class AppliedBatch:
     entries: int = 0
     commits_applied: int = 0
     changes: tuple[tuple[int, dict[str, Any] | None], ...] = ()
+    commits: tuple[
+        tuple[int, tuple[tuple[int, dict[str, Any] | None], ...]], ...
+    ] = ()
 
 
 @dataclass
@@ -709,6 +719,9 @@ class ObjectStore:
             self._log.append_raw(data)
             pending: dict[int, dict[int, tuple[int, dict[str, Any] | None]]] = {}
             changes: list[tuple[int, dict[str, Any] | None]] = []
+            commits: list[
+                tuple[int, tuple[tuple[int, dict[str, Any] | None], ...]]
+            ] = []
             max_oid = 0
             max_txn = 0
             entries = 0
@@ -740,15 +753,20 @@ class ObjectStore:
                     txn_id = RecordLog.decode_oid_payload(entry.payload)
                     max_txn = max(max_txn, txn_id)
                     commits_applied += 1
+                    commit_changes: list[
+                        tuple[int, dict[str, Any] | None]
+                    ] = []
                     for oid, (offset, fields) in pending.pop(txn_id, {}).items():
                         if fields is None:
                             self._index.pop(oid, None)
                         else:
                             self._index[oid] = offset
                         self._cache.invalidate(oid)
-                        changes.append(
+                        commit_changes.append(
                             (oid, None if fields is None else dict(fields))
                         )
+                    changes.extend(commit_changes)
+                    commits.append((expected, tuple(commit_changes)))
                     self._commit_lsn = expected
                 elif entry.kind == KIND_META:
                     epoch = _decode_epoch_meta(entry.payload)
@@ -768,6 +786,7 @@ class ObjectStore:
                 entries=entries,
                 commits_applied=commits_applied,
                 changes=tuple(changes),
+                commits=tuple(commits),
             )
 
     def reset_for_resync(self) -> None:

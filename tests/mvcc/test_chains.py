@@ -1,0 +1,201 @@
+"""Version chains, snapshot pins, and the GC watermark (unit level)."""
+
+import random
+
+import pytest
+
+from repro.mvcc import MvccStore, SnapshotRegistry, VersionChain, VersionStore
+from repro.mvcc.gc import VersionGC
+
+
+class TestVersionChain:
+    def test_visible_at_picks_newest_at_or_below(self):
+        chain = VersionChain()
+        chain.append(10, {"v": "a"})
+        chain.append(20, {"v": "b"})
+        chain.append(30, {"v": "c"})
+        assert chain.visible_at(5) == (False, None)
+        assert chain.visible_at(10) == (True, {"v": "a"})
+        assert chain.visible_at(19) == (True, {"v": "a"})
+        assert chain.visible_at(20) == (True, {"v": "b"})
+        assert chain.visible_at(999) == (True, {"v": "c"})
+
+    def test_tombstone_is_absence(self):
+        chain = VersionChain()
+        chain.append(10, {"v": "a"})
+        chain.append(20, None)
+        found, record = chain.visible_at(25)
+        assert found and record is None
+        assert chain.visible_at(10) == (True, {"v": "a"})
+
+    def test_equal_lsn_replaces_tail(self):
+        chain = VersionChain()
+        chain.append(10, {"v": "a"})
+        chain.append(10, {"v": "b"})
+        assert chain.visible_at(10) == (True, {"v": "b"})
+        assert len(chain) == 1
+
+    def test_older_append_ignored(self):
+        chain = VersionChain()
+        chain.append(20, {"v": "b"})
+        chain.append(10, {"v": "stale"})
+        # The stale version was not spliced in: nothing below 20.
+        assert chain.visible_at(15) == (False, None)
+        assert chain.visible_at(20) == (True, {"v": "b"})
+        assert len(chain) == 1
+
+    def test_collect_below_keeps_newest_at_watermark(self):
+        chain = VersionChain()
+        for lsn in (10, 20, 30, 40):
+            chain.append(lsn, {"lsn": lsn})
+        collected = chain.collect_below(30)
+        # 10 and 20 go; 30 stays because a snapshot pinned at 30..39
+        # still resolves to it.
+        assert collected == 2
+        assert chain.visible_at(30) == (True, {"lsn": 30})
+        assert chain.visible_at(35) == (True, {"lsn": 30})
+        assert chain.visible_at(40) == (True, {"lsn": 40})
+        # Below the watermark nothing is materializable any more.
+        assert chain.visible_at(29) == (False, None)
+
+
+class TestVersionStore:
+    def test_lookup_untracked_vs_absent(self):
+        store = VersionStore()
+        store.append(1, 10, {"v": "a"})
+        assert store.lookup(99, 10) == (False, None)  # never seen
+        assert store.lookup(1, 5) == (True, None)  # tracked, not yet born
+        assert store.lookup(1, 10) == (True, {"v": "a"})
+
+    def test_dead_chain_removed_by_collect(self):
+        store = VersionStore()
+        store.append(1, 10, {"v": "a"})
+        store.append(1, 20, None)
+        store.collect(30)
+        assert store.lookup(1, 30) == (False, None)
+        assert len(store) == 0
+
+    def test_items_at_materializes_only_live(self):
+        store = VersionStore()
+        store.append(1, 10, {"v": "a"})
+        store.append(2, 20, {"v": "b"})
+        store.append(1, 30, None)
+        assert dict(store.items_at(25)) == {1: {"v": "a"}, 2: {"v": "b"}}
+        assert dict(store.items_at(30)) == {2: {"v": "b"}}
+
+
+class TestSnapshotRegistry:
+    def test_refcounted_pins(self):
+        registry = SnapshotRegistry()
+        a = registry.pin(10)
+        b = registry.pin(10)
+        c = registry.pin(20)
+        assert registry.oldest() == 10
+        a.release()
+        assert registry.oldest() == 10  # b still holds 10
+        b.release()
+        assert registry.oldest() == 20
+        c.release()
+        assert registry.oldest() is None
+
+    def test_release_is_idempotent(self):
+        registry = SnapshotRegistry()
+        pin = registry.pin(10)
+        pin.release()
+        pin.release()
+        assert registry.count == 0
+
+    def test_context_manager(self):
+        registry = SnapshotRegistry()
+        with registry.pin(5):
+            assert registry.count == 1
+        assert registry.count == 0
+
+
+class TestVersionGC:
+    def test_pin_below_floor_refused(self):
+        store = VersionStore()
+        registry = SnapshotRegistry()
+        gc = VersionGC(store, registry)
+        gc.set_floor(100)
+        assert gc.try_pin(99) is None
+        assert gc.try_pin(100) is not None
+
+    def test_watermark_is_oldest_pin(self):
+        store = VersionStore()
+        registry = SnapshotRegistry()
+        gc = VersionGC(store, registry)
+        gc.note_head(50)
+        pin = gc.try_pin(20)
+        assert gc.watermark() == 20
+        pin.release()
+        assert gc.watermark() == 50  # no pins: watermark rides the head
+
+    def test_run_advances_floor(self):
+        store = VersionStore()
+        registry = SnapshotRegistry()
+        gc = VersionGC(store, registry)
+        store.append(1, 10, {"v": "a"})
+        store.append(1, 30, {"v": "b"})
+        gc.note_head(30)
+        gc.run()
+        assert gc.floor == 30
+        assert gc.try_pin(10) is None
+
+
+class TestGcPinnedSafety:
+    """Satellite: seeded sweep proving GC never collects a version
+    reachable from any pinned snapshot."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 42])
+    def test_no_pinned_version_collected(self, seed):
+        rng = random.Random(seed)
+        mvcc = MvccStore(gc_interval_commits=1)
+        oids = list(range(1, 13))
+        lsn = 0
+        pinned = []  # (pin, lsn, expected visible dict)
+
+        def visible_now(at):
+            return {
+                oid: rec
+                for oid, rec in mvcc.versions.items_at(at)
+            }
+
+        for round_no in range(120):
+            lsn += rng.randint(1, 5)
+            writes = {
+                oid: {"round": round_no, "oid": oid}
+                for oid in rng.sample(oids, rng.randint(1, 4))
+            }
+            deletes = []
+            if rng.random() < 0.2:
+                victim = rng.choice(oids)
+                writes.pop(victim, None)
+                deletes = [victim]
+            mvcc.apply_commit(lsn, writes, deletes)
+            if rng.random() < 0.3:
+                pin = mvcc.pin(lsn)
+                assert pin is not None
+                pinned.append((pin, lsn, visible_now(lsn)))
+            if rng.random() < 0.4:
+                mvcc.run_gc()
+            if pinned and rng.random() < 0.2:
+                pin, _, _ = pinned.pop(rng.randrange(len(pinned)))
+                pin.release()
+
+        mvcc.run_gc()
+        # Every still-pinned snapshot must materialize exactly the
+        # state it pinned — GC collected nothing it could reach.
+        for pin, at, expected in pinned:
+            assert visible_now(at) == expected, f"snapshot at {at} damaged"
+            for oid, record in expected.items():
+                assert mvcc.lookup(oid, at) == (True, record)
+
+    def test_released_history_is_collected(self):
+        mvcc = MvccStore()
+        for lsn in range(1, 51):
+            mvcc.apply_commit(lsn, {1: {"n": lsn}})
+        assert mvcc.versions.live_versions() == 50
+        collected = mvcc.run_gc()  # no pins: watermark = head
+        assert collected == 49
+        assert mvcc.lookup(1, 50) == (True, {"n": 50})

@@ -1,0 +1,199 @@
+"""MVCC acceptance stress: writers never abort readers.
+
+8 writer threads hammer shared counters through the optimistic commit
+path while a reader thread continuously pins snapshots and runs
+full-closure POOL queries.  Under MVCC the readers must observe
+*zero* aborts — only writers can conflict, and only with each other —
+every read within one snapshot must be repeatable, and the final state
+must be serial-equivalent (no lost updates, exact fingerprint).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import types as T
+from repro.core.attributes import Attribute
+from repro.engine import PrometheusDB
+from repro.errors import ConflictError
+
+WRITERS = 8
+INCREMENTS = 20
+COUNTERS = 4
+
+
+def make_db():
+    db = PrometheusDB()
+    db.schema.define_class(
+        "Counter", [Attribute("label", T.STRING), Attribute("n", T.INTEGER)]
+    )
+    return db
+
+
+def increment_with_retry(db, oid, stats, lock, delay=0.0):
+    while True:
+        txn = db.begin()
+        value = txn.get(oid)["n"]
+        if delay:
+            time.sleep(delay)
+        txn.set(oid, "n", value + 1)
+        try:
+            txn.commit()
+        except ConflictError:
+            with lock:
+                stats["conflicts"] += 1
+            continue
+        with lock:
+            stats["commits"] += 1
+        return
+
+
+class TestReadersNeverAbort:
+    def test_stress_with_concurrent_closure_reader(self):
+        db = make_db()
+        oids = [
+            db.schema.create("Counter", label=f"c{i}", n=0).oid
+            for i in range(COUNTERS)
+        ]
+        db.commit()
+
+        stats = {"commits": 0, "conflicts": 0}
+        lock = threading.Lock()
+        stop = threading.Event()
+        reader_errors = []
+        reader_observations = []
+        barrier = threading.Barrier(WRITERS + 1)
+
+        def writer(worker_no):
+            barrier.wait()
+            for i in range(INCREMENTS):
+                oid = oids[(worker_no + i) % COUNTERS]
+                increment_with_retry(db, oid, stats, lock, delay=0.0002)
+
+        def reader():
+            barrier.wait()
+            query = "select c.n from c in Counter"
+            try:
+                while not stop.is_set():
+                    with db.snapshot() as snap:
+                        first = snap.query(query)
+                        again = snap.query(query)
+                        # Repeatable read: one snapshot, one answer —
+                        # regardless of commits racing underneath.
+                        assert again == first
+                        assert len(first) == COUNTERS
+                        reader_observations.append(sum(first))
+            except Exception as exc:  # noqa: BLE001 - the assertion IS the test
+                reader_errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(n,)) for n in range(WRITERS)
+        ]
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        reader_thread.join()
+
+        # Zero reader aborts: snapshot reads never conflict, never raise.
+        assert reader_errors == []
+        assert reader_observations, "reader never got a snapshot in"
+
+        # Serial-equivalent fingerprint: every increment landed exactly
+        # once despite the write-write retries.
+        expected = WRITERS * INCREMENTS
+        assert stats["commits"] == expected
+        final = db.query("select c.n from c in Counter")
+        assert sum(final) == expected
+
+        # Totals the reader saw are monotonically non-decreasing:
+        # snapshots are consistent prefixes of the commit order.
+        assert all(
+            a <= b
+            for a, b in zip(reader_observations, reader_observations[1:])
+        )
+        assert reader_observations[-1] <= expected
+
+    def test_snapshot_reads_do_not_block_commits(self):
+        """A long-lived pinned snapshot must not stall writers — it
+        only holds GC back, never the commit path."""
+        db = make_db()
+        oid = db.schema.create("Counter", label="solo", n=0).oid
+        db.commit()
+        pinned_lsn = db.lsn
+        with db.snapshot(as_of=pinned_lsn) as snap:
+            stats = {"commits": 0, "conflicts": 0}
+            lock = threading.Lock()
+            for _ in range(10):
+                increment_with_retry(db, oid, stats, lock)
+            assert stats["commits"] == 10
+            # The pinned snapshot still reads its original state.
+            assert snap.query("select c.n from c in Counter") == [0]
+            # GC cannot advance past the pin.
+            db.mvcc_gc()
+            assert db.mvcc.gc.floor <= pinned_lsn
+        assert db.query("select c.n from c in Counter") == [10]
+
+
+class TestWriteWriteOnlyValidation:
+    def test_reader_heavy_transactions_commit_clean(self):
+        """Transactions that only *read* hot objects never conflict:
+        validation considers the write set alone."""
+        db = make_db()
+        hot = db.schema.create("Counter", label="hot", n=0).oid
+        cold = [
+            db.schema.create("Counter", label=f"cold{i}", n=0).oid
+            for i in range(WRITERS)
+        ]
+        db.commit()
+
+        stats = {"commits": 0, "conflicts": 0}
+        lock = threading.Lock()
+        barrier = threading.Barrier(WRITERS * 2)
+
+        def hot_writer():
+            barrier.wait()
+            for _ in range(INCREMENTS):
+                increment_with_retry(db, hot, stats, lock, delay=0.0002)
+
+        cold_conflicts = []
+
+        def cold_writer(n):
+            barrier.wait()
+            for _ in range(INCREMENTS):
+                while True:
+                    txn = db.begin()
+                    txn.get(hot)  # read the contended object...
+                    value = txn.get(cold[n])["n"]
+                    txn.set(cold[n], "n", value + 1)  # ...write private one
+                    try:
+                        txn.commit()
+                        break
+                    except ConflictError:  # pragma: no cover - must not happen
+                        cold_conflicts.append(n)
+
+        threads = [
+            threading.Thread(target=hot_writer) for _ in range(WRITERS)
+        ] + [
+            threading.Thread(target=cold_writer, args=(n,))
+            for n in range(WRITERS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # Write-write-only validation: reading `hot` never conflicted.
+        assert cold_conflicts == []
+        assert stats["commits"] == WRITERS * INCREMENTS
+        rows = db.query("select c.n from c in Counter where c.label = 'hot'")
+        assert rows == [WRITERS * INCREMENTS]
+        for n in range(WRITERS):
+            assert db.query(
+                "select c.n from c in Counter where c.label = $label",
+                {"label": f"cold{n}"},
+            ) == [INCREMENTS]
