@@ -1,0 +1,227 @@
+"""Threaded vs asyncio front end: served read throughput + latency.
+
+Both servers run the identical :class:`~repro.engine.handlers.
+HttpHandlers` core over identical shapes-scenario databases, so any
+difference is pure transport: the threaded baseline pays a thread and
+a TCP connection per request (HTTP/1.0, ``ThreadingHTTPServer``) while
+the async front end serves keep-alive HTTP/1.1 from one event loop
+with a bounded worker pool and a pre-serialized response cache.
+
+Measured per front end, with ``READER_THREADS`` concurrent clients:
+
+* aggregate reads/s over a fixed window,
+* per-request p50/p99 latency,
+* the response-cache hit rate (async only), verified against the
+  cache's own authoritative counters — not inferred from timings.
+
+The >= 10x speedup gate only engages on machines with >= 4 CPUs: below
+that the client threads, the worker pool and the loop all time-slice
+one core and the ratio measures the GIL scheduler, not the transport.
+The measured numbers and the skip reason are recorded to
+``benchmarks/results/BENCH_bench_server_throughput.json`` either way.
+"""
+
+import http.client
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.engine import AsyncPrometheusServer, PrometheusDB, PrometheusServer
+from repro.taxonomy import build_shapes_scenario
+from repro.taxonomy.model import TaxonomyDatabase
+from repro.telemetry import DISABLED
+
+READER_THREADS = 8
+MEASURE_SECONDS = 1.5
+SPEEDUP_GATE = 10.0
+
+# A small rotating mix: mostly repeats (cacheable), occasionally a
+# parameter change so the bench also pays some real engine executions.
+QUERY_MIX = [
+    {"query": "select s from s in Specimen"},
+    {"query": "select count(s) from s in Specimen"},
+    {"query": 'select t from t in NomenclaturalTaxon '
+              'where t.epithet = "Ovals"'},
+    {"query": "select t.epithet from t in NomenclaturalTaxon"},
+]
+
+
+def _build_db() -> PrometheusDB:
+    db = PrometheusDB(telemetry=DISABLED)
+    taxdb = TaxonomyDatabase.over_engine(db)
+    build_shapes_scenario(taxdb)
+    return db
+
+
+def _measure(server, keep_alive: bool):
+    """Aggregate reads/s + latency percentiles from READER_THREADS
+    clients hammering POST /query for MEASURE_SECONDS."""
+    stop = time.monotonic() + MEASURE_SECONDS
+    counts = [0] * READER_THREADS
+    latencies: list[list[float]] = [[] for _ in range(READER_THREADS)]
+
+    def reader(slot: int) -> None:
+        conn = None
+        n = 0
+        while time.monotonic() < stop:
+            payload = json.dumps(QUERY_MIX[n % len(QUERY_MIX)]).encode()
+            begin = time.perf_counter()
+            if conn is None:
+                conn = http.client.HTTPConnection(*server.address, timeout=15)
+            try:
+                conn.request("POST", "/query", payload)
+                response = conn.getresponse()
+                response.read()
+                assert response.status == 200
+                if response.will_close or not keep_alive:
+                    conn.close()
+                    conn = None
+            except (http.client.HTTPException, ConnectionError, OSError):
+                conn.close()
+                conn = None
+                continue
+            latencies[slot].append(time.perf_counter() - begin)
+            n += 1
+        counts[slot] = n
+        if conn is not None:
+            conn.close()
+
+    workers = [
+        threading.Thread(target=reader, args=(i,))
+        for i in range(READER_THREADS)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    merged = sorted(v for slot in latencies for v in slot)
+    if not merged:
+        raise RuntimeError("no requests completed in the measure window")
+
+    def pct(fraction: float) -> float:
+        return merged[min(len(merged) - 1, int(len(merged) * fraction))]
+
+    return {
+        "reads_per_s": sum(counts) / MEASURE_SECONDS,
+        "p50_ms": pct(0.50) * 1000.0,
+        "p99_ms": pct(0.99) * 1000.0,
+        "requests": sum(counts),
+    }
+
+
+def test_async_front_end_read_throughput(bench_recorder):
+    threaded_server = PrometheusServer(_build_db())
+    async_db = _build_db()
+    async_server = AsyncPrometheusServer(async_db)
+    with threaded_server, async_server:
+        _measure(async_server, keep_alive=True)  # warm pool + cache
+        threaded = _measure(threaded_server, keep_alive=False)
+        measured = _measure(async_server, keep_alive=True)
+
+    cache = async_server.handlers.cache
+    lookups = cache.hits + cache.misses
+    hit_rate = cache.hits / lookups if lookups else 0.0
+    speedup = (
+        measured["reads_per_s"] / threaded["reads_per_s"]
+        if threaded["reads_per_s"]
+        else float("inf")
+    )
+    cpus = os.cpu_count() or 1
+    gated = cpus >= 4
+    bench_recorder.record(
+        "server_read_throughput",
+        threaded_reads_per_s=round(threaded["reads_per_s"], 1),
+        threaded_p50_ms=round(threaded["p50_ms"], 3),
+        threaded_p99_ms=round(threaded["p99_ms"], 3),
+        async_reads_per_s=round(measured["reads_per_s"], 1),
+        async_p50_ms=round(measured["p50_ms"], 3),
+        async_p99_ms=round(measured["p99_ms"], 3),
+        speedup=round(speedup, 3),
+        response_cache_hits=cache.hits,
+        response_cache_misses=cache.misses,
+        response_cache_hit_rate=round(hit_rate, 4),
+        reader_threads=READER_THREADS,
+        cpu_count=cpus,
+        gate_engaged=gated,
+        gate_skip_reason=(
+            None
+            if gated
+            else f"only {cpus} CPU(s): clients, workers and loop "
+            "time-slice one core; ratio measures the GIL scheduler"
+        ),
+    )
+    # The repeated query mix must actually hit the cache — verified by
+    # the cache's own counters, not inferred from throughput.
+    assert cache.hits > 0, "response cache never hit under a repeat mix"
+    assert hit_rate > 0.5, f"cache hit rate only {hit_rate:.1%}"
+    if gated:
+        assert speedup >= SPEEDUP_GATE, (
+            f"async front end served only {speedup:.2f}x the threaded "
+            f"read rate ({measured['reads_per_s']:.0f} vs "
+            f"{threaded['reads_per_s']:.0f}/s)"
+        )
+
+
+def test_backpressure_keeps_latency_flat(bench_recorder):
+    """Overload the async server far past ``queue_cap`` and verify the
+    accepted requests' p99 stays bounded while the excess is shed as
+    503 — backpressure, not collapse."""
+    server = AsyncPrometheusServer(_build_db(), workers=2, queue_cap=8)
+    accepted: list[float] = []
+    rejected = 0
+    lock = threading.Lock()
+    with server:
+        stop = time.monotonic() + 1.0
+
+        def flood() -> None:
+            nonlocal rejected
+            conn = http.client.HTTPConnection(*server.address, timeout=15)
+            while time.monotonic() < stop:
+                begin = time.perf_counter()
+                try:
+                    conn.request(
+                        "POST",
+                        "/query",
+                        json.dumps(
+                            {"query": "select s from s in Specimen"}
+                        ).encode(),
+                    )
+                    response = conn.getresponse()
+                    response.read()
+                except (http.client.HTTPException, OSError):
+                    conn.close()
+                    conn = http.client.HTTPConnection(
+                        *server.address, timeout=15
+                    )
+                    continue
+                elapsed = time.perf_counter() - begin
+                with lock:
+                    if response.status == 200:
+                        accepted.append(elapsed)
+                    elif response.status == 503:
+                        rejected += 1
+            conn.close()
+
+        floods = [threading.Thread(target=flood) for _ in range(16)]
+        for thread in floods:
+            thread.start()
+        for thread in floods:
+            thread.join()
+
+    assert accepted, "no requests were accepted under flood"
+    accepted.sort()
+    p99 = accepted[min(len(accepted) - 1, int(len(accepted) * 0.99))]
+    bench_recorder.record(
+        "overload_behavior",
+        accepted=len(accepted),
+        rejected_503=rejected,
+        accepted_p99_ms=round(p99 * 1000.0, 3),
+        server_rejected_counter=server.rejected,
+        queue_cap=8,
+        flood_threads=16,
+    )
+    # The shed load must show up in the server's authoritative counter.
+    assert server.rejected == rejected

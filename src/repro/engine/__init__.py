@@ -3,9 +3,12 @@
 * :class:`PrometheusDB` — the assembled system.
 * :class:`IndexManager` / :class:`BTree` — the index layer.
 * :class:`ViewManager` — the views layer.
-* :class:`PrometheusServer` — the HTTP access layer.
+* :class:`PrometheusServer` — the threaded HTTP access layer.
+* :class:`AsyncPrometheusServer` — the asyncio HTTP access layer
+  (keep-alive, pipelining, backpressure) over the same handlers.
 """
 
+from .aserver import AsyncPrometheusServer
 from .btree import BTree
 from .database import PrometheusDB
 from .dump import dump_json, dump_schema, load_dump
@@ -18,12 +21,17 @@ from .federation import (
     RemoteDatabase,
     RetryPolicy,
 )
+from .handlers import HttpHandlers, Request, Response
 from .indexes import Index, IndexKind, IndexManager
 from .server import PrometheusServer, jsonable
 from .views import View, ViewManager
 
 __all__ = [
+    "AsyncPrometheusServer",
     "BTree",
+    "HttpHandlers",
+    "Request",
+    "Response",
     "CircuitBreaker",
     "CircuitOpenError",
     "Federation",

@@ -47,9 +47,10 @@ import urllib.request
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
-from ..errors import PrometheusError
+from ..errors import PrometheusError, WireError
 from ..telemetry import DISABLED, Telemetry, propagation
 from ..telemetry.metrics import parse_prometheus
+from . import wire
 
 
 class FederationError(PrometheusError):
@@ -61,11 +62,22 @@ class CircuitOpenError(FederationError):
 
 
 class RemoteDatabase:
-    """JSON client for one Prometheus HTTP node."""
+    """JSON client for one Prometheus HTTP node.
 
-    def __init__(self, url: str, timeout: float = 10.0) -> None:
+    ``use_repb=True`` negotiates the compact REPB v1 binary codec
+    (:mod:`repro.engine.wire`) for response bodies via the ``Accept``
+    header; the decoded payload tree is identical to the JSON one, so
+    nothing else changes.  A server predating the codec simply keeps
+    answering JSON and the client accepts it — negotiation degrades,
+    never breaks.
+    """
+
+    def __init__(
+        self, url: str, timeout: float = 10.0, use_repb: bool = False
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.use_repb = use_repb
 
     # -- raw HTTP ---------------------------------------------------------
 
@@ -84,17 +96,21 @@ class RemoteDatabase:
 
     def _open(self, path: str, data: bytes | None = None,
               headers: dict[str, str] | None = None) -> Any:
+        merged = {**self._trace_headers(), **(headers or {})}
+        if self.use_repb:
+            merged.setdefault("Accept", wire.CONTENT_TYPE)
         request = urllib.request.Request(
-            self.url + path,
-            data=data,
-            headers={**self._trace_headers(), **(headers or {})},
+            self.url + path, data=data, headers=merged
         )
         try:
             with urllib.request.urlopen(
                 request, timeout=self.timeout
             ) as response:
-                return json.load(response)
-        except (urllib.error.URLError, OSError, ValueError) as exc:
+                raw = response.read()
+                if wire.is_repb(response.headers.get("Content-Type")):
+                    return wire.decode_frame(raw)
+                return json.loads(raw.decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError, WireError) as exc:
             raise FederationError(f"{self.url}{path}: {exc}") from exc
 
     def _get(self, path: str) -> Any:
@@ -144,6 +160,32 @@ class RemoteDatabase:
     def query(self, text: str, params: dict[str, Any] | None = None) -> Any:
         body = self._post("/query", {"query": text, "params": params or {}})
         return body["result"]
+
+    def resolve(
+        self,
+        names: "list[str]",
+        attr: str = "name",
+        class_name: "str | None" = None,
+        lineage: bool = False,
+        classification: "str | None" = None,
+        as_of: "int | None" = None,
+    ) -> dict[str, Any]:
+        """Batched name→object/lineage resolution (``POST /resolve``).
+
+        One round-trip answers every name in ``names`` — the set-at-a-
+        time access pattern a federation fan-out wants, instead of one
+        ``/query`` per name per node.
+        """
+        payload: dict[str, Any] = {"names": list(names), "attr": attr}
+        if class_name is not None:
+            payload["class"] = class_name
+        if lineage:
+            payload["lineage"] = True
+        if classification is not None:
+            payload["classification"] = classification
+        if as_of is not None:
+            payload["as_of"] = as_of
+        return self._post("/resolve", payload)
 
     def query_with_lsn(
         self, text: str, params: dict[str, Any] | None = None

@@ -1,9 +1,19 @@
-"""HTTP access layer (thesis §6.1.7).
+"""Threaded HTTP front end (thesis §6.1.7).
 
-A small JSON API over a :class:`~repro.engine.database.PrometheusDB`,
+A small JSON/REPB API over a :class:`~repro.engine.database.PrometheusDB`,
 playing the role of the prototype's HTTP server: remote clients (the
 thesis's taxonomic front-ends) browse the schema, fetch objects, run
 POOL queries and inspect classifications without linking the database.
+
+All routing, serialization, tracing and metrics live in the transport-
+agnostic :mod:`repro.engine.handlers` core, which this module shares
+with the asyncio front end (:mod:`repro.engine.aserver`); the class
+here is only the stdlib ``ThreadingHTTPServer`` transport — one thread
+per connection, HTTP/1.0, a new connection per request.  It is the
+simple, obviously-correct baseline the differential conformance suite
+(``tests/engine/test_server_differential.py``) measures the async
+server against, and the baseline the throughput bench reports speedups
+over.
 
 Endpoints::
 
@@ -34,6 +44,11 @@ Endpoints::
                                         the body time-travels the read —
                                         404 when outside the retained
                                         MVCC window)
+    POST /resolve                     — {"names": [...], "attr": "name",
+                                        "class": c?, "lineage": bool,
+                                        "classification": n?, "as_of": l?}
+                                        batched name→object/lineage
+                                        resolution in one round-trip
 
 Replication (repro.replication)::
 
@@ -80,119 +95,31 @@ classic endpoints stay on the implicit autocommit session.
 The server is synchronous and threaded; concurrent writers go through
 sessions and the optimistic transaction manager.
 
-Observability: every request is counted and timed in the database's
-telemetry registry, and logged as a structured access-log entry on the
-``repro.server`` stdlib logger (protocol-level chatter from the stdlib
-handler goes to the same logger at DEBUG instead of stderr).  Every
-request also participates in distributed tracing: an inbound
-``traceparent`` header (W3C trace context) is adopted so the request's
-spans join the caller's trace, the trace id is returned in the
-``X-Repro-Trace-Id`` response header and stamped into the access log
-and 4xx/5xx payloads, and the node's recent spans are queryable at
-``GET /trace/<trace_id>`` — see ``docs/OBSERVABILITY.md``.
+Content negotiation, the pre-serialized response cache and the
+observability contract (access log, ``repro_http_*`` metrics, W3C
+``traceparent`` adoption, ``X-Repro-Trace-Id``) are documented in
+:mod:`repro.engine.handlers` and ``docs/SERVER.md``.
 """
 
 from __future__ import annotations
 
-import json
 import logging
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
-from urllib.parse import parse_qs, unquote, urlparse
 
-from ..classification import GraphView
-from ..core.identity import OidRef
-from ..core.instances import PObject
-from ..core.metamodel import describe_class
-from ..core.relationships import RelationshipInstance
-from ..concurrency import Session
-from ..errors import (
-    ConflictError,
-    NodeDemotedError,
-    PrometheusError,
-    SchemaError,
-    SessionError,
-    SnapshotError,
-    StalePrimaryError,
-)
-from ..telemetry import propagation
 from .database import PrometheusDB
 from .federation import Federation
+from .handlers import HttpHandlers, Request, jsonable  # noqa: F401  (re-export)
 
 _server_logger = logging.getLogger("repro.server")
-_access_logger = logging.getLogger("repro.server.access")
-
-
-def jsonable(value: Any) -> Any:
-    """Convert query results / object state to JSON-safe structures."""
-    if isinstance(value, PObject):
-        data: dict[str, Any] = {
-            "oid": value.oid,
-            "class": value.pclass.name,
-            "values": {k: jsonable(v) for k, v in value.attributes()},
-        }
-        if isinstance(value, RelationshipInstance):
-            data["origin"] = value.origin_oid
-            data["destination"] = value.destination_oid
-        return data
-    if isinstance(value, OidRef):
-        return {"ref": value.oid}
-    if isinstance(value, GraphView):
-        return {
-            "name": value.name,
-            "nodes": {str(k): jsonable(v) for k, v in value.nodes.items()},
-            "edges": [
-                {
-                    "from": p,
-                    "to": c,
-                    "relationship": r,
-                    "attributes": jsonable(a),
-                }
-                for p, c, r, a in value.edges
-            ],
-        }
-    if isinstance(value, dict):
-        return {str(k): jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple, set, frozenset)):
-        return [jsonable(v) for v in value]
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return repr(value)
 
 
 class _Handler(BaseHTTPRequestHandler):
-    db: PrometheusDB  # injected by make_server
-    federation: Federation | None = None  # optional, injected by make_server
-    started_at: float = 0.0  # server start time, injected by make_server
-    # Replication wiring (both optional, injected by PrometheusServer):
-    # a LogShipper makes this node a primary, a ReplicationClient makes
-    # it a replica serving reads and refusing writes.
-    shipper: Any = None
-    replica_client: Any = None
-    primary_url: str | None = None
-    # Optional HAController: when set, it owns the mutable role state
-    # (promotion swaps shipper/replica_client under the server's feet),
-    # so every role-sensitive route goes through the _shipper()/
-    # _replica_client()/_primary() helpers instead of the class attrs.
-    ha: Any = None
-    # Optional FailoverCoordinator: merged into /cluster/overview so the
-    # aggregate view carries phi values and failover history.
-    supervisor: Any = None
+    """Thin stdlib transport: parse → :meth:`HttpHandlers.handle` → write."""
 
-    def _shipper(self) -> Any:
-        return self.ha.shipper if self.ha is not None else self.shipper
-
-    def _replica_client(self) -> Any:
-        if self.ha is not None:
-            return self.ha.replica_client
-        return self.replica_client
-
-    def _primary(self) -> str | None:
-        if self.ha is not None:
-            return self.ha.primary_url
-        return self.primary_url
+    core: HttpHandlers  # injected by PrometheusServer
 
     # Route protocol-level chatter through the stdlib logging tree
     # instead of discarding it (or spamming stderr).
@@ -201,820 +128,39 @@ class _Handler(BaseHTTPRequestHandler):
             "%s - %s", self.address_string(), format % args
         )
 
-    def _send(self, status: int, payload: Any) -> None:
-        if status >= 400 and isinstance(payload, dict):
-            # Error bodies carry the trace id so a client retry loop
-            # (conflict, stale-primary) can be correlated with the
-            # server-side spans that produced each rejection.
-            trace_id = getattr(self, "_trace_id", None)
-            if trace_id and "trace_id" not in payload:
-                payload = dict(payload, trace_id=trace_id)
-        body = json.dumps(payload, indent=2).encode("utf-8")
-        self._send_bytes(status, "application/json", body)
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._dispatch()
 
-    def _send_bytes(self, status: int, content_type: str, body: bytes) -> None:
-        self._status = status
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch()
+
+    def _dispatch(self) -> None:
         try:
-            self.send_response(status)
-            self.send_header("Content-Type", content_type)
-            self.send_header("Content-Length", str(len(body)))
-            trace_id = getattr(self, "_trace_id", None)
-            if trace_id:
-                self.send_header("X-Repro-Trace-Id", trace_id)
+            length = int(self.headers.get("Content-Length", "0") or 0)
+        except ValueError:
+            length = 0
+        body = self.rfile.read(length) if length > 0 else b""
+        request = Request(
+            method=self.command or "?",
+            path=self.path or "/",
+            headers={k.lower(): v for k, v in self.headers.items()},
+            body=body,
+        )
+        self._write_response(self.core.handle(request))
+
+    def _write_response(self, response: Any) -> None:
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(response.body)))
+            for name, value in response.headers:
+                self.send_header(name, value)
             self.end_headers()
-            self.wfile.write(body)
+            self.wfile.write(response.body)
         except (BrokenPipeError, ConnectionResetError):
             # Client hung up mid-response; drop the connection quietly
             # instead of letting the handler thread die noisily.
             self.close_connection = True
-
-    def _error(self, status: int, message: str) -> None:
-        self._send(status, {"error": message})
-
-    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
-        self._handle(self._route_get)
-
-    def do_POST(self) -> None:  # noqa: N802
-        self._handle(self._route_post)
-
-    def _handle(self, route: Any) -> None:
-        """Route + catch errors + emit the access log and HTTP metrics.
-
-        Trace propagation happens here, once for every route: an inbound
-        ``traceparent`` header is activated *as-is* (so the server span's
-        parent is exactly the caller's recorded span id — the linkage a
-        cross-node trace join relies on), a per-request ``http.request``
-        span is opened when telemetry is enabled, and the trace id is
-        stamped into the response header, error payloads and access log.
-        """
-        self._status = 0
-        started = time.perf_counter_ns()
-        method = self.command or "?"
-        remote = propagation.parse_traceparent(self.headers.get("traceparent"))
-        if remote is not None:
-            propagation.push(remote)
-        tel = self.db.telemetry
-        span = None
-        if tel.enabled:
-            span = tel.tracer.span(
-                "http.request",
-                method=method,
-                path=urlparse(self.path or "").path,
-            )
-            span.__enter__()
-            self._trace_id = span.trace_id
-        else:
-            self._trace_id = remote.trace_id if remote is not None else None
-        try:
-            route()
-        except PrometheusError as exc:
-            self._error(400, str(exc))
-        except Exception as exc:  # pragma: no cover - defensive
-            self._error(500, f"{type(exc).__name__}: {exc}")
-        finally:
-            if span is not None:
-                span.set("status", self._status)
-                span.__exit__(None, None, None)
-            if remote is not None:
-                propagation.pop(remote)
-            duration_ms = (time.perf_counter_ns() - started) / 1e6
-            path = self.path or "?"
-            _access_logger.info(
-                "%s %s status=%d duration_ms=%.2f trace=%s",
-                method,
-                path,
-                self._status,
-                duration_ms,
-                self._trace_id or "-",
-                extra={
-                    "http_method": method,
-                    "http_path": path,
-                    "http_status": self._status,
-                    "duration_ms": round(duration_ms, 3),
-                    "trace_id": self._trace_id,
-                },
-            )
-            if tel.enabled:
-                tel.registry.counter(
-                    "repro_http_requests_total",
-                    {"method": method, "status": str(self._status)},
-                    help="HTTP requests served",
-                ).inc()
-                tel.registry.histogram(
-                    "repro_http_request_ms",
-                    help="HTTP request handling latency (ms)",
-                ).observe(duration_ms)
-
-    def _route_get(self) -> None:
-        db = self.db
-        parsed = urlparse(self.path)
-        parts = [unquote(p) for p in parsed.path.split("/") if p]
-        if len(parts) == 2 and parts[0] == "trace":
-            trace_id = parts[1].lower()
-            spans = db.telemetry.traces.spans(trace_id)
-            if not spans:
-                self._error(404, f"no spans retained for trace {parts[1]!r}")
-                return
-            self._send(
-                200,
-                {
-                    "trace_id": trace_id,
-                    "node": db.telemetry.traces.node,
-                    "spans": spans,
-                },
-            )
-            return
-        if parts == ["events"]:
-            query = parse_qs(parsed.query)
-            try:
-                since = int(query.get("since", ["0"])[0])
-            except ValueError:
-                self._error(400, "'since' must be an integer")
-                return
-            journal = db.telemetry.events
-            self._send(
-                200,
-                {
-                    "node": journal.node,
-                    "last_seq": journal.last_seq,
-                    "events": journal.events(since=since),
-                },
-            )
-            return
-        if parts == ["cluster", "metrics"]:
-            if self.federation is None:
-                self._error(404, "this node aggregates no cluster")
-                return
-            self._send(200, self.federation.cluster_metrics())
-            return
-        if parts == ["cluster", "overview"]:
-            if self.federation is None:
-                self._error(404, "this node aggregates no cluster")
-                return
-            overview = self.federation.cluster_overview()
-            if self.supervisor is not None:
-                overview["supervisor"] = self.supervisor.status()
-            self._send(200, overview)
-            return
-        if parts == ["health"]:
-            self._send(200, self._health_payload())
-            return
-        if parts == ["health", "liveness"]:
-            # Deliberately minimal: plain attribute reads only, no store
-            # or session locks — a node wedged on a lock still answers,
-            # and the failure detector measures *process* liveness.
-            self._send(
-                200,
-                {
-                    "status": "alive",
-                    "role": self._role(),
-                    "epoch": self.ha.epoch
-                    if self.ha is not None
-                    else (
-                        db.store.cluster_epoch
-                        if db.store is not None
-                        else 0
-                    ),
-                    "uptime_s": round(time.time() - self.started_at, 3)
-                    if self.started_at
-                    else None,
-                },
-            )
-            return
-        if parts == ["health", "readiness"]:
-            ready, reasons = self._readiness()
-            self._send(
-                200 if ready else 503,
-                {"ready": ready, "reasons": reasons, "role": self._role()},
-            )
-            return
-        if parts == ["ha", "status"]:
-            if self.ha is None:
-                self._error(404, "this node has no HA controller")
-                return
-            self._send(200, self.ha.status())
-            return
-        if parts == ["metrics"]:
-            text = self.db.telemetry.registry.render_prometheus()
-            self._send_bytes(
-                200,
-                "text/plain; version=0.0.4; charset=utf-8",
-                text.encode("utf-8"),
-            )
-            return
-        if parts == ["stats"]:
-            self._send(200, self.db.telemetry.snapshot())
-            return
-        if parts == ["schema"]:
-            self._send(200, jsonable(db.describe()))
-            return
-        if len(parts) >= 2 and parts[0] == "classes":
-            name = parts[1]
-            if not db.schema.has_class(name):
-                self._error(404, f"unknown class {name!r}")
-                return
-            if len(parts) == 2:
-                self._send(200, jsonable(describe_class(db.schema.get_class(name))))
-                return
-            if len(parts) == 3 and parts[2] == "extent":
-                self._send(
-                    200, [obj.oid for obj in db.schema.extent(name)]
-                )
-                return
-        if len(parts) == 2 and parts[0] == "objects":
-            try:
-                oid = int(parts[1])
-            except ValueError:
-                self._error(400, "oid must be an integer")
-                return
-            if not db.schema.has_object(oid):
-                self._error(404, f"no object {oid}")
-                return
-            self._send(200, jsonable(db.schema.get_object(oid)))
-            return
-        if len(parts) == 2 and parts[0] == "session":
-            try:
-                session = db.sessions.get(parts[1])
-            except SessionError as exc:
-                self._error(404, str(exc))
-                return
-            self._send(200, session.info())
-            return
-        if parts == ["replicate", "status"]:
-            shipper = self._shipper()
-            replica_client = self._replica_client()
-            payload: dict[str, Any] = {
-                "role": self._role(),
-                "commit_lsn": db.store.commit_lsn
-                if db.store is not None
-                else None,
-                "applied_lsn": db.store.commit_lsn
-                if db.store is not None
-                else None,
-                "epoch": self.ha.epoch
-                if self.ha is not None
-                else (
-                    db.store.cluster_epoch if db.store is not None else 0
-                ),
-                # The reign the log's data belongs to — the failover
-                # census ranks candidates by this, not the wire epoch.
-                "log_epoch": db.store.cluster_epoch
-                if db.store is not None
-                else 0,
-            }
-            if shipper is not None:
-                payload["shipping"] = shipper.status()
-            if replica_client is not None:
-                payload["applying"] = replica_client.status()
-                payload["primary_url"] = self._primary()
-            self._send(200, payload)
-            return
-        if parts == ["classifications"]:
-            self._send(200, db.classifications.names())
-            return
-        if len(parts) == 2 and parts[0] == "classifications":
-            name = parts[1]
-            if name not in db.classifications:
-                self._error(404, f"unknown classification {name!r}")
-                return
-            classification = db.classifications.get(name)
-            self._send(
-                200,
-                {
-                    "name": classification.name,
-                    "author": classification.author,
-                    "year": classification.year,
-                    "edges": [
-                        {
-                            "oid": e.oid,
-                            "from": e.origin_oid,
-                            "to": e.destination_oid,
-                            "relationship": e.pclass.name,
-                        }
-                        for e in classification.edges()
-                    ],
-                    "roots": [r.oid for r in classification.roots()],
-                },
-            )
-            return
-        self._error(404, f"no route for {self.path!r}")
-
-    def _health_payload(self) -> dict[str, Any]:
-        """Store/recovery status for operators and federation probes.
-
-        ``status`` is ``"ok"`` for an in-memory or cleanly recovered
-        database and ``"degraded"`` when the last recovery had to drop,
-        truncate, or salvage anything — a node that lost data says so.
-        """
-        db = self.db
-        store = db.store
-        payload: dict[str, Any] = {
-            "status": "ok",
-            "uptime_s": round(time.time() - self.started_at, 3)
-            if self.started_at
-            else None,
-            "classes": sum(1 for _ in db.schema.classes()),
-            "classifications": len(db.classifications.names()),
-            "store": None,
-            "telemetry": db.telemetry.summary(),
-            "transactions": db.transactions.snapshot(),
-            "sessions": db._sessions.snapshot()
-            if db._sessions is not None
-            else None,
-        }
-        if store is not None:
-            report = getattr(store, "last_recovery", None)
-            payload["store"] = {
-                "path": store.path,
-                "file_size": store.file_size,
-                "live_records": len(store),
-                "in_transaction": store.in_transaction,
-                # A store without a recovery report (never recovered, or
-                # a minimal store implementation) is not an error: the
-                # health check reports the absence and stays "ok".
-                "recovery": report.as_dict() if report is not None else None,
-            }
-            if report is not None and not report.clean:
-                payload["status"] = "degraded"
-        if self.federation is not None:
-            payload["federation"] = {
-                name: {
-                    "breaker": self.federation.breaker(name).state,
-                    "consecutive_failures": self.federation.breaker(
-                        name
-                    ).consecutive_failures,
-                }
-                for name in sorted(self.federation.nodes)
-            }
-        shipper = self._shipper()
-        replica_client = self._replica_client()
-        if shipper is not None or replica_client is not None:
-            replication: dict[str, Any] = {"role": self._role()}
-            if shipper is not None:
-                status = shipper.status()
-                replication["commit_lsn"] = status["commit_lsn"]
-                replication["replicas"] = status["replicas"]
-                replication["lag_bytes"] = status["lag_bytes"]
-                replication["epoch"] = status.get("epoch", 0)
-            if replica_client is not None:
-                replication["applying"] = replica_client.status()
-                if not replica_client.running:
-                    payload["status"] = "degraded"
-            payload["replication"] = replication
-        if self.ha is not None:
-            payload["ha"] = self.ha.status()
-        return payload
-
-    def _readiness(self) -> tuple[bool, list[str]]:
-        """May this node serve its role right now?  (reasons when not)
-
-        A fenced node is not ready (clients should go to the successor),
-        a replica whose pull loop died is not ready (it only gets
-        staler), a store that needed salvage on recovery is not ready
-        until an operator looks at it.
-        """
-        reasons: list[str] = []
-        store = self.db.store
-        if store is not None:
-            report = getattr(store, "last_recovery", None)
-            if report is not None and not report.clean:
-                reasons.append("recovery-not-clean")
-        if self.ha is not None and self.ha.fenced:
-            reasons.append("fenced")
-        replica_client = self._replica_client()
-        if replica_client is not None and not replica_client.running:
-            reasons.append("pull-loop-stopped")
-        return not reasons, reasons
-
-    def _role(self) -> str:
-        if self.ha is not None:
-            return self.ha.role if not self.ha.fenced else "fenced"
-        if self._replica_client() is not None:
-            return "replica"
-        if self._shipper() is not None:
-            return "primary"
-        return "standalone"
-
-    def _run_query(
-        self,
-        text: str,
-        params: dict[str, Any] | None,
-        as_of: int | None = None,
-    ) -> Any:
-        """Run a read, under the applier's read lock on a replica so the
-        result is a commit-boundary snapshot, never a half-applied
-        batch.  ``as_of`` reads resolve against immutable version
-        chains, so on a replica they skip the applier's read lock
-        entirely — time travel never waits behind a splice."""
-        replica_client = self._replica_client()
-        if replica_client is not None:
-            return replica_client.applier.query(text, params=params, as_of=as_of)
-        return self.db.query(text, params=params, as_of=as_of)
-
-    def _query_as_of(self, payload: dict[str, Any]) -> int | None:
-        """``as_of`` from the JSON body or the ``?as_of=`` query string."""
-        as_of = payload.get("as_of")
-        if as_of is None:
-            values = parse_qs(urlparse(self.path).query).get("as_of")
-            if values:
-                as_of = values[0]
-        if as_of is None:
-            return None
-        try:
-            return int(as_of)
-        except (TypeError, ValueError):
-            raise SnapshotError(
-                f"as_of must be an integer LSN, got {as_of!r}"
-            ) from None
-
-    def _route_post(self) -> None:
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-            raw = self.rfile.read(length) if length else b"{}"
-            payload = json.loads(raw.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError):
-            self._error(400, "invalid JSON body")
-            return
-        parts = [p for p in urlparse(self.path).path.split("/") if p]
-        if parts == ["query"]:
-            text = payload.get("query", "")
-            params = payload.get("params", {})
-            if not isinstance(text, str) or not text.strip():
-                self._error(400, "missing 'query'")
-                return
-            try:
-                as_of = self._query_as_of(payload)
-                result = self._run_query(text, params, as_of=as_of)
-            except SnapshotError as exc:
-                mvcc = self.db.mvcc
-                self._send(
-                    404,
-                    {
-                        "error": str(exc),
-                        "snapshot": "unavailable",
-                        "floor": mvcc.floor if mvcc is not None else 0,
-                        "head": self.db.lsn,
-                    },
-                )
-                return
-            except PrometheusError as exc:
-                self._error(400, str(exc))
-                return
-            body: dict[str, Any] = {"result": jsonable(result)}
-            if as_of is not None:
-                body["as_of"] = as_of
-            if self.db.store is not None:
-                # The LSN this read reflects; router/checker clients use
-                # it to verify their staleness bound was honoured.
-                body["lsn"] = self.db.store.commit_lsn
-            self._send(200, body)
-            return
-        if parts == ["replicate", "pull"]:
-            self._route_pull(payload)
-            return
-        if parts and parts[0] == "ha":
-            self._route_ha(parts[1:], payload)
-            return
-        if parts and parts[0] == "session":
-            self._route_session(parts[1:], payload)
-            return
-        self._error(404, f"no route for {self.path!r}")
-
-    def _route_pull(self, payload: dict[str, Any]) -> None:
-        """One replica pull against the local shipper (primary role)."""
-        shipper = self._shipper()
-        if shipper is None:
-            self._error(404, "this node does not ship its log")
-            return
-        try:
-            from_lsn = int(payload.get("from_lsn", 0))
-            wait_s = float(payload.get("wait_s", 0.0))
-            prefix_crc = payload.get("prefix_crc")
-            prefix_crc = None if prefix_crc is None else int(prefix_crc)
-            max_bytes = payload.get("max_bytes")
-            max_bytes = None if max_bytes is None else int(max_bytes)
-            epoch = payload.get("epoch")
-            epoch = None if epoch is None else int(epoch)
-        except (TypeError, ValueError):
-            self._error(400, "pull fields must be numeric")
-            return
-        if epoch is not None and self.ha is not None:
-            # A puller reporting a higher epoch is proof of a promotion
-            # this node missed: self-fence before even consulting the
-            # shipper, so the write path closes in the same breath.
-            self.ha.observe_epoch(epoch)
-        status, frame = shipper.pull(
-            from_lsn,
-            prefix_crc=prefix_crc,
-            wait_s=wait_s,
-            max_bytes=max_bytes,
-            replica=str(payload.get("replica", "")),
-            epoch=epoch,
-        )
-        if status == "stale-primary":
-            self._send(
-                409,
-                {
-                    "status": "stale-primary",
-                    "conflict_kind": "stale-primary",
-                    "epoch": self.ha.epoch
-                    if self.ha is not None
-                    else shipper.epoch,
-                    "primary_url": self._primary(),
-                },
-            )
-            return
-        if status == "diverged":
-            self._send(
-                409, {"status": "diverged", "conflict_kind": "diverged"}
-            )
-            return
-        if status == "empty":
-            self._send_bytes(204, "application/octet-stream", b"")
-            return
-        self._send_bytes(200, "application/octet-stream", frame or b"")
-
-    def _route_ha(self, parts: list[str], payload: dict[str, Any]) -> None:
-        """HA transitions, executed by the node's controller."""
-        if self.ha is None:
-            self._error(404, "this node has no HA controller")
-            return
-        action = parts[0] if len(parts) == 1 else None
-        try:
-            if action == "promote":
-                lsn = self.ha.promote(int(payload.get("epoch", 0)))
-                self._send(
-                    200,
-                    {
-                        "promoted": True,
-                        "epoch": self.ha.epoch,
-                        "stamp_lsn": lsn,
-                    },
-                )
-                return
-            if action == "demote":
-                self.ha.demote(
-                    int(payload.get("epoch", 0)),
-                    payload.get("primary_url"),
-                )
-                self._send(
-                    200, {"demoted": True, "epoch": self.ha.epoch}
-                )
-                return
-            if action == "repoint":
-                self.ha.repoint(
-                    str(payload.get("primary_url", "")),
-                    int(payload.get("epoch", 0)),
-                )
-                client = self.ha.replica_client
-                if client is not None and not client.running:
-                    client.start()
-                self._send(
-                    200,
-                    {
-                        "repointed": True,
-                        "primary_url": self.ha.primary_url,
-                        "epoch": self.ha.epoch,
-                    },
-                )
-                return
-            if action == "lease":
-                self.ha.grant_lease(
-                    int(payload.get("epoch", 0)),
-                    float(payload.get("ttl_s", 0.0)),
-                )
-                self._send(200, {"leased": True, "epoch": self.ha.epoch})
-                return
-        except StalePrimaryError as exc:
-            self._send(
-                409,
-                {
-                    "error": str(exc),
-                    "status": "stale-primary",
-                    "conflict_kind": "stale-primary",
-                    "epoch": exc.epoch,
-                    "primary_url": exc.primary_url or self._primary(),
-                },
-            )
-            return
-        except (TypeError, ValueError):
-            self._error(400, "ha fields must be numeric")
-            return
-        self._error(404, f"no route for {self.path!r}")
-
-    # -- session-scoped transactions (repro.concurrency) --------------------
-
-    def _route_session(self, parts: list[str], payload: Any) -> None:
-        db = self.db
-        if not parts:  # POST /session — issue a token
-            try:
-                session = db.sessions.create()
-            except SessionError as exc:
-                self._error(429, str(exc))
-                return
-            self._send(201, {"session": session.session_id})
-            return
-        try:
-            session = db.sessions.get(parts[0])
-        except SessionError as exc:
-            self._error(404, str(exc))
-            return
-        action = parts[1] if len(parts) == 2 else None
-        if action == "query":
-            text = payload.get("query", "")
-            if not isinstance(text, str) or not text.strip():
-                self._error(400, "missing 'query'")
-                return
-            # Queries run over committed state (read-committed): the
-            # session's staged writes are not yet query-visible — see
-            # docs/CONCURRENCY.md.
-            try:
-                as_of = self._query_as_of(payload)
-                result = self._run_query(
-                    text, payload.get("params", {}), as_of=as_of
-                )
-            except SnapshotError as exc:
-                mvcc = db.mvcc
-                self._send(
-                    404,
-                    {
-                        "error": str(exc),
-                        "snapshot": "unavailable",
-                        "floor": mvcc.floor if mvcc is not None else 0,
-                        "head": db.lsn,
-                    },
-                )
-                return
-            self._send(200, {"result": jsonable(result)})
-            return
-        if action in ("apply", "commit"):
-            if self._replica_client() is not None:
-                self._send(
-                    403,
-                    {
-                        "error": "this node is a read replica; "
-                        "writes go to the primary",
-                        "primary_url": self._primary(),
-                    },
-                )
-                return
-            if self.ha is not None and not self.ha.writes_allowed():
-                # Fenced (or lease-expired) ex-primary: 409 + the
-                # current epoch, so the client rediscovers instead of
-                # retrying against a node that can never accept.
-                tel = db.telemetry
-                if tel.enabled:
-                    tel.registry.counter(
-                        "repro_ha_fenced_writes_total",
-                        help="Writes refused because this node is "
-                        "fenced or lost its lease",
-                    ).inc()
-                self._send(
-                    409,
-                    {
-                        "error": "this node is fenced: it is not the "
-                        "current primary",
-                        "conflict_kind": "fenced",
-                        "stale_primary": True,
-                        "epoch": self.ha.epoch,
-                        "primary_url": self._primary(),
-                        "retry": True,
-                    },
-                )
-                return
-        if action == "apply":
-            ops = payload.get("ops")
-            if not isinstance(ops, list):
-                self._error(400, "missing 'ops' (a list)")
-                return
-            try:
-                results = self._apply_ops(session, ops)
-            except NodeDemotedError as exc:
-                self._send_demoted(exc)
-                return
-            self._send(200, {"results": results})
-            return
-        if action == "commit":
-            try:
-                ts = session.commit()
-            except NodeDemotedError as exc:
-                self._send_demoted(exc)
-                return
-            except ConflictError as exc:
-                # Machine-readable rejection: write-write validation
-                # lost the race (vs the fencing/demotion 409s, which
-                # carry their own conflict_kind).  ``stale_oids`` names
-                # the objects another transaction committed first.
-                self._send(
-                    409,
-                    {
-                        "error": str(exc),
-                        "conflict": True,
-                        "conflict_kind": "write-write",
-                        "stale_oids": list(exc.oids),
-                        "retry": True,
-                    },
-                )
-                return
-            body: dict[str, Any] = {
-                "committed": True,
-                "commit_ts": ts,
-                # For read-your-writes routing: reads bounded by this
-                # LSN must go to nodes that have applied it.
-                "commit_lsn": session.last_commit_lsn,
-            }
-            min_acks = payload.get("wait_replicated")
-            shipper = self._shipper()
-            if min_acks and shipper is not None:
-                # Semi-synchronous ack: only report replicated=True once
-                # the commit's bytes were pulled by that many replicas.
-                body["replicated"] = shipper.wait_replicated(
-                    session.last_commit_lsn or 0,
-                    min_acks=int(min_acks),
-                    timeout_s=float(payload.get("wait_timeout_s", 5.0)),
-                )
-            self._send(200, body)
-            return
-        if action == "abort":
-            session.abort()
-            self._send(200, {"aborted": True})
-            return
-        if action == "release":
-            db.sessions.release(session.session_id)
-            self._send(200, {"released": True})
-            return
-        self._error(404, f"no route for {self.path!r}")
-
-    def _send_demoted(self, exc: NodeDemotedError) -> None:
-        """The typed demotion answer: 409 + the successor's address."""
-        self._send(
-            409,
-            {
-                "error": str(exc),
-                "demoted": True,
-                "conflict_kind": "demoted",
-                "epoch": exc.epoch,
-                "primary_url": exc.primary_url or self._primary(),
-                "retry": True,
-            },
-        )
-
-    def _apply_ops(self, session: Session, ops: list[Any]) -> list[Any]:
-        """Stage each op on the session's transaction, in order.
-
-        Staging is fail-fast: an invalid op raises (→ 400) and ops after
-        it are not staged; ops before it remain staged — the client
-        decides whether to commit, abort, or re-send.
-        """
-        txn = session.txn
-        results: list[Any] = []
-        for op in ops:
-            if not isinstance(op, dict):
-                raise SchemaError("each op must be an object")
-            kind = op.get("op")
-            try:
-                self._apply_one(txn, kind, op, results)
-            except KeyError as exc:
-                raise SchemaError(
-                    f"op {kind!r} is missing field {exc.args[0]!r}"
-                ) from None
-        return results
-
-    def _apply_one(
-        self, txn: Any, kind: Any, op: dict[str, Any], results: list[Any]
-    ) -> None:
-        if kind == "create":
-            oid = txn.create(op["class"], **op.get("attrs", {}))
-            results.append({"oid": oid})
-        elif kind == "set":
-            txn.set(int(op["oid"]), op["attr"], op.get("value"))
-            results.append({"ok": True})
-        elif kind == "update":
-            txn.update(int(op["oid"]), **op.get("attrs", {}))
-            results.append({"ok": True})
-        elif kind == "delete":
-            txn.delete(int(op["oid"]), cascade=op.get("cascade", True))
-            results.append({"ok": True})
-        elif kind == "relate":
-            oid = txn.relate(
-                op["class"],
-                int(op["origin"]),
-                int(op["destination"]),
-                participants={
-                    role: int(v)
-                    for role, v in op.get("participants", {}).items()
-                }
-                or None,
-                **op.get("attrs", {}),
-            )
-            results.append({"oid": oid})
-        elif kind == "unrelate":
-            txn.unrelate(int(op["oid"]))
-            results.append({"ok": True})
-        elif kind == "get":
-            results.append({"values": jsonable(txn.get(int(op["oid"])))})
-        else:
-            raise SchemaError(f"unknown op {kind!r}")
 
 
 class PrometheusServer:
@@ -1037,27 +183,17 @@ class PrometheusServer:
         ha: Any = None,
         supervisor: Any = None,
     ):
-        if ha is not None:
-            if shipper is None:
-                shipper = ha.shipper
-            if replica_client is None:
-                replica_client = ha.replica_client
-            if primary_url is None:
-                primary_url = ha.primary_url
-        handler = type(
-            "BoundHandler",
-            (_Handler,),
-            {
-                "db": db,
-                "federation": federation,
-                "started_at": time.time(),
-                "shipper": shipper,
-                "replica_client": replica_client,
-                "primary_url": primary_url,
-                "ha": ha,
-                "supervisor": supervisor,
-            },
+        self.handlers = HttpHandlers(
+            db,
+            federation=federation,
+            shipper=shipper,
+            replica_client=replica_client,
+            primary_url=primary_url,
+            ha=ha,
+            supervisor=supervisor,
+            started_at=time.time(),
         )
+        handler = type("BoundHandler", (_Handler,), {"core": self.handlers})
         self.ha = ha
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None

@@ -184,6 +184,15 @@ class StalePrimaryError(ReplicationError):
 
 
 # ---------------------------------------------------------------------------
+# Wire protocol (REPB)
+# ---------------------------------------------------------------------------
+
+class WireError(PrometheusError):
+    """A REPB frame failed structural validation (truncated, oversized,
+    checksum mismatch, bad magic/version, or an unencodable value)."""
+
+
+# ---------------------------------------------------------------------------
 # Taxonomy substrate
 # ---------------------------------------------------------------------------
 

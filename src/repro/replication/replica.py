@@ -22,12 +22,15 @@ live here:
 
 from __future__ import annotations
 
+import http.client
 import inspect
 import json
 import random
+import socket
 import threading
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 import zlib
 from contextlib import contextmanager
@@ -337,6 +340,14 @@ class ReplicaApplier:
 class HttpPullTransport:
     """Pulls frames from a primary's ``POST /replicate/pull`` endpoint.
 
+    The transport holds one **persistent keep-alive connection** to the
+    primary and reuses it pull after pull — against the asyncio front
+    end the steady-state long-poll loop pays no TCP handshake per pull.
+    A primary that closes per response (the threaded HTTP/1.0 front
+    end) degrades transparently to connection-per-pull, and a stale
+    kept-alive socket (primary restarted between pulls) is retried once
+    on a fresh connection before the error surfaces.
+
     Every request carries a socket timeout: ``wait_s`` (the server-side
     long-poll budget) plus ``timeout_margin_s``, hard-capped at
     ``timeout_s`` — a hung peer can therefore stall one pull, never the
@@ -352,6 +363,58 @@ class HttpPullTransport:
         self.url = url.rstrip("/")
         self.timeout_margin_s = timeout_margin_s
         self.timeout_s = timeout_s
+        parsed = urllib.parse.urlsplit(self.url)
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port
+        self._prefix = parsed.path.rstrip("/")
+        self._conn: http.client.HTTPConnection | None = None
+
+    def close(self) -> None:
+        """Drop the kept-alive connection (idempotent)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            self._conn = None
+
+    def _request(
+        self, data: bytes, headers: dict[str, str], timeout: float
+    ) -> tuple[int, str, bytes]:
+        """One POST on the persistent connection; returns
+        ``(status, reason, body)``.  Reconnects once when the kept-alive
+        socket turns out to be dead."""
+        for attempt in (0, 1):
+            fresh = self._conn is None
+            if fresh:
+                self._conn = http.client.HTTPConnection(
+                    self._host, self._port, timeout=timeout
+                )
+            conn = self._conn
+            conn.timeout = timeout
+            if conn.sock is not None:
+                conn.sock.settimeout(timeout)
+            try:
+                conn.request(
+                    "POST", self._prefix + "/replicate/pull",
+                    body=data, headers=headers,
+                )
+                response = conn.getresponse()
+                body = response.read()
+            except (TimeoutError, socket.timeout):
+                self.close()
+                raise
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if fresh or attempt:
+                    raise
+                continue  # the kept-alive socket had died; retry once
+            if response.will_close:
+                # HTTP/1.0 peer (threaded front end): per-request
+                # connections, exactly the old behavior.
+                self.close()
+            return response.status, response.reason or "", body
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def pull(
         self,
@@ -382,41 +445,34 @@ class HttpPullTransport:
             headers[propagation.TRACEPARENT_HEADER] = (
                 propagation.format_traceparent(ctx)
             )
-        request = urllib.request.Request(
-            self.url + "/replicate/pull",
-            data=json.dumps(body).encode("utf-8"),
-            headers=headers,
-        )
         timeout = min(wait_s + self.timeout_margin_s, self.timeout_s)
         try:
-            with urllib.request.urlopen(
-                request, timeout=timeout
-            ) as response:
-                if response.status == 204:
-                    return "empty", None
-                return "frame", response.read()
-        except urllib.error.HTTPError as exc:
-            if exc.code == 409:
-                detail: dict[str, Any] = {}
-                try:
-                    detail = json.loads(exc.read().decode("utf-8"))
-                except (ValueError, OSError):
-                    pass
-                if detail.get("status") == "stale-primary" or detail.get(
-                    "stale_primary"
-                ):
-                    raise StalePrimaryError(
-                        "pull rejected: peer fenced at epoch "
-                        f"{detail.get('epoch', 0)}",
-                        epoch=int(detail.get("epoch", 0) or 0),
-                        primary_url=detail.get("primary_url"),
-                    ) from exc
-                return "diverged", None
-            raise ReplicationError(
-                f"pull failed: HTTP {exc.code} {exc.reason}"
-            ) from exc
-        except (urllib.error.URLError, OSError) as exc:
+            status, reason, payload = self._request(
+                json.dumps(body).encode("utf-8"), headers, timeout
+            )
+        except (http.client.HTTPException, OSError) as exc:
             raise ReplicationError(f"pull failed: {exc}") from exc
+        if status == 204:
+            return "empty", None
+        if status == 200:
+            return "frame", payload
+        if status == 409:
+            detail: dict[str, Any] = {}
+            try:
+                detail = json.loads(payload.decode("utf-8"))
+            except ValueError:
+                pass
+            if detail.get("status") == "stale-primary" or detail.get(
+                "stale_primary"
+            ):
+                raise StalePrimaryError(
+                    "pull rejected: peer fenced at epoch "
+                    f"{detail.get('epoch', 0)}",
+                    epoch=int(detail.get("epoch", 0) or 0),
+                    primary_url=detail.get("primary_url"),
+                )
+            return "diverged", None
+        raise ReplicationError(f"pull failed: HTTP {status} {reason}")
 
 
 def _accepts_epoch(pull: Any) -> bool:

@@ -25,6 +25,7 @@ from repro.engine.federation import (
     RemoteDatabase,
     RetryPolicy,
 )
+from repro.engine.handlers import Response
 from repro.engine.server import _Handler
 from repro.storage import ObjectStore
 
@@ -374,5 +375,6 @@ class TestHealthEndpoint:
         handler.client_address = ("127.0.0.1", 0)
         handler.command = "GET"
         handler.wfile = DeadPipe()
-        handler._send(200, {"ok": True})  # must not raise
+        response = Response(status=200, body=b'{"ok": true}')
+        handler._write_response(response)  # must not raise
         assert handler.close_connection is True

@@ -161,9 +161,18 @@ class TestObservability:
     def test_metrics_reflect_served_queries(self, served):
         url, db, _ = served
         before = db.telemetry.registry.counter("repro_query_total").value
-        post(url + "/query", {"query": "select count(s) from s in Specimen"})
+        # A query body this module has not posted before: the response
+        # cache misses and the engine runs it.
+        body = {"query": "select count(s) from s in Specimen where true"}
+        post(url + "/query", body)
         after = db.telemetry.registry.counter("repro_query_total").value
         assert after == before + 1
+        # The identical body again: served pre-serialized from the
+        # response cache, without touching the engine.
+        post(url + "/query", body)
+        assert (
+            db.telemetry.registry.counter("repro_query_total").value == after
+        )
 
     def test_http_requests_counted_by_status(self, served):
         url, db, _ = served
