@@ -1,0 +1,233 @@
+"""Write scale-out on a 4-shard topology, with real shard processes.
+
+The sharding layer's performance claim is that writes scale with the
+number of shards because each shard is an independent node with its own
+log and lock domain.  An in-process measurement cannot show that (the
+GIL serializes the shard engines), so this benchmark runs the real
+topology: one ``python -m repro --serve`` process per shard, a
+client-side :class:`~repro.sharding.ShardMap` routing each record by
+its key exactly as the coordinator would, and the same writer-thread
+pool driving both topologies —
+
+* **single** — all writes to one node,
+* **sharded** — the same writes fanned across four nodes by range.
+
+Both runs commit the same number of records through the same batched
+session API; only the number of server processes differs, so the ratio
+measures shard parallelism and nothing else.  Results (rates, speedup,
+per-shard placement) land in
+``benchmarks/results/BENCH_bench_sharding.json``.  The ≥2x scale-out
+gate only engages with >= 4 CPUs: below that the shard processes
+time-slice one another and the ratio measures the scheduler, not the
+sharding layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.sharding import ShardMap
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+SHARDS = ("s0", "s1", "s2", "s3")
+SPLIT_POINTS = ("h", "n", "t")
+WRITER_THREADS = 4
+BATCHES_PER_THREAD = 12
+RECORDS_PER_BATCH = 25
+SCALE_OUT_GATE = 2.0
+
+
+def _request(url, payload=None, timeout=15.0):
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as response:
+        return json.load(response)
+
+
+class Node:
+    """One store-backed ``python -m repro --serve`` shard process."""
+
+    def __init__(self, args, cwd):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_SRC)
+        env["PYTHONUNBUFFERED"] = "1"
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *args],
+            cwd=cwd,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.url = self._await_url()
+
+    def _await_url(self, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                raise RuntimeError("shard process exited before serving")
+            if "serving on " in line:
+                return line.split("serving on ", 1)[1].split()[0]
+        raise RuntimeError("shard process never reported its URL")
+
+    def stop(self):
+        if self.proc.poll() is not None:
+            return
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+def _start_nodes(tmp, count):
+    nodes = []
+    try:
+        for i in range(count):
+            nodes.append(
+                Node(
+                    ["--db", str(tmp / f"shard{i}.plog"),
+                     "--taxonomy", "--serve", "0"],
+                    cwd=tmp,
+                )
+            )
+        return nodes
+    except Exception:
+        for node in nodes:
+            node.stop()
+        raise
+
+
+def _keys(thread: int, batch: int) -> list[str]:
+    """Deterministic keys whose first letters spread across the ranges."""
+    alphabet = "abefhiklnoqrtuwy"  # 4 letters per shard range
+    return [
+        f"{alphabet[(thread * 7 + batch * 3 + i) % len(alphabet)]}"
+        f"-t{thread}-b{batch}-r{i}"
+        for i in range(RECORDS_PER_BATCH)
+    ]
+
+
+def _commit_batch(url: str, keys: list[str]) -> None:
+    sid = _request(url + "/session", {})["session"]
+    _request(
+        f"{url}/session/{sid}/apply",
+        {"ops": [
+            {"op": "create", "class": "Specimen",
+             "attrs": {"field_name": key, "collector": "bench"}}
+            for key in keys
+        ]},
+    )
+    _request(f"{url}/session/{sid}/commit", {})
+    _request(f"{url}/session/{sid}/release", {})
+
+
+def _run_ingest(urls_by_shard: dict[str, str], shard_map: ShardMap):
+    """Drive the full write load; returns (records/s, per-shard counts)."""
+    errors: list[Exception] = []
+    placed: dict[str, int] = {name: 0 for name in urls_by_shard}
+    lock = threading.Lock()
+
+    def writer(thread: int) -> None:
+        try:
+            for batch in range(BATCHES_PER_THREAD):
+                routed: dict[str, list[str]] = {}
+                for i, key in enumerate(_keys(thread, batch)):
+                    shard = shard_map.route(key, thread * 100_000 + i)
+                    routed.setdefault(shard, []).append(key)
+                for shard, keys in routed.items():
+                    _commit_batch(urls_by_shard[shard], keys)
+                    with lock:
+                        placed[shard] += len(keys)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=writer, args=(t,), daemon=True)
+        for t in range(WRITER_THREADS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    total = WRITER_THREADS * BATCHES_PER_THREAD * RECORDS_PER_BATCH
+    return total / elapsed, placed
+
+
+@pytest.fixture(scope="module")
+def bench_dirs(tmp_path_factory):
+    return tmp_path_factory.mktemp("shard_bench")
+
+
+def test_write_scale_out(bench_dirs, bench_recorder):
+    single_map = ShardMap.single("s0", key_attr="field_name")
+    sharded_map = ShardMap.uniform(SHARDS, "field_name", SPLIT_POINTS)
+
+    single_nodes = _start_nodes(bench_dirs, 1)
+    try:
+        single_rate, _ = _run_ingest(
+            {"s0": single_nodes[0].url}, single_map
+        )
+    finally:
+        for node in single_nodes:
+            node.stop()
+
+    shard_nodes = _start_nodes(bench_dirs, len(SHARDS))
+    try:
+        sharded_rate, placed = _run_ingest(
+            dict(zip(SHARDS, (n.url for n in shard_nodes))), sharded_map
+        )
+    finally:
+        for node in shard_nodes:
+            node.stop()
+
+    speedup = sharded_rate / single_rate if single_rate else float("inf")
+    cpus = os.cpu_count() or 1
+    gated = cpus >= 4
+    bench_recorder.record(
+        "write_scale_out",
+        single_shard_writes_per_s=round(single_rate, 1),
+        four_shard_writes_per_s=round(sharded_rate, 1),
+        speedup=round(speedup, 3),
+        writer_threads=WRITER_THREADS,
+        records_total=(
+            WRITER_THREADS * BATCHES_PER_THREAD * RECORDS_PER_BATCH
+        ),
+        placement=placed,
+        shard_map_epoch=sharded_map.epoch,
+        cpu_count=cpus,
+        gate_engaged=gated,
+        gate_skip_reason=(
+            None
+            if gated
+            else f"only {cpus} CPU(s): shard processes time-slice, "
+            "ratio measures the scheduler"
+        ),
+    )
+    # Every shard must have taken real load — a hot-spotted map would
+    # make the speedup meaningless even when the gate passes.
+    assert all(count > 0 for count in placed.values()), placed
+    if gated:
+        assert speedup >= SCALE_OUT_GATE, (
+            f"four shard processes ingested only {speedup:.2f}x the "
+            f"single-shard rate "
+            f"({sharded_rate:.0f} vs {single_rate:.0f} records/s)"
+        )

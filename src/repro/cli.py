@@ -173,8 +173,8 @@ class Shell:
         self.emit(
             "commands: .help .schema .class <Name> .classifications "
             ".rules .indexes .begin .commit .abort .txn .set .integrity "
-            ".asof [<lsn>|off] .lsn .replicas .lag .cluster [metrics] "
-            ".quit\n"
+            ".asof [<lsn>|off] .lsn .shardmap .replicas .lag "
+            ".cluster [metrics] .quit\n"
             ".begin opens a managed transaction; .commit/.abort then "
             "apply to it\n"
             ".asof <lsn> time-travels subsequent queries; .asof off "
@@ -348,6 +348,28 @@ class Shell:
 
     def _cmd_lsn(self, args: list[str]) -> None:
         self.emit(str(self.db.lsn))
+
+    def _cmd_shardmap(self, args: list[str]) -> None:
+        """The shard map stamped into this node's log, if any."""
+        store = self.db.store
+        if store is None or not store.shard_map_epoch:
+            self.emit("(unsharded: no shard-map stamp in the log)")
+            return
+        from .sharding import ShardMap
+
+        try:
+            shard_map = ShardMap.from_blob(store.shard_map_blob)
+        except (PrometheusError, ValueError) as exc:
+            self.emit(f"error: undecodable shard-map stamp: {exc}")
+            return
+        self.emit(
+            f"epoch {shard_map.epoch} keyed on {shard_map.key_attr!r}, "
+            f"{len(shard_map.shards)} shards"
+        )
+        for shard_range in shard_map.ranges:
+            lo = "-inf" if shard_range.lo is None else repr(shard_range.lo)
+            hi = "+inf" if shard_range.hi is None else repr(shard_range.hi)
+            self.emit(f"  [{lo}, {hi}) -> {shard_range.shard}")
 
     def _cmd_integrity(self, args: list[str]) -> None:
         problems = self.db.check_integrity()

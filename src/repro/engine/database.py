@@ -25,7 +25,7 @@ from ..classification import ClassificationManager, TraceLog
 from ..concurrency import SessionManager, Transaction, TransactionManager
 from ..core.metamodel import describe_schema
 from ..core.schema import Schema
-from ..errors import QueryError, SnapshotError
+from ..errors import QueryError, SnapshotError, StorageError
 from ..mvcc import MvccStore, SnapshotSchema
 from ..query import parse
 from ..query.evaluator import Evaluator, QueryContext
@@ -140,6 +140,7 @@ class PrometheusDB:
         self._trace: TraceLog | None = None
         self._sessions: SessionManager | None = None
         self._last_plan: QueryPlanInfo | None = None
+        self._shard_map_epoch = 0  # in-memory shards: set by coordinator
         self._wire_telemetry()
 
     def _wire_telemetry(self) -> None:
@@ -431,6 +432,28 @@ class PrometheusDB:
         if self.store is not None:
             return self.store.commit_lsn
         return self.transactions.published_snapshot[1]
+
+    @property
+    def shard_map_epoch(self) -> int:
+        """Newest shard-map epoch this node knows about (0 = unsharded).
+
+        Store-backed nodes read the durable stamp; in-memory shards are
+        told theirs by the sharding coordinator via the setter.  The
+        response cache folds this into its invalidation stamp so a
+        rebalance can never serve bytes computed against old placement.
+        """
+        if self.store is not None:
+            return self.store.shard_map_epoch
+        return self._shard_map_epoch
+
+    @shard_map_epoch.setter
+    def shard_map_epoch(self, epoch: int) -> None:
+        if self.store is not None:
+            raise StorageError(
+                "store-backed nodes learn the shard-map epoch from the "
+                "log (stamp_shard_map), not by assignment"
+            )
+        self._shard_map_epoch = epoch
 
     def snapshot(self, as_of: int | None = None) -> "DatabaseSnapshot":
         """Pin a consistent point-in-time handle (default: now).

@@ -673,7 +673,12 @@ class Federation:
                         node=name, result=result, elapsed=elapsed
                     )
                 except Exception as exc:
-                    results[name] = NodeResult(node=name, error=str(exc))
+                    # `or type name`: an exception with an empty message
+                    # (bare CircuitOpenError, ConnectionError) must not
+                    # produce error="" — NodeResult.ok would read True.
+                    results[name] = NodeResult(
+                        node=name, error=str(exc) or type(exc).__name__
+                    )
             for future in not_done:
                 name = futures[future]
                 future.cancel()
@@ -770,7 +775,9 @@ class Federation:
                         served_by=served_by,
                     )
                 except Exception as exc:
-                    results[name] = NodeResult(node=name, error=str(exc))
+                    results[name] = NodeResult(
+                        node=name, error=str(exc) or type(exc).__name__
+                    )
             for future in not_done:
                 name = futures[future]
                 future.cancel()
@@ -835,7 +842,7 @@ class Federation:
                 try:
                     results[name] = (future.result(), "")
                 except Exception as exc:
-                    results[name] = (None, str(exc))
+                    results[name] = (None, str(exc) or type(exc).__name__)
             for future in not_done:
                 name = futures[future]
                 future.cancel()
@@ -1024,12 +1031,23 @@ class Federation:
         for node_result in self.query_all(
             f"select count(x) from x in {class_name}"
         ):
-            if node_result.ok and node_result.result:
+            value = 0
+            if not node_result.ok:
+                errors[node_result.node] = node_result.error
+            elif (
+                isinstance(node_result.result, list)
+                and len(node_result.result) == 1
+                and isinstance(node_result.result[0], (int, float))
+                and not isinstance(node_result.result[0], bool)
+            ):
                 value = int(node_result.result[0])
             else:
-                value = 0
-                if not node_result.ok:
-                    errors[node_result.node] = node_result.error
+                # ok-but-malformed (a node died mid-scatter and an empty
+                # body slipped through): a silent 0 here would let a
+                # degraded total pass as complete.
+                errors[node_result.node] = (
+                    f"malformed count result: {node_result.result!r}"
+                )
             counts[node_result.node] = value
             total += value
         counts["__total__"] = total

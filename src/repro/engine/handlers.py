@@ -369,8 +369,10 @@ class HttpHandlers:
         epoch (plans change), the commit LSN (committed data changes —
         on a replica this advances with every applied batch), the event
         bus's lifetime publish count (direct *uncommitted* mutations on
-        the implicit session are query-visible), and the cluster epoch
-        (a promotion must never serve the deposed reign's bytes).
+        the implicit session are query-visible), the cluster epoch
+        (a promotion must never serve the deposed reign's bytes), and
+        the shard-map epoch (a rebalance moved objects — bodies cached
+        against the old placement must not outlive it).
         """
         db = self.db
         if self.ha is not None:
@@ -385,6 +387,7 @@ class HttpHandlers:
             db.lsn,
             db.schema.events.published,
             epoch,
+            db.shard_map_epoch,
         )
 
     def _cache_key(self, request: Request) -> tuple | None:
@@ -905,6 +908,9 @@ class _Exchange:
 
     def _route_resolve(self, payload: dict[str, Any]) -> None:
         """Many name→object/lineage lookups in one round-trip."""
+        if "oids" in payload:
+            self._route_resolve_oids(payload)
+            return
         names = payload.get("names")
         if not isinstance(names, list) or not all(
             isinstance(n, str) for n in names
@@ -962,6 +968,48 @@ class _Exchange:
         if as_of is not None:
             body["as_of"] = as_of
         body["lsn"] = self.db.lsn
+        self._send(200, body)
+
+    def _route_resolve_oids(self, payload: dict[str, Any]) -> None:
+        """Batched OID→record resolution: the shard coordinator's
+        cross-shard endpoint-fetch fan-out (one POST per shard instead
+        of one GET per dangling relationship endpoint)."""
+        oids = payload.get("oids")
+        if not isinstance(oids, list) or not all(
+            isinstance(o, int) and not isinstance(o, bool) for o in oids
+        ):
+            self._error(400, "missing 'oids' (a list of integers)")
+            return
+        if len(oids) > MAX_RESOLVE_NAMES:
+            self._error(
+                400,
+                f"too many oids: {len(oids)} > {MAX_RESOLVE_NAMES} "
+                "per batch",
+            )
+            return
+        try:
+            as_of = self._query_as_of(payload)
+        except SnapshotError as exc:
+            self._snapshot_unavailable(exc)
+            return
+        from ..core.schema import Schema
+
+        try:
+            if as_of is not None:
+                schema, _ = self.db._snapshot_view(as_of)
+            else:
+                schema = self.db.schema
+        except SnapshotError as exc:
+            self._snapshot_unavailable(exc)
+            return
+        records = []
+        for oid in sorted(set(oids)):
+            if schema.has_object(oid):
+                obj = schema.get_object(oid)
+                records.append([oid, Schema._to_record(schema, obj)])
+        body: dict[str, Any] = {"records": records, "lsn": self.db.lsn}
+        if as_of is not None:
+            body["as_of"] = as_of
         self._send(200, body)
 
     def _resolve(

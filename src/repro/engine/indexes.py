@@ -232,6 +232,18 @@ class IndexManager:
             for index in self._covering(event.class_name, None):
                 index.impl.remove(target.get(index.attribute), target.oid)
 
+    def note_installed(self, obj: PObject) -> None:
+        """Index maintenance for a low-level install that bypasses the
+        event bus (shard rebalancing, cross-shard edge installs)."""
+        for index in self._covering(obj.pclass.name, None):
+            index.impl.insert(obj.get(index.attribute), obj.oid)
+
+    def note_removed(self, obj: PObject) -> None:
+        """Inverse of :meth:`note_installed`; call while the object's
+        attribute values are still readable."""
+        for index in self._covering(obj.pclass.name, None):
+            index.impl.remove(obj.get(index.attribute), obj.oid)
+
     def _rebuild_all(self) -> None:
         """Re-derive every index from the (post-rollback) extents."""
         for index in self._indexes.values():

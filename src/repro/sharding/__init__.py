@@ -1,0 +1,53 @@
+"""Horizontal sharding: partition the flora across nodes by taxon-subtree
+ranges and run POOL queries scatter-gather across the shards.
+
+The package splits into four layers:
+
+- :mod:`repro.sharding.shardmap` — the versioned shard map: half-open
+  key ranges over the rank/classification-path attribute, plus a
+  deterministic hash fallback for unclassified objects.  Persisted as a
+  ``KIND_META`` entry so replicas learn the topology from the log.
+- :mod:`repro.sharding.router` — the OID → shard routing table the
+  coordinator maintains as objects are created and rebalanced.
+- :mod:`repro.sharding.planner` — classifies a parsed POOL query into a
+  distributed physical plan: ``scatter`` (push the scan to every
+  relevant shard, merge centrally), ``scatter_count`` (push ``count``
+  and sum), or ``gather`` (materialize a coordinator-side union view
+  and run the retained naive evaluator — the fallback that keeps every
+  construct correct).
+- :mod:`repro.sharding.coordinator` — executes those plans over
+  federation's breakers and deadline fan-out, owns the global OID
+  allocator (so topologies are byte-comparable), and applies sessions
+  and rebalances deterministically.
+- :mod:`repro.sharding.rebalance` — ships extents between shards over
+  the PLSB replication frame codec (CRC-gated), bumping the shard-map
+  epoch so response caches can never serve a pre-move body.
+"""
+
+from .shardmap import ShardMap, ShardMapError, ShardRange
+from .router import OidRouter
+from .planner import DistributedPlan, DistributedPlanner
+from .coordinator import (
+    LocalShardClient,
+    ShardedDatabase,
+    ShardedSession,
+    ShardExecutionError,
+    ShardingError,
+)
+from .rebalance import ExtentRebalancer, RebalanceReport
+
+__all__ = [
+    "DistributedPlan",
+    "DistributedPlanner",
+    "ExtentRebalancer",
+    "LocalShardClient",
+    "OidRouter",
+    "RebalanceReport",
+    "ShardExecutionError",
+    "ShardMap",
+    "ShardMapError",
+    "ShardRange",
+    "ShardedDatabase",
+    "ShardedSession",
+    "ShardingError",
+]

@@ -1,0 +1,885 @@
+"""Coordinator-side execution of distributed POOL plans.
+
+The coordinator owns the global OID allocator (placement must not
+change object identity: the same logical database built on a 1-shard
+and a 4-shard topology assigns identical OIDs, which is what lets the
+topology differential suite demand byte-identical responses), the
+OID → shard router, the shard map, and a :class:`~repro.engine.
+federation.Federation` whose nodes are the shards — scatter reuses
+federation's circuit breakers and deadline fan-out verbatim.
+
+Mutations are funneled through the coordinator so both topologies take
+the *same* code path: creates go through the owning shard's normal
+``schema.create`` (events, rules, MVCC ingestion all fire), while
+relationship instances are always installed through the low-level edge
+path — even when both endpoints are co-located — because a cross-shard
+edge cannot run endpoint liveness or cardinality validation and the
+two topologies must not diverge on validation side effects.
+
+Writes to the shard-key attribute relocate the object (and its
+outgoing edges) to the shard the map now assigns, keeping the pruning
+invariant: a predicate that pins a key range only needs the shards
+whose ranges intersect it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+from ..core.identity import OidAllocator
+from ..core.relationships import RelationshipInstance
+from ..core.schema import Schema
+from ..engine.database import PrometheusDB
+from ..engine.federation import Federation
+from ..errors import PrometheusError, SnapshotError
+from ..mvcc.view import SnapshotSchema
+from ..query import parse, typecheck
+from ..query.evaluator import Evaluator, QueryContext, _distinct, _SortKey
+from ..query.nodes import QueryPlanInfo, SelectQuery
+from ..telemetry import DISABLED, Telemetry
+from .planner import DistributedPlan, DistributedPlanner
+from .router import OidRouter
+from .shardmap import ShardMap
+
+
+class ShardingError(PrometheusError):
+    """Coordinator-level sharding failure (routing, topology)."""
+
+
+class ShardExecutionError(ShardingError):
+    """One or more shards failed during a fan-out.
+
+    ``kinds`` carries the sorted, de-duplicated *exception type names*
+    from the shards.  Messages may legitimately differ between
+    topologies (a 4-shard layout can trip on a different row first),
+    so deterministic comparisons use the kinds, not the text.
+    """
+
+    def __init__(self, kinds: list[str], detail: str = "") -> None:
+        self.kinds = sorted(set(kinds))
+        message = f"shard execution failed: {'/'.join(self.kinds)}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+class _UnionRecords:
+    """Duck-typed ``VersionStore`` over a prebuilt, OID-sorted record
+    list — lets :class:`SnapshotSchema` materialize the gather view."""
+
+    def __init__(self, items: list[tuple[int, dict[str, Any]]]) -> None:
+        self._items = items
+
+    def items_at(self, lsn: int):
+        return iter(self._items)
+
+
+class LocalShardClient:
+    """In-process shard: the federation client surface plus the admin
+    surface the coordinator and rebalancer need.
+
+    Duck-compatible with :class:`~repro.engine.federation.
+    RemoteDatabase` for everything federation calls, so shards sit
+    directly in ``Federation.nodes`` and inherit breakers, retries and
+    the deadline fan-out.
+    """
+
+    def __init__(self, name: str, db: PrometheusDB) -> None:
+        self.name = name
+        self.db = db
+
+    # -- federation client surface ------------------------------------------
+
+    def query(
+        self,
+        text: str,
+        params: dict[str, Any] | None = None,
+        as_of: int | None = None,
+    ) -> Any:
+        return self.db.query(text, params=params, check=False, as_of=as_of)
+
+    def query_with_lsn(
+        self, text: str, params: dict[str, Any] | None = None
+    ) -> tuple[Any, int]:
+        return self.query(text, params), self.db.lsn
+
+    def ping(self) -> dict[str, Any]:
+        return {"status": "ok", "name": self.name}
+
+    def replication_status(self) -> dict[str, Any]:
+        return {"lsn": self.db.lsn}
+
+    def classifications(self) -> list[str]:
+        return []
+
+    # -- shard admin surface -------------------------------------------------
+
+    @property
+    def lsn(self) -> int:
+        return self.db.lsn
+
+    def commit(self) -> None:
+        self.db.commit()
+
+    def has_object(self, oid: int) -> bool:
+        return self.db.schema.has_object(oid)
+
+    def get_attr(self, oid: int, name: str) -> Any:
+        return self.db.schema.get_object(oid).get(name)
+
+    def set_attr(self, oid: int, name: str, value: Any) -> None:
+        self.db.schema.get_object(oid).set(name, value)
+
+    def install_object(
+        self, class_name: str, oid: int, attrs: dict[str, Any]
+    ) -> None:
+        """Create with a coordinator-assigned OID via the normal path
+        (events fire, rules run, indexes and MVCC stay current)."""
+        self.db.schema.create(class_name, _oid=oid, **attrs)
+
+    def install_edge(
+        self,
+        rel_name: str,
+        oid: int,
+        origin_oid: int,
+        destination_oid: int,
+        attrs: dict[str, Any],
+    ) -> None:
+        """Low-level relationship install: mirrors ``Schema.relate``'s
+        installation sequence but skips endpoint liveness and
+        cardinality validation, which cannot see across shards.  The
+        destination (or even the origin, mid-rebalance) may live
+        elsewhere; the evaluator treats missing endpoints as null."""
+        schema = self.db.schema
+        relclass = schema.get_class(rel_name)
+        rel = RelationshipInstance(
+            oid,
+            relclass,
+            schema,
+            relclass.defaults(),
+            origin_oid=origin_oid,
+            destination_oid=destination_oid,
+        )
+        schema._objects[oid] = rel
+        schema._extents[relclass.name].add(oid)
+        schema._dirty[oid] = rel
+        rel._dirty = True
+        schema.relationships.index(rel)
+        self.db.indexes.note_installed(rel)
+        for name, value in attrs.items():
+            rel.set(name, value)
+
+    def remove_object(self, oid: int) -> None:
+        """Low-level removal for rebalancing: the object leaves this
+        shard but keeps existing elsewhere, so no delete events fire
+        and no edge cascade runs."""
+        schema = self.db.schema
+        obj = schema.get_object(oid)
+        self.db.indexes.note_removed(obj)
+        if isinstance(obj, RelationshipInstance):
+            schema.relationships.unindex(obj)
+        schema._remove_object(obj)
+
+    def export_attrs(self, oid: int) -> dict[str, Any]:
+        obj = self.db.schema.get_object(oid)
+        return {
+            name: obj.get(name)
+            for name in obj.pclass.all_attributes()
+        }
+
+    def outgoing_edges(self, oid: int) -> list[dict[str, Any]]:
+        """Edges whose origin is ``oid`` (they ride along on a move)."""
+        out = []
+        for rel in self.db.schema.relationships.outgoing(oid):
+            out.append(
+                {
+                    "class": rel.pclass.name,
+                    "oid": rel.oid,
+                    "origin": rel.origin_oid,
+                    "destination": rel.destination_oid,
+                    "values": {
+                        name: rel.get(name)
+                        for name in rel.pclass.all_attributes()
+                    },
+                }
+            )
+        return sorted(out, key=lambda e: e["oid"])
+
+    def oids_in_key_range(
+        self, key_attr: str, lo: str | None, hi: str | None
+    ) -> list[int]:
+        """Non-relationship objects whose shard key falls in ``[lo, hi)``
+        (hash-placed objects — null or non-string keys — never match)."""
+        out = []
+        for oid in sorted(self.db.schema._objects):
+            obj = self.db.schema._objects[oid]
+            if isinstance(obj, RelationshipInstance):
+                continue
+            if key_attr not in obj.pclass.all_attributes():
+                continue
+            value = obj.get(key_attr)
+            if not isinstance(value, str):
+                continue
+            if lo is not None and value < lo:
+                continue
+            if hi is not None and value >= hi:
+                continue
+            out.append(oid)
+        return out
+
+    def export_records(
+        self, class_names: list[str], lsn: int | None = None
+    ) -> list[tuple[int, dict[str, Any]]]:
+        """OID-sorted ``(oid, record)`` pairs for the polymorphic
+        extents of ``class_names`` — live, or at a snapshot LSN."""
+        schema = self._schema_at(lsn)
+        if schema is None:
+            return []
+        out: dict[int, dict[str, Any]] = {}
+        for name in class_names:
+            if not schema.has_class(name):
+                continue
+            for obj in schema.extent(name):
+                out[obj.oid] = Schema._to_record(schema, obj)
+        return sorted(out.items())
+
+    def resolve_oids(
+        self, oids: list[int], lsn: int | None = None
+    ) -> list[tuple[int, dict[str, Any]]]:
+        """Batched OID resolution (the in-process analog of the HTTP
+        ``POST /resolve`` ``oids`` fan-out)."""
+        schema = self._schema_at(lsn)
+        if schema is None:
+            return []
+        out = []
+        for oid in sorted(oids):
+            if schema.has_object(oid):
+                obj = schema.get_object(oid)
+                out.append((oid, Schema._to_record(schema, obj)))
+        return out
+
+    def _schema_at(self, lsn: int | None):
+        if lsn is None:
+            return self.db.schema
+        if lsn < 0:
+            # Sentinel from the coordinator: this shard had no commits
+            # at the requested sequence point — nothing to read.
+            return None
+        view, _ = self.db._snapshot_view(lsn)
+        return view
+
+
+class ShardedSession:
+    """Staged multi-op write session applied atomically at commit.
+
+    Operations are staged in call order and applied in that order at
+    :meth:`commit` — the same sequence on every topology, so both the
+    1-shard and 4-shard databases end in the same logical state even
+    when an op fails partway (the failure point is deterministic)."""
+
+    def __init__(self, db: "ShardedDatabase") -> None:
+        self._db = db
+        self._ops: list[tuple[Any, ...]] = []
+        self.closed = False
+
+    def create(self, class_name: str, **attrs: Any) -> int:
+        oid = self._db.allocator.allocate()
+        self._ops.append(("create", oid, class_name, dict(attrs)))
+        return oid
+
+    def set(self, oid: int, name: str, value: Any) -> None:
+        self._ops.append(("set", oid, name, value))
+
+    def relate(
+        self, rel_name: str, origin_oid: int, destination_oid: int,
+        **attrs: Any,
+    ) -> int:
+        oid = self._db.allocator.allocate()
+        self._ops.append(
+            ("relate", oid, rel_name, origin_oid, destination_oid,
+             dict(attrs))
+        )
+        return oid
+
+    def commit(self) -> int:
+        if self.closed:
+            raise ShardingError("session already closed")
+        self.closed = True
+        return self._db._apply_session(self._ops)
+
+    def abort(self) -> None:
+        self.closed = True
+        self._ops.clear()
+
+
+class ShardedDatabase:
+    """A set of shard databases behind one query/mutation facade.
+
+    ``ddl`` is a callable applied to every shard schema *and* the
+    coordinator's meta schema (used for typechecking, central merge
+    evaluation, and the gather view's class registry — sharing the
+    registry is what keeps downcasts working on gathered objects).
+    ``index_ddl`` optionally receives each shard :class:`PrometheusDB`
+    to create per-shard indexes.
+    """
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        ddl: Callable[[Schema], None],
+        index_ddl: Callable[[PrometheusDB], None] | None = None,
+        telemetry: Telemetry = DISABLED,
+        deadline: float | None = 30.0,
+        breaker_threshold: int = 5,
+    ) -> None:
+        self.map = shard_map
+        self.telemetry = telemetry
+        self.allocator = OidAllocator()
+        self.router = OidRouter()
+        self.meta = Schema(None, name="coordinator")
+        ddl(self.meta)
+        self.shards: dict[str, LocalShardClient] = {}
+        for name in shard_map.shards:
+            db = PrometheusDB(telemetry=DISABLED)
+            ddl(db.schema)
+            db.schema._allocator = self.allocator
+            if index_ddl is not None:
+                index_ddl(db)
+            self.shards[name] = LocalShardClient(name, db)
+        self.federation = Federation(
+            nodes=dict(self.shards),  # type: ignore[arg-type]
+            retry=None,
+            deadline=deadline,
+            breaker_threshold=breaker_threshold,
+            telemetry=telemetry,
+        )
+        #: Global commit history: sequence number -> per-shard LSN
+        #: vector.  ``as_of`` sequence numbers index into this.
+        self._history: list[dict[str, int]] = []
+        self._baseline = {
+            name: client.lsn for name, client in self.shards.items()
+        }
+        self._gauge_epoch()
+
+    # -- mutations -----------------------------------------------------------
+
+    def create(self, class_name: str, **attrs: Any) -> int:
+        oid = self.allocator.allocate()
+        self._install_create(oid, class_name, attrs)
+        return oid
+
+    def relate(
+        self, rel_name: str, origin_oid: int, destination_oid: int,
+        **attrs: Any,
+    ) -> int:
+        oid = self.allocator.allocate()
+        self._install_relate(
+            oid, rel_name, origin_oid, destination_oid, attrs
+        )
+        return oid
+
+    def set(self, oid: int, name: str, value: Any) -> None:
+        shard = self._owner(oid)
+        self.shards[shard].set_attr(oid, name, value)
+        if name == self.map.key_attr:
+            self._maybe_relocate(oid)
+
+    def get(self, oid: int, name: str) -> Any:
+        return self.shards[self._owner(oid)].get_attr(oid, name)
+
+    def session(self) -> ShardedSession:
+        return ShardedSession(self)
+
+    def commit(self) -> int:
+        """Commit every shard (sorted order) and record the global
+        sequence point; returns the new sequence number, usable as
+        ``as_of``."""
+        for name in sorted(self.shards):
+            self.shards[name].commit()
+        self._history.append(
+            {name: client.lsn for name, client in self.shards.items()}
+        )
+        return len(self._history)
+
+    @property
+    def seq(self) -> int:
+        return len(self._history)
+
+    def _install_create(
+        self, oid: int, class_name: str, attrs: dict[str, Any]
+    ) -> None:
+        shard = self.map.route(attrs.get(self.map.key_attr), oid)
+        self.shards[shard].install_object(class_name, oid, attrs)
+        self.router.assign(oid, shard)
+
+    def _install_relate(
+        self,
+        oid: int,
+        rel_name: str,
+        origin_oid: int,
+        destination_oid: int,
+        attrs: dict[str, Any],
+    ) -> None:
+        if not self.meta.has_class(rel_name):
+            raise ShardingError(f"unknown relationship {rel_name!r}")
+        shard = self._owner(origin_oid)
+        self.shards[shard].install_edge(
+            rel_name, oid, origin_oid, destination_oid, attrs
+        )
+        self.router.assign(oid, shard)
+
+    def _apply_session(self, ops: list[tuple[Any, ...]]) -> int:
+        key_touched: list[int] = []
+        for op in ops:
+            if op[0] == "create":
+                _, oid, class_name, attrs = op
+                self._install_create(oid, class_name, attrs)
+            elif op[0] == "set":
+                _, oid, name, value = op
+                self.shards[self._owner(oid)].set_attr(oid, name, value)
+                if name == self.map.key_attr:
+                    key_touched.append(oid)
+            elif op[0] == "relate":
+                _, oid, rel_name, origin, dest, attrs = op
+                self._install_relate(oid, rel_name, origin, dest, attrs)
+        for oid in sorted(set(key_touched)):
+            self._maybe_relocate(oid)
+        return self.commit()
+
+    def _owner(self, oid: int) -> str:
+        shard = self.router.shard_of(oid)
+        if shard is None:
+            raise ShardingError(f"oid {oid} is not routed to any shard")
+        return shard
+
+    # -- relocation ----------------------------------------------------------
+
+    def _maybe_relocate(self, oid: int) -> None:
+        """Move an object whose shard key changed to its new home.
+
+        Keeps the pruning invariant — an object's placement always
+        matches the current map — without which a key-range predicate
+        could silently miss rows on a pruned-out shard."""
+        current = self._owner(oid)
+        client = self.shards[current]
+        key = client.get_attr(oid, self.map.key_attr)
+        target = self.map.route(key, oid)
+        if target == current:
+            return
+        self.move_object(oid, current, target)
+
+    def move_object(self, oid: int, source: str, target: str) -> int:
+        """Move one object and its outgoing edges between shards.
+        Returns the number of records moved."""
+        src = self.shards[source]
+        dst = self.shards[target]
+        obj = src.db.schema.get_object(oid)
+        class_name = obj.pclass.name
+        attrs = src.export_attrs(oid)
+        edges = src.outgoing_edges(oid)
+        for edge in edges:
+            src.remove_object(edge["oid"])
+        src.remove_object(oid)
+        dst.install_object(class_name, oid, attrs)
+        self.router.move(oid, target)
+        for edge in edges:
+            dst.install_edge(
+                edge["class"],
+                edge["oid"],
+                edge["origin"],
+                edge["destination"],
+                edge["values"],
+            )
+            self.router.move(edge["oid"], target)
+        if self.telemetry.enabled:
+            self.telemetry.registry.counter(
+                "repro_shard_moved_objects_total",
+                help="Objects relocated between shards",
+            ).inc(1 + len(edges))
+        return 1 + len(edges)
+
+    def rehome_misplaced(self) -> int:
+        """Move every object whose placement no longer matches the map.
+
+        A map change can alter more than the reassigned range: when a
+        shard gains or loses range ownership the hash-fallback *ring*
+        changes too, and unclassified objects re-hash.  Returns the
+        number of records moved (objects plus riding edges)."""
+        moved = 0
+        for name in sorted(self.shards):
+            schema = self.shards[name].db.schema
+            for oid in sorted(schema._objects):
+                obj = schema._objects.get(oid)
+                if obj is None or isinstance(obj, RelationshipInstance):
+                    continue
+                key = (
+                    obj.get(self.map.key_attr)
+                    if self.map.key_attr in obj.pclass.all_attributes()
+                    else None
+                )
+                target = self.map.route(key, oid)
+                if target != name:
+                    moved += self.move_object(oid, name, target)
+        return moved
+
+    # -- topology ------------------------------------------------------------
+
+    def adopt_map(self, new_map: ShardMap) -> None:
+        """Install an evolved shard map (post-split/rebalance) and stamp
+        its epoch into every persistent shard log."""
+        if new_map.epoch <= self.map.epoch:
+            raise ShardingError(
+                f"shard-map epoch must rise: {new_map.epoch} <= "
+                f"{self.map.epoch}"
+            )
+        missing = set(new_map.shards) - set(self.shards)
+        if missing:
+            raise ShardingError(
+                f"map references unknown shards: {sorted(missing)}"
+            )
+        self.map = new_map
+        blob = new_map.to_blob()
+        for name in sorted(self.shards):
+            store = self.shards[name].db.store
+            if store is not None:
+                store.stamp_shard_map(new_map.epoch, blob)
+        self._gauge_epoch()
+
+    def _gauge_epoch(self) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.registry.gauge(
+                "repro_shard_map_epoch",
+                help="Current shard-map epoch on the coordinator",
+            ).set(self.map.epoch)
+
+    @property
+    def shard_map_epoch(self) -> int:
+        return self.map.epoch
+
+    def describe(self) -> dict[str, Any]:
+        """Topology summary (CLI ``.shardmap``)."""
+        return {
+            "map": self.map.describe(),
+            "placement": self.router.counts(),
+            "objects": len(self.router),
+            "seq": self.seq,
+        }
+
+    # -- queries -------------------------------------------------------------
+
+    def query(
+        self,
+        text: str,
+        params: dict[str, Any] | None = None,
+        check: bool = True,
+        as_of: int | None = None,
+    ) -> Any:
+        ast = parse(text)
+        if check:
+            typecheck(self.meta, ast)
+        vector = self._vector_at(as_of)
+        plan = DistributedPlanner(self.meta, self.map).plan(ast, as_of)
+        self._count_query(plan)
+        if plan.mode == "scatter":
+            return self._run_scatter(ast, plan, params)
+        if plan.mode == "scatter_count":
+            return self._run_scatter_count(plan, params)
+        return self._run_gather(ast, params, vector, as_of)
+
+    def explain(
+        self, text: str, as_of: int | None = None
+    ) -> dict[str, Any]:
+        """Distributed EXPLAIN: the physical plan, not the rows."""
+        ast = parse(text)
+        self._vector_at(as_of)
+        plan = DistributedPlanner(self.meta, self.map).plan(ast, as_of)
+        out = plan.as_dict()
+        out["shard_map_epoch"] = self.map.epoch
+        out["total_shards"] = len(self.map.shards)
+        return out
+
+    def _vector_at(self, as_of: int | None) -> dict[str, int] | None:
+        if as_of is None:
+            return None
+        if not isinstance(as_of, int) or isinstance(as_of, bool):
+            raise SnapshotError(
+                f"as_of must be an integer sequence, got {as_of!r}"
+            )
+        if as_of < 1 or as_of > len(self._history):
+            raise SnapshotError(
+                f"sequence {as_of} not available "
+                f"(history is 1..{len(self._history)})"
+            )
+        return self._history[as_of - 1]
+
+    def _count_query(self, plan: DistributedPlan) -> None:
+        if not self.telemetry.enabled:
+            return
+        registry = self.telemetry.registry
+        registry.counter(
+            "repro_shard_queries_total",
+            {"mode": plan.mode},
+            help="Distributed queries by physical-plan mode",
+        ).inc()
+        registry.counter(
+            "repro_shard_fanout_total",
+            help="Per-shard requests issued by distributed queries",
+        ).inc(len(plan.shards))
+        if plan.pruned:
+            registry.counter(
+                "repro_shard_pruned_total",
+                help="Queries whose fan-out was narrowed by the shard key",
+            ).inc()
+
+    # -- scatter -------------------------------------------------------------
+
+    def _fanout(
+        self,
+        shard_names: tuple[str, ...],
+        call: Callable[[LocalShardClient], Any],
+    ) -> dict[str, Any]:
+        """Run ``call`` against each shard through federation's breaker
+        guard and deadline fan-out; semantic (PrometheusError) failures
+        are tagged per shard and re-raised as one deterministic
+        :class:`ShardExecutionError`."""
+
+        def guarded(client: LocalShardClient) -> tuple[str, Any, str]:
+            try:
+                return ("ok", call(client), "")
+            except PrometheusError as exc:
+                return ("error", None, type(exc).__name__)
+
+        calls = {
+            name: (
+                lambda n=name: self.federation._call_node(
+                    n, lambda: guarded(self.shards[n])
+                )
+            )
+            for name in shard_names
+        }
+        raw = self.federation._scatter(calls)
+        results: dict[str, Any] = {}
+        kinds: list[str] = []
+        infra: list[str] = []
+        for name in sorted(raw):
+            outcome, error = raw[name]
+            if error:
+                infra.append(f"{name}: {error}")
+                continue
+            status, value, kind = outcome
+            if status == "error":
+                kinds.append(kind)
+            else:
+                results[name] = value
+        if infra:
+            raise ShardExecutionError(
+                ["__infra__"], detail="; ".join(infra)
+            )
+        if kinds:
+            raise ShardExecutionError(kinds)
+        return results
+
+    def _run_scatter(
+        self,
+        ast: SelectQuery,
+        plan: DistributedPlan,
+        params: dict[str, Any] | None,
+    ) -> list[Any]:
+        per_shard = self._fanout(
+            plan.shards,
+            lambda client: client.query(plan.pushed_text, params),
+        )
+        merged: list[Any] = []
+        for name in sorted(per_shard):
+            rows = per_shard[name]
+            if not isinstance(rows, list):
+                raise ShardExecutionError(
+                    ["__protocol__"],
+                    detail=f"{name} returned {type(rows).__name__}",
+                )
+            merged.extend(rows)
+        # Re-create the single-database iteration order (extents yield
+        # OIDs ascending), then fold exactly as the naive evaluator
+        # does: sort keys and projection computed per row, stable sort,
+        # distinct, limit.
+        merged.sort(key=lambda obj: obj.oid)
+        evaluator = Evaluator(
+            QueryContext(
+                schema=self.meta,
+                params=params or {},
+                plan=QueryPlanInfo(),
+            )
+        )
+        variable = ast.bindings[0].variable
+        kept: list[tuple[tuple, Any]] = []
+        for obj in merged:
+            env = {variable: obj}
+            keys = tuple(
+                _SortKey(
+                    evaluator._eval(item.expression, env),
+                    item.descending,
+                )
+                for item in ast.order_by
+            )
+            kept.append((keys, evaluator._project(ast, env)))
+        if ast.order_by:
+            kept.sort(key=lambda pair: pair[0])
+        results = [value for _, value in kept]
+        if ast.distinct:
+            results = _distinct(results)
+        if ast.limit is not None:
+            results = results[: ast.limit]
+        return results
+
+    def _run_scatter_count(
+        self, plan: DistributedPlan, params: dict[str, Any] | None
+    ) -> list[int]:
+        per_shard = self._fanout(
+            plan.shards,
+            lambda client: client.query(plan.pushed_text, params),
+        )
+        total = 0
+        for name in sorted(per_shard):
+            rows = per_shard[name]
+            if not isinstance(rows, list) or len(rows) != 1:
+                raise ShardExecutionError(
+                    ["__protocol__"],
+                    detail=f"{name} count returned {rows!r}",
+                )
+            total += int(rows[0])
+        return [total]
+
+    # -- gather --------------------------------------------------------------
+
+    def _run_gather(
+        self,
+        ast: Any,
+        params: dict[str, Any] | None,
+        vector: dict[str, int] | None,
+        as_of: int | None,
+    ) -> Any:
+        view = self._union_view(ast, vector, as_of)
+        context = QueryContext(
+            schema=view,  # type: ignore[arg-type]
+            params=params or {},
+            plan=QueryPlanInfo(),
+        )
+        return Evaluator(context).run(ast)
+
+    def _union_view(
+        self,
+        ast: Any,
+        vector: dict[str, int] | None,
+        as_of: int | None,
+    ) -> SnapshotSchema:
+        """Materialize a coordinator-side snapshot of every extent the
+        query can touch, plus all relationship extents and one round of
+        cross-shard endpoint resolution (all edges are fetched, so one
+        round closes the reachable object set for any traversal
+        depth)."""
+        class_names = sorted(
+            {
+                name
+                for name in self._referenced_classes(ast)
+                if self.meta.has_class(name)
+            }
+            | {rc.name for rc in self.meta.relationship_classes()}
+        )
+        items: dict[int, dict[str, Any]] = {}
+        # Fan out over every *physical* shard, not just the current
+        # map's range owners: a snapshot read may predate a rebalance
+        # that removed a shard from the ring, and its history lives on.
+        exports = self._fanout(
+            tuple(sorted(self.shards)),
+            lambda client: client.export_records(
+                class_names, self._shard_lsn(client.name, vector)
+            ),
+        )
+        for name in sorted(exports):
+            for oid, record in exports[name]:
+                items[oid] = record
+        self._resolve_endpoints(items, vector)
+        union = _UnionRecords(sorted(items.items()))
+        return SnapshotSchema(
+            self.meta, union, as_of if as_of is not None else self.seq
+        )
+
+    def _shard_lsn(
+        self, name: str, vector: dict[str, int] | None
+    ) -> int | None:
+        """Snapshot LSN for one shard — None for a live read, and a
+        pre-first-commit shard exports nothing (sentinel -1 handled by
+        the client via the baseline check below)."""
+        if vector is None:
+            return None
+        lsn = vector[name]
+        if lsn <= self._baseline[name]:
+            # The shard had not committed anything by this sequence
+            # point; there is no snapshot to pin, and nothing to read.
+            return -1
+        return lsn
+
+    def _resolve_endpoints(
+        self,
+        items: dict[int, dict[str, Any]],
+        vector: dict[str, int] | None,
+    ) -> None:
+        """Fetch records for edge endpoints living on other shards, in
+        one batched fan-out (the OID → shard routed ``/resolve``)."""
+        missing: set[int] = set()
+        for record in items.values():
+            for key in ("_origin", "_destination"):
+                oid = record.get(key)
+                if isinstance(oid, int) and oid not in items:
+                    missing.add(oid)
+            participants = record.get("_participants")
+            if isinstance(participants, dict):
+                for oid in participants.values():
+                    if isinstance(oid, int) and oid not in items:
+                        missing.add(oid)
+        if not missing:
+            return
+        if vector is None:
+            groups = self.router.group(missing)
+        else:
+            # Historical read: the router reflects *current* placement,
+            # but the record may have lived elsewhere at that sequence
+            # point — ask every shard's snapshot.
+            ordered = sorted(missing)
+            groups = {name: ordered for name in sorted(self.shards)}
+        if not groups:
+            return
+        if self.telemetry.enabled:
+            self.telemetry.registry.counter(
+                "repro_shard_resolve_batches_total",
+                help="Batched cross-shard endpoint resolutions",
+            ).inc(len(groups))
+        resolved = self._fanout(
+            tuple(groups),
+            lambda client: client.resolve_oids(
+                groups[client.name],
+                self._shard_lsn(client.name, vector),
+            ),
+        )
+        for name in sorted(resolved):
+            for oid, record in resolved[name]:
+                items.setdefault(oid, record)
+
+    def _referenced_classes(self, ast: Any) -> set[str]:
+        from .planner import _walk
+        from ..query.nodes import Variable
+
+        return {
+            node.name
+            for node in _walk(ast)
+            if isinstance(node, Variable)
+        }
+
+    # -- serialization helpers ----------------------------------------------
+
+    def jsonable_result(self, result: Any) -> str:
+        """Canonical JSON for the topology differential suite."""
+        from ..engine.handlers import jsonable
+
+        return json.dumps(jsonable(result), sort_keys=True)

@@ -1,0 +1,334 @@
+"""Distributed physical plans for POOL queries over a sharded flora.
+
+The classifier is deliberately conservative: a query is *pushed down*
+(``scatter``) only when per-shard execution plus a deterministic
+central merge provably reproduces the single-database answer.
+Everything else routes through ``gather`` — the coordinator
+materializes a union snapshot view of the shards and runs the retained
+naive evaluator over it, which is correct for every construct by
+definition.  The classification depends only on the query AST and the
+shard map, so 1-shard and 4-shard topologies always agree on the mode.
+
+Why scatter-merge is exact (the pushdown proof, relied on by the
+topology differential suite):
+
+- Extents iterate in OID order and the evaluator's sort is *stable*,
+  so a single-database ``order by K`` result is ordered by ``(K, oid)``.
+- Each shard, given the same query, returns its rows ordered by
+  ``(K, oid)`` restricted to its objects.  The union of per-shard
+  ``limit n`` prefixes under ``(K, oid)`` is a superset of the global
+  first ``n`` rows under ``(K, oid)``.
+- The coordinator therefore concatenates shard rows, re-sorts by OID,
+  recomputes the sort keys and projection exactly as the naive
+  evaluator would, stable-sorts, and applies distinct/limit centrally.
+
+Constructs excluded from scatter (routed to gather) and why:
+
+- Traversals, ``exists``, subqueries, extra class extents: touch
+  objects that may live on other shards.
+- Downcast: class identity is per-schema, so a coordinator-side
+  downcast over shard-born objects would silently filter everything.
+- ``roles()`` / ``synonyms_of()``: read coordinator-side registries.
+- Aggregates other than ``count(<scalar>)``: float sums are not
+  associative bytewise; per-row collection mapping changes semantics.
+- ``group by`` / set operations / ``extract graph``: need the whole
+  extent in one place.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.schema import Schema
+from ..query.nodes import (
+    AttributeAccess,
+    Binary,
+    Binding,
+    Downcast,
+    ExistsExpr,
+    ExtractGraphQuery,
+    FunctionCall,
+    Literal,
+    MethodCall,
+    Node,
+    OrderItem,
+    ProjectionItem,
+    SelectQuery,
+    SetOperation,
+    Traversal,
+    Variable,
+)
+from .shardmap import ShardMap
+
+#: Context-registry functions that cannot run shard-side.
+_CONTEXT_FUNCTIONS = frozenset({"roles", "synonyms_of"})
+
+
+def _walk(node: Any):
+    """Yield every AST node in the tree (generic dataclass recursion)."""
+    if not isinstance(node, Node):
+        return
+    yield node
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        if isinstance(value, (tuple, list)):
+            for item in value:
+                yield from _walk(item)
+        else:
+            yield from _walk(value)
+
+
+@dataclass(frozen=True)
+class DistributedPlan:
+    """A physical plan for one query over the current shard map."""
+
+    mode: str  # "scatter" | "scatter_count" | "gather"
+    shards: tuple[str, ...]  # fan-out targets (pruned for scatter)
+    pushed_text: str | None = None  # per-shard POOL text (scatter modes)
+    push_order: bool = False  # ORDER BY shipped with the pushdown
+    push_limit: bool = False  # LIMIT shipped with the pushdown
+    pruned: bool = False  # shard set narrowed by the key predicate
+    reason: str = ""  # why this mode was chosen
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly shape for distributed EXPLAIN output."""
+        out: dict[str, Any] = {
+            "mode": self.mode,
+            "shards": list(self.shards),
+            "pruned": self.pruned,
+            "reason": self.reason,
+        }
+        if self.pushed_text is not None:
+            out["pushed_query"] = self.pushed_text
+            out["push_order"] = self.push_order
+            out["push_limit"] = self.push_limit
+        return out
+
+
+class DistributedPlanner:
+    """Classify a parsed query into a :class:`DistributedPlan`."""
+
+    def __init__(self, schema: Schema, shard_map: ShardMap) -> None:
+        self.schema = schema
+        self.map = shard_map
+
+    # -- public --------------------------------------------------------------
+
+    def plan(self, query: Node, as_of: int | None = None) -> DistributedPlan:
+        gather = self._gather_reason(query, as_of)
+        if gather is not None:
+            return DistributedPlan(
+                mode="gather", shards=self.map.shards, reason=gather
+            )
+        assert isinstance(query, SelectQuery)
+        binding = query.bindings[0]
+        shards, pruned = self._prune(query, binding)
+        if self._count_pushdown(query):
+            pushed = dataclasses.replace(
+                query, order_by=(), limit=None
+            )
+            return DistributedPlan(
+                mode="scatter_count",
+                shards=shards,
+                pushed_text=pushed.unparse(),
+                pruned=pruned,
+                reason="count pushdown: per-shard counts sum exactly",
+            )
+        push_order = bool(query.order_by) and (
+            query.limit is not None and not query.distinct
+        )
+        push_limit = (
+            query.limit is not None
+            and not query.distinct
+            and (push_order or not query.order_by)
+        )
+        pushed = dataclasses.replace(
+            query,
+            projection=(
+                ProjectionItem(Variable(binding.variable), None),
+            ),
+            distinct=False,
+            order_by=query.order_by if push_order else (),
+            limit=query.limit if push_limit else None,
+        )
+        return DistributedPlan(
+            mode="scatter",
+            shards=shards,
+            pushed_text=pushed.unparse(),
+            push_order=push_order,
+            push_limit=push_limit,
+            pruned=pruned,
+            reason="single-extent scan: merge by (key, oid) is exact",
+        )
+
+    # -- classification ------------------------------------------------------
+
+    def _gather_reason(
+        self, query: Node, as_of: int | None
+    ) -> str | None:
+        """Why this query must gather — or None if scatter is safe."""
+        if as_of is not None:
+            return "as_of: time travel reads a coordinator union snapshot"
+        if isinstance(query, (SetOperation, ExtractGraphQuery)):
+            return "set operation / graph extraction needs the whole extent"
+        if not isinstance(query, SelectQuery):
+            return f"unknown query form {type(query).__name__}"
+        if query.group_by or query.having is not None:
+            return "group by partitions rows across shards"
+        if len(query.bindings) != 1:
+            return "multi-binding product may join across shards"
+        binding = query.bindings[0]
+        source = binding.source
+        if not isinstance(source, Variable):
+            return "binding source is not a class extent"
+        if not self.schema.has_class(source.name):
+            # Let shard-side/naive execution produce the real error.
+            return f"unknown extent {source.name!r}"
+        if self.schema.get_class(source.name).is_relationship_class:
+            return "relationship extents span shard boundaries"
+        for node in _walk(query):
+            if node is source:
+                continue
+            if isinstance(node, (Traversal, ExistsExpr, Downcast)):
+                return (
+                    f"{type(node).__name__} may cross shard boundaries"
+                )
+            if isinstance(node, MethodCall):
+                return "method calls may traverse relationships"
+            if isinstance(node, SelectQuery) and node is not query:
+                return "subquery may scan other shards"
+            if (
+                isinstance(node, FunctionCall)
+                and node.name in _CONTEXT_FUNCTIONS
+            ):
+                return f"{node.name}() reads coordinator registries"
+            if (
+                isinstance(node, Variable)
+                and node.name != binding.variable
+                and self.schema.has_class(node.name)
+            ):
+                return f"references extent {node.name!r}"
+        if self._has_non_count_aggregate(query):
+            return "non-count aggregate needs a single-site fold"
+        return None
+
+    def _has_non_count_aggregate(self, query: SelectQuery) -> bool:
+        aggregate = self._aggregate_call(query)
+        if aggregate is None:
+            return False
+        return not self._count_pushdown(query)
+
+    @staticmethod
+    def _aggregate_call(query: SelectQuery) -> FunctionCall | None:
+        """Mirror the evaluator's aggregate-projection detection."""
+        if len(query.projection) != 1:
+            return None
+        item = query.projection[0]
+        if item.alias is not None:
+            return None
+        expr = item.expression
+        if not isinstance(expr, FunctionCall):
+            return None
+        if expr.name not in ("count", "size", "sum", "avg", "min", "max"):
+            return None
+        if len(expr.args) != 1:
+            return None
+        return expr
+
+    def _count_pushdown(self, query: SelectQuery) -> bool:
+        """``count(x)`` over the binding variable: per-shard sum is exact.
+
+        Restricted to a bare-variable argument so the evaluator's
+        per-row collection mapping (triggered when every value is a
+        list) can never engage.
+        """
+        if query.distinct or query.order_by or query.limit is not None:
+            return False
+        call = self._aggregate_call(query)
+        if call is None or call.name not in ("count", "size"):
+            return False
+        arg = call.args[0]
+        return (
+            isinstance(arg, Variable)
+            and arg.name == query.bindings[0].variable
+        )
+
+    # -- pruning -------------------------------------------------------------
+
+    def _prune(
+        self, query: SelectQuery, binding: Binding
+    ) -> tuple[tuple[str, ...], bool]:
+        """Narrow the fan-out using key-attribute predicates.
+
+        Mirrors the evaluator's index matcher: only top-level AND-chain
+        conjuncts are considered, so pruning can never drop a row that
+        an OR branch might admit.
+        """
+        candidates: set[str] | None = None
+        for conjunct in self._conjuncts(query.where):
+            shards = self._conjunct_shards(conjunct, binding.variable)
+            if shards is None:
+                continue
+            candidates = (
+                set(shards)
+                if candidates is None
+                else candidates & set(shards)
+            )
+        if candidates is None:
+            return self.map.shards, False
+        kept = tuple(s for s in self.map.shards if s in candidates)
+        return kept, len(kept) < len(self.map.shards)
+
+    @staticmethod
+    def _conjuncts(where: Node | None):
+        stack = [where] if where is not None else []
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Binary) and node.op == "and":
+                stack.append(node.left)
+                stack.append(node.right)
+            elif node is not None:
+                yield node
+
+    def _conjunct_shards(
+        self, node: Node, variable: str
+    ) -> tuple[str, ...] | None:
+        if not isinstance(node, Binary):
+            return None
+        sides = [(node.left, node.right), (node.right, node.left)]
+        if node.op == "=":
+            for attr_side, value_side in sides:
+                if self._is_key_attr(attr_side, variable) and isinstance(
+                    value_side, Literal
+                ):
+                    return self.map.shards_for_equality(value_side.value)
+        elif node.op == "like":
+            if self._is_key_attr(node.left, variable) and isinstance(
+                node.right, Literal
+            ):
+                prefix = self._like_prefix(node.right.value)
+                if prefix:
+                    return self.map.shards_for_prefix(prefix)
+        return None
+
+    def _is_key_attr(self, node: Node, variable: str) -> bool:
+        return (
+            isinstance(node, AttributeAccess)
+            and node.name == self.map.key_attr
+            and isinstance(node.target, Variable)
+            and node.target.name == variable
+        )
+
+    @staticmethod
+    def _like_prefix(pattern: object) -> str | None:
+        """Literal prefix of a LIKE pattern shaped ``prefix%``."""
+        if not isinstance(pattern, str) or "_" in pattern:
+            return None
+        if not pattern.endswith("%"):
+            return None
+        prefix = pattern[:-1]
+        if "%" in prefix or not prefix:
+            return None
+        return prefix

@@ -1,0 +1,57 @@
+"""OID → shard routing table.
+
+The shard map places objects by *key*; once placed, cross-shard
+operations (relationship resolution, rebalancing, key-attribute
+updates) need the reverse direction: given an OID, which shard holds
+it now?  The coordinator records every placement here and updates it
+when a rebalance or a key change moves an object.
+"""
+
+from __future__ import annotations
+
+
+class OidRouter:
+    """Mutable OID → shard-name table with deterministic grouping."""
+
+    def __init__(self) -> None:
+        self._table: dict[int, str] = {}
+
+    def assign(self, oid: int, shard: str) -> None:
+        self._table[oid] = shard
+
+    def move(self, oid: int, shard: str) -> None:
+        if oid not in self._table:
+            raise KeyError(f"oid {oid} is not routed")
+        self._table[oid] = shard
+
+    def forget(self, oid: int) -> None:
+        self._table.pop(oid, None)
+
+    def shard_of(self, oid: int) -> str | None:
+        return self._table.get(oid)
+
+    def group(self, oids) -> dict[str, list[int]]:
+        """Group OIDs by owning shard; shard names and OID lists are both
+        sorted so fan-outs iterate deterministically.  Unrouted OIDs are
+        dropped (dangling references resolve to null downstream, exactly
+        as the evaluator treats a missing endpoint)."""
+        buckets: dict[str, list[int]] = {}
+        for oid in oids:
+            shard = self._table.get(oid)
+            if shard is not None:
+                buckets.setdefault(shard, []).append(oid)
+        return {
+            shard: sorted(buckets[shard]) for shard in sorted(buckets)
+        }
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for shard in self._table.values():
+            out[shard] = out.get(shard, 0) + 1
+        return dict(sorted(out.items()))
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._table

@@ -64,6 +64,22 @@ def _decode_epoch_meta(payload: bytes) -> int | None:
     return None
 
 
+#: KIND_META payload tag for a shard-map stamp.  Like the cluster
+#: epoch it travels in the log so replicas learn topology changes at
+#: the exact position the rebalance committed: big-endian epoch, then
+#: the JSON shard-map blob.
+_SHARD_TAG = b"SHARD\x00"
+
+
+def _decode_shard_meta(payload: bytes) -> tuple[int, bytes] | None:
+    """(epoch, blob) from a shard-map META payload, or None."""
+    head = len(_SHARD_TAG) + _EPOCH_STRUCT.size
+    if payload.startswith(_SHARD_TAG) and len(payload) >= head:
+        epoch = _EPOCH_STRUCT.unpack_from(payload, len(_SHARD_TAG))[0]
+        return epoch, bytes(payload[head:])
+    return None
+
+
 @dataclass(frozen=True)
 class RecoveryReport:
     """What recovery found and did — the store's inspectable contract.
@@ -368,6 +384,10 @@ class ObjectStore:
         #: promoted).  Replicated like any other entry, so every node at
         #: the same LSN agrees on it — the HA fencing invariant.
         self.cluster_epoch = 0
+        #: Newest shard-map stamp in the log: (epoch, JSON blob).
+        #: (0, b"") means the store has never seen a shard map.
+        self.shard_map_epoch = 0
+        self.shard_map_blob: bytes = b""
         self.stats = StoreStats()
         self.last_recovery: RecoveryReport = RecoveryReport()
         self._recover()
@@ -456,6 +476,11 @@ class ObjectStore:
                 epoch = _decode_epoch_meta(entry.payload)
                 if epoch is not None:
                     self.cluster_epoch = max(self.cluster_epoch, epoch)
+                shard_meta = _decode_shard_meta(entry.payload)
+                if shard_meta is not None and (
+                    shard_meta[0] > self.shard_map_epoch
+                ):
+                    self.shard_map_epoch, self.shard_map_blob = shard_meta
                 # other META payloads: reserved for schema snapshots
         bytes_truncated = self._log.size - expected
         if expected < self._log.size:
@@ -649,6 +674,42 @@ class ObjectStore:
             self._lsn_cond.notify_all()
             return self._commit_lsn
 
+    def stamp_shard_map(self, epoch: int, blob: bytes) -> int:
+        """Durably record a shard-map change; returns its commit LSN.
+
+        Same mechanics as :meth:`stamp_epoch`: a META entry plus its own
+        commit marker, replicated through the ordinary pull path so a
+        shard's replicas learn the new placement at the exact log
+        position the rebalance committed.  Epochs are strictly
+        monotonic.
+        """
+        with self._lock:
+            if self._read_only:
+                raise TransactionError(
+                    "cannot stamp a shard map on a read-only store"
+                )
+            if self._active is not None:
+                raise TransactionError(
+                    "cannot stamp a shard map inside a transaction"
+                )
+            if epoch <= self.shard_map_epoch:
+                raise StorageError(
+                    f"shard-map epoch {epoch} is not newer than the "
+                    f"stamped epoch {self.shard_map_epoch}"
+                )
+            self._txn_counter += 1
+            self._log.append(
+                KIND_META,
+                _SHARD_TAG + _EPOCH_STRUCT.pack(epoch) + blob,
+            )
+            self._log.append_commit(self._txn_counter)
+            self.shard_map_epoch = epoch
+            self.shard_map_blob = bytes(blob)
+            self.stats.commits += 1
+            self._commit_lsn = self._log.size
+            self._lsn_cond.notify_all()
+            return self._commit_lsn
+
     @property
     def commit_lsn(self) -> int:
         """End offset of the last applied commit marker.
@@ -772,6 +833,11 @@ class ObjectStore:
                     epoch = _decode_epoch_meta(entry.payload)
                     if epoch is not None:
                         self.cluster_epoch = max(self.cluster_epoch, epoch)
+                    shard_meta = _decode_shard_meta(entry.payload)
+                    if shard_meta is not None and (
+                        shard_meta[0] > self.shard_map_epoch
+                    ):
+                        self.shard_map_epoch, self.shard_map_blob = shard_meta
             if expected < self._log.size:
                 # Torn shipment survived the frame checksum (should not
                 # happen); drop the tail so the next pull refetches it.
@@ -914,6 +980,7 @@ class ObjectStore:
             "group_commit_batched": self._gate.batched_commits,
             "commit_lsn": self._commit_lsn,
             "cluster_epoch": self.cluster_epoch,
+            "shard_map_epoch": self.shard_map_epoch,
         }
 
     def compact(self) -> None:
@@ -953,6 +1020,15 @@ class ObjectStore:
                     new_log.append(
                         KIND_META,
                         _EPOCH_TAG + _EPOCH_STRUCT.pack(self.cluster_epoch),
+                    )
+                if self.shard_map_epoch:
+                    # Same story for the shard map: placement knowledge
+                    # must survive compaction.
+                    new_log.append(
+                        KIND_META,
+                        _SHARD_TAG
+                        + _EPOCH_STRUCT.pack(self.shard_map_epoch)
+                        + self.shard_map_blob,
                     )
                 new_log.append_commit(txn_id)  # flush (+fsync when durable)
                 new_log.close()

@@ -1,0 +1,122 @@
+"""Regression tests for federation partial-result accounting.
+
+Two bugs hid degraded fan-outs behind healthy-looking answers:
+
+1. An exception with an empty message (bare ``ConnectionError()``, a
+   breaker's ``CircuitOpenError`` in some paths) produced
+   ``NodeResult(error="")`` — and ``NodeResult.ok`` reads truthiness of
+   ``error``, so the failure scored as a success carrying ``None``.
+2. ``count_all`` trusted any ok result: a node that died mid-scatter
+   and returned a malformed body (``[]``, a dict, a non-numeric list)
+   was silently counted as 0 with ``__partial__`` False — a degraded
+   total masquerading as a complete one.
+
+These tests drive ``Federation`` with duck-typed fake clients and pin
+the fixed behavior: empty-message failures surface as the exception's
+type name, and ok-but-malformed counts flip ``__partial__``.
+"""
+
+from __future__ import annotations
+
+from repro.engine.federation import Federation
+
+
+class _HealthyNode:
+    def __init__(self, count):
+        self._count = count
+
+    def query(self, text, params=None):
+        return [self._count]
+
+
+class _DyingNode:
+    """Raises with an *empty* message — the shape that used to score ok."""
+
+    def __init__(self, exc_type=ConnectionError):
+        self._exc_type = exc_type
+
+    def query(self, text, params=None):
+        raise self._exc_type()
+
+
+class _MalformedNode:
+    """Answers 200-ok but with a body no count query can produce."""
+
+    def __init__(self, body):
+        self._body = body
+
+    def query(self, text, params=None):
+        return self._body
+
+
+def _federation(**nodes) -> Federation:
+    federation = Federation(retry=None, deadline=5.0)
+    for name, client in nodes.items():
+        federation.nodes[name] = client
+    return federation
+
+
+class TestEmptyMessageFailures:
+    def test_empty_message_exception_is_not_ok(self):
+        federation = _federation(a=_HealthyNode(3), b=_DyingNode())
+        results = {r.node: r for r in federation.query_all("select c")}
+        assert results["a"].ok
+        assert not results["b"].ok
+        assert results["b"].error == "ConnectionError"
+
+    def test_count_all_records_the_dead_node(self):
+        federation = _federation(a=_HealthyNode(3), b=_DyingNode())
+        counts = federation.count_all("Taxon")
+        assert counts["a"] == 3
+        assert counts["b"] == 0
+        assert counts["__total__"] == 3
+        assert counts["__partial__"] is True
+        assert counts["__errors__"]["b"] == "ConnectionError"
+
+    def test_breaker_open_reports_partial_not_silent_zero(self):
+        federation = _federation(a=_HealthyNode(2), b=_DyingNode())
+        federation.breaker_threshold = 2
+        for _ in range(2):
+            federation.count_all("Taxon")
+        assert federation.breaker("b").state == "open"
+        counts = federation.count_all("Taxon")
+        assert counts["__partial__"] is True
+        assert "circuit open" in counts["__errors__"]["b"]
+        assert counts["__total__"] == 2
+
+
+class TestMalformedOkResults:
+    def test_empty_list_flips_partial(self):
+        federation = _federation(a=_HealthyNode(5), b=_MalformedNode([]))
+        counts = federation.count_all("Taxon")
+        assert counts["b"] == 0
+        assert counts["__total__"] == 5
+        assert counts["__partial__"] is True
+        assert "malformed" in counts["__errors__"]["b"]
+
+    def test_non_numeric_and_wrong_shape_bodies_flip_partial(self):
+        for body in ([None], ["7"], [1, 2], {"count": 7}, None):
+            federation = _federation(
+                a=_HealthyNode(1), b=_MalformedNode(body)
+            )
+            counts = federation.count_all("Taxon")
+            assert counts["__partial__"] is True, body
+            assert counts["__total__"] == 1, body
+
+    def test_all_healthy_is_not_partial(self):
+        federation = _federation(a=_HealthyNode(2), b=_HealthyNode(4))
+        counts = federation.count_all("Taxon")
+        assert counts == {
+            "a": 2,
+            "b": 4,
+            "__total__": 6,
+            "__errors__": {},
+            "__partial__": False,
+        }
+
+    def test_bool_count_is_not_a_count(self):
+        # bool subclasses int; a [True] body must still read as
+        # malformed rather than count 1.
+        federation = _federation(a=_MalformedNode([True]))
+        counts = federation.count_all("Taxon")
+        assert counts["__partial__"] is True

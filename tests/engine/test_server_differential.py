@@ -30,6 +30,9 @@ from repro.taxonomy import build_shapes_scenario
 from repro.taxonomy.model import TaxonomyDatabase
 from repro.telemetry import DISABLED
 
+from tests import fuzzseeds
+
+SEED_ENV = "SERVER_FUZZ_SEED"
 FIXED_SEEDS = (101, 202, 303)
 CASES_PER_SEED = 170  # 3 seeds x 170 = 510 >= the 500-case gate
 
@@ -311,14 +314,16 @@ def test_threaded_and_async_front_ends_agree(seed):
         f"  async:    {async_obs[0]} {async_obs[1][:400]!r}\n"
         f"  minimal corpus ({len(minimal)} requests):\n"
         + "\n".join(f"    {item!r}" for item in minimal)
+        + "\n"
+        + fuzzseeds.repro_line(
+            SEED_ENV, seed, "tests/engine -k extra_seed_from_env"
+        )
     )
 
 
-def test_extra_seed_from_env(monkeypatch):
-    """Set SERVER_FUZZ_SEED to replay an arbitrary corpus locally."""
-    import os
-
-    seed = os.environ.get("SERVER_FUZZ_SEED")
+def test_extra_seed_from_env():
+    """Replay the run seed (env override or GITHUB_RUN_ID-derived)."""
+    seed = fuzzseeds.run_seed(SEED_ENV)
     if seed is None:
-        pytest.skip("SERVER_FUZZ_SEED not set")
-    assert _run_pair(_gen_corpus(int(seed), CASES_PER_SEED)) is None
+        pytest.skip(f"{SEED_ENV} / GITHUB_RUN_ID not set")
+    assert _run_pair(_gen_corpus(seed, CASES_PER_SEED)) is None

@@ -1,0 +1,63 @@
+"""One seed convention for every fuzz/differential suite in the repo.
+
+Each suite runs its fixed seeds always, plus one *run seed* resolved
+the same way everywhere:
+
+1. the suite's own env var (``QUERY_FUZZ_SEED``, ``SERVER_FUZZ_SEED``,
+   ``SHARD_FUZZ_SEED``, ``REPLICATION_FUZZ_SEED``) — an explicit
+   operator override always wins;
+2. otherwise ``GITHUB_RUN_ID % 1_000_000`` in CI, so every pipeline
+   run explores a fresh seed;
+3. otherwise none — local runs stay deterministic on the fixed seeds.
+
+On failure, suites print :func:`repro_line` so the exact failing case
+reproduces from a single pasted command.
+"""
+
+import os
+
+__all__ = ["run_seed", "derive_seeds", "repro_command", "repro_line"]
+
+
+def run_seed(
+    env_var: str | None = None, run_id: str | None = None
+) -> int | None:
+    """The run-derived seed, or None when neither source is set.
+
+    ``run_id`` lets legacy callers inject the CI run id explicitly;
+    when omitted it is read from ``GITHUB_RUN_ID``.
+    """
+    if env_var:
+        raw = os.environ.get(env_var)
+        if raw is not None:
+            return int(raw)
+    if run_id is None:
+        run_id = os.environ.get("GITHUB_RUN_ID")
+    if run_id:
+        return int(run_id) % 1_000_000
+    return None
+
+
+def derive_seeds(
+    fixed: tuple[int, ...],
+    env_var: str | None = None,
+    run_id: str | None = None,
+) -> list[int]:
+    """The fixed seeds plus the run seed (deduplicated), in order."""
+    seeds = list(fixed)
+    extra = run_seed(env_var, run_id)
+    if extra is not None and extra not in seeds:
+        seeds.append(extra)
+    return seeds
+
+
+def repro_command(env_var: str, seed: int, test_path: str) -> str:
+    """The one-paste command that replays exactly this seed."""
+    return (
+        f"{env_var}={seed} PYTHONPATH=src "
+        f"python -m pytest {test_path} -x -q"
+    )
+
+
+def repro_line(env_var: str, seed: int, test_path: str) -> str:
+    return f"reproduce with: {repro_command(env_var, seed, test_path)}"

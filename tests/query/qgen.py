@@ -8,13 +8,25 @@ a failing case can be *shrunk* — conjuncts dropped, clauses stripped,
 bindings removed — down to a minimal still-failing query before it is
 reported.
 
+The fuzz schema spans **two categories** (in the paper's sense of
+parallel taxonomic hierarchies): ``Base``/``Leaf`` with the
+``Links`` Base-to-Base digraph, and ``Cat`` reached through the
+cross-category ``Bridges`` (Base-to-Cat) relationship.  The generator
+tracks which category each bound variable ranges over, so predicates,
+projections and ORDER BY clauses always name attributes the variable
+actually has — the interesting behaviour stays access-path selection
+and traversal semantics, never trivial type errors.
+
 The generator deliberately avoids arithmetic that can raise
 (division/modulo) and type-mismatched comparisons (``size = "x"``), so
-every query is deterministic and the only interesting behaviour is
-access-path selection.  Nulls, on the other hand, are generated
+every query is deterministic.  Nulls, on the other hand, are generated
 aggressively: the fuzz schema's ``year`` attribute is None for ~30% of
 rows, which exercises the None-safe range-probe and null-ordering
-paths.
+paths.  ``rank`` comparisons draw from the real :data:`RANKS` pool (a
+sharded deployment keys placement on ``rank``, so these are the
+predicates that exercise shard pruning), and roughly a third of the
+specs are forced into the ORDER BY + LIMIT + predicate shape that
+stresses top-n pushdown.
 """
 
 from __future__ import annotations
@@ -22,7 +34,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field, replace
 
-#: Attribute name -> kind, shared by predicate and value generators.
+#: Base/Leaf attribute name -> kind, shared by predicate and value
+#: generators.
 ATTRS = {
     "name": "str",
     "rank": "str",
@@ -32,7 +45,24 @@ ATTRS = {
     "year": "nullable_int",
 }
 
+#: Cat (the second category) attribute name -> kind.
+CAT_ATTRS = {
+    "label": "str",
+    "region": "str",
+    "area": "int",
+    "wet": "bool",
+}
+
 RANKS = ("kingdom", "family", "genus", "species")
+
+REGIONS = ("arctic", "boreal", "temperate", "tropical")
+
+#: category -> (attr table, bare-bool attr, int attr, str attr,
+#:              orderable attrs)
+_CATEGORIES = {
+    "base": (ATTRS, "flag", "size", "rank", ("size", "name", "year", "score")),
+    "cat": (CAT_ATTRS, "wet", "area", "region", ("area", "label", "region")),
+}
 
 
 @dataclass
@@ -67,16 +97,23 @@ class QuerySpec:
 
 
 class QueryGen:
-    """Seeded generator over the fuzz schema (Base / Leaf / Links)."""
+    """Seeded generator over the fuzz schema (Base/Leaf/Links + Cat/Bridges)."""
 
     def __init__(self, seed: int) -> None:
         self.rng = random.Random(seed)
 
     # -- value pools (type-correct by construction) ---------------------
 
-    def _value(self, kind: str) -> str:
+    def _value(self, kind: str, attr: str | None = None) -> str:
         rng = self.rng
         if kind == "str":
+            if attr == "rank":
+                # Real rank values (plus one miss) so equality predicates
+                # actually select rows — and, on a sharded deployment
+                # keyed on rank, actually prune shards.
+                return f'"{rng.choice(RANKS + ("variety",))}"'
+            if attr == "region":
+                return f'"{rng.choice(REGIONS + ("abyssal",))}"'
             return f'"{rng.choice(["n", "m"])}{rng.randrange(0, 40)}"'
         if kind == "int":
             return str(rng.randrange(-2, 12))
@@ -88,82 +125,117 @@ class QueryGen:
             return str(rng.randrange(1750, 1760))
         raise AssertionError(kind)
 
-    def _attr(self) -> tuple[str, str]:
-        name = self.rng.choice(list(ATTRS))
-        return name, ATTRS[name]
+    def _attr(self, category: str) -> tuple[str, str]:
+        table = _CATEGORIES[category][0]
+        name = self.rng.choice(list(table))
+        return name, table[name]
 
     # -- predicates -----------------------------------------------------
 
-    def _comparison(self, var: str) -> str:
-        attr, kind = self._attr()
-        value = self._value(kind)
+    def _comparison(self, var: str, category: str) -> str:
+        attr, kind = self._attr(category)
+        value = self._value(kind, attr)
         if kind in ("str", "bool"):
             op = self.rng.choice(("=", "!=", "="))
         else:
             op = self.rng.choice(("=", "!=", "<", "<=", ">", ">="))
         if kind == "str" and self.rng.random() < 0.25:
-            prefix = self.rng.choice(("n", "m", "n1"))
+            if attr == "rank":
+                prefix = self.rng.choice(("k", "f", "g", "s", "gen", "spec"))
+            elif attr == "region":
+                prefix = self.rng.choice(("a", "b", "t", "tro"))
+            else:
+                prefix = self.rng.choice(("n", "m", "n1"))
             return f'{var}.{attr} like "{prefix}%"'
         if self.rng.random() < 0.15:  # reversed operand order
             flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
             return f"{value} {flipped} {var}.{attr}"
         return f"{var}.{attr} {op} {value}"
 
-    def _predicate(self, variables: list[str], depth: int = 0) -> str:
+    def _predicate(
+        self, cats: dict[str, str], depth: int = 0
+    ) -> str:
         rng = self.rng
+        variables = list(cats)
         var = rng.choice(variables)
         roll = rng.random()
         if depth < 2 and roll < 0.18:
-            left = self._predicate(variables, depth + 1)
-            right = self._predicate(variables, depth + 1)
+            left = self._predicate(cats, depth + 1)
+            right = self._predicate(cats, depth + 1)
             return f"({left} or {right})"
         if depth < 2 and roll < 0.26:
-            return f"(not {self._predicate(variables, depth + 1)})"
+            return f"(not {self._predicate(cats, depth + 1)})"
         if roll < 0.32:
-            return f"{var}.flag"
+            return f"{var}.{_CATEGORIES[cats[var]][1]}"
         if len(variables) > 1 and roll < 0.40:
+            # Cross-variable (possibly cross-category) comparison on a
+            # type-compatible attribute pair: size/area or rank/region.
             a, b = rng.sample(variables, 2)
-            attr = rng.choice(("size", "rank"))
+            slot = rng.choice((2, 3))  # int attr or str attr
             op = rng.choice(("=", "!="))
-            return f"{a}.{attr} {op} {b}.{attr}"
-        return self._comparison(var)
+            attr_a = _CATEGORIES[cats[a]][slot]
+            attr_b = _CATEGORIES[cats[b]][slot]
+            return f"{a}.{attr_a} {op} {b}.{attr_b}"
+        return self._comparison(var, cats[var])
 
     # -- whole queries --------------------------------------------------
 
-    def _source(self, prev_var: str | None) -> str:
+    def _source(self, prev: tuple[str, str] | None) -> tuple[str, str]:
+        """(source text, category) for the next binding."""
         rng = self.rng
-        if prev_var is None or rng.random() < 0.5:
-            return rng.choice(("Base", "Base", "Leaf"))
+        if prev is None or rng.random() < 0.5:
+            return rng.choice(
+                (("Base", "base"), ("Base", "base"), ("Leaf", "base"),
+                 ("Cat", "cat"))
+            )
+        prev_var, prev_cat = prev
+        if prev_cat == "cat":
+            # The only relationship touching Cat is Bridges (Base->Cat).
+            return f"{prev_var}<-Bridges", "base"
+        if rng.random() < 0.3:
+            return f"{prev_var}->Bridges", "cat"
         arrow = rng.choice(("->", "<-"))
         closure = rng.choice(("", "", "+", "*", "{1,2}", "{0,2}", "{2,3}"))
-        return f"{prev_var}{arrow}Links{closure}"
+        return f"{prev_var}{arrow}Links{closure}", "base"
 
     def spec(self) -> QuerySpec:
         rng = self.rng
-        bindings = [("a", self._source(None))]
+        source, category = self._source(None)
+        bindings = [("a", source)]
+        cats = {"a": category}
         if rng.random() < 0.45:
-            bindings.append(("b", self._source("a")))
-        variables = [var for var, _ in bindings]
-        conjuncts = [
-            self._predicate(variables)
-            for _ in range(rng.choice((0, 1, 1, 1, 2, 2, 3)))
-        ]
+            source, category = self._source(("a", cats["a"]))
+            bindings.append(("b", source))
+            cats["b"] = category
+        variables = list(cats)
+        # ~1/3 of specs force the full ORDER BY + LIMIT + predicate
+        # combination — the shape that exercises top-n pushdown.
+        combo = rng.random() < 0.3
+        n_conjuncts = rng.choice((0, 1, 1, 1, 2, 2, 3))
+        if combo:
+            n_conjuncts = max(1, n_conjuncts)
+        conjuncts = [self._predicate(cats) for _ in range(n_conjuncts)]
         projection: str | None = None
         roll = rng.random()
         proj_var = rng.choice(variables)
         if roll < 0.35:
-            attr = rng.choice(list(ATTRS))
+            attr = rng.choice(list(_CATEGORIES[cats[proj_var]][0]))
             projection = f"{proj_var}.{attr}"
-        elif roll < 0.45:
+        elif roll < 0.45 and cats[proj_var] == "base":
             projection = f"(Leaf) {proj_var}"
         elif roll < 0.55 and len(variables) > 1:
-            projection = ", ".join(f"{v}.size" for v in variables)
+            projection = ", ".join(
+                f"{v}.{_CATEGORIES[cats[v]][2]}" for v in variables
+            )
         order_by = None
-        if rng.random() < 0.4:
-            attr = rng.choice(("size", "name", "year", "score"))
+        if combo or rng.random() < 0.4:
+            order_var = rng.choice(variables)
+            attr = rng.choice(_CATEGORIES[cats[order_var]][4])
             direction = rng.choice(("", " desc", " asc"))
-            order_by = f"{rng.choice(variables)}.{attr}{direction}"
+            order_by = f"{order_var}.{attr}{direction}"
         limit = rng.choice((None, None, None, 1, 2, 5, 10))
+        if combo and limit is None:
+            limit = rng.choice((1, 2, 5, 10))
         distinct = rng.random() < 0.25
         return QuerySpec(
             bindings=bindings,

@@ -35,8 +35,11 @@ from repro.core.instances import PObject
 from repro.engine import PrometheusDB
 from repro.query import execute
 
-from .qgen import RANKS, QueryGen, QuerySpec, shrink
+from tests import fuzzseeds
 
+from .qgen import RANKS, REGIONS, QueryGen, QuerySpec, shrink
+
+SEED_ENV = "QUERY_FUZZ_SEED"
 FIXED_SEEDS = (101, 202, 303)
 CASES_PER_SEED = 170  # 3 seeds x 170 = 510 >= 500
 
@@ -46,9 +49,11 @@ def build_db(seed: int) -> PrometheusDB:
 
     ``Base`` holds every attribute kind (str/int/float/bool and a
     None-mixed int), ``Leaf`` subclasses it, and ``Links`` is a
-    Base-to-Base relationship forming a random sparse digraph.  Indexes
-    cover equality (hash), ranges and ordering (btree) and — crucially —
-    a None-mixed column (btree on ``year``).
+    Base-to-Base relationship forming a random sparse digraph.  ``Cat``
+    is a second category (disjoint attribute set) reached through the
+    cross-category ``Bridges`` relationship.  Indexes cover equality
+    (hash), ranges and ordering (btree) and — crucially — a None-mixed
+    column (btree on ``year``).
     """
     rng = random.Random(seed * 7919 + 13)
     db = PrometheusDB()
@@ -66,7 +71,17 @@ def build_db(seed: int) -> PrometheusDB:
     db.schema.define_class(
         "Leaf", [Attribute("extra", T.INTEGER)], superclasses=["Base"]
     )
+    db.schema.define_class(
+        "Cat",
+        [
+            Attribute("label", T.STRING),
+            Attribute("region", T.STRING),
+            Attribute("area", T.INTEGER),
+            Attribute("wet", T.BOOLEAN),
+        ],
+    )
     db.schema.define_relationship("Links", "Base", "Base")
+    db.schema.define_relationship("Bridges", "Base", "Cat")
     objects = []
     for i in range(rng.randrange(30, 45)):
         cls = "Leaf" if rng.random() < 0.4 else "Base"
@@ -81,14 +96,28 @@ def build_db(seed: int) -> PrometheusDB:
         if cls == "Leaf":
             attrs["extra"] = rng.randrange(0, 5)
         objects.append(db.schema.create(cls, **attrs))
+    cats = []
+    for i in range(rng.randrange(8, 16)):
+        cats.append(
+            db.schema.create(
+                "Cat",
+                label=f"c{rng.randrange(0, 30)}",
+                region=rng.choice(REGIONS),
+                area=rng.randrange(-2, 12),
+                wet=rng.random() < 0.5,
+            )
+        )
     for _ in range(rng.randrange(20, 60)):
         a, b = rng.choice(objects), rng.choice(objects)
         if a.oid != b.oid:
             db.schema.relate("Links", a, b)
+    for _ in range(rng.randrange(10, 30)):
+        db.schema.relate("Bridges", rng.choice(objects), rng.choice(cats))
     db.indexes.create_index("Base", "name", kind="hash")
     db.indexes.create_index("Base", "size", kind="btree")
     db.indexes.create_index("Base", "year", kind="btree")  # None-mixed!
     db.indexes.create_index("Base", "rank", kind="hash")
+    db.indexes.create_index("Cat", "region", kind="hash")
     return db
 
 
@@ -160,7 +189,7 @@ def run_seed(seed: int, cases: int) -> None:
         f"  original   : {spec.text()}\n"
         f"  reference  : {ref}\n"
         f"  planner    : {got}\n"
-        f"reproduce with QUERY_FUZZ_SEED={seed}"
+        + fuzzseeds.repro_line(SEED_ENV, seed, "tests/query -k extra")
     )
 
 
@@ -172,10 +201,9 @@ def test_differential_fixed_seeds(seed):
 def test_differential_extra_seed(capsys):
     """One extra seed from the environment (CI derives it from
     GITHUB_RUN_ID and prints it so any failure is reproducible)."""
-    raw = os.environ.get("QUERY_FUZZ_SEED")
-    if raw is None:
-        pytest.skip("QUERY_FUZZ_SEED not set")
-    seed = int(raw)
+    seed = fuzzseeds.run_seed(SEED_ENV)
+    if seed is None:
+        pytest.skip(f"{SEED_ENV} / GITHUB_RUN_ID not set")
     with capsys.disabled():
         print(f"\n[query-fuzz] extra seed: {seed}")
     run_seed(seed, CASES_PER_SEED)

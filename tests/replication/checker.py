@@ -215,12 +215,18 @@ def minimal_violation(history: History) -> str:
     return "\n".join(lines)
 
 
-def derive_seeds(fixed: tuple[int, ...], run_id: str | None) -> list[int]:
-    """The fixed seeds plus one derived from the CI run id (if any)."""
-    seeds = list(fixed)
-    if run_id:
-        seeds.append(int(run_id) % 1_000_000)
-    return seeds
+def derive_seeds(
+    fixed: tuple[int, ...], run_id: str | None = None
+) -> list[int]:
+    """The fixed seeds plus one derived from the CI run id (if any).
+
+    Thin wrapper over :func:`tests.fuzzseeds.derive_seeds` (the one
+    seed convention shared by every fuzz suite); kept for the call
+    sites that pass ``GITHUB_RUN_ID`` explicitly.
+    """
+    from tests.fuzzseeds import derive_seeds as unified
+
+    return unified(fixed, env_var="REPLICATION_FUZZ_SEED", run_id=run_id)
 
 
 def make_rng(seed: int) -> random.Random:

@@ -1,0 +1,1 @@
+"""Shard-topology differential suite and sharding unit tests."""

@@ -1,0 +1,102 @@
+"""Extent rebalancing over PLSB frames: moves, reports, fault injection.
+
+The rebalancer ships record batches through the replication frame
+codec, so every hop is CRC-32 gated.  The fault tests override the
+``_ship`` seam to corrupt or truncate frames mid-flight and assert the
+move aborts *before* any record is installed — placement and shard map
+stay consistent with the pre-rebalance state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.sharding import ExtentRebalancer, ShardingError
+
+from .topo import CHECKS, observe, pair
+
+
+class _CorruptingRebalancer(ExtentRebalancer):
+    """Flips one payload byte of the first shipped frame."""
+
+    def __init__(self, db, **kwargs):
+        super().__init__(db, **kwargs)
+        self.shipped = 0
+
+    def _ship(self, frame: bytes) -> bytes:
+        self.shipped += 1
+        if self.shipped == 1:
+            # Flip a byte inside the payload (headers start the frame).
+            corrupt = bytearray(frame)
+            corrupt[-1] ^= 0xFF
+            return bytes(corrupt)
+        return frame
+
+
+class _TruncatingRebalancer(ExtentRebalancer):
+    def _ship(self, frame: bytes) -> bytes:
+        return frame[: len(frame) // 2]
+
+
+class TestMoveRange:
+    def test_report_accounts_for_every_move(self):
+        _, sharded = pair(23)
+        placement_before = dict(sharded.router.counts())
+        report = ExtentRebalancer(sharded, batch_size=4).move_range(
+            None, "genus", "s2"
+        )
+        assert report.target == "s2"
+        assert report.sources == ["s0"]
+        assert report.moved_objects > 0
+        assert report.frames >= 1
+        assert report.bytes_shipped > 0
+        assert report.new_epoch == report.old_epoch + 1
+        # Everything s0 owned moved off (its range is gone and the
+        # fallback ring no longer includes it).
+        assert sharded.router.counts().get("s0", 0) == 0
+        moved_total = report.moved_objects + report.moved_edges
+        assert moved_total + report.rehomed >= placement_before.get(
+            "s0", 0
+        )
+        d = report.as_dict()
+        assert d["epoch"] == [report.old_epoch, report.new_epoch]
+
+    def test_unknown_target_rejected(self):
+        _, sharded = pair(24)
+        with pytest.raises(ShardingError):
+            ExtentRebalancer(sharded).move_range(None, "genus", "nope")
+
+    def test_batch_size_validated(self):
+        _, sharded = pair(24)
+        with pytest.raises(ShardingError):
+            ExtentRebalancer(sharded, batch_size=0)
+
+    def test_queries_agree_after_chained_rebalances(self):
+        single, sharded = pair(25)
+        rebalancer = ExtentRebalancer(sharded, batch_size=3)
+        rebalancer.move_range(None, "genus", "s3")
+        rebalancer.move_range("kingdom", "species", "s1")
+        for text in CHECKS:
+            assert observe(single, text) == observe(sharded, text), text
+
+
+class TestFrameFaults:
+    def test_corrupt_frame_aborts_before_any_install(self):
+        _, sharded = pair(26)
+        epoch_before = sharded.map.epoch
+        placement_before = dict(sharded.router.counts())
+        answers_before = [observe(sharded, t) for t in CHECKS]
+        rebalancer = _CorruptingRebalancer(sharded, batch_size=10_000)
+        with pytest.raises(ReplicationError):
+            rebalancer.move_range(None, "genus", "s2")
+        assert sharded.map.epoch == epoch_before
+        assert dict(sharded.router.counts()) == placement_before
+        assert [observe(sharded, t) for t in CHECKS] == answers_before
+
+    def test_truncated_frame_rejected(self):
+        _, sharded = pair(27)
+        with pytest.raises(ReplicationError):
+            _TruncatingRebalancer(sharded).move_range(
+                None, "genus", "s2"
+            )

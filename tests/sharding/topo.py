@@ -1,0 +1,152 @@
+"""Shared harness: build logically identical 1-shard and N-shard
+databases and compare their answers byte-for-byte.
+
+Both topologies are populated through the *coordinator* API with the
+same seeded operation stream; the coordinator owns the global OID
+allocator, so the two databases hold objects with identical OIDs and
+attribute values — only placement differs.  Any observable difference
+between them is therefore a distribution bug, never a data artifact.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import types as T
+from repro.core.attributes import Attribute
+from repro.sharding import ShardedDatabase, ShardExecutionError, ShardMap
+
+from tests.query.qgen import RANKS, REGIONS
+
+#: Split points that spread the four RANKS values across four shards.
+SPLIT_POINTS = ("genus", "kingdom", "species")
+
+#: A small fixed panel covering every plan mode: full scan, count
+#: pushdown, pruned equality, pruned prefix + top-n, distinct,
+#: cross-category traversal, closure traversal.
+CHECKS = (
+    "select a from a in Base",
+    "select count(a) from a in Base",
+    'select a.name from a in Base where a.rank = "genus"',
+    'select a from a in Base where a.rank like "k%" order by a.size limit 3',
+    "select distinct a.rank from a in Base order by a.rank",
+    "select b.label from a in Base, b in a->Bridges where a.flag",
+    "select b from a in Base, b in a->Links+ where a.size > 4",
+)
+
+
+def fuzz_ddl(schema) -> None:
+    """The tests/query fuzz schema (Base/Leaf/Links + Cat/Bridges)."""
+    schema.define_class(
+        "Base",
+        [
+            Attribute("name", T.STRING),
+            Attribute("rank", T.STRING),
+            Attribute("size", T.INTEGER),
+            Attribute("score", T.FLOAT),
+            Attribute("flag", T.BOOLEAN),
+            Attribute("year", T.INTEGER, required=False),
+        ],
+    )
+    schema.define_class(
+        "Leaf", [Attribute("extra", T.INTEGER)], superclasses=["Base"]
+    )
+    schema.define_class(
+        "Cat",
+        [
+            Attribute("label", T.STRING),
+            Attribute("region", T.STRING),
+            Attribute("area", T.INTEGER),
+            Attribute("wet", T.BOOLEAN),
+        ],
+    )
+    schema.define_relationship("Links", "Base", "Base")
+    schema.define_relationship("Bridges", "Base", "Cat")
+
+
+def index_ddl(db) -> None:
+    db.indexes.create_index("Base", "name", kind="hash")
+    db.indexes.create_index("Base", "size", kind="btree")
+    db.indexes.create_index("Base", "year", kind="btree")
+    db.indexes.create_index("Base", "rank", kind="hash")
+
+
+def make_map(shards: int) -> ShardMap:
+    if shards == 1:
+        return ShardMap.single("s0", key_attr="rank")
+    names = tuple(f"s{i}" for i in range(shards))
+    points = SPLIT_POINTS[: shards - 1]
+    return ShardMap.uniform(names, "rank", points)
+
+
+def build_topology(shards: int) -> ShardedDatabase:
+    return ShardedDatabase(make_map(shards), fuzz_ddl, index_ddl=index_ddl)
+
+
+def populate(db: ShardedDatabase, seed: int) -> dict[str, list[int]]:
+    """Deterministic seeded population through the coordinator API.
+
+    ~15% of Base rows get a non-RANKS rank and a few get None — those
+    fall through range routing to the hash ring, exercising fallback
+    placement and re-homing.
+    """
+    rng = random.Random(seed * 7919 + 13)
+    bases: list[int] = []
+    for _ in range(rng.randrange(30, 45)):
+        cls = "Leaf" if rng.random() < 0.4 else "Base"
+        roll = rng.random()
+        if roll < 0.08:
+            rank = None
+        elif roll < 0.15:
+            rank = f"x{rng.randrange(0, 5)}"  # off-taxonomy string
+        else:
+            rank = rng.choice(RANKS)
+        attrs = {
+            "name": f"{rng.choice(['n', 'm'])}{rng.randrange(0, 40)}",
+            "rank": rank,
+            "size": rng.randrange(-2, 12),
+            "score": rng.randrange(0, 100) / 10.0,
+            "flag": rng.random() < 0.5,
+            "year": None if rng.random() < 0.3 else rng.randrange(1750, 1760),
+        }
+        if cls == "Leaf":
+            attrs["extra"] = rng.randrange(0, 5)
+        bases.append(db.create(cls, **attrs))
+    cats: list[int] = []
+    for _ in range(rng.randrange(8, 16)):
+        cats.append(
+            db.create(
+                "Cat",
+                label=f"c{rng.randrange(0, 30)}",
+                region=rng.choice(REGIONS),
+                area=rng.randrange(-2, 12),
+                wet=rng.random() < 0.5,
+            )
+        )
+    for _ in range(rng.randrange(20, 60)):
+        a, b = rng.choice(bases), rng.choice(bases)
+        if a != b:
+            db.relate("Links", a, b)
+    for _ in range(rng.randrange(10, 30)):
+        db.relate("Bridges", rng.choice(bases), rng.choice(cats))
+    db.commit()
+    return {"bases": bases, "cats": cats}
+
+
+def observe(db: ShardedDatabase, text: str, as_of: int | None = None):
+    """('ok', canonical json) or ('err', deterministic error identity)."""
+    try:
+        result = db.query(text, check=False, as_of=as_of)
+    except ShardExecutionError as exc:
+        return ("err", tuple(exc.kinds))
+    except Exception as exc:  # noqa: BLE001 — classify, don't mask
+        return ("err", type(exc).__name__)
+    return ("ok", db.jsonable_result(result))
+
+
+def pair(seed: int) -> tuple[ShardedDatabase, ShardedDatabase]:
+    """Identically populated (1-shard, 4-shard) databases."""
+    single, sharded = build_topology(1), build_topology(4)
+    populate(single, seed)
+    populate(sharded, seed)
+    return single, sharded
